@@ -1,0 +1,60 @@
+//! Shared plumbing for the versioned guest applications.
+
+use jvolve_classfile::ClassFile;
+
+/// One release of a guest application.
+#[derive(Clone, Debug)]
+pub struct AppVersion {
+    /// Human version label, e.g. "5.1.3".
+    pub label: &'static str,
+    /// Version prefix for old-class renaming, e.g. "v513_".
+    pub prefix: &'static str,
+    /// Full MJ source of this release.
+    pub source: String,
+}
+
+impl AppVersion {
+    /// Compiles this release.
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile errors — app sources are fixtures; a failure is a
+    /// bug in this crate (and is caught by its tests).
+    pub fn compile(&self) -> Vec<ClassFile> {
+        match jvolve_lang::compile(&self.source) {
+            Ok(classes) => classes,
+            Err(e) => panic!("app version {} does not compile:\n{e}", self.label),
+        }
+    }
+}
+
+/// A versioned guest application.
+pub trait GuestApp {
+    /// Application name ("webserver", "emailserver", "ftpserver").
+    fn name(&self) -> &'static str;
+    /// The port its server listens on.
+    fn port(&self) -> u16;
+    /// The main class spawned to start the server.
+    fn main_class(&self) -> &'static str;
+    /// All releases, oldest first.
+    fn versions(&self) -> Vec<AppVersion>;
+    /// Index of releases whose *update from the previous version* is
+    /// expected to time out (always-on-stack changed methods).
+    fn expected_failures(&self) -> Vec<&'static str>;
+}
+
+/// Builds a version prefix like `v513_` from a label like `5.1.3`.
+pub fn prefix_of(label: &str) -> String {
+    format!("v{}_", label.replace('.', ""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_formatting() {
+        assert_eq!(prefix_of("5.1.3"), "v513_");
+        assert_eq!(prefix_of("1.3.2"), "v132_");
+    }
+}

@@ -1,0 +1,791 @@
+//! The `emailserver` guest application — the reproduction's
+//! JavaEmailServer (SMTP + POP).
+//!
+//! Ten releases, 1.2.1 through 1.4, preserving the kind structure of the
+//! paper's Table 3:
+//!
+//! | update | classification | notes |
+//! |---|---|---|
+//! | 1.2.2 | method-body-only | |
+//! | 1.2.3 | class update | `User`/`MailMessage` gain fields, `MailStore.deliver` signature change; OSR lifts `SMTPSender.run`/`Pop3Processor.run` |
+//! | 1.2.4 | method-body-only | |
+//! | 1.3   | class update, **unsupported** | configuration rework: `FileConfig` added, `GuiAdmin` deleted, every processor `run()` body changes while always on stack |
+//! | 1.3.1 | method-body-only | the `loadUser` fix |
+//! | 1.3.2 | class update | the paper's Figure 2/3: `EmailAddress` added, `User.forwardAddresses` changes type, custom transformer converts the strings; OSR lifts `Pop3Processor.run` |
+//! | 1.3.3 | method-body-only | |
+//! | 1.3.4 | class update | `Mailbox`/`MailStore` gain members |
+//! | 1.4   | class update | vacation support on `User`; a method deleted |
+//!
+//! SMTP-ish protocol on port 2525 (`SEND <from> <to> <text>` / `QUIT`),
+//! POP-ish protocol on port 1100 (`USER <name>`, then `LIST` / `FWD` /
+//! `QUIT`). Delivery is asynchronous through `OutQueue`, flushed by the
+//! `SMTPSender` sleeper thread.
+
+use crate::common::{prefix_of, AppVersion, GuestApp};
+
+/// SMTP port.
+pub const SMTP_PORT: u16 = 2525;
+/// POP port.
+pub const POP_PORT: u16 = 1100;
+
+/// The emailserver application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Emailserver;
+
+impl GuestApp for Emailserver {
+    fn name(&self) -> &'static str {
+        "emailserver"
+    }
+    fn port(&self) -> u16 {
+        SMTP_PORT
+    }
+    fn main_class(&self) -> &'static str {
+        "EmailServer"
+    }
+    fn versions(&self) -> Vec<AppVersion> {
+        (0..=9)
+            .map(|v| {
+                let label = LABELS[v];
+                AppVersion {
+                    label,
+                    prefix: Box::leak(prefix_of(label).into_boxed_str()),
+                    source: source(v),
+                }
+            })
+            .collect()
+    }
+    fn expected_failures(&self) -> Vec<&'static str> {
+        vec!["1.3"]
+    }
+}
+
+const LABELS: [&str; 10] =
+    ["1.2.1", "1.2.2", "1.2.3", "1.2.4", "1.3", "1.3.1", "1.3.2", "1.3.3", "1.3.4", "1.4"];
+
+/// The custom transformer the developer writes for the 1.3.2 update —
+/// the paper's Figure 3, converting `String[]` forward addresses into
+/// `EmailAddress[]` by splitting at `@`.
+pub const FIGURE3_TRANSFORMER: &str = "
+class JvolveTransformers {
+  static method jvolve_class_User(): void { }
+  static method jvolve_object_User(to: User, from: v132_User): void {
+    to.username = from.username;
+    to.domain = from.domain;
+    to.password = from.password;
+    to.quotaKb = from.quotaKb;
+    to.cfgKey = from.cfgKey;
+    if (from.forwardAddresses == null) { return; }
+    var len: int = from.forwardAddresses.length;
+    to.forwardAddresses = new EmailAddress[len];
+    var i: int = 0;
+    while (i < len) {
+      var parts: String[] = Str.split(from.forwardAddresses[i], \"@\");
+      to.forwardAddresses[i] = new EmailAddress(parts[0], parts[1]);
+      i = i + 1;
+    }
+  }
+}
+";
+
+/// Full MJ source of version index `v` (0 = 1.2.1).
+pub fn source(v: usize) -> String {
+    assert!(v <= 9, "emailserver has versions 0..=9");
+    let mut src = String::new();
+    src.push_str(&user(v));
+    if v >= 6 {
+        src.push_str(EMAIL_ADDRESS);
+    }
+    src.push_str(&mail_message(v));
+    src.push_str(&mailbox(v));
+    src.push_str(&mail_store(v));
+    src.push_str(OUT_QUEUE);
+    src.push_str(&delivery(v));
+    src.push_str(&smtp_session(v));
+    src.push_str(&pop3_session(v));
+    src.push_str(&processors(v));
+    src.push_str(&configuration_manager(v));
+    if v <= 3 {
+        src.push_str(GUI_ADMIN);
+    }
+    if v >= 4 {
+        src.push_str(FILE_CONFIG);
+        src.push_str(CONFIG_WATCHER);
+    }
+    src.push_str(&email_server_main(v));
+    src
+}
+
+fn user(v: usize) -> String {
+    let quota = if v >= 2 { "  field quotaKb: int;\n" } else { "" };
+    let cfg = if v >= 4 { "  field cfgKey: String;\n" } else { "" };
+    let vacation = if v >= 9 {
+        "  field vacationMsg: String;
+  field vacationOn: int;
+"
+    } else {
+        ""
+    };
+    let fwd_ty = if v >= 6 { "EmailAddress" } else { "String" };
+    let ctor_extra = match v {
+        0..=1 => "",
+        2..=3 => "    this.quotaKb = 1024;\n",
+        4..=8 => "    this.quotaKb = 1024;\n    this.cfgKey = u;\n",
+        _ => "    this.quotaKb = 1024;\n    this.cfgKey = u;\n    this.vacationOn = 0;\n",
+    };
+    let vacation_methods = if v >= 9 {
+        "  method setVacation(msg: String): void { this.vacationMsg = msg; this.vacationOn = 1; }
+  method vacationActive(): bool { return this.vacationOn > 0; }
+"
+    } else {
+        ""
+    };
+    format!(
+        "class User {{
+  field username: String;
+  field domain: String;
+  field password: String;
+{quota}{cfg}{vacation}  field forwardAddresses: {fwd_ty}[];
+  ctor(u: String, d: String, p: String) {{
+    this.username = u;
+    this.domain = d;
+    this.password = p;
+{ctor_extra}  }}
+  method getName(): String {{ return this.username; }}
+  method matches(name: String): bool {{ return this.username == name; }}
+  method isEnabled(): bool {{ return Str.len(this.username) > 0; }}
+  method getForwards(): {fwd_ty}[] {{ return this.forwardAddresses; }}
+  method setForwardedAddresses(f: {fwd_ty}[]): void {{ this.forwardAddresses = f; }}
+{vacation_methods}}}
+"
+    )
+}
+
+const EMAIL_ADDRESS: &str = "class EmailAddress {
+  field username: String;
+  field domain: String;
+  ctor(u: String, d: String) { this.username = u; this.domain = d; }
+  method render(): String { return this.username + \"@\" + this.domain; }
+}
+";
+
+fn mail_message(v: usize) -> String {
+    let size_field = if v >= 2 { "  field sizeBytes: int;\n" } else { "" };
+    let ctor_extra = if v >= 2 { "    this.sizeBytes = Str.len(b);\n" } else { "" };
+    let size_method =
+        if v >= 2 { "  method size(): int { return this.sizeBytes; }\n" } else { "" };
+    format!(
+        "class MailMessage {{
+  field sender: String;
+  field to: String;
+  field body: String;
+{size_field}  ctor(f: String, t: String, b: String) {{
+    this.sender = f;
+    this.to = t;
+    this.body = b;
+{ctor_extra}  }}
+  method recipient(): String {{ return this.to; }}
+{size_method}}}
+"
+    )
+}
+
+fn mailbox(v: usize) -> String {
+    let last_delivery = if v >= 8 { "  field lastDelivery: int;\n" } else { "" };
+    // newestIndex is added in 1.3.4 and deleted again in 1.4 (a method
+    // deletion, as the paper's 1.4 row records).
+    let newest = if v == 8 {
+        "  method newestIndex(): int { return this.count - 1; }\n"
+    } else {
+        ""
+    };
+    let add_body = if v >= 8 {
+        "    if (this.count < 16) {
+      this.messages[this.count] = m;
+      this.count = this.count + 1;
+      this.lastDelivery = Sys.time();
+    }"
+    } else {
+        "    if (this.count < 16) {
+      this.messages[this.count] = m;
+      this.count = this.count + 1;
+    }"
+    };
+    format!(
+        "class Mailbox {{
+  field owner: String;
+  field messages: MailMessage[];
+  field count: int;
+{last_delivery}  ctor(o: String) {{
+    this.owner = o;
+    this.messages = new MailMessage[16];
+    this.count = 0;
+  }}
+  method ownerName(): String {{ return this.owner; }}
+  method size(): int {{ return this.count; }}
+  method add(m: MailMessage): void {{
+{add_body}
+  }}
+{newest}}}
+"
+    )
+}
+
+fn mail_store(v: usize) -> String {
+    let deliver = match v {
+        0..=1 => {
+            "  static method deliver(m: MailMessage): bool {
+    var box: Mailbox = MailStore.findBox(m.recipient());
+    if (box == null) { return false; }
+    box.add(m);
+    return true;
+  }"
+        }
+        _ => {
+            "  static method deliver(m: MailMessage, priority: int): bool {
+    var box: Mailbox = MailStore.findBox(m.recipient());
+    if (box == null) { return false; }
+    box.add(m);
+    return true;
+  }"
+        }
+    };
+    let find_user = match v {
+        0..=2 => {
+            "  static method findUser(name: String): User {
+    var i: int = 0;
+    while (i < MailStore.nusers) {
+      if (MailStore.users[i].matches(name)) { return MailStore.users[i]; }
+      i = i + 1;
+    }
+    return null;
+  }"
+        }
+        _ => {
+            "  static method findUser(name: String): User {
+    var key: String = Str.trim(name);
+    var i: int = 0;
+    while (i < MailStore.nusers) {
+      if (MailStore.users[i].matches(key)) { return MailStore.users[i]; }
+      i = i + 1;
+    }
+    return null;
+  }"
+        }
+    };
+    let box_count_all = if v >= 8 {
+        "  static method boxCountAll(): int {
+    var total: int = 0;
+    var i: int = 0;
+    while (i < MailStore.nusers) {
+      total = total + MailStore.boxes[i].size();
+      i = i + 1;
+    }
+    return total;
+  }
+"
+    } else {
+        ""
+    };
+    format!(
+        "class MailStore {{
+  static field users: User[];
+  static field boxes: Mailbox[];
+  static field nusers: int;
+  static method init(): void {{
+    MailStore.users = new User[8];
+    MailStore.boxes = new Mailbox[8];
+    MailStore.nusers = 0;
+  }}
+  static method addUser(u: User): void {{
+    MailStore.users[MailStore.nusers] = u;
+    MailStore.boxes[MailStore.nusers] = new Mailbox(u.getName());
+    MailStore.nusers = MailStore.nusers + 1;
+  }}
+{find_user}
+  static method findBox(owner: String): Mailbox {{
+    var i: int = 0;
+    while (i < MailStore.nusers) {{
+      if (MailStore.boxes[i].ownerName() == owner) {{ return MailStore.boxes[i]; }}
+      i = i + 1;
+    }}
+    return null;
+  }}
+{deliver}
+{box_count_all}}}
+"
+    )
+}
+
+/// Stable forever: the delivery queue the always-running sender thread
+/// depends on.
+const OUT_QUEUE: &str = "class OutQueue {
+  static field items: MailMessage[];
+  static field head: int;
+  static field tail: int;
+  static field size: int;
+  static field cap: int;
+  static method init(c: int): void {
+    OutQueue.items = new MailMessage[c];
+    OutQueue.cap = c;
+    OutQueue.head = 0;
+    OutQueue.tail = 0;
+    OutQueue.size = 0;
+  }
+  static method push(m: MailMessage): bool {
+    if (OutQueue.size >= OutQueue.cap) { return false; }
+    OutQueue.items[OutQueue.tail] = m;
+    OutQueue.tail = (OutQueue.tail + 1) % OutQueue.cap;
+    OutQueue.size = OutQueue.size + 1;
+    return true;
+  }
+  static method pop(): MailMessage {
+    if (OutQueue.size == 0) { return null; }
+    var m: MailMessage = OutQueue.items[OutQueue.head];
+    OutQueue.items[OutQueue.head] = null;
+    OutQueue.head = (OutQueue.head + 1) % OutQueue.cap;
+    OutQueue.size = OutQueue.size - 1;
+    return m;
+  }
+}
+";
+
+fn delivery(v: usize) -> String {
+    let body = match v {
+        0..=1 => "    return MailStore.deliver(m);",
+        2..=6 => "    return MailStore.deliver(m, 0);",
+        _ => {
+            "    if (m == null) { return false; }
+    return MailStore.deliver(m, 0);"
+        }
+    };
+    format!(
+        "class Delivery {{
+  static method deliver(m: MailMessage): bool {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+fn smtp_session(v: usize) -> String {
+    let body = match v {
+        0 => {
+            "    while (true) {
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      var parts: String[] = Str.split(line, \" \");
+      if (parts[0] == \"QUIT\") { Net.write(conn, \"221 bye\"); Net.close(conn); return; }
+      if (parts[0] == \"SEND\" && parts.length >= 4) {
+        var m: MailMessage = new MailMessage(parts[1], parts[2], parts[3]);
+        var ok: bool = OutQueue.push(m);
+        if (ok) { Net.write(conn, \"250 ok\"); } else { Net.write(conn, \"451 busy\"); }
+      } else {
+        Net.write(conn, \"500 bad\");
+      }
+    }"
+        }
+        1..=2 => {
+            "    while (true) {
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      var parts: String[] = Str.split(Str.trim(line), \" \");
+      if (parts[0] == \"QUIT\") { Net.write(conn, \"221 bye\"); Net.close(conn); return; }
+      if (parts[0] == \"SEND\" && parts.length >= 4) {
+        var m: MailMessage = new MailMessage(parts[1], parts[2], parts[3]);
+        var ok: bool = OutQueue.push(m);
+        if (ok) { Net.write(conn, \"250 ok\"); } else { Net.write(conn, \"451 busy\"); }
+      } else {
+        Net.write(conn, \"500 bad\");
+      }
+    }"
+        }
+        3 => {
+            "    while (true) {
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      var parts: String[] = Str.split(Str.trim(line), \" \");
+      if (parts[0] == \"QUIT\" || parts[0] == \"quit\") {
+        Net.write(conn, \"221 bye\");
+        Net.close(conn);
+        return;
+      }
+      if (parts[0] == \"SEND\" && parts.length >= 4) {
+        var m: MailMessage = new MailMessage(parts[1], parts[2], parts[3]);
+        var ok: bool = OutQueue.push(m);
+        if (ok) { Net.write(conn, \"250 ok\"); } else { Net.write(conn, \"451 busy\"); }
+      } else {
+        Net.write(conn, \"500 bad\");
+      }
+    }"
+        }
+        4 => {
+            "    while (true) {
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      if (Str.len(line) > FileConfig.maxLine) { Net.write(conn, \"500 too long\"); }
+      var parts: String[] = Str.split(Str.trim(line), \" \");
+      if (parts[0] == \"QUIT\" || parts[0] == \"quit\") {
+        Net.write(conn, \"221 bye\");
+        Net.close(conn);
+        return;
+      }
+      if (parts[0] == \"SEND\" && parts.length >= 4) {
+        var m: MailMessage = new MailMessage(parts[1], parts[2], parts[3]);
+        var ok: bool = OutQueue.push(m);
+        if (ok) { Net.write(conn, \"250 ok\"); } else { Net.write(conn, \"451 busy\"); }
+      } else {
+        Net.write(conn, \"500 bad\");
+      }
+    }"
+        }
+        5..=6 => {
+            "    while (true) {
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      if (Str.len(line) > FileConfig.maxLine) { Net.write(conn, \"500 too long\"); }
+      var parts: String[] = Str.split(Str.trim(line), \" \");
+      if (parts[0] == \"QUIT\" || parts[0] == \"quit\") {
+        Net.write(conn, \"221 closing\");
+        Net.close(conn);
+        return;
+      }
+      if (parts[0] == \"SEND\" && parts.length >= 4) {
+        var m: MailMessage = new MailMessage(parts[1], parts[2], parts[3]);
+        var ok: bool = OutQueue.push(m);
+        if (ok) { Net.write(conn, \"250 ok\"); } else { Net.write(conn, \"451 busy\"); }
+      } else {
+        Net.write(conn, \"500 bad\");
+      }
+    }"
+        }
+        _ => {
+            "    while (true) {
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); return; }
+      if (Str.len(line) > FileConfig.maxLine) { Net.write(conn, \"500 too long\"); }
+      var parts: String[] = Str.split(Str.trim(line), \" \");
+      if (parts.length == 0) { Net.write(conn, \"500 bad\"); } else {
+        if (parts[0] == \"QUIT\" || parts[0] == \"quit\") {
+          Net.write(conn, \"221 closing\");
+          Net.close(conn);
+          return;
+        }
+        if (parts[0] == \"SEND\" && parts.length >= 4) {
+          var m: MailMessage = new MailMessage(parts[1], parts[2], parts[3]);
+          var ok: bool = OutQueue.push(m);
+          if (ok) { Net.write(conn, \"250 ok\"); } else { Net.write(conn, \"451 busy\"); }
+        } else {
+          Net.write(conn, \"500 bad\");
+        }
+      }
+    }"
+        }
+    };
+    format!(
+        "class SmtpSession {{
+  static method handle(conn: int): void {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+fn pop3_session(v: usize) -> String {
+    let fwd_branch = match v {
+        0..=5 => {
+            "      if (parts[0] == \"FWD\") {
+        var f: String[] = u.getForwards();
+        if (f == null || f.length == 0) { Net.write(conn, \"+OK none\"); }
+        else { Net.write(conn, \"+OK \" + f[0]); }
+      } else {
+        Net.write(conn, \"-ERR bad\");
+      }"
+        }
+        _ => {
+            "      if (parts[0] == \"FWD\") {
+        var f: EmailAddress[] = u.getForwards();
+        if (f == null || f.length == 0) { Net.write(conn, \"+OK none\"); }
+        else { Net.write(conn, \"+OK \" + f[0].render()); }
+      } else {
+        Net.write(conn, \"-ERR bad\");
+      }"
+        }
+    };
+    let list_branch = match v {
+        0 => {
+            "      if (parts[0] == \"LIST\") {
+        var box: Mailbox = MailStore.findBox(u.getName());
+        if (box == null) { Net.write(conn, \"-ERR nobox\"); }
+        else { Net.write(conn, \"+OK \" + Str.fromInt(box.size())); }
+      } else"
+        }
+        1..=6 => {
+            "      if (parts[0] == \"LIST\" || parts[0] == \"STAT\") {
+        var box: Mailbox = MailStore.findBox(u.getName());
+        if (box == null) { Net.write(conn, \"-ERR nobox\"); }
+        else { Net.write(conn, \"+OK \" + Str.fromInt(box.size())); }
+      } else"
+        }
+        _ => {
+            "      if (parts[0] == \"LIST\" || parts[0] == \"STAT\") {
+        var box: Mailbox = MailStore.findBox(u.getName());
+        if (box == null) { Net.write(conn, \"-ERR nobox\"); }
+        else { Net.write(conn, \"+OK \" + u.getName() + \" \" + Str.fromInt(box.size())); }
+      } else"
+        }
+    };
+    let vac_branch = if v >= 9 {
+        "      if (parts[0] == \"VAC\") {
+        if (u.vacationActive()) { Net.write(conn, \"+OK away\"); }
+        else { Net.write(conn, \"+OK here\"); }
+      } else"
+    } else {
+        ""
+    };
+    format!(
+        "class Pop3Session {{
+  static method auth(conn: int): User {{
+    var line: String = Net.readLine(conn);
+    if (line == null) {{ return null; }}
+    var parts: String[] = Str.split(Str.trim(line), \" \");
+    if (parts.length >= 2 && parts[0] == \"USER\") {{
+      var u: User = MailStore.findUser(parts[1]);
+      if (u != null) {{ Net.write(conn, \"+OK\"); return u; }}
+    }}
+    Net.write(conn, \"-ERR\");
+    return null;
+  }}
+  static method serve(conn: int, u: User): void {{
+    while (true) {{
+      var line: String = Net.readLine(conn);
+      if (line == null) {{ Net.close(conn); return; }}
+      var parts: String[] = Str.split(Str.trim(line), \" \");
+      if (parts[0] == \"QUIT\") {{ Net.write(conn, \"+OK bye\"); Net.close(conn); return; }}
+{vac_branch}
+{list_branch}
+{fwd_branch}
+    }}
+  }}
+}}
+"
+    )
+}
+
+fn processors(v: usize) -> String {
+    let reload_check = if v >= 4 {
+        "      if (FileConfig.reloadFlag > 0) {
+        FileConfig.reloadFlag = 0;
+        ConfigurationManager.load();
+      }
+"
+    } else {
+        ""
+    };
+    format!(
+        "class SMTPProcessor {{
+  field port: int;
+  ctor(p: int) {{ this.port = p; }}
+  method run(): void {{
+    var l: int = Net.listen(this.port);
+    while (true) {{
+{reload_check}      var c: int = Net.accept(l);
+      SmtpSession.handle(c);
+    }}
+  }}
+}}
+class Pop3Processor {{
+  field port: int;
+  ctor(p: int) {{ this.port = p; }}
+  method run(): void {{
+    var l: int = Net.listen(this.port);
+    while (true) {{
+{reload_check}      var c: int = Net.accept(l);
+      var u: User = Pop3Session.auth(c);
+      if (u != null) {{
+        if (u.isEnabled()) {{ Pop3Session.serve(c, u); }} else {{ Net.close(c); }}
+      }} else {{
+        Net.close(c);
+      }}
+    }}
+  }}
+}}
+class SMTPSender {{
+  ctor() {{ }}
+  method run(): void {{
+    while (true) {{
+{reload_check}      Sys.sleep(20);
+      var m: MailMessage = OutQueue.pop();
+      if (m != null) {{
+        if (m.recipient() != null) {{ Delivery.deliver(m); }}
+      }}
+    }}
+  }}
+}}
+"
+    )
+}
+
+fn configuration_manager(v: usize) -> String {
+    let body = match v {
+        0 => {
+            "    MailStore.init();
+    var alice: User = new User(\"alice\", \"example.com\", \"secret\");
+    var fwd: String[] = new String[1];
+    fwd[0] = \"carol@ext.example.org\";
+    alice.setForwardedAddresses(fwd);
+    MailStore.addUser(alice);
+    var bob: User = new User(\"bob\", \"example.com\", \"hunter2\");
+    MailStore.addUser(bob);"
+        }
+        1..=3 => {
+            "    MailStore.init();
+    var alice: User = new User(\"alice\", \"example.com\", \"secret\");
+    var fwd: String[] = new String[1];
+    fwd[0] = \"carol@ext.example.org\";
+    alice.setForwardedAddresses(fwd);
+    MailStore.addUser(alice);
+    var bob: User = new User(\"bob\", \"example.com\", \"hunter2\");
+    MailStore.addUser(bob);
+    var carol: User = new User(\"carol\", \"example.com\", \"pass3\");
+    MailStore.addUser(carol);"
+        }
+        4 => {
+            "    FileConfig.load();
+    MailStore.init();
+    var alice: User = new User(\"alice\", \"example.com\", \"secret\");
+    var fwd: String[] = new String[1];
+    fwd[0] = \"carol@ext.example.org\";
+    alice.setForwardedAddresses(fwd);
+    MailStore.addUser(alice);
+    var bob: User = new User(\"bob\", \"example.com\", \"hunter2\");
+    MailStore.addUser(bob);
+    var carol: User = new User(\"carol\", \"example.com\", \"pass3\");
+    MailStore.addUser(carol);"
+        }
+        5 => {
+            "    FileConfig.load();
+    MailStore.init();
+    var alice: User = new User(\"alice\", \"example.com\", \"secret\");
+    var fwd: String[] = new String[2];
+    fwd[0] = \"carol@ext.example.org\";
+    fwd[1] = \"dave@ext.example.org\";
+    alice.setForwardedAddresses(fwd);
+    MailStore.addUser(alice);
+    var bob: User = new User(\"bob\", \"example.com\", \"hunter2\");
+    MailStore.addUser(bob);
+    var carol: User = new User(\"carol\", \"example.com\", \"pass3\");
+    MailStore.addUser(carol);"
+        }
+        6..=8 => {
+            "    FileConfig.load();
+    MailStore.init();
+    var alice: User = new User(\"alice\", \"example.com\", \"secret\");
+    var fwd: EmailAddress[] = new EmailAddress[2];
+    fwd[0] = new EmailAddress(\"carol\", \"ext.example.org\");
+    fwd[1] = new EmailAddress(\"dave\", \"ext.example.org\");
+    alice.setForwardedAddresses(fwd);
+    MailStore.addUser(alice);
+    var bob: User = new User(\"bob\", \"example.com\", \"hunter2\");
+    MailStore.addUser(bob);
+    var carol: User = new User(\"carol\", \"example.com\", \"pass3\");
+    MailStore.addUser(carol);"
+        }
+        _ => {
+            "    FileConfig.load();
+    MailStore.init();
+    var alice: User = new User(\"alice\", \"example.com\", \"secret\");
+    var fwd: EmailAddress[] = new EmailAddress[2];
+    fwd[0] = new EmailAddress(\"carol\", \"ext.example.org\");
+    fwd[1] = new EmailAddress(\"dave\", \"ext.example.org\");
+    alice.setForwardedAddresses(fwd);
+    alice.setVacation(\"on leave\");
+    MailStore.addUser(alice);
+    var bob: User = new User(\"bob\", \"example.com\", \"hunter2\");
+    MailStore.addUser(bob);
+    var carol: User = new User(\"carol\", \"example.com\", \"pass3\");
+    MailStore.addUser(carol);"
+        }
+    };
+    format!(
+        "class ConfigurationManager {{
+  static method load(): void {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+const GUI_ADMIN: &str = "class GuiAdmin {
+  static method banner(): String { return \"admin console\"; }
+}
+";
+
+const FILE_CONFIG: &str = "class FileConfig {
+  static field maxLine: int;
+  static field reloadFlag: int;
+  static method load(): void {
+    FileConfig.maxLine = 1024;
+    FileConfig.reloadFlag = 0;
+  }
+}
+";
+
+const CONFIG_WATCHER: &str = "class ConfigWatcher {
+  static method requestReload(): void { FileConfig.reloadFlag = 1; }
+}
+";
+
+fn email_server_main(v: usize) -> String {
+    let body = if v >= 4 {
+        "    FileConfig.load();
+    ConfigurationManager.load();
+    OutQueue.init(32);
+    Sys.spawn(new SMTPProcessor(2525));
+    Sys.spawn(new Pop3Processor(1100));
+    Sys.spawn(new SMTPSender());"
+    } else {
+        "    ConfigurationManager.load();
+    OutQueue.init(32);
+    Sys.spawn(new SMTPProcessor(2525));
+    Sys.spawn(new Pop3Processor(1100));
+    Sys.spawn(new SMTPSender());"
+    };
+    format!(
+        "class EmailServer {{
+  static method main(): void {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::GuestApp;
+
+    #[test]
+    fn every_version_compiles() {
+        for v in Emailserver.versions() {
+            v.compile();
+        }
+    }
+
+    #[test]
+    fn consecutive_versions_differ() {
+        let versions = Emailserver.versions();
+        for w in versions.windows(2) {
+            assert_ne!(w[0].source, w[1].source, "{} vs {}", w[0].label, w[1].label);
+        }
+    }
+
+    #[test]
+    fn figure3_transformer_names_the_renamed_class() {
+        assert!(FIGURE3_TRANSFORMER.contains("v132_User"));
+        assert_eq!(prefix_of("1.3.2"), "v132_");
+    }
+}

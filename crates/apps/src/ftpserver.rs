@@ -1,0 +1,533 @@
+//! The `ftpserver` guest application — the reproduction's CrossFTP.
+//!
+//! Four releases, 1.05 through 1.08, preserving the kind structure of the
+//! paper's Table 4 (every update adds or deletes fields, so none is
+//! E&C-supportable):
+//!
+//! | update | classification | notes |
+//! |---|---|---|
+//! | 1.06 | class update | four classes added, `LegacyAuth` deleted, `FtpConfig` grows a field |
+//! | 1.07 | class update | `UserDb`/`Perms`/`FtpSession` gain members; OSR lifts the session threads' `run()` |
+//! | 1.08 | class update | **`RequestHandler.run` itself changes**: applies only when the server is idle — with active sessions the run frames never leave the stacks (paper §4.4) |
+//!
+//! Protocol (port 2121): `USER <name> <pass>`, `LIST`, `RETR <path>`,
+//! `QUIT`; each connection is served by its own spawned `RequestHandler`
+//! thread, the structure that makes 1.08 busy-sensitive.
+
+use crate::common::{prefix_of, AppVersion, GuestApp};
+
+/// FTP port.
+pub const PORT: u16 = 2121;
+
+/// The ftpserver application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ftpserver;
+
+impl GuestApp for Ftpserver {
+    fn name(&self) -> &'static str {
+        "ftpserver"
+    }
+    fn port(&self) -> u16 {
+        PORT
+    }
+    fn main_class(&self) -> &'static str {
+        "FtpServer"
+    }
+    fn versions(&self) -> Vec<AppVersion> {
+        (0..=3)
+            .map(|v| {
+                let label = LABELS[v];
+                AppVersion {
+                    label,
+                    prefix: Box::leak(prefix_of(label).into_boxed_str()),
+                    source: source(v),
+                }
+            })
+            .collect()
+    }
+    fn expected_failures(&self) -> Vec<&'static str> {
+        // 1.08 only fails under load; the idle update applies (paper §4.4).
+        Vec::new()
+    }
+}
+
+const LABELS: [&str; 4] = ["1.05", "1.06", "1.07", "1.08"];
+
+/// Full MJ source of version index `v` (0 = 1.05).
+pub fn source(v: usize) -> String {
+    assert!(v <= 3, "ftpserver has versions 0..=3");
+    let mut src = String::new();
+    src.push_str(&ftp_config(v));
+    src.push_str(&file_system(v));
+    src.push_str(&user_db(v));
+    src.push_str(&perms(v));
+    src.push_str(COMMAND_PARSER);
+    src.push_str(TRANSFER_LOG);
+    if v == 0 {
+        src.push_str(LEGACY_AUTH);
+    }
+    if v >= 1 {
+        src.push_str(TRANSFER_STATS);
+        src.push_str(THROTTLE);
+        src.push_str(BANNER);
+        src.push_str(MSG_CATALOG);
+    }
+    src.push_str(&ftp_session(v));
+    src.push_str(&request_handler(v));
+    src.push_str(LISTENER);
+    src.push_str(FTP_SERVER);
+    src
+}
+
+fn ftp_config(v: usize) -> String {
+    match v {
+        0 => "class FtpConfig {
+  static field port: int;
+  static field maxSessions: int;
+  static method init(): void {
+    FtpConfig.port = 2121;
+    FtpConfig.maxSessions = 8;
+  }
+}
+"
+        .to_string(),
+        1..=2 => "class FtpConfig {
+  static field port: int;
+  static field maxSessions: int;
+  static field welcomeShown: int;
+  static method init(): void {
+    FtpConfig.port = 2121;
+    FtpConfig.maxSessions = 8;
+    FtpConfig.welcomeShown = 0;
+  }
+}
+"
+        .to_string(),
+        _ => "class FtpConfig {
+  static field port: int;
+  static field maxSessions: int;
+  static method init(): void {
+    FtpConfig.port = 2121;
+    FtpConfig.maxSessions = 16;
+  }
+}
+"
+        .to_string(),
+    }
+}
+
+fn file_system(v: usize) -> String {
+    let init_body = match v {
+        0 => {
+            "    FileSystem.paths = new String[8];
+    FileSystem.contents = new String[8];
+    FileSystem.count = 0;
+    FileSystem.put(\"/motd.txt\", \"welcome aboard\");
+    FileSystem.put(\"/report.csv\", \"a,b,c\");"
+        }
+        _ => {
+            "    FileSystem.paths = new String[8];
+    FileSystem.contents = new String[8];
+    FileSystem.count = 0;
+    FileSystem.put(\"/motd.txt\", \"welcome aboard\");
+    FileSystem.put(\"/report.csv\", \"a,b,c\");
+    FileSystem.put(\"/readme.txt\", \"see docs\");"
+        }
+    };
+    let put_body = match v {
+        0 => {
+            "    FileSystem.paths[FileSystem.count] = p;
+    FileSystem.contents[FileSystem.count] = c;
+    FileSystem.count = FileSystem.count + 1;"
+        }
+        _ => {
+            "    if (FileSystem.count < 8) {
+      FileSystem.paths[FileSystem.count] = p;
+      FileSystem.contents[FileSystem.count] = c;
+      FileSystem.count = FileSystem.count + 1;
+    }"
+        }
+    };
+    let lookup_body = match v {
+        0 => {
+            "    var i: int = 0;
+    while (i < FileSystem.count) {
+      if (FileSystem.paths[i] == p) { return FileSystem.contents[i]; }
+      i = i + 1;
+    }
+    return null;"
+        }
+        1 => {
+            "    var key: String = Str.trim(p);
+    var i: int = 0;
+    while (i < FileSystem.count) {
+      if (FileSystem.paths[i] == key) { return FileSystem.contents[i]; }
+      i = i + 1;
+    }
+    return null;"
+        }
+        _ => {
+            "    var key: String = Str.trim(p);
+    if (Str.len(key) == 0) { return null; }
+    var i: int = 0;
+    while (i < FileSystem.count) {
+      if (FileSystem.paths[i] == key) { return FileSystem.contents[i]; }
+      i = i + 1;
+    }
+    return null;"
+        }
+    };
+    let exists = if v >= 3 {
+        "  static method exists(p: String): bool { return FileSystem.lookup(p) != null; }\n"
+    } else {
+        ""
+    };
+    format!(
+        "class FileSystem {{
+  static field paths: String[];
+  static field contents: String[];
+  static field count: int;
+  static method init(): void {{
+{init_body}
+  }}
+  static method put(p: String, c: String): void {{
+{put_body}
+  }}
+  static method lookup(p: String): String {{
+{lookup_body}
+  }}
+{exists}}}
+"
+    )
+}
+
+fn user_db(v: usize) -> String {
+    let lockout = if v >= 2 {
+        "  static field attempts: int[];
+  static method recordAttempt(i: int): void {
+    if (UserDb.attempts == null) { UserDb.attempts = new int[8]; }
+    UserDb.attempts[i] = UserDb.attempts[i] + 1;
+  }
+  static method isLocked(i: int): bool {
+    if (UserDb.attempts == null) { return false; }
+    return UserDb.attempts[i] > 5;
+  }
+"
+    } else {
+        ""
+    };
+    let check_body = match v {
+        0..=1 => {
+            "    var i: int = 0;
+    while (i < UserDb.n) {
+      if (UserDb.names[i] == name && UserDb.passwords[i] == pass) { return true; }
+      i = i + 1;
+    }
+    return false;"
+        }
+        _ => {
+            "    var i: int = 0;
+    while (i < UserDb.n) {
+      if (UserDb.names[i] == name) {
+        if (UserDb.isLocked(i)) { return false; }
+        if (UserDb.passwords[i] == pass) { return true; }
+        UserDb.recordAttempt(i);
+        return false;
+      }
+      i = i + 1;
+    }
+    return false;"
+        }
+    };
+    format!(
+        "class UserDb {{
+  static field names: String[];
+  static field passwords: String[];
+  static field n: int;
+{lockout}  static method init(): void {{
+    UserDb.names = new String[8];
+    UserDb.passwords = new String[8];
+    UserDb.n = 0;
+    UserDb.add(\"admin\", \"adminpw\");
+    UserDb.add(\"guest\", \"guestpw\");
+  }}
+  static method add(name: String, pass: String): void {{
+    UserDb.names[UserDb.n] = name;
+    UserDb.passwords[UserDb.n] = pass;
+    UserDb.n = UserDb.n + 1;
+  }}
+  static method check(name: String, pass: String): bool {{
+{check_body}
+  }}
+}}
+"
+    )
+}
+
+fn perms(v: usize) -> String {
+    match v {
+        0..=1 => "class Perms {
+  static method canRead(user: String, path: String): bool {
+    if (user == null) { return false; }
+    return !Str.contains(path, \"secret\");
+  }
+}
+"
+        .to_string(),
+        2 => "class Perms {
+  static field strictMode: int;
+  static method setStrict(on: int): void { Perms.strictMode = on; }
+  static method canRead(user: String, path: String): bool {
+    if (user == null) { return false; }
+    if (Perms.strictMode > 0 && Str.contains(path, \".cfg\")) { return false; }
+    return !Str.contains(path, \"secret\");
+  }
+}
+"
+        .to_string(),
+        _ => "class Perms {
+  static method canRead(user: String, path: String): bool {
+    if (user == null) { return false; }
+    if (Str.contains(path, \".cfg\")) { return false; }
+    return !Str.contains(path, \"secret\");
+  }
+}
+"
+        .to_string(),
+    }
+}
+
+const COMMAND_PARSER: &str = "class CommandParser {
+  static method parse(line: String): String[] {
+    return Str.split(Str.trim(line), \" \");
+  }
+}
+";
+
+const TRANSFER_LOG: &str = "class TransferLog {
+  static field transfers: int;
+  static method record(path: String): void {
+    TransferLog.transfers = TransferLog.transfers + 1;
+  }
+}
+";
+
+const LEGACY_AUTH: &str = "class LegacyAuth {
+  static method check(name: String): bool { return Str.len(name) > 0; }
+}
+";
+
+const TRANSFER_STATS: &str = "class TransferStats {
+  static field bytes: int;
+  static field files: int;
+  static method record(n: int): void {
+    TransferStats.bytes = TransferStats.bytes + n;
+    TransferStats.files = TransferStats.files + 1;
+  }
+}
+";
+
+const THROTTLE: &str = "class Throttle {
+  static field delayMs: int;
+  static method apply(): void {
+    if (Throttle.delayMs > 0) { Sys.sleep(Throttle.delayMs); }
+  }
+}
+";
+
+const BANNER: &str = "class Banner {
+  static method text(): String { return \"220 crossftp ready\"; }
+}
+";
+
+const MSG_CATALOG: &str = "class MsgCatalog {
+  static method msg(code: int): String {
+    if (code == 221) { return \"221 bye\"; }
+    if (code == 230) { return \"230 ok\"; }
+    if (code == 530) { return \"530 bad\"; }
+    return \"500 err\";
+  }
+}
+";
+
+fn ftp_session(v: usize) -> String {
+    let login_time = if v >= 2 { "  field loginTime: int;\n" } else { "" };
+    let ctor_body = if v >= 2 {
+        "    this.authed = 0;\n    this.loginTime = 0;"
+    } else {
+        "    this.authed = 0;"
+    };
+    let auth_body = match v {
+        0..=1 => {
+            "    if (UserDb.check(name, pass)) {
+      this.user = name;
+      this.authed = 1;
+      return true;
+    }
+    return false;"
+        }
+        _ => {
+            "    if (UserDb.check(name, pass)) {
+      this.user = name;
+      this.authed = 1;
+      this.loginTime = Sys.time();
+      return true;
+    }
+    return false;"
+        }
+    };
+    format!(
+        "class FtpSession {{
+  field user: String;
+  field authed: int;
+{login_time}  ctor() {{
+{ctor_body}
+  }}
+  method authenticate(name: String, pass: String): bool {{
+{auth_body}
+  }}
+  method isAuthed(): bool {{ return this.authed > 0; }}
+  method userName(): String {{ return this.user; }}
+}}
+"
+    )
+}
+
+fn request_handler(v: usize) -> String {
+    // The session body is identical for 1.05–1.07 (so those updates never
+    // restrict `run`); 1.08 changes it — the paper's busy-sensitive update.
+    let run_body = match v {
+        0..=2 => {
+            "    var session: FtpSession = new FtpSession();
+    Net.write(this.conn, \"220 ready\");
+    while (true) {
+      var line: String = Net.readLine(this.conn);
+      if (line == null) { Net.close(this.conn); return; }
+      var parts: String[] = CommandParser.parse(line);
+      if (parts[0] == \"QUIT\") { Net.write(this.conn, \"221 bye\"); Net.close(this.conn); return; }
+      if (parts[0] == \"USER\" && parts.length >= 3) {
+        if (session.authenticate(parts[1], parts[2])) { Net.write(this.conn, \"230 ok\"); }
+        else { Net.write(this.conn, \"530 bad\"); }
+      } else {
+        if (!session.isAuthed()) { Net.write(this.conn, \"530 login first\"); } else {
+          if (parts[0] == \"LIST\") {
+            Net.write(this.conn, \"150 \" + Str.fromInt(FileSystem.count) + \" files\");
+          } else {
+            if (parts[0] == \"RETR\" && parts.length >= 2) {
+              if (!Perms.canRead(session.userName(), parts[1])) { Net.write(this.conn, \"550 denied\"); }
+              else {
+                var content: String = FileSystem.lookup(parts[1]);
+                if (content == null) { Net.write(this.conn, \"550 missing\"); }
+                else { TransferLog.record(parts[1]); Net.write(this.conn, \"226 \" + content); }
+              }
+            } else {
+              Net.write(this.conn, \"500 err\");
+            }
+          }
+        }
+      }
+    }"
+        }
+        _ => {
+            "    var session: FtpSession = new FtpSession();
+    Net.write(this.conn, \"220 ready\");
+    while (true) {
+      var line: String = Net.readLine(this.conn);
+      if (line == null) { Net.close(this.conn); return; }
+      Throttle.apply();
+      var parts: String[] = CommandParser.parse(line);
+      if (parts[0] == \"QUIT\") { Net.write(this.conn, \"221 bye\"); Net.close(this.conn); return; }
+      if (parts[0] == \"USER\" && parts.length >= 3) {
+        if (session.authenticate(parts[1], parts[2])) { Net.write(this.conn, \"230 ok\"); }
+        else { Net.write(this.conn, \"530 bad\"); }
+      } else {
+        if (!session.isAuthed()) { Net.write(this.conn, \"530 login first\"); } else {
+          if (parts[0] == \"LIST\") {
+            Net.write(this.conn, \"150 \" + Str.fromInt(FileSystem.count) + \" files\");
+          } else {
+            if (parts[0] == \"RETR\" && parts.length >= 2) {
+              if (!Perms.canRead(session.userName(), parts[1])) { Net.write(this.conn, \"550 denied\"); }
+              else {
+                var content: String = FileSystem.lookup(parts[1]);
+                if (content == null) { Net.write(this.conn, \"550 missing\"); }
+                else {
+                  TransferLog.record(parts[1]);
+                  TransferStats.record(Str.len(content));
+                  Net.write(this.conn, \"226 \" + content);
+                }
+              }
+            } else {
+              Net.write(this.conn, \"500 err\");
+            }
+          }
+        }
+      }
+    }"
+        }
+    };
+    format!(
+        "class RequestHandler {{
+  field conn: int;
+  ctor(c: int) {{ this.conn = c; }}
+  method run(): void {{
+{run_body}
+  }}
+}}
+"
+    )
+}
+
+/// Stable forever: spawns one handler thread per connection.
+const LISTENER: &str = "class Listener {
+  static method acceptLoop(l: int): void {
+    while (true) {
+      var c: int = Net.accept(l);
+      Sys.spawn(new RequestHandler(c));
+    }
+  }
+  static method start(): void {
+    var l: int = Net.listen(FtpConfig.port);
+    Listener.acceptLoop(l);
+  }
+}
+";
+
+const FTP_SERVER: &str = "class FtpServer {
+  static method main(): void {
+    FtpConfig.init();
+    FileSystem.init();
+    UserDb.init();
+    Listener.start();
+  }
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::GuestApp;
+
+    #[test]
+    fn every_version_compiles() {
+        for v in Ftpserver.versions() {
+            v.compile();
+        }
+    }
+
+    #[test]
+    fn consecutive_versions_differ() {
+        let versions = Ftpserver.versions();
+        for w in versions.windows(2) {
+            assert_ne!(w[0].source, w[1].source, "{} vs {}", w[0].label, w[1].label);
+        }
+    }
+
+    #[test]
+    fn run_body_is_stable_until_108() {
+        // The paper's key structural property: RequestHandler.run only
+        // changes in the 1.08 update.
+        assert_eq!(request_handler(0), request_handler(1));
+        assert_eq!(request_handler(1), request_handler(2));
+        assert_ne!(request_handler(2), request_handler(3));
+    }
+}

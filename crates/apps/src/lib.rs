@@ -1,0 +1,33 @@
+//! Versioned guest applications and workload drivers.
+//!
+//! Three multithreaded servers written in MJ, each with a release stream
+//! whose update-kind structure mirrors the paper's §4 benchmarks:
+//!
+//! * [`webserver`] — Jetty: 11 versions (5.1.0–5.1.10), update to 5.1.3
+//!   unsupported (always-on-stack accept loop changed);
+//! * [`emailserver`] — JavaEmailServer: 10 versions (1.2.1–1.4), update to
+//!   1.3 unsupported (always-on-stack processing loops changed), 1.3.2 is
+//!   the paper's Figure 2/3 update with its custom transformer;
+//! * [`ftpserver`] — CrossFTP: 4 versions (1.05–1.08), 1.08 applies only
+//!   when the server is idle.
+//!
+//! [`workload`] holds the host-side clients (the reproduction's httperf),
+//! and [`harness`] the shared start/update/attempt machinery used by the
+//! table benchmarks, examples and tests.
+
+pub mod common;
+pub mod emailserver;
+pub mod ftpserver;
+pub mod harness;
+pub mod webserver;
+pub mod workload;
+
+pub use common::{AppVersion, GuestApp};
+pub use emailserver::Emailserver;
+pub use ftpserver::Ftpserver;
+pub use webserver::Webserver;
+
+/// The three guest applications.
+pub fn all_apps() -> Vec<Box<dyn GuestApp>> {
+    vec![Box::new(Webserver), Box::new(Emailserver), Box::new(Ftpserver)]
+}

@@ -1,0 +1,778 @@
+//! The `webserver` guest application — the reproduction's Jetty.
+//!
+//! Eleven releases, 5.1.0 through 5.1.10, whose release-to-release diffs
+//! preserve the *kind* structure of the paper's Table 2:
+//!
+//! | update | classification | notes |
+//! |---|---|---|
+//! | 5.1.1  | method-body-only | E&C-supportable |
+//! | 5.1.2  | class update | `MimeTypes` added, `Logger.log` signature change |
+//! | 5.1.3  | class update, **unsupported** | `ThreadedServer.acceptLoop` (the paper's `acceptSocket`) and `PoolThread.run` change while always on stack |
+//! | 5.1.4  | class update | `ServerConfig` fields deleted, `AccessLog.record` signature change; OSR needed for `main` |
+//! | 5.1.5  | class update (largest) | fields + methods added across `Stats`/`Router`/`HttpResponse` |
+//! | 5.1.6  | class update | `ServerConfig` field rework; OSR needed |
+//! | 5.1.7  | class update | `FileStore` gains a response cache; OSR needed |
+//! | 5.1.8–5.1.10 | method-body-only | E&C-supportable |
+//!
+//! The server accepts single-line `GET <path>` requests on port 8080 and
+//! answers one line per request, dispatching connections to a fixed pool
+//! of worker threads through a shared queue — the same always-running
+//! accept-loop / worker-loop shape that makes the paper's 5.1.3 update
+//! impossible to time.
+
+use crate::common::{prefix_of, AppVersion, GuestApp};
+
+/// Port the webserver listens on.
+pub const PORT: u16 = 8080;
+/// Number of pool threads.
+pub const WORKERS: usize = 4;
+
+/// The webserver application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Webserver;
+
+impl GuestApp for Webserver {
+    fn name(&self) -> &'static str {
+        "webserver"
+    }
+    fn port(&self) -> u16 {
+        PORT
+    }
+    fn main_class(&self) -> &'static str {
+        "WebServer"
+    }
+    fn versions(&self) -> Vec<AppVersion> {
+        (0..=10)
+            .map(|v| {
+                let label = LABELS[v];
+                AppVersion {
+                    label,
+                    prefix: Box::leak(prefix_of(label).into_boxed_str()),
+                    source: source(v),
+                }
+            })
+            .collect()
+    }
+    fn expected_failures(&self) -> Vec<&'static str> {
+        vec!["5.1.3"]
+    }
+}
+
+const LABELS: [&str; 11] = [
+    "5.1.0", "5.1.1", "5.1.2", "5.1.3", "5.1.4", "5.1.5", "5.1.6", "5.1.7", "5.1.8", "5.1.9",
+    "5.1.10",
+];
+
+/// Full MJ source of version index `v` (0 = 5.1.0).
+pub fn source(v: usize) -> String {
+    assert!(v <= 10, "webserver has versions 0..=10");
+    let mut src = String::new();
+    src.push_str(&http_request(v));
+    src.push_str(&http_response(v));
+    src.push_str(&file_store(v));
+    src.push_str(&stats(v));
+    src.push_str(&router(v));
+    src.push_str(&static_handler(v));
+    if v >= 2 {
+        src.push_str(&mime_types(v));
+    }
+    src.push_str(&logger(v));
+    src.push_str(CONN_QUEUE);
+    src.push_str(&http_connection(v));
+    src.push_str(&pool_thread(v));
+    src.push_str(&threaded_server(v));
+    if v >= 3 {
+        src.push_str(&server_config(v));
+        src.push_str(&access_log(v));
+        src.push_str(&request_filter(v));
+    }
+    src.push_str(&web_server_main(v));
+    src
+}
+
+fn http_request(v: usize) -> String {
+    let parse_body = match v {
+        0..=4 => {
+            "    var parts: String[] = Str.split(line, \" \");
+    if (parts.length < 2) { return new HttpRequest(\"BAD\", \"/\"); }
+    return new HttpRequest(parts[0], parts[1]);"
+        }
+        5..=9 => {
+            "    var parts: String[] = Str.split(Str.trim(line), \" \");
+    if (parts.length < 2) { return new HttpRequest(\"BAD\", \"/\"); }
+    return new HttpRequest(parts[0], parts[1]);"
+        }
+        _ => {
+            "    if (Str.len(line) == 0) { return new HttpRequest(\"BAD\", \"/\"); }
+    var parts: String[] = Str.split(Str.trim(line), \" \");
+    if (parts.length < 2) { return new HttpRequest(\"BAD\", \"/\"); }
+    return new HttpRequest(parts[0], parts[1]);"
+        }
+    };
+    format!(
+        "class HttpRequest {{
+  field verb: String;
+  field path: String;
+  ctor(v: String, p: String) {{ this.verb = v; this.path = p; }}
+  static method parse(line: String): HttpRequest {{
+{parse_body}
+  }}
+}}
+"
+    )
+}
+
+fn http_response(v: usize) -> String {
+    let render_body = match v {
+        0..=8 => "    return Str.fromInt(this.status) + \" \" + this.body;",
+        _ => {
+            "    if (this.body == null) { return Str.fromInt(this.status); }
+    return Str.fromInt(this.status) + \" \" + this.body;"
+        }
+    };
+    let size_method = if v >= 5 {
+        "  method size(): int { return Str.len(this.body); }\n"
+    } else {
+        ""
+    };
+    format!(
+        "class HttpResponse {{
+  field status: int;
+  field body: String;
+  ctor(s: int, b: String) {{ this.status = s; this.body = b; }}
+  method render(): String {{
+{render_body}
+  }}
+{size_method}}}
+"
+    )
+}
+
+fn file_store(v: usize) -> String {
+    let cache = if v >= 7 {
+        "  static field cacheKeys: String[];
+  static field cacheVals: String[];
+  static field cacheCount: int;
+  static field cacheHits: int;
+  static method cacheGet(p: String): String {
+    if (FileStore.cacheKeys == null) { return null; }
+    var i: int = 0;
+    while (i < FileStore.cacheCount) {
+      if (FileStore.cacheKeys[i] == p) {
+        FileStore.cacheHits = FileStore.cacheHits + 1;
+        return FileStore.cacheVals[i];
+      }
+      i = i + 1;
+    }
+    return null;
+  }
+  static method cachePut(p: String, c: String): void {
+    if (FileStore.cacheKeys == null) {
+      FileStore.cacheKeys = new String[16];
+      FileStore.cacheVals = new String[16];
+      FileStore.cacheCount = 0;
+    }
+    if (FileStore.cacheCount < 16) {
+      FileStore.cacheKeys[FileStore.cacheCount] = p;
+      FileStore.cacheVals[FileStore.cacheCount] = c;
+      FileStore.cacheCount = FileStore.cacheCount + 1;
+    }
+  }
+"
+    } else {
+        ""
+    };
+    let lookup_body = match v {
+        0 => {
+            "    var i: int = 0;
+    while (i < FileStore.count) {
+      if (FileStore.paths[i] == p) { return FileStore.contents[i]; }
+      i = i + 1;
+    }
+    return null;"
+        }
+        1..=6 => {
+            "    var key: String = Str.trim(p);
+    var i: int = 0;
+    while (i < FileStore.count) {
+      if (FileStore.paths[i] == key) { return FileStore.contents[i]; }
+      i = i + 1;
+    }
+    return null;"
+        }
+        _ => {
+            "    var key: String = Str.trim(p);
+    var cached: String = FileStore.cacheGet(key);
+    if (cached != null) { return cached; }
+    var i: int = 0;
+    while (i < FileStore.count) {
+      if (FileStore.paths[i] == key) {
+        FileStore.cachePut(key, FileStore.contents[i]);
+        return FileStore.contents[i];
+      }
+      i = i + 1;
+    }
+    return null;"
+        }
+    };
+    format!(
+        "class FileStore {{
+  static field paths: String[];
+  static field contents: String[];
+  static field count: int;
+{cache}  static method init(): void {{
+    FileStore.paths = new String[8];
+    FileStore.contents = new String[8];
+    FileStore.count = 0;
+    FileStore.put(\"/index.html\", \"<html>welcome</html>\");
+    FileStore.put(\"/about.html\", \"<html>about us</html>\");
+    FileStore.put(\"/data.json\", \"ok:true\");
+  }}
+  static method put(p: String, c: String): void {{
+    FileStore.paths[FileStore.count] = p;
+    FileStore.contents[FileStore.count] = c;
+    FileStore.count = FileStore.count + 1;
+  }}
+  static method lookup(p: String): String {{
+{lookup_body}
+  }}
+}}
+"
+    )
+}
+
+fn stats(v: usize) -> String {
+    let bump_body = match v {
+        0 => "    Stats.requests = Stats.requests + 1;",
+        _ => {
+            "    if (Stats.requests < 1000000000) { Stats.requests = Stats.requests + 1; }"
+        }
+    };
+    let extra_fields = if v >= 5 {
+        "  static field bytesServed: int;
+  static field notFound: int;
+"
+    } else {
+        ""
+    };
+    let extra_methods = if v >= 5 {
+        "  static method bumpBytes(n: int): void { Stats.bytesServed = Stats.bytesServed + n; }
+  static method bumpNotFound(): void { Stats.notFound = Stats.notFound + 1; }
+"
+    } else {
+        ""
+    };
+    let report_body = match v {
+        0..=4 => {
+            "    return \"requests=\" + Str.fromInt(Stats.requests) + \" errors=\" + Str.fromInt(Stats.errors);"
+        }
+        5..=7 => {
+            "    return \"requests=\" + Str.fromInt(Stats.requests) + \" errors=\" + Str.fromInt(Stats.errors) + \" bytes=\" + Str.fromInt(Stats.bytesServed);"
+        }
+        _ => {
+            "    return \"requests=\" + Str.fromInt(Stats.requests) + \" errors=\" + Str.fromInt(Stats.errors) + \" bytes=\" + Str.fromInt(Stats.bytesServed) + \" notFound=\" + Str.fromInt(Stats.notFound);"
+        }
+    };
+    format!(
+        "class Stats {{
+  static field requests: int;
+  static field errors: int;
+{extra_fields}  static method bumpRequest(): void {{
+{bump_body}
+  }}
+  static method bumpError(): void {{ Stats.errors = Stats.errors + 1; }}
+{extra_methods}  static method report(): String {{
+{report_body}
+  }}
+}}
+"
+    )
+}
+
+fn router(v: usize) -> String {
+    let not_found = if v >= 5 {
+        "  static method notFound(path: String): HttpResponse {
+    Stats.bumpNotFound();
+    return new HttpResponse(404, path);
+  }
+"
+    } else {
+        ""
+    };
+    let route_body = match v {
+        0 => {
+            "    var content: String = StaticHandler.handle(req);
+    if (content == null) { Stats.bumpError(); return new HttpResponse(404, req.path); }
+    return new HttpResponse(200, content);"
+        }
+        1..=4 => {
+            "    var content: String = StaticHandler.handle(req);
+    if (content == null) {
+      Stats.bumpError();
+      return new HttpResponse(404, req.path);
+    }
+    if (req.verb == \"BAD\") { return new HttpResponse(400, req.path); }
+    return new HttpResponse(200, content);"
+        }
+        5..=9 => {
+            "    if (req.verb == \"BAD\") { return new HttpResponse(400, req.path); }
+    var content: String = StaticHandler.handle(req);
+    if (content == null) { Stats.bumpError(); return Router.notFound(req.path); }
+    return new HttpResponse(200, content);"
+        }
+        _ => {
+            "    if (req.verb == \"BAD\") { return new HttpResponse(400, req.path); }
+    if (req.path == null) { return new HttpResponse(400, \"null\"); }
+    var content: String = StaticHandler.handle(req);
+    if (content == null) { Stats.bumpError(); return Router.notFound(req.path); }
+    return new HttpResponse(200, content);"
+        }
+    };
+    format!(
+        "class Router {{
+{not_found}  static method route(req: HttpRequest): HttpResponse {{
+{route_body}
+  }}
+}}
+"
+    )
+}
+
+fn static_handler(v: usize) -> String {
+    let body = match v {
+        0..=4 => {
+            "    if (req.verb == \"GET\") { return FileStore.lookup(req.path); }
+    return null;"
+        }
+        5..=9 => {
+            "    if (req.verb == \"GET\") { return FileStore.lookup(req.path); }
+    if (req.verb == \"HEAD\") {
+      var found: String = FileStore.lookup(req.path);
+      if (found != null) { return \"\"; }
+    }
+    return null;"
+        }
+        _ => {
+            "    if (req.verb == \"GET\" || req.verb == \"HEAD\") {
+      var found: String = FileStore.lookup(req.path);
+      if (found == null) { return null; }
+      if (req.verb == \"HEAD\") { return \"\"; }
+      return found;
+    }
+    return null;"
+        }
+    };
+    format!(
+        "class StaticHandler {{
+  static method handle(req: HttpRequest): String {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+fn mime_types(v: usize) -> String {
+    let body = match v {
+        2..=4 => {
+            "    if (Str.contains(p, \".html\")) { return \"text/html\"; }
+    if (Str.contains(p, \".json\")) { return \"application/json\"; }
+    return \"text/plain\";"
+        }
+        _ => {
+            "    if (Str.contains(p, \".html\")) { return \"text/html\"; }
+    if (Str.contains(p, \".json\")) { return \"application/json\"; }
+    if (Str.contains(p, \".txt\")) { return \"text/plain\"; }
+    return \"application/octet-stream\";"
+        }
+    };
+    format!(
+        "class MimeTypes {{
+  static method guess(p: String): String {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+fn logger(v: usize) -> String {
+    match v {
+        0..=1 => "class Logger {
+  static field enabled: int;
+  static method log(msg: String): void {
+    if (Logger.enabled > 0) { Sys.print(msg); }
+  }
+}
+"
+        .to_string(),
+        2..=5 => "class Logger {
+  static field enabled: int;
+  static method log(msg: String, level: int): void {
+    if (Logger.enabled >= level) { Sys.print(msg); }
+  }
+}
+"
+        .to_string(),
+        _ => "class Logger {
+  static field enabled: int;
+  static method log(msg: String, level: int): void {
+    if (Logger.enabled >= level && ServerConfig.logLevel >= level) { Sys.print(msg); }
+  }
+}
+"
+        .to_string(),
+    }
+}
+
+/// Stable across every release: the worker queue the always-running loops
+/// depend on (so those loops are never restricted by accident).
+const CONN_QUEUE: &str = "class ConnQueue {
+  static field items: int[];
+  static field head: int;
+  static field tail: int;
+  static field size: int;
+  static field cap: int;
+  static method init(c: int): void {
+    ConnQueue.items = new int[c];
+    ConnQueue.cap = c;
+    ConnQueue.head = 0;
+    ConnQueue.tail = 0;
+    ConnQueue.size = 0;
+  }
+  static method push(conn: int): bool {
+    if (ConnQueue.size >= ConnQueue.cap) { return false; }
+    ConnQueue.items[ConnQueue.tail] = conn;
+    ConnQueue.tail = (ConnQueue.tail + 1) % ConnQueue.cap;
+    ConnQueue.size = ConnQueue.size + 1;
+    return true;
+  }
+  static method pop(): int {
+    if (ConnQueue.size == 0) { return -1; }
+    var conn: int = ConnQueue.items[ConnQueue.head];
+    ConnQueue.head = (ConnQueue.head + 1) % ConnQueue.cap;
+    ConnQueue.size = ConnQueue.size - 1;
+    return conn;
+  }
+}
+";
+
+fn http_connection(v: usize) -> String {
+    let body = match v {
+        0 => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(line);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+        1 => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    if (Str.len(line) == 0) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(line);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+        2 => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    if (Str.len(line) == 0) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(line);
+    Logger.log(req.path, 2);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+        3 => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    if (Str.len(line) == 0) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(line);
+    if (!RequestFilter.allowed(req.path)) {
+      Net.write(conn, \"403 forbidden\");
+      Net.close(conn);
+      return;
+    }
+    AccessLog.record(req.path);
+    Logger.log(req.path, 2);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+        4 => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    if (Str.len(line) == 0) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(line);
+    if (!RequestFilter.allowed(req.path)) {
+      Net.write(conn, \"403 forbidden\");
+      Net.close(conn);
+      return;
+    }
+    Logger.log(req.path, 2);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    AccessLog.record(req.path, resp.status);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+        5..=9 => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    if (Str.len(line) == 0) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(line);
+    if (!RequestFilter.allowed(req.path)) {
+      Net.write(conn, \"403 forbidden\");
+      Net.close(conn);
+      return;
+    }
+    Logger.log(req.path, 2);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    Stats.bumpBytes(resp.size());
+    AccessLog.record(req.path, resp.status);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+        _ => {
+            "    var line: String = Net.readLine(conn);
+    if (line == null) { Net.close(conn); return; }
+    var trimmed: String = Str.trim(line);
+    if (Str.len(trimmed) == 0) { Net.close(conn); return; }
+    var req: HttpRequest = HttpRequest.parse(trimmed);
+    if (!RequestFilter.allowed(req.path)) {
+      Net.write(conn, \"403 forbidden\");
+      Net.close(conn);
+      return;
+    }
+    Logger.log(req.path, 2);
+    Stats.bumpRequest();
+    var resp: HttpResponse = Router.route(req);
+    Stats.bumpBytes(resp.size());
+    AccessLog.record(req.path, resp.status);
+    Net.write(conn, resp.render());
+    Net.close(conn);"
+        }
+    };
+    format!(
+        "class HttpConnection {{
+  static method process(conn: int): void {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+fn pool_thread(v: usize) -> String {
+    let (static_field, run_body) = if v >= 3 {
+        (
+            "  static field handled: int;\n",
+            "    while (true) {
+      var conn: int = ConnQueue.pop();
+      if (conn < 0) { Sys.yieldNow(); } else {
+        HttpConnection.process(conn);
+        PoolThread.handled = PoolThread.handled + 1;
+      }
+    }",
+        )
+    } else {
+        (
+            "",
+            "    while (true) {
+      var conn: int = ConnQueue.pop();
+      if (conn < 0) { Sys.yieldNow(); } else { HttpConnection.process(conn); }
+    }",
+        )
+    };
+    format!(
+        "class PoolThread {{
+{static_field}  field id: int;
+  ctor(id: int) {{ this.id = id; }}
+  method run(): void {{
+{run_body}
+  }}
+}}
+"
+    )
+}
+
+fn threaded_server(v: usize) -> String {
+    let (static_field, accept_body) = if v >= 3 {
+        (
+            "  static field accepted: int;\n",
+            "    while (true) {
+      var conn: int = Net.accept(listener);
+      ThreadedServer.accepted = ThreadedServer.accepted + 1;
+      var ok: bool = ConnQueue.push(conn);
+      if (!ok) { Net.close(conn); }
+    }",
+        )
+    } else {
+        (
+            "",
+            "    while (true) {
+      var conn: int = Net.accept(listener);
+      var ok: bool = ConnQueue.push(conn);
+      if (!ok) { Net.close(conn); }
+    }",
+        )
+    };
+    format!(
+        "class ThreadedServer {{
+{static_field}  static method acceptLoop(listener: int): void {{
+{accept_body}
+  }}
+  static method start(port: int, workers: int): void {{
+    var l: int = Net.listen(port);
+    var i: int = 0;
+    while (i < workers) {{ Sys.spawn(new PoolThread(i)); i = i + 1; }}
+    ThreadedServer.acceptLoop(l);
+  }}
+}}
+"
+    )
+}
+
+fn server_config(v: usize) -> String {
+    match v {
+        3 => "class ServerConfig {
+  static field port: int;
+  static field workers: int;
+  static field maxConns: int;
+  static field banner: String;
+  static field debug: int;
+  static method initDefaults(): void {
+    ServerConfig.port = 8080;
+    ServerConfig.workers = 4;
+    ServerConfig.maxConns = 64;
+    ServerConfig.banner = \"webserver 5.1.3\";
+    ServerConfig.debug = 0;
+  }
+}
+"
+        .to_string(),
+        4..=5 => "class ServerConfig {
+  static field port: int;
+  static field workers: int;
+  static field debug: int;
+  static method initDefaults(): void {
+    ServerConfig.port = 8080;
+    ServerConfig.workers = 4;
+    ServerConfig.debug = 0;
+  }
+}
+"
+        .to_string(),
+        _ => "class ServerConfig {
+  static field port: int;
+  static field workers: int;
+  static field timeoutMs: int;
+  static field logLevel: int;
+  static method initDefaults(): void {
+    ServerConfig.port = 8080;
+    ServerConfig.workers = 4;
+    ServerConfig.timeoutMs = 5000;
+    ServerConfig.logLevel = 0;
+  }
+}
+"
+        .to_string(),
+    }
+}
+
+fn access_log(v: usize) -> String {
+    match v {
+        3 => "class AccessLog {
+  static field entries: int;
+  static method record(path: String): void {
+    AccessLog.entries = AccessLog.entries + 1;
+    Logger.log(path, 3);
+  }
+}
+"
+        .to_string(),
+        _ => "class AccessLog {
+  static field entries: int;
+  static method record(path: String, status: int): void {
+    AccessLog.entries = AccessLog.entries + 1;
+    if (status >= 400) { Logger.log(path, 1); } else { Logger.log(path, 3); }
+  }
+}
+"
+        .to_string(),
+    }
+}
+
+fn request_filter(v: usize) -> String {
+    match v {
+        3 => "class RequestFilter {
+  static method allowAll(): bool { return true; }
+  static method allowed(path: String): bool { return !Str.contains(path, \"..\"); }
+}
+"
+        .to_string(),
+        _ => "class RequestFilter {
+  static method allowed(path: String): bool { return !Str.contains(path, \"..\"); }
+}
+"
+        .to_string(),
+    }
+}
+
+fn web_server_main(v: usize) -> String {
+    let body = if v >= 3 {
+        "    FileStore.init();
+    ConnQueue.init(64);
+    ServerConfig.initDefaults();
+    ThreadedServer.start(ServerConfig.port, ServerConfig.workers);"
+    } else {
+        "    FileStore.init();
+    ConnQueue.init(64);
+    ThreadedServer.start(8080, 4);"
+    };
+    format!(
+        "class WebServer {{
+  static method main(): void {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::GuestApp;
+
+    #[test]
+    fn every_version_compiles() {
+        for v in Webserver.versions() {
+            v.compile();
+        }
+    }
+
+    #[test]
+    fn consecutive_versions_differ() {
+        let versions = Webserver.versions();
+        for w in versions.windows(2) {
+            assert_ne!(w[0].source, w[1].source, "{} vs {}", w[0].label, w[1].label);
+        }
+    }
+
+    #[test]
+    fn labels_and_prefixes() {
+        let versions = Webserver.versions();
+        assert_eq!(versions.len(), 11);
+        assert_eq!(versions[0].label, "5.1.0");
+        assert_eq!(versions[3].prefix, "v513_");
+    }
+}

@@ -1,0 +1,240 @@
+//! The paper's §4 headline, as a test: apply every release of the three
+//! applications to a *running* server. 20 of the 22 updates must apply;
+//! the two that change always-on-stack methods must time out.
+
+use jvolve::UpdateOutcome;
+use jvolve_apps::harness::{attempt_update, bench_apply_options, boot};
+use jvolve_apps::workload::{ftp_retr, one_shot, pop_list, smtp_send};
+use jvolve_apps::{Emailserver, Ftpserver, GuestApp, Webserver};
+
+#[test]
+fn webserver_updates_match_paper() {
+    let app = Webserver;
+    let versions = app.versions();
+    let mut outcomes = Vec::new();
+    for from in 0..versions.len() - 1 {
+        let to_label = versions[from + 1].label;
+        let mut vm = boot(&app, from);
+        // Light load so the server has live worker state.
+        for _ in 0..3 {
+            let resp = one_shot(&mut vm, app.port(), "GET /index.html", 20_000)
+                .unwrap_or_else(|| panic!("{to_label}: server unresponsive before update"));
+            assert!(resp.0.starts_with("200"), "{to_label}: {resp:?}");
+        }
+        let (outcome, _) = attempt_update(&mut vm, &app, from, &bench_apply_options());
+        if outcome.supported() {
+            // The updated server still serves correctly.
+            let resp = one_shot(&mut vm, app.port(), "GET /about.html", 40_000)
+                .unwrap_or_else(|| panic!("{to_label}: server unresponsive after update"));
+            assert!(resp.0.starts_with("200"), "{to_label}: {resp:?}");
+        }
+        outcomes.push((to_label, outcome));
+    }
+
+    for (label, outcome) in &outcomes {
+        let expected_fail = app.expected_failures().contains(label);
+        assert_eq!(
+            !outcome.supported(),
+            expected_fail,
+            "webserver update to {label}: {outcome}"
+        );
+    }
+    let supported = outcomes.iter().filter(|(_, o)| o.supported()).count();
+    assert_eq!(supported, 9, "9 of 10 webserver updates supported");
+}
+
+#[test]
+fn webserver_513_blocks_on_accept_loop() {
+    let app = Webserver;
+    let mut vm = boot(&app, 2); // 5.1.2
+    let (outcome, _) = attempt_update(&mut vm, &app, 2, &bench_apply_options());
+    let UpdateOutcome::TimedOut { blocking } = outcome else {
+        panic!("5.1.3 must time out, got {outcome}");
+    };
+    assert!(
+        blocking.iter().any(|b| b.contains("acceptLoop") || b.contains("run")),
+        "the always-on-stack loops must be reported: {blocking:?}"
+    );
+}
+
+#[test]
+fn emailserver_updates_match_paper() {
+    let app = Emailserver;
+    let versions = app.versions();
+    let mut outcomes = Vec::new();
+    let mut osr_releases = Vec::new();
+    for from in 0..versions.len() - 1 {
+        let to_label = versions[from + 1].label;
+        let mut vm = boot(&app, from);
+        // Deliver a message and read mail once so real state exists.
+        let replies = smtp_send(&mut vm, 2525, "alice", "bob", "hi", 40_000)
+            .unwrap_or_else(|| panic!("{to_label}: SMTP unresponsive before update"));
+        assert_eq!(replies[0], "250 ok", "{to_label}: {replies:?}");
+        let pop = pop_list(&mut vm, 1100, "alice", 40_000)
+            .unwrap_or_else(|| panic!("{to_label}: POP unresponsive before update"));
+        assert_eq!(pop[0], "+OK", "{to_label}: {pop:?}");
+
+        let (outcome, stats) = attempt_update(&mut vm, &app, from, &bench_apply_options());
+        if let Some(stats) = &stats {
+            if stats.osr_replacements > 0 {
+                osr_releases.push(to_label);
+            }
+        }
+        if outcome.supported() {
+            let replies = smtp_send(&mut vm, 2525, "bob", "alice", "yo", 40_000)
+                .unwrap_or_else(|| panic!("{to_label}: SMTP unresponsive after update"));
+            assert_eq!(replies[0], "250 ok", "{to_label}: {replies:?}");
+        }
+        outcomes.push((to_label, outcome));
+    }
+
+    for (label, outcome) in &outcomes {
+        let expected_fail = app.expected_failures().contains(label);
+        assert_eq!(
+            !outcome.supported(),
+            expected_fail,
+            "emailserver update to {label}: {outcome}"
+        );
+    }
+    let supported = outcomes.iter().filter(|(_, o)| o.supported()).count();
+    assert_eq!(supported, 8, "8 of 9 emailserver updates supported");
+    // The paper's §4.3: the always-running processor loops are lifted by
+    // OSR when the classes they reference are updated (1.2.3 and 1.3.2).
+    assert!(
+        osr_releases.contains(&"1.2.3") && osr_releases.contains(&"1.3.2"),
+        "OSR expected for 1.2.3 and 1.3.2, got {osr_releases:?}"
+    );
+}
+
+#[test]
+fn emailserver_132_converts_forward_addresses() {
+    // The Figure 2/3 update end-to-end on the live server: alice's
+    // forwarded addresses (strings "user@domain") become EmailAddress
+    // objects, with observable state preserved across the update.
+    let app = Emailserver;
+    let from = 5; // 1.3.1 → 1.3.2
+    let mut vm = boot(&app, from);
+    let fwd_before = jvolve_apps::workload::scripted_session(
+        &mut vm,
+        1100,
+        &["USER alice", "FWD", "QUIT"],
+        40_000,
+    )
+    .expect("POP before update");
+    assert_eq!(fwd_before[1], "+OK carol@ext.example.org");
+
+    let (outcome, _) = attempt_update(&mut vm, &app, from, &bench_apply_options());
+    assert!(outcome.supported(), "{outcome}");
+
+    let fwd_after = jvolve_apps::workload::scripted_session(
+        &mut vm,
+        1100,
+        &["USER alice", "FWD", "QUIT"],
+        40_000,
+    )
+    .expect("POP after update");
+    assert_eq!(
+        fwd_after[1], "+OK carol@ext.example.org",
+        "the custom transformer rebuilt the forward list as EmailAddress objects"
+    );
+}
+
+#[test]
+fn emailserver_13_blocks_on_processing_loops() {
+    let app = Emailserver;
+    let mut vm = boot(&app, 3); // 1.2.4 → 1.3
+    let (outcome, _) = attempt_update(&mut vm, &app, 3, &bench_apply_options());
+    let UpdateOutcome::TimedOut { blocking } = outcome else {
+        panic!("1.3 must time out, got {outcome}");
+    };
+    assert!(blocking.iter().any(|b| b.contains("run")), "{blocking:?}");
+}
+
+#[test]
+fn ftpserver_updates_apply_when_idle() {
+    let app = Ftpserver;
+    let versions = app.versions();
+    for from in 0..versions.len() - 1 {
+        let to_label = versions[from + 1].label;
+        let mut vm = boot(&app, from);
+        // Exercise a full session, then go idle (session thread exits).
+        let replies = ftp_retr(&mut vm, 2121, "admin", "adminpw", "/motd.txt", 60_000)
+            .unwrap_or_else(|| panic!("{to_label}: FTP unresponsive before update"));
+        assert_eq!(replies[1], "230 ok", "{to_label}: {replies:?}");
+        assert!(replies[2].starts_with("226"), "{to_label}: {replies:?}");
+        // Let the handler thread finish.
+        vm.run_slices(200);
+
+        let (outcome, _) = attempt_update(&mut vm, &app, from, &bench_apply_options());
+        assert!(outcome.supported(), "ftpserver update to {to_label}: {outcome}");
+
+        let replies = ftp_retr(&mut vm, 2121, "admin", "adminpw", "/motd.txt", 60_000)
+            .unwrap_or_else(|| panic!("{to_label}: FTP unresponsive after update"));
+        assert!(replies[2].starts_with("226"), "{to_label}: {replies:?}");
+    }
+}
+
+#[test]
+fn ftpserver_108_blocks_with_active_sessions() {
+    // Paper §4.4: "JVolve could only apply the update from 1.07 to 1.08
+    // when the server was relatively idle" — RequestHandler.run() changed
+    // and is always on stack while sessions are active.
+    let app = Ftpserver;
+    let mut vm = boot(&app, 2); // 1.07
+    // Open a session and keep it open (logged in, no QUIT).
+    let conn = vm.net_mut().client_connect(2121).unwrap();
+    vm.net_mut().client_send(conn, "USER admin adminpw");
+    for _ in 0..2_000 {
+        vm.step_slice();
+        if vm.net_mut().client_recv(conn).is_some() {
+            break;
+        }
+    }
+
+    let (outcome, _) = attempt_update(&mut vm, &app, 2, &bench_apply_options());
+    let UpdateOutcome::TimedOut { blocking } = outcome else {
+        panic!("1.08 must time out under load, got {outcome}");
+    };
+    assert!(blocking.iter().any(|b| b.contains("run")), "{blocking:?}");
+
+    // Close the session; the handler exits; the same update now applies.
+    vm.net_mut().client_send(conn, "QUIT");
+    for _ in 0..2_000 {
+        vm.step_slice();
+        if vm.net_mut().client_recv(conn).is_some() {
+            break;
+        }
+    }
+    vm.net_mut().client_close(conn);
+    vm.run_slices(300);
+    let (outcome, _) = attempt_update(&mut vm, &app, 2, &bench_apply_options());
+    assert!(outcome.supported(), "idle 1.08 update must apply: {outcome}");
+}
+
+#[test]
+fn twenty_of_twentytwo_updates_supported() {
+    // The paper's headline, computed over all three applications with the
+    // idle-friendly methodology used in Tables 2–4.
+    let mut supported = 0;
+    let mut total = 0;
+    for app in jvolve_apps::all_apps() {
+        let versions = app.versions();
+        for from in 0..versions.len() - 1 {
+            total += 1;
+            let mut vm = boot(app.as_ref(), from);
+            let (outcome, _) = attempt_update(&mut vm, app.as_ref(), from, &bench_apply_options());
+            if outcome.supported() {
+                supported += 1;
+            } else {
+                let to = versions[from + 1].label;
+                assert!(
+                    app.expected_failures().contains(&to),
+                    "{} update to {to} unexpectedly failed: {outcome}",
+                    app.name()
+                );
+            }
+        }
+    }
+    assert_eq!(total, 22);
+    assert_eq!(supported, 20, "20 of 22 updates supported (paper §4)");
+}

@@ -1,0 +1,116 @@
+//! Every version of every guest application must boot and serve its
+//! protocol correctly — the fixture quality the update experiments stand
+//! on ("developers prepare a new version and fully test it using standard
+//! procedures", paper §2.1).
+
+use jvolve_apps::harness::boot;
+use jvolve_apps::workload::{ftp_retr, one_shot, pop_list, scripted_session, smtp_send};
+use jvolve_apps::{Emailserver, Ftpserver, GuestApp, Webserver};
+
+#[test]
+fn webserver_all_versions_serve() {
+    let app = Webserver;
+    for (i, version) in app.versions().iter().enumerate() {
+        let mut vm = boot(&app, i);
+        let (ok, _) = one_shot(&mut vm, app.port(), "GET /index.html", 30_000)
+            .unwrap_or_else(|| panic!("{} unresponsive", version.label));
+        assert_eq!(ok, "200 <html>welcome</html>", "{}", version.label);
+        let (missing, _) = one_shot(&mut vm, app.port(), "GET /nope.html", 30_000)
+            .unwrap_or_else(|| panic!("{} unresponsive", version.label));
+        assert!(missing.starts_with("404"), "{}: {missing}", version.label);
+        // The request filter (5.1.3+) rejects traversal.
+        if i >= 3 {
+            let (denied, _) = one_shot(&mut vm, app.port(), "GET /../secret", 30_000)
+                .unwrap_or_else(|| panic!("{} unresponsive", version.label));
+            assert!(denied.starts_with("403"), "{}: {denied}", version.label);
+        }
+    }
+}
+
+#[test]
+fn emailserver_all_versions_deliver_mail() {
+    let app = Emailserver;
+    for (i, version) in app.versions().iter().enumerate() {
+        let mut vm = boot(&app, i);
+        // Send two messages to bob.
+        for text in ["hello", "again"] {
+            let replies = smtp_send(&mut vm, 2525, "alice", "bob", text, 60_000)
+                .unwrap_or_else(|| panic!("{}: SMTP unresponsive", version.label));
+            assert_eq!(replies[0], "250 ok", "{}: {replies:?}", version.label);
+        }
+        // Let the sender thread flush the queue (it sleeps 20 ticks).
+        vm.run_slices(300);
+        // Bob's mailbox holds them.
+        let pop = pop_list(&mut vm, 1100, "bob", 60_000)
+            .unwrap_or_else(|| panic!("{}: POP unresponsive", version.label));
+        assert_eq!(pop[0], "+OK", "{}", version.label);
+        assert!(
+            pop[1].contains('2'),
+            "{}: expected 2 messages, got {:?}",
+            version.label,
+            pop[1]
+        );
+        // Alice's forwards survive in every representation.
+        let fwd = scripted_session(&mut vm, 1100, &["USER alice", "FWD", "QUIT"], 60_000)
+            .unwrap_or_else(|| panic!("{}: POP FWD unresponsive", version.label));
+        assert_eq!(fwd[1], "+OK carol@ext.example.org", "{}", version.label);
+        // Unknown users are rejected.
+        let bad = scripted_session(&mut vm, 1100, &["USER mallory"], 60_000)
+            .unwrap_or_else(|| panic!("{}: POP unresponsive", version.label));
+        assert_eq!(bad[0], "-ERR", "{}", version.label);
+    }
+}
+
+#[test]
+fn ftpserver_all_versions_transfer_files() {
+    let app = Ftpserver;
+    for (i, version) in app.versions().iter().enumerate() {
+        let mut vm = boot(&app, i);
+        let replies = ftp_retr(&mut vm, 2121, "admin", "adminpw", "/motd.txt", 60_000)
+            .unwrap_or_else(|| panic!("{}: FTP unresponsive", version.label));
+        assert_eq!(replies[0], "220 ready", "{}", version.label);
+        assert_eq!(replies[1], "230 ok", "{}", version.label);
+        assert_eq!(replies[2], "226 welcome aboard", "{}", version.label);
+
+        // Bad credentials are rejected; secret files are denied.
+        let bad = ftp_retr(&mut vm, 2121, "admin", "wrong", "/motd.txt", 60_000)
+            .unwrap_or_else(|| panic!("{}: FTP unresponsive", version.label));
+        assert_eq!(bad[1], "530 bad", "{}", version.label);
+        let denied = ftp_retr(&mut vm, 2121, "guest", "guestpw", "/secret.txt", 60_000)
+            .unwrap_or_else(|| panic!("{}: FTP unresponsive", version.label));
+        assert_eq!(denied[2], "550 denied", "{}", version.label);
+        let _ = i;
+    }
+}
+
+#[test]
+fn ftpserver_sessions_run_concurrently() {
+    // One handler thread per connection: two interleaved sessions.
+    let mut vm = boot(&Ftpserver, 3);
+    let c1 = vm.net_mut().client_connect(2121).unwrap();
+    let c2 = vm.net_mut().client_connect(2121).unwrap();
+    vm.net_mut().client_send(c1, "USER admin adminpw");
+    vm.net_mut().client_send(c2, "USER guest guestpw");
+    let mut got1 = Vec::new();
+    let mut got2 = Vec::new();
+    for _ in 0..20_000 {
+        vm.step_slice();
+        if let Some(r) = vm.net_mut().client_recv(c1) {
+            got1.push(r);
+        }
+        if let Some(r) = vm.net_mut().client_recv(c2) {
+            got2.push(r);
+        }
+        if got1.len() >= 2 && got2.len() >= 2 {
+            break;
+        }
+    }
+    assert_eq!(got1, ["220 ready", "230 ok"]);
+    assert_eq!(got2, ["220 ready", "230 ok"]);
+    // Both sessions stay live simultaneously.
+    let handlers = vm
+        .threads()
+        .filter(|t| t.name.contains("RequestHandler") && t.is_live())
+        .count();
+    assert_eq!(handlers, 2);
+}

@@ -1,0 +1,33 @@
+//! Criterion bench: DSU safe-point machinery costs — restricted-set
+//! computation and full stack scans on a running, loaded VM (§3.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jvolve::restricted::{check_stacks, RestrictedSet};
+use jvolve_apps::harness::{app_vm_config, boot_with, prepare_next};
+use jvolve_apps::webserver::{Webserver, PORT};
+use jvolve_apps::workload::drive_http;
+
+fn bench_safepoint(c: &mut Criterion) {
+    // A loaded webserver with worker threads mid-flight.
+    let mut vm = boot_with(&Webserver, 4, app_vm_config());
+    drive_http(&mut vm, PORT, &["/index.html"], 4, 1_000);
+    let update = prepare_next(&Webserver, 4);
+    let mut old_set = update.old_classes.clone();
+    for b in jvolve_lang::builtins::builtin_classes() {
+        old_set.insert(b);
+    }
+
+    let mut group = c.benchmark_group("safepoint");
+    group.bench_function("restricted_set_compute", |b| {
+        b.iter(|| RestrictedSet::compute(&update.spec, &old_set, &[]));
+    });
+
+    let restricted = RestrictedSet::compute(&update.spec, &old_set, &[]);
+    group.bench_function("stack_scan_all_threads", |b| {
+        b.iter(|| check_stacks(&vm, &restricted));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_safepoint);
+criterion_main!(benches);

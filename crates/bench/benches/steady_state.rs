@@ -1,0 +1,45 @@
+//! Criterion bench: steady-state request throughput (Figure 5 / the
+//! eager-vs-lazy ablation at small scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jvolve_apps::harness::{app_vm_config, boot_with};
+use jvolve_apps::webserver::{Webserver, PORT};
+use jvolve_apps::workload::drive_http;
+use jvolve_vm::VmConfig;
+
+const PATHS: [&str; 2] = ["/index.html", "/data.json"];
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    group.sample_size(10);
+
+    group.bench_function("eager_2000_slices", |b| {
+        b.iter_batched(
+            || {
+                let mut vm = boot_with(&Webserver, 6, app_vm_config());
+                drive_http(&mut vm, PORT, &PATHS, 4, 500);
+                vm
+            },
+            |mut vm| drive_http(&mut vm, PORT, &PATHS, 4, 2_000),
+            criterion::BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("lazy_indirection_2000_slices", |b| {
+        b.iter_batched(
+            || {
+                let config = VmConfig { lazy_indirection: true, ..app_vm_config() };
+                let mut vm = boot_with(&Webserver, 6, config);
+                drive_http(&mut vm, PORT, &PATHS, 4, 500);
+                vm
+            },
+            |mut vm| drive_http(&mut vm, PORT, &PATHS, 4, 2_000),
+            criterion::BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state);
+criterion_main!(benches);

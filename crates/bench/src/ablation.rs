@@ -1,0 +1,234 @@
+//! Ablations over the paper's design choices.
+//!
+//! * **Eager (GC-time) vs lazy (access-time) transformation** — the paper
+//!   argues eager updating has *zero* steady-state overhead while
+//!   JDrums/DVM-style indirection pays on every access (§5, ~10% for
+//!   DVM). We measure webserver throughput in both modes.
+//! * **Return barriers / OSR on vs off** — the safe-point machinery of
+//!   §3.2. Without OSR, updates restricted by category-2 methods on
+//!   always-running stacks time out; without barriers, reaching a safe
+//!   point under load takes longer.
+
+use jvolve::modes::apply_lazy;
+use jvolve::{apply, ApplyOptions, UpdateError};
+use jvolve_apps::harness::{app_vm_config, boot_with, prepare_next};
+use jvolve_apps::webserver::{Webserver, PORT};
+use jvolve_apps::workload::{drive_http, LoadStats};
+use jvolve_vm::VmConfig;
+
+const PATHS: [&str; 3] = ["/index.html", "/about.html", "/data.json"];
+
+/// Steady-state throughput of webserver 5.1.6 in eager mode (no update
+/// pending — the deployment-steady-state case).
+pub fn eager_steady_state(concurrency: usize, slices: u64) -> LoadStats {
+    let mut vm = boot_with(&Webserver, 6, app_vm_config());
+    drive_http(&mut vm, PORT, &PATHS, concurrency, 2_000); // warm-up
+    drive_http(&mut vm, PORT, &PATHS, concurrency, slices)
+}
+
+/// Steady-state throughput with lazy-indirection checks armed: the VM
+/// pays a forwarding check on every field access and virtual dispatch,
+/// the cost the paper attributes to JDrums/DVM-style systems.
+pub fn lazy_steady_state(concurrency: usize, slices: u64, with_update: bool) -> LoadStats {
+    let config = VmConfig { lazy_indirection: true, ..app_vm_config() };
+    if with_update {
+        // Start at 5.1.5, lazily update to 5.1.6, then measure: objects
+        // migrate on first touch, checks persist forever after.
+        let mut vm = boot_with(&Webserver, 5, config);
+        drive_http(&mut vm, PORT, &PATHS, concurrency, 2_000);
+        let update = prepare_next(&Webserver, 5);
+        apply_lazy(&mut vm, &update).expect("lazy update applies");
+        drive_http(&mut vm, PORT, &PATHS, concurrency, 2_000);
+        drive_http(&mut vm, PORT, &PATHS, concurrency, slices)
+    } else {
+        let mut vm = boot_with(&Webserver, 6, config);
+        drive_http(&mut vm, PORT, &PATHS, concurrency, 2_000);
+        drive_http(&mut vm, PORT, &PATHS, concurrency, slices)
+    }
+}
+
+/// Guest program for the CPU-bound indirection-overhead measurement: a
+/// linked-list traversal that is nothing but field accesses and virtual
+/// dispatch — the operations lazy indirection taxes.
+pub const CHURN_V1: &str = "
+class Node {
+  field value: int;
+  field next: Node;
+  ctor(v: int, n: Node) { this.value = v; this.next = n; }
+  method get(): int { return this.value; }
+}
+class Bench {
+  static field head: Node;
+  static method setup(n: int): void {
+    var head: Node = null;
+    var i: int = 0;
+    while (i < n) { head = new Node(i, head); i = i + 1; }
+    Bench.head = head;
+  }
+  static method churn(iters: int): int {
+    var sum: int = 0;
+    var i: int = 0;
+    while (i < iters) {
+      var cur: Node = Bench.head;
+      while (cur != null) { sum = sum + cur.get(); cur = cur.next; }
+      i = i + 1;
+    }
+    return sum;
+  }
+}
+";
+
+/// New version for the update variants: `Node` gains a field.
+pub const CHURN_V2: &str = "
+class Node {
+  field value: int;
+  field tag: int;
+  field next: Node;
+  ctor(v: int, n: Node) { this.value = v; this.next = n; this.tag = 0; }
+  method get(): int { return this.value; }
+}
+class Bench {
+  static field head: Node;
+  static method setup(n: int): void {
+    var head: Node = null;
+    var i: int = 0;
+    while (i < n) { head = new Node(i, head); i = i + 1; }
+    Bench.head = head;
+  }
+  static method churn(iters: int): int {
+    var sum: int = 0;
+    var i: int = 0;
+    while (i < iters) {
+      var cur: Node = Bench.head;
+      while (cur != null) { sum = sum + cur.get(); cur = cur.next; }
+      i = i + 1;
+    }
+    return sum;
+  }
+}
+";
+
+/// Which steady-state configuration to time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChurnMode {
+    /// Plain eager VM, no update.
+    Eager,
+    /// Eager VM after a full (GC-based) update — checks still never run.
+    EagerUpdated,
+    /// Lazy-indirection VM, no update pending: the check executes on
+    /// every access but always takes the fast path.
+    Lazy,
+    /// Lazy-indirection VM after a lazy update: objects migrated on first
+    /// touch; the checks keep running forever.
+    LazyUpdated,
+}
+
+/// Wall-clock time of the CPU-bound churn under `mode`, plus the computed
+/// checksum (identical across modes — the correctness anchor).
+pub fn churn_wall_time(mode: ChurnMode, nodes: i64, iters: i64) -> (std::time::Duration, i64) {
+    use jvolve_vm::Value;
+    let lazy = matches!(mode, ChurnMode::Lazy | ChurnMode::LazyUpdated);
+    let mut vm = jvolve_vm::Vm::new(VmConfig {
+        lazy_indirection: lazy,
+        semispace_words: 512 * 1024,
+        ..VmConfig::default()
+    });
+    let old = jvolve_lang::compile(CHURN_V1).expect("churn v1 compiles");
+    vm.load_classes(&old).expect("churn loads");
+    vm.call_static_sync("Bench", "setup", &[Value::Int(nodes)]).expect("setup runs");
+
+    match mode {
+        ChurnMode::Eager | ChurnMode::Lazy => {}
+        ChurnMode::EagerUpdated | ChurnMode::LazyUpdated => {
+            let new = jvolve_lang::compile(CHURN_V2).expect("churn v2 compiles");
+            let update =
+                jvolve::Update::prepare(&old, &new, "v1_").expect("non-empty churn update");
+            if lazy {
+                apply_lazy(&mut vm, &update).expect("lazy churn update");
+            } else {
+                apply(&mut vm, &update, &ApplyOptions::default()).expect("eager churn update");
+            }
+        }
+    }
+
+    // Warm up (drives opt compilation), then measure.
+    vm.call_static_sync("Bench", "churn", &[Value::Int(iters / 4)]).expect("warmup");
+    let start = std::time::Instant::now();
+    let sum = vm
+        .call_static_sync("Bench", "churn", &[Value::Int(iters)])
+        .expect("churn runs")
+        .expect("churn returns");
+    (start.elapsed(), sum.as_int())
+}
+
+/// Outcome of the safe-point machinery ablation.
+#[derive(Debug, Clone)]
+pub struct SafepointAblation {
+    /// Slices to reach a safe point with barriers + OSR (the paper's
+    /// configuration).
+    pub with_machinery: Option<u64>,
+    /// Slices with return barriers disabled (plain polling).
+    pub without_barriers: Option<u64>,
+    /// Whether the update still applied with OSR disabled (category-2
+    /// frames then block like changed methods).
+    pub without_osr_applied: bool,
+}
+
+/// Measures how the §3.2 machinery affects reaching a safe point for the
+/// webserver 5.1.6 → 5.1.7 update while a long-running method holds
+/// category-2 state on stack.
+pub fn safepoint_ablation() -> SafepointAblation {
+    let attempt = |barriers: bool, osr: bool| -> Result<u64, UpdateError> {
+        let mut vm = boot_with(&Webserver, 6, app_vm_config());
+        drive_http(&mut vm, PORT, &PATHS, 4, 1_500);
+        let update = prepare_next(&Webserver, 6);
+        let opts = ApplyOptions {
+            timeout_slices: 3_000,
+            use_return_barriers: barriers,
+            use_osr: osr,
+            ..ApplyOptions::default()
+        };
+        apply(&mut vm, &update, &opts).map(|s| s.slices_waited)
+    };
+
+    SafepointAblation {
+        with_machinery: attempt(true, true).ok(),
+        without_barriers: attempt(false, true).ok(),
+        without_osr_applied: attempt(true, false).is_ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_mode_still_serves() {
+        let stats = lazy_steady_state(2, 3_000, false);
+        assert!(stats.completed > 0);
+    }
+
+    #[test]
+    fn lazy_update_migrates_and_serves() {
+        let stats = lazy_steady_state(2, 3_000, true);
+        assert!(stats.completed > 0);
+    }
+
+    #[test]
+    fn eager_serves() {
+        let stats = eager_steady_state(2, 3_000);
+        assert!(stats.completed > 0);
+    }
+
+    #[test]
+    fn safepoint_machinery_reaches_safe_point() {
+        let ablation = safepoint_ablation();
+        assert!(
+            ablation.with_machinery.is_some(),
+            "5.1.7 update must apply with the full machinery: {ablation:?}"
+        );
+        // 5.1.7 is a FileStore class update; `main` holds it on stack
+        // forever, so without OSR the update cannot apply.
+        assert!(!ablation.without_osr_applied, "{ablation:?}");
+    }
+}

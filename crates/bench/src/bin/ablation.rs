@@ -1,0 +1,83 @@
+//! Ablation harness: the design-choice comparisons DESIGN.md §5 calls out.
+//!
+//! * eager (GC-time) vs lazy (access-time, JDrums/DVM-style) updating —
+//!   steady-state throughput with and without per-access indirection
+//!   checks (the paper's "zero overhead during steady-state execution" vs
+//!   ~10% for DVM, §5);
+//! * the §3.2 safe-point machinery (return barriers + OSR) on vs off.
+//!
+//! Usage: `cargo run --release -p jvolve-bench --bin ablation`
+
+use jvolve_bench::ablation::safepoint_ablation;
+
+
+fn main() {
+
+    println!("== Ablation 1: eager vs lazy-indirection DSU (steady state) ==\n");
+    // CPU-bound guest workload (field accesses + virtual dispatch), timed
+    // by wall clock; interleaved rounds, medians.
+    use jvolve_bench::ablation::{churn_wall_time, ChurnMode};
+    let rounds = 5;
+    let (nodes, iters) = (400, 4_000);
+    let mut results: Vec<(ChurnMode, &str, Vec<f64>)> = vec![
+        (ChurnMode::Eager, "eager (JVolve), no update", Vec::new()),
+        (ChurnMode::EagerUpdated, "eager (JVolve), after GC update", Vec::new()),
+        (ChurnMode::Lazy, "lazy indirection, no update", Vec::new()),
+        (ChurnMode::LazyUpdated, "lazy indirection, after lazy update", Vec::new()),
+    ];
+    let mut checksum = None;
+    let _ = churn_wall_time(ChurnMode::Eager, nodes, iters); // process warm-up
+    for round in 0..rounds {
+        eprintln!("round {}/{rounds} ...", round + 1);
+        for (mode, _, samples) in &mut results {
+            let (wall, sum) = churn_wall_time(*mode, nodes, iters);
+            match checksum {
+                None => checksum = Some(sum),
+                Some(c) => assert_eq!(c, sum, "all modes must compute the same result"),
+            }
+            samples.push(wall.as_secs_f64());
+        }
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        xs[xs.len() / 2]
+    };
+    let mut base = 0.0;
+    println!("{:<38} {:>12} {:>10}", "mode", "time (ms)", "vs eager");
+    for (i, (_, name, samples)) in results.iter_mut().enumerate() {
+        let med = median(samples);
+        if i == 0 {
+            base = med;
+        }
+        println!(
+            "{:<38} {:>12.1} {:>9.1}%",
+            name,
+            med * 1e3,
+            (med / base - 1.0) * 100.0
+        );
+    }
+    println!("(median of {rounds} interleaved rounds; {nodes}-node list x {iters} traversals)");
+    println!(
+        "\n(paper \u{a7}5: eager updating imposes no steady-state overhead; \
+         indirection-based lazy systems pay on every access \u{2014} ~10% for DVM)"
+    );
+
+    println!("\n== Ablation 2: safe-point machinery (return barriers + OSR) ==\n");
+    let sp = safepoint_ablation();
+    println!(
+        "with barriers + OSR:   {}",
+        sp.with_machinery
+            .map_or("TIMED OUT".to_string(), |s| format!("safe point after {s} slices"))
+    );
+    println!(
+        "without barriers:      {}",
+        sp.without_barriers
+            .map_or("TIMED OUT".to_string(), |s| format!("safe point after {s} slices"))
+    );
+    println!(
+        "without OSR:           {}",
+        if sp.without_osr_applied { "applied (unexpected)" } else { "TIMED OUT (category-2 frame never leaves the stack)" }
+    );
+    println!("\n(paper §3.2: OSR lifts category-2 restrictions; return barriers speed up");
+    println!(" reaching a safe point when changed methods are on stack)");
+}

@@ -1,0 +1,103 @@
+//! Regenerates the paper's **Table 1**: JVolve update pause time for
+//! various heap sizes × updated-object fractions.
+//!
+//! Usage: `cargo run --release -p jvolve-bench --bin table1 [--full] [--scale N] [--json FILE]`
+//!
+//! By default object counts are the paper's divided by 8 (CI-friendly);
+//! `--full` uses the paper's exact counts (280k–3.67M objects; needs a
+//! few GB of RAM and several minutes).
+
+use jvolve_bench::micro::{measure_pause, ms, paper_fractions, paper_object_counts, PauseSample};
+use jvolve_bench::{arg_flag, arg_value};
+
+fn main() {
+    let scale = if arg_flag("--full") {
+        1
+    } else {
+        arg_value("--scale").and_then(|s| s.parse().ok()).unwrap_or(8)
+    };
+    let counts = paper_object_counts(scale);
+    let fractions = paper_fractions();
+
+    println!("Table 1: JVolve update pause time (ms) — scale 1/{scale} of the paper's counts");
+    println!("(paper: Intel Core 2 Quad 2.4 GHz, Jikes RVM; here: MJ VM, see DESIGN.md)\n");
+
+    let mut samples: Vec<Vec<PauseSample>> = Vec::new();
+    for &n in &counts {
+        let mut row = Vec::new();
+        for &f in &fractions {
+            eprint!("\rmeasuring {n} objects, {:>3.0}% updated...", f * 100.0);
+            row.push(measure_pause(n, f));
+        }
+        samples.push(row);
+        eprintln!();
+    }
+
+    let header = |title: &str| {
+        println!("\n{title}");
+        print!("{:>9} {:>10}", "# objects", "heap(MB)");
+        for f in &fractions {
+            print!(" {:>7.0}%", f * 100.0);
+        }
+        println!();
+    };
+    let heap_mb =
+        |s: &PauseSample| (s.semispace_words * 2 * 8) as f64 / (1024.0 * 1024.0);
+
+    header("Garbage collection time (ms)");
+    for row in &samples {
+        print!("{:>9} {:>10.0}", row[0].objects, heap_mb(&row[0]));
+        for s in row {
+            print!(" {:>8}", ms(s.gc_time));
+        }
+        println!();
+    }
+
+    header("Running transformation functions (ms)");
+    for row in &samples {
+        print!("{:>9} {:>10.0}", row[0].objects, heap_mb(&row[0]));
+        for s in row {
+            print!(" {:>8}", ms(s.transform_time));
+        }
+        println!();
+    }
+
+    header("Total DSU pause time (ms)");
+    for row in &samples {
+        print!("{:>9} {:>10.0}", row[0].objects, heap_mb(&row[0]));
+        for s in row {
+            print!(" {:>8}", ms(s.total_time));
+        }
+        println!();
+    }
+
+    // Shape checks the paper's prose calls out.
+    let largest = samples.last().expect("at least one row");
+    let t0 = largest[0].total_time.as_secs_f64();
+    let t100 = largest.last().expect("fractions").total_time.as_secs_f64();
+    println!(
+        "\nshape: total pause at 100% vs 0% updated = {:.1}x (paper: ~4x)",
+        t100 / t0.max(1e-9)
+    );
+
+    if let Some(path) = arg_value("--json") {
+        let json = serde_json::to_string_pretty(
+            &samples
+                .iter()
+                .flatten()
+                .map(|s| {
+                    serde_json::json!({
+                        "objects": s.objects,
+                        "fraction": s.fraction,
+                        "gc_ms": s.gc_time.as_secs_f64() * 1e3,
+                        "transform_ms": s.transform_time.as_secs_f64() * 1e3,
+                        "total_ms": s.total_time.as_secs_f64() * 1e3,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        )
+        .expect("serializes");
+        std::fs::write(&path, json).expect("write json");
+        println!("wrote {path}");
+    }
+}

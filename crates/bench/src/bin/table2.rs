@@ -1,0 +1,20 @@
+//! Regenerates the paper's **Table 2**: summary of updates to the
+//! webserver (Jetty), with live-update outcomes per release.
+//!
+//! Usage: `cargo run --release -p jvolve-bench --bin table2 [--static]`
+//! (`--static` skips the live-update attempts and prints only UPT output)
+
+use jvolve_apps::Webserver;
+use jvolve_bench::arg_flag;
+use jvolve_bench::tables::{render_table, run_table, summarize_releases};
+
+fn main() {
+    let rows = if arg_flag("--static") {
+        summarize_releases(&Webserver)
+    } else {
+        run_table(&Webserver)
+    };
+    println!("{}", render_table("webserver (Jetty, paper Table 2)", &rows));
+    println!("paper: 10 updates, 5.1.3 unsupported (acceptSocket always on stack);");
+    println!("method-body-only systems support the first and last three updates.");
+}

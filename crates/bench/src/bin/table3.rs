@@ -1,0 +1,19 @@
+//! Regenerates the paper's **Table 3**: summary of updates to the
+//! emailserver (JavaEmailServer), with live-update outcomes per release.
+//!
+//! Usage: `cargo run --release -p jvolve-bench --bin table3 [--static]`
+
+use jvolve_apps::Emailserver;
+use jvolve_bench::arg_flag;
+use jvolve_bench::tables::{render_table, run_table, summarize_releases};
+
+fn main() {
+    let rows = if arg_flag("--static") {
+        summarize_releases(&Emailserver)
+    } else {
+        run_table(&Emailserver)
+    };
+    println!("{}", render_table("emailserver (JavaEmailServer, paper Table 3)", &rows));
+    println!("paper: 9 updates, 1.3 unsupported (always-active processing loops);");
+    println!("1.2.3/1.3.2 proceed via OSR of the always-running run() methods.");
+}

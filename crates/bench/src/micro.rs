@@ -1,0 +1,155 @@
+//! The paper's §4.1 microbenchmark (Table 1 and Figure 6).
+//!
+//! "The microbenchmark has two simple classes, Change and NoChange. Both
+//! contain three integer fields, and three reference fields that are
+//! always null. The update adds an integer field to Change. The
+//! user-provided object transformation function copies the existing
+//! fields and initializes the new field to zero. We measure the cost of
+//! performing an update while varying the total number of objects and the
+//! fraction of objects of each type."
+
+use std::time::Duration;
+
+use jvolve::{apply, ApplyOptions, Update};
+use jvolve_vm::{Value, Vm, VmConfig};
+
+/// Guest classes for the microbenchmark (old version).
+pub const MICRO_V1: &str = "
+class Change {
+  field a: int; field b: int; field c: int;
+  field x: Object; field y: Object; field z: Object;
+}
+class NoChange {
+  field a: int; field b: int; field c: int;
+  field x: Object; field y: Object; field z: Object;
+}
+";
+
+/// New version: `Change` gains an integer field.
+pub const MICRO_V2: &str = "
+class Change {
+  field a: int; field b: int; field c: int; field w: int;
+  field x: Object; field y: Object; field z: Object;
+}
+class NoChange {
+  field a: int; field b: int; field c: int;
+  field x: Object; field y: Object; field z: Object;
+}
+";
+
+/// One Table 1 cell.
+#[derive(Debug, Clone)]
+pub struct PauseSample {
+    /// Total live objects.
+    pub objects: usize,
+    /// Fraction of objects whose class is updated (0.0–1.0).
+    pub fraction: f64,
+    /// Semispace words the VM was configured with.
+    pub semispace_words: usize,
+    /// Update-GC time (Table 1's first group).
+    pub gc_time: Duration,
+    /// Transformer-execution time (second group).
+    pub transform_time: Duration,
+    /// Total update pause (third group).
+    pub total_time: Duration,
+    /// Objects actually transformed.
+    pub transformed: usize,
+}
+
+/// Runs one microbenchmark configuration: `objects` live objects, a
+/// `fraction` of which are instances of the updated class.
+///
+/// # Panics
+///
+/// Panics on fixture errors (the microbenchmark classes always compile
+/// and the update always applies).
+pub fn measure_pause(objects: usize, fraction: f64) -> PauseSample {
+    // Size the heap generously (the paper uses 5x the minimum): live data
+    // is ~7 words per object; the update GC additionally materializes an
+    // old copy (7 words) and a new object (8 words) per updated object.
+    let per_object = 8 + 1;
+    let semispace_words = (objects * per_object * 3).max(64 * 1024);
+    let mut vm = Vm::new(VmConfig { semispace_words, ..VmConfig::default() });
+
+    let old = jvolve_lang::compile(MICRO_V1).expect("micro v1 compiles");
+    let new = jvolve_lang::compile(MICRO_V2).expect("micro v2 compiles");
+    vm.load_classes(&old).expect("micro classes load");
+
+    let n_change = (objects as f64 * fraction).round() as usize;
+    for i in 0..objects {
+        let class = if i < n_change { "Change" } else { "NoChange" };
+        let root = vm.host_alloc(class).expect("population fits");
+        let r = vm.host_root(root);
+        vm.write_field(r, "a", Value::Int(i as i64));
+        vm.write_field(r, "b", Value::Int(2 * i as i64));
+        vm.write_field(r, "c", Value::Int(3 * i as i64));
+    }
+
+    let update = Update::prepare(&old, &new, "v1_").expect("non-empty update");
+    let stats = apply(&mut vm, &update, &ApplyOptions::default()).expect("update applies");
+
+    // Sanity: transformed objects kept their fields and gained w = 0.
+    if objects > 0 && n_change > 0 {
+        let r = vm.host_root(0);
+        assert_eq!(vm.read_field(r, "a"), Value::Int(0));
+        assert_eq!(vm.read_field(r, "w"), Value::Int(0));
+    }
+
+    PauseSample {
+        objects,
+        fraction,
+        semispace_words,
+        gc_time: stats.gc_time,
+        transform_time: stats.transform_time,
+        total_time: stats.total_time,
+        transformed: stats.objects_transformed,
+    }
+}
+
+/// The paper's object counts (280k–3.67M), scaled by `1/scale_div`.
+pub fn paper_object_counts(scale_div: usize) -> Vec<usize> {
+    [280_000usize, 770_000, 1_760_000, 3_670_000]
+        .into_iter()
+        .map(|n| n / scale_div.max(1))
+        .collect()
+}
+
+/// The paper's updated-object fractions: 0%, 10%, …, 100%.
+pub fn paper_fractions() -> Vec<f64> {
+    (0..=10).map(|p| p as f64 / 10.0).collect()
+}
+
+/// Formats a duration in fractional milliseconds, like the paper's table.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_update_transforms_expected_fraction() {
+        let s = measure_pause(1_000, 0.3);
+        assert_eq!(s.transformed, 300);
+        assert!(s.total_time >= s.gc_time);
+    }
+
+    #[test]
+    fn zero_fraction_transforms_nothing() {
+        let s = measure_pause(500, 0.0);
+        assert_eq!(s.transformed, 0);
+    }
+
+    #[test]
+    fn full_fraction_transforms_everything() {
+        let s = measure_pause(500, 1.0);
+        assert_eq!(s.transformed, 500);
+    }
+
+    #[test]
+    fn counts_and_fractions_match_paper() {
+        assert_eq!(paper_object_counts(1), vec![280_000, 770_000, 1_760_000, 3_670_000]);
+        assert_eq!(paper_fractions().len(), 11);
+    }
+}

@@ -1,0 +1,257 @@
+//! The symbolic stack bytecode executed (after resolution) by the VM.
+//!
+//! Instructions reference classes, fields and methods **by name**; the VM's
+//! baseline compiler resolves them to hard-coded word offsets and dispatch
+//! slots at (simulated) JIT time. This split is load-bearing for the paper:
+//! a class update changes layouts, so compiled code of any method whose
+//! *bytecode* mentions an updated class becomes stale — the paper's
+//! "indirect method updates" (§3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::ClassName;
+use crate::ty::Type;
+
+/// Index of an instruction within a method body (branch target).
+pub type Pc = u32;
+
+/// Index of a local-variable slot. Slot 0 holds `this` in instance methods.
+pub type LocalSlot = u16;
+
+/// A symbolic bytecode instruction.
+///
+/// The machine is a conventional operand-stack machine: operands are pushed
+/// and consumed on an evaluation stack; locals live in numbered slots.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Instr {
+    // ---- constants -----------------------------------------------------
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a boolean constant.
+    ConstBool(bool),
+    /// Push a reference to a freshly allocated string with this content.
+    ConstStr(String),
+    /// Push the null reference.
+    ConstNull,
+
+    // ---- locals --------------------------------------------------------
+    /// Push the value of a local slot.
+    Load(LocalSlot),
+    /// Pop into a local slot.
+    Store(LocalSlot),
+
+    // ---- integer arithmetic (pop 2 ints unless noted, push result) -----
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (traps on division by zero).
+    Div,
+    /// Integer remainder (traps on division by zero).
+    Rem,
+    /// Integer negation (pops one int).
+    Neg,
+
+    // ---- comparisons (pop 2 ints, push bool) ----------------------------
+    /// `==` on integers.
+    CmpEq,
+    /// `!=` on integers.
+    CmpNe,
+    /// `<` on integers.
+    CmpLt,
+    /// `<=` on integers.
+    CmpLe,
+    /// `>` on integers.
+    CmpGt,
+    /// `>=` on integers.
+    CmpGe,
+
+    // ---- booleans -------------------------------------------------------
+    /// Logical negation (pops one bool).
+    Not,
+    /// `==` on booleans (pops two bools).
+    BoolEq,
+
+    // ---- references -----------------------------------------------------
+    /// Reference identity `==` (pops two refs, pushes bool).
+    RefEq,
+    /// Reference identity `!=`.
+    RefNe,
+
+    // ---- strings ---------------------------------------------------------
+    /// Pop two strings, push their concatenation (allocates).
+    StrConcat,
+    /// Pop two strings, push value equality as bool. Null-tolerant:
+    /// two nulls are equal, null never equals a string.
+    StrEq,
+
+    // ---- objects ----------------------------------------------------------
+    /// Allocate an instance of the class with fields zero/null-initialized
+    /// and push a reference to it. Constructors are called separately via
+    /// [`Instr::CallSpecial`].
+    New(ClassName),
+    /// Pop an object reference, push the value of the named instance field.
+    GetField {
+        /// Static type of the receiver (where field lookup starts).
+        class: ClassName,
+        /// Field name.
+        field: String,
+    },
+    /// Pop a value then an object reference; store into the named field.
+    PutField {
+        /// Static type of the receiver.
+        class: ClassName,
+        /// Field name.
+        field: String,
+    },
+    /// Push the value of a static field.
+    GetStatic {
+        /// Declaring class.
+        class: ClassName,
+        /// Field name.
+        field: String,
+    },
+    /// Pop a value and store it into a static field.
+    PutStatic {
+        /// Declaring class.
+        class: ClassName,
+        /// Field name.
+        field: String,
+    },
+
+    // ---- arrays ------------------------------------------------------------
+    /// Pop a length, allocate an array of the given element type, push it.
+    NewArray(Type),
+    /// Pop index then array reference, push the element.
+    ALoad,
+    /// Pop value, index, then array reference; store the element.
+    AStore,
+    /// Pop an array reference, push its length.
+    ArrayLen,
+
+    // ---- calls ----------------------------------------------------------
+    /// Virtual dispatch: pop `argc` arguments then the receiver; invoke the
+    /// named method on the receiver's *dynamic* class through its dispatch
+    /// table (TIB). Pushes a result if the method returns a value.
+    CallVirtual {
+        /// Static receiver type (where the verifier checks the signature).
+        class: ClassName,
+        /// Method name.
+        method: String,
+        /// Number of arguments, excluding the receiver.
+        argc: u8,
+    },
+    /// Static call: pop `argc` arguments; invoke the named static method.
+    CallStatic {
+        /// Declaring class.
+        class: ClassName,
+        /// Method name.
+        method: String,
+        /// Number of arguments.
+        argc: u8,
+    },
+    /// Non-virtual instance call (constructor invocations, `super` calls):
+    /// pop `argc` arguments then the receiver; invoke exactly the named
+    /// class's method, bypassing dynamic dispatch.
+    CallSpecial {
+        /// Exact class whose method runs.
+        class: ClassName,
+        /// Method name (constructors are named `<init>`).
+        method: String,
+        /// Number of arguments, excluding the receiver.
+        argc: u8,
+    },
+
+    // ---- control flow -----------------------------------------------------
+    /// Unconditional branch. A branch to `target <= pc` is a loop back-edge
+    /// and doubles as a VM yield point (paper §3.2).
+    Jump(Pc),
+    /// Pop a bool; branch if true.
+    JumpIfTrue(Pc),
+    /// Pop a bool; branch if false.
+    JumpIfFalse(Pc),
+    /// Return from a `void` method.
+    Return,
+    /// Pop the return value and return it.
+    ReturnValue,
+
+    // ---- stack management ---------------------------------------------------
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+}
+
+impl Instr {
+    /// The class this instruction references symbolically, if any.
+    ///
+    /// The update preparation tool uses this to compute *indirect method
+    /// updates*: methods whose bytecode mentions an updated class must be
+    /// recompiled because their resolved code embeds that class's offsets.
+    pub fn referenced_class(&self) -> Option<&ClassName> {
+        match self {
+            Instr::New(class)
+            | Instr::GetField { class, .. }
+            | Instr::PutField { class, .. }
+            | Instr::GetStatic { class, .. }
+            | Instr::PutStatic { class, .. }
+            | Instr::CallVirtual { class, .. }
+            | Instr::CallStatic { class, .. }
+            | Instr::CallSpecial { class, .. } => Some(class),
+            Instr::NewArray(ty) => deepest_class(ty),
+            _ => None,
+        }
+    }
+
+    /// The branch target, if this is a branch.
+    pub fn branch_target(&self) -> Option<Pc> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIfTrue(t) | Instr::JumpIfFalse(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether control never falls through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Jump(_) | Instr::Return | Instr::ReturnValue)
+    }
+}
+
+fn deepest_class(ty: &Type) -> Option<&ClassName> {
+    match ty {
+        Type::Class(name) => Some(name),
+        Type::Array(elem) => deepest_class(elem),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_class_of_field_access() {
+        let i = Instr::GetField { class: ClassName::from("User"), field: "name".into() };
+        assert_eq!(i.referenced_class().unwrap().as_str(), "User");
+        assert_eq!(Instr::Add.referenced_class(), None);
+    }
+
+    #[test]
+    fn referenced_class_of_nested_array_alloc() {
+        let i = Instr::NewArray(Type::array(Type::Class(ClassName::from("EmailAddress"))));
+        assert_eq!(i.referenced_class().unwrap().as_str(), "EmailAddress");
+        assert_eq!(Instr::NewArray(Type::Int).referenced_class(), None);
+    }
+
+    #[test]
+    fn branch_targets_and_terminators() {
+        assert_eq!(Instr::Jump(7).branch_target(), Some(7));
+        assert_eq!(Instr::JumpIfFalse(3).branch_target(), Some(3));
+        assert_eq!(Instr::Add.branch_target(), None);
+        assert!(Instr::Return.is_terminator());
+        assert!(Instr::Jump(0).is_terminator());
+        assert!(!Instr::JumpIfTrue(0).is_terminator());
+    }
+}

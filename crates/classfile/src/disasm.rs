@@ -1,0 +1,159 @@
+//! Human-readable disassembly of class files, for debugging updates.
+//!
+//! The update preparation tool's diff output is easier to sanity-check
+//! against a textual listing than against the binary format; this module
+//! produces one.
+
+use std::fmt::Write as _;
+
+use crate::bytecode::Instr;
+use crate::class::{ClassFile, MethodDef, Visibility};
+
+/// Renders a whole class as text.
+pub fn disassemble(class: &ClassFile) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "class {}", class.name);
+    if let Some(sup) = &class.superclass {
+        let _ = write!(out, " extends {sup}");
+    }
+    if class.flags.access_override {
+        out.push_str(" [access-override]");
+    }
+    if class.flags.native {
+        out.push_str(" [native]");
+    }
+    out.push_str(" {\n");
+    for f in &class.static_fields {
+        let _ = writeln!(
+            out,
+            "  static {}{}{}: {}",
+            vis_prefix(f.visibility),
+            if f.is_final { "final " } else { "" },
+            f.name,
+            f.ty
+        );
+    }
+    for f in &class.fields {
+        let _ = writeln!(
+            out,
+            "  {}{}{}: {}",
+            vis_prefix(f.visibility),
+            if f.is_final { "final " } else { "" },
+            f.name,
+            f.ty
+        );
+    }
+    for m in &class.methods {
+        out.push_str(&disassemble_method(m));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one method with numbered instructions.
+pub fn disassemble_method(method: &MethodDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  {} {{", method.signature());
+    match &method.code {
+        None => out.push_str("    <native>\n"),
+        Some(code) => {
+            for (pc, instr) in code.instrs.iter().enumerate() {
+                let _ = writeln!(out, "    {pc:4}: {}", render_instr(instr));
+            }
+        }
+    }
+    out.push_str("  }\n");
+    out
+}
+
+fn vis_prefix(v: Visibility) -> &'static str {
+    match v {
+        Visibility::Public => "",
+        Visibility::Private => "private ",
+        Visibility::Protected => "protected ",
+    }
+}
+
+fn render_instr(i: &Instr) -> String {
+    use Instr::*;
+    match i {
+        ConstInt(v) => format!("const.i {v}"),
+        ConstBool(v) => format!("const.b {v}"),
+        ConstStr(s) => format!("const.s {s:?}"),
+        ConstNull => "const.null".into(),
+        Load(s) => format!("load {s}"),
+        Store(s) => format!("store {s}"),
+        Add => "add".into(),
+        Sub => "sub".into(),
+        Mul => "mul".into(),
+        Div => "div".into(),
+        Rem => "rem".into(),
+        Neg => "neg".into(),
+        CmpEq => "cmp.eq".into(),
+        CmpNe => "cmp.ne".into(),
+        CmpLt => "cmp.lt".into(),
+        CmpLe => "cmp.le".into(),
+        CmpGt => "cmp.gt".into(),
+        CmpGe => "cmp.ge".into(),
+        Not => "not".into(),
+        BoolEq => "bool.eq".into(),
+        RefEq => "ref.eq".into(),
+        RefNe => "ref.ne".into(),
+        StrConcat => "str.concat".into(),
+        StrEq => "str.eq".into(),
+        New(c) => format!("new {c}"),
+        GetField { class, field } => format!("getfield {class}.{field}"),
+        PutField { class, field } => format!("putfield {class}.{field}"),
+        GetStatic { class, field } => format!("getstatic {class}.{field}"),
+        PutStatic { class, field } => format!("putstatic {class}.{field}"),
+        NewArray(t) => format!("newarray {t}"),
+        ALoad => "aload".into(),
+        AStore => "astore".into(),
+        ArrayLen => "arraylen".into(),
+        CallVirtual { class, method, argc } => format!("call.virt {class}.{method}/{argc}"),
+        CallStatic { class, method, argc } => format!("call.static {class}.{method}/{argc}"),
+        CallSpecial { class, method, argc } => format!("call.special {class}.{method}/{argc}"),
+        Jump(t) => format!("jump {t}"),
+        JumpIfTrue(t) => format!("jump.true {t}"),
+        JumpIfFalse(t) => format!("jump.false {t}"),
+        Return => "return".into(),
+        ReturnValue => "return.value".into(),
+        Pop => "pop".into(),
+        Dup => "dup".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassBuilder;
+    use crate::ty::Type;
+
+    #[test]
+    fn disassembly_mentions_members_and_instrs() {
+        let class = ClassBuilder::new("User")
+            .field("age", Type::Int)
+            .method("getAge", [], Type::Int, |m| {
+                m.instr(Instr::Load(0))
+                    .instr(Instr::GetField { class: "User".into(), field: "age".into() })
+                    .instr(Instr::ReturnValue);
+            })
+            .build();
+        let text = disassemble(&class);
+        assert!(text.contains("class User extends Object"), "{text}");
+        assert!(text.contains("age: int"), "{text}");
+        assert!(text.contains("getfield User.age"), "{text}");
+        assert!(text.contains("getAge(): int"), "{text}");
+    }
+
+    #[test]
+    fn native_method_renders_placeholder() {
+        let class = ClassBuilder::new("Sys")
+            .flags(crate::ClassFlags::NATIVE)
+            .native_method("time", [], Type::Int, true)
+            .build();
+        let text = disassemble(&class);
+        assert!(text.contains("<native>"), "{text}");
+        assert!(text.contains("[native]"), "{text}");
+    }
+}

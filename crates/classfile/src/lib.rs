@@ -1,0 +1,221 @@
+//! Class-file model for the JVolve reproduction.
+//!
+//! This crate defines the *portable* representation of guest programs:
+//! class files with fields, methods, and a symbolic stack bytecode, plus a
+//! bytecode [verifier](verify), a binary [`codec`] and a
+//! [disassembler](disasm).
+//!
+//! The representation deliberately mirrors what the JVolve paper depends on
+//! in Java class files:
+//!
+//! * field and method references in bytecode are **symbolic**
+//!   (`class name + member name`); resolving them to hard-coded offsets is
+//!   the VM's baseline compiler's job — which is exactly why *indirect
+//!   method updates* (paper §3.1, category 2) exist;
+//! * classes carry explicit superclass links so updates can add or delete
+//!   members anywhere in the hierarchy;
+//! * the verifier statically type-checks updated classes, the keystone of
+//!   the paper's type-safety argument (§1, §2.2);
+//! * transformer classes are compiled with [`ClassFlags::ACCESS_OVERRIDE`],
+//!   reproducing the paper's JastAdd extension that ignores access
+//!   modifiers and permits writes to `final` fields (§2.3, footnote 1).
+//!
+//! # Example
+//!
+//! ```
+//! use jvolve_classfile::{ClassFile, ClassName, Type};
+//! use jvolve_classfile::builder::ClassBuilder;
+//! use jvolve_classfile::bytecode::Instr;
+//!
+//! let class: ClassFile = ClassBuilder::new("Counter")
+//!     .field("count", Type::Int)
+//!     .method("get", [], Type::Int, |m| {
+//!         m.instr(Instr::Load(0))
+//!          .instr(Instr::GetField { class: ClassName::from("Counter"), field: "count".into() })
+//!          .instr(Instr::ReturnValue);
+//!     })
+//!     .build();
+//! assert_eq!(class.name, ClassName::from("Counter"));
+//! assert!(class.find_method("get").is_some());
+//! ```
+
+pub mod builder;
+pub mod bytecode;
+pub mod class;
+pub mod codec;
+pub mod disasm;
+pub mod name;
+pub mod ty;
+pub mod verify;
+
+pub use class::{ClassFile, ClassFlags, Code, FieldDef, MethodDef, MethodKind, Visibility};
+pub use name::{ClassName, FieldRef, MethodRef};
+pub use ty::Type;
+
+/// Name of the implicit root class every class ultimately extends.
+pub const OBJECT_CLASS: &str = "Object";
+/// Name of the builtin string class; string literals have this type.
+pub const STRING_CLASS: &str = "String";
+
+/// Resolution context used by the [verifier](verify) (and reusable by any
+/// whole-program pass): looks classes up by name.
+pub trait ClassResolver {
+    /// Returns the class with the given name, if known.
+    fn resolve(&self, name: &ClassName) -> Option<&ClassFile>;
+
+    /// Walks the superclass chain starting at `name` (inclusive).
+    fn supers<'a>(&'a self, name: &ClassName) -> SuperChain<'a>
+    where
+        Self: Sized,
+    {
+        SuperChain { resolver: self, next: Some(name.clone()) }
+    }
+}
+
+/// Iterator over a class and its superclasses, most-derived first.
+pub struct SuperChain<'a> {
+    resolver: &'a dyn DynResolver,
+    next: Option<ClassName>,
+}
+
+/// Object-safe shim so [`SuperChain`] can hold any resolver.
+trait DynResolver {
+    fn resolve_dyn(&self, name: &ClassName) -> Option<&ClassFile>;
+}
+
+impl<R: ClassResolver> DynResolver for R {
+    fn resolve_dyn(&self, name: &ClassName) -> Option<&ClassFile> {
+        self.resolve(name)
+    }
+}
+
+impl<'a> Iterator for SuperChain<'a> {
+    type Item = &'a ClassFile;
+
+    fn next(&mut self) -> Option<&'a ClassFile> {
+        let name = self.next.take()?;
+        let class = self.resolver.resolve_dyn(&name)?;
+        self.next = class.superclass.clone();
+        Some(class)
+    }
+}
+
+/// A set of classes keyed by name; the simplest [`ClassResolver`].
+///
+/// Used by the update preparation tool to hold the "old" and "new" program
+/// versions, and by tests.
+#[derive(Debug, Clone, Default)]
+pub struct ClassSet {
+    classes: std::collections::BTreeMap<ClassName, ClassFile>,
+}
+
+impl ClassSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a class, replacing any previous class of the same name.
+    pub fn insert(&mut self, class: ClassFile) -> Option<ClassFile> {
+        self.classes.insert(class.name.clone(), class)
+    }
+
+    /// Looks a class up by name.
+    pub fn get(&self, name: &ClassName) -> Option<&ClassFile> {
+        self.classes.get(name)
+    }
+
+    /// Number of classes in the set.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over the classes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassFile> {
+        self.classes.values()
+    }
+
+    /// Iterates over the class names in order.
+    pub fn names(&self) -> impl Iterator<Item = &ClassName> {
+        self.classes.keys()
+    }
+
+    /// Removes a class by name.
+    pub fn remove(&mut self, name: &ClassName) -> Option<ClassFile> {
+        self.classes.remove(name)
+    }
+}
+
+impl ClassResolver for ClassSet {
+    fn resolve(&self, name: &ClassName) -> Option<&ClassFile> {
+        self.get(name)
+    }
+}
+
+impl FromIterator<ClassFile> for ClassSet {
+    fn from_iter<I: IntoIterator<Item = ClassFile>>(iter: I) -> Self {
+        let mut set = ClassSet::new();
+        for class in iter {
+            set.insert(class);
+        }
+        set
+    }
+}
+
+impl Extend<ClassFile> for ClassSet {
+    fn extend<I: IntoIterator<Item = ClassFile>>(&mut self, iter: I) {
+        for class in iter {
+            self.insert(class);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassBuilder;
+
+    #[test]
+    fn class_set_insert_and_lookup() {
+        let mut set = ClassSet::new();
+        assert!(set.is_empty());
+        set.insert(ClassBuilder::new("A").build());
+        set.insert(ClassBuilder::new("B").extends("A").build());
+        assert_eq!(set.len(), 2);
+        assert!(set.get(&ClassName::from("A")).is_some());
+        assert!(set.get(&ClassName::from("C")).is_none());
+    }
+
+    #[test]
+    fn super_chain_walks_to_root() {
+        let set: ClassSet = [
+            ClassBuilder::new("A").build(),
+            ClassBuilder::new("B").extends("A").build(),
+            ClassBuilder::new("C").extends("B").build(),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<_> = set
+            .supers(&ClassName::from("C"))
+            .map(|c| c.name.to_string())
+            .collect();
+        assert_eq!(names, ["C", "B", "A"]);
+    }
+
+    #[test]
+    fn super_chain_stops_at_unknown_class() {
+        let set: ClassSet = [ClassBuilder::new("B").extends("Missing").build()]
+            .into_iter()
+            .collect();
+        let names: Vec<_> = set
+            .supers(&ClassName::from("B"))
+            .map(|c| c.name.to_string())
+            .collect();
+        assert_eq!(names, ["B"]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Interned names for classes and symbolic member references.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// An interned class name.
+///
+/// Cloning is cheap (an [`Arc`] bump), which matters because symbolic
+/// bytecode stores a `ClassName` in every field access and call instruction.
+///
+/// # Example
+///
+/// ```
+/// use jvolve_classfile::ClassName;
+/// let a = ClassName::from("User");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "User");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassName(Arc<str>);
+
+impl ClassName {
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns a new name with `prefix` prepended.
+    ///
+    /// The update driver uses this to rename old classes out of the way
+    /// (paper §2.3: `User` becomes `v131_User` during the 1.3.1 → 1.3.2
+    /// update).
+    pub fn with_prefix(&self, prefix: &str) -> ClassName {
+        ClassName::from(format!("{prefix}{}", self.0))
+    }
+}
+
+impl From<&str> for ClassName {
+    fn from(s: &str) -> Self {
+        ClassName(Arc::from(s))
+    }
+}
+
+impl From<String> for ClassName {
+    fn from(s: String) -> Self {
+        ClassName(Arc::from(s.as_str()))
+    }
+}
+
+impl AsRef<str> for ClassName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ClassName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for ClassName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClassName({})", self.0)
+    }
+}
+
+impl Serialize for ClassName {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for ClassName {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(ClassName::from(s))
+    }
+}
+
+/// A symbolic reference to a field: `class.field`.
+///
+/// Field references stay symbolic in class files; the VM's baseline compiler
+/// resolves them to word offsets (which is why the paper must recompile
+/// *indirect* methods when a referenced class's layout changes).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FieldRef {
+    /// Class the field is looked up on (declaring class or a subclass).
+    pub class: ClassName,
+    /// Field name.
+    pub field: String,
+}
+
+impl FieldRef {
+    /// Creates a field reference.
+    pub fn new(class: impl Into<ClassName>, field: impl Into<String>) -> Self {
+        FieldRef { class: class.into(), field: field.into() }
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.field)
+    }
+}
+
+impl fmt::Debug for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FieldRef({self})")
+    }
+}
+
+/// A symbolic reference to a method: `class.method`.
+///
+/// MJ has no method overloading (the paper's only use of overloading — to
+/// distinguish `jvolveObject` transformers — is replaced by name mangling,
+/// see DESIGN.md), so a name pair identifies a method.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MethodRef {
+    /// Class the method is looked up on.
+    pub class: ClassName,
+    /// Method name.
+    pub method: String,
+}
+
+impl MethodRef {
+    /// Creates a method reference.
+    pub fn new(class: impl Into<ClassName>, method: impl Into<String>) -> Self {
+        MethodRef { class: class.into(), method: method.into() }
+    }
+}
+
+impl fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.method)
+    }
+}
+
+impl fmt::Debug for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MethodRef({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_name_prefix() {
+        let name = ClassName::from("User");
+        assert_eq!(name.with_prefix("v131_").as_str(), "v131_User");
+    }
+
+    #[test]
+    fn refs_display() {
+        assert_eq!(FieldRef::new("User", "name").to_string(), "User.name");
+        assert_eq!(MethodRef::new("User", "getName").to_string(), "User.getName");
+    }
+
+    #[test]
+    fn class_name_ordering_is_lexicographic() {
+        let mut names = [ClassName::from("B"), ClassName::from("A")];
+        names.sort();
+        assert_eq!(names[0].as_str(), "A");
+    }
+}

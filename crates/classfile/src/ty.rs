@@ -1,0 +1,116 @@
+//! Guest-language types as they appear in class files.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::ClassName;
+use crate::{OBJECT_CLASS, STRING_CLASS};
+
+/// A guest type: primitive, class reference, or array.
+///
+/// `Void` only appears as a method return type.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Reference to an instance of the named class (or a subclass).
+    Class(ClassName),
+    /// Array with the given element type.
+    Array(Box<Type>),
+    /// Absence of a value; valid only as a return type.
+    Void,
+}
+
+impl Type {
+    /// The builtin string type (`Class("String")`).
+    pub fn string() -> Type {
+        Type::Class(ClassName::from(STRING_CLASS))
+    }
+
+    /// The root object type (`Class("Object")`).
+    pub fn object() -> Type {
+        Type::Class(ClassName::from(OBJECT_CLASS))
+    }
+
+    /// Convenience constructor for array types.
+    pub fn array(elem: Type) -> Type {
+        Type::Array(Box::new(elem))
+    }
+
+    /// Whether values of this type are heap references (classes, arrays).
+    ///
+    /// The GC uses per-class layouts derived from this to find pointer
+    /// fields during the copying traversal.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Class(_) | Type::Array(_))
+    }
+
+    /// Whether this is a primitive value type (`Int` or `Bool`).
+    pub fn is_primitive(&self) -> bool {
+        matches!(self, Type::Int | Type::Bool)
+    }
+
+    /// The class name if this is a class type.
+    pub fn class_name(&self) -> Option<&ClassName> {
+        match self {
+            Type::Class(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The element type if this is an array type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Array(elem) => Some(elem),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Bool => f.write_str("bool"),
+            Type::Class(name) => write!(f, "{name}"),
+            Type::Array(elem) => write!(f, "{elem}[]"),
+            Type::Void => f.write_str("void"),
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Type({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nested_array() {
+        let ty = Type::array(Type::array(Type::Int));
+        assert_eq!(ty.to_string(), "int[][]");
+    }
+
+    #[test]
+    fn reference_classification() {
+        assert!(Type::string().is_reference());
+        assert!(Type::array(Type::Int).is_reference());
+        assert!(!Type::Int.is_reference());
+        assert!(!Type::Void.is_reference());
+        assert!(Type::Bool.is_primitive());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Type::string().class_name().unwrap().as_str(), "String");
+        assert_eq!(Type::array(Type::Int).elem(), Some(&Type::Int));
+        assert_eq!(Type::Int.elem(), None);
+    }
+}

@@ -1,0 +1,1047 @@
+//! Bytecode verification by abstract interpretation.
+//!
+//! JVolve "relies on bytecode verification to statically type-check updated
+//! classes" (paper §1): an update is only admitted if every new class file
+//! verifies against the updated class set. This module implements a
+//! JVM-style dataflow verifier: it simulates every method over a lattice of
+//! *verification types*, merging states at control-flow joins, and rejects
+//! ill-typed code, bad branches, stack-shape mismatches, access-control
+//! violations, and writes to `final` fields outside constructors.
+//!
+//! Transformer classes are compiled with `ClassFlags::access_override`
+//! (the paper's JastAdd extension); for those, access-control and
+//! final-field checks are relaxed exactly as footnote 1 of the paper
+//! describes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::bytecode::Instr;
+use crate::class::{ClassFile, FieldDef, MethodDef, MethodKind, Visibility, CTOR_NAME};
+use crate::name::ClassName;
+use crate::ty::Type;
+use crate::{ClassResolver, OBJECT_CLASS, STRING_CLASS};
+
+/// A verification failure, with enough context to debug generated code.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Class being verified.
+    pub class: ClassName,
+    /// Method being verified, if the error is method-local.
+    pub method: Option<String>,
+    /// Offending instruction index, if method-local.
+    pub pc: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl VerifyError {
+    fn class_level(class: &ClassName, message: impl Into<String>) -> Self {
+        VerifyError { class: class.clone(), method: None, pc: None, message: message.into() }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of {} failed", self.class)?;
+        if let Some(m) = &self.method {
+            write!(f, " in method {m}")?;
+        }
+        if let Some(pc) = self.pc {
+            write!(f, " at pc {pc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl fmt::Debug for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerifyError({self})")
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verification type lattice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum VType {
+    /// Unusable / uninitialized (lattice top: merge of incompatible types).
+    Top,
+    /// Integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Reference to an instance of the class or a subclass.
+    Ref(ClassName),
+    /// Array of the given element type.
+    Array(Type),
+    /// The null reference (bottom of the reference sub-lattice).
+    Null,
+}
+
+impl VType {
+    fn of(ty: &Type) -> VType {
+        match ty {
+            Type::Int => VType::Int,
+            Type::Bool => VType::Bool,
+            Type::Class(name) => VType::Ref(name.clone()),
+            Type::Array(elem) => VType::Array((**elem).clone()),
+            Type::Void => VType::Top,
+        }
+    }
+
+    fn is_reference(&self) -> bool {
+        matches!(self, VType::Ref(_) | VType::Array(_) | VType::Null)
+    }
+}
+
+impl fmt::Display for VType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VType::Top => f.write_str("<unusable>"),
+            VType::Int => f.write_str("int"),
+            VType::Bool => f.write_str("bool"),
+            VType::Ref(c) => write!(f, "{c}"),
+            VType::Array(t) => write!(f, "{t}[]"),
+            VType::Null => f.write_str("null"),
+        }
+    }
+}
+
+/// Abstract machine state at one program point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Frame {
+    locals: Vec<VType>,
+    stack: Vec<VType>,
+}
+
+/// Verifies a whole class against a resolver holding the full program.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found: structural problems (missing or
+/// cyclic superclasses, duplicate members, bad overrides) or method-level
+/// type errors.
+pub fn verify_class<R: ClassResolver>(resolver: &R, class: &ClassFile) -> Result<(), VerifyError> {
+    verify_structure(resolver, class)?;
+    for method in &class.methods {
+        if let Some(code) = &method.code {
+            let mut v = MethodVerifier { resolver, class, method, code_len: code.instrs.len() };
+            v.run(&code.instrs, code.max_locals)?;
+        } else if !class.flags.native {
+            return Err(VerifyError::class_level(
+                &class.name,
+                format!("method {} has no code but class is not native", method.name),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies every class in an iterator (e.g. a whole update payload).
+///
+/// # Errors
+///
+/// Returns the first error across all classes.
+pub fn verify_all<'a, R: ClassResolver>(
+    resolver: &R,
+    classes: impl IntoIterator<Item = &'a ClassFile>,
+) -> Result<(), VerifyError> {
+    for class in classes {
+        verify_class(resolver, class)?;
+    }
+    Ok(())
+}
+
+fn verify_structure<R: ClassResolver>(resolver: &R, class: &ClassFile) -> Result<(), VerifyError> {
+    // Superclass chain exists and is acyclic.
+    let mut seen = vec![class.name.clone()];
+    let mut cur = class.superclass.clone();
+    while let Some(name) = cur {
+        if seen.contains(&name) {
+            return Err(VerifyError::class_level(
+                &class.name,
+                format!("cyclic superclass chain through {name}"),
+            ));
+        }
+        let sup = resolver.resolve(&name).ok_or_else(|| {
+            VerifyError::class_level(&class.name, format!("unknown superclass {name}"))
+        })?;
+        seen.push(name);
+        cur = sup.superclass.clone();
+    }
+
+    // Unique member names.
+    for (i, f) in class.fields.iter().enumerate() {
+        if class.fields[..i].iter().any(|g| g.name == f.name) {
+            return Err(VerifyError::class_level(
+                &class.name,
+                format!("duplicate field {}", f.name),
+            ));
+        }
+    }
+    for (i, f) in class.static_fields.iter().enumerate() {
+        if class.static_fields[..i].iter().any(|g| g.name == f.name) {
+            return Err(VerifyError::class_level(
+                &class.name,
+                format!("duplicate static field {}", f.name),
+            ));
+        }
+    }
+    for (i, m) in class.methods.iter().enumerate() {
+        if class.methods[..i].iter().any(|n| n.name == m.name) {
+            return Err(VerifyError::class_level(
+                &class.name,
+                format!("duplicate method {}", m.name),
+            ));
+        }
+    }
+
+    // Overrides must preserve the signature (TIB slots are shared).
+    if let Some(sup_name) = &class.superclass {
+        for m in &class.methods {
+            if m.kind != MethodKind::Regular || m.is_static {
+                continue;
+            }
+            if let Some((_, sup_m)) = lookup_method(resolver, sup_name, &m.name) {
+                if sup_m.is_static || sup_m.kind != MethodKind::Regular {
+                    continue;
+                }
+                if sup_m.params != m.params || sup_m.ret != m.ret {
+                    return Err(VerifyError::class_level(
+                        &class.name,
+                        format!(
+                            "method {} overrides a superclass method with a different signature \
+                             ({} vs {})",
+                            m.name,
+                            m.signature(),
+                            sup_m.signature()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Looks a method up starting at `class`, walking the superclass chain.
+/// Returns the declaring class name and the definition.
+pub fn lookup_method<'a, R: ClassResolver>(
+    resolver: &'a R,
+    class: &ClassName,
+    method: &str,
+) -> Option<(ClassName, &'a MethodDef)> {
+    let mut cur = Some(class.clone());
+    while let Some(name) = cur {
+        let c = resolver.resolve(&name)?;
+        if let Some(m) = c.find_method(method) {
+            return Some((name, m));
+        }
+        cur = c.superclass.clone();
+    }
+    None
+}
+
+/// Looks an instance field up starting at `class`, walking supers.
+pub fn lookup_field<'a, R: ClassResolver>(
+    resolver: &'a R,
+    class: &ClassName,
+    field: &str,
+) -> Option<(ClassName, &'a FieldDef)> {
+    let mut cur = Some(class.clone());
+    while let Some(name) = cur {
+        let c = resolver.resolve(&name)?;
+        if let Some(f) = c.find_field(field) {
+            return Some((name, f));
+        }
+        cur = c.superclass.clone();
+    }
+    None
+}
+
+/// Looks a static field up starting at `class`, walking supers.
+pub fn lookup_static_field<'a, R: ClassResolver>(
+    resolver: &'a R,
+    class: &ClassName,
+    field: &str,
+) -> Option<(ClassName, &'a FieldDef)> {
+    let mut cur = Some(class.clone());
+    while let Some(name) = cur {
+        let c = resolver.resolve(&name)?;
+        if let Some(f) = c.find_static_field(field) {
+            return Some((name, f));
+        }
+        cur = c.superclass.clone();
+    }
+    None
+}
+
+/// Whether `sub` is `sup` or a transitive subclass of it.
+pub fn is_subclass<R: ClassResolver>(resolver: &R, sub: &ClassName, sup: &ClassName) -> bool {
+    let mut cur = Some(sub.clone());
+    while let Some(name) = cur {
+        if &name == sup {
+            return true;
+        }
+        cur = resolver.resolve(&name).and_then(|c| c.superclass.clone());
+    }
+    false
+}
+
+struct MethodVerifier<'a, R: ClassResolver> {
+    resolver: &'a R,
+    class: &'a ClassFile,
+    method: &'a MethodDef,
+    code_len: usize,
+}
+
+impl<'a, R: ClassResolver> MethodVerifier<'a, R> {
+    fn err(&self, pc: usize, message: impl Into<String>) -> VerifyError {
+        VerifyError {
+            class: self.class.name.clone(),
+            method: Some(self.method.name.clone()),
+            pc: Some(pc as u32),
+            message: message.into(),
+        }
+    }
+
+    fn run(&mut self, instrs: &[Instr], max_locals: u16) -> Result<(), VerifyError> {
+        if instrs.is_empty() {
+            return Err(self.err(0, "empty method body"));
+        }
+        let mut locals = Vec::with_capacity(max_locals as usize);
+        if !self.method.is_static {
+            locals.push(VType::Ref(self.class.name.clone()));
+        }
+        for p in &self.method.params {
+            locals.push(VType::of(p));
+        }
+        if locals.len() > max_locals as usize {
+            return Err(self.err(0, "max_locals smaller than parameter count"));
+        }
+        locals.resize(max_locals as usize, VType::Top);
+
+        let entry = Frame { locals, stack: Vec::new() };
+        let mut states: Vec<Option<Frame>> = vec![None; instrs.len()];
+        states[0] = Some(entry);
+        let mut worklist: VecDeque<usize> = VecDeque::from([0usize]);
+
+        while let Some(pc) = worklist.pop_front() {
+            let frame = states[pc].clone().expect("worklist entries have states");
+            let instr = &instrs[pc];
+            let mut out = frame;
+            let mut successors: Vec<usize> = Vec::with_capacity(2);
+
+            self.step(pc, instr, &mut out)?;
+
+            if let Some(target) = instr.branch_target() {
+                let target = target as usize;
+                if target >= self.code_len {
+                    return Err(self.err(pc, format!("branch target {target} out of range")));
+                }
+                successors.push(target);
+            }
+            if !instr.is_terminator() {
+                if pc + 1 >= self.code_len {
+                    return Err(self.err(pc, "control falls off the end of the method"));
+                }
+                successors.push(pc + 1);
+            }
+
+            for succ in successors {
+                match &mut states[succ] {
+                    slot @ None => {
+                        *slot = Some(out.clone());
+                        worklist.push_back(succ);
+                    }
+                    Some(existing) => {
+                        if merge_frames(self.resolver, existing, &out)
+                            .map_err(|m| self.err(pc, m))?
+                        {
+                            worklist.push_back(succ);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn step(&self, pc: usize, instr: &Instr, frame: &mut Frame) -> Result<(), VerifyError> {
+        macro_rules! pop {
+            () => {
+                frame.stack.pop().ok_or_else(|| self.err(pc, "operand stack underflow"))?
+            };
+        }
+        macro_rules! pop_int {
+            () => {{
+                let v = pop!();
+                if v != VType::Int {
+                    return Err(self.err(pc, format!("expected int on stack, found {v}")));
+                }
+            }};
+        }
+        macro_rules! pop_bool {
+            () => {{
+                let v = pop!();
+                if v != VType::Bool {
+                    return Err(self.err(pc, format!("expected bool on stack, found {v}")));
+                }
+            }};
+        }
+        macro_rules! pop_assignable {
+            ($ty:expr) => {{
+                let v = pop!();
+                if !self.assignable(&v, $ty) {
+                    return Err(self.err(pc, format!("expected {}, found {v}", $ty)));
+                }
+            }};
+        }
+
+        match instr {
+            Instr::ConstInt(_) => frame.stack.push(VType::Int),
+            Instr::ConstBool(_) => frame.stack.push(VType::Bool),
+            Instr::ConstStr(_) => frame.stack.push(VType::Ref(ClassName::from(STRING_CLASS))),
+            Instr::ConstNull => frame.stack.push(VType::Null),
+
+            Instr::Load(slot) => {
+                let v = frame
+                    .locals
+                    .get(*slot as usize)
+                    .ok_or_else(|| self.err(pc, format!("local slot {slot} out of range")))?
+                    .clone();
+                if v == VType::Top {
+                    return Err(self.err(pc, format!("load of uninitialized local {slot}")));
+                }
+                frame.stack.push(v);
+            }
+            Instr::Store(slot) => {
+                let v = pop!();
+                let slot = *slot as usize;
+                if slot >= frame.locals.len() {
+                    return Err(self.err(pc, format!("local slot {slot} out of range")));
+                }
+                frame.locals[slot] = v;
+            }
+
+            Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Rem => {
+                pop_int!();
+                pop_int!();
+                frame.stack.push(VType::Int);
+            }
+            Instr::Neg => {
+                pop_int!();
+                frame.stack.push(VType::Int);
+            }
+            Instr::CmpEq | Instr::CmpNe | Instr::CmpLt | Instr::CmpLe | Instr::CmpGt
+            | Instr::CmpGe => {
+                pop_int!();
+                pop_int!();
+                frame.stack.push(VType::Bool);
+            }
+            Instr::Not => {
+                pop_bool!();
+                frame.stack.push(VType::Bool);
+            }
+            Instr::BoolEq => {
+                pop_bool!();
+                pop_bool!();
+                frame.stack.push(VType::Bool);
+            }
+            Instr::RefEq | Instr::RefNe => {
+                let a = pop!();
+                let b = pop!();
+                if !a.is_reference() || !b.is_reference() {
+                    return Err(self.err(pc, "reference comparison on non-references"));
+                }
+                frame.stack.push(VType::Bool);
+            }
+            Instr::StrConcat => {
+                pop_assignable!(&Type::string());
+                pop_assignable!(&Type::string());
+                frame.stack.push(VType::Ref(ClassName::from(STRING_CLASS)));
+            }
+            Instr::StrEq => {
+                pop_assignable!(&Type::string());
+                pop_assignable!(&Type::string());
+                frame.stack.push(VType::Bool);
+            }
+
+            Instr::New(class) => {
+                let c = self
+                    .resolver
+                    .resolve(class)
+                    .ok_or_else(|| self.err(pc, format!("new of unknown class {class}")))?;
+                if c.flags.native {
+                    return Err(self.err(pc, format!("cannot instantiate native class {class}")));
+                }
+                frame.stack.push(VType::Ref(class.clone()));
+            }
+            Instr::GetField { class, field } => {
+                let (decl, def) = lookup_field(self.resolver, class, field)
+                    .ok_or_else(|| self.err(pc, format!("unknown field {class}.{field}")))?;
+                self.check_member_access(pc, &decl, def.visibility)?;
+                pop_assignable!(&Type::Class(class.clone()));
+                frame.stack.push(VType::of(&def.ty));
+            }
+            Instr::PutField { class, field } => {
+                let (decl, def) = lookup_field(self.resolver, class, field)
+                    .ok_or_else(|| self.err(pc, format!("unknown field {class}.{field}")))?;
+                self.check_member_access(pc, &decl, def.visibility)?;
+                self.check_final_write(pc, &decl, def)?;
+                let ty = def.ty.clone();
+                pop_assignable!(&ty);
+                pop_assignable!(&Type::Class(class.clone()));
+            }
+            Instr::GetStatic { class, field } => {
+                let (decl, def) = lookup_static_field(self.resolver, class, field)
+                    .ok_or_else(|| self.err(pc, format!("unknown static field {class}.{field}")))?;
+                self.check_member_access(pc, &decl, def.visibility)?;
+                frame.stack.push(VType::of(&def.ty));
+            }
+            Instr::PutStatic { class, field } => {
+                let (decl, def) = lookup_static_field(self.resolver, class, field)
+                    .ok_or_else(|| self.err(pc, format!("unknown static field {class}.{field}")))?;
+                self.check_member_access(pc, &decl, def.visibility)?;
+                self.check_final_write(pc, &decl, def)?;
+                let ty = def.ty.clone();
+                pop_assignable!(&ty);
+            }
+
+            Instr::NewArray(elem) => {
+                pop_int!();
+                frame.stack.push(VType::Array(elem.clone()));
+            }
+            Instr::ALoad => {
+                pop_int!();
+                let arr = pop!();
+                match arr {
+                    VType::Array(elem) => frame.stack.push(VType::of(&elem)),
+                    other => {
+                        return Err(self.err(pc, format!("array load on non-array {other}")));
+                    }
+                }
+            }
+            Instr::AStore => {
+                let val = pop!();
+                pop_int!();
+                let arr = pop!();
+                match arr {
+                    VType::Array(elem) => {
+                        if !self.assignable(&val, &elem) {
+                            return Err(self.err(
+                                pc,
+                                format!("array store of {val} into {elem}[]"),
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(self.err(pc, format!("array store on non-array {other}")));
+                    }
+                }
+            }
+            Instr::ArrayLen => {
+                let arr = pop!();
+                if !matches!(arr, VType::Array(_)) {
+                    return Err(self.err(pc, format!("array length of non-array {arr}")));
+                }
+                frame.stack.push(VType::Int);
+            }
+
+            Instr::CallVirtual { class, method, argc } => {
+                let (decl, def) = lookup_method(self.resolver, class, method)
+                    .ok_or_else(|| self.err(pc, format!("unknown method {class}.{method}")))?;
+                if def.is_static {
+                    return Err(self.err(pc, format!("virtual call to static {class}.{method}")));
+                }
+                self.check_member_access(pc, &decl, def.visibility)?;
+                self.check_call_args(pc, frame, def, *argc)?;
+                pop_assignable!(&Type::Class(class.clone()));
+                if def.ret != Type::Void {
+                    frame.stack.push(VType::of(&def.ret));
+                }
+            }
+            Instr::CallStatic { class, method, argc } => {
+                let (decl, def) = lookup_method(self.resolver, class, method)
+                    .ok_or_else(|| self.err(pc, format!("unknown method {class}.{method}")))?;
+                if !def.is_static {
+                    return Err(self.err(pc, format!("static call to instance {class}.{method}")));
+                }
+                self.check_member_access(pc, &decl, def.visibility)?;
+                self.check_call_args(pc, frame, def, *argc)?;
+                if def.ret != Type::Void {
+                    frame.stack.push(VType::of(&def.ret));
+                }
+            }
+            Instr::CallSpecial { class, method, argc } => {
+                let c = self
+                    .resolver
+                    .resolve(class)
+                    .ok_or_else(|| self.err(pc, format!("special call to unknown class {class}")))?;
+                let def = c.find_method(method).ok_or_else(|| {
+                    self.err(pc, format!("special call to unknown method {class}.{method}"))
+                })?;
+                if def.is_static {
+                    return Err(self.err(pc, format!("special call to static {class}.{method}")));
+                }
+                self.check_member_access(pc, class, def.visibility)?;
+                self.check_call_args(pc, frame, def, *argc)?;
+                pop_assignable!(&Type::Class(class.clone()));
+                if def.ret != Type::Void {
+                    frame.stack.push(VType::of(&def.ret));
+                }
+            }
+
+            Instr::Jump(_) => {}
+            Instr::JumpIfTrue(_) | Instr::JumpIfFalse(_) => pop_bool!(),
+            Instr::Return => {
+                if self.method.ret != Type::Void {
+                    return Err(self.err(pc, "void return from non-void method"));
+                }
+            }
+            Instr::ReturnValue => {
+                if self.method.ret == Type::Void {
+                    return Err(self.err(pc, "value return from void method"));
+                }
+                let ret = self.method.ret.clone();
+                pop_assignable!(&ret);
+            }
+
+            Instr::Pop => {
+                pop!();
+            }
+            Instr::Dup => {
+                let v = pop!();
+                frame.stack.push(v.clone());
+                frame.stack.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_call_args(
+        &self,
+        pc: usize,
+        frame: &mut Frame,
+        def: &MethodDef,
+        argc: u8,
+    ) -> Result<(), VerifyError> {
+        if def.params.len() != argc as usize {
+            return Err(self.err(
+                pc,
+                format!("call passes {argc} arguments, method takes {}", def.params.len()),
+            ));
+        }
+        // Arguments were pushed left-to-right; pop right-to-left.
+        for param in def.params.iter().rev() {
+            let v = frame.stack.pop().ok_or_else(|| self.err(pc, "operand stack underflow"))?;
+            if !self.assignable(&v, param) {
+                return Err(self.err(pc, format!("argument type {v} not assignable to {param}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_member_access(
+        &self,
+        pc: usize,
+        declaring: &ClassName,
+        visibility: Visibility,
+    ) -> Result<(), VerifyError> {
+        if self.class.flags.access_override {
+            return Ok(());
+        }
+        let ok = match visibility {
+            Visibility::Public => true,
+            Visibility::Private => &self.class.name == declaring,
+            Visibility::Protected => is_subclass(self.resolver, &self.class.name, declaring),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(self.err(pc, format!("{visibility:?} member of {declaring} not accessible")))
+        }
+    }
+
+    fn check_final_write(
+        &self,
+        pc: usize,
+        declaring: &ClassName,
+        field: &FieldDef,
+    ) -> Result<(), VerifyError> {
+        if !field.is_final || self.class.flags.access_override {
+            return Ok(());
+        }
+        let in_ctor = matches!(self.method.kind, MethodKind::Constructor | MethodKind::StaticInit)
+            || self.method.name == CTOR_NAME;
+        if in_ctor && &self.class.name == declaring {
+            Ok(())
+        } else {
+            Err(self.err(pc, format!("write to final field {declaring}.{}", field.name)))
+        }
+    }
+
+    fn assignable(&self, from: &VType, to: &Type) -> bool {
+        match (from, to) {
+            (VType::Int, Type::Int) => true,
+            (VType::Bool, Type::Bool) => true,
+            (VType::Null, t) => t.is_reference(),
+            (VType::Ref(c), Type::Class(d)) => is_subclass(self.resolver, c, d),
+            (VType::Array(_), Type::Class(d)) => d.as_str() == OBJECT_CLASS,
+            (VType::Array(a), Type::Array(b)) => a == &**b,
+            _ => false,
+        }
+    }
+}
+
+/// Merges `incoming` into `existing`; returns `Ok(true)` if `existing`
+/// changed (the successor must be revisited).
+fn merge_frames<R: ClassResolver>(
+    resolver: &R,
+    existing: &mut Frame,
+    incoming: &Frame,
+) -> Result<bool, String> {
+    if existing.stack.len() != incoming.stack.len() {
+        return Err(format!(
+            "operand stack depth mismatch at join ({} vs {})",
+            existing.stack.len(),
+            incoming.stack.len()
+        ));
+    }
+    if existing.locals.len() != incoming.locals.len() {
+        return Err("local count mismatch at join".to_string());
+    }
+    let mut changed = false;
+    for (e, i) in existing.locals.iter_mut().chain(existing.stack.iter_mut()).zip(
+        incoming.locals.iter().chain(incoming.stack.iter()),
+    ) {
+        let merged = merge_vtype(resolver, e, i);
+        if &merged != e {
+            *e = merged;
+            changed = true;
+        }
+    }
+    Ok(changed)
+}
+
+fn merge_vtype<R: ClassResolver>(resolver: &R, a: &VType, b: &VType) -> VType {
+    if a == b {
+        return a.clone();
+    }
+    match (a, b) {
+        (VType::Null, other) | (other, VType::Null) if other.is_reference() => other.clone(),
+        (VType::Ref(x), VType::Ref(y)) => {
+            common_super(resolver, x, y).map(VType::Ref).unwrap_or(VType::Top)
+        }
+        (VType::Ref(_), VType::Array(_)) | (VType::Array(_), VType::Ref(_)) => {
+            VType::Ref(ClassName::from(OBJECT_CLASS))
+        }
+        (VType::Array(_), VType::Array(_)) => VType::Ref(ClassName::from(OBJECT_CLASS)),
+        _ => VType::Top,
+    }
+}
+
+fn common_super<R: ClassResolver>(
+    resolver: &R,
+    a: &ClassName,
+    b: &ClassName,
+) -> Option<ClassName> {
+    let mut ancestors = Vec::new();
+    let mut cur = Some(a.clone());
+    while let Some(name) = cur {
+        ancestors.push(name.clone());
+        cur = resolver.resolve(&name).and_then(|c| c.superclass.clone());
+    }
+    let mut cur = Some(b.clone());
+    while let Some(name) = cur {
+        if ancestors.contains(&name) {
+            return Some(name);
+        }
+        cur = resolver.resolve(&name).and_then(|c| c.superclass.clone());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{object_class, ClassBuilder};
+    use crate::class::ClassFlags;
+    use crate::ClassSet;
+
+    fn with_object(classes: impl IntoIterator<Item = ClassFile>) -> ClassSet {
+        let mut set: ClassSet = classes.into_iter().collect();
+        set.insert(object_class());
+        set
+    }
+
+    fn verify_one(set: &ClassSet, name: &str) -> Result<(), VerifyError> {
+        verify_class(set, set.get(&ClassName::from(name)).unwrap())
+    }
+
+    #[test]
+    fn accepts_simple_arithmetic() {
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("add", [Type::Int, Type::Int], Type::Int, |m| {
+                m.instr(Instr::Load(0))
+                    .instr(Instr::Load(1))
+                    .instr(Instr::Add)
+                    .instr(Instr::ReturnValue);
+            })
+            .build()]);
+        verify_one(&set, "T").unwrap();
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [], Type::Void, |m| {
+                m.instr(Instr::Add).instr(Instr::Return);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("underflow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_confusion_int_as_ref() {
+        let set = with_object([ClassBuilder::new("T")
+            .field("x", Type::Int)
+            .static_method("f", [], Type::Int, |m| {
+                m.instr(Instr::ConstInt(3))
+                    .instr(Instr::GetField { class: "T".into(), field: "x".into() })
+                    .instr(Instr::ReturnValue);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("expected T"), "{err}");
+    }
+
+    #[test]
+    fn rejects_falling_off_end() {
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [], Type::Void, |m| {
+                m.instr(Instr::ConstInt(1)).instr(Instr::Pop);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("falls off"), "{err}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [], Type::Void, |m| {
+                m.instr(Instr::Jump(99));
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stack_depth_mismatch_at_join() {
+        // One path pushes an extra int before the join.
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [Type::Bool], Type::Void, |m| {
+                m.instr(Instr::Load(0))
+                    .instr(Instr::JumpIfFalse(3))
+                    .instr(Instr::ConstInt(1))
+                    // join at pc 3 with depth 1 on one path, 0 on the other
+                    .instr(Instr::Return);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("depth mismatch"), "{err}");
+    }
+
+    #[test]
+    fn merges_refs_to_common_super() {
+        let set = with_object([
+            ClassBuilder::new("A").build(),
+            ClassBuilder::new("B").extends("A").build(),
+            ClassBuilder::new("C").extends("A").build(),
+            ClassBuilder::new("T")
+                .static_method("f", [Type::Bool], Type::Class("A".into()), |m| {
+                    m.instr(Instr::Load(0));
+                    let j = m.emit_forward(Instr::JumpIfFalse(0));
+                    m.instr(Instr::New("B".into()));
+                    let out = m.emit_forward(Instr::Jump(0));
+                    m.patch_to_here(j);
+                    m.instr(Instr::New("C".into()));
+                    m.patch_to_here(out);
+                    m.instr(Instr::ReturnValue);
+                })
+                .build(),
+        ]);
+        verify_one(&set, "T").unwrap();
+    }
+
+    #[test]
+    fn rejects_private_access_from_other_class() {
+        let set = with_object([
+            ClassBuilder::new("A")
+                .field_full("secret", Type::Int, Visibility::Private, false)
+                .build(),
+            ClassBuilder::new("T")
+                .static_method("f", [Type::Class("A".into())], Type::Int, |m| {
+                    m.instr(Instr::Load(0))
+                        .instr(Instr::GetField { class: "A".into(), field: "secret".into() })
+                        .instr(Instr::ReturnValue);
+                })
+                .build(),
+        ]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("not accessible"), "{err}");
+    }
+
+    #[test]
+    fn access_override_permits_private_access_and_final_writes() {
+        // The transformer-class allowance (paper §2.3 / footnote 1).
+        let set = with_object([
+            ClassBuilder::new("A")
+                .field_full("secret", Type::Int, Visibility::Private, true)
+                .build(),
+            ClassBuilder::new("JvolveTransformers")
+                .flags(ClassFlags::ACCESS_OVERRIDE)
+                .static_method("t", [Type::Class("A".into())], Type::Void, |m| {
+                    m.instr(Instr::Load(0))
+                        .instr(Instr::ConstInt(42))
+                        .instr(Instr::PutField { class: "A".into(), field: "secret".into() })
+                        .instr(Instr::Return);
+                })
+                .build(),
+        ]);
+        verify_one(&set, "JvolveTransformers").unwrap();
+    }
+
+    #[test]
+    fn rejects_final_write_outside_constructor() {
+        let set = with_object([ClassBuilder::new("A")
+            .field_full("id", Type::Int, Visibility::Public, true)
+            .method("setId", [Type::Int], Type::Void, |m| {
+                m.instr(Instr::Load(0))
+                    .instr(Instr::Load(1))
+                    .instr(Instr::PutField { class: "A".into(), field: "id".into() })
+                    .instr(Instr::Return);
+            })
+            .build()]);
+        let err = verify_one(&set, "A").unwrap_err();
+        assert!(err.message.contains("final"), "{err}");
+    }
+
+    #[test]
+    fn accepts_final_write_in_constructor() {
+        let set = with_object([ClassBuilder::new("A")
+            .field_full("id", Type::Int, Visibility::Public, true)
+            .constructor([Type::Int], |m| {
+                m.instr(Instr::Load(0))
+                    .instr(Instr::Load(1))
+                    .instr(Instr::PutField { class: "A".into(), field: "id".into() })
+                    .instr(Instr::Return);
+            })
+            .build()]);
+        verify_one(&set, "A").unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_override() {
+        let set = with_object([
+            ClassBuilder::new("A")
+                .method("f", [Type::Int], Type::Void, |m| {
+                    m.instr(Instr::Return);
+                })
+                .build(),
+            ClassBuilder::new("B")
+                .extends("A")
+                .method("f", [Type::Bool], Type::Void, |m| {
+                    m.instr(Instr::Return);
+                })
+                .build(),
+        ]);
+        let err = verify_one(&set, "B").unwrap_err();
+        assert!(err.message.contains("different signature"), "{err}");
+    }
+
+    #[test]
+    fn rejects_cyclic_superclass() {
+        let set: ClassSet = [
+            ClassBuilder::new("A").extends("B").build(),
+            ClassBuilder::new("B").extends("A").build(),
+        ]
+        .into_iter()
+        .collect();
+        let err = verify_class(&set, set.get(&ClassName::from("A")).unwrap()).unwrap_err();
+        assert!(err.message.contains("cyclic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_argument_count() {
+        let set = with_object([
+            ClassBuilder::new("A")
+                .static_method("g", [Type::Int], Type::Void, |m| {
+                    m.instr(Instr::Return);
+                })
+                .static_method("f", [], Type::Void, |m| {
+                    m.instr(Instr::CallStatic { class: "A".into(), method: "g".into(), argc: 0 })
+                        .instr(Instr::Return);
+                })
+                .build(),
+        ]);
+        let err = verify_one(&set, "A").unwrap_err();
+        assert!(err.message.contains("arguments"), "{err}");
+    }
+
+    #[test]
+    fn rejects_uninitialized_local_load() {
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [], Type::Int, |m| {
+                m.locals(2);
+                m.instr(Instr::Load(1)).instr(Instr::ReturnValue);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("uninitialized"), "{err}");
+    }
+
+    #[test]
+    fn loop_with_back_edge_verifies() {
+        // sum = 0; i = 0; while (i < n) { sum += i; i += 1; } return sum;
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("sum", [Type::Int], Type::Int, |m| {
+                m.locals(3);
+                m.instr(Instr::ConstInt(0)).instr(Instr::Store(1)); // sum
+                m.instr(Instr::ConstInt(0)).instr(Instr::Store(2)); // i
+                let head = m.here();
+                m.instr(Instr::Load(2)).instr(Instr::Load(0)).instr(Instr::CmpLt);
+                let exit = m.emit_forward(Instr::JumpIfFalse(0));
+                m.instr(Instr::Load(1)).instr(Instr::Load(2)).instr(Instr::Add);
+                m.instr(Instr::Store(1));
+                m.instr(Instr::Load(2)).instr(Instr::ConstInt(1)).instr(Instr::Add);
+                m.instr(Instr::Store(2));
+                m.instr(Instr::Jump(head));
+                m.patch_to_here(exit);
+                m.instr(Instr::Load(1)).instr(Instr::ReturnValue);
+            })
+            .build()]);
+        verify_one(&set, "T").unwrap();
+    }
+
+    #[test]
+    fn null_merges_with_reference() {
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [Type::Bool], Type::string(), |m| {
+                m.instr(Instr::Load(0));
+                let j = m.emit_forward(Instr::JumpIfFalse(0));
+                m.instr(Instr::ConstStr("yes".into()));
+                let out = m.emit_forward(Instr::Jump(0));
+                m.patch_to_here(j);
+                m.instr(Instr::ConstNull);
+                m.patch_to_here(out);
+                m.instr(Instr::ReturnValue);
+            })
+            .build()]);
+        verify_one(&set, "T").unwrap();
+    }
+}

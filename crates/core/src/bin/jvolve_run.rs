@@ -1,0 +1,104 @@
+//! `jvolve_run` — run an MJ program on the VM, optionally applying a
+//! dynamic update while it runs (the paper's Figure 1 workflow as one
+//! command).
+//!
+//! ```text
+//! jvolve_run <v1.mj> --main Class.method [--slices N]
+//!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]]
+//! ```
+
+use std::process::ExitCode;
+
+use jvolve::{apply, ApplyOptions, Update};
+use jvolve_vm::{Vm, VmConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(program) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: jvolve_run <v1.mj> --main Class.method [--slices N] \
+             [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]]"
+        );
+        return ExitCode::from(2);
+    };
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let main_spec = flag("--main").unwrap_or_else(|| "Main.main".to_string());
+    let (main_class, main_method) =
+        main_spec.split_once('.').unwrap_or((main_spec.as_str(), "main"));
+    let slices: usize = flag("--slices").and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let after: usize = flag("--after").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let prefix = flag("--prefix").unwrap_or_else(|| "v1_".to_string());
+
+    let v1 = match std::fs::read_to_string(program)
+        .map_err(|e| e.to_string())
+        .and_then(|s| jvolve_lang::compile(&s).map_err(|e| e.to_string()))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("jvolve_run: {program}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut vm = Vm::new(VmConfig { echo_output: true, ..VmConfig::default() });
+    if let Err(e) = vm.load_classes(&v1) {
+        eprintln!("jvolve_run: load failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = vm.spawn(main_class, main_method) {
+        eprintln!("jvolve_run: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let update = match flag("--update") {
+        None => None,
+        Some(path) => {
+            let v2 = match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| jvolve_lang::compile(&s).map_err(|e| e.to_string()))
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("jvolve_run: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut update = match Update::prepare(&v1, &v2, &prefix) {
+                Ok(u) => u,
+                Err(e) => {
+                    eprintln!("jvolve_run: prepare failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(tpath) = flag("--transformers") {
+                match std::fs::read_to_string(&tpath) {
+                    Ok(src) => update.set_transformers_source(src),
+                    Err(e) => {
+                        eprintln!("jvolve_run: {tpath}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Some(update)
+        }
+    };
+
+    vm.run_slices(after.max(1));
+    if let Some(update) = update {
+        eprintln!("jvolve_run: applying update after {after} slices ...");
+        match apply(&mut vm, &update, &ApplyOptions::default()) {
+            Ok(stats) => eprintln!(
+                "jvolve_run: updated ({} objects transformed, pause {:?})",
+                stats.objects_transformed, stats.total_time
+            ),
+            Err(e) => {
+                eprintln!("jvolve_run: update failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    vm.run_to_completion(slices);
+    ExitCode::SUCCESS
+}

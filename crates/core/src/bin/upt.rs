@@ -1,0 +1,127 @@
+//! `upt` — the update preparation tool as a CLI (paper §3.1 / Figure 1).
+//!
+//! ```text
+//! upt <old.mj> <new.mj> [--prefix vN_] [--spec spec.json] [--transformers t.mj]
+//! ```
+//!
+//! Diffs two program versions, prints the per-release summary row and the
+//! classification, and writes the update specification (JSON) and the
+//! generated default `JvolveTransformers` source for the developer to
+//! customize.
+
+use std::process::ExitCode;
+
+use jvolve::{ReleaseSummary, Update};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Positional arguments: everything that is neither a flag nor the
+    // value following one.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip = false;
+    for a in &args {
+        if skip {
+            skip = false;
+        } else if a.starts_with("--") {
+            skip = true;
+        } else {
+            positional.push(a);
+        }
+    }
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: upt <old.mj> <new.mj> [--prefix vN_] [--spec out.json] [--transformers out.mj]"
+        );
+        return ExitCode::from(2);
+    }
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let prefix = flag("--prefix").unwrap_or_else(|| "v1_".to_string());
+
+    let old_src = match std::fs::read_to_string(positional[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("upt: cannot read {}: {e}", positional[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let new_src = match std::fs::read_to_string(positional[1]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("upt: cannot read {}: {e}", positional[1]);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let old = match jvolve_lang::compile(&old_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("upt: old version does not compile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new = match jvolve_lang::compile(&new_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("upt: new version does not compile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let update = match Update::prepare(&old, &new, &prefix) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("upt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let summary = ReleaseSummary::from_spec(&prefix, &update.spec);
+    println!("{}", ReleaseSummary::table_header());
+    println!("{summary}");
+    println!();
+    for delta in &update.spec.changed {
+        println!("{}: {:?}{}", delta.name, delta.kind, if delta.inherited_only {
+            " (inherited layout change)"
+        } else {
+            ""
+        });
+    }
+    for name in &update.spec.added_classes {
+        println!("{name}: Added");
+    }
+    for name in &update.spec.deleted_classes {
+        println!("{name}: Deleted");
+    }
+    println!(
+        "\nindirect (category-2) methods: {}",
+        update
+            .spec
+            .indirect_methods
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "method-body-only (E&C) systems could apply this update: {}",
+        if update.spec.is_body_only() { "yes" } else { "no" }
+    );
+
+    if let Some(path) = flag("--spec") {
+        if let Err(e) = std::fs::write(&path, update.spec.to_json()) {
+            eprintln!("upt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag("--transformers") {
+        if let Err(e) = std::fs::write(&path, &update.transformers_source) {
+            eprintln!("upt: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

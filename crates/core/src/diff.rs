@@ -1,0 +1,437 @@
+//! The update preparation tool (UPT): diffing two program versions.
+//!
+//! "To determine the changed and transitively-affected classes for a given
+//! release, we wrote a simple Update Preparation Tool that examines
+//! differences between the old and new classes provided by the user"
+//! (paper §3.1). The UPT classifies each class as a *class update* or a
+//! *method body update*, propagates layout changes down the class
+//! hierarchy, and computes the *indirect methods* whose compiled
+//! representation embeds offsets of updated classes.
+
+use std::collections::BTreeSet;
+
+use jvolve_classfile::{ClassFile, ClassName, ClassSet, MethodRef};
+
+use crate::spec::{ClassChangeKind, ClassDelta, UpdateSpec};
+
+/// Diffs two program versions into an [`UpdateSpec`].
+///
+/// `version_prefix` names the old version, e.g. `"v131_"`.
+pub fn prepare_spec(old: &ClassSet, new: &ClassSet, version_prefix: &str) -> UpdateSpec {
+    let mut changed: Vec<ClassDelta> = Vec::new();
+    let mut added_classes = Vec::new();
+    let mut deleted_classes = Vec::new();
+
+    for class in new.iter() {
+        match old.get(&class.name) {
+            None => added_classes.push(class.name.clone()),
+            Some(old_class) => {
+                if let Some(delta) = diff_class(old_class, class) {
+                    changed.push(delta);
+                }
+            }
+        }
+    }
+    for class in old.iter() {
+        if new.get(&class.name).is_none() {
+            deleted_classes.push(class.name.clone());
+        }
+    }
+
+    propagate_layout_changes(new, &mut changed);
+
+    let indirect_methods = indirect_methods(old, &changed, &added_classes, &deleted_classes);
+
+    UpdateSpec {
+        version_prefix: version_prefix.to_string(),
+        changed,
+        added_classes,
+        deleted_classes,
+        indirect_methods,
+    }
+}
+
+/// Diffs one class present in both versions. `None` when identical.
+fn diff_class(old: &ClassFile, new: &ClassFile) -> Option<ClassDelta> {
+    let mut d = ClassDelta::empty(new.name.clone(), ClassChangeKind::MethodBodyOnly);
+
+    d.superclass_changed = old.superclass != new.superclass;
+
+    // Instance fields.
+    for f in &new.fields {
+        match old.find_field(&f.name) {
+            None => d.fields_added.push(f.name.clone()),
+            Some(of) if of != f => d.fields_changed.push(f.name.clone()),
+            Some(_) => {}
+        }
+    }
+    for f in &old.fields {
+        if new.find_field(&f.name).is_none() {
+            d.fields_deleted.push(f.name.clone());
+        }
+    }
+    // Field *order* changes shift offsets even when the set is unchanged.
+    let old_order: Vec<&str> = old.fields.iter().map(|f| f.name.as_str()).collect();
+    let new_order: Vec<&str> = new.fields.iter().map(|f| f.name.as_str()).collect();
+    if d.fields_added.is_empty()
+        && d.fields_deleted.is_empty()
+        && d.fields_changed.is_empty()
+        && old_order != new_order
+    {
+        d.fields_changed.extend(
+            old_order
+                .iter()
+                .zip(&new_order)
+                .filter(|(a, b)| a != b)
+                .map(|(a, _)| a.to_string()),
+        );
+    }
+
+    // Static fields.
+    for f in &new.static_fields {
+        match old.find_static_field(&f.name) {
+            None => d.statics_added.push(f.name.clone()),
+            Some(of) if of != f => d.statics_changed.push(f.name.clone()),
+            Some(_) => {}
+        }
+    }
+    for f in &old.static_fields {
+        if new.find_static_field(&f.name).is_none() {
+            d.statics_deleted.push(f.name.clone());
+        }
+    }
+
+    // Methods.
+    for m in &new.methods {
+        match old.find_method(&m.name) {
+            None => d.methods_added.push(m.name.clone()),
+            Some(om) => {
+                if om.signature() != m.signature() {
+                    d.methods_sig_changed.push(m.name.clone());
+                } else if om.code != m.code {
+                    d.methods_body_changed.push(m.name.clone());
+                }
+            }
+        }
+    }
+    for m in &old.methods {
+        if new.find_method(&m.name).is_none() {
+            d.methods_deleted.push(m.name.clone());
+        }
+    }
+
+    if d.signature_changed() {
+        d.kind = ClassChangeKind::ClassUpdate;
+    } else if d.methods_body_changed.is_empty() {
+        return None; // identical
+    }
+    Some(d)
+}
+
+/// A class whose *ancestor* had a layout change is itself a class update:
+/// its instance layout (inherited prefix) shifts, so its instances must be
+/// transformed and its metadata reinstalled. The paper supports changes
+/// "at any level of the class hierarchy" (§2.2) via exactly this
+/// propagation.
+fn propagate_layout_changes(new: &ClassSet, changed: &mut Vec<ClassDelta>) {
+    // Fixpoint over the hierarchy: layout-affecting classes taint their
+    // subclasses.
+    let mut tainted: BTreeSet<ClassName> = changed
+        .iter()
+        .filter(|d| d.layout_changed())
+        .map(|d| d.name.clone())
+        .collect();
+
+    loop {
+        let mut grew = false;
+        for class in new.iter() {
+            if tainted.contains(&class.name) {
+                continue;
+            }
+            if let Some(sup) = &class.superclass {
+                if tainted.contains(sup) {
+                    tainted.insert(class.name.clone());
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    for name in tainted {
+        match changed.iter_mut().find(|d| d.name == name) {
+            Some(d) => {
+                if d.kind == ClassChangeKind::MethodBodyOnly {
+                    d.kind = ClassChangeKind::ClassUpdate;
+                    d.inherited_only = false;
+                }
+            }
+            None => {
+                if new.get(&name).is_some() {
+                    let mut d = ClassDelta::empty(name, ClassChangeKind::ClassUpdate);
+                    d.inherited_only = true;
+                    changed.push(d);
+                }
+            }
+        }
+    }
+    changed.sort_by(|a, b| a.name.cmp(&b.name));
+}
+
+/// Category-(2) methods: *old-version* methods whose bytecode is unchanged
+/// but references a class whose compiled representation changes (class
+/// updates, added classes shadowing nothing, deleted classes). Their
+/// compiled code holds stale offsets and must be recompiled (paper §3.1).
+fn indirect_methods(
+    old: &ClassSet,
+    changed: &[ClassDelta],
+    added: &[ClassName],
+    deleted: &[ClassName],
+) -> Vec<MethodRef> {
+    let mut updated: BTreeSet<&ClassName> = changed
+        .iter()
+        .filter(|d| d.kind == ClassChangeKind::ClassUpdate)
+        .map(|d| &d.name)
+        .collect();
+    for name in added.iter().chain(deleted) {
+        updated.insert(name);
+    }
+
+    let mut out = Vec::new();
+    for class in old.iter() {
+        let delta = changed.iter().find(|d| d.name == class.name);
+        // Every method of a class-updated class is already category (1).
+        if delta.is_some_and(|d| d.kind == ClassChangeKind::ClassUpdate) {
+            continue;
+        }
+        for m in &class.methods {
+            // Body-changed methods are category (1) too.
+            if delta.is_some_and(|d| d.methods_body_changed.contains(&m.name)) {
+                continue;
+            }
+            let Some(code) = &m.code else { continue };
+            let touches_updated = code
+                .instrs
+                .iter()
+                .filter_map(|i| i.referenced_class())
+                .any(|c| updated.contains(c));
+            if touches_updated {
+                out.push(MethodRef::new(class.name.clone(), m.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClassChangeKind::*;
+
+    fn compile_set(src: &str) -> ClassSet {
+        let mut set: ClassSet = jvolve_lang::compile(src).unwrap().into_iter().collect();
+        for b in jvolve_lang::builtins::builtin_classes() {
+            set.insert(b);
+        }
+        set
+    }
+
+    fn spec(old_src: &str, new_src: &str) -> UpdateSpec {
+        // Builtins are excluded from the diff by compiling them into both
+        // sides (identical → no delta).
+        prepare_spec(&compile_set(old_src), &compile_set(new_src), "v1_")
+    }
+
+    fn delta<'a>(s: &'a UpdateSpec, name: &str) -> &'a ClassDelta {
+        s.changed.iter().find(|d| d.name.as_str() == name).unwrap()
+    }
+
+    #[test]
+    fn identical_versions_give_empty_spec() {
+        let src = "class A { field x: int; method f(): int { return this.x; } }";
+        let s = spec(src, src);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn body_change_is_method_body_update() {
+        let s = spec(
+            "class A { method f(): int { return 1; } }",
+            "class A { method f(): int { return 2; } }",
+        );
+        let d = delta(&s, "A");
+        assert_eq!(d.kind, MethodBodyOnly);
+        assert_eq!(d.methods_body_changed, ["f"]);
+        assert!(s.is_body_only());
+    }
+
+    #[test]
+    fn field_addition_is_class_update() {
+        let s = spec(
+            "class A { field x: int; }",
+            "class A { field x: int; field y: int; }",
+        );
+        let d = delta(&s, "A");
+        assert_eq!(d.kind, ClassUpdate);
+        assert_eq!(d.fields_added, ["y"]);
+        assert!(!s.is_body_only());
+    }
+
+    #[test]
+    fn field_type_change_is_class_update() {
+        // The paper's running example: forwardAddresses changes from
+        // String[] to EmailAddress[] (Figure 2).
+        let s = spec(
+            "class User { field forwardAddresses: String[]; }",
+            "class EmailAddress { field user: String; field domain: String; }
+             class User { field forwardAddresses: EmailAddress[]; }",
+        );
+        let d = delta(&s, "User");
+        assert_eq!(d.kind, ClassUpdate);
+        assert_eq!(d.fields_changed, ["forwardAddresses"]);
+        assert_eq!(s.added_classes, [ClassName::from("EmailAddress")]);
+    }
+
+    #[test]
+    fn method_signature_change_is_class_update() {
+        let s = spec(
+            "class A { method f(x: int): void { } }",
+            "class A { method f(x: int, y: int): void { } }",
+        );
+        let d = delta(&s, "A");
+        assert_eq!(d.kind, ClassUpdate);
+        assert_eq!(d.methods_sig_changed, ["f"]);
+    }
+
+    #[test]
+    fn method_addition_and_deletion_are_class_updates() {
+        let s = spec(
+            "class A { method f(): void { } }",
+            "class A { method g(): void { } }",
+        );
+        let d = delta(&s, "A");
+        assert_eq!(d.kind, ClassUpdate);
+        assert_eq!(d.methods_added, ["g"]);
+        assert_eq!(d.methods_deleted, ["f"]);
+    }
+
+    #[test]
+    fn layout_change_propagates_to_subclasses() {
+        // Deleting a parent field shifts the subclass layout: the paper's
+        // "delete a field from a parent class and this change will
+        // propagate correctly to the class's descendants" (§2.2).
+        let s = spec(
+            "class P { field a: int; field b: int; }
+             class C extends P { field c: int; }",
+            "class P { field b: int; }
+             class C extends P { field c: int; }",
+        );
+        let d = delta(&s, "C");
+        assert_eq!(d.kind, ClassUpdate);
+        assert!(d.inherited_only, "C's own source is unchanged");
+    }
+
+    #[test]
+    fn static_changes_are_class_updates() {
+        let s = spec(
+            "class A { static field n: int; }",
+            "class A { static field n: int; static field m: int; }",
+        );
+        assert_eq!(delta(&s, "A").statics_added, ["m"]);
+        assert_eq!(delta(&s, "A").kind, ClassUpdate);
+    }
+
+    #[test]
+    fn field_reorder_is_class_update() {
+        let s = spec(
+            "class A { field x: int; field y: int; }",
+            "class A { field y: int; field x: int; }",
+        );
+        let d = delta(&s, "A");
+        assert_eq!(d.kind, ClassUpdate);
+        assert!(!d.fields_changed.is_empty());
+    }
+
+    #[test]
+    fn indirect_methods_reference_updated_classes() {
+        // B.get reads A.x; A gains a field, so B.get's compiled code holds
+        // a stale offset — category (2).
+        let s = spec(
+            "class A { field x: int; }
+             class B { method get(a: A): int { return a.x; } }",
+            "class A { field pad: int; field x: int; }
+             class B { method get(a: A): int { return a.x; } }",
+        );
+        assert!(s
+            .indirect_methods
+            .contains(&MethodRef::new("B", "get")));
+        // B itself is unchanged.
+        assert!(s.changed.iter().all(|d| d.name.as_str() != "B"));
+    }
+
+    #[test]
+    fn body_changed_methods_are_not_indirect() {
+        let s = spec(
+            "class A { field x: int; }
+             class B { method get(a: A): int { return a.x; } }",
+            "class A { field pad: int; field x: int; }
+             class B { method get(a: A): int { return a.x + 0; } }",
+        );
+        // B.get's bytecode changed → category (1), not (2).
+        assert!(!s.indirect_methods.contains(&MethodRef::new("B", "get")));
+        assert_eq!(delta(&s, "B").methods_body_changed, ["get"]);
+    }
+
+    #[test]
+    fn deleted_class_is_recorded() {
+        let s = spec("class A { } class B { }", "class A { }");
+        assert_eq!(s.deleted_classes, [ClassName::from("B")]);
+    }
+
+    #[test]
+    fn paper_example_user_configuration_manager() {
+        // Figure 2 of the paper, reconstructed in MJ: between 1.3.1 and
+        // 1.3.2, User's field type and setter signature change, and
+        // ConfigurationManager.loadUser's body changes accordingly.
+        let old = "
+          class User {
+            field forwardAddresses: String[];
+            method setForwardedAddresses(f: String[]): void { this.forwardAddresses = f; }
+          }
+          class ConfigurationManager {
+            method loadUser(): User {
+              var user: User = new User();
+              var f: String[] = new String[1];
+              user.setForwardedAddresses(f);
+              return user;
+            }
+          }";
+        let new = "
+          class EmailAddress {
+            field username: String; field domain: String;
+            ctor(u: String, d: String) { this.username = u; this.domain = d; }
+          }
+          class User {
+            field forwardAddresses: EmailAddress[];
+            method setForwardedAddresses(f: EmailAddress[]): void { this.forwardAddresses = f; }
+          }
+          class ConfigurationManager {
+            method loadUser(): User {
+              var user: User = new User();
+              var f: EmailAddress[] = new EmailAddress[1];
+              user.setForwardedAddresses(f);
+              return user;
+            }
+          }";
+        let s = spec(old, new);
+        assert_eq!(delta(&s, "User").kind, ClassUpdate);
+        assert_eq!(delta(&s, "User").methods_sig_changed, ["setForwardedAddresses"]);
+        // loadUser's bytecode changed (new types), so ConfigurationManager
+        // is a method-body update, category (1) — matching the paper's
+        // description of this exact update.
+        assert_eq!(delta(&s, "ConfigurationManager").kind, MethodBodyOnly);
+        assert!(!s.is_body_only(), "E&C systems cannot apply this update");
+    }
+}

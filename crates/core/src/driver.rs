@@ -1,0 +1,445 @@
+//! The update driver: the paper's five-step protocol (§3).
+//!
+//! 1. the UPT produces a specification and default transformers
+//!    ([`Update::prepare`]);
+//! 2. the user signals the VM ([`apply`]);
+//! 3. the driver stops threads at a DSU safe point, installing return
+//!    barriers and performing OSR as needed, with a timeout;
+//! 4. it installs the modified classes: renames old versions, strips
+//!    their methods, loads new class files, swaps method bodies, and
+//!    invalidates every affected compiled method (inliners included);
+//! 5. it runs the update GC, then class transformers, then object
+//!    transformers over the update log.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use jvolve_classfile::{verify, ClassFile, ClassSet, MethodRef};
+use jvolve_vm::{MethodId, Vm};
+
+use crate::diff::prepare_spec;
+use crate::error::UpdateError;
+use crate::migrate::method_pc_map;
+use crate::restricted::{barrier_targets, check_stacks, Category, RestrictedSet, StackCheck};
+use crate::spec::UpdateSpec;
+use crate::transform::{
+    class_transformer_name, compile_transformers, default_transformers_source,
+    object_transformer_name, TRANSFORMERS_CLASS,
+};
+
+/// A prepared update: specification, payload, transformers.
+#[derive(Clone, Debug)]
+pub struct Update {
+    /// The UPT's diff.
+    pub spec: UpdateSpec,
+    /// The old program version (used for stubs and restricted sets).
+    pub old_classes: ClassSet,
+    /// The new program version.
+    pub new_classes: ClassSet,
+    /// MJ source of the `JvolveTransformers` class. Initialized to the
+    /// generated defaults; edit before applying to customize (paper
+    /// Figure 3).
+    pub transformers_source: String,
+    /// User-restricted methods (paper category 3).
+    pub blacklist: Vec<MethodRef>,
+}
+
+impl Update {
+    /// Runs the update preparation tool over two program versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError::Empty`] when the versions are identical, or
+    /// a compile/verify error if the new version is ill-formed.
+    pub fn prepare(
+        old: &[ClassFile],
+        new: &[ClassFile],
+        version_prefix: &str,
+    ) -> Result<Update, UpdateError> {
+        let mut old_set: ClassSet = old.iter().cloned().collect();
+        let mut new_set: ClassSet = new.iter().cloned().collect();
+        for b in jvolve_lang::builtins::builtin_classes() {
+            old_set.insert(b.clone());
+            new_set.insert(b);
+        }
+
+        // The paper relies on bytecode verification of updated classes.
+        verify::verify_all(&new_set, new.iter())
+            .map_err(|e| UpdateError::Compile(e.to_string()))?;
+
+        let spec = prepare_spec(&old_set, &new_set, version_prefix);
+        if spec.is_empty() {
+            return Err(UpdateError::Empty);
+        }
+        let transformers_source = default_transformers_source(&spec, &old_set, &new_set);
+        Ok(Update {
+            spec,
+            old_classes: old_set,
+            new_classes: new_set,
+            transformers_source,
+            blacklist: Vec::new(),
+        })
+    }
+
+    /// Replaces the transformer source (developer customization).
+    pub fn set_transformers_source(&mut self, source: impl Into<String>) {
+        self.transformers_source = source.into();
+    }
+
+    /// Adds user-restricted methods (paper category 3).
+    pub fn blacklist(&mut self, methods: impl IntoIterator<Item = MethodRef>) {
+        self.blacklist.extend(methods);
+    }
+}
+
+/// Knobs for [`apply`].
+#[derive(Clone, Debug)]
+pub struct ApplyOptions {
+    /// Scheduler slices to wait for a DSU safe point before aborting (the
+    /// paper uses a 15-second timeout; one slice is our virtual
+    /// millisecond-scale unit).
+    pub timeout_slices: u64,
+    /// Install return barriers on blocking frames (paper §3.2). Disabling
+    /// degrades to plain polling — exposed for the ablation benchmark.
+    pub use_return_barriers: bool,
+    /// Use OSR to lift category-2 restrictions (paper §3.2). Disabling
+    /// makes base-compiled indirect frames block like everything else.
+    pub use_osr: bool,
+    /// The paper's §3.5 future work (UpStare-style): migrate *changed*
+    /// methods while they run, deriving the program-point map by aligning
+    /// the old and new bytecode (see [`crate::migrate`]). Off by default —
+    /// enabling it asserts, as the paper's user would, that the surviving
+    /// locals and operand stack mean the same thing at the mapped point.
+    pub migrate_active_methods: bool,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        ApplyOptions {
+            timeout_slices: 15_000,
+            use_return_barriers: true,
+            use_osr: true,
+            migrate_active_methods: false,
+        }
+    }
+}
+
+/// Phase timings and counters for one applied update (paper §4.1 reports
+/// exactly this breakdown: suspend/check < 1 ms, classloading < 20 ms,
+/// pause dominated by GC + transformers).
+#[derive(Clone, Debug, Default)]
+pub struct UpdateStats {
+    /// Slices executed while waiting for a DSU safe point.
+    pub slices_waited: u64,
+    /// Return barriers installed while waiting.
+    pub barriers_installed: usize,
+    /// Frames OSR-replaced at the safe point.
+    pub osr_replacements: usize,
+    /// Changed-method frames migrated to their new version (only with
+    /// [`ApplyOptions::migrate_active_methods`]).
+    pub active_migrations: usize,
+    /// New classes loaded (class updates + added classes + transformers).
+    pub classes_loaded: usize,
+    /// Method bodies swapped in place.
+    pub bodies_swapped: usize,
+    /// Compiled methods invalidated (indirect + inliners).
+    pub methods_invalidated: usize,
+    /// Objects transformed by the update GC + transformer pass.
+    pub objects_transformed: usize,
+    /// Time spent reaching the safe point (thread-suspend analogue).
+    pub safepoint_time: Duration,
+    /// Time spent loading/installing classes and transformers.
+    pub classload_time: Duration,
+    /// Update-GC time.
+    pub gc_time: Duration,
+    /// Class + object transformer execution time.
+    pub transform_time: Duration,
+    /// End-to-end pause (sum of the above phases).
+    pub total_time: Duration,
+}
+
+/// Applies a prepared update to a running VM (paper steps 3–5).
+///
+/// On success the VM is running the new program version: new code is
+/// installed, every existing object conforms to its new class definition,
+/// and invalidated methods recompile (and re-optimize) on demand.
+///
+/// # Errors
+///
+/// * [`UpdateError::Timeout`] — no DSU safe point was reached; the VM is
+///   left running the old version, unchanged (barriers cleared).
+/// * [`UpdateError::Compile`] / [`UpdateError::Vm`] — installation
+///   failures; the caller should treat the VM as poisoned.
+pub fn apply(vm: &mut Vm, update: &Update, opts: &ApplyOptions) -> Result<UpdateStats, UpdateError> {
+    let mut stats = UpdateStats::default();
+    let t_total = Instant::now();
+
+    // ---- step 3: reach a DSU safe point -----------------------------------
+    let t_safe = Instant::now();
+    let restricted = RestrictedSet::compute(&update.spec, &update.old_classes, &update.blacklist);
+    let (check, migrations) = wait_for_safe_point(vm, update, &restricted, opts, &mut stats)?;
+    vm.clear_return_barriers();
+    stats.safepoint_time = t_safe.elapsed();
+
+    // ---- step 4: install modified classes ----------------------------------
+    let t_load = Instant::now();
+    let mut remap = HashMap::new();
+    let mut invalidated: Vec<MethodId> = Vec::new();
+
+    // Rename old versions out of the way and strip their methods
+    // (paper §2.3/§3.3).
+    let mut old_ids = HashMap::new();
+    for delta in update.spec.class_updates() {
+        let old_id = vm
+            .registry()
+            .class_id(&delta.name)
+            .ok_or_else(|| UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
+                message: format!("updated class {} not loaded", delta.name),
+            }))?;
+        vm.registry_mut().rename_class(old_id, update.spec.old_name(&delta.name))?;
+        old_ids.insert(delta.name.clone(), old_id);
+    }
+    for &old_id in old_ids.values() {
+        invalidated.extend(vm.registry().methods_of(old_id));
+        vm.registry_mut().strip_methods(old_id);
+    }
+
+    // Load the new versions of updated classes plus added classes, as one
+    // batch (they may reference each other).
+    let mut batch: Vec<ClassFile> = Vec::new();
+    for delta in update.spec.class_updates() {
+        batch.push(
+            update
+                .new_classes
+                .get(&delta.name)
+                .expect("spec classes exist in the new version")
+                .clone(),
+        );
+    }
+    for name in &update.spec.added_classes {
+        batch.push(update.new_classes.get(name).expect("added class exists").clone());
+    }
+    let new_ids = vm.load_classes(&batch)?;
+    stats.classes_loaded += new_ids.len();
+    for (file, id) in batch.iter().zip(&new_ids) {
+        if let Some(&old_id) = old_ids.get(&file.name) {
+            remap.insert(old_id, *id);
+        }
+    }
+
+    // Method-body updates: swap bytecode in place and invalidate.
+    for delta in update.spec.body_only_updates() {
+        let class_id = vm
+            .registry()
+            .class_id(&delta.name)
+            .expect("body-updated class is loaded");
+        let new_class = update.new_classes.get(&delta.name).expect("class in new version");
+        for mname in &delta.methods_body_changed {
+            let def = new_class.find_method(mname).expect("changed method exists").clone();
+            let mid = vm.registry_mut().replace_method_body(class_id, mname, def)?;
+            invalidated.push(mid);
+            stats.bodies_swapped += 1;
+        }
+    }
+
+    // Indirect (category-2) methods: invalidate so the JIT re-resolves
+    // offsets on next invocation.
+    for mref in &update.spec.indirect_methods {
+        if let Some(cid) = vm.registry().class_id(&mref.class) {
+            if let Some(mid) = vm.registry().find_method(cid, &mref.method) {
+                vm.registry_mut().invalidate(mid);
+                invalidated.push(mid);
+                stats.methods_invalidated += 1;
+            }
+        }
+    }
+    // Inlined copies of anything invalidated must go too (paper §3.2).
+    let inliners = vm.registry_mut().invalidate_inliners(&invalidated);
+    stats.methods_invalidated += inliners.len();
+
+    // OSR-replace on-stack base-compiled category-2 frames now that the
+    // new metadata is installed (paper: "the exact timing of OSR for DSU
+    // requires the VM to first load modified classes").
+    if opts.use_osr {
+        for f in &check.osr_candidates {
+            vm.osr_replace(f.thread, f.frame)?;
+            stats.osr_replacements += 1;
+        }
+    }
+
+    // §3.5 future work: migrate changed methods while they run. The new
+    // method version is looked up through the *current* name (the new
+    // class for class updates, the same class for body updates).
+    for m in &migrations {
+        let class_id = vm.registry().class_id(&m.method.class).ok_or_else(|| {
+            UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
+                message: format!("migration target class {} missing", m.method.class),
+            })
+        })?;
+        let new_mid = vm.registry().find_method(class_id, &m.method.method).ok_or_else(|| {
+            UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
+                message: format!("migration target method {} missing", m.method),
+            })
+        })?;
+        vm.osr_migrate(m.thread, m.frame, new_mid, m.new_pc)?;
+        stats.active_migrations += 1;
+    }
+
+    // Compile and load the transformer class (access-override mode).
+    let transformer_classes = compile_transformers(
+        &update.transformers_source,
+        &update.spec,
+        &update.old_classes,
+        &update.new_classes,
+    )
+    .map_err(|e| UpdateError::Compile(e.to_string()))?;
+    vm.load_classes(&transformer_classes)?;
+    stats.classes_loaded += transformer_classes.len();
+
+    // Map each new class to its object transformer.
+    let mut transformer_for = HashMap::new();
+    for delta in update.spec.class_updates() {
+        let new_id = vm.registry().class_id(&delta.name).expect("new class loaded");
+        let tclass = vm
+            .registry()
+            .class_id(&jvolve_classfile::ClassName::from(TRANSFORMERS_CLASS))
+            .ok_or_else(|| UpdateError::Compile("transformer class missing".into()))?;
+        let tname = object_transformer_name(&delta.name);
+        let mid = vm.registry().find_method(tclass, &tname).ok_or_else(|| {
+            UpdateError::Compile(format!("transformer {tname} missing from source"))
+        })?;
+        transformer_for.insert(new_id, mid);
+    }
+    stats.classload_time = t_load.elapsed();
+
+    // ---- step 5: update GC + transformers (paper §3.4) ----------------------
+    let t_gc = Instant::now();
+    vm.collect_for_update(remap, transformer_for)?;
+    stats.gc_time = t_gc.elapsed();
+
+    let t_tf = Instant::now();
+    for delta in update.spec.class_updates() {
+        let tname = class_transformer_name(&delta.name);
+        // Class transformers are optional in customized sources.
+        let tclass = vm
+            .registry()
+            .class_id(&jvolve_classfile::ClassName::from(TRANSFORMERS_CLASS))
+            .expect("transformer class loaded");
+        if vm.registry().find_method(tclass, &tname).is_some() {
+            vm.call_static_sync(TRANSFORMERS_CLASS, &tname, &[])?;
+        }
+    }
+    stats.objects_transformed = vm.pending_transforms();
+    vm.transform_pending()?;
+    stats.transform_time = t_tf.elapsed();
+
+    // The transformer class is only meaningful during the update; rename
+    // it out of the way so the next update can load a fresh one (the
+    // paper's VM deletes it).
+    retire_transformer_class(vm, &update.spec.version_prefix);
+
+    stats.total_time = t_total.elapsed();
+    Ok(stats)
+}
+
+/// A planned active-method migration (paper §3.5 future work).
+#[derive(Debug, Clone)]
+struct PlannedMigration {
+    thread: jvolve_vm::ThreadId,
+    frame: usize,
+    method: jvolve_classfile::MethodRef,
+    new_pc: u32,
+}
+
+/// Waits (running the program) until a DSU safe point, installing return
+/// barriers on blocking frames. With active-method migration enabled,
+/// changed-method frames whose pc survives the bytecode alignment are
+/// lifted out of the blocking set and scheduled for migration.
+fn wait_for_safe_point(
+    vm: &mut Vm,
+    update: &Update,
+    restricted: &RestrictedSet,
+    opts: &ApplyOptions,
+    stats: &mut UpdateStats,
+) -> Result<(StackCheck, Vec<PlannedMigration>), UpdateError> {
+    loop {
+        let mut check = check_stacks(vm, restricted);
+        if !opts.use_osr {
+            // Ablation: treat OSR candidates as blocking.
+            check.blocking.append(&mut check.osr_candidates);
+        }
+
+        let mut migrations = Vec::new();
+        if opts.migrate_active_methods {
+            let mut residual = Vec::new();
+            for finding in check.blocking.drain(..) {
+                let plan = (finding.category == Category::Changed)
+                    .then(|| {
+                        let frame = vm
+                            .thread(finding.thread)
+                            .and_then(|t| t.frames.get(finding.frame))?;
+                        if !frame.compiled.osr_capable() {
+                            return None;
+                        }
+                        let map = method_pc_map(
+                            &update.old_classes,
+                            &update.new_classes,
+                            &finding.method,
+                        )?;
+                        let new_pc = map.lookup(frame.pc)?;
+                        Some(PlannedMigration {
+                            thread: finding.thread,
+                            frame: finding.frame,
+                            method: finding.method.clone(),
+                            new_pc,
+                        })
+                    })
+                    .flatten();
+                match plan {
+                    Some(p) => migrations.push(p),
+                    None => residual.push(finding),
+                }
+            }
+            check.blocking = residual;
+        }
+
+        if check.safe() {
+            return Ok((check, migrations));
+        }
+        if stats.slices_waited >= opts.timeout_slices {
+            vm.clear_return_barriers();
+            let mut blocking: Vec<String> =
+                check.blocking.iter().map(|f| f.method.to_string()).collect();
+            blocking.sort();
+            blocking.dedup();
+            return Err(UpdateError::Timeout {
+                blocking,
+                slices_waited: stats.slices_waited,
+            });
+        }
+        if opts.use_return_barriers {
+            for (tid, frame) in barrier_targets(&check) {
+                let already = vm
+                    .thread(tid)
+                    .and_then(|t| t.frames.get(frame))
+                    .is_some_and(|f| f.return_barrier);
+                if !already {
+                    vm.install_return_barrier(tid, frame)?;
+                    stats.barriers_installed += 1;
+                }
+            }
+        }
+        vm.step_slice();
+        stats.slices_waited += 1;
+    }
+}
+
+/// Renames the spent transformer class out of the global namespace.
+fn retire_transformer_class(vm: &mut Vm, prefix: &str) {
+    let name = jvolve_classfile::ClassName::from(TRANSFORMERS_CLASS);
+    if let Some(id) = vm.registry().class_id(&name) {
+        let retired = jvolve_classfile::ClassName::from(format!("{prefix}{TRANSFORMERS_CLASS}"));
+        let _ = vm.registry_mut().rename_class(id, retired);
+        vm.registry_mut().strip_methods(id);
+    }
+}

@@ -1,0 +1,212 @@
+//! Baseline updater modes the paper compares against (§5).
+//!
+//! * [`apply_body_only`] — the HotSwap / "edit and continue" model:
+//!   method-body replacement only. The paper's survey finds such systems
+//!   support only 9 of the 22 studied updates.
+//! * [`apply_lazy`] — the JDrums/DVM model: objects are migrated on first
+//!   access through per-access indirection checks, trading the paper's
+//!   one-time GC pause for persistent steady-state overhead. Requires a VM
+//!   configured with [`VmConfig::lazy_indirection`].
+//!
+//! [`VmConfig::lazy_indirection`]: jvolve_vm::VmConfig
+
+use std::collections::HashMap;
+
+use jvolve_vm::Vm;
+
+use crate::driver::Update;
+use crate::error::UpdateError;
+
+/// Applies an update under the method-body-only (E&C) model.
+///
+/// No safe-point machinery is needed beyond what the VM already provides:
+/// the new body takes effect at the *next* invocation of each method, as
+/// in HotSwap. Class updates are rejected.
+///
+/// # Errors
+///
+/// [`UpdateError::Unsupported`] when the update is not body-only.
+pub fn apply_body_only(vm: &mut Vm, update: &Update) -> Result<usize, UpdateError> {
+    if !update.spec.is_body_only() {
+        let offender = update
+            .spec
+            .class_updates()
+            .next()
+            .map(|d| d.name.to_string())
+            .or_else(|| update.spec.added_classes.first().map(|c| c.to_string()))
+            .or_else(|| update.spec.deleted_classes.first().map(|c| c.to_string()))
+            .unwrap_or_default();
+        return Err(UpdateError::Unsupported {
+            reason: format!(
+                "method-body-only systems cannot apply class-signature changes (e.g. {offender})"
+            ),
+        });
+    }
+    let mut swapped = 0;
+    for delta in update.spec.body_only_updates() {
+        let class_id = vm.registry().class_id(&delta.name).ok_or_else(|| {
+            UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
+                message: format!("class {} not loaded", delta.name),
+            })
+        })?;
+        let new_class = update.new_classes.get(&delta.name).expect("class in new version");
+        for mname in &delta.methods_body_changed {
+            let def = new_class.find_method(mname).expect("method exists").clone();
+            vm.registry_mut().replace_method_body(class_id, mname, def)?;
+            swapped += 1;
+        }
+    }
+    Ok(swapped)
+}
+
+/// Applies an update under the lazy-indirection model.
+///
+/// Installs new class versions and arms the VM's per-access migration
+/// check; objects convert on first touch using the VM's built-in default
+/// transformation (same-named, same-typed fields carry over). Custom
+/// transformers are not supported in this mode — one of the expressiveness
+/// gaps the paper notes for lazy systems.
+///
+/// # Errors
+///
+/// Propagates load failures; fails if the VM is not in lazy mode.
+pub fn apply_lazy(vm: &mut Vm, update: &Update) -> Result<(), UpdateError> {
+    if !vm.config().lazy_indirection {
+        return Err(UpdateError::Unsupported {
+            reason: "VM not configured with lazy_indirection".into(),
+        });
+    }
+
+    // Install classes exactly as the eager driver does (rename + load),
+    // but skip the GC: migration happens on access.
+    let mut remap = HashMap::new();
+    let mut batch = Vec::new();
+    let mut old_ids = Vec::new();
+    for delta in update.spec.class_updates() {
+        let old_id = vm.registry().class_id(&delta.name).ok_or_else(|| {
+            UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
+                message: format!("class {} not loaded", delta.name),
+            })
+        })?;
+        vm.registry_mut().rename_class(old_id, update.spec.old_name(&delta.name))?;
+        vm.registry_mut().strip_methods(old_id);
+        old_ids.push((delta.name.clone(), old_id));
+        batch.push(update.new_classes.get(&delta.name).expect("class exists").clone());
+    }
+    for name in &update.spec.added_classes {
+        batch.push(update.new_classes.get(name).expect("added class exists").clone());
+    }
+    let new_ids = vm.load_classes(&batch)?;
+    for (file, id) in batch.iter().zip(&new_ids) {
+        if let Some((_, old_id)) = old_ids.iter().find(|(n, _)| n == &file.name) {
+            remap.insert(*old_id, *id);
+        }
+    }
+
+    for delta in update.spec.body_only_updates() {
+        let class_id = vm.registry().class_id(&delta.name).expect("loaded");
+        let new_class = update.new_classes.get(&delta.name).expect("exists");
+        for mname in &delta.methods_body_changed {
+            let def = new_class.find_method(mname).expect("exists").clone();
+            vm.registry_mut().replace_method_body(class_id, mname, def)?;
+        }
+    }
+    for mref in &update.spec.indirect_methods {
+        if let Some(cid) = vm.registry().class_id(&mref.class) {
+            if let Some(mid) = vm.registry().find_method(cid, &mref.method) {
+                vm.registry_mut().invalidate(mid);
+            }
+        }
+    }
+
+    vm.begin_lazy_update(remap);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvolve_vm::{Value, VmConfig};
+
+    fn prepare(old_src: &str, new_src: &str) -> (Vm, Update) {
+        let old = jvolve_lang::compile(old_src).unwrap();
+        let new = jvolve_lang::compile(new_src).unwrap();
+        let mut vm = Vm::new(VmConfig::small());
+        vm.load_classes(&old).unwrap();
+        let update = Update::prepare(&old, &new, "v1_").unwrap();
+        (vm, update)
+    }
+
+    #[test]
+    fn body_only_swaps_bodies() {
+        let (mut vm, update) = prepare(
+            "class M { static method f(): int { return 1; } }",
+            "class M { static method f(): int { return 2; } }",
+        );
+        assert_eq!(
+            vm.call_static_sync("M", "f", &[]).unwrap(),
+            Some(Value::Int(1))
+        );
+        let swapped = apply_body_only(&mut vm, &update).unwrap();
+        assert_eq!(swapped, 1);
+        assert_eq!(
+            vm.call_static_sync("M", "f", &[]).unwrap(),
+            Some(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn body_only_rejects_class_updates() {
+        let (mut vm, update) = prepare(
+            "class M { field x: int; }",
+            "class M { field x: int; field y: int; }",
+        );
+        let err = apply_body_only(&mut vm, &update).unwrap_err();
+        assert!(matches!(err, UpdateError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn lazy_requires_lazy_vm() {
+        let (mut vm, update) = prepare(
+            "class M { field x: int; }",
+            "class M { field x: int; field y: int; }",
+        );
+        let err = apply_lazy(&mut vm, &update).unwrap_err();
+        assert!(matches!(err, UpdateError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn lazy_applies_class_update_with_on_access_migration() {
+        let old_src = "
+          class Point { field x: int; field y: int;
+            ctor(x: int, y: int) { this.x = x; this.y = y; } }
+          class Holder { static field p: Point; }
+          class Main {
+            static method main(): void { Holder.p = new Point(3, 4); }
+            static method readx(): int { return Holder.p.x; }
+          }";
+        let new_src = "
+          class Point { field x: int; field y: int; field z: int;
+            ctor(x: int, y: int) { this.x = x; this.y = y; this.z = 0; } }
+          class Holder { static field p: Point; }
+          class Main {
+            static method main(): void { Holder.p = new Point(3, 4); }
+            static method readx(): int { return Holder.p.x; }
+          }";
+        let old = jvolve_lang::compile(old_src).unwrap();
+        let new = jvolve_lang::compile(new_src).unwrap();
+        let mut vm = Vm::new(VmConfig { lazy_indirection: true, ..VmConfig::small() });
+        vm.load_classes(&old).unwrap();
+        vm.spawn("Main", "main").unwrap();
+        assert!(vm.run_to_completion(10_000));
+
+        let update = Update::prepare(&old, &new, "v1_").unwrap();
+        apply_lazy(&mut vm, &update).unwrap();
+        // Main.readx was invalidated (indirect) and recompiles against the
+        // new Point; the object migrates on first access.
+        assert_eq!(
+            vm.call_static_sync("Main", "readx", &[]).unwrap(),
+            Some(Value::Int(3))
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The update specification produced by the update preparation tool.
+//!
+//! The paper's UPT "generates an update specification, which identifies
+//! new and updated classes" (§2.1) and "groups changes into three
+//! categories" (§3.1): class updates, method body updates, and indirect
+//! method updates. This module is that file format (serializable to JSON,
+//! standing in for the on-disk spec file).
+
+use serde::{Deserialize, Serialize};
+
+use jvolve_classfile::{ClassName, MethodRef};
+
+/// How a class changed between versions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ClassChangeKind {
+    /// The class *signature* changed: fields or methods added/deleted,
+    /// types changed, superclass changed — or an ancestor's fields changed
+    /// (which shifts this class's layout). Instances must be transformed.
+    ClassUpdate,
+    /// Only method bodies changed; metadata, layout and TIB shape are
+    /// identical, so the VM swaps bytecode and invalidates compiled code.
+    MethodBodyOnly,
+}
+
+/// Change record for one class present in both versions.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ClassDelta {
+    /// Class name.
+    pub name: ClassName,
+    /// Classification.
+    pub kind: ClassChangeKind,
+    /// Instance fields added in the new version.
+    pub fields_added: Vec<String>,
+    /// Instance fields deleted.
+    pub fields_deleted: Vec<String>,
+    /// Instance fields whose type or modifiers changed.
+    pub fields_changed: Vec<String>,
+    /// Static fields added.
+    pub statics_added: Vec<String>,
+    /// Static fields deleted.
+    pub statics_deleted: Vec<String>,
+    /// Static fields whose type or modifiers changed.
+    pub statics_changed: Vec<String>,
+    /// Methods added.
+    pub methods_added: Vec<String>,
+    /// Methods deleted.
+    pub methods_deleted: Vec<String>,
+    /// Methods whose body changed but whose signature did not.
+    pub methods_body_changed: Vec<String>,
+    /// Methods whose signature changed.
+    pub methods_sig_changed: Vec<String>,
+    /// Whether the superclass changed.
+    pub superclass_changed: bool,
+    /// Whether this delta exists only because an ancestor's layout
+    /// changed (the class's own source is identical).
+    pub inherited_only: bool,
+}
+
+impl ClassDelta {
+    /// A delta with no recorded changes (used as a builder seed).
+    pub fn empty(name: ClassName, kind: ClassChangeKind) -> Self {
+        ClassDelta {
+            name,
+            kind,
+            fields_added: Vec::new(),
+            fields_deleted: Vec::new(),
+            fields_changed: Vec::new(),
+            statics_added: Vec::new(),
+            statics_deleted: Vec::new(),
+            statics_changed: Vec::new(),
+            methods_added: Vec::new(),
+            methods_deleted: Vec::new(),
+            methods_body_changed: Vec::new(),
+            methods_sig_changed: Vec::new(),
+            superclass_changed: false,
+            inherited_only: false,
+        }
+    }
+
+    /// Whether any *own* (non-inherited) signature-level change exists.
+    pub fn signature_changed(&self) -> bool {
+        !self.fields_added.is_empty()
+            || !self.fields_deleted.is_empty()
+            || !self.fields_changed.is_empty()
+            || !self.statics_added.is_empty()
+            || !self.statics_deleted.is_empty()
+            || !self.statics_changed.is_empty()
+            || !self.methods_added.is_empty()
+            || !self.methods_deleted.is_empty()
+            || !self.methods_sig_changed.is_empty()
+            || self.superclass_changed
+    }
+
+    /// Whether the instance layout changed (own fields only).
+    pub fn layout_changed(&self) -> bool {
+        !self.fields_added.is_empty()
+            || !self.fields_deleted.is_empty()
+            || !self.fields_changed.is_empty()
+            || self.superclass_changed
+    }
+}
+
+/// The complete update specification for one release transition.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct UpdateSpec {
+    /// Prefix prepended to old class names during the update
+    /// (e.g. `v131_`).
+    pub version_prefix: String,
+    /// Changed classes (both kinds).
+    pub changed: Vec<ClassDelta>,
+    /// Classes only present in the new version.
+    pub added_classes: Vec<ClassName>,
+    /// Classes only present in the old version.
+    pub deleted_classes: Vec<ClassName>,
+    /// Category-(2) methods (paper §3.1): bytecode unchanged but the
+    /// compiled representation may change because the bytecode references
+    /// an updated class.
+    pub indirect_methods: Vec<MethodRef>,
+}
+
+impl UpdateSpec {
+    /// Whether nothing changed at all.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty() && self.added_classes.is_empty() && self.deleted_classes.is_empty()
+    }
+
+    /// Class deltas that are full class updates.
+    pub fn class_updates(&self) -> impl Iterator<Item = &ClassDelta> {
+        self.changed.iter().filter(|d| d.kind == ClassChangeKind::ClassUpdate)
+    }
+
+    /// Class deltas that are method-body-only updates.
+    pub fn body_only_updates(&self) -> impl Iterator<Item = &ClassDelta> {
+        self.changed.iter().filter(|d| d.kind == ClassChangeKind::MethodBodyOnly)
+    }
+
+    /// Whether a method-body-only ("edit and continue") system could apply
+    /// this update: no class updates, no added/deleted classes (paper §4:
+    /// such systems support 9 of the 22 updates).
+    pub fn is_body_only(&self) -> bool {
+        self.added_classes.is_empty()
+            && self.deleted_classes.is_empty()
+            && self.changed.iter().all(|d| d.kind == ClassChangeKind::MethodBodyOnly)
+    }
+
+    /// The prefixed name an old class version gets during the update.
+    pub fn old_name(&self, name: &ClassName) -> ClassName {
+        name.with_prefix(&self.version_prefix)
+    }
+
+    /// Serializes the specification as pretty JSON (the on-disk spec file).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses a specification from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message.
+    pub fn from_json(s: &str) -> Result<UpdateSpec, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_with(kind: ClassChangeKind) -> UpdateSpec {
+        UpdateSpec {
+            version_prefix: "v1_".into(),
+            changed: vec![ClassDelta::empty(ClassName::from("User"), kind)],
+            added_classes: vec![],
+            deleted_classes: vec![],
+            indirect_methods: vec![],
+        }
+    }
+
+    #[test]
+    fn body_only_classification() {
+        assert!(spec_with(ClassChangeKind::MethodBodyOnly).is_body_only());
+        assert!(!spec_with(ClassChangeKind::ClassUpdate).is_body_only());
+        let mut s = spec_with(ClassChangeKind::MethodBodyOnly);
+        s.added_classes.push(ClassName::from("EmailAddress"));
+        assert!(!s.is_body_only(), "added classes exceed E&C systems");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut s = spec_with(ClassChangeKind::ClassUpdate);
+        s.changed[0].fields_added.push("z".into());
+        s.indirect_methods.push(MethodRef::new("Config", "loadUser"));
+        let parsed = UpdateSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn old_name_prefixing() {
+        let s = spec_with(ClassChangeKind::ClassUpdate);
+        assert_eq!(s.old_name(&ClassName::from("User")).as_str(), "v1_User");
+    }
+
+    #[test]
+    fn signature_change_detection() {
+        let mut d = ClassDelta::empty(ClassName::from("A"), ClassChangeKind::ClassUpdate);
+        assert!(!d.signature_changed());
+        d.methods_added.push("m".into());
+        assert!(d.signature_changed());
+        assert!(!d.layout_changed());
+        d.fields_added.push("f".into());
+        assert!(d.layout_changed());
+    }
+}

@@ -1,0 +1,107 @@
+//! Integration tests for the `upt` and `jvolve_run` command-line tools.
+
+use std::process::Command;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("jvolve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const V1: &str = "class Counter {
+  static field n: int;
+  static method main(): void {
+    var i: int = 0;
+    while (i < 3) { Counter.n = Counter.n + 1; Sys.printInt(Counter.n); i = i + 1; }
+  }
+}";
+
+const V2: &str = "class Counter {
+  static field n: int;
+  static field audit: int;
+  static method main(): void {
+    var i: int = 0;
+    while (i < 3) { Counter.n = Counter.n + 1; Sys.printInt(Counter.n); i = i + 1; }
+  }
+}";
+
+#[test]
+fn upt_diffs_and_writes_artifacts() {
+    let old = write_temp("v1.mj", V1);
+    let new = write_temp("v2.mj", V2);
+    let spec = write_temp("spec.json", "");
+    let tf = write_temp("transformers.mj", "");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_upt"))
+        .args([
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--prefix",
+            "vX_",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--transformers",
+            tf.to_str().unwrap(),
+        ])
+        .output()
+        .expect("upt runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("Counter: ClassUpdate"), "{stdout}");
+    assert!(stdout.contains("E&C) systems could apply this update: no"), "{stdout}");
+
+    let spec_json = std::fs::read_to_string(&spec).unwrap();
+    let parsed = jvolve::UpdateSpec::from_json(&spec_json).expect("valid spec file");
+    assert_eq!(parsed.version_prefix, "vX_");
+    let tf_src = std::fs::read_to_string(&tf).unwrap();
+    assert!(tf_src.contains("jvolve_object_Counter"), "{tf_src}");
+    assert!(tf_src.contains("Counter.n = vX_Counter.n;"), "{tf_src}");
+}
+
+#[test]
+fn upt_rejects_identical_versions() {
+    let old = write_temp("same1.mj", V1);
+    let new = write_temp("same2.mj", V1);
+    let out = Command::new(env!("CARGO_BIN_EXE_upt"))
+        .args([old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .expect("upt runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("changes nothing"));
+}
+
+#[test]
+fn jvolve_run_executes_and_updates() {
+    let old = write_temp("run_v1.mj", V1);
+    let new = write_temp("run_v2.mj", V2);
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([
+            old.to_str().unwrap(),
+            "--main",
+            "Counter.main",
+            "--update",
+            new.to_str().unwrap(),
+            "--after",
+            "1",
+        ])
+        .output()
+        .expect("jvolve_run runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains('3'), "program output present: {stdout}");
+    assert!(stderr.contains("updated"), "update applied: {stderr}");
+}
+
+#[test]
+fn jvolve_run_reports_missing_main() {
+    let old = write_temp("nomain.mj", "class X { }");
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([old.to_str().unwrap(), "--main", "X.main"])
+        .output()
+        .expect("jvolve_run runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
+}

@@ -1,0 +1,61 @@
+//! Paper §3.4: "Once it processes all pairs, the log is deleted, making
+//! the duplicate old versions unreachable. Since they are unreachable,
+//! the next garbage collection will naturally reclaim them."
+
+use jvolve::{apply, ApplyOptions, Update};
+use jvolve_vm::heap::NoRemap;
+use jvolve_vm::{Vm, VmConfig};
+
+#[test]
+fn old_copies_are_reclaimed_by_the_next_collection() {
+    let old_src = "
+      class Item { field a: int; field b: int; }
+      class H {
+        static field keep: Item[];
+        static method init(n: int): void {
+          H.keep = new Item[n];
+          var i: int = 0;
+          while (i < n) { H.keep[i] = new Item(); i = i + 1; }
+        }
+      }
+      class M { static method main(): void { H.init(2000); } }";
+    let new_src = old_src.replace(
+        "class Item { field a: int; field b: int; }",
+        "class Item { field a: int; field b: int; field c: int; }",
+    );
+    let old = jvolve_lang::compile(old_src).unwrap();
+    let new = jvolve_lang::compile(&new_src).unwrap();
+    let mut vm = Vm::new(VmConfig { semispace_words: 256 * 1024, ..VmConfig::default() });
+    vm.load_classes(&old).unwrap();
+    vm.spawn("M", "main").unwrap();
+    assert!(vm.run_to_completion(1_000_000));
+
+    // Live set: 2000 Items of 2 fields + the array.
+    vm.collect_full(&NoRemap).unwrap();
+    let baseline = vm.heap().used_words();
+
+    let update = Update::prepare(&old, &new, "v1_").unwrap();
+    let stats = apply(&mut vm, &update, &ApplyOptions::default()).unwrap();
+    assert_eq!(stats.objects_transformed, 2000);
+
+    // Immediately after the update the heap holds the new objects AND the
+    // unreachable old copies.
+    let after_update = vm.heap().used_words();
+    assert!(
+        after_update > baseline + 2000 * 3,
+        "old copies still occupy the heap: {after_update} vs {baseline}"
+    );
+
+    // The next collection reclaims them: usage returns to roughly the new
+    // live set (old live set + one extra word per transformed Item).
+    vm.collect_full(&NoRemap).unwrap();
+    let after_gc = vm.heap().used_words();
+    assert!(
+        after_gc < after_update - 2000 * 2,
+        "old copies should be gone: {after_gc} vs {after_update}"
+    );
+    assert!(
+        after_gc >= baseline + 2000,
+        "new objects are one word larger each: {after_gc} vs {baseline}"
+    );
+}

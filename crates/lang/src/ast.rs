@@ -1,0 +1,289 @@
+//! Abstract syntax tree for MJ.
+
+use crate::diag::Span;
+
+/// A parsed compilation unit: a list of class declarations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Classes in declaration order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// Member visibility as written.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VisDecl {
+    /// Default and explicit `public`.
+    #[default]
+    Public,
+    /// `private`
+    Private,
+    /// `protected`
+    Protected,
+}
+
+/// A class declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name; defaults to `Object` when omitted.
+    pub superclass: Option<String>,
+    /// Field declarations (instance and static).
+    pub fields: Vec<FieldDecl>,
+    /// Methods and constructors.
+    pub methods: Vec<MethodDecl>,
+    /// Location of the class header.
+    pub span: Span,
+}
+
+/// A field declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// `static`?
+    pub is_static: bool,
+    /// `final`?
+    pub is_final: bool,
+    /// Visibility.
+    pub visibility: VisDecl,
+    /// Location.
+    pub span: Span,
+}
+
+/// A method or constructor declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MethodDecl {
+    /// Method name; constructors use the class name convention `ctor`.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (`void` for constructors).
+    pub ret: TypeExpr,
+    /// `static`?
+    pub is_static: bool,
+    /// Is this a constructor?
+    pub is_ctor: bool,
+    /// Visibility.
+    pub visibility: VisDecl,
+    /// Body.
+    pub body: Block,
+    /// Location of the header.
+    pub span: Span,
+}
+
+/// A method parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Location.
+    pub span: Span,
+}
+
+/// A type as written in source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `void`
+    Void,
+    /// A class name, e.g. `User` or `String`.
+    Named(String),
+    /// An array type `T[]`.
+    Array(Box<TypeExpr>),
+}
+
+/// A block of statements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var name: ty = init;`
+    Var {
+        /// Local name.
+        name: String,
+        /// Declared type.
+        ty: TypeExpr,
+        /// Initializer.
+        init: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `target = value;` where target is an lvalue.
+    Assign {
+        /// Assignment target (identifier, field, index, or static field).
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Block,
+        /// Optional else-branch.
+        els: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` or `return expr;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `break;`
+    Break {
+        /// Location.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Location.
+        span: Span,
+    },
+    /// `super(args);` — constructor chaining; only valid in constructors.
+    SuperCall {
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// An expression evaluated for effect (must be a call).
+    Expr(Expr),
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (int addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==` (value equality for ints/bools/strings, identity for other refs)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// An expression with location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// Location.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// String literal.
+    StrLit(String),
+    /// `null`
+    Null,
+    /// `this`
+    This,
+    /// A name: a local, a parameter, or (in receiver position) a class.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `e.f` — field access (or `.length` on arrays, handled by the checker).
+    Field(Box<Expr>, String),
+    /// `e[i]` — array indexing.
+    Index(Box<Expr>, Box<Expr>),
+    /// `recv.m(args)` or unqualified `m(args)` (sugar for `this.m(args)`).
+    Call {
+        /// Receiver; `None` for unqualified calls.
+        recv: Option<Box<Expr>>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new C(args)`
+    New(String, Vec<Expr>),
+    /// `new T[len]`
+    NewArray(TypeExpr, Box<Expr>),
+}
+
+impl Expr {
+    /// Whether this expression can be assigned to.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(
+            self.kind,
+            ExprKind::Ident(_) | ExprKind::Field(..) | ExprKind::Index(..)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(kind: ExprKind) -> Expr {
+        Expr { kind, span: Span::default() }
+    }
+
+    #[test]
+    fn lvalue_classification() {
+        assert!(expr(ExprKind::Ident("x".into())).is_lvalue());
+        assert!(expr(ExprKind::Field(Box::new(expr(ExprKind::This)), "f".into())).is_lvalue());
+        assert!(!expr(ExprKind::IntLit(3)).is_lvalue());
+        assert!(!expr(ExprKind::Call { recv: None, name: "m".into(), args: vec![] }).is_lvalue());
+    }
+}

@@ -1,0 +1,117 @@
+//! `mjc` — the MJ compiler CLI.
+//!
+//! ```text
+//! mjc check  <file.mj>             type-check only
+//! mjc build  <file.mj> -o <dir>    compile to binary class files (.mjc)
+//! mjc dis    <file.mj|file.mjc>    disassemble
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use jvolve_classfile::{codec, disasm};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() >= 2 => check(&args[1]),
+        Some("build") if args.len() >= 2 => {
+            let out = args
+                .iter()
+                .position(|a| a == "-o")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or(".");
+            build(&args[1], out)
+        }
+        Some("dis") if args.len() >= 2 => dis(&args[1]),
+        _ => {
+            eprintln!(
+                "usage: mjc check <file.mj>\n       mjc build <file.mj> [-o <dir>]\n       \
+                 mjc dis <file.mj|file.mjc>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("mjc: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn check(path: &str) -> ExitCode {
+    let Ok(source) = read(path) else { return ExitCode::FAILURE };
+    match jvolve_lang::compile(&source) {
+        Ok(classes) => {
+            println!("{path}: {} classes OK", classes.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build(path: &str, out_dir: &str) -> ExitCode {
+    let Ok(source) = read(path) else { return ExitCode::FAILURE };
+    let classes = match jvolve_lang::compile(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("mjc: cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for class in &classes {
+        let file = Path::new(out_dir).join(format!("{}.mjc", class.name));
+        if let Err(e) = std::fs::write(&file, codec::encode(class)) {
+            eprintln!("mjc: cannot write {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", file.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn dis(path: &str) -> ExitCode {
+    if path.ends_with(".mjc") {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("mjc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match codec::decode(&bytes) {
+            Ok(class) => {
+                print!("{}", disasm::disassemble(&class));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let Ok(source) = read(path) else { return ExitCode::FAILURE };
+        match jvolve_lang::compile(&source) {
+            Ok(classes) => {
+                for class in &classes {
+                    print!("{}", disasm::disassemble(class));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Builtin (VM-native) classes visible to every MJ program.
+//!
+//! These play the role of the Java standard library subset the paper's
+//! benchmark applications need: console output (`Sys`), string operations
+//! (`Str`), the simulated network (`Net`), and the DSU escape hatch
+//! (`Dsu.forceTransform`, the paper's "special VM function to force a
+//! field's referenced object to be transformed", §3.4).
+//!
+//! The VM implements every method declared here natively; this module is
+//! the single source of truth for their signatures, shared by the
+//! typechecker, the verifier and the VM's native dispatch table.
+
+use jvolve_classfile::builder::ClassBuilder;
+use jvolve_classfile::{ClassFile, ClassFlags, Type, OBJECT_CLASS, STRING_CLASS};
+
+/// Name of the console/system builtin class.
+pub const SYS_CLASS: &str = "Sys";
+/// Name of the string-operations builtin class.
+pub const STR_CLASS: &str = "Str";
+/// Name of the simulated-network builtin class.
+pub const NET_CLASS: &str = "Net";
+/// Name of the DSU-support builtin class.
+pub const DSU_CLASS: &str = "Dsu";
+
+/// Returns all builtin classes, `Object` and `String` included.
+///
+/// Every returned class is flagged [`ClassFlags::NATIVE`] except `Object`,
+/// which is an ordinary (empty) class.
+pub fn builtin_classes() -> Vec<ClassFile> {
+    vec![
+        ClassBuilder::new(OBJECT_CLASS).build(),
+        ClassBuilder::new(STRING_CLASS).flags(ClassFlags::NATIVE).build(),
+        sys_class(),
+        str_class(),
+        net_class(),
+        dsu_class(),
+    ]
+}
+
+/// Names of all builtin classes.
+pub fn builtin_names() -> Vec<&'static str> {
+    vec![OBJECT_CLASS, STRING_CLASS, SYS_CLASS, STR_CLASS, NET_CLASS, DSU_CLASS]
+}
+
+/// Whether `name` names a builtin class.
+pub fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        OBJECT_CLASS | STRING_CLASS | SYS_CLASS | STR_CLASS | NET_CLASS | DSU_CLASS
+    )
+}
+
+fn sys_class() -> ClassFile {
+    ClassBuilder::new(SYS_CLASS)
+        .flags(ClassFlags::NATIVE)
+        .native_method("print", [Type::string()], Type::Void, true)
+        .native_method("printInt", [Type::Int], Type::Void, true)
+        .native_method("time", [], Type::Int, true)
+        .native_method("sleep", [Type::Int], Type::Void, true)
+        .native_method("rand", [Type::Int], Type::Int, true)
+        .native_method("yieldNow", [], Type::Void, true)
+        .native_method("threadId", [], Type::Int, true)
+        .native_method("spawn", [Type::object()], Type::Int, true)
+        .build()
+}
+
+fn str_class() -> ClassFile {
+    ClassBuilder::new(STR_CLASS)
+        .flags(ClassFlags::NATIVE)
+        .native_method("len", [Type::string()], Type::Int, true)
+        .native_method("substr", [Type::string(), Type::Int, Type::Int], Type::string(), true)
+        .native_method("indexOf", [Type::string(), Type::string()], Type::Int, true)
+        .native_method("split", [Type::string(), Type::string()], Type::array(Type::string()), true)
+        .native_method("fromInt", [Type::Int], Type::string(), true)
+        .native_method("toInt", [Type::string()], Type::Int, true)
+        .native_method("charAt", [Type::string(), Type::Int], Type::Int, true)
+        .native_method("contains", [Type::string(), Type::string()], Type::Bool, true)
+        .native_method("startsWith", [Type::string(), Type::string()], Type::Bool, true)
+        .native_method("trim", [Type::string()], Type::string(), true)
+        .build()
+}
+
+fn net_class() -> ClassFile {
+    ClassBuilder::new(NET_CLASS)
+        .flags(ClassFlags::NATIVE)
+        .native_method("listen", [Type::Int], Type::Int, true)
+        .native_method("accept", [Type::Int], Type::Int, true)
+        .native_method("tryAccept", [Type::Int], Type::Int, true)
+        .native_method("readLine", [Type::Int], Type::string(), true)
+        .native_method("write", [Type::Int, Type::string()], Type::Void, true)
+        .native_method("close", [Type::Int], Type::Void, true)
+        .build()
+}
+
+fn dsu_class() -> ClassFile {
+    ClassBuilder::new(DSU_CLASS)
+        .flags(ClassFlags::NATIVE)
+        .native_method("forceTransform", [Type::object()], Type::Void, true)
+        .native_method("updateCount", [], Type::Int, true)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_present() {
+        let classes = builtin_classes();
+        for name in builtin_names() {
+            assert!(classes.iter().any(|c| c.name.as_str() == name), "missing builtin {name}");
+        }
+    }
+
+    #[test]
+    fn builtins_are_native_except_object() {
+        for class in builtin_classes() {
+            if class.name.as_str() == OBJECT_CLASS {
+                assert!(!class.flags.native);
+            } else {
+                assert!(class.flags.native, "{} should be native", class.name);
+            }
+        }
+    }
+
+    #[test]
+    fn native_methods_have_no_code() {
+        for class in builtin_classes() {
+            for m in &class.methods {
+                assert!(m.code.is_none(), "{}.{} should be native", class.name, m.name);
+                assert!(m.is_static, "{}.{} should be static", class.name, m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn is_builtin_classification() {
+        assert!(is_builtin("Sys"));
+        assert!(is_builtin("Object"));
+        assert!(!is_builtin("User"));
+    }
+}

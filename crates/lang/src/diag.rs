@@ -1,0 +1,136 @@
+//! Source positions and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Computes 1-based line and column for the start of this span.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// A compile error with location.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { span, message: message.into() }
+    }
+
+    /// Renders with line/column resolved against the source.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}: {}", self.span.start, self.span.end, self.message)
+    }
+}
+
+impl fmt::Debug for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Diagnostic({self})")
+    }
+}
+
+/// Compilation failure: one or more diagnostics.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// All collected diagnostics, in source order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The source text, kept so errors can render line/column info.
+    pub source: String,
+}
+
+impl CompileError {
+    /// Creates an error from a single diagnostic.
+    pub fn single(diag: Diagnostic, source: &str) -> Self {
+        CompileError { diagnostics: vec![diag], source: source.to_string() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "error at {}", d.render(&self.source))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompileError({self})")
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(5, 6).line_col(src), (2, 2));
+        assert_eq!(Span::new(8, 9).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn span_join() {
+        assert_eq!(Span::new(3, 5).to(Span::new(7, 9)), Span::new(3, 9));
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let d = Diagnostic::new(Span::new(4, 5), "unexpected token");
+        assert_eq!(d.render("ab\ncd"), "2:2: unexpected token");
+    }
+}

@@ -1,0 +1,241 @@
+//! The MJ lexer.
+
+use crate::diag::{Diagnostic, Span};
+use crate::token::{keyword, Token, TokenKind};
+
+/// Tokenizes MJ source text.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on unterminated strings or comments, bad escape
+/// sequences, integer overflow, or stray characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Diagnostic::new(
+                            Span::new(start, bytes.len()),
+                            "unterminated block comment",
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: i64 = text.parse().map_err(|_| {
+                    Diagnostic::new(Span::new(start, i), format!("integer literal {text} overflows"))
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(value), span: Span::new(start, i) });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let kind = keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+                tokens.push(Token { kind, span: Span::new(start, i) });
+            }
+            b'"' => {
+                i += 1;
+                let mut value = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Diagnostic::new(
+                            Span::new(start, bytes.len()),
+                            "unterminated string literal",
+                        ));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            let esc = *bytes.get(i).ok_or_else(|| {
+                                Diagnostic::new(
+                                    Span::new(start, bytes.len()),
+                                    "unterminated string literal",
+                                )
+                            })?;
+                            value.push(match esc {
+                                b'n' => '\n',
+                                b'r' => '\r',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'0' => '\0',
+                                other => {
+                                    return Err(Diagnostic::new(
+                                        Span::new(i - 1, i + 1),
+                                        format!("unknown escape sequence \\{}", other as char),
+                                    ))
+                                }
+                            });
+                            i += 1;
+                        }
+                        b'\n' => {
+                            return Err(Diagnostic::new(
+                                Span::new(start, i),
+                                "string literal spans a newline",
+                            ))
+                        }
+                        _ => {
+                            // Consume one UTF-8 scalar (multi-byte safe).
+                            let ch_len = utf8_len(bytes[i]);
+                            value.push_str(&source[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(value), span: Span::new(start, i) });
+            }
+            _ => {
+                let (kind, len) = match (b, bytes.get(i + 1)) {
+                    (b'=', Some(b'=')) => (TokenKind::EqEq, 2),
+                    (b'!', Some(b'=')) => (TokenKind::NotEq, 2),
+                    (b'<', Some(b'=')) => (TokenKind::Le, 2),
+                    (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+                    (b'&', Some(b'&')) => (TokenKind::AndAnd, 2),
+                    (b'|', Some(b'|')) => (TokenKind::OrOr, 2),
+                    (b'{', _) => (TokenKind::LBrace, 1),
+                    (b'}', _) => (TokenKind::RBrace, 1),
+                    (b'(', _) => (TokenKind::LParen, 1),
+                    (b')', _) => (TokenKind::RParen, 1),
+                    (b'[', _) => (TokenKind::LBracket, 1),
+                    (b']', _) => (TokenKind::RBracket, 1),
+                    (b';', _) => (TokenKind::Semi, 1),
+                    (b':', _) => (TokenKind::Colon, 1),
+                    (b',', _) => (TokenKind::Comma, 1),
+                    (b'.', _) => (TokenKind::Dot, 1),
+                    (b'=', _) => (TokenKind::Assign, 1),
+                    (b'<', _) => (TokenKind::Lt, 1),
+                    (b'>', _) => (TokenKind::Gt, 1),
+                    (b'+', _) => (TokenKind::Plus, 1),
+                    (b'-', _) => (TokenKind::Minus, 1),
+                    (b'*', _) => (TokenKind::Star, 1),
+                    (b'/', _) => (TokenKind::Slash, 1),
+                    (b'%', _) => (TokenKind::Percent, 1),
+                    (b'!', _) => (TokenKind::Bang, 1),
+                    _ => {
+                        return Err(Diagnostic::new(
+                            Span::new(start, start + 1),
+                            format!("unexpected character {:?}", b as char),
+                        ))
+                    }
+                };
+                i += len;
+                tokens.push(Token { kind, span: Span::new(start, i) });
+            }
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, span: Span::new(bytes.len(), bytes.len()) });
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_class_header() {
+        assert_eq!(
+            kinds("class User extends Object {"),
+            vec![Class, Ident("User".into()), Extends, Ident("Object".into()), LBrace, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(kinds("== = <= < != !"), vec![EqEq, Assign, Le, Lt, NotEq, Bang, Eof]);
+        assert_eq!(kinds("&& ||"), vec![AndAnd, OrOr, Eof]);
+    }
+
+    #[test]
+    fn lexes_string_with_escapes() {
+        assert_eq!(kinds(r#""a\n\"b\\""#), vec![Str("a\n\"b\\".into()), Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(kinds("1 // comment\n2 /* multi\nline */ 3"), vec![Int(1), Int(2), Int(3), Eof]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("\"abc").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        let err = lex("/* abc").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_integer_overflow() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("#").unwrap_err();
+        assert!(err.message.contains("unexpected"), "{err}");
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn lexes_unicode_in_strings() {
+        assert_eq!(kinds("\"héllo\""), vec![Str("héllo".into()), Eof]);
+    }
+}

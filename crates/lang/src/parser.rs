@@ -1,0 +1,730 @@
+//! Recursive-descent parser for MJ.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(tokens: Vec<Token>) -> Result<Program, Diagnostic> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut classes = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        classes.push(p.class_decl()?);
+    }
+    Ok(Program { classes })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, Diagnostic> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(
+                self.span(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(Diagnostic::new(self.span(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    fn class_decl(&mut self) -> Result<ClassDecl, Diagnostic> {
+        let start = self.span();
+        self.expect(&TokenKind::Class)?;
+        let (name, _) = self.ident()?;
+        let superclass = if self.eat(&TokenKind::Extends) {
+            let (sup, _) = self.ident()?;
+            Some(sup)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            let member_start = self.span();
+            let visibility = self.visibility();
+            let is_static = self.eat(&TokenKind::Static);
+            let is_final = self.eat(&TokenKind::Final);
+            match self.peek() {
+                TokenKind::Field => {
+                    self.bump();
+                    let (fname, _) = self.ident()?;
+                    self.expect(&TokenKind::Colon)?;
+                    let ty = self.type_expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    fields.push(FieldDecl {
+                        name: fname,
+                        ty,
+                        is_static,
+                        is_final,
+                        visibility,
+                        span: member_start.to(self.prev_span()),
+                    });
+                }
+                TokenKind::Method => {
+                    if is_final {
+                        return Err(Diagnostic::new(self.span(), "methods cannot be final"));
+                    }
+                    self.bump();
+                    let (mname, _) = self.ident()?;
+                    let params = self.params()?;
+                    self.expect(&TokenKind::Colon)?;
+                    let ret = self.type_expr_or_void()?;
+                    let body = self.block()?;
+                    methods.push(MethodDecl {
+                        name: mname,
+                        params,
+                        ret,
+                        is_static,
+                        is_ctor: false,
+                        visibility,
+                        body,
+                        span: member_start.to(self.prev_span()),
+                    });
+                }
+                TokenKind::Ctor => {
+                    if is_static || is_final {
+                        return Err(Diagnostic::new(
+                            self.span(),
+                            "constructors cannot be static or final",
+                        ));
+                    }
+                    self.bump();
+                    let params = self.params()?;
+                    let body = self.block()?;
+                    methods.push(MethodDecl {
+                        name: "ctor".to_string(),
+                        params,
+                        ret: TypeExpr::Void,
+                        is_static: false,
+                        is_ctor: true,
+                        visibility,
+                        body,
+                        span: member_start.to(self.prev_span()),
+                    });
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        self.span(),
+                        format!("expected `field`, `method` or `ctor`, found {other}"),
+                    ))
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(ClassDecl { name, superclass, fields, methods, span: start.to(self.prev_span()) })
+    }
+
+    fn visibility(&mut self) -> VisDecl {
+        if self.eat(&TokenKind::Public) {
+            VisDecl::Public
+        } else if self.eat(&TokenKind::Private) {
+            VisDecl::Private
+        } else if self.eat(&TokenKind::Protected) {
+            VisDecl::Protected
+        } else {
+            VisDecl::Public
+        }
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, Diagnostic> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (name, span) = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                params.push(Param { name, ty, span });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    fn type_expr_or_void(&mut self) -> Result<TypeExpr, Diagnostic> {
+        if self.eat(&TokenKind::VoidTy) {
+            Ok(TypeExpr::Void)
+        } else {
+            self.type_expr()
+        }
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, Diagnostic> {
+        let mut ty = match self.peek().clone() {
+            TokenKind::IntTy => {
+                self.bump();
+                TypeExpr::Int
+            }
+            TokenKind::BoolTy => {
+                self.bump();
+                TypeExpr::Bool
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                TypeExpr::Named(name)
+            }
+            other => {
+                return Err(Diagnostic::new(self.span(), format!("expected a type, found {other}")))
+            }
+        };
+        while self.at(&TokenKind::LBracket) && self.peek2() == &TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            ty = TypeExpr::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Var => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                self.expect(&TokenKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Var { name, ty, init, span: start.to(self.prev_span()) })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then = self.block()?;
+                let els = if self.eat(&TokenKind::Else) {
+                    if self.at(&TokenKind::If) {
+                        // `else if` sugar: wrap the nested if in a block.
+                        let nested = self.stmt()?;
+                        Some(Block { stmts: vec![nested] })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value =
+                    if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span: start.to(self.prev_span()) })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break { span: start })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue { span: start })
+            }
+            TokenKind::Super => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let args = self.args()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::SuperCall { args, span: start.to(self.prev_span()) })
+            }
+            _ => {
+                let expr = self.expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    if !expr.is_lvalue() {
+                        return Err(Diagnostic::new(expr.span, "not an assignable expression"));
+                    }
+                    let value = self.expr()?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Assign { target: expr, value, span: start.to(self.prev_span()) })
+                } else {
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::Expr(expr))
+                }
+            }
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, Diagnostic> {
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.equality_expr()?;
+        while self.at(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.equality_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary_expr()?;
+            let span = start.to(e.span);
+            Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), span })
+        } else if self.eat(&TokenKind::Bang) {
+            let e = self.unary_expr()?;
+            let span = start.to(e.span);
+            Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), span })
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let (name, name_span) = self.ident()?;
+                if self.eat(&TokenKind::LParen) {
+                    let args = self.args()?;
+                    let span = e.span.to(self.prev_span());
+                    e = Expr {
+                        kind: ExprKind::Call { recv: Some(Box::new(e)), name, args },
+                        span,
+                    };
+                } else {
+                    let span = e.span.to(name_span);
+                    e = Expr { kind: ExprKind::Field(Box::new(e), name), span };
+                }
+            } else if self.at(&TokenKind::LBracket) {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                let span = e.span.to(self.prev_span());
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), span };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::IntLit(v), span: start })
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::StrLit(s), span: start })
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::BoolLit(true), span: start })
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::BoolLit(false), span: start })
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Null, span: start })
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::This, span: start })
+            }
+            TokenKind::New => {
+                self.bump();
+                let ty = self.type_expr_base()?;
+                if self.at(&TokenKind::LBracket) {
+                    // `new T[len]`, possibly with more `[]` suffixes for
+                    // arrays of arrays: `new T[][len]` is not supported;
+                    // the element type must be written fully: `new int[n]`
+                    // allocates int[], `new User[n]` allocates User[].
+                    self.bump();
+                    let len = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    let mut elem = ty;
+                    // Trailing `[]` pairs make the *element* an array type:
+                    // `new int[n][]` allocates an int[][] of length n.
+                    while self.at(&TokenKind::LBracket) && self.peek2() == &TokenKind::RBracket {
+                        self.bump();
+                        self.bump();
+                        elem = TypeExpr::Array(Box::new(elem));
+                    }
+                    let span = start.to(self.prev_span());
+                    Ok(Expr { kind: ExprKind::NewArray(elem, Box::new(len)), span })
+                } else if self.at(&TokenKind::LParen) {
+                    let class = match ty {
+                        TypeExpr::Named(name) => name,
+                        other => {
+                            return Err(Diagnostic::new(
+                                start,
+                                format!("cannot construct non-class type {other:?}"),
+                            ))
+                        }
+                    };
+                    self.bump();
+                    let args = self.args()?;
+                    let span = start.to(self.prev_span());
+                    Ok(Expr { kind: ExprKind::New(class, args), span })
+                } else {
+                    Err(Diagnostic::new(self.span(), "expected `(` or `[` after `new T`"))
+                }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let args = self.args()?;
+                    let span = start.to(self.prev_span());
+                    Ok(Expr { kind: ExprKind::Call { recv: None, name, args }, span })
+                } else {
+                    Ok(Expr { kind: ExprKind::Ident(name), span: start })
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => {
+                Err(Diagnostic::new(self.span(), format!("expected an expression, found {other}")))
+            }
+        }
+    }
+
+    /// A base (non-array) type after `new`.
+    fn type_expr_base(&mut self) -> Result<TypeExpr, Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::IntTy => {
+                self.bump();
+                Ok(TypeExpr::Int)
+            }
+            TokenKind::BoolTy => {
+                self.bump();
+                Ok(TypeExpr::Bool)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(TypeExpr::Named(name))
+            }
+            other => Err(Diagnostic::new(self.span(), format!("expected a type, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> Diagnostic {
+        match lex(src) {
+            Ok(toks) => parse(toks).unwrap_err(),
+            Err(d) => d,
+        }
+    }
+
+    #[test]
+    fn parses_class_with_members() {
+        let p = parse_src(
+            "class User extends Object {
+               private final field name: String;
+               static field count: int;
+               ctor(n: String) { this.name = n; }
+               method getName(): String { return this.name; }
+             }",
+        );
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.name, "User");
+        assert_eq!(c.superclass.as_deref(), Some("Object"));
+        assert_eq!(c.fields.len(), 2);
+        assert!(c.fields[0].is_final);
+        assert!(c.fields[1].is_static);
+        assert_eq!(c.methods.len(), 2);
+        assert!(c.methods[0].is_ctor);
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse_src(
+            "class T { static method f(): int { return 1 + 2 * 3; } }",
+        );
+        let body = &p.classes[0].methods[0].body;
+        let Stmt::Return { value: Some(e), .. } = &body.stmts[0] else { panic!() };
+        // 1 + (2 * 3): top is Add
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_src(
+            "class T { static method f(x: int): int {
+               if (x == 0) { return 1; } else if (x == 1) { return 2; } else { return 3; }
+             } }",
+        );
+        let Stmt::If { els: Some(els), .. } = &p.classes[0].methods[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(els.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_array_types_and_allocation() {
+        let p = parse_src(
+            "class T { static method f(n: int): String[][] {
+               var a: String[][] = new String[n][];
+               return a;
+             } }",
+        );
+        let m = &p.classes[0].methods[0];
+        assert_eq!(m.ret, TypeExpr::Array(Box::new(TypeExpr::Array(Box::new(TypeExpr::Named(
+            "String".into()
+        ))))));
+        let Stmt::Var { init, .. } = &m.body.stmts[0] else { panic!() };
+        let ExprKind::NewArray(elem, _) = &init.kind else { panic!() };
+        assert_eq!(*elem, TypeExpr::Array(Box::new(TypeExpr::Named("String".into()))));
+    }
+
+    #[test]
+    fn parses_calls_and_chained_postfix() {
+        let p = parse_src(
+            "class T { static method f(u: User): int {
+               return u.getAddresses()[0].len();
+             } }
+             class User { method getAddresses(): int[] { return new int[1]; } }",
+        );
+        assert_eq!(p.classes.len(), 2);
+    }
+
+    #[test]
+    fn parses_super_call() {
+        let p = parse_src(
+            "class B extends A { ctor(x: int) { super(x); } }
+             class A { ctor(x: int) { } }",
+        );
+        assert!(matches!(p.classes[0].methods[0].body.stmts[0], Stmt::SuperCall { .. }));
+    }
+
+    #[test]
+    fn parses_while_with_break_continue() {
+        let p = parse_src(
+            "class T { static method f(): void {
+               while (true) { if (false) { break; } continue; }
+             } }",
+        );
+        let Stmt::While { body, .. } = &p.classes[0].methods[0].body.stmts[0] else { panic!() };
+        assert_eq!(body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_assignment_to_rvalue() {
+        let err = parse_err("class T { static method f(): void { 1 = 2; } }");
+        assert!(err.message.contains("assignable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_static_ctor() {
+        let err = parse_err("class T { static ctor() { } }");
+        assert!(err.message.contains("constructors"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_err("class T { static method f(): void { return } }");
+        assert!(err.message.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn unqualified_call_parses_as_recv_none() {
+        let p = parse_src("class T { method f(): void { g(); } method g(): void { } }");
+        let Stmt::Expr(e) = &p.classes[0].methods[0].body.stmts[0] else { panic!() };
+        let ExprKind::Call { recv, .. } = &e.kind else { panic!() };
+        assert!(recv.is_none());
+    }
+}

@@ -1,0 +1,258 @@
+//! Tokens of the MJ language.
+
+use std::fmt;
+
+use crate::diag::Span;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// Integer literal.
+    Int(i64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `field`
+    Field,
+    /// `method`
+    Method,
+    /// `ctor`
+    Ctor,
+    /// `static`
+    Static,
+    /// `final`
+    Final,
+    /// `public`
+    Public,
+    /// `private`
+    Private,
+    /// `protected`
+    Protected,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `new`
+    New,
+    /// `this`
+    This,
+    /// `super`
+    Super,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    IntTy,
+    /// `bool`
+    BoolTy,
+    /// `void`
+    VoidTy,
+
+    // Punctuation and operators
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Str(_) => f.write_str("string literal"),
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Eof => f.write_str("end of input"),
+            other => write!(f, "`{}`", keyword_or_symbol(other)),
+        }
+    }
+}
+
+fn keyword_or_symbol(kind: &TokenKind) -> &'static str {
+    use TokenKind::*;
+    match kind {
+        Class => "class",
+        Extends => "extends",
+        Field => "field",
+        Method => "method",
+        Ctor => "ctor",
+        Static => "static",
+        Final => "final",
+        Public => "public",
+        Private => "private",
+        Protected => "protected",
+        Var => "var",
+        If => "if",
+        Else => "else",
+        While => "while",
+        Return => "return",
+        Break => "break",
+        Continue => "continue",
+        New => "new",
+        This => "this",
+        Super => "super",
+        Null => "null",
+        True => "true",
+        False => "false",
+        IntTy => "int",
+        BoolTy => "bool",
+        VoidTy => "void",
+        LBrace => "{",
+        RBrace => "}",
+        LParen => "(",
+        RParen => ")",
+        LBracket => "[",
+        RBracket => "]",
+        Semi => ";",
+        Colon => ":",
+        Comma => ",",
+        Dot => ".",
+        Assign => "=",
+        EqEq => "==",
+        NotEq => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        Plus => "+",
+        Minus => "-",
+        Star => "*",
+        Slash => "/",
+        Percent => "%",
+        Bang => "!",
+        AndAnd => "&&",
+        OrOr => "||",
+        Int(_) | Str(_) | Ident(_) | Eof => unreachable!("handled by Display"),
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind (and payload for literals/identifiers).
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Looks up the keyword for an identifier-shaped lexeme, if it is one.
+pub fn keyword(lexeme: &str) -> Option<TokenKind> {
+    use TokenKind::*;
+    Some(match lexeme {
+        "class" => Class,
+        "extends" => Extends,
+        "field" => Field,
+        "method" => Method,
+        "ctor" => Ctor,
+        "static" => Static,
+        "final" => Final,
+        "public" => Public,
+        "private" => Private,
+        "protected" => Protected,
+        "var" => Var,
+        "if" => If,
+        "else" => Else,
+        "while" => While,
+        "return" => Return,
+        "break" => Break,
+        "continue" => Continue,
+        "new" => New,
+        "this" => This,
+        "super" => Super,
+        "null" => Null,
+        "true" => True,
+        "false" => False,
+        "int" => IntTy,
+        "bool" => BoolTy,
+        "void" => VoidTy,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(keyword("class"), Some(TokenKind::Class));
+        assert_eq!(keyword("classes"), None);
+        assert_eq!(keyword("int"), Some(TokenKind::IntTy));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(TokenKind::Class.to_string(), "`class`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::EqEq.to_string(), "`==`");
+    }
+}

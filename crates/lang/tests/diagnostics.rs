@@ -1,0 +1,118 @@
+//! Diagnostic-quality tests: every class of user error produces a
+//! pointed, located message — table stakes for the compiler developers
+//! run in the paper's prepare-test-update loop.
+
+use jvolve_lang::compile;
+
+fn err_of(src: &str) -> String {
+    compile(src).unwrap_err().to_string()
+}
+
+#[test]
+fn lexer_errors() {
+    assert!(err_of("class A { field x: int; } $").contains("unexpected character"));
+    assert!(err_of("class A { method f(): void { Sys.print(\"oops); } }")
+        .contains("unterminated string"));
+    assert!(err_of("/* class A {").contains("unterminated block comment"));
+}
+
+#[test]
+fn parser_errors() {
+    assert!(err_of("class { }").contains("expected identifier"));
+    assert!(err_of("class A extends { }").contains("expected identifier"));
+    assert!(err_of("class A { fild x: int; }").contains("expected `field`, `method` or `ctor`"));
+    assert!(err_of("class A { method f() int { } }").contains("expected `:`"));
+    assert!(err_of("class A { method f(): void { var x int = 1; } }").contains("expected `:`"));
+    assert!(err_of("class A { method f(): void { if true { } } }").contains("expected `(`"));
+}
+
+#[test]
+fn name_resolution_errors() {
+    assert!(err_of("class A extends Ghost { }").contains("unknown superclass Ghost"));
+    assert!(err_of("class A { field x: Ghost; }").contains("unknown type Ghost"));
+    assert!(err_of("class A { method f(): void { y = 1; } }").contains("unknown variable y"));
+    assert!(err_of("class A { method f(): void { this.z = 1; } }").contains("unknown field A.z"));
+    assert!(err_of("class A { method f(): void { this.g(); } }")
+        .contains("unknown method"));
+    assert!(err_of("class A { method f(): void { Ghost.h(); } }")
+        .contains("unknown variable Ghost"));
+}
+
+#[test]
+fn type_errors() {
+    assert!(err_of("class A { method f(): int { return true; } }")
+        .contains("not assignable"));
+    assert!(err_of("class A { method f(): void { var b: bool = 1 + true; } }")
+        .contains("+ requires two ints or two Strings"));
+    assert!(err_of("class A { method f(): void { if (1) { } } }").contains("not assignable"));
+    assert!(err_of("class A { method f(s: String): int { return s * 2; } }")
+        .contains("not assignable"));
+    assert!(
+        err_of("class A { method f(): bool { return \"x\" == 1; } }").contains("cannot compare")
+    );
+    assert!(err_of(
+        "class A { method g(x: int): void { } method f(): void { this.g(true); } }"
+    )
+    .contains("not assignable"));
+    assert!(err_of(
+        "class A { method g(x: int): void { } method f(): void { this.g(); } }"
+    )
+    .contains("passes 0 arguments"));
+}
+
+#[test]
+fn staticness_errors() {
+    assert!(err_of("class A { static method f(): void { Sys.print(this.g()); } }")
+        .contains("this in a static method")
+        || err_of("class A { static method f(): void { var x: A = this; } }")
+            .contains("this in a static method"));
+    assert!(err_of(
+        "class A { method m(): void { } static method f(a: A): void { A.m(); } }"
+    )
+    .contains("not a static method"));
+    assert!(err_of(
+        "class A { static method s(): void { } method f(a: A): void { a.s(); } }"
+    )
+    .contains("static method A.s called on an instance"));
+}
+
+#[test]
+fn constructor_errors() {
+    assert!(err_of("class A { ctor(x: int) { } } class B { method f(): A { return new A(); } }")
+        .contains("passes 0 arguments"));
+    // A has only the synthesized zero-argument constructor.
+    assert!(err_of("class A { method f(): A { return new A(1); } }")
+        .contains("passes 1 arguments"));
+    assert!(err_of(
+        "class A { ctor(x: int) { } }
+         class B extends A { ctor() { } }"
+    )
+    .contains("must call super"));
+    assert!(err_of(
+        "class A { ctor() { } method f(): void { super(); } }"
+    )
+    .contains("first statement of a constructor"));
+}
+
+#[test]
+fn control_flow_errors() {
+    assert!(err_of("class A { method f(): void { break; } }").contains("break outside a loop"));
+    assert!(err_of("class A { method f(): void { continue; } }")
+        .contains("continue outside a loop"));
+    assert!(err_of("class A { method f(b: bool): int { if (b) { return 1; } } }")
+        .contains("without returning"));
+}
+
+#[test]
+fn builtin_misuse_errors() {
+    assert!(err_of("class A { method f(): String { return new String(); } }")
+        .contains("cannot instantiate builtin"));
+    assert!(err_of("class Sys { }").contains("conflicts with a builtin"));
+    assert!(err_of("class A { method f(): void { Str.len(1); } }").contains("not assignable"));
+}
+
+#[test]
+fn messages_carry_line_and_column() {
+    let err = err_of("class A {\n  method f(): int {\n    return true;\n  }\n}");
+    assert!(err.contains("3:"), "line number expected: {err}");
+}

@@ -1,0 +1,69 @@
+//! Integration tests for the `mjc` compiler CLI.
+
+use std::process::Command;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mjc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const SRC: &str = "class Greeter {
+  field name: String;
+  ctor(n: String) { this.name = n; }
+  method greet(): String { return \"hi \" + this.name; }
+}";
+
+#[test]
+fn check_build_dis_pipeline() {
+    let src = write_temp("greeter.mj", SRC);
+    let out_dir = std::env::temp_dir().join(format!("mjc-out-{}", std::process::id()));
+
+    let check = Command::new(env!("CARGO_BIN_EXE_mjc"))
+        .args(["check", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(check.status.success());
+    assert!(String::from_utf8_lossy(&check.stdout).contains("1 classes OK"));
+
+    let build = Command::new(env!("CARGO_BIN_EXE_mjc"))
+        .args(["build", src.to_str().unwrap(), "-o", out_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    let mjc_file = out_dir.join("Greeter.mjc");
+    assert!(mjc_file.exists());
+
+    // Disassemble both the source and the binary; both mention the method.
+    for target in [src.to_str().unwrap(), mjc_file.to_str().unwrap()] {
+        let dis = Command::new(env!("CARGO_BIN_EXE_mjc")).args(["dis", target]).output().unwrap();
+        assert!(dis.status.success());
+        let text = String::from_utf8_lossy(&dis.stdout);
+        assert!(text.contains("greet(): String"), "{text}");
+        assert!(text.contains("str.concat"), "{text}");
+    }
+}
+
+#[test]
+fn check_reports_type_errors_with_location() {
+    let src = write_temp("bad.mj", "class B {\n  method f(): int { return true; }\n}");
+    let out = Command::new(env!("CARGO_BIN_EXE_mjc"))
+        .args(["check", src.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("2:"), "location included: {err}");
+    assert!(err.contains("not assignable"), "{err}");
+}
+
+#[test]
+fn dis_rejects_corrupt_binary() {
+    let bad = write_temp("corrupt.mjc", "not a class file");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_mjc")).args(["dis", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+}

@@ -1,0 +1,210 @@
+//! Compiled (resolved) method representation.
+//!
+//! The baseline compiler turns symbolic bytecode into [`RInstr`] sequences
+//! with **hard-coded** field offsets, static slots, dispatch-table slots,
+//! and instance sizes — the analogue of machine code emitted by Jikes RVM's
+//! compilers. This baking is what makes the paper's *indirect method
+//! updates* necessary: when a class update changes a layout, compiled code
+//! of any method referencing the class silently holds stale offsets and
+//! must be invalidated (and, if on-stack, OSR-replaced).
+
+use std::sync::Arc;
+
+use crate::ids::{ClassId, MethodId};
+use crate::natives::NativeFn;
+
+/// Compilation tier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompileLevel {
+    /// Straightforward 1:1 resolution of bytecode; OSR-capable because the
+    /// instruction indices coincide with bytecode indices.
+    Base,
+    /// Resolution plus inlining; not OSR-capable (matches the paper's
+    /// current implementation, §3.2).
+    Opt,
+}
+
+/// A resolved instruction.
+///
+/// Operands are physical: word offsets, JTOC slots, TIB slots, method ids.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RInstr {
+    /// Push integer constant.
+    ConstInt(i64),
+    /// Push boolean constant.
+    ConstBool(bool),
+    /// Allocate a string with this content and push it.
+    ConstStr(Arc<str>),
+    /// Push null.
+    ConstNull,
+    /// Push local slot.
+    Load(u16),
+    /// Pop into local slot.
+    Store(u16),
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (traps on zero).
+    Div,
+    /// Integer remainder (traps on zero).
+    Rem,
+    /// Integer negate.
+    Neg,
+    /// Integer compare ==.
+    CmpEq,
+    /// Integer compare !=.
+    CmpNe,
+    /// Integer compare <.
+    CmpLt,
+    /// Integer compare <=.
+    CmpLe,
+    /// Integer compare >.
+    CmpGt,
+    /// Integer compare >=.
+    CmpGe,
+    /// Boolean not.
+    Not,
+    /// Boolean equality.
+    BoolEq,
+    /// Reference identity.
+    RefEq,
+    /// Reference non-identity.
+    RefNe,
+    /// String concatenation (allocates).
+    StrConcat,
+    /// String value equality.
+    StrEq,
+    /// Allocate an instance: class id and **baked instance size** in words.
+    New {
+        /// Class to instantiate.
+        class: ClassId,
+        /// Field words — resolved at compile time; stale after a class
+        /// update, which is why such code must be invalidated.
+        size: u16,
+    },
+    /// Read an instance field at a baked word offset.
+    GetField {
+        /// Word offset within the object.
+        offset: u16,
+        /// Whether the slot holds a reference (for value decoding).
+        is_ref: bool,
+    },
+    /// Write an instance field at a baked word offset.
+    PutField {
+        /// Word offset within the object.
+        offset: u16,
+    },
+    /// Read a static from a baked JTOC slot.
+    GetStatic {
+        /// JTOC slot.
+        slot: u32,
+        /// Whether the slot holds a reference.
+        is_ref: bool,
+    },
+    /// Write a static to a baked JTOC slot.
+    PutStatic {
+        /// JTOC slot.
+        slot: u32,
+    },
+    /// Allocate an array (length popped from the stack).
+    NewArray {
+        /// Element kind.
+        is_ref: bool,
+    },
+    /// Array element load.
+    ALoad,
+    /// Array element store.
+    AStore,
+    /// Array length.
+    ArrayLen,
+    /// Virtual dispatch through the receiver's TIB at a baked slot.
+    CallVirtual {
+        /// TIB slot index.
+        vslot: u16,
+        /// Argument count (receiver excluded).
+        argc: u8,
+    },
+    /// Direct call (static methods, constructors, `super` calls).
+    CallDirect {
+        /// Target method.
+        method: MethodId,
+        /// Argument count (receiver excluded).
+        argc: u8,
+        /// Whether a receiver sits under the arguments.
+        has_receiver: bool,
+    },
+    /// Call into the VM.
+    CallNative {
+        /// Implementation.
+        native: NativeFn,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Unconditional branch. A target at or before the current pc is a loop
+    /// back-edge and acts as a yield point.
+    Jump(u32),
+    /// Branch if popped bool is true.
+    JumpIfTrue(u32),
+    /// Branch if popped bool is false.
+    JumpIfFalse(u32),
+    /// Return void.
+    Return,
+    /// Return the popped value.
+    ReturnValue,
+    /// Discard top of stack.
+    Pop,
+    /// Duplicate top of stack.
+    Dup,
+}
+
+/// A compiled method body.
+#[derive(Clone, Debug)]
+pub struct CompiledMethod {
+    /// The method this code implements.
+    pub method: MethodId,
+    /// Compilation tier.
+    pub level: CompileLevel,
+    /// Resolved instructions.
+    pub code: Vec<RInstr>,
+    /// Local slots needed (grows with inlining).
+    pub max_locals: u16,
+    /// Methods whose bodies were inlined into this code (transitive).
+    ///
+    /// The DSU restricted-set analysis consults this: if an updated method
+    /// was inlined here, this method must be restricted and recompiled too
+    /// (paper §3.2).
+    pub inlined: Vec<MethodId>,
+    /// Classes whose layout/dispatch data is baked into this code.
+    pub referenced_classes: Vec<ClassId>,
+}
+
+impl CompiledMethod {
+    /// Whether this code can be OSR-replaced (base tier only; instruction
+    /// indices match bytecode indices, so the pc and locals carry over).
+    pub fn osr_capable(&self) -> bool {
+        self.level == CompileLevel::Base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn osr_capability_follows_tier() {
+        let base = CompiledMethod {
+            method: MethodId(0),
+            level: CompileLevel::Base,
+            code: vec![RInstr::Return],
+            max_locals: 0,
+            inlined: vec![],
+            referenced_classes: vec![],
+        };
+        assert!(base.osr_capable());
+        let opt = CompiledMethod { level: CompileLevel::Opt, ..base };
+        assert!(!opt.osr_capable());
+    }
+}

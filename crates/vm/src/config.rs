@@ -1,0 +1,69 @@
+//! VM configuration.
+
+/// Tuning knobs for a [`Vm`](crate::Vm).
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Words per semispace. Total heap is twice this (plus one reserved
+    /// word), matching the paper's Jikes RVM semi-space collector setup.
+    pub semispace_words: usize,
+    /// Interpreter steps per scheduler slice; threads only actually stop at
+    /// the first *yield point* (method entry/exit or loop back-edge) at or
+    /// after the quantum, reproducing safe-point-based scheduling.
+    pub quantum: usize,
+    /// Invocations after which a baseline-compiled method is recompiled by
+    /// the optimizing tier (with inlining).
+    pub opt_threshold: u32,
+    /// Maximum callee bytecode length eligible for inlining.
+    pub inline_max_len: usize,
+    /// Maximum inlining depth.
+    pub inline_max_depth: usize,
+    /// Whether the optimizing tier runs at all.
+    pub enable_opt: bool,
+    /// Maximum guest call-stack depth per thread.
+    pub max_stack_depth: usize,
+    /// Echo `Sys.print` output to the host's stdout as well as buffering it.
+    pub echo_output: bool,
+    /// Lazy-indirection DSU baseline (JDrums/DVM-style, paper §5): every
+    /// field access and virtual dispatch performs a forwarding check so
+    /// objects can be migrated on first touch, imposing steady-state
+    /// overhead. The default (eager, GC-based) mode never pays this cost.
+    pub lazy_indirection: bool,
+}
+
+impl VmConfig {
+    /// A small heap suitable for unit tests (1 MiB semispaces).
+    pub fn small() -> Self {
+        VmConfig { semispace_words: 128 * 1024, ..VmConfig::default() }
+    }
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            // 16 MiB semispaces by default.
+            semispace_words: 2 * 1024 * 1024,
+            quantum: 4_000,
+            opt_threshold: 100,
+            inline_max_len: 24,
+            inline_max_depth: 3,
+            enable_opt: true,
+            max_stack_depth: 2_048,
+            echo_output: false,
+            lazy_indirection: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = VmConfig::default();
+        assert!(c.semispace_words > 0);
+        assert!(c.quantum > 0);
+        assert!(c.enable_opt);
+        assert!(!c.lazy_indirection);
+    }
+}

@@ -1,0 +1,701 @@
+//! The semi-space copying heap and its DSU-aware collector.
+//!
+//! This reproduces the substrate of paper §3.4: a Cheney-style semi-space
+//! copying collector extended so that objects whose class signature changed
+//! are *duplicated* during the copy — an old-layout copy plus a zeroed
+//! new-layout object — with the pair recorded in an **update log** for the
+//! transformer pass that runs after collection. Old-copy reference fields
+//! are forwarded like any other object's, so transformers dereferencing
+//! `from` fields observe *transformed* referents, exactly the paper's
+//! programming model.
+//!
+//! # Memory layout
+//!
+//! The heap is a flat `Vec<u64>`; word 0 is reserved so address 0 can mean
+//! `null`. Two equal semispaces follow. Every heap cell starts with a
+//! header word:
+//!
+//! ```text
+//! bit 0      forwarded flag; if set, bits 1.. hold the forwarding address
+//! bits 1-2   kind: 0 = object, 1 = reference array, 2 = primitive array,
+//!            3 = string (packed UTF-8 bytes)
+//! bits 32-63 class id (objects) or element/byte length (arrays/strings)
+//! ```
+//!
+//! Objects are `1 + size_words(class)` words; arrays `1 + len`; strings
+//! `1 + ceil(bytes/8)`.
+
+use crate::error::VmError;
+use crate::ids::ClassId;
+use crate::value::GcRef;
+
+/// What kind of heap cell a header describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeapKind {
+    /// Plain object with class-determined layout.
+    Object,
+    /// Array of references.
+    RefArray,
+    /// Array of primitives (ints/bools).
+    PrimArray,
+    /// Immutable string: packed UTF-8 payload.
+    Str,
+}
+
+/// Per-class layout information the collector needs.
+///
+/// The class registry implements this; keeping it a trait lets heap unit
+/// tests run without a registry.
+pub trait ClassLayouts {
+    /// Number of field words of instances of `class` (header excluded).
+    fn object_size(&self, class: ClassId) -> usize;
+    /// Which field words hold references.
+    fn ref_map(&self, class: ClassId) -> &[bool];
+}
+
+/// The DSU remapping policy consulted during a collection (paper §3.4).
+///
+/// Returning `Some(new_class)` for a class makes the collector duplicate
+/// each instance (old copy + new-layout object) and log the pair.
+pub trait GcRemap {
+    /// The updated class an instance of `class` must be converted to.
+    fn remap(&self, class: ClassId) -> Option<ClassId>;
+}
+
+/// The identity policy: an ordinary, non-updating collection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRemap;
+
+impl GcRemap for NoRemap {
+    fn remap(&self, _class: ClassId) -> Option<ClassId> {
+        None
+    }
+}
+
+/// Result of a collection.
+#[derive(Debug, Clone, Default)]
+pub struct GcOutcome {
+    /// Objects (cells) copied.
+    pub copied_cells: usize,
+    /// Words copied (headers included).
+    pub copied_words: usize,
+    /// Old-copy/new-object pairs produced by the remap policy: the paper's
+    /// update log, consumed by the transformer pass.
+    pub update_log: Vec<(GcRef, GcRef)>,
+}
+
+/// The semi-space heap.
+#[derive(Debug)]
+pub struct Heap {
+    words: Vec<u64>,
+    semi: usize,
+    /// `false`: active space is A (`[1, semi]`); `true`: space B.
+    active_b: bool,
+    alloc: usize,
+    collections: u64,
+}
+
+const KIND_SHIFT: u64 = 1;
+const KIND_MASK: u64 = 0b110;
+const META_SHIFT: u64 = 32;
+
+fn header(kind: HeapKind, meta: u32) -> u64 {
+    let k = match kind {
+        HeapKind::Object => 0u64,
+        HeapKind::RefArray => 1,
+        HeapKind::PrimArray => 2,
+        HeapKind::Str => 3,
+    };
+    (u64::from(meta) << META_SHIFT) | (k << KIND_SHIFT)
+}
+
+fn header_kind(h: u64) -> HeapKind {
+    match (h & KIND_MASK) >> KIND_SHIFT {
+        0 => HeapKind::Object,
+        1 => HeapKind::RefArray,
+        2 => HeapKind::PrimArray,
+        _ => HeapKind::Str,
+    }
+}
+
+fn header_meta(h: u64) -> u32 {
+    (h >> META_SHIFT) as u32
+}
+
+impl Heap {
+    /// Creates a heap with two semispaces of `semispace_words` each.
+    pub fn new(semispace_words: usize) -> Self {
+        assert!(semispace_words >= 16, "heap too small to be useful");
+        Heap {
+            words: vec![0; 1 + 2 * semispace_words],
+            semi: semispace_words,
+            active_b: false,
+            alloc: 1,
+            collections: 0,
+        }
+    }
+
+    fn base(&self, space_b: bool) -> usize {
+        if space_b {
+            1 + self.semi
+        } else {
+            1
+        }
+    }
+
+    fn limit(&self, space_b: bool) -> usize {
+        self.base(space_b) + self.semi
+    }
+
+    /// Words currently allocated in the active semispace.
+    pub fn used_words(&self) -> usize {
+        self.alloc - self.base(self.active_b)
+    }
+
+    /// Words still free in the active semispace.
+    pub fn free_words(&self) -> usize {
+        self.limit(self.active_b) - self.alloc
+    }
+
+    /// Words per semispace.
+    pub fn semispace_words(&self) -> usize {
+        self.semi
+    }
+
+    /// Number of collections performed so far.
+    pub fn collections(&self) -> u64 {
+        self.collections
+    }
+
+    fn alloc_raw(&mut self, n: usize) -> Option<usize> {
+        if self.alloc + n > self.limit(self.active_b) {
+            return None;
+        }
+        let addr = self.alloc;
+        self.alloc += n;
+        // Zero the cell: the space may hold stale data from before the
+        // previous collection.
+        self.words[addr..addr + n].fill(0);
+        Some(addr)
+    }
+
+    /// Allocates an object of `class` with `size` zeroed field words.
+    pub fn alloc_object(&mut self, class: ClassId, size: usize) -> Option<GcRef> {
+        let addr = self.alloc_raw(1 + size)?;
+        self.words[addr] = header(HeapKind::Object, class.0);
+        Some(GcRef(addr as u32))
+    }
+
+    /// Allocates an array of `len` elements; `is_ref` selects the kind.
+    pub fn alloc_array(&mut self, is_ref: bool, len: usize) -> Option<GcRef> {
+        let addr = self.alloc_raw(1 + len)?;
+        let kind = if is_ref { HeapKind::RefArray } else { HeapKind::PrimArray };
+        self.words[addr] = header(kind, len as u32);
+        Some(GcRef(addr as u32))
+    }
+
+    /// Allocates a string cell holding `s`.
+    pub fn alloc_string(&mut self, s: &str) -> Option<GcRef> {
+        let bytes = s.as_bytes();
+        let payload = bytes.len().div_ceil(8);
+        let addr = self.alloc_raw(1 + payload)?;
+        self.words[addr] = header(HeapKind::Str, bytes.len() as u32);
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.words[addr + 1 + i] = u64::from_le_bytes(w);
+        }
+        Some(GcRef(addr as u32))
+    }
+
+    /// The kind of the cell at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` points at a forwarded cell (only occurs mid-GC or in
+    /// lazy-indirection mode before [`Heap::resolve`]).
+    pub fn kind(&self, r: GcRef) -> HeapKind {
+        let h = self.words[r.addr()];
+        assert_eq!(h & 1, 0, "kind() on forwarded cell {r}");
+        header_kind(h)
+    }
+
+    /// The class of the object at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not an object.
+    pub fn class_of(&self, r: GcRef) -> ClassId {
+        let h = self.words[r.addr()];
+        assert_eq!(h & 1, 0, "class_of() on forwarded cell {r}");
+        assert_eq!(header_kind(h), HeapKind::Object, "class_of() on non-object");
+        ClassId(header_meta(h))
+    }
+
+    /// Length of the array (or byte length of the string) at `r`.
+    pub fn len_of(&self, r: GcRef) -> u32 {
+        let h = self.words[r.addr()];
+        assert_eq!(h & 1, 0, "len_of() on forwarded cell {r}");
+        header_meta(h)
+    }
+
+    /// Reads field/element word `offset` of the cell at `r`.
+    pub fn get(&self, r: GcRef, offset: usize) -> u64 {
+        self.words[r.addr() + 1 + offset]
+    }
+
+    /// Writes field/element word `offset` of the cell at `r`.
+    pub fn set(&mut self, r: GcRef, offset: usize, word: u64) {
+        self.words[r.addr() + 1 + offset] = word;
+    }
+
+    /// Reads the string cell at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not a string.
+    pub fn read_string(&self, r: GcRef) -> String {
+        let h = self.words[r.addr()];
+        assert_eq!(header_kind(h), HeapKind::Str, "read_string() on non-string");
+        let len = header_meta(h) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        let mut remaining = len;
+        let mut i = r.addr() + 1;
+        while remaining > 0 {
+            let chunk = self.words[i].to_le_bytes();
+            let take = remaining.min(8);
+            bytes.extend_from_slice(&chunk[..take]);
+            remaining -= take;
+            i += 1;
+        }
+        String::from_utf8(bytes).expect("heap strings are valid UTF-8")
+    }
+
+    /// Whether the cell at `r` carries a forwarding pointer.
+    pub fn is_forwarded(&self, r: GcRef) -> bool {
+        self.words[r.addr()] & 1 == 1
+    }
+
+    /// Installs a forwarding pointer `from → to` (lazy-indirection mode).
+    pub fn install_forward(&mut self, from: GcRef, to: GcRef) {
+        self.words[from.addr()] = (u64::from(to.0) << 1) | 1;
+    }
+
+    /// Follows forwarding pointers from `r` to the live cell.
+    ///
+    /// In eager mode this is only meaningful immediately after a collection
+    /// (to re-derive roots); in lazy-indirection mode the interpreter calls
+    /// it on every access — that check is exactly the steady-state overhead
+    /// the paper attributes to JDrums/DVM-style systems.
+    pub fn resolve(&self, mut r: GcRef) -> GcRef {
+        let mut hops = 0;
+        while self.words[r.addr()] & 1 == 1 {
+            r = GcRef((self.words[r.addr()] >> 1) as u32);
+            hops += 1;
+            assert!(hops < 64, "forwarding chain too long; heap corrupt");
+        }
+        r
+    }
+
+    /// Size in words (header included) of the cell at `addr`.
+    fn cell_size(&self, addr: usize, layouts: &dyn ClassLayouts) -> usize {
+        let h = self.words[addr];
+        match header_kind(h) {
+            HeapKind::Object => 1 + layouts.object_size(ClassId(header_meta(h))),
+            HeapKind::RefArray | HeapKind::PrimArray => 1 + header_meta(h) as usize,
+            HeapKind::Str => 1 + (header_meta(h) as usize).div_ceil(8),
+        }
+    }
+
+    /// Performs a full copying collection.
+    ///
+    /// `roots` are the addresses of live references (from thread frames,
+    /// statics, and any DSU bookkeeping); after `collect` returns, the
+    /// caller must rewrite each root via [`Heap::resolve`].
+    ///
+    /// When `remap` returns a new class for an object's class, the object
+    /// is duplicated per the paper's §3.4 protocol and the pair is pushed
+    /// onto the returned update log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] if to-space overflows (possible
+    /// during updates, which duplicate transformed objects).
+    pub fn collect(
+        &mut self,
+        roots: &[GcRef],
+        layouts: &dyn ClassLayouts,
+        remap: &dyn GcRemap,
+    ) -> Result<GcOutcome, VmError> {
+        let to_b = !self.active_b;
+        let to_base = self.base(to_b);
+        let to_limit = self.limit(to_b);
+        let mut to_alloc = to_base;
+        let mut outcome = GcOutcome::default();
+
+        // Copy roots.
+        for &root in roots {
+            self.copy_cell(root, &mut to_alloc, to_base, to_limit, layouts, remap, &mut outcome)?;
+        }
+
+        // Cheney scan.
+        let mut scan = to_base;
+        while scan < to_alloc {
+            let size = self.cell_size(scan, layouts);
+            let h = self.words[scan];
+            match header_kind(h) {
+                HeapKind::Object => {
+                    let class = ClassId(header_meta(h));
+                    let nfields = layouts.object_size(class);
+                    for i in 0..nfields {
+                        if layouts.ref_map(class)[i] {
+                            let slot = scan + 1 + i;
+                            let val = self.words[slot];
+                            if val != 0 {
+                                let new = self.copy_cell(
+                                    GcRef(val as u32),
+                                    &mut to_alloc,
+                                    to_base,
+                                    to_limit,
+                                    layouts,
+                                    remap,
+                                    &mut outcome,
+                                )?;
+                                self.words[slot] = u64::from(new.0);
+                            }
+                        }
+                    }
+                }
+                HeapKind::RefArray => {
+                    let len = header_meta(h) as usize;
+                    for i in 0..len {
+                        let slot = scan + 1 + i;
+                        let val = self.words[slot];
+                        if val != 0 {
+                            let new = self.copy_cell(
+                                GcRef(val as u32),
+                                &mut to_alloc,
+                                to_base,
+                                to_limit,
+                                layouts,
+                                remap,
+                                &mut outcome,
+                            )?;
+                            self.words[slot] = u64::from(new.0);
+                        }
+                    }
+                }
+                HeapKind::PrimArray | HeapKind::Str => {}
+            }
+            scan += size;
+        }
+
+        self.active_b = to_b;
+        self.alloc = to_alloc;
+        self.collections += 1;
+        Ok(outcome)
+    }
+
+    /// Copies one cell to to-space (or returns its forwarding target).
+    #[allow(clippy::too_many_arguments)]
+    fn copy_cell(
+        &mut self,
+        r: GcRef,
+        to_alloc: &mut usize,
+        to_base: usize,
+        to_limit: usize,
+        layouts: &dyn ClassLayouts,
+        remap: &dyn GcRemap,
+        outcome: &mut GcOutcome,
+    ) -> Result<GcRef, VmError> {
+        let mut addr = r.addr();
+        // Chase forwarding chains. A target already in to-space is a GC
+        // forward (done); a target in from-space is a pre-existing lazy
+        // forward whose live cell still needs copying.
+        loop {
+            let h = self.words[addr];
+            if h & 1 == 0 {
+                break;
+            }
+            let t = (h >> 1) as usize;
+            if t >= to_base && t < to_limit {
+                return Ok(GcRef(t as u32));
+            }
+            addr = t;
+        }
+
+        let h = self.words[addr];
+        let kind = header_kind(h);
+
+        if kind == HeapKind::Object {
+            let class = ClassId(header_meta(h));
+            if let Some(new_class) = remap.remap(class) {
+                // Paper §3.4: duplicate the object. Allocate an old-layout
+                // copy (scanned normally so its fields get forwarded) and a
+                // zeroed new-layout object the transformer will populate.
+                let old_size = 1 + layouts.object_size(class);
+                let old_copy = self.alloc_to(old_size, to_alloc, to_limit)?;
+                let (src_range, dst_start) = (addr..addr + old_size, old_copy);
+                self.words.copy_within(src_range, dst_start);
+
+                let new_size = 1 + layouts.object_size(new_class);
+                let new_obj = self.alloc_to(new_size, to_alloc, to_limit)?;
+                self.words[new_obj..new_obj + new_size].fill(0);
+                self.words[new_obj] = header(HeapKind::Object, new_class.0);
+
+                self.words[addr] = ((new_obj as u64) << 1) | 1;
+                outcome.copied_cells += 2;
+                outcome.copied_words += old_size + new_size;
+                outcome.update_log.push((GcRef(old_copy as u32), GcRef(new_obj as u32)));
+                return Ok(GcRef(new_obj as u32));
+            }
+        }
+
+        let size = self.cell_size(addr, layouts);
+        let dst = self.alloc_to(size, to_alloc, to_limit)?;
+        self.words.copy_within(addr..addr + size, dst);
+        self.words[addr] = ((dst as u64) << 1) | 1;
+        outcome.copied_cells += 1;
+        outcome.copied_words += size;
+        Ok(GcRef(dst as u32))
+    }
+
+    fn alloc_to(
+        &mut self,
+        n: usize,
+        to_alloc: &mut usize,
+        to_limit: usize,
+    ) -> Result<usize, VmError> {
+        if *to_alloc + n > to_limit {
+            return Err(VmError::OutOfMemory { requested: n });
+        }
+        let addr = *to_alloc;
+        *to_alloc += n;
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test layouts: class 0 has 2 fields (second is a ref); class 1 has
+    /// 3 fields (first is a ref); class 9 (the "updated" version of class
+    /// 0) has 3 fields (second is a ref).
+    struct TestLayouts;
+
+    impl ClassLayouts for TestLayouts {
+        fn object_size(&self, class: ClassId) -> usize {
+            match class.0 {
+                0 => 2,
+                1 => 3,
+                9 => 3,
+                _ => panic!("unknown class {class}"),
+            }
+        }
+        fn ref_map(&self, class: ClassId) -> &[bool] {
+            match class.0 {
+                0 => &[false, true],
+                1 => &[true, false, false],
+                9 => &[false, true, false],
+                _ => panic!("unknown class {class}"),
+            }
+        }
+    }
+
+    struct RemapZeroToNine;
+    impl GcRemap for RemapZeroToNine {
+        fn remap(&self, class: ClassId) -> Option<ClassId> {
+            (class.0 == 0).then_some(ClassId(9))
+        }
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut heap = Heap::new(1024);
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(o, 0, 42);
+        assert_eq!(heap.get(o, 0), 42);
+        assert_eq!(heap.class_of(o), ClassId(0));
+        assert_eq!(heap.kind(o), HeapKind::Object);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut heap = Heap::new(1024);
+        for s in ["", "a", "hello world", "héllo wörld — ünïcode"] {
+            let r = heap.alloc_string(s).unwrap();
+            assert_eq!(heap.read_string(r), s);
+        }
+    }
+
+    #[test]
+    fn allocation_fails_when_full() {
+        let mut heap = Heap::new(16);
+        assert!(heap.alloc_array(false, 100).is_none());
+        assert!(heap.alloc_array(false, 8).is_some());
+    }
+
+    #[test]
+    fn collect_preserves_reachable_graph() {
+        let mut heap = Heap::new(1024);
+        let a = heap.alloc_object(ClassId(0), 2).unwrap();
+        let b = heap.alloc_object(ClassId(1), 3).unwrap();
+        heap.set(a, 0, 7);
+        heap.set(a, 1, u64::from(b.0)); // a.field1 -> b
+        heap.set(b, 1, 13);
+        let s = heap.alloc_string("keep me").unwrap();
+        heap.set(b, 0, u64::from(s.0)); // b.field0 -> s
+
+        // Garbage that should be dropped.
+        for _ in 0..10 {
+            heap.alloc_object(ClassId(1), 3).unwrap();
+        }
+        let used_before = heap.used_words();
+
+        let out = heap.collect(&[a], &TestLayouts, &NoRemap).unwrap();
+        assert_eq!(out.copied_cells, 3);
+        assert!(out.update_log.is_empty());
+
+        let a2 = heap.resolve(a);
+        assert_eq!(heap.get(a2, 0), 7);
+        let b2 = GcRef(heap.get(a2, 1) as u32);
+        assert_eq!(heap.get(b2, 1), 13);
+        let s2 = GcRef(heap.get(b2, 0) as u32);
+        assert_eq!(heap.read_string(s2), "keep me");
+        assert!(heap.used_words() < used_before);
+    }
+
+    #[test]
+    fn collect_drops_unreachable_cycles() {
+        let mut heap = Heap::new(1024);
+        // Two class-1 objects pointing at each other, unreachable.
+        let x = heap.alloc_object(ClassId(1), 3).unwrap();
+        let y = heap.alloc_object(ClassId(1), 3).unwrap();
+        heap.set(x, 0, u64::from(y.0));
+        heap.set(y, 0, u64::from(x.0));
+        let keep = heap.alloc_string("root").unwrap();
+
+        let out = heap.collect(&[keep], &TestLayouts, &NoRemap).unwrap();
+        assert_eq!(out.copied_cells, 1);
+    }
+
+    #[test]
+    fn ref_arrays_are_traced() {
+        let mut heap = Heap::new(1024);
+        let arr = heap.alloc_array(true, 3).unwrap();
+        let s = heap.alloc_string("elem").unwrap();
+        heap.set(arr, 2, u64::from(s.0));
+
+        heap.collect(&[arr], &TestLayouts, &NoRemap).unwrap();
+        let arr2 = heap.resolve(arr);
+        assert_eq!(heap.len_of(arr2), 3);
+        assert_eq!(heap.get(arr2, 0), 0);
+        let s2 = GcRef(heap.get(arr2, 2) as u32);
+        assert_eq!(heap.read_string(s2), "elem");
+    }
+
+    #[test]
+    fn remap_duplicates_and_logs_updated_objects() {
+        let mut heap = Heap::new(1024);
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(o, 0, 99);
+        let s = heap.alloc_string("payload").unwrap();
+        heap.set(o, 1, u64::from(s.0));
+
+        let out = heap.collect(&[o], &TestLayouts, &RemapZeroToNine).unwrap();
+        assert_eq!(out.update_log.len(), 1);
+        let (old_copy, new_obj) = out.update_log[0];
+
+        // Old copy retains the old class and values, with refs forwarded.
+        assert_eq!(heap.class_of(old_copy), ClassId(0));
+        assert_eq!(heap.get(old_copy, 0), 99);
+        let s2 = GcRef(heap.get(old_copy, 1) as u32);
+        assert_eq!(heap.read_string(s2), "payload");
+
+        // New object has the new class and zeroed fields.
+        assert_eq!(heap.class_of(new_obj), ClassId(9));
+        assert_eq!(heap.get(new_obj, 0), 0);
+        assert_eq!(heap.get(new_obj, 1), 0);
+        assert_eq!(heap.get(new_obj, 2), 0);
+
+        // The root forwards to the NEW object (the heap switches to the
+        // new version; the old copy is only reachable through the log).
+        assert_eq!(heap.resolve(o), new_obj);
+    }
+
+    #[test]
+    fn references_to_remapped_objects_point_at_new_version() {
+        let mut heap = Heap::new(1024);
+        let holder = heap.alloc_object(ClassId(1), 3).unwrap();
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(holder, 0, u64::from(o.0));
+
+        let out = heap.collect(&[holder], &TestLayouts, &RemapZeroToNine).unwrap();
+        let (_, new_obj) = out.update_log[0];
+        let holder2 = heap.resolve(holder);
+        assert_eq!(heap.get(holder2, 0), u64::from(new_obj.0));
+    }
+
+    #[test]
+    fn two_references_to_same_remapped_object_share_new_version() {
+        let mut heap = Heap::new(1024);
+        let h1 = heap.alloc_object(ClassId(1), 3).unwrap();
+        let h2 = heap.alloc_object(ClassId(1), 3).unwrap();
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(h1, 0, u64::from(o.0));
+        heap.set(h2, 0, u64::from(o.0));
+
+        let out = heap.collect(&[h1, h2], &TestLayouts, &RemapZeroToNine).unwrap();
+        assert_eq!(out.update_log.len(), 1, "object transformed once");
+        let a = heap.get(heap.resolve(h1), 0);
+        let b = heap.get(heap.resolve(h2), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lazy_forward_chains_are_collapsed_by_gc() {
+        let mut heap = Heap::new(1024);
+        let old = heap.alloc_object(ClassId(0), 2).unwrap();
+        let new = heap.alloc_object(ClassId(9), 3).unwrap();
+        heap.set(new, 0, 5);
+        heap.install_forward(old, new);
+        assert_eq!(heap.resolve(old), new);
+
+        // A holder still referencing the OLD address.
+        let holder = heap.alloc_object(ClassId(1), 3).unwrap();
+        heap.set(holder, 0, u64::from(old.0));
+
+        heap.collect(&[holder], &TestLayouts, &NoRemap).unwrap();
+        let holder2 = heap.resolve(holder);
+        let target = GcRef(heap.get(holder2, 0) as u32);
+        assert_eq!(heap.class_of(target), ClassId(9));
+        assert_eq!(heap.get(target, 0), 5);
+    }
+
+    #[test]
+    fn collect_reports_oom_when_update_duplication_overflows() {
+        // Fill >half the semispace with remapped objects: duplication
+        // cannot fit.
+        let mut heap = Heap::new(256);
+        let mut roots = Vec::new();
+        while let Some(o) = heap.alloc_object(ClassId(0), 2) {
+            roots.push(o);
+        }
+        let err = heap.collect(&roots, &TestLayouts, &RemapZeroToNine).unwrap_err();
+        assert!(matches!(err, VmError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn back_to_back_collections_flip_spaces() {
+        let mut heap = Heap::new(1024);
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(o, 0, 1);
+        heap.collect(&[o], &TestLayouts, &NoRemap).unwrap();
+        let o1 = heap.resolve(o);
+        heap.collect(&[o1], &TestLayouts, &NoRemap).unwrap();
+        let o2 = heap.resolve(o1);
+        assert_eq!(heap.get(o2, 0), 1);
+        assert_eq!(heap.collections(), 2);
+    }
+}

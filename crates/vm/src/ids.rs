@@ -1,0 +1,50 @@
+//! Runtime identifiers for loaded classes, methods and threads.
+
+use std::fmt;
+
+/// Identifier of a loaded class in the [registry](crate::registry).
+///
+/// Old class versions renamed during an update keep their `ClassId`; the
+/// name-to-id map is what changes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Identifier of a loaded method.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// Index form for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "method#{}", self.0)
+    }
+}
+
+/// Identifier of a VM green thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread#{}", self.0)
+    }
+}

@@ -1,0 +1,795 @@
+//! The execution engine.
+//!
+//! Executes resolved code ([`RInstr`]) against the heap. Yield points sit
+//! at method entries, method exits and loop back-edges (paper §3.2) — a
+//! thread asked to stop only pauses at one of those, which is what makes
+//! every inter-slice point a VM safe point. Return barriers and the
+//! lazy-indirection access checks are implemented here.
+
+use jvolve_classfile::STRING_CLASS;
+
+use crate::compiled::RInstr;
+use crate::error::VmError;
+use crate::heap::HeapKind;
+use crate::ids::MethodId;
+use crate::natives::NativeFn;
+use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread};
+use crate::value::{GcRef, Value};
+use crate::vm::Vm;
+
+/// Why a thread execution slice stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceEvent {
+    /// Quantum exhausted (stopped at a yield point) or explicit yield.
+    Quantum,
+    /// Thread blocked on a resource; pc/stack are positioned to retry.
+    Blocked,
+    /// Thread ran to completion.
+    Finished,
+    /// Thread died with a trap.
+    Trapped(VmError),
+    /// A frame with a return barrier returned (paper §3.2).
+    ReturnBarrier {
+        /// The method that returned.
+        method: MethodId,
+    },
+    /// An allocation needs a collection; pc/stack are positioned to retry.
+    NeedGc,
+}
+
+/// Outcome of a native call.
+enum NOut {
+    /// Pop the arguments, push the value (if any), advance.
+    Val(Option<Value>),
+    /// Leave pc and stack untouched; block the thread.
+    Block(BlockOn),
+    /// Pop the arguments, advance, then block (sleep-style).
+    BlockAfter(BlockOn),
+    /// Leave pc and stack untouched; run a GC and retry.
+    NeedGc,
+    /// Kill the thread.
+    Trap(VmError),
+    /// Pop the arguments, advance, then run this frame (transformers).
+    Frame(Box<Frame>),
+    /// Pop the arguments, advance, then end the slice.
+    Yield,
+}
+
+/// Result of a lazy-indirection object check.
+enum Lazy {
+    Ready(GcRef),
+    NeedGc,
+}
+
+impl Vm {
+    /// Runs `t` until a slice-ending event, with `budget` steps before the
+    /// next yield point ends the slice.
+    pub(crate) fn exec_thread(&mut self, t: &mut VmThread, budget: usize) -> SliceEvent {
+        let mut steps: usize = 0;
+
+        'outer: loop {
+            let Some(fi) = t.frames.len().checked_sub(1) else {
+                t.state = ThreadState::Finished;
+                return SliceEvent::Finished;
+            };
+            let code = t.frames[fi].compiled.clone();
+
+            loop {
+                steps += 1;
+                self.stats.steps += 1;
+                let pc = t.frames[fi].pc as usize;
+                debug_assert!(pc < code.code.len(), "pc ran off method end");
+                let instr = &code.code[pc];
+                let frame = &mut t.frames[fi];
+
+                macro_rules! trap {
+                    ($e:expr) => {{
+                        return SliceEvent::Trapped($e);
+                    }};
+                }
+                macro_rules! push {
+                    ($v:expr) => {
+                        frame.stack.push($v)
+                    };
+                }
+                macro_rules! pop {
+                    () => {
+                        frame.stack.pop().expect("verified code: stack underflow")
+                    };
+                }
+
+                let mut next_pc = pc + 1;
+                match instr {
+                    RInstr::ConstInt(v) => push!(Value::Int(*v)),
+                    RInstr::ConstBool(v) => push!(Value::Bool(*v)),
+                    RInstr::ConstNull => push!(Value::Null),
+                    RInstr::ConstStr(s) => match self.heap.alloc_string(s) {
+                        Some(r) => t.frames[fi].stack.push(Value::Ref(r)),
+                        None => return SliceEvent::NeedGc,
+                    },
+                    RInstr::Load(slot) => {
+                        let v = frame.locals[*slot as usize];
+                        push!(v);
+                    }
+                    RInstr::Store(slot) => {
+                        let v = pop!();
+                        frame.locals[*slot as usize] = v;
+                    }
+                    RInstr::Add => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_add(b)));
+                    }
+                    RInstr::Sub => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_sub(b)));
+                    }
+                    RInstr::Mul => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_mul(b)));
+                    }
+                    RInstr::Div => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        if b == 0 {
+                            trap!(VmError::DivisionByZero);
+                        }
+                        push!(Value::Int(a.wrapping_div(b)));
+                    }
+                    RInstr::Rem => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        if b == 0 {
+                            trap!(VmError::DivisionByZero);
+                        }
+                        push!(Value::Int(a.wrapping_rem(b)));
+                    }
+                    RInstr::Neg => {
+                        let a = pop!().as_int();
+                        push!(Value::Int(a.wrapping_neg()));
+                    }
+                    RInstr::CmpEq => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Bool(a == b));
+                    }
+                    RInstr::CmpNe => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Bool(a != b));
+                    }
+                    RInstr::CmpLt => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Bool(a < b));
+                    }
+                    RInstr::CmpLe => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Bool(a <= b));
+                    }
+                    RInstr::CmpGt => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Bool(a > b));
+                    }
+                    RInstr::CmpGe => {
+                        let b = pop!().as_int();
+                        let a = pop!().as_int();
+                        push!(Value::Bool(a >= b));
+                    }
+                    RInstr::Not => {
+                        let a = pop!().as_bool();
+                        push!(Value::Bool(!a));
+                    }
+                    RInstr::BoolEq => {
+                        let b = pop!().as_bool();
+                        let a = pop!().as_bool();
+                        push!(Value::Bool(a == b));
+                    }
+                    RInstr::RefEq | RInstr::RefNe => {
+                        let b = pop!();
+                        let a = pop!();
+                        let eq = match (a, b) {
+                            (Value::Null, Value::Null) => true,
+                            (Value::Ref(x), Value::Ref(y)) => x == y,
+                            _ => false,
+                        };
+                        push!(Value::Bool(if matches!(instr, RInstr::RefEq) { eq } else { !eq }));
+                    }
+                    RInstr::StrEq => {
+                        let b = pop!().as_ref_opt();
+                        let a = pop!().as_ref_opt();
+                        let eq = match (a, b) {
+                            (None, None) => true,
+                            (Some(x), Some(y)) => {
+                                x == y || self.heap.read_string(x) == self.heap.read_string(y)
+                            }
+                            _ => false,
+                        };
+                        t.frames[fi].stack.push(Value::Bool(eq));
+                    }
+                    RInstr::StrConcat => {
+                        // Peek (no pops) so a GC retry sees an intact stack.
+                        let n = frame.stack.len();
+                        let (Some(a), Some(b)) = (
+                            frame.stack[n - 2].as_ref_opt(),
+                            frame.stack[n - 1].as_ref_opt(),
+                        ) else {
+                            trap!(VmError::NullPointer { context: "string concatenation".into() });
+                        };
+                        let joined =
+                            format!("{}{}", self.heap.read_string(a), self.heap.read_string(b));
+                        match self.heap.alloc_string(&joined) {
+                            Some(r) => {
+                                let frame = &mut t.frames[fi];
+                                frame.stack.truncate(n - 2);
+                                frame.stack.push(Value::Ref(r));
+                            }
+                            None => return SliceEvent::NeedGc,
+                        }
+                    }
+                    RInstr::New { class, size } => {
+                        match self.heap.alloc_object(*class, *size as usize) {
+                            Some(r) => t.frames[fi].stack.push(Value::Ref(r)),
+                            None => return SliceEvent::NeedGc,
+                        }
+                    }
+                    RInstr::NewArray { is_ref } => {
+                        let len = frame.stack.last().expect("verified").as_int();
+                        if len < 0 {
+                            trap!(VmError::IndexOutOfBounds { index: len, len: 0 });
+                        }
+                        match self.heap.alloc_array(*is_ref, len as usize) {
+                            Some(r) => {
+                                let frame = &mut t.frames[fi];
+                                frame.stack.pop();
+                                frame.stack.push(Value::Ref(r));
+                            }
+                            None => return SliceEvent::NeedGc,
+                        }
+                    }
+                    RInstr::GetField { offset, is_ref } => {
+                        let n = frame.stack.len();
+                        let Some(obj) = frame.stack[n - 1].as_ref_opt() else {
+                            trap!(VmError::NullPointer { context: "field read".into() });
+                        };
+                        let obj = match self.lazy_object(obj) {
+                            Lazy::Ready(o) => o,
+                            Lazy::NeedGc => return SliceEvent::NeedGc,
+                        };
+                        let word = self.heap.get(obj, *offset as usize);
+                        let frame = &mut t.frames[fi];
+                        frame.stack.pop();
+                        frame.stack.push(Value::from_word(word, *is_ref));
+                    }
+                    RInstr::PutField { offset } => {
+                        let n = frame.stack.len();
+                        let Some(obj) = frame.stack[n - 2].as_ref_opt() else {
+                            trap!(VmError::NullPointer { context: "field write".into() });
+                        };
+                        let obj = match self.lazy_object(obj) {
+                            Lazy::Ready(o) => o,
+                            Lazy::NeedGc => return SliceEvent::NeedGc,
+                        };
+                        let frame = &mut t.frames[fi];
+                        let val = frame.stack.pop().expect("verified");
+                        frame.stack.pop();
+                        self.heap.set(obj, *offset as usize, val.to_word());
+                    }
+                    RInstr::GetStatic { slot, is_ref } => {
+                        let word = self.registry.jtoc_get(*slot);
+                        push!(Value::from_word(word, *is_ref));
+                    }
+                    RInstr::PutStatic { slot } => {
+                        let val = pop!();
+                        self.registry.jtoc_set(*slot, val.to_word());
+                    }
+                    RInstr::ALoad => {
+                        let idx = pop!().as_int();
+                        let Some(arr) = pop!().as_ref_opt() else {
+                            trap!(VmError::NullPointer { context: "array read".into() });
+                        };
+                        let arr = self.heap.resolve(arr);
+                        let len = self.heap.len_of(arr);
+                        if idx < 0 || idx as u32 >= len {
+                            trap!(VmError::IndexOutOfBounds { index: idx, len });
+                        }
+                        let is_ref = self.heap.kind(arr) == HeapKind::RefArray;
+                        let word = self.heap.get(arr, idx as usize);
+                        t.frames[fi].stack.push(Value::from_word(word, is_ref));
+                    }
+                    RInstr::AStore => {
+                        let val = pop!();
+                        let idx = pop!().as_int();
+                        let Some(arr) = pop!().as_ref_opt() else {
+                            trap!(VmError::NullPointer { context: "array write".into() });
+                        };
+                        let arr = self.heap.resolve(arr);
+                        let len = self.heap.len_of(arr);
+                        if idx < 0 || idx as u32 >= len {
+                            trap!(VmError::IndexOutOfBounds { index: idx, len });
+                        }
+                        self.heap.set(arr, idx as usize, val.to_word());
+                    }
+                    RInstr::ArrayLen => {
+                        let Some(arr) = pop!().as_ref_opt() else {
+                            trap!(VmError::NullPointer { context: "array length".into() });
+                        };
+                        let arr = self.heap.resolve(arr);
+                        let len = self.heap.len_of(arr);
+                        t.frames[fi].stack.push(Value::Int(i64::from(len)));
+                    }
+                    RInstr::CallVirtual { vslot, argc } => {
+                        let n = frame.stack.len();
+                        let ridx = n - 1 - *argc as usize;
+                        let Some(recv) = frame.stack[ridx].as_ref_opt() else {
+                            trap!(VmError::NullPointer { context: "virtual call".into() });
+                        };
+                        let recv = match self.lazy_object(recv) {
+                            Lazy::Ready(o) => o,
+                            Lazy::NeedGc => return SliceEvent::NeedGc,
+                        };
+                        t.frames[fi].stack[ridx] = Value::Ref(recv);
+                        let class = self.heap.class_of(recv);
+                        let tib = &self.registry.class(class).tib;
+                        let Some(&mid) = tib.get(*vslot as usize) else {
+                            trap!(VmError::Internal {
+                                message: format!(
+                                    "TIB slot {vslot} missing on {} — stale compiled code?",
+                                    self.registry.class(class).name
+                                ),
+                            });
+                        };
+                        let total = *argc as usize + 1;
+                        match self.invoke(t, fi, mid, total, next_pc) {
+                            Ok(()) => {
+                                if steps >= budget {
+                                    return SliceEvent::Quantum;
+                                }
+                                continue 'outer;
+                            }
+                            Err(e) => trap!(e),
+                        }
+                    }
+                    RInstr::CallDirect { method, argc, has_receiver } => {
+                        let total = *argc as usize + usize::from(*has_receiver);
+                        if *has_receiver {
+                            let n = frame.stack.len();
+                            if frame.stack[n - total].as_ref_opt().is_none() {
+                                trap!(VmError::NullPointer { context: "instance call".into() });
+                            }
+                        }
+                        match self.invoke(t, fi, *method, total, next_pc) {
+                            Ok(()) => {
+                                if steps >= budget {
+                                    return SliceEvent::Quantum;
+                                }
+                                continue 'outer;
+                            }
+                            Err(e) => trap!(e),
+                        }
+                    }
+                    RInstr::CallNative { native, argc } => {
+                        let argc = *argc as usize;
+                        match self.exec_native(t, fi, *native, argc) {
+                            NOut::Val(result) => {
+                                let frame = &mut t.frames[fi];
+                                let n = frame.stack.len();
+                                frame.stack.truncate(n - argc);
+                                if let Some(v) = result {
+                                    frame.stack.push(v);
+                                }
+                            }
+                            NOut::Block(on) => {
+                                t.state = ThreadState::Blocked(on);
+                                return SliceEvent::Blocked;
+                            }
+                            NOut::BlockAfter(on) => {
+                                let frame = &mut t.frames[fi];
+                                let n = frame.stack.len();
+                                frame.stack.truncate(n - argc);
+                                frame.pc = next_pc as u32;
+                                t.state = ThreadState::Blocked(on);
+                                return SliceEvent::Blocked;
+                            }
+                            NOut::NeedGc => return SliceEvent::NeedGc,
+                            NOut::Trap(e) => trap!(e),
+                            NOut::Frame(new_frame) => {
+                                let frame = &mut t.frames[fi];
+                                let n = frame.stack.len();
+                                frame.stack.truncate(n - argc);
+                                frame.pc = next_pc as u32;
+                                t.frames.push(*new_frame);
+                                continue 'outer;
+                            }
+                            NOut::Yield => {
+                                let frame = &mut t.frames[fi];
+                                let n = frame.stack.len();
+                                frame.stack.truncate(n - argc);
+                                frame.pc = next_pc as u32;
+                                return SliceEvent::Quantum;
+                            }
+                        }
+                    }
+                    RInstr::Jump(target) => {
+                        let target = *target as usize;
+                        t.frames[fi].pc = target as u32;
+                        if target <= pc && steps >= budget {
+                            // Loop back-edge: a yield point.
+                            return SliceEvent::Quantum;
+                        }
+                        continue;
+                    }
+                    RInstr::JumpIfTrue(target) => {
+                        if pop!().as_bool() {
+                            next_pc = *target as usize;
+                        }
+                    }
+                    RInstr::JumpIfFalse(target) => {
+                        if !pop!().as_bool() {
+                            next_pc = *target as usize;
+                        }
+                    }
+                    RInstr::Return | RInstr::ReturnValue => {
+                        let value = if matches!(instr, RInstr::ReturnValue) {
+                            Some(frame.stack.pop().expect("verified"))
+                        } else {
+                            None
+                        };
+                        let done = t.frames.pop().expect("frame present");
+                        if let Some(FrameNote::TransformOf(addr)) = done.note {
+                            self.dsu.in_progress.remove(&addr);
+                            self.dsu.done.insert(addr);
+                        }
+                        match t.frames.last_mut() {
+                            Some(caller) => {
+                                if let Some(v) = value {
+                                    caller.stack.push(v);
+                                }
+                            }
+                            None => {
+                                t.result = value;
+                            }
+                        }
+                        if done.return_barrier {
+                            // Paper §3.2: the bridge code notifies the
+                            // update driver, which restarts the update.
+                            return SliceEvent::ReturnBarrier { method: done.method };
+                        }
+                        if t.frames.is_empty() {
+                            t.state = ThreadState::Finished;
+                            return SliceEvent::Finished;
+                        }
+                        if steps >= budget {
+                            return SliceEvent::Quantum;
+                        }
+                        continue 'outer;
+                    }
+                    RInstr::Pop => {
+                        pop!();
+                    }
+                    RInstr::Dup => {
+                        let v = *frame.stack.last().expect("verified");
+                        push!(v);
+                    }
+                }
+                t.frames[fi].pc = next_pc as u32;
+            }
+        }
+    }
+
+    /// Pushes a callee frame, consuming `total` stack values as arguments.
+    fn invoke(
+        &mut self,
+        t: &mut VmThread,
+        fi: usize,
+        mid: MethodId,
+        total: usize,
+        caller_next_pc: usize,
+    ) -> Result<(), VmError> {
+        if t.frames.len() >= self.config.max_stack_depth {
+            return Err(VmError::StackOverflow);
+        }
+        let compiled = self.compiled_for(mid)?;
+        let frame = &mut t.frames[fi];
+        frame.pc = caller_next_pc as u32;
+        let base = frame.stack.len() - total;
+        let args: Vec<Value> = frame.stack.split_off(base);
+        t.frames.push(Frame::new(compiled, &args));
+        Ok(())
+    }
+
+    /// Lazy-indirection access check (JDrums/DVM baseline, paper §5): in
+    /// lazy mode every object access resolves forwarding pointers and
+    /// migrates stale instances on first touch. In eager mode it is the
+    /// identity — zero steady-state cost, the paper's headline property.
+    fn lazy_object(&mut self, r: GcRef) -> Lazy {
+        if !self.config.lazy_indirection {
+            return Lazy::Ready(r);
+        }
+        let r = self.heap.resolve(r);
+        let class = self.heap.class_of(r);
+        let Some(&new_class) = self.dsu.lazy_remap.get(&class) else {
+            return Lazy::Ready(r);
+        };
+        // Migrate: allocate the new version, copy same-named same-typed
+        // fields (the default transformation, applied in-VM as JDrums
+        // does), and leave a forwarding pointer.
+        let new_layout_len = self.registry.class(new_class).layout.len();
+        let Some(new_obj) = self.heap.alloc_object(new_class, new_layout_len) else {
+            return Lazy::NeedGc;
+        };
+        let old_class_info = self.registry.class(class);
+        let new_class_info = self.registry.class(new_class);
+        let mut copies: Vec<(usize, usize)> = Vec::new();
+        for (old_off, slot) in old_class_info.layout.iter().enumerate() {
+            if let Some(new_off) =
+                new_class_info.layout.iter().position(|s| s.name == slot.name && s.ty == slot.ty)
+            {
+                copies.push((old_off, new_off));
+            }
+        }
+        for (old_off, new_off) in copies {
+            let w = self.heap.get(r, old_off);
+            self.heap.set(new_obj, new_off, w);
+        }
+        self.heap.install_forward(r, new_obj);
+        Lazy::Ready(new_obj)
+    }
+
+    /// Executes a native call. Arguments are *peeked* (not popped) so
+    /// blocking/GC outcomes can retry with an intact stack.
+    fn exec_native(&mut self, t: &mut VmThread, fi: usize, native: NativeFn, argc: usize) -> NOut {
+        let frame = &t.frames[fi];
+        let n = frame.stack.len();
+        let arg = |i: usize| frame.stack[n - argc + i];
+
+        macro_rules! str_arg {
+            ($i:expr) => {
+                match arg($i).as_ref_opt() {
+                    Some(r) => self.heap.read_string(self.heap.resolve(r)),
+                    None => {
+                        return NOut::Trap(VmError::NullPointer {
+                            context: format!("native {:?}", native),
+                        })
+                    }
+                }
+            };
+        }
+
+        match native {
+            NativeFn::SysPrint => {
+                let s = str_arg!(0);
+                if self.config.echo_output {
+                    println!("{s}");
+                }
+                self.output.push(s);
+                NOut::Val(None)
+            }
+            NativeFn::SysPrintInt => {
+                let v = arg(0).as_int();
+                if self.config.echo_output {
+                    println!("{v}");
+                }
+                self.output.push(v.to_string());
+                NOut::Val(None)
+            }
+            NativeFn::SysTime => NOut::Val(Some(Value::Int(self.tick as i64))),
+            NativeFn::SysSleep => {
+                let ms = arg(0).as_int().max(0) as u64;
+                NOut::BlockAfter(BlockOn::SleepUntil(self.tick + ms))
+            }
+            NativeFn::SysRand => {
+                let bound = arg(0).as_int();
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                let v = if bound <= 0 { 0 } else { (self.rng_state % bound as u64) as i64 };
+                NOut::Val(Some(Value::Int(v)))
+            }
+            NativeFn::SysYield => NOut::Yield,
+            NativeFn::SysThreadId => NOut::Val(Some(Value::Int(i64::from(t.id.0)))),
+            NativeFn::SysSpawn => {
+                let Some(obj) = arg(0).as_ref_opt() else {
+                    return NOut::Trap(VmError::NullPointer { context: "Sys.spawn".into() });
+                };
+                let obj = self.heap.resolve(obj);
+                if self.heap.kind(obj) != HeapKind::Object {
+                    return NOut::Trap(VmError::Internal {
+                        message: "Sys.spawn target is not an object".into(),
+                    });
+                }
+                let class = self.heap.class_of(obj);
+                let Some(vslot) = self.registry.vslot(class, "run") else {
+                    return NOut::Trap(VmError::ResolutionError {
+                        message: format!(
+                            "Sys.spawn: class {} has no run() method",
+                            self.registry.class(class).name
+                        ),
+                    });
+                };
+                let mid = self.registry.class(class).tib[vslot as usize];
+                let compiled = match self.compiled_for(mid) {
+                    Ok(c) => c,
+                    Err(e) => return NOut::Trap(e),
+                };
+                let new_frame = Frame::new(compiled, &[Value::Ref(obj)]);
+                let name = format!("{}::run", self.registry.class(class).name);
+                let tid = self.add_thread(name, new_frame);
+                NOut::Val(Some(Value::Int(i64::from(tid.0))))
+            }
+
+            NativeFn::StrLen => {
+                let s = str_arg!(0);
+                NOut::Val(Some(Value::Int(s.len() as i64)))
+            }
+            NativeFn::StrSubstr => {
+                let s = str_arg!(0);
+                let from = arg(1).as_int();
+                let to = arg(2).as_int();
+                if from < 0 || to < from || to as usize > s.len() {
+                    return NOut::Trap(VmError::IndexOutOfBounds {
+                        index: to,
+                        len: s.len() as u32,
+                    });
+                }
+                match self.heap.alloc_string(&s[from as usize..to as usize]) {
+                    Some(r) => NOut::Val(Some(Value::Ref(r))),
+                    None => NOut::NeedGc,
+                }
+            }
+            NativeFn::StrIndexOf => {
+                let s = str_arg!(0);
+                let needle = str_arg!(1);
+                let idx = s.find(&needle).map_or(-1, |i| i as i64);
+                NOut::Val(Some(Value::Int(idx)))
+            }
+            NativeFn::StrSplit => {
+                let s = str_arg!(0);
+                let sep = str_arg!(1);
+                let parts: Vec<&str> =
+                    if sep.is_empty() { vec![s.as_str()] } else { s.split(&sep).collect() };
+                let Some(arr) = self.heap.alloc_array(true, parts.len()) else {
+                    return NOut::NeedGc;
+                };
+                for (i, p) in parts.iter().enumerate() {
+                    let Some(r) = self.heap.alloc_string(p) else {
+                        return NOut::NeedGc;
+                    };
+                    self.heap.set(arr, i, u64::from(r.0));
+                }
+                NOut::Val(Some(Value::Ref(arr)))
+            }
+            NativeFn::StrFromInt => {
+                let v = arg(0).as_int();
+                match self.heap.alloc_string(&v.to_string()) {
+                    Some(r) => NOut::Val(Some(Value::Ref(r))),
+                    None => NOut::NeedGc,
+                }
+            }
+            NativeFn::StrToInt => {
+                let s = str_arg!(0);
+                // Lenient parse: invalid input yields 0 (documented).
+                let v = s.trim().parse::<i64>().unwrap_or(0);
+                NOut::Val(Some(Value::Int(v)))
+            }
+            NativeFn::StrCharAt => {
+                let s = str_arg!(0);
+                let i = arg(1).as_int();
+                if i < 0 || i as usize >= s.len() {
+                    return NOut::Trap(VmError::IndexOutOfBounds { index: i, len: s.len() as u32 });
+                }
+                NOut::Val(Some(Value::Int(i64::from(s.as_bytes()[i as usize]))))
+            }
+            NativeFn::StrContains => {
+                let s = str_arg!(0);
+                let needle = str_arg!(1);
+                NOut::Val(Some(Value::Bool(s.contains(&needle))))
+            }
+            NativeFn::StrStartsWith => {
+                let s = str_arg!(0);
+                let prefix = str_arg!(1);
+                NOut::Val(Some(Value::Bool(s.starts_with(&prefix))))
+            }
+            NativeFn::StrTrim => {
+                let s = str_arg!(0);
+                match self.heap.alloc_string(s.trim()) {
+                    Some(r) => NOut::Val(Some(Value::Ref(r))),
+                    None => NOut::NeedGc,
+                }
+            }
+
+            NativeFn::NetListen => {
+                let port = arg(0).as_int();
+                let id = self.net.listen(port as u16);
+                NOut::Val(Some(Value::Int(id as i64)))
+            }
+            NativeFn::NetAccept => {
+                let listener = arg(0).as_int() as usize;
+                match self.net.try_accept(listener) {
+                    Some(conn) => NOut::Val(Some(Value::Int(conn as i64))),
+                    None => NOut::Block(BlockOn::Accept(listener)),
+                }
+            }
+            NativeFn::NetTryAccept => {
+                let listener = arg(0).as_int() as usize;
+                let conn = self.net.try_accept(listener).map_or(-1, |c| c as i64);
+                NOut::Val(Some(Value::Int(conn)))
+            }
+            NativeFn::NetReadLine => {
+                let conn = arg(0).as_int() as usize;
+                if !self.net.guest_readable(conn) {
+                    return NOut::Block(BlockOn::ReadLine(conn));
+                }
+                match self.net.guest_read(conn) {
+                    crate::net::GuestRead::Line(line) => match self.heap.alloc_string(&line) {
+                        Some(r) => NOut::Val(Some(Value::Ref(r))),
+                        None => {
+                            self.net.guest_unread(conn, line);
+                            NOut::NeedGc
+                        }
+                    },
+                    crate::net::GuestRead::Eof => NOut::Val(Some(Value::Null)),
+                    crate::net::GuestRead::WouldBlock => NOut::Block(BlockOn::ReadLine(conn)),
+                }
+            }
+            NativeFn::NetWrite => {
+                let conn = arg(0).as_int() as usize;
+                let line = str_arg!(1);
+                self.net.guest_write(conn, line);
+                NOut::Val(None)
+            }
+            NativeFn::NetClose => {
+                let conn = arg(0).as_int() as usize;
+                self.net.guest_close(conn);
+                NOut::Val(None)
+            }
+
+            NativeFn::DsuForceTransform => {
+                let Some(obj) = arg(0).as_ref_opt() else {
+                    return NOut::Val(None);
+                };
+                let obj = self.heap.resolve(obj);
+                if self.heap.kind(obj) != HeapKind::Object {
+                    return NOut::Val(None);
+                }
+                let addr = obj.0;
+                if self.dsu.done.contains(&addr) || !self.dsu.index_of.contains_key(&addr) {
+                    return NOut::Val(None);
+                }
+                if self.dsu.in_progress.contains(&addr) {
+                    // Recursive transformation of an in-flight object:
+                    // ill-defined transformer set (paper §3.4 aborts).
+                    return NOut::Trap(VmError::TransformerCycle);
+                }
+                let i = self.dsu.index_of[&addr];
+                let (old, new) = self.dsu.pending[i];
+                let class = self.heap.class_of(new);
+                let Some(&mid) = self.dsu.transformer_for.get(&class) else {
+                    return NOut::Trap(VmError::Internal {
+                        message: "forceTransform: no transformer for class".into(),
+                    });
+                };
+                let compiled = match self.compiled_for(mid) {
+                    Ok(c) => c,
+                    Err(e) => return NOut::Trap(e),
+                };
+                self.dsu.in_progress.insert(addr);
+                let mut new_frame = Frame::new(compiled, &[Value::Ref(new), Value::Ref(old)]);
+                new_frame.note = Some(FrameNote::TransformOf(addr));
+                NOut::Frame(Box::new(new_frame))
+            }
+            NativeFn::DsuUpdateCount => {
+                NOut::Val(Some(Value::Int(self.dsu.update_count as i64)))
+            }
+        }
+    }
+}
+
+/// Marker so `STRING_CLASS` stays referenced (string cells carry their own
+/// heap kind rather than a class id).
+#[allow(dead_code)]
+const _STRING: &str = STRING_CLASS;

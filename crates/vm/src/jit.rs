@@ -1,0 +1,531 @@
+//! The (simulated) JIT: baseline and optimizing compilers.
+//!
+//! The **baseline compiler** resolves symbolic bytecode 1:1 into
+//! [`RInstr`]s, baking field offsets, static slots, TIB slots, instance
+//! sizes, and direct-call targets — the analogue of Jikes RVM's
+//! base-compiled machine code. Because the mapping is 1:1, base-compiled
+//! frames are OSR-capable: the pc and locals transfer directly to a
+//! recompilation (paper §3.2).
+//!
+//! The **optimizing compiler** additionally inlines small statically-bound
+//! callees (static methods, constructors, `super` calls) up to a depth
+//! limit, recording every inlined method so the DSU restricted-set
+//! analysis can extend restrictions to inlining callers (paper §3.2).
+
+use std::sync::Arc;
+
+use jvolve_classfile::bytecode::Instr;
+
+use crate::compiled::{CompileLevel, CompiledMethod, RInstr};
+use crate::config::VmConfig;
+use crate::error::VmError;
+use crate::ids::{ClassId, MethodId};
+use crate::registry::Registry;
+
+/// Compiles `mid` at the requested tier.
+///
+/// # Errors
+///
+/// Returns [`VmError::ResolutionError`] if a symbolic reference cannot be
+/// resolved (impossible for verified code against a consistent registry —
+/// but exactly what *would* happen if stale code ran against updated
+/// metadata, hence the invalidation protocol).
+pub fn compile(
+    registry: &Registry,
+    mid: MethodId,
+    level: CompileLevel,
+    config: &VmConfig,
+) -> Result<CompiledMethod, VmError> {
+    let info = registry.method(mid);
+    let def = &info.def;
+    let code = def.code.as_ref().ok_or_else(|| VmError::ResolutionError {
+        message: format!("method {} has no bytecode", info.name),
+    })?;
+
+    match level {
+        CompileLevel::Base => {
+            let (rcode, referenced) = resolve_code(registry, &code.instrs)?;
+            Ok(CompiledMethod {
+                method: mid,
+                level: CompileLevel::Base,
+                code: rcode,
+                max_locals: code.max_locals,
+                inlined: Vec::new(),
+                referenced_classes: referenced,
+            })
+        }
+        CompileLevel::Opt => {
+            let mut next_local = code.max_locals;
+            let mut inlined = Vec::new();
+            let mut chain = vec![mid];
+            let expanded = expand(
+                registry,
+                &code.instrs,
+                config,
+                0,
+                &mut chain,
+                &mut inlined,
+                &mut next_local,
+                0,
+            );
+            let (rcode, referenced) = resolve_code(registry, &expanded)?;
+            Ok(CompiledMethod {
+                method: mid,
+                level: CompileLevel::Opt,
+                code: rcode,
+                max_locals: next_local,
+                inlined,
+                referenced_classes: referenced,
+            })
+        }
+    }
+}
+
+/// Resolves a symbolic instruction sequence (1:1).
+fn resolve_code(
+    registry: &Registry,
+    instrs: &[Instr],
+) -> Result<(Vec<RInstr>, Vec<ClassId>), VmError> {
+    let mut out = Vec::with_capacity(instrs.len());
+    let mut referenced: Vec<ClassId> = Vec::new();
+    let touch = |referenced: &mut Vec<ClassId>, id: ClassId| {
+        if !referenced.contains(&id) {
+            referenced.push(id);
+        }
+    };
+    let class_id = |name: &jvolve_classfile::ClassName| {
+        registry.class_id(name).ok_or_else(|| VmError::ResolutionError {
+            message: format!("unknown class {name}"),
+        })
+    };
+
+    for instr in instrs {
+        let r = match instr {
+            Instr::ConstInt(v) => RInstr::ConstInt(*v),
+            Instr::ConstBool(v) => RInstr::ConstBool(*v),
+            Instr::ConstStr(s) => RInstr::ConstStr(Arc::from(s.as_str())),
+            Instr::ConstNull => RInstr::ConstNull,
+            Instr::Load(s) => RInstr::Load(*s),
+            Instr::Store(s) => RInstr::Store(*s),
+            Instr::Add => RInstr::Add,
+            Instr::Sub => RInstr::Sub,
+            Instr::Mul => RInstr::Mul,
+            Instr::Div => RInstr::Div,
+            Instr::Rem => RInstr::Rem,
+            Instr::Neg => RInstr::Neg,
+            Instr::CmpEq => RInstr::CmpEq,
+            Instr::CmpNe => RInstr::CmpNe,
+            Instr::CmpLt => RInstr::CmpLt,
+            Instr::CmpLe => RInstr::CmpLe,
+            Instr::CmpGt => RInstr::CmpGt,
+            Instr::CmpGe => RInstr::CmpGe,
+            Instr::Not => RInstr::Not,
+            Instr::BoolEq => RInstr::BoolEq,
+            Instr::RefEq => RInstr::RefEq,
+            Instr::RefNe => RInstr::RefNe,
+            Instr::StrConcat => RInstr::StrConcat,
+            Instr::StrEq => RInstr::StrEq,
+            Instr::New(name) => {
+                let id = class_id(name)?;
+                touch(&mut referenced, id);
+                let size = registry.class(id).layout.len();
+                RInstr::New { class: id, size: size as u16 }
+            }
+            Instr::GetField { class, field } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let (offset, is_ref) =
+                    registry.field_offset(id, field).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("unknown field {class}.{field}"),
+                    })?;
+                RInstr::GetField { offset, is_ref }
+            }
+            Instr::PutField { class, field } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let (offset, _) =
+                    registry.field_offset(id, field).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("unknown field {class}.{field}"),
+                    })?;
+                RInstr::PutField { offset }
+            }
+            Instr::GetStatic { class, field } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let (slot, is_ref) =
+                    registry.static_slot(id, field).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("unknown static field {class}.{field}"),
+                    })?;
+                RInstr::GetStatic { slot, is_ref }
+            }
+            Instr::PutStatic { class, field } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let (slot, _) =
+                    registry.static_slot(id, field).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("unknown static field {class}.{field}"),
+                    })?;
+                RInstr::PutStatic { slot }
+            }
+            Instr::NewArray(ty) => RInstr::NewArray { is_ref: ty.is_reference() },
+            Instr::ALoad => RInstr::ALoad,
+            Instr::AStore => RInstr::AStore,
+            Instr::ArrayLen => RInstr::ArrayLen,
+            Instr::CallVirtual { class, method, argc } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let vslot =
+                    registry.vslot(id, method).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("no virtual slot for {class}.{method}"),
+                    })?;
+                RInstr::CallVirtual { vslot, argc: *argc }
+            }
+            Instr::CallStatic { class, method, argc } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let target =
+                    registry.find_method(id, method).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("unknown method {class}.{method}"),
+                    })?;
+                match registry.method(target).native {
+                    Some(native) => RInstr::CallNative { native, argc: *argc },
+                    None => RInstr::CallDirect { method: target, argc: *argc, has_receiver: false },
+                }
+            }
+            Instr::CallSpecial { class, method, argc } => {
+                let id = class_id(class)?;
+                touch(&mut referenced, id);
+                let target =
+                    registry.find_method(id, method).ok_or_else(|| VmError::ResolutionError {
+                        message: format!("unknown method {class}.{method}"),
+                    })?;
+                RInstr::CallDirect { method: target, argc: *argc, has_receiver: true }
+            }
+            Instr::Jump(t) => RInstr::Jump(*t),
+            Instr::JumpIfTrue(t) => RInstr::JumpIfTrue(*t),
+            Instr::JumpIfFalse(t) => RInstr::JumpIfFalse(*t),
+            Instr::Return => RInstr::Return,
+            Instr::ReturnValue => RInstr::ReturnValue,
+            Instr::Pop => RInstr::Pop,
+            Instr::Dup => RInstr::Dup,
+        };
+        out.push(r);
+    }
+    Ok((out, referenced))
+}
+
+/// Inline expansion over symbolic bytecode.
+///
+/// Returns a self-contained instruction sequence (branch targets within
+/// `[0, len]`) whose `Load`/`Store` slots are already shifted by `shift`
+/// (0 for the outermost method; an inline site's local-window base for
+/// recursively expanded callees — nested inline windows are allocated
+/// from the shared `next_local` counter and must not be shifted again).
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    registry: &Registry,
+    instrs: &[Instr],
+    config: &VmConfig,
+    depth: usize,
+    chain: &mut Vec<MethodId>,
+    inlined: &mut Vec<MethodId>,
+    next_local: &mut u16,
+    shift: u16,
+) -> Vec<Instr> {
+    let mut out: Vec<Instr> = Vec::with_capacity(instrs.len());
+    let mut map: Vec<u32> = Vec::with_capacity(instrs.len() + 1);
+    // (out index, original target) pairs for the caller's own branches.
+    let mut fixups: Vec<(usize, u32)> = Vec::new();
+
+    for instr in instrs {
+        map.push(out.len() as u32);
+        match instr {
+            Instr::CallStatic { class, method, argc }
+            | Instr::CallSpecial { class, method, argc } => {
+                let has_receiver = matches!(instr, Instr::CallSpecial { .. });
+                if let Some(target) = inline_candidate(registry, class, method, config, depth, chain)
+                {
+                    let callee = registry.method(target);
+                    let callee_code = callee.def.code.as_ref().expect("candidate has code");
+                    let base = *next_local;
+                    *next_local += callee_code.max_locals;
+                    inlined.push(target);
+                    chain.push(target);
+                    let mut body = expand(
+                        registry,
+                        &callee_code.instrs,
+                        config,
+                        depth + 1,
+                        chain,
+                        inlined,
+                        next_local,
+                        base,
+                    );
+                    chain.pop();
+
+                    // Returns become jumps past the inlined block.
+                    let body_len = body.len() as u32;
+                    for b in &mut body {
+                        match b {
+                            Instr::Return | Instr::ReturnValue => *b = Instr::Jump(body_len),
+                            _ => {}
+                        }
+                    }
+
+                    // Prologue: pop receiver+args into the fresh local window.
+                    let arity = *argc as u16 + u16::from(has_receiver);
+                    for i in (0..arity).rev() {
+                        out.push(Instr::Store(base + i));
+                    }
+                    // Splice body, rebasing only branch targets (locals are
+                    // already absolute).
+                    let start = out.len() as u32;
+                    for mut b in body {
+                        match &mut b {
+                            Instr::Jump(t) | Instr::JumpIfTrue(t) | Instr::JumpIfFalse(t) => {
+                                *t += start;
+                            }
+                            _ => {}
+                        }
+                        out.push(b);
+                    }
+                } else {
+                    out.push(instr.clone());
+                }
+            }
+            Instr::Load(s) => out.push(Instr::Load(*s + shift)),
+            Instr::Store(s) => out.push(Instr::Store(*s + shift)),
+            Instr::Jump(t) | Instr::JumpIfTrue(t) | Instr::JumpIfFalse(t) => {
+                fixups.push((out.len(), *t));
+                out.push(instr.clone());
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    map.push(out.len() as u32);
+
+    for (at, old_target) in fixups {
+        let new_target = map[old_target as usize];
+        match &mut out[at] {
+            Instr::Jump(t) | Instr::JumpIfTrue(t) | Instr::JumpIfFalse(t) => *t = new_target,
+            _ => unreachable!("fixup records only branches"),
+        }
+    }
+    out
+}
+
+fn inline_candidate(
+    registry: &Registry,
+    class: &jvolve_classfile::ClassName,
+    method: &str,
+    config: &VmConfig,
+    depth: usize,
+    chain: &[MethodId],
+) -> Option<MethodId> {
+    if depth >= config.inline_max_depth {
+        return None;
+    }
+    let cid = registry.class_id(class)?;
+    let target = registry.find_method(cid, method)?;
+    let info = registry.method(target);
+    if info.native.is_some() || chain.contains(&target) {
+        return None;
+    }
+    let code = info.def.code.as_ref()?;
+    (code.instrs.len() <= config.inline_max_len).then_some(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvolve_classfile::ClassName;
+    use jvolve_lang::builtins::builtin_classes;
+
+    fn registry_with(src: &str) -> Registry {
+        let mut r = Registry::new();
+        r.load_batch(&builtin_classes()).unwrap();
+        r.load_batch(&jvolve_lang::compile(src).unwrap()).unwrap();
+        r
+    }
+
+    fn method_id(r: &Registry, class: &str, method: &str) -> MethodId {
+        let cid = r.class_id(&ClassName::from(class)).unwrap();
+        r.find_method(cid, method).unwrap()
+    }
+
+    #[test]
+    fn baseline_is_one_to_one() {
+        let r = registry_with(
+            "class User { field name: String; field age: int;
+               method getAge(): int { return this.age; } }",
+        );
+        let mid = method_id(&r, "User", "getAge");
+        let c = compile(&r, mid, CompileLevel::Base, &VmConfig::default()).unwrap();
+        let bytecode_len =
+            r.method(mid).def.code.as_ref().unwrap().instrs.len();
+        assert_eq!(c.code.len(), bytecode_len, "baseline must map 1:1 for OSR");
+        // Offset baked: age is the second field.
+        assert!(c.code.iter().any(|i| matches!(i, RInstr::GetField { offset: 1, is_ref: false })));
+        assert!(c.osr_capable());
+    }
+
+    #[test]
+    fn baseline_records_referenced_classes() {
+        let r = registry_with(
+            "class A { field x: int; }
+             class T { static method f(a: A): int { return a.x; } }",
+        );
+        let mid = method_id(&r, "T", "f");
+        let c = compile(&r, mid, CompileLevel::Base, &VmConfig::default()).unwrap();
+        let a = r.class_id(&ClassName::from("A")).unwrap();
+        assert!(c.referenced_classes.contains(&a));
+    }
+
+    #[test]
+    fn native_calls_resolve_to_call_native() {
+        let r = registry_with(
+            "class T { static method f(): void { Sys.printInt(Str.len(\"ab\")); } }",
+        );
+        let mid = method_id(&r, "T", "f");
+        let c = compile(&r, mid, CompileLevel::Base, &VmConfig::default()).unwrap();
+        let natives = c.code.iter().filter(|i| matches!(i, RInstr::CallNative { .. })).count();
+        assert_eq!(natives, 2);
+    }
+
+    #[test]
+    fn opt_inlines_small_static_callee() {
+        let r = registry_with(
+            "class T {
+               static method add(a: int, b: int): int { return a + b; }
+               static method f(): int { return T.add(1, 2); }
+             }",
+        );
+        let f = method_id(&r, "T", "f");
+        let add = method_id(&r, "T", "add");
+        let c = compile(&r, f, CompileLevel::Opt, &VmConfig::default()).unwrap();
+        assert!(c.inlined.contains(&add));
+        assert!(
+            !c.code.iter().any(|i| matches!(i, RInstr::CallDirect { .. })),
+            "call should be gone: {:?}",
+            c.code
+        );
+        assert!(!c.osr_capable());
+    }
+
+    #[test]
+    fn opt_inlining_is_transitive_up_to_depth() {
+        let r = registry_with(
+            "class T {
+               static method a(): int { return 1; }
+               static method b(): int { return T.a() + 1; }
+               static method c(): int { return T.b() + 1; }
+             }",
+        );
+        let c_mid = method_id(&r, "T", "c");
+        let compiled = compile(&r, c_mid, CompileLevel::Opt, &VmConfig::default()).unwrap();
+        assert_eq!(compiled.inlined.len(), 2);
+    }
+
+    #[test]
+    fn opt_does_not_inline_recursion() {
+        let r = registry_with(
+            "class T { static method f(n: int): int {
+               if (n <= 0) { return 0; }
+               return T.f(n - 1) + 1;
+             } }",
+        );
+        let f = method_id(&r, "T", "f");
+        let c = compile(&r, f, CompileLevel::Opt, &VmConfig::default()).unwrap();
+        assert!(c.inlined.is_empty());
+        assert!(c.code.iter().any(|i| matches!(i, RInstr::CallDirect { .. })));
+    }
+
+    #[test]
+    fn opt_does_not_inline_virtual_calls() {
+        let r = registry_with(
+            "class A { method id(): int { return 1; } }
+             class T { static method f(a: A): int { return a.id(); } }",
+        );
+        let f = method_id(&r, "T", "f");
+        let c = compile(&r, f, CompileLevel::Opt, &VmConfig::default()).unwrap();
+        assert!(c.inlined.is_empty());
+        assert!(c.code.iter().any(|i| matches!(i, RInstr::CallVirtual { .. })));
+    }
+
+    #[test]
+    fn inlined_branches_are_rebased() {
+        let r = registry_with(
+            "class T {
+               static method abs(x: int): int {
+                 if (x < 0) { return -x; }
+                 return x;
+               }
+               static method f(y: int): int { return T.abs(y) + T.abs(-y); }
+             }",
+        );
+        let f = method_id(&r, "T", "f");
+        let c = compile(&r, f, CompileLevel::Opt, &VmConfig::default()).unwrap();
+        // All branch targets must stay in range.
+        for (pc, i) in c.code.iter().enumerate() {
+            if let RInstr::Jump(t) | RInstr::JumpIfTrue(t) | RInstr::JumpIfFalse(t) = i {
+                assert!(
+                    (*t as usize) <= c.code.len(),
+                    "target {t} out of range at {pc}: {:?}",
+                    c.code
+                );
+            }
+        }
+        assert_eq!(c.inlined.len(), 2, "abs inlined at two sites");
+    }
+
+    #[test]
+    fn nested_inline_windows_do_not_collide() {
+        // Regression: locals of a callee inlined *within* an inlined
+        // callee were shifted twice, indexing past the frame.
+        let r = registry_with(
+            "class T {
+               static method g(x: int): int {
+                 var t: int = x * 2;
+                 return t + 1;
+               }
+               static method f(y: int): int {
+                 var u: int = T.g(y);
+                 return u + y;
+               }
+               static method top(z: int): int { return T.f(z) + T.g(z); }
+             }",
+        );
+        let top = method_id(&r, "T", "top");
+        let c = compile(&r, top, CompileLevel::Opt, &VmConfig::default()).unwrap();
+        assert_eq!(c.inlined.len(), 3, "f, g-within-f, and g");
+        // Every local slot referenced must fit in the declared frame.
+        for i in &c.code {
+            if let RInstr::Load(s) | RInstr::Store(s) = i {
+                assert!(*s < c.max_locals, "slot {s} >= max_locals {}", c.max_locals);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_code_detection_via_resolution_error() {
+        // Resolving against a registry that lacks the class fails loudly.
+        let r = registry_with("class T { static method f(): int { return 3; } }");
+        let mid = method_id(&r, "T", "f");
+        let mut info_def = r.method(mid).def.clone();
+        info_def.code.as_mut().unwrap().instrs.insert(
+            0,
+            Instr::GetStatic { class: ClassName::from("Ghost"), field: "x".into() },
+        );
+        // Build a throwaway registry with the bad method.
+        let mut r2 = Registry::new();
+        r2.load_batch(&builtin_classes()).unwrap();
+        r2.load_batch(&jvolve_lang::compile("class T { static method f(): int { return 3; } }")
+            .unwrap())
+            .unwrap();
+        let t = r2.class_id(&ClassName::from("T")).unwrap();
+        r2.replace_method_body(t, "f", info_def).unwrap();
+        let mid2 = r2.find_method(t, "f").unwrap();
+        let err = compile(&r2, mid2, CompileLevel::Base, &VmConfig::default()).unwrap_err();
+        assert!(matches!(err, VmError::ResolutionError { .. }), "{err}");
+    }
+}

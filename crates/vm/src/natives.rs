@@ -1,0 +1,124 @@
+//! Native (VM-implemented) methods of the builtin classes.
+//!
+//! This module only declares the dispatch table; execution lives in the
+//! [interpreter](crate::interp) because natives need access to the heap,
+//! the network substrate, and DSU state.
+
+/// Identifier of a native method implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NativeFn {
+    /// `Sys.print(s: String)`
+    SysPrint,
+    /// `Sys.printInt(i: int)`
+    SysPrintInt,
+    /// `Sys.time(): int` — virtual milliseconds (scheduler ticks).
+    SysTime,
+    /// `Sys.sleep(ms: int)` — blocks the thread for `ms` ticks.
+    SysSleep,
+    /// `Sys.rand(bound: int): int`
+    SysRand,
+    /// `Sys.yieldNow()` — explicit yield point.
+    SysYield,
+    /// `Sys.threadId(): int`
+    SysThreadId,
+    /// `Sys.spawn(r: Object): int` — spawns a green thread running
+    /// `r.run()`; returns the new thread id.
+    SysSpawn,
+    /// `Str.len(s): int`
+    StrLen,
+    /// `Str.substr(s, from, to): String`
+    StrSubstr,
+    /// `Str.indexOf(s, needle): int`
+    StrIndexOf,
+    /// `Str.split(s, sep): String[]`
+    StrSplit,
+    /// `Str.fromInt(i): String`
+    StrFromInt,
+    /// `Str.toInt(s): int`
+    StrToInt,
+    /// `Str.charAt(s, i): int`
+    StrCharAt,
+    /// `Str.contains(s, needle): bool`
+    StrContains,
+    /// `Str.startsWith(s, prefix): bool`
+    StrStartsWith,
+    /// `Str.trim(s): String`
+    StrTrim,
+    /// `Net.listen(port): int`
+    NetListen,
+    /// `Net.accept(listener): int` — blocks until a client connects.
+    NetAccept,
+    /// `Net.tryAccept(listener): int` — `-1` when no client is waiting.
+    NetTryAccept,
+    /// `Net.readLine(conn): String` — blocks; `null` once closed and drained.
+    NetReadLine,
+    /// `Net.write(conn, data)`
+    NetWrite,
+    /// `Net.close(conn)`
+    NetClose,
+    /// `Dsu.forceTransform(o: Object)` — paper §3.4's special VM function:
+    /// ensures the referenced object has been transformed before the caller
+    /// (an object transformer) dereferences it.
+    DsuForceTransform,
+    /// `Dsu.updateCount(): int` — number of dynamic updates applied.
+    DsuUpdateCount,
+}
+
+/// Resolves a builtin `class.method` pair to its implementation.
+pub fn resolve(class: &str, method: &str) -> Option<NativeFn> {
+    use NativeFn::*;
+    Some(match (class, method) {
+        ("Sys", "print") => SysPrint,
+        ("Sys", "printInt") => SysPrintInt,
+        ("Sys", "time") => SysTime,
+        ("Sys", "sleep") => SysSleep,
+        ("Sys", "rand") => SysRand,
+        ("Sys", "yieldNow") => SysYield,
+        ("Sys", "threadId") => SysThreadId,
+        ("Sys", "spawn") => SysSpawn,
+        ("Str", "len") => StrLen,
+        ("Str", "substr") => StrSubstr,
+        ("Str", "indexOf") => StrIndexOf,
+        ("Str", "split") => StrSplit,
+        ("Str", "fromInt") => StrFromInt,
+        ("Str", "toInt") => StrToInt,
+        ("Str", "charAt") => StrCharAt,
+        ("Str", "contains") => StrContains,
+        ("Str", "startsWith") => StrStartsWith,
+        ("Str", "trim") => StrTrim,
+        ("Net", "listen") => NetListen,
+        ("Net", "accept") => NetAccept,
+        ("Net", "tryAccept") => NetTryAccept,
+        ("Net", "readLine") => NetReadLine,
+        ("Net", "write") => NetWrite,
+        ("Net", "close") => NetClose,
+        ("Dsu", "forceTransform") => DsuForceTransform,
+        ("Dsu", "updateCount") => DsuUpdateCount,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_declared_builtin_method_resolves() {
+        for class in jvolve_lang::builtins::builtin_classes() {
+            for m in &class.methods {
+                assert!(
+                    resolve(class.name.as_str(), &m.name).is_some(),
+                    "no native implementation for {}.{}",
+                    class.name,
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_pairs_do_not_resolve() {
+        assert!(resolve("Sys", "nope").is_none());
+        assert!(resolve("User", "print").is_none());
+    }
+}

@@ -1,0 +1,702 @@
+//! The runtime class registry: loaded classes, object layouts, dispatch
+//! tables (TIBs), the static-field table (JTOC), and the method table.
+//!
+//! This is the reproduction of Jikes RVM's `RVMClass` metadata (paper
+//! §3.3): each loaded class records its full instance layout (superclass
+//! fields first), a type information block mapping virtual slots to method
+//! implementations, and JTOC slots for statics. The update driver
+//! manipulates exactly these structures: renaming old classes, installing
+//! new ones, invalidating TIB entries and compiled code.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jvolve_classfile::class::MethodKind;
+use jvolve_classfile::{verify, ClassFile, ClassName, ClassResolver, Type};
+
+use crate::compiled::CompiledMethod;
+use crate::error::VmError;
+use crate::heap::ClassLayouts;
+use crate::ids::{ClassId, MethodId};
+use crate::natives::{self, NativeFn};
+
+/// One word of an object's instance layout.
+#[derive(Clone, Debug)]
+pub struct FieldSlot {
+    /// Field name (unique along the superclass chain).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Whether the slot holds a reference.
+    pub is_ref: bool,
+    /// Class that declared the field.
+    pub declared_in: ClassId,
+}
+
+/// A loaded class.
+#[derive(Clone, Debug)]
+pub struct RuntimeClass {
+    /// Runtime identifier (stable across renames).
+    pub id: ClassId,
+    /// Current name; changes when the update driver renames an old version
+    /// (e.g. `User` → `v131_User`).
+    pub name: ClassName,
+    /// The definition as loaded (kept in sync with `name`).
+    pub file: ClassFile,
+    /// Superclass id, if any.
+    pub super_id: Option<ClassId>,
+    /// Full instance layout: superclass fields first, then own fields.
+    pub layout: Vec<FieldSlot>,
+    /// Reference map parallel to `layout` (consumed by the GC).
+    pub ref_map: Vec<bool>,
+    /// Type information block: virtual slot → method implementation.
+    pub tib: Vec<MethodId>,
+    /// Virtual slot of each dispatchable method name (inherited included).
+    pub vslots: HashMap<String, u16>,
+    /// JTOC slot and type of each static field declared by this class.
+    pub statics: HashMap<String, (u32, Type)>,
+}
+
+/// A loaded method.
+#[derive(Debug)]
+pub struct MethodInfo {
+    /// Runtime identifier.
+    pub id: MethodId,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Method name.
+    pub name: String,
+    /// Definition (bytecode included). The update driver swaps this for
+    /// method-body updates, then invalidates the compiled code.
+    pub def: jvolve_classfile::MethodDef,
+    /// Native implementation, for builtin classes.
+    pub native: Option<NativeFn>,
+    /// Compiled code, if any; `None` means "compile on next invocation".
+    pub compiled: Option<Arc<CompiledMethod>>,
+    /// Invocation counter driving adaptive recompilation.
+    pub invocations: u32,
+    /// Times this method's compiled code has been invalidated.
+    pub invalidations: u32,
+}
+
+/// The registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    classes: Vec<RuntimeClass>,
+    by_name: HashMap<ClassName, ClassId>,
+    methods: Vec<MethodInfo>,
+    method_by_key: HashMap<(ClassId, String), MethodId>,
+    /// The "Java table of contents": one word per static field.
+    jtoc: Vec<u64>,
+    jtoc_ref: Vec<bool>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    // ---- lookups ----------------------------------------------------------
+
+    /// Class id for a (current) name.
+    pub fn class_id(&self, name: &ClassName) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The class with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn class(&self, id: ClassId) -> &RuntimeClass {
+        &self.classes[id.index()]
+    }
+
+    /// The method with the given id.
+    pub fn method(&self, id: MethodId) -> &MethodInfo {
+        &self.methods[id.index()]
+    }
+
+    /// Mutable method access (driver/interpreter internals).
+    pub fn method_mut(&mut self, id: MethodId) -> &mut MethodInfo {
+        &mut self.methods[id.index()]
+    }
+
+    /// All loaded classes.
+    pub fn classes(&self) -> impl Iterator<Item = &RuntimeClass> {
+        self.classes.iter()
+    }
+
+    /// Number of methods loaded.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Looks up a method by declaring-class chain: starts at `class` and
+    /// walks superclasses.
+    pub fn find_method(&self, class: ClassId, name: &str) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            if let Some(&mid) = self.method_by_key.get(&(id, name.to_string())) {
+                return Some(mid);
+            }
+            cur = self.classes[id.index()].super_id;
+        }
+        None
+    }
+
+    /// All methods declared by `class` (statics and constructors included).
+    pub fn methods_of(&self, class: ClassId) -> Vec<MethodId> {
+        self.methods.iter().filter(|m| m.class == class).map(|m| m.id).collect()
+    }
+
+    /// Instance-field offset and refness, resolving `field` on `class`'s
+    /// layout (names are unique along the chain).
+    pub fn field_offset(&self, class: ClassId, field: &str) -> Option<(u16, bool)> {
+        let c = &self.classes[class.index()];
+        c.layout
+            .iter()
+            .position(|s| s.name == field)
+            .map(|i| (i as u16, c.ref_map[i]))
+    }
+
+    /// JTOC slot and refness for a static field, walking the super chain.
+    pub fn static_slot(&self, class: ClassId, field: &str) -> Option<(u32, bool)> {
+        let mut cur = Some(class);
+        while let Some(id) = cur {
+            let c = &self.classes[id.index()];
+            if let Some((slot, ty)) = c.statics.get(field) {
+                return Some((*slot, ty.is_reference()));
+            }
+            cur = c.super_id;
+        }
+        None
+    }
+
+    /// Virtual slot for `method` as seen from `class`.
+    pub fn vslot(&self, class: ClassId, method: &str) -> Option<u16> {
+        self.classes[class.index()].vslots.get(method).copied()
+    }
+
+    /// Reads a JTOC word.
+    pub fn jtoc_get(&self, slot: u32) -> u64 {
+        self.jtoc[slot as usize]
+    }
+
+    /// Writes a JTOC word.
+    pub fn jtoc_set(&mut self, slot: u32, word: u64) {
+        self.jtoc[slot as usize] = word;
+    }
+
+    /// JTOC slots that hold non-null references (GC roots).
+    pub fn jtoc_ref_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.jtoc_ref
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &is_ref)| {
+                (is_ref && self.jtoc[i] != 0).then_some(i as u32)
+            })
+    }
+
+    /// Whether `sub` is `sup` or one of its subclasses, by id.
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(id) = cur {
+            if id == sup {
+                return true;
+            }
+            cur = self.classes[id.index()].super_id;
+        }
+        false
+    }
+
+    // ---- loading -----------------------------------------------------------
+
+    /// Loads a batch of classes: verifies each against the registry plus
+    /// the batch, then links in superclass order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::LoadError`] on verification failures, duplicate
+    /// names, missing superclasses, or unresolvable native methods.
+    pub fn load_batch(&mut self, files: &[ClassFile]) -> Result<Vec<ClassId>, VmError> {
+        // Duplicate/conflict detection.
+        for f in files {
+            if self.by_name.contains_key(&f.name)
+                || files.iter().filter(|g| g.name == f.name).count() > 1
+            {
+                return Err(VmError::LoadError {
+                    class: f.name.clone(),
+                    message: "class already loaded".to_string(),
+                });
+            }
+        }
+
+        // Verify against the combined view.
+        let view = BatchView { registry: self, batch: files };
+        for f in files {
+            verify::verify_class(&view, f).map_err(|e| VmError::LoadError {
+                class: f.name.clone(),
+                message: e.to_string(),
+            })?;
+        }
+
+        // Link in superclass order (supers within the batch first), but
+        // return the ids in the caller's input order.
+        let mut pending: Vec<&ClassFile> = files.iter().collect();
+        let mut progress = true;
+        while !pending.is_empty() {
+            if !progress {
+                return Err(VmError::LoadError {
+                    class: pending[0].name.clone(),
+                    message: "unresolvable superclass order".to_string(),
+                });
+            }
+            progress = false;
+            pending.retain(|f| {
+                let ready = match &f.superclass {
+                    None => true,
+                    Some(sup) => self.by_name.contains_key(sup),
+                };
+                if ready {
+                    self.link(f).expect("verified class links");
+                    progress = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        Ok(files
+            .iter()
+            .map(|f| self.by_name[&f.name])
+            .collect())
+    }
+
+    fn link(&mut self, file: &ClassFile) -> Result<ClassId, VmError> {
+        let id = ClassId(self.classes.len() as u32);
+        let super_id = match &file.superclass {
+            None => None,
+            Some(sup) => Some(self.by_name.get(sup).copied().ok_or_else(|| {
+                VmError::LoadError {
+                    class: file.name.clone(),
+                    message: format!("superclass {sup} not loaded"),
+                }
+            })?),
+        };
+
+        // Layout: superclass slots then own fields.
+        let (mut layout, mut ref_map, mut tib, mut vslots) = match super_id {
+            Some(sid) => {
+                let s = &self.classes[sid.index()];
+                (s.layout.clone(), s.ref_map.clone(), s.tib.clone(), s.vslots.clone())
+            }
+            None => (Vec::new(), Vec::new(), Vec::new(), HashMap::new()),
+        };
+        for f in &file.fields {
+            layout.push(FieldSlot {
+                name: f.name.clone(),
+                ty: f.ty.clone(),
+                is_ref: f.ty.is_reference(),
+                declared_in: id,
+            });
+            ref_map.push(f.ty.is_reference());
+        }
+
+        // Statics: fresh JTOC slots, zero/null-initialized.
+        let mut statics = HashMap::new();
+        for f in &file.static_fields {
+            let slot = self.jtoc.len() as u32;
+            self.jtoc.push(0);
+            self.jtoc_ref.push(f.ty.is_reference());
+            statics.insert(f.name.clone(), (slot, f.ty.clone()));
+        }
+
+        // Methods and TIB.
+        for m in &file.methods {
+            let mid = MethodId(self.methods.len() as u32);
+            let native = if file.flags.native {
+                let nf = natives::resolve(file.name.as_str(), &m.name).ok_or_else(|| {
+                    VmError::LoadError {
+                        class: file.name.clone(),
+                        message: format!("no native implementation for {}", m.name),
+                    }
+                })?;
+                Some(nf)
+            } else {
+                None
+            };
+            self.methods.push(MethodInfo {
+                id: mid,
+                class: id,
+                name: m.name.clone(),
+                def: m.clone(),
+                native,
+                compiled: None,
+                invocations: 0,
+                invalidations: 0,
+            });
+            self.method_by_key.insert((id, m.name.clone()), mid);
+
+            if !m.is_static && m.kind == MethodKind::Regular {
+                match vslots.get(&m.name) {
+                    Some(&slot) => tib[slot as usize] = mid,
+                    None => {
+                        let slot = tib.len() as u16;
+                        tib.push(mid);
+                        vslots.insert(m.name.clone(), slot);
+                    }
+                }
+            }
+        }
+
+        self.by_name.insert(file.name.clone(), id);
+        self.classes.push(RuntimeClass {
+            id,
+            name: file.name.clone(),
+            file: file.clone(),
+            super_id,
+            layout,
+            ref_map,
+            tib,
+            vslots,
+            statics,
+        });
+        Ok(id)
+    }
+
+    // ---- update-driver operations (paper §3.3) -----------------------------
+
+    /// Renames a loaded class (old versions get a version prefix so the
+    /// transformer class can name them, e.g. `User` → `v131_User`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the new name is taken.
+    pub fn rename_class(&mut self, id: ClassId, new_name: ClassName) -> Result<(), VmError> {
+        if self.by_name.contains_key(&new_name) {
+            return Err(VmError::LoadError {
+                class: new_name,
+                message: "rename target name already in use".to_string(),
+            });
+        }
+        let old_name = self.classes[id.index()].name.clone();
+        if self.by_name.get(&old_name) == Some(&id) {
+            self.by_name.remove(&old_name);
+        }
+        self.by_name.insert(new_name.clone(), id);
+        let class = &mut self.classes[id.index()];
+        class.name = new_name.clone();
+        class.file.name = new_name;
+        Ok(())
+    }
+
+    /// Strips all methods from a renamed old class: "the v131_User class
+    /// contains only field definitions; all methods have been removed since
+    /// the updated program may not call them" (paper §2.3). TIB entries are
+    /// invalidated so stale dispatch cannot reach old code.
+    pub fn strip_methods(&mut self, id: ClassId) {
+        let mids: Vec<MethodId> =
+            self.methods.iter().filter(|m| m.class == id).map(|m| m.id).collect();
+        let class = &mut self.classes[id.index()];
+        class.file.methods.clear();
+        class.tib.clear();
+        class.vslots.clear();
+        for mid in mids {
+            let name = self.methods[mid.index()].name.clone();
+            self.method_by_key.remove(&(id, name));
+            self.invalidate(mid);
+        }
+    }
+
+    /// Replaces a method's bytecode (a *method body update*): the new body
+    /// is installed and the compiled code invalidated; the JIT recompiles
+    /// on next invocation, exactly the paper's protocol.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the method does not exist.
+    pub fn replace_method_body(
+        &mut self,
+        class: ClassId,
+        method: &str,
+        def: jvolve_classfile::MethodDef,
+    ) -> Result<MethodId, VmError> {
+        let mid = self
+            .method_by_key
+            .get(&(class, method.to_string()))
+            .copied()
+            .ok_or_else(|| VmError::ResolutionError {
+                message: format!("no method {method} on {}", self.classes[class.index()].name),
+            })?;
+        // Keep the class-file definition in sync for later diffs.
+        if let Some(m) = self.classes[class.index()]
+            .file
+            .methods
+            .iter_mut()
+            .find(|m| m.name == method)
+        {
+            *m = def.clone();
+        }
+        let info = &mut self.methods[mid.index()];
+        info.def = def;
+        self.invalidate(mid);
+        Ok(mid)
+    }
+
+    /// Invalidates a method's compiled code; it recompiles on next call.
+    pub fn invalidate(&mut self, mid: MethodId) {
+        let info = &mut self.methods[mid.index()];
+        if info.compiled.take().is_some() {
+            info.invalidations += 1;
+        }
+        info.invocations = 0;
+    }
+
+    /// Invalidates every compiled method that inlined one of `changed`
+    /// (paper §3.2: inlined callers of restricted methods are restricted).
+    /// Returns the invalidated methods.
+    pub fn invalidate_inliners(&mut self, changed: &[MethodId]) -> Vec<MethodId> {
+        let victims: Vec<MethodId> = self
+            .methods
+            .iter()
+            .filter(|m| {
+                m.compiled
+                    .as_ref()
+                    .is_some_and(|c| c.inlined.iter().any(|i| changed.contains(i)))
+            })
+            .map(|m| m.id)
+            .collect();
+        for &v in &victims {
+            self.invalidate(v);
+        }
+        victims
+    }
+
+    /// Installs compiled code for a method.
+    pub fn set_compiled(&mut self, mid: MethodId, code: Arc<CompiledMethod>) {
+        self.methods[mid.index()].compiled = Some(code);
+    }
+}
+
+impl ClassLayouts for Registry {
+    fn object_size(&self, class: ClassId) -> usize {
+        self.classes[class.index()].layout.len()
+    }
+    fn ref_map(&self, class: ClassId) -> &[bool] {
+        &self.classes[class.index()].ref_map
+    }
+}
+
+impl ClassResolver for Registry {
+    fn resolve(&self, name: &ClassName) -> Option<&ClassFile> {
+        self.by_name.get(name).map(|id| &self.classes[id.index()].file)
+    }
+}
+
+/// Resolver over the registry plus a batch being loaded.
+struct BatchView<'a> {
+    registry: &'a Registry,
+    batch: &'a [ClassFile],
+}
+
+impl ClassResolver for BatchView<'_> {
+    fn resolve(&self, name: &ClassName) -> Option<&ClassFile> {
+        self.batch
+            .iter()
+            .find(|f| &f.name == name)
+            .or_else(|| self.registry.resolve(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvolve_classfile::bytecode::Instr;
+    use jvolve_lang::builtins::builtin_classes;
+
+    fn base_registry() -> Registry {
+        let mut r = Registry::new();
+        r.load_batch(&builtin_classes()).unwrap();
+        r
+    }
+
+    #[test]
+    fn loads_builtins_with_natives() {
+        let r = base_registry();
+        let sys = r.class_id(&ClassName::from("Sys")).unwrap();
+        let mid = r.find_method(sys, "print").unwrap();
+        assert!(r.method(mid).native.is_some());
+    }
+
+    #[test]
+    fn layout_concatenates_super_fields() {
+        let mut r = base_registry();
+        let classes = jvolve_lang::compile(
+            "class A { field x: int; field s: String; }
+             class B extends A { field y: int; }",
+        )
+        .unwrap();
+        r.load_batch(&classes).unwrap();
+        let b = r.class_id(&ClassName::from("B")).unwrap();
+        assert_eq!(r.object_size(b), 3);
+        assert_eq!(r.field_offset(b, "x"), Some((0, false)));
+        assert_eq!(r.field_offset(b, "s"), Some((1, true)));
+        assert_eq!(r.field_offset(b, "y"), Some((2, false)));
+        assert_eq!(r.ref_map(b), &[false, true, false]);
+    }
+
+    #[test]
+    fn tib_overrides_share_slots() {
+        let mut r = base_registry();
+        let classes = jvolve_lang::compile(
+            "class A { method id(): int { return 1; } method other(): int { return 0; } }
+             class B extends A { method id(): int { return 2; } }",
+        )
+        .unwrap();
+        r.load_batch(&classes).unwrap();
+        let a = r.class_id(&ClassName::from("A")).unwrap();
+        let b = r.class_id(&ClassName::from("B")).unwrap();
+        let slot_a = r.vslot(a, "id").unwrap();
+        let slot_b = r.vslot(b, "id").unwrap();
+        assert_eq!(slot_a, slot_b, "override shares the TIB slot");
+        assert_ne!(r.class(a).tib[slot_a as usize], r.class(b).tib[slot_b as usize]);
+        assert_eq!(r.vslot(b, "other"), r.vslot(a, "other"));
+    }
+
+    #[test]
+    fn statics_get_jtoc_slots() {
+        let mut r = base_registry();
+        let classes =
+            jvolve_lang::compile("class C { static field n: int; static field s: String; }")
+                .unwrap();
+        r.load_batch(&classes).unwrap();
+        let c = r.class_id(&ClassName::from("C")).unwrap();
+        let (n_slot, n_ref) = r.static_slot(c, "n").unwrap();
+        let (s_slot, s_ref) = r.static_slot(c, "s").unwrap();
+        assert_ne!(n_slot, s_slot);
+        assert!(!n_ref);
+        assert!(s_ref);
+        r.jtoc_set(n_slot, 17);
+        assert_eq!(r.jtoc_get(n_slot), 17);
+    }
+
+    #[test]
+    fn rename_frees_old_name() {
+        let mut r = base_registry();
+        let classes = jvolve_lang::compile("class User { field name: String; }").unwrap();
+        r.load_batch(&classes).unwrap();
+        let id = r.class_id(&ClassName::from("User")).unwrap();
+        r.rename_class(id, ClassName::from("v131_User")).unwrap();
+        assert!(r.class_id(&ClassName::from("User")).is_none());
+        assert_eq!(r.class_id(&ClassName::from("v131_User")), Some(id));
+        // New version of User can now be loaded.
+        let new = jvolve_lang::compile("class User { field name: String; field age: int; }")
+            .unwrap();
+        let ids = r.load_batch(&new).unwrap();
+        assert_ne!(ids[0], id);
+        assert_eq!(r.class_id(&ClassName::from("User")), Some(ids[0]));
+    }
+
+    #[test]
+    fn strip_methods_removes_lookup_and_tib() {
+        let mut r = base_registry();
+        let classes =
+            jvolve_lang::compile("class User { method getName(): int { return 1; } }").unwrap();
+        r.load_batch(&classes).unwrap();
+        let id = r.class_id(&ClassName::from("User")).unwrap();
+        assert!(r.find_method(id, "getName").is_some());
+        r.strip_methods(id);
+        assert!(r.find_method(id, "getName").is_none());
+        assert!(r.class(id).tib.is_empty());
+    }
+
+    #[test]
+    fn replace_method_body_invalidates() {
+        let mut r = base_registry();
+        let classes =
+            jvolve_lang::compile("class T { static method f(): int { return 1; } }").unwrap();
+        r.load_batch(&classes).unwrap();
+        let t = r.class_id(&ClassName::from("T")).unwrap();
+        let mid = r.find_method(t, "f").unwrap();
+        // Fake compiled code so invalidation is observable.
+        r.set_compiled(
+            mid,
+            Arc::new(CompiledMethod {
+                method: mid,
+                level: crate::compiled::CompileLevel::Base,
+                code: vec![RInstrStub()],
+                max_locals: 0,
+                inlined: vec![],
+                referenced_classes: vec![],
+            }),
+        );
+        let new_def = jvolve_lang::compile("class T { static method f(): int { return 2; } }")
+            .unwrap()[0]
+            .find_method("f")
+            .unwrap()
+            .clone();
+        r.replace_method_body(t, "f", new_def).unwrap();
+        assert!(r.method(mid).compiled.is_none());
+        assert_eq!(r.method(mid).invalidations, 1);
+        // The class-file view reflects the new body.
+        let body = &r.class(t).file.find_method("f").unwrap().code;
+        assert!(body.as_ref().unwrap().instrs.contains(&Instr::ConstInt(2)));
+    }
+
+    #[allow(non_snake_case)]
+    fn RInstrStub() -> crate::compiled::RInstr {
+        crate::compiled::RInstr::Return
+    }
+
+    #[test]
+    fn duplicate_load_is_rejected() {
+        let mut r = base_registry();
+        let classes = jvolve_lang::compile("class A { }").unwrap();
+        r.load_batch(&classes).unwrap();
+        let err = r.load_batch(&classes).unwrap_err();
+        assert!(matches!(err, VmError::LoadError { .. }), "{err}");
+    }
+
+    #[test]
+    fn batch_with_forward_superclass_links() {
+        let mut r = base_registry();
+        // B extends A but appears first in the batch.
+        let mut classes = jvolve_lang::compile("class A { } class B extends A { }").unwrap();
+        classes.reverse();
+        let ids = r.load_batch(&classes).unwrap();
+        assert_eq!(ids.len(), 2);
+        let b = r.class_id(&ClassName::from("B")).unwrap();
+        let a = r.class_id(&ClassName::from("A")).unwrap();
+        assert!(r.is_subclass_of(b, a));
+    }
+
+    #[test]
+    fn invalidate_inliners_cascades() {
+        let mut r = base_registry();
+        let classes = jvolve_lang::compile(
+            "class T { static method f(): int { return 1; }
+                       static method g(): int { return T.f(); } }",
+        )
+        .unwrap();
+        r.load_batch(&classes).unwrap();
+        let t = r.class_id(&ClassName::from("T")).unwrap();
+        let f = r.find_method(t, "f").unwrap();
+        let g = r.find_method(t, "g").unwrap();
+        r.set_compiled(
+            g,
+            Arc::new(CompiledMethod {
+                method: g,
+                level: crate::compiled::CompileLevel::Opt,
+                code: vec![crate::compiled::RInstr::Return],
+                max_locals: 0,
+                inlined: vec![f],
+                referenced_classes: vec![],
+            }),
+        );
+        let victims = r.invalidate_inliners(&[f]);
+        assert_eq!(victims, vec![g]);
+        assert!(r.method(g).compiled.is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Green threads and activation frames.
+
+use std::sync::Arc;
+
+use crate::compiled::CompiledMethod;
+use crate::ids::{MethodId, ThreadId};
+use crate::value::Value;
+
+/// One activation record.
+///
+/// Because locals and operand-stack slots are tagged [`Value`]s, every
+/// frame *is* a precise stack map: the GC enumerates reference slots
+/// directly, standing in for the per-safe-point stack maps the paper's
+/// compiler emits.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The executing method.
+    pub method: MethodId,
+    /// The resolved code this frame runs. An OSR replaces this `Arc` (and
+    /// nothing else — base-tier code is 1:1 with bytecode, so `pc` and
+    /// `locals` carry over).
+    pub compiled: Arc<CompiledMethod>,
+    /// Next instruction index.
+    pub pc: u32,
+    /// Local variable slots.
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Return barrier (paper §3.2): when set, returning from this frame
+    /// pauses the thread and notifies the update driver so it can re-check
+    /// for a DSU safe point.
+    pub return_barrier: bool,
+    /// Bookkeeping attached by the VM, processed when the frame returns.
+    pub note: Option<FrameNote>,
+}
+
+impl Frame {
+    /// Creates a frame for `compiled` with arguments in the leading locals.
+    pub fn new(compiled: Arc<CompiledMethod>, args: &[Value]) -> Frame {
+        let mut locals = vec![Value::Null; compiled.max_locals.max(args.len() as u16) as usize];
+        locals[..args.len()].copy_from_slice(args);
+        Frame {
+            method: compiled.method,
+            compiled,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+            return_barrier: false,
+            note: None,
+        }
+    }
+}
+
+/// VM-internal bookkeeping attached to frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameNote {
+    /// This frame runs an object transformer for the object at the given
+    /// heap address; on return the object is marked transformed.
+    TransformOf(u32),
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOn {
+    /// `Net.accept` on a listener with an empty backlog.
+    Accept(usize),
+    /// `Net.readLine` on a connection with no queued data.
+    ReadLine(usize),
+    /// `Sys.sleep` until the given scheduler tick.
+    SleepUntil(u64),
+}
+
+/// Scheduler-visible thread state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Parked on a resource; the scheduler polls for wake-up.
+    Blocked(BlockOn),
+    /// Ran to completion.
+    Finished,
+    /// Died with a trap.
+    Trapped(crate::error::VmError),
+}
+
+/// A green thread.
+#[derive(Debug)]
+pub struct VmThread {
+    /// Identifier.
+    pub id: ThreadId,
+    /// Debug name.
+    pub name: String,
+    /// Activation stack, innermost last.
+    pub frames: Vec<Frame>,
+    /// Scheduler state.
+    pub state: ThreadState,
+    /// Value returned by the outermost frame, once finished (used by
+    /// synchronous host-initiated calls).
+    pub result: Option<Value>,
+}
+
+impl VmThread {
+    /// Creates a runnable thread with one initial frame.
+    pub fn new(id: ThreadId, name: impl Into<String>, frame: Frame) -> VmThread {
+        VmThread {
+            id,
+            name: name.into(),
+            frames: vec![frame],
+            state: ThreadState::Runnable,
+            result: None,
+        }
+    }
+
+    /// Whether the thread can still make progress.
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, ThreadState::Runnable | ThreadState::Blocked(_))
+    }
+
+    /// Method ids currently on the activation stack (outermost first).
+    pub fn stack_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.frames.iter().map(|f| f.method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::{CompileLevel, RInstr};
+
+    fn dummy_compiled(max_locals: u16) -> Arc<CompiledMethod> {
+        Arc::new(CompiledMethod {
+            method: MethodId(0),
+            level: CompileLevel::Base,
+            code: vec![RInstr::Return],
+            max_locals,
+            inlined: vec![],
+            referenced_classes: vec![],
+        })
+    }
+
+    #[test]
+    fn frame_seeds_arguments() {
+        let f = Frame::new(dummy_compiled(4), &[Value::Int(7), Value::Bool(true)]);
+        assert_eq!(f.locals.len(), 4);
+        assert_eq!(f.locals[0], Value::Int(7));
+        assert_eq!(f.locals[1], Value::Bool(true));
+        assert_eq!(f.locals[2], Value::Null);
+    }
+
+    #[test]
+    fn thread_liveness() {
+        let mut t = VmThread::new(ThreadId(0), "main", Frame::new(dummy_compiled(0), &[]));
+        assert!(t.is_live());
+        t.state = ThreadState::Finished;
+        assert!(!t.is_live());
+    }
+}

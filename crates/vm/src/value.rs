@@ -1,0 +1,160 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A reference into the heap: a word index of an object header.
+///
+/// Never zero — word 0 of the heap is reserved so that a zero word in a
+/// field slot always means `null`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GcRef(pub u32);
+
+impl GcRef {
+    /// The raw word address.
+    pub fn addr(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GcRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A value on a frame's operand stack or in a local slot.
+///
+/// Frames carrying typed values are the reproduction's *stack maps*: the
+/// paper's compiler emits a stack map at every VM safe point enumerating
+/// which slots hold references; here the tag on each slot provides the same
+/// information to the GC exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Heap reference.
+    Ref(GcRef),
+    /// The null reference.
+    #[default]
+    Null,
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int`. Interpreter-internal: verified
+    /// bytecode never reaches a mismatch.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected int value, found {other:?}"),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Bool`.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(v) => v,
+            other => panic!("expected bool value, found {other:?}"),
+        }
+    }
+
+    /// The reference payload, with `Null` mapped to `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an `Int` or `Bool`.
+    pub fn as_ref_opt(self) -> Option<GcRef> {
+        match self {
+            Value::Ref(r) => Some(r),
+            Value::Null => None,
+            other => panic!("expected reference value, found {other:?}"),
+        }
+    }
+
+    /// Encodes the value as a raw heap word (refs as address, null as 0).
+    ///
+    /// Booleans encode as 0/1; integers as two's complement.
+    pub fn to_word(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            Value::Bool(b) => u64::from(b),
+            Value::Ref(r) => u64::from(r.0),
+            Value::Null => 0,
+        }
+    }
+
+    /// Decodes a raw heap word given whether the slot holds a reference.
+    pub fn from_word(word: u64, is_ref: bool) -> Value {
+        if is_ref {
+            if word == 0 {
+                Value::Null
+            } else {
+                Value::Ref(GcRef(word as u32))
+            }
+        } else {
+            Value::Int(word as i64)
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<GcRef> for Value {
+    fn from(r: GcRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ref(r) => write!(f, "{r}"),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        assert_eq!(Value::from_word(Value::Int(-7).to_word(), false), Value::Int(-7));
+        assert_eq!(Value::from_word(Value::Ref(GcRef(42)).to_word(), true), Value::Ref(GcRef(42)));
+        assert_eq!(Value::from_word(Value::Null.to_word(), true), Value::Null);
+    }
+
+    #[test]
+    fn bool_encodes_as_int_word() {
+        assert_eq!(Value::Bool(true).to_word(), 1);
+        assert_eq!(Value::Bool(false).to_word(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn as_int_panics_on_ref() {
+        Value::Null.as_int();
+    }
+}

@@ -1,0 +1,917 @@
+//! The virtual machine: heap + registry + green threads + scheduler,
+//! plus the DSU *mechanisms* (GC-coordinated object duplication, the
+//! update log, transformer execution, return barriers, OSR) that the
+//! `jvolve` crate's update driver composes into the paper's protocol.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use jvolve_classfile::class::CTOR_NAME;
+use jvolve_classfile::{ClassFile, ClassName};
+
+use crate::compiled::{CompileLevel, CompiledMethod};
+use crate::config::VmConfig;
+use crate::error::VmError;
+use crate::heap::{ClassLayouts, GcOutcome, GcRemap, Heap, HeapKind, NoRemap};
+use crate::ids::{ClassId, MethodId, ThreadId};
+use crate::interp::SliceEvent;
+use crate::jit;
+use crate::net::Net;
+use crate::registry::Registry;
+use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread};
+use crate::value::{GcRef, Value};
+
+/// Statistics maintained by the VM.
+#[derive(Debug, Clone, Default)]
+pub struct VmStats {
+    /// Scheduler slices executed.
+    pub slices: u64,
+    /// Interpreter steps executed.
+    pub steps: u64,
+    /// Collections performed.
+    pub gcs: u64,
+    /// Methods baseline-compiled.
+    pub base_compiles: u64,
+    /// Methods opt-compiled.
+    pub opt_compiles: u64,
+}
+
+/// DSU bookkeeping owned by the VM so the GC can keep it consistent.
+#[derive(Debug, Default)]
+pub(crate) struct DsuState {
+    /// The update log: (old copy, new object) pairs from the last
+    /// update-GC (paper §3.4).
+    pub pending: Vec<(GcRef, GcRef)>,
+    /// new-object address → index in `pending` (the paper caches a pointer
+    /// to the old version inside the new object; a side table is
+    /// equivalent, see DESIGN.md).
+    pub index_of: HashMap<u32, usize>,
+    /// Object transformer for each *new* class.
+    pub transformer_for: HashMap<ClassId, MethodId>,
+    /// Objects whose transformer is currently on some stack (cycle
+    /// detection, paper §3.4).
+    pub in_progress: HashSet<u32>,
+    /// Objects already transformed.
+    pub done: HashSet<u32>,
+    /// Dynamic updates completed.
+    pub update_count: u64,
+    /// Lazy-indirection mode: classes to migrate on first access.
+    pub lazy_remap: HashMap<ClassId, ClassId>,
+}
+
+/// A report from one scheduler slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceReport {
+    /// Thread that ran, if any was runnable.
+    pub thread: Option<ThreadId>,
+    /// What ended the slice.
+    pub event: SliceOutcome,
+}
+
+/// Outcome of a slice, surfaced to the embedder / update driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceOutcome {
+    /// The thread yielded at a safe point (quantum or explicit yield).
+    Yielded,
+    /// The thread blocked on a resource.
+    Blocked,
+    /// The thread finished.
+    Finished,
+    /// The thread trapped; it is dead.
+    Trapped(VmError),
+    /// A return barrier fired on the thread (paper §3.2): the update
+    /// driver should re-check for a DSU safe point.
+    ReturnBarrier {
+        /// Method that returned.
+        method: MethodId,
+    },
+    /// A collection was triggered by allocation pressure.
+    GcOccurred,
+    /// No thread was runnable (all blocked or finished).
+    Idle,
+}
+
+/// The virtual machine.
+#[derive(Debug)]
+pub struct Vm {
+    pub(crate) config: VmConfig,
+    pub(crate) heap: Heap,
+    pub(crate) registry: Registry,
+    pub(crate) threads: Vec<Option<VmThread>>,
+    pub(crate) net: Net,
+    pub(crate) output: Vec<String>,
+    pub(crate) tick: u64,
+    pub(crate) rng_state: u64,
+    pub(crate) dsu: DsuState,
+    pub(crate) stats: VmStats,
+    host_roots: Vec<GcRef>,
+    next_thread: usize,
+}
+
+impl Vm {
+    /// Creates a VM with the builtin classes loaded.
+    pub fn new(config: VmConfig) -> Vm {
+        let mut registry = Registry::new();
+        registry
+            .load_batch(&jvolve_lang::builtins::builtin_classes())
+            .expect("builtins always load");
+        Vm {
+            heap: Heap::new(config.semispace_words),
+            registry,
+            config,
+            threads: Vec::new(),
+            net: Net::new(),
+            output: Vec::new(),
+            tick: 0,
+            rng_state: 0x9E3779B97F4A7C15,
+            dsu: DsuState::default(),
+            stats: VmStats::default(),
+            host_roots: Vec::new(),
+            next_thread: 0,
+        }
+    }
+
+    // ---- program loading ----------------------------------------------------
+
+    /// Loads a batch of classes (verification included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::LoadError`].
+    pub fn load_classes(&mut self, classes: &[ClassFile]) -> Result<Vec<ClassId>, VmError> {
+        self.registry.load_batch(classes)
+    }
+
+    /// Compiles and loads MJ source, a convenience for tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::LoadError`] carrying compile diagnostics.
+    pub fn load_source(&mut self, source: &str) -> Result<Vec<ClassId>, VmError> {
+        let classes = jvolve_lang::compile(source).map_err(|e| VmError::LoadError {
+            class: ClassName::from("<source>"),
+            message: e.to_string(),
+        })?;
+        self.load_classes(&classes)
+    }
+
+    // ---- accessors -----------------------------------------------------------
+
+    /// The class registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access (update driver).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The network substrate (workload drivers).
+    pub fn net_mut(&mut self) -> &mut Net {
+        &mut self.net
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Buffered `Sys.print` output.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Takes and clears the buffered output.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Scheduler tick (virtual milliseconds).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of updates applied (mirrors `Dsu.updateCount()`).
+    pub fn update_count(&self) -> u64 {
+        self.dsu.update_count
+    }
+
+    /// Live threads (ids), in id order.
+    pub fn live_threads(&self) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|t| t.is_live())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Immutable view of a thread.
+    pub fn thread(&self, id: ThreadId) -> Option<&VmThread> {
+        self.threads.get(id.0 as usize).and_then(|t| t.as_ref())
+    }
+
+    /// All threads, live or not.
+    pub fn threads(&self) -> impl Iterator<Item = &VmThread> {
+        self.threads.iter().flatten()
+    }
+
+    // ---- thread management ----------------------------------------------------
+
+    /// Spawns a thread running `class.method` (a static, argument-less
+    /// method — typically `main` or a server entry point).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the method is missing, non-static, or takes parameters.
+    pub fn spawn(&mut self, class: &str, method: &str) -> Result<ThreadId, VmError> {
+        let cid = self.registry.class_id(&ClassName::from(class)).ok_or_else(|| {
+            VmError::ResolutionError { message: format!("unknown class {class}") }
+        })?;
+        let mid = self.registry.find_method(cid, method).ok_or_else(|| {
+            VmError::ResolutionError { message: format!("unknown method {class}.{method}") }
+        })?;
+        let info = self.registry.method(mid);
+        if !info.def.is_static || !info.def.params.is_empty() {
+            return Err(VmError::ResolutionError {
+                message: format!("{class}.{method} must be static and take no arguments"),
+            });
+        }
+        let compiled = self.compiled_for(mid)?;
+        let frame = Frame::new(compiled, &[]);
+        Ok(self.add_thread(format!("{class}.{method}"), frame))
+    }
+
+    pub(crate) fn add_thread(&mut self, name: String, frame: Frame) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(Some(VmThread::new(id, name, frame)));
+        id
+    }
+
+    // ---- compilation ------------------------------------------------------------
+
+    /// Returns (compiling if necessary) executable code for `mid`, and
+    /// advances the adaptive-recompilation counter: a method crossing the
+    /// hotness threshold is recompiled at the optimizing tier, exactly the
+    /// behavior the paper leans on after invalidation ("the adaptive
+    /// compilation system naturally optimizes updated methods further if
+    /// they execute frequently", §1).
+    pub(crate) fn compiled_for(&mut self, mid: MethodId) -> Result<Arc<CompiledMethod>, VmError> {
+        let threshold = self.config.opt_threshold;
+        let enable_opt = self.config.enable_opt;
+        let info = self.registry.method(mid);
+        debug_assert!(info.native.is_none(), "natives are dispatched separately");
+
+        let needs_opt = enable_opt
+            && info.invocations >= threshold
+            && info.compiled.as_ref().is_some_and(|c| c.level == CompileLevel::Base);
+
+        if let (Some(c), false) = (&info.compiled, needs_opt) {
+            let c = c.clone();
+            self.registry.method_mut(mid).invocations += 1;
+            return Ok(c);
+        }
+
+        let level = if needs_opt { CompileLevel::Opt } else { CompileLevel::Base };
+        let compiled = Arc::new(jit::compile(&self.registry, mid, level, &self.config)?);
+        match level {
+            CompileLevel::Base => self.stats.base_compiles += 1,
+            CompileLevel::Opt => self.stats.opt_compiles += 1,
+        }
+        self.registry.set_compiled(mid, compiled.clone());
+        self.registry.method_mut(mid).invocations += 1;
+        Ok(compiled)
+    }
+
+    // ---- scheduling ------------------------------------------------------------
+
+    fn poll_blocked(&mut self) {
+        let tick = self.tick;
+        for slot in &mut self.threads {
+            let Some(t) = slot else { continue };
+            if let ThreadState::Blocked(on) = &t.state {
+                let wake = match on {
+                    BlockOn::Accept(l) => self.net.has_pending(*l),
+                    BlockOn::ReadLine(c) => self.net.guest_readable(*c),
+                    BlockOn::SleepUntil(until) => tick >= *until,
+                };
+                if wake {
+                    t.state = ThreadState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Runs one scheduler slice: picks the next runnable thread round-robin
+    /// and executes it up to the quantum (stopping only at a yield point —
+    /// a VM safe point). Between slices every thread is at a safe point,
+    /// which is when the update driver inspects stacks.
+    pub fn step_slice(&mut self) -> SliceReport {
+        self.tick += 1;
+        self.stats.slices += 1;
+        self.poll_blocked();
+
+        let n = self.threads.len();
+        let mut chosen = None;
+        for k in 0..n {
+            let idx = (self.next_thread + k) % n.max(1);
+            if self.threads.get(idx).and_then(|t| t.as_ref()).is_some_and(|t| {
+                matches!(t.state, ThreadState::Runnable)
+            }) {
+                chosen = Some(idx);
+                break;
+            }
+        }
+        let Some(idx) = chosen else {
+            return SliceReport { thread: None, event: SliceOutcome::Idle };
+        };
+        self.next_thread = (idx + 1) % n;
+
+        let budget = self.config.quantum;
+        let tid = ThreadId(idx as u32);
+        // (pc, step counter) at the last allocation failure: failing again
+        // at the same pc with no intervening progress means the collection
+        // freed nothing useful and the request can never be satisfied.
+        let mut gc_retry: Option<(u32, u64)> = None;
+        loop {
+            let mut thread = self.threads[idx].take().expect("chosen thread exists");
+            let event = self.exec_thread(&mut thread, budget);
+            self.threads[idx] = Some(thread);
+            let outcome = match event {
+                SliceEvent::Quantum => SliceOutcome::Yielded,
+                SliceEvent::Blocked => SliceOutcome::Blocked,
+                SliceEvent::Finished => SliceOutcome::Finished,
+                SliceEvent::Trapped(e) => {
+                    let t = self.threads[idx].as_mut().expect("thread present");
+                    t.state = ThreadState::Trapped(e.clone());
+                    SliceOutcome::Trapped(e)
+                }
+                SliceEvent::ReturnBarrier { method } => SliceOutcome::ReturnBarrier { method },
+                SliceEvent::NeedGc => {
+                    // Allocation pressure: stop-the-world collection (all
+                    // other threads already paused at safe points), then
+                    // resume the same thread at the same pc.
+                    let pc = self.threads[idx]
+                        .as_ref()
+                        .and_then(|t| t.frames.last())
+                        .map(|f| f.pc)
+                        .unwrap_or(u32::MAX);
+                    let steps = self.stats.steps;
+                    // Exactly one step since the last failure = the retried
+                    // instruction itself.
+                    let stuck = gc_retry == Some((pc, steps.saturating_sub(1)));
+                    gc_retry = Some((pc, steps));
+                    let result = if stuck {
+                        // The collection just ran and the same allocation
+                        // still fails: out of memory.
+                        Err(VmError::OutOfMemory { requested: 0 })
+                    } else {
+                        self.collect_full(&NoRemap).map(|_| ())
+                    };
+                    match result {
+                        Ok(()) => continue,
+                        Err(e) => {
+                            let t = self.threads[idx].as_mut().expect("thread present");
+                            t.state = ThreadState::Trapped(e.clone());
+                            SliceOutcome::Trapped(e)
+                        }
+                    }
+                }
+            };
+            return SliceReport { thread: Some(tid), event: outcome };
+        }
+    }
+
+    /// Runs up to `n` slices; stops early when no thread is live.
+    pub fn run_slices(&mut self, n: usize) -> usize {
+        for i in 0..n {
+            if self.live_threads().is_empty() {
+                return i;
+            }
+            self.step_slice();
+        }
+        n
+    }
+
+    /// Runs until every thread finished/trapped or `max_slices` elapsed.
+    /// Returns `true` when all threads completed.
+    pub fn run_to_completion(&mut self, max_slices: usize) -> bool {
+        for _ in 0..max_slices {
+            if self.threads.iter().flatten().all(|t| !t.is_live()) {
+                return true;
+            }
+            let report = self.step_slice();
+            if report.event == SliceOutcome::Idle {
+                // All live threads blocked with nothing to wake them: with
+                // no external client activity this cannot progress.
+                let sleepers = self.threads.iter().flatten().any(|t| {
+                    matches!(t.state, ThreadState::Blocked(BlockOn::SleepUntil(_)))
+                });
+                if !sleepers {
+                    return false;
+                }
+            }
+        }
+        self.threads.iter().flatten().all(|t| !t.is_live())
+    }
+
+    // ---- GC --------------------------------------------------------------------
+
+    /// Gathers every root location, runs a collection with `remap`, and
+    /// rewrites roots and DSU bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError::OutOfMemory`] on to-space overflow.
+    pub fn collect_full(&mut self, remap: &dyn GcRemap) -> Result<GcOutcome, VmError> {
+        let mut roots: Vec<GcRef> = Vec::new();
+        for t in self.threads.iter().flatten() {
+            for f in &t.frames {
+                for v in f.locals.iter().chain(f.stack.iter()) {
+                    if let Value::Ref(r) = v {
+                        roots.push(*r);
+                    }
+                }
+                if let Some(FrameNote::TransformOf(addr)) = f.note {
+                    roots.push(GcRef(addr));
+                }
+            }
+        }
+        let jtoc_slots: Vec<u32> = self.registry.jtoc_ref_slots().collect();
+        for &slot in &jtoc_slots {
+            roots.push(GcRef(self.registry.jtoc_get(slot) as u32));
+        }
+        for &(old, new) in &self.dsu.pending {
+            roots.push(old);
+            roots.push(new);
+        }
+        for &r in &self.host_roots {
+            roots.push(r);
+        }
+
+        let outcome = self.heap.collect(&roots, &self.registry, remap)?;
+        self.stats.gcs += 1;
+
+        // Rewrite every root location through the forwarding pointers.
+        let heap = &self.heap;
+        for t in self.threads.iter_mut().flatten() {
+            for f in &mut t.frames {
+                for v in f.locals.iter_mut().chain(f.stack.iter_mut()) {
+                    if let Value::Ref(r) = v {
+                        *r = heap.resolve(*r);
+                    }
+                }
+                if let Some(FrameNote::TransformOf(addr)) = &mut f.note {
+                    *addr = heap.resolve(GcRef(*addr)).0;
+                }
+            }
+        }
+        for &slot in &jtoc_slots {
+            let old = self.registry.jtoc_get(slot) as u32;
+            self.registry.jtoc_set(slot, u64::from(heap.resolve(GcRef(old)).0));
+        }
+        for pair in &mut self.dsu.pending {
+            pair.0 = heap.resolve(pair.0);
+            pair.1 = heap.resolve(pair.1);
+        }
+        for r in &mut self.host_roots {
+            *r = heap.resolve(*r);
+        }
+        self.dsu.in_progress =
+            self.dsu.in_progress.iter().map(|&a| heap.resolve(GcRef(a)).0).collect();
+        self.dsu.done = self.dsu.done.iter().map(|&a| heap.resolve(GcRef(a)).0).collect();
+        self.rebuild_dsu_index();
+        Ok(outcome)
+    }
+
+    fn rebuild_dsu_index(&mut self) {
+        self.dsu.index_of =
+            self.dsu.pending.iter().enumerate().map(|(i, &(_, new))| (new.0, i)).collect();
+    }
+
+    // ---- DSU mechanisms (composed by the jvolve update driver) -------------------
+
+    /// Runs the update collection (paper §3.4): a full GC that duplicates
+    /// every instance of a remapped class and stores the update log in the
+    /// VM. `transformer_for` maps each *new* class to its object
+    /// transformer (`jvolve_object_X`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap overflow.
+    pub fn collect_for_update(
+        &mut self,
+        remap: HashMap<ClassId, ClassId>,
+        transformer_for: HashMap<ClassId, MethodId>,
+    ) -> Result<GcOutcome, VmError> {
+        struct MapRemap<'a>(&'a HashMap<ClassId, ClassId>);
+        impl GcRemap for MapRemap<'_> {
+            fn remap(&self, class: ClassId) -> Option<ClassId> {
+                self.0.get(&class).copied()
+            }
+        }
+        self.dsu.transformer_for = transformer_for;
+        let outcome = self.collect_full(&MapRemap(&remap))?;
+        self.dsu.pending = outcome.update_log.clone();
+        self.dsu.in_progress.clear();
+        self.dsu.done.clear();
+        self.rebuild_dsu_index();
+        Ok(outcome)
+    }
+
+    /// Number of (old, new) pairs waiting for transformation.
+    pub fn pending_transforms(&self) -> usize {
+        self.dsu.pending.len()
+    }
+
+    /// Runs the object transformer for every logged pair, in log order,
+    /// honoring transformations already forced recursively. Afterwards the
+    /// log is deleted, making the old copies unreachable (the next GC
+    /// reclaims them, paper §3.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformer traps (including
+    /// [`VmError::TransformerCycle`]); on error the update must be
+    /// considered failed.
+    pub fn transform_pending(&mut self) -> Result<usize, VmError> {
+        let mut ran = 0;
+        let n = self.dsu.pending.len();
+        for i in 0..n {
+            let (_, new) = self.dsu.pending[i];
+            if self.dsu.done.contains(&new.0) {
+                continue;
+            }
+            self.transform_one(i)?;
+            ran += 1;
+        }
+        // Delete the log: old copies become unreachable.
+        self.dsu.pending.clear();
+        self.dsu.index_of.clear();
+        self.dsu.in_progress.clear();
+        self.dsu.done.clear();
+        self.dsu.update_count += 1;
+        Ok(ran)
+    }
+
+    /// Runs the transformer for log entry `i` synchronously.
+    fn transform_one(&mut self, i: usize) -> Result<(), VmError> {
+        let (old, new) = self.dsu.pending[i];
+        if self.dsu.in_progress.contains(&new.0) {
+            return Err(VmError::TransformerCycle);
+        }
+        let class = self.heap.class_of(new);
+        let Some(&mid) = self.dsu.transformer_for.get(&class) else {
+            return Err(VmError::Internal {
+                message: format!(
+                    "no object transformer registered for {}",
+                    self.registry.class(class).name
+                ),
+            });
+        };
+        self.dsu.in_progress.insert(new.0);
+        let compiled = self.compiled_for(mid)?;
+        let mut frame = Frame::new(compiled, &[Value::Ref(new), Value::Ref(old)]);
+        frame.note = Some(FrameNote::TransformOf(new.0));
+        self.run_sync(frame, "object-transformer")?;
+        Ok(())
+    }
+
+    /// Calls a static method synchronously on a dedicated internal thread
+    /// (used for class transformers and by tests/examples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps; blocking in a synchronous call is an error.
+    pub fn call_static_sync(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, VmError> {
+        let cid = self.registry.class_id(&ClassName::from(class)).ok_or_else(|| {
+            VmError::ResolutionError { message: format!("unknown class {class}") }
+        })?;
+        let mid = self.registry.find_method(cid, method).ok_or_else(|| {
+            VmError::ResolutionError { message: format!("unknown method {class}.{method}") }
+        })?;
+        let compiled = self.compiled_for(mid)?;
+        let frame = Frame::new(compiled, args);
+        self.run_sync(frame, &format!("{class}.{method}"))
+    }
+
+    /// Runs `frame` to completion on a temporary thread.
+    pub(crate) fn run_sync(&mut self, frame: Frame, what: &str) -> Result<Option<Value>, VmError> {
+        let id = self.add_thread(format!("<sync:{what}>"), frame);
+        let idx = id.0 as usize;
+        let mut gc_retry: Option<(u32, u64)> = None;
+        loop {
+            let mut thread = self.threads[idx].take().expect("sync thread exists");
+            let event = self.exec_thread(&mut thread, usize::MAX);
+            self.threads[idx] = Some(thread);
+            match event {
+                SliceEvent::Finished => {
+                    let t = self.threads[idx].take().expect("sync thread");
+                    self.threads.pop_if_last_none();
+                    return Ok(t.result);
+                }
+                SliceEvent::Trapped(e) => {
+                    self.threads[idx] = None;
+                    self.threads.pop_if_last_none();
+                    return Err(e);
+                }
+                SliceEvent::NeedGc => {
+                    let pc = self.threads[idx]
+                        .as_ref()
+                        .and_then(|t| t.frames.last())
+                        .map(|f| f.pc)
+                        .unwrap_or(u32::MAX);
+                    let steps = self.stats.steps;
+                    if gc_retry == Some((pc, steps.saturating_sub(1))) {
+                        self.threads[idx] = None;
+                        self.threads.pop_if_last_none();
+                        return Err(VmError::OutOfMemory { requested: 0 });
+                    }
+                    gc_retry = Some((pc, steps));
+                    self.collect_full(&NoRemap)?;
+                }
+                SliceEvent::Blocked => {
+                    self.threads[idx] = None;
+                    self.threads.pop_if_last_none();
+                    return Err(VmError::Internal {
+                        message: format!("synchronous call to {what} blocked"),
+                    });
+                }
+                SliceEvent::Quantum | SliceEvent::ReturnBarrier { .. } => continue,
+            }
+        }
+    }
+
+    /// Installs a return barrier on frame `frame_idx` of `thread` (paper
+    /// §3.2): when that activation returns, the slice ends with
+    /// [`SliceOutcome::ReturnBarrier`] so the driver can retry the update.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad thread/frame index.
+    pub fn install_return_barrier(
+        &mut self,
+        thread: ThreadId,
+        frame_idx: usize,
+    ) -> Result<(), VmError> {
+        let t = self
+            .threads
+            .get_mut(thread.0 as usize)
+            .and_then(|t| t.as_mut())
+            .ok_or_else(|| VmError::Internal { message: format!("no thread {thread}") })?;
+        let f = t.frames.get_mut(frame_idx).ok_or_else(|| VmError::Internal {
+            message: format!("no frame {frame_idx} on {thread}"),
+        })?;
+        f.return_barrier = true;
+        Ok(())
+    }
+
+    /// Clears every installed return barrier (update aborted or applied).
+    pub fn clear_return_barriers(&mut self) {
+        for t in self.threads.iter_mut().flatten() {
+            for f in &mut t.frames {
+                f.return_barrier = false;
+            }
+        }
+    }
+
+    /// On-stack replacement of a **base-compiled** frame (paper §3.2):
+    /// recompiles the method against current class metadata and swaps the
+    /// frame's code; the 1:1 bytecode mapping preserves pc and locals.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the frame is opt-compiled (not OSR-capable) or stale.
+    pub fn osr_replace(&mut self, thread: ThreadId, frame_idx: usize) -> Result<(), VmError> {
+        let (mid, osr_ok) = {
+            let t = self
+                .threads
+                .get(thread.0 as usize)
+                .and_then(|t| t.as_ref())
+                .ok_or_else(|| VmError::Internal { message: format!("no thread {thread}") })?;
+            let f = t.frames.get(frame_idx).ok_or_else(|| VmError::Internal {
+                message: format!("no frame {frame_idx} on {thread}"),
+            })?;
+            (f.method, f.compiled.osr_capable())
+        };
+        if !osr_ok {
+            return Err(VmError::Internal {
+                message: "OSR supported only for base-compiled frames".to_string(),
+            });
+        }
+        let fresh = Arc::new(jit::compile(
+            &self.registry,
+            mid,
+            CompileLevel::Base,
+            &self.config,
+        )?);
+        self.registry.set_compiled(mid, fresh.clone());
+        let t = self.threads[thread.0 as usize].as_mut().expect("checked above");
+        let f = &mut t.frames[frame_idx];
+        let needed = fresh.max_locals as usize;
+        if f.locals.len() < needed {
+            f.locals.resize(needed, Value::Null);
+        }
+        f.compiled = fresh;
+        Ok(())
+    }
+
+    /// On-stack migration of a frame to a **different method version**
+    /// (the paper's §3.5 future work, modeled on UpStare): swaps the
+    /// frame's method and code for `new_method` compiled at the base tier
+    /// and repositions the pc at `new_pc`. Locals carry over by slot and
+    /// the operand stack is preserved — the caller (the update driver)
+    /// asserts that `new_pc` is an equivalent program point, as the
+    /// paper's user-provided yield-point mapping does.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a stale thread/frame, a non-base-tier frame (pc would not
+    /// be a bytecode index), or an out-of-range `new_pc`.
+    pub fn osr_migrate(
+        &mut self,
+        thread: ThreadId,
+        frame_idx: usize,
+        new_method: MethodId,
+        new_pc: u32,
+    ) -> Result<(), VmError> {
+        {
+            let t = self
+                .threads
+                .get(thread.0 as usize)
+                .and_then(|t| t.as_ref())
+                .ok_or_else(|| VmError::Internal { message: format!("no thread {thread}") })?;
+            let f = t.frames.get(frame_idx).ok_or_else(|| VmError::Internal {
+                message: format!("no frame {frame_idx} on {thread}"),
+            })?;
+            if !f.compiled.osr_capable() {
+                return Err(VmError::Internal {
+                    message: "active-method migration needs a base-tier frame".to_string(),
+                });
+            }
+        }
+        let fresh = Arc::new(jit::compile(
+            &self.registry,
+            new_method,
+            CompileLevel::Base,
+            &self.config,
+        )?);
+        if new_pc as usize >= fresh.code.len() {
+            return Err(VmError::Internal {
+                message: format!("migration pc {new_pc} out of range"),
+            });
+        }
+        self.registry.set_compiled(new_method, fresh.clone());
+        let t = self.threads[thread.0 as usize].as_mut().expect("checked above");
+        let f = &mut t.frames[frame_idx];
+        let needed = fresh.max_locals as usize;
+        if f.locals.len() < needed {
+            f.locals.resize(needed, Value::Null);
+        }
+        f.method = new_method;
+        f.compiled = fresh;
+        f.pc = new_pc;
+        Ok(())
+    }
+
+    /// Enables lazy-indirection migration for the given class mapping
+    /// (the JDrums/DVM-style baseline, paper §5). Only meaningful when
+    /// [`VmConfig::lazy_indirection`] is set.
+    pub fn begin_lazy_update(&mut self, remap: HashMap<ClassId, ClassId>) {
+        self.dsu.lazy_remap.extend(remap);
+        self.dsu.update_count += 1;
+    }
+
+    // ---- host-side heap access (tests, microbenchmarks) --------------------------
+
+    /// Allocates an instance of `class` from the host, rooted in the VM's
+    /// host-root table. Returns the root index (stable across GCs; the ref
+    /// itself moves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] if allocation fails even after GC.
+    pub fn host_alloc(&mut self, class: &str) -> Result<usize, VmError> {
+        let cid = self.registry.class_id(&ClassName::from(class)).ok_or_else(|| {
+            VmError::ResolutionError { message: format!("unknown class {class}") }
+        })?;
+        let size = self.registry.object_size(cid);
+        let r = match self.heap.alloc_object(cid, size) {
+            Some(r) => r,
+            None => {
+                self.collect_full(&NoRemap)?;
+                self.heap
+                    .alloc_object(cid, size)
+                    .ok_or(VmError::OutOfMemory { requested: size + 1 })?
+            }
+        };
+        self.host_roots.push(r);
+        Ok(self.host_roots.len() - 1)
+    }
+
+    /// Current heap reference of host root `idx`.
+    pub fn host_root(&self, idx: usize) -> GcRef {
+        self.host_roots[idx]
+    }
+
+    /// Drops all host roots (they become garbage).
+    pub fn clear_host_roots(&mut self) {
+        self.host_roots.clear();
+    }
+
+    /// Reads an instance field of the object at `r` by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown field (host-side test/bench helper).
+    pub fn read_field(&self, r: GcRef, field: &str) -> Value {
+        let class = self.heap.class_of(r);
+        let (off, is_ref) =
+            self.registry.field_offset(class, field).expect("known field");
+        Value::from_word(self.heap.get(r, off as usize), is_ref)
+    }
+
+    /// Writes an instance field of the object at `r` by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown field.
+    pub fn write_field(&mut self, r: GcRef, field: &str, v: Value) {
+        let class = self.heap.class_of(r);
+        let (off, _) = self.registry.field_offset(class, field).expect("known field");
+        self.heap.set(r, off as usize, v.to_word());
+    }
+
+    /// Reads a static field by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown class or field.
+    pub fn read_static(&self, class: &str, field: &str) -> Value {
+        let cid = self.registry.class_id(&ClassName::from(class)).expect("known class");
+        let (slot, is_ref) = self.registry.static_slot(cid, field).expect("known static");
+        Value::from_word(self.registry.jtoc_get(slot), is_ref)
+    }
+
+    /// Renders a [`Value`] for assertions: strings are read from the heap.
+    pub fn display_value(&self, v: Value) -> String {
+        match v {
+            Value::Ref(r) if self.heap.kind(r) == HeapKind::Str => self.heap.read_string(r),
+            other => other.to_string(),
+        }
+    }
+
+    /// Allocates a guest string from the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] if allocation fails even after GC.
+    pub fn alloc_string_value(&mut self, s: &str) -> Result<Value, VmError> {
+        match self.heap.alloc_string(s) {
+            Some(r) => Ok(Value::Ref(r)),
+            None => {
+                self.collect_full(&NoRemap)?;
+                self.heap
+                    .alloc_string(s)
+                    .map(Value::Ref)
+                    .ok_or(VmError::OutOfMemory { requested: s.len() / 8 + 1 })
+            }
+        }
+    }
+
+    /// Looks up a constructor method id (host/test helper).
+    pub fn ctor_of(&self, class: &str) -> Option<MethodId> {
+        let cid = self.registry.class_id(&ClassName::from(class))?;
+        self.registry.find_method(cid, CTOR_NAME)
+    }
+}
+
+/// Tiny extension: drop trailing `None` thread slots so sync threads don't
+/// grow the table forever.
+trait PopIfLastNone {
+    fn pop_if_last_none(&mut self);
+}
+
+impl PopIfLastNone for Vec<Option<VmThread>> {
+    fn pop_if_last_none(&mut self) {
+        while matches!(self.last(), Some(None)) {
+            self.pop();
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! VM edge cases: resource exhaustion, adaptive recompilation, scheduler
+//! corner cases, string semantics.
+
+use jvolve_vm::thread::ThreadState;
+use jvolve_vm::{Value, Vm, VmConfig, VmError};
+
+#[test]
+fn out_of_memory_is_a_trap_not_a_panic() {
+    let mut vm = Vm::new(VmConfig { semispace_words: 1024, ..VmConfig::default() });
+    vm.load_source(
+        "class Hog {
+           static field keep: int[][];
+           static method main(): void {
+             Hog.keep = new int[64][];
+             var i: int = 0;
+             while (i < 64) { Hog.keep[i] = new int[1024]; i = i + 1; }
+           }
+         }",
+    )
+    .unwrap();
+    let tid = vm.spawn("Hog", "main").unwrap();
+    vm.run_to_completion(100_000);
+    assert!(matches!(
+        &vm.thread(tid).unwrap().state,
+        ThreadState::Trapped(VmError::OutOfMemory { .. })
+    ));
+}
+
+#[test]
+fn deep_recursion_overflows_cleanly() {
+    let mut vm = Vm::new(VmConfig { max_stack_depth: 64, ..VmConfig::small() });
+    vm.load_source(
+        "class R { static method down(n: int): int { return R.down(n + 1); }
+                   static method main(): void { Sys.printInt(R.down(0)); } }",
+    )
+    .unwrap();
+    let tid = vm.spawn("R", "main").unwrap();
+    vm.run_to_completion(100_000);
+    assert!(matches!(
+        &vm.thread(tid).unwrap().state,
+        ThreadState::Trapped(VmError::StackOverflow)
+    ));
+}
+
+#[test]
+fn invalidated_method_recompiles_and_reoptimizes() {
+    // The paper: after invalidation the adaptive system recompiles at
+    // baseline, then re-optimizes hot methods.
+    let mut vm = Vm::new(VmConfig { opt_threshold: 10, ..VmConfig::small() });
+    vm.load_source("class W { static method w(x: int): int { return x + 1; } }").unwrap();
+    // Heat it past the opt threshold.
+    for i in 0..30 {
+        vm.call_static_sync("W", "w", &[Value::Int(i)]).unwrap();
+    }
+    let w_class = vm.registry().class_id(&"W".into()).unwrap();
+    let w = vm.registry().find_method(w_class, "w").unwrap();
+    assert!(matches!(
+        vm.registry().method(w).compiled.as_ref().unwrap().level,
+        jvolve_vm::compiled::CompileLevel::Opt
+    ));
+    let opt_compiles_before = vm.stats().opt_compiles;
+
+    // Invalidate (as an update would) and heat again.
+    vm.registry_mut().invalidate(w);
+    assert!(vm.registry().method(w).compiled.is_none());
+    for i in 0..30 {
+        vm.call_static_sync("W", "w", &[Value::Int(i)]).unwrap();
+    }
+    assert!(matches!(
+        vm.registry().method(w).compiled.as_ref().unwrap().level,
+        jvolve_vm::compiled::CompileLevel::Opt
+    ));
+    assert!(vm.stats().opt_compiles > opt_compiles_before);
+}
+
+#[test]
+fn string_value_semantics() {
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class S {
+           static method eq(): bool { return \"a\" + \"b\" == \"ab\"; }
+           static method ne(): bool { return \"x\" != \"y\"; }
+           static method nullable(s: String): bool { return s == null; }
+         }",
+    )
+    .unwrap();
+    assert_eq!(vm.call_static_sync("S", "eq", &[]).unwrap(), Some(Value::Bool(true)));
+    assert_eq!(vm.call_static_sync("S", "ne", &[]).unwrap(), Some(Value::Bool(true)));
+    assert_eq!(
+        vm.call_static_sync("S", "nullable", &[Value::Null]).unwrap(),
+        Some(Value::Bool(true))
+    );
+}
+
+#[test]
+fn string_builtins_match_rust_semantics() {
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class S {
+           static method test(): void {
+             Sys.printInt(Str.indexOf(\"hello world\", \"world\"));
+             Sys.printInt(Str.indexOf(\"hello\", \"zzz\"));
+             Sys.print(Str.substr(\"abcdef\", 1, 4));
+             Sys.printInt(Str.charAt(\"A\", 0));
+             var parts: String[] = Str.split(\"a,b,,c\", \",\");
+             Sys.printInt(parts.length);
+             Sys.print(parts[2]);
+             Sys.printInt(Str.toInt(\"-42\"));
+             Sys.printInt(Str.toInt(\"nonsense\"));
+           }
+         }",
+    )
+    .unwrap();
+    vm.call_static_sync("S", "test", &[]).unwrap();
+    assert_eq!(vm.output(), ["6", "-1", "bcd", "65", "4", "", "-42", "0"]);
+}
+
+#[test]
+fn negative_array_length_traps() {
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class N { static method main(): void { var a: int[] = new int[0 - 3]; } }",
+    )
+    .unwrap();
+    let tid = vm.spawn("N", "main").unwrap();
+    vm.run_to_completion(10_000);
+    assert!(matches!(
+        &vm.thread(tid).unwrap().state,
+        ThreadState::Trapped(VmError::IndexOutOfBounds { index: -3, .. })
+    ));
+}
+
+#[test]
+fn run_to_completion_detects_deadlock() {
+    // A thread blocked on a connection nobody will write to: with no
+    // sleepers and no external input, run_to_completion must give up.
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class D { static method main(): void {
+           var l: int = Net.listen(1);
+           var c: int = Net.accept(l);
+         } }",
+    )
+    .unwrap();
+    vm.spawn("D", "main").unwrap();
+    assert!(!vm.run_to_completion(10_000), "accept never completes");
+}
+
+#[test]
+fn many_threads_round_robin_fairly() {
+    let mut vm = Vm::new(VmConfig { quantum: 50, ..VmConfig::small() });
+    vm.load_source(
+        "class W {
+           field id: int;
+           ctor(id: int) { this.id = id; }
+           method run(): void {
+             var i: int = 0;
+             while (i < 1000) { i = i + 1; }
+             Sys.printInt(this.id);
+           }
+         }
+         class M {
+           static method main(): void {
+             var i: int = 0;
+             while (i < 8) { Sys.spawn(new W(i)); i = i + 1; }
+           }
+         }",
+    )
+    .unwrap();
+    vm.spawn("M", "main").unwrap();
+    assert!(vm.run_to_completion(1_000_000));
+    let mut out: Vec<i64> = vm.output().iter().map(|s| s.parse().unwrap()).collect();
+    out.sort_unstable();
+    assert_eq!(out, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn gc_during_deep_call_stack_preserves_locals() {
+    // Locals and operand stacks across many frames are GC roots.
+    let mut vm = Vm::new(VmConfig { semispace_words: 4 * 1024, ..VmConfig::default() });
+    vm.load_source(
+        "class Node { field v: int; ctor(v: int) { this.v = v; } }
+         class G {
+           static method down(n: int, carry: Node): int {
+             if (n == 0) { return carry.v; }
+             var mine: Node = new Node(n);
+             // Churn to force collections at every depth.
+             var i: int = 0;
+             while (i < 300) { var g: Node = new Node(i); i = i + 1; }
+             return G.down(n - 1, carry) + mine.v;
+           }
+           static method main(): void {
+             Sys.printInt(G.down(40, new Node(7)));
+           }
+         }",
+    )
+    .unwrap();
+    vm.spawn("G", "main").unwrap();
+    assert!(vm.run_to_completion(1_000_000));
+    // 7 + sum(1..=40)
+    assert_eq!(vm.output(), [(7 + (1..=40).sum::<i64>()).to_string()]);
+    assert!(vm.heap().collections() > 0);
+}
+
+#[test]
+fn spawn_without_run_method_traps() {
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class NotAThread { }
+         class M { static method main(): void { Sys.spawn(new NotAThread()); } }",
+    )
+    .unwrap();
+    let tid = vm.spawn("M", "main").unwrap();
+    vm.run_to_completion(10_000);
+    assert!(matches!(
+        &vm.thread(tid).unwrap().state,
+        ThreadState::Trapped(VmError::ResolutionError { .. })
+    ));
+}
+
+#[test]
+fn virtual_dispatch_selects_most_derived_override() {
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class A { method who(): String { return \"A\"; } }
+         class B extends A { method who(): String { return \"B\"; } }
+         class C extends B { }
+         class D extends C { method who(): String { return \"D\"; } }
+         class M {
+           static method probe(a: A): String { return a.who(); }
+           static method main(): void {
+             Sys.print(M.probe(new A()));
+             Sys.print(M.probe(new B()));
+             Sys.print(M.probe(new C()));
+             Sys.print(M.probe(new D()));
+           }
+         }",
+    )
+    .unwrap();
+    vm.spawn("M", "main").unwrap();
+    assert!(vm.run_to_completion(10_000));
+    assert_eq!(vm.output(), ["A", "B", "B", "D"]);
+}
+
+#[test]
+fn super_constructor_chain_initializes_all_levels() {
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class A { field a: int; ctor(x: int) { this.a = x; } }
+         class B extends A { field b: int; ctor(x: int) { super(x * 2); this.b = x; } }
+         class M {
+           static method main(): void {
+             var o: B = new B(5);
+             Sys.printInt(o.a);
+             Sys.printInt(o.b);
+           }
+         }",
+    )
+    .unwrap();
+    vm.spawn("M", "main").unwrap();
+    assert!(vm.run_to_completion(10_000));
+    assert_eq!(vm.output(), ["10", "5"]);
+}
+
+#[test]
+fn osr_migrate_rejects_opt_frames_and_bad_pcs() {
+    let mut vm = Vm::new(VmConfig { quantum: 10, enable_opt: false, ..VmConfig::small() });
+    vm.load_source(
+        "class M {
+           static method spin(): int {
+             var i: int = 0;
+             while (i < 100000) { i = i + 1; }
+             return i;
+           }
+           static method other(): int { return 5; }
+           static method main(): void { Sys.printInt(M.spin()); }
+         }",
+    )
+    .unwrap();
+    let tid = vm.spawn("M", "main").unwrap();
+    for _ in 0..20 {
+        vm.step_slice();
+        if vm.thread(tid).unwrap().frames.len() == 2 {
+            break;
+        }
+    }
+    let m = vm.registry().class_id(&"M".into()).unwrap();
+    let other = vm.registry().find_method(m, "other").unwrap();
+    // Out-of-range pc is rejected.
+    let err = vm.osr_migrate(tid, 1, other, 999).unwrap_err();
+    assert!(matches!(err, VmError::Internal { .. }), "{err}");
+    // A valid migration to pc 0 of another same-shape method works (the
+    // driver is responsible for semantic equivalence).
+    vm.osr_migrate(tid, 1, other, 0).unwrap();
+    assert!(vm.run_to_completion(100_000));
+    assert_eq!(vm.output(), ["5"], "the frame now runs `other`");
+}

@@ -1,0 +1,52 @@
+//! The update the paper *couldn't* do — applied.
+//!
+//! Webserver 5.1.2 → 5.1.3 changes the always-on-stack accept loop, so
+//! JVolve's safe point never arrives (see `examples/failed_update.rs`).
+//! The paper's §3.5 sketches the fix as future work: extend OSR to
+//! changed methods, mapping the active pc and stack frame to the new
+//! version, as UpStare does for C. This reproduction implements that
+//! extension, deriving the pc map automatically by aligning the old and
+//! new bytecode.
+//!
+//! Run with: `cargo run --example impossible_update`
+
+use jvolve_repro::apps::harness::{boot, prepare_next};
+use jvolve_repro::apps::workload::one_shot;
+use jvolve_repro::apps::{GuestApp, Webserver};
+use jvolve_repro::dsu::{apply, ApplyOptions};
+
+fn main() {
+    let app = Webserver;
+    let versions = app.versions();
+    let from = versions.iter().position(|v| v.label == "5.1.2").expect("5.1.2 exists");
+
+    println!("booting webserver {} ...", versions[from].label);
+    let mut vm = boot(&app, from);
+    let resp = one_shot(&mut vm, app.port(), "GET /index.html", 20_000).expect("serves");
+    println!("serving: {:?}", resp.0);
+
+    println!("\napplying 5.1.2 -> 5.1.3 with active-method migration (paper §3.5) ...");
+    let update = prepare_next(&app, from);
+    let opts = ApplyOptions {
+        timeout_slices: 3_000,
+        migrate_active_methods: true,
+        ..ApplyOptions::default()
+    };
+    let stats = apply(&mut vm, &update, &opts).expect("the 'impossible' update applies");
+    println!(
+        "applied: {} active frames migrated to their new method versions, pause {:?}",
+        stats.active_migrations, stats.total_time
+    );
+
+    // Prove the new 5.1.3 code is live inside the *migrated* loops.
+    let ok = one_shot(&mut vm, app.port(), "GET /index.html", 40_000).expect("serves");
+    let denied = one_shot(&mut vm, app.port(), "GET /../secret", 40_000).expect("responds");
+    println!("\nafter update: {:?} / {:?}", ok.0, denied.0);
+    assert!(ok.0.starts_with("200"));
+    assert!(denied.0.starts_with("403"), "the new request filter runs");
+    let accepted = vm.read_static("ThreadedServer", "accepted");
+    println!(
+        "the migrated accept loop has counted {accepted} connections through \
+         the field added by 5.1.3"
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the JVolve reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs:
+//!
+//! * [`classfile`] — class-file model, bytecode, verifier
+//! * [`lang`] — the MJ guest-language compiler
+//! * [`vm`] — the managed runtime (heap/GC, JIT model, threads)
+//! * [`dsu`] — the paper's contribution: the dynamic software updater
+//! * [`apps`] — versioned guest applications and workloads
+
+pub use jvolve as dsu;
+pub use jvolve_apps as apps;
+pub use jvolve_classfile as classfile;
+pub use jvolve_lang as lang;
+pub use jvolve_vm as vm;

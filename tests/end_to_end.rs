@@ -1,0 +1,188 @@
+//! Cross-crate integration tests through the umbrella crate: compiler →
+//! VM → update driver → applications.
+
+use jvolve_repro::dsu::{apply, ApplyOptions, Update};
+use jvolve_repro::vm::{Value, Vm, VmConfig};
+
+#[test]
+fn compile_run_update_roundtrip() {
+    let v1 = jvolve_repro::lang::compile(
+        "class Account {
+           field owner: String;
+           field balance: int;
+           ctor(o: String, b: int) { this.owner = o; this.balance = b; }
+           method deposit(n: int): void { this.balance = this.balance + n; }
+         }
+         class Bank {
+           static field acct: Account;
+           static method open(): void { Bank.acct = new Account(\"ada\", 100); }
+           static method balance(): int { return Bank.acct.balance; }
+         }",
+    )
+    .unwrap();
+    // v2 adds an audit counter and changes deposit's body to bump it.
+    let v2 = jvolve_repro::lang::compile(
+        "class Account {
+           field owner: String;
+           field balance: int;
+           field deposits: int;
+           ctor(o: String, b: int) { this.owner = o; this.balance = b; this.deposits = 0; }
+           method deposit(n: int): void {
+             this.balance = this.balance + n;
+             this.deposits = this.deposits + 1;
+           }
+         }
+         class Bank {
+           static field acct: Account;
+           static method open(): void { Bank.acct = new Account(\"ada\", 100); }
+           static method balance(): int { return Bank.acct.balance; }
+           static method deposits(): int { return Bank.acct.deposits; }
+         }",
+    )
+    .unwrap();
+
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_classes(&v1).unwrap();
+    vm.call_static_sync("Bank", "open", &[]).unwrap();
+    assert_eq!(vm.call_static_sync("Bank", "balance", &[]).unwrap(), Some(Value::Int(100)));
+
+    let update = Update::prepare(&v1, &v2, "v1_").unwrap();
+    apply(&mut vm, &update, &ApplyOptions::default()).unwrap();
+
+    assert_eq!(
+        vm.call_static_sync("Bank", "balance", &[]).unwrap(),
+        Some(Value::Int(100)),
+        "balance preserved"
+    );
+    assert_eq!(vm.call_static_sync("Bank", "deposits", &[]).unwrap(), Some(Value::Int(0)));
+}
+
+#[test]
+fn classfile_codec_roundtrips_compiled_apps() {
+    // Every class of every app version survives the binary codec.
+    for app in jvolve_repro::apps::all_apps() {
+        for version in app.versions() {
+            for class in version.compile() {
+                let bytes = jvolve_repro::classfile::codec::encode(&class);
+                let decoded = jvolve_repro::classfile::codec::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: {e}", class.name));
+                assert_eq!(class, decoded, "{} round-trips", class.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn disassembler_renders_all_app_classes() {
+    for app in jvolve_repro::apps::all_apps() {
+        let version = &app.versions()[0];
+        for class in version.compile() {
+            let text = jvolve_repro::classfile::disasm::disassemble(&class);
+            assert!(text.contains(class.name.as_str()));
+        }
+    }
+}
+
+#[test]
+fn update_specs_for_all_releases_serialize() {
+    for app in jvolve_repro::apps::all_apps() {
+        let versions = app.versions();
+        for from in 0..versions.len() - 1 {
+            let old = versions[from].compile();
+            let new = versions[from + 1].compile();
+            let update = Update::prepare(&old, &new, versions[from + 1].prefix).unwrap();
+            let json = update.spec.to_json();
+            let parsed = jvolve_repro::dsu::UpdateSpec::from_json(&json).unwrap();
+            assert_eq!(parsed, update.spec);
+        }
+    }
+}
+
+#[test]
+fn generated_default_transformers_compile_for_all_releases() {
+    use jvolve_repro::dsu::transform::compile_transformers;
+    for app in jvolve_repro::apps::all_apps() {
+        let versions = app.versions();
+        for from in 0..versions.len() - 1 {
+            let old = versions[from].compile();
+            let new = versions[from + 1].compile();
+            let update = Update::prepare(&old, &new, versions[from + 1].prefix).unwrap();
+            // Compile the *generated defaults*, even for releases that
+            // ship a custom transformer.
+            let default_src = jvolve_repro::dsu::transform::default_transformers_source(
+                &update.spec,
+                &update.old_classes,
+                &update.new_classes,
+            );
+            compile_transformers(&default_src, &update.spec, &update.old_classes, &update.new_classes)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} {}: default transformers fail to compile:\n{e}\n{default_src}",
+                        app.name(),
+                        versions[from + 1].label
+                    )
+                });
+        }
+    }
+}
+
+#[test]
+fn vm_survives_many_sequential_updates() {
+    // Stress: 20 alternating body updates to the same class.
+    let src = |k: i64| {
+        format!(
+            "class Flip {{ static method value(): int {{ return {k}; }} }}"
+        )
+    };
+    let mut vm = Vm::new(VmConfig::small());
+    let mut current = jvolve_repro::lang::compile(&src(0)).unwrap();
+    vm.load_classes(&current).unwrap();
+    for k in 1..=20i64 {
+        let next = jvolve_repro::lang::compile(&src(k)).unwrap();
+        let update = Update::prepare(&current, &next, &format!("v{k}_")).unwrap();
+        apply(&mut vm, &update, &ApplyOptions::default()).unwrap();
+        assert_eq!(vm.call_static_sync("Flip", "value", &[]).unwrap(), Some(Value::Int(k)));
+        current = next;
+    }
+    assert_eq!(vm.update_count(), 20);
+}
+
+#[test]
+fn vm_survives_many_sequential_class_updates() {
+    // Stress: the same class gains one field per update; instance state
+    // accretes correctly across 8 class updates.
+    let src = |n: usize| {
+        let mut fields = String::new();
+        let mut sum = String::from("0");
+        for i in 0..n {
+            fields.push_str(&format!("field f{i}: int; "));
+            sum.push_str(&format!(" + this.f{i}"));
+        }
+        format!(
+            "class Grow {{
+               {fields}
+               method total(): int {{ return {sum}; }}
+             }}
+             class Holder {{
+               static field g: Grow;
+               static method init(): void {{ Holder.g = new Grow(); }}
+               static method total(): int {{ return Holder.g.total(); }}
+             }}"
+        )
+    };
+    let mut vm = Vm::new(VmConfig::small());
+    let mut current = jvolve_repro::lang::compile(&src(1)).unwrap();
+    vm.load_classes(&current).unwrap();
+    vm.call_static_sync("Holder", "init", &[]).unwrap();
+    for n in 2..=8usize {
+        let next = jvolve_repro::lang::compile(&src(n)).unwrap();
+        let update = Update::prepare(&current, &next, &format!("g{n}_")).unwrap();
+        apply(&mut vm, &update, &ApplyOptions::default()).unwrap();
+        assert_eq!(
+            vm.call_static_sync("Holder", "total", &[]).unwrap(),
+            Some(Value::Int(0)),
+            "all fields default to zero after {n} updates"
+        );
+        current = next;
+    }
+}

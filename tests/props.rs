@@ -1,0 +1,471 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use jvolve_repro::classfile::builder::ClassBuilder;
+use jvolve_repro::classfile::bytecode::Instr;
+use jvolve_repro::classfile::{codec, verify, ClassFile, ClassName, ClassSet, Type, Visibility};
+use jvolve_repro::vm::heap::{ClassLayouts, Heap, NoRemap};
+use jvolve_repro::vm::{ClassId, GcRef, Value};
+
+// ---- strategies -------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,8}"
+}
+
+fn class_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,8}"
+}
+
+fn ty() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Int),
+        Just(Type::Bool),
+        Just(Type::string()),
+        class_name().prop_map(|n| Type::Class(ClassName::from(n))),
+    ];
+    leaf.prop_recursive(2, 4, 2, |inner| inner.prop_map(Type::array))
+}
+
+fn visibility() -> impl Strategy<Value = Visibility> {
+    prop_oneof![Just(Visibility::Public), Just(Visibility::Private), Just(Visibility::Protected)]
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<i64>().prop_map(Instr::ConstInt),
+        any::<bool>().prop_map(Instr::ConstBool),
+        ".{0,12}".prop_map(Instr::ConstStr),
+        Just(Instr::ConstNull),
+        (0u16..8).prop_map(Instr::Load),
+        (0u16..8).prop_map(Instr::Store),
+        Just(Instr::Add),
+        Just(Instr::Mul),
+        Just(Instr::CmpLt),
+        Just(Instr::Not),
+        Just(Instr::RefEq),
+        Just(Instr::StrConcat),
+        (class_name(), ident()).prop_map(|(c, f)| Instr::GetField { class: c.into(), field: f }),
+        (class_name(), ident()).prop_map(|(c, f)| Instr::PutField { class: c.into(), field: f }),
+        (class_name(), ident(), 0u8..4).prop_map(|(c, m, a)| Instr::CallVirtual {
+            class: c.into(),
+            method: m,
+            argc: a
+        }),
+        (class_name(), ident(), 0u8..4).prop_map(|(c, m, a)| Instr::CallStatic {
+            class: c.into(),
+            method: m,
+            argc: a
+        }),
+        ty().prop_map(Instr::NewArray),
+        Just(Instr::ALoad),
+        Just(Instr::AStore),
+        Just(Instr::ArrayLen),
+        (0u32..16).prop_map(Instr::Jump),
+        (0u32..16).prop_map(Instr::JumpIfTrue),
+        (0u32..16).prop_map(Instr::JumpIfFalse),
+        Just(Instr::Return),
+        Just(Instr::ReturnValue),
+        Just(Instr::Pop),
+        Just(Instr::Dup),
+    ]
+}
+
+prop_compose! {
+    fn class_file()(
+        name in class_name(),
+        fields in prop::collection::vec((ident(), ty(), visibility(), any::<bool>()), 0..5),
+        statics in prop::collection::vec((ident(), ty()), 0..3),
+        body in prop::collection::vec(instr(), 1..12),
+        mname in ident(),
+        ret in ty(),
+        is_static in any::<bool>(),
+    ) -> ClassFile {
+        let mut b = ClassBuilder::new(name.as_str());
+        let mut seen = std::collections::BTreeSet::new();
+        for (fname, fty, vis, is_final) in fields {
+            if seen.insert(fname.clone()) {
+                b = b.field_full(fname, fty, vis, is_final);
+            }
+        }
+        for (sname, sty) in statics {
+            if seen.insert(format!("s_{sname}")) {
+                b = b.static_field(format!("s_{sname}"), sty);
+            }
+        }
+        b.method_full(mname, [Type::Int], ret, is_static,
+            jvolve_repro::classfile::MethodKind::Regular,
+            |m| { m.instrs(body); })
+            .build()
+    }
+}
+
+// ---- codec ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(class in class_file()) {
+        let bytes = codec::encode(&class);
+        let decoded = codec::decode(&bytes).expect("decode");
+        prop_assert_eq!(class, decoded);
+    }
+
+    #[test]
+    fn codec_rejects_truncation(class in class_file(), cut in 1usize..32) {
+        let bytes = codec::encode(&class);
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut];
+            // Must error, never panic or loop.
+            prop_assert!(codec::decode(truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_noise(noise in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&noise);
+    }
+}
+
+// ---- verifier -----------------------------------------------------------
+
+proptest! {
+    /// The verifier must classify, never crash, on arbitrary bytecode.
+    #[test]
+    fn verifier_total_on_arbitrary_bytecode(body in prop::collection::vec(instr(), 1..16)) {
+        let class = ClassBuilder::new("Fuzz")
+            .static_method("f", [Type::Int], Type::Int, |m| { m.instrs(body); })
+            .build();
+        let mut set = ClassSet::new();
+        for b in jvolve_repro::lang::builtins::builtin_classes() {
+            set.insert(b);
+        }
+        set.insert(class.clone());
+        let _ = verify::verify_class(&set, &class);
+    }
+}
+
+// ---- lexer / parser / compiler --------------------------------------------
+
+proptest! {
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = jvolve_repro::lang::lexer::lex(&src);
+    }
+
+    #[test]
+    fn compiler_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = jvolve_repro::lang::compile(&src);
+    }
+
+    #[test]
+    fn compiler_total_on_classish_input(
+        name in class_name(),
+        member in "[a-z]{1,6}",
+        body in "[a-z0-9 +*();.=]{0,40}",
+    ) {
+        let src = format!("class {name} {{ method {member}(): int {{ {body} }} }}");
+        let _ = jvolve_repro::lang::compile(&src);
+    }
+}
+
+// ---- UPT / diff ------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn diff_of_identical_sets_is_empty(class in class_file()) {
+        let mut set = ClassSet::new();
+        set.insert(class);
+        let spec = jvolve_repro::dsu::diff::prepare_spec(&set, &set, "v_");
+        prop_assert!(spec.is_empty());
+    }
+
+    #[test]
+    fn spec_json_roundtrip(a in class_file(), b in class_file()) {
+        let mut old = ClassSet::new();
+        old.insert(a);
+        let mut new = ClassSet::new();
+        new.insert(b);
+        let spec = jvolve_repro::dsu::diff::prepare_spec(&old, &new, "v_");
+        let parsed = jvolve_repro::dsu::UpdateSpec::from_json(&spec.to_json()).expect("parse");
+        prop_assert_eq!(spec, parsed);
+    }
+}
+
+// ---- heap / GC ---------------------------------------------------------------
+
+/// Fixed test layouts: class 0 has 1 int + 2 ref fields.
+struct Layouts;
+impl ClassLayouts for Layouts {
+    fn object_size(&self, _class: ClassId) -> usize {
+        3
+    }
+    fn ref_map(&self, _class: ClassId) -> &[bool] {
+        &[false, true, true]
+    }
+}
+
+proptest! {
+    /// Random object graphs survive collection: every value reachable from
+    /// the kept roots is preserved, garbage is reclaimed.
+    #[test]
+    fn gc_preserves_reachable_graphs(
+        n in 1usize..60,
+        edges in prop::collection::vec((0usize..60, 0usize..60, 0usize..2), 0..120),
+        root_picks in prop::collection::vec(0usize..60, 1..8),
+    ) {
+        let mut heap = Heap::new(64 * 1024);
+        let objs: Vec<GcRef> = (0..n)
+            .map(|i| {
+                let r = heap.alloc_object(ClassId(0), 3).expect("fits");
+                heap.set(r, 0, i as u64 + 1000);
+                r
+            })
+            .collect();
+        for &(a, b, slot) in &edges {
+            if a < n && b < n {
+                heap.set(objs[a], 1 + slot, u64::from(objs[b].0));
+            }
+        }
+        let roots: Vec<GcRef> =
+            root_picks.iter().filter(|&&i| i < n).map(|&i| objs[i]).collect();
+        prop_assume!(!roots.is_empty());
+
+        // Model: expected int field per reachable object, via BFS.
+        let mut reachable = std::collections::BTreeSet::new();
+        let mut queue: Vec<GcRef> = roots.clone();
+        while let Some(r) = queue.pop() {
+            if !reachable.insert(r.0) {
+                continue;
+            }
+            for slot in 1..3 {
+                let w = heap.get(r, slot);
+                if w != 0 {
+                    queue.push(GcRef(w as u32));
+                }
+            }
+        }
+        let expected: std::collections::BTreeMap<u32, u64> =
+            reachable.iter().map(|&a| (a, heap.get(GcRef(a), 0))).collect();
+
+        heap.collect(&roots, &Layouts, &NoRemap).expect("collect");
+
+        // Walk the graph again from the forwarded roots and compare.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut queue: Vec<(GcRef, u32)> =
+            roots.iter().map(|&r| (heap.resolve(r), r.0)).collect();
+        let mut old_of = std::collections::BTreeMap::new();
+        while let Some((r, old_addr)) = queue.pop() {
+            if !seen.insert(r.0) {
+                continue;
+            }
+            old_of.insert(r.0, old_addr);
+            prop_assert_eq!(heap.get(r, 0), expected[&old_addr], "payload preserved");
+            for slot in 1..3 {
+                let w = heap.get(r, slot);
+                if w != 0 {
+                    // The referent's old address is found through the
+                    // original graph: follow the same edge pre-GC.
+                    let old_ref = heap_get_old_edge(&expected, old_addr, slot, &edges, &objs);
+                    if let Some(old_target) = old_ref {
+                        queue.push((GcRef(w as u32), old_target));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), expected.len(), "exactly the reachable set survives");
+    }
+}
+
+/// Finds the old address an edge pointed to, replaying the edge list (the
+/// last write to a slot wins, matching the setup loop).
+fn heap_get_old_edge(
+    _expected: &std::collections::BTreeMap<u32, u64>,
+    old_addr: u32,
+    slot: usize,
+    edges: &[(usize, usize, usize)],
+    objs: &[GcRef],
+) -> Option<u32> {
+    let idx = objs.iter().position(|r| r.0 == old_addr)?;
+    let mut result = None;
+    for &(a, b, s) in edges {
+        if a == idx && b < objs.len() && 1 + s == slot {
+            result = Some(objs[b].0);
+        }
+    }
+    result
+}
+
+proptest! {
+    #[test]
+    fn heap_strings_roundtrip(s in ".{0,64}") {
+        let mut heap = Heap::new(4096);
+        if let Some(r) = heap.alloc_string(&s) {
+            prop_assert_eq!(heap.read_string(r), s);
+        }
+    }
+
+    #[test]
+    fn value_word_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(Value::from_word(Value::Int(v).to_word(), false), Value::Int(v));
+    }
+
+    #[test]
+    fn ref_word_roundtrip(addr in 1u32..u32::MAX) {
+        prop_assert_eq!(
+            Value::from_word(Value::Ref(GcRef(addr)).to_word(), true),
+            Value::Ref(GcRef(addr))
+        );
+    }
+}
+
+// ---- guest arithmetic matches host arithmetic ---------------------------------
+
+proptest! {
+    #[test]
+    fn guest_arithmetic_matches_rust(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        use jvolve_repro::vm::{Vm, VmConfig};
+        let mut vm = Vm::new(VmConfig::small());
+        vm.load_source(
+            "class M {
+               static method f(a: int, b: int): int {
+                 return (a + b) * 2 - a % (b * b + 1);
+               }
+             }",
+        ).expect("loads");
+        let got = vm
+            .call_static_sync("M", "f", &[Value::Int(a), Value::Int(b)])
+            .expect("runs");
+        let expected = (a + b) * 2 - a % (b * b + 1);
+        prop_assert_eq!(got, Some(Value::Int(expected)));
+    }
+}
+
+// ---- DSU remap during GC ----------------------------------------------------
+
+proptest! {
+    /// With a remap policy, the update log covers exactly the reachable
+    /// instances of the remapped class, each ref to them re-targeted.
+    #[test]
+    fn gc_remap_logs_exactly_reachable_instances(
+        n_zero in 1usize..30,
+        n_one in 1usize..30,
+        links in prop::collection::vec((0usize..60, 0usize..60), 0..60),
+        root_picks in prop::collection::vec(0usize..60, 1..6),
+    ) {
+        use jvolve_repro::vm::heap::GcRemap;
+        struct Layout2;
+        impl ClassLayouts for Layout2 {
+            fn object_size(&self, class: ClassId) -> usize {
+                if class.0 == 9 { 4 } else { 3 }
+            }
+            fn ref_map(&self, class: ClassId) -> &[bool] {
+                if class.0 == 9 { &[false, true, true, false] } else { &[false, true, true] }
+            }
+        }
+        struct Remap09;
+        impl GcRemap for Remap09 {
+            fn remap(&self, class: ClassId) -> Option<ClassId> {
+                (class.0 == 0).then_some(ClassId(9))
+            }
+        }
+
+        let mut heap = Heap::new(64 * 1024);
+        let mut objs: Vec<GcRef> = Vec::new();
+        for i in 0..n_zero {
+            let r = heap.alloc_object(ClassId(0), 3).expect("fits");
+            heap.set(r, 0, 5000 + i as u64);
+            objs.push(r);
+        }
+        for i in 0..n_one {
+            let r = heap.alloc_object(ClassId(1), 3).expect("fits");
+            heap.set(r, 0, 7000 + i as u64);
+            objs.push(r);
+        }
+        let n = objs.len();
+        for &(a, b) in &links {
+            if a < n && b < n {
+                heap.set(objs[a], 1, u64::from(objs[b].0));
+            }
+        }
+        let roots: Vec<GcRef> =
+            root_picks.iter().filter(|&&i| i < n).map(|&i| objs[i]).collect();
+        prop_assume!(!roots.is_empty());
+
+        // Model: reachable set and how many are class 0.
+        let mut reachable = std::collections::BTreeSet::new();
+        let mut queue = roots.clone();
+        while let Some(r) = queue.pop() {
+            if !reachable.insert(r.0) { continue; }
+            for slot in 1..3 {
+                let w = heap.get(r, slot);
+                if w != 0 { queue.push(GcRef(w as u32)); }
+            }
+        }
+        let expected_remapped = reachable
+            .iter()
+            .filter(|&&a| heap.class_of(GcRef(a)) == ClassId(0))
+            .count();
+
+        let out = heap.collect(&roots, &Layout2, &Remap09).expect("collect");
+        prop_assert_eq!(out.update_log.len(), expected_remapped);
+        for &(old_copy, new_obj) in &out.update_log {
+            prop_assert_eq!(heap.class_of(old_copy), ClassId(0));
+            prop_assert_eq!(heap.class_of(new_obj), ClassId(9));
+            // Old copy retains the payload; new object starts zeroed.
+            prop_assert!(heap.get(old_copy, 0) >= 5000);
+            prop_assert_eq!(heap.get(new_obj, 0), 0);
+        }
+        // Every surviving reference field targets class 1 or the NEW class.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut queue: Vec<GcRef> = roots.iter().map(|&r| heap.resolve(r)).collect();
+        while let Some(r) = queue.pop() {
+            if !seen.insert(r.0) { continue; }
+            prop_assert!(heap.class_of(r) != ClassId(0), "no old-class object is reachable");
+            let fields = if heap.class_of(r) == ClassId(9) { 4 } else { 3 };
+            for slot in 1..fields.min(3) {
+                let w = heap.get(r, slot);
+                if w != 0 { queue.push(GcRef(w as u32)); }
+            }
+        }
+    }
+}
+
+// ---- restricted-set invariants -----------------------------------------------
+
+proptest! {
+    /// Every method of a class-updated class is restricted (category 1),
+    /// and the indirect set never overlaps the changed set.
+    #[test]
+    fn restricted_set_invariants(a in class_file(), b in class_file()) {
+        use jvolve_repro::dsu::restricted::RestrictedSet;
+        let mut old = ClassSet::new();
+        let mut new = ClassSet::new();
+        for builtin in jvolve_repro::lang::builtins::builtin_classes() {
+            old.insert(builtin.clone());
+            new.insert(builtin);
+        }
+        old.insert(a.clone());
+        // Same-named class in the new set, possibly different shape.
+        let mut b = b;
+        b.name = a.name.clone();
+        b.superclass = a.superclass.clone();
+        new.insert(b);
+        let spec = jvolve_repro::dsu::diff::prepare_spec(&old, &new, "v_");
+        let restricted = RestrictedSet::compute(&spec, &old, &[]);
+        for delta in spec.class_updates() {
+            if let Some(class) = old.get(&delta.name) {
+                for m in &class.methods {
+                    let mref = jvolve_repro::classfile::MethodRef::new(
+                        delta.name.clone(), m.name.clone());
+                    prop_assert!(restricted.changed.contains(&mref),
+                        "{mref} must be category 1");
+                }
+            }
+        }
+        for m in &restricted.indirect {
+            prop_assert!(!restricted.changed.contains(m),
+                "{m} cannot be both changed and indirect");
+        }
+    }
+}
