@@ -1,13 +1,14 @@
-//! Criterion bench: DSU safe-point machinery costs — restricted-set
-//! computation and full stack scans on a running, loaded VM (§3.2).
+//! Bench: DSU safe-point machinery costs — restricted-set computation and
+//! full stack scans on a running, loaded VM (§3.2). Run with
+//! `cargo bench -p jvolve-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jvolve::restricted::{check_stacks, RestrictedSet};
 use jvolve_apps::harness::{app_vm_config, boot_with, prepare_next};
 use jvolve_apps::webserver::{Webserver, PORT};
 use jvolve_apps::workload::drive_http;
+use jvolve_bench::timing::{report, run};
 
-fn bench_safepoint(c: &mut Criterion) {
+fn main() {
     // A loaded webserver with worker threads mid-flight.
     let mut vm = boot_with(&Webserver, 4, app_vm_config());
     drive_http(&mut vm, PORT, &["/index.html"], 4, 1_000);
@@ -17,17 +18,11 @@ fn bench_safepoint(c: &mut Criterion) {
         old_set.insert(b);
     }
 
-    let mut group = c.benchmark_group("safepoint");
-    group.bench_function("restricted_set_compute", |b| {
-        b.iter(|| RestrictedSet::compute(&update.spec, &old_set, &[]));
-    });
+    println!("safepoint: §3.2 machinery, median of 100 runs\n");
+    let s = run(100, || RestrictedSet::compute(&update.spec, &old_set, &[]));
+    report("restricted_set_compute", &s);
 
     let restricted = RestrictedSet::compute(&update.spec, &old_set, &[]);
-    group.bench_function("stack_scan_all_threads", |b| {
-        b.iter(|| check_stacks(&vm, &restricted));
-    });
-    group.finish();
+    let s = run(100, || check_stacks(&vm, &restricted));
+    report("stack_scan_all_threads", &s);
 }
-
-criterion_group!(benches, bench_safepoint);
-criterion_main!(benches);

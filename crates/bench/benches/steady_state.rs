@@ -1,45 +1,37 @@
-//! Criterion bench: steady-state request throughput (Figure 5 / the
-//! eager-vs-lazy ablation at small scale).
+//! Bench: steady-state request throughput (Figure 5 / the eager-vs-lazy
+//! ablation at small scale). Run with `cargo bench -p jvolve-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jvolve_apps::harness::{app_vm_config, boot_with};
 use jvolve_apps::webserver::{Webserver, PORT};
 use jvolve_apps::workload::drive_http;
+use jvolve_bench::timing::{report, run_with_setup};
 use jvolve_vm::VmConfig;
 
 const PATHS: [&str; 2] = ["/index.html", "/data.json"];
 
-fn bench_steady_state(c: &mut Criterion) {
-    let mut group = c.benchmark_group("steady_state");
-    group.sample_size(10);
+fn main() {
+    println!("steady_state: 2000 webserver slices, median of 10 runs\n");
 
-    group.bench_function("eager_2000_slices", |b| {
-        b.iter_batched(
-            || {
-                let mut vm = boot_with(&Webserver, 6, app_vm_config());
-                drive_http(&mut vm, PORT, &PATHS, 4, 500);
-                vm
-            },
-            |mut vm| drive_http(&mut vm, PORT, &PATHS, 4, 2_000),
-            criterion::BatchSize::PerIteration,
-        );
-    });
+    let s = run_with_setup(
+        10,
+        || {
+            let mut vm = boot_with(&Webserver, 6, app_vm_config());
+            drive_http(&mut vm, PORT, &PATHS, 4, 500);
+            vm
+        },
+        |mut vm| drive_http(&mut vm, PORT, &PATHS, 4, 2_000),
+    );
+    report("eager_2000_slices", &s);
 
-    group.bench_function("lazy_indirection_2000_slices", |b| {
-        b.iter_batched(
-            || {
-                let config = VmConfig { lazy_indirection: true, ..app_vm_config() };
-                let mut vm = boot_with(&Webserver, 6, config);
-                drive_http(&mut vm, PORT, &PATHS, 4, 500);
-                vm
-            },
-            |mut vm| drive_http(&mut vm, PORT, &PATHS, 4, 2_000),
-            criterion::BatchSize::PerIteration,
-        );
-    });
-
-    group.finish();
+    let s = run_with_setup(
+        10,
+        || {
+            let config = VmConfig { lazy_indirection: true, ..app_vm_config() };
+            let mut vm = boot_with(&Webserver, 6, config);
+            drive_http(&mut vm, PORT, &PATHS, 4, 500);
+            vm
+        },
+        |mut vm| drive_http(&mut vm, PORT, &PATHS, 4, 2_000),
+    );
+    report("lazy_indirection_2000_slices", &s);
 }
-
-criterion_group!(benches, bench_steady_state);
-criterion_main!(benches);

@@ -1,28 +1,18 @@
-//! Criterion bench: update pause components (Table 1 at small scale).
+//! Bench: update pause components (Table 1 at small scale).
 //!
 //! Measures the full update pipeline (prepare + safe point + install +
 //! update GC + transformers) on a populated heap, at 0%, 50% and 100%
-//! updated fractions.
+//! updated fractions. Run with `cargo bench -p jvolve-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jvolve_bench::micro::measure_pause;
+use jvolve_bench::timing::{report, run};
 
-fn bench_update_pause(c: &mut Criterion) {
-    let mut group = c.benchmark_group("update_pause");
-    group.sample_size(10);
+fn main() {
+    println!("update_pause: full update pipeline, median of 10 runs\n");
     for &objects in &[5_000usize, 20_000] {
         for &fraction in &[0.0f64, 0.5, 1.0] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{objects}_objects"), format!("{:.0}%", fraction * 100.0)),
-                &(objects, fraction),
-                |b, &(objects, fraction)| {
-                    b.iter(|| measure_pause(objects, fraction));
-                },
-            );
+            let s = run(10, || measure_pause(objects, fraction));
+            report(&format!("{objects}_objects/{:.0}%", fraction * 100.0), &s);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_update_pause);
-criterion_main!(benches);

@@ -17,8 +17,8 @@ fn main() {
 
     println!("Figure 6: pause times with {objects} objects (paper: 3.67M in a 1280 MB heap)\n");
     println!(
-        "{:>9} {:>12} {:>14} {:>12}",
-        "updated%", "GC (ms)", "transform (ms)", "total (ms)"
+        "{:>9} {:>12} {:>14} {:>12} {:>14}",
+        "updated%", "GC (ms)", "transform (ms)", "total (ms)", "copied cells"
     );
 
     let mut gc = Vec::new();
@@ -26,11 +26,12 @@ fn main() {
     for f in paper_fractions() {
         let s = measure_pause(objects, f);
         println!(
-            "{:>8.0}% {:>12.1} {:>14.1} {:>12.1}",
+            "{:>8.0}% {:>12.1} {:>14.1} {:>12.1} {:>14}",
             f * 100.0,
             s.gc_time.as_secs_f64() * 1e3,
             s.transform_time.as_secs_f64() * 1e3,
-            s.total_time.as_secs_f64() * 1e3
+            s.total_time.as_secs_f64() * 1e3,
+            s.gc_copied_cells
         );
         gc.push(s.gc_time.as_secs_f64());
         tf.push(s.transform_time.as_secs_f64());

@@ -1,0 +1,244 @@
+//! Update-GC pause regression harness.
+//!
+//! Measures the **update-GC phase** of the §4.1 microbenchmark — the part
+//! the flattened `LayoutSnapshot` hot path optimizes — as median
+//! nanoseconds per live object, at 0%/50%/100% updated fractions and two
+//! heap sizes, and gates changes against the committed baseline.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p jvolve-bench --bin gcbench` — measure and
+//!   write `BENCH_gc.json` (override with `--out FILE`; to refresh the
+//!   committed baseline, `--out results/BENCH_gc.json`).
+//! * `cargo run --release -p jvolve-bench --bin gcbench -- --check` —
+//!   quick mode: re-measure and exit nonzero if any configuration's GC
+//!   phase regressed more than 15% vs `results/BENCH_gc.json` (override
+//!   with `--baseline FILE`). `scripts/tier1.sh` runs this. The gate
+//!   compares *best-of-N* times, not medians — noise only adds time, so
+//!   min-of-N is the stable statistic at microsecond scales.
+//!
+//! `--iters N` controls timed iterations per configuration (default 5).
+
+use jvolve_bench::micro::{measure_pause, PauseSample};
+use jvolve_bench::timing::{fmt_ns, Samples};
+use jvolve_bench::{arg_flag, arg_value};
+use jvolve_json::Json;
+
+/// Allowed best-of-N regression before `--check` fails.
+const REGRESSION_LIMIT: f64 = 0.15;
+
+/// The gated configurations: two heap sizes (the semispace scales with the
+/// object count) × three updated fractions.
+const OBJECT_COUNTS: [usize; 2] = [5_000, 20_000];
+const FRACTIONS: [f64; 3] = [0.0, 0.5, 1.0];
+
+struct Entry {
+    objects: usize,
+    fraction: f64,
+    semispace_words: usize,
+    gc_ns_per_object: f64,
+    /// Best-of-N GC phase time. The check gate compares this, not the
+    /// median: scheduler noise only ever adds time, so min-of-N is far
+    /// more stable at these microsecond scales.
+    gc_min_ns_per_object: f64,
+    total_ns_per_object: f64,
+    gc_copied_cells: usize,
+    gc_copied_words: usize,
+}
+
+fn measure(iters: usize) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for &objects in &OBJECT_COUNTS {
+        for &fraction in &FRACTIONS {
+            eprint!("\rmeasuring {objects} objects, {:>3.0}% updated...", fraction * 100.0);
+            let mut gc_ns = Vec::with_capacity(iters);
+            let mut total_ns = Vec::with_capacity(iters);
+            let mut last: Option<PauseSample> = None;
+            // Warmup run, then timed runs; measure_pause builds a fresh VM
+            // each time, so iterations are independent.
+            measure_pause(objects, fraction);
+            for _ in 0..iters {
+                let s = measure_pause(objects, fraction);
+                gc_ns.push(s.gc_time.as_nanos() as u64);
+                total_ns.push(s.total_time.as_nanos() as u64);
+                last = Some(s);
+            }
+            let last = last.expect("at least one iteration");
+            let gc = Samples::from_ns(gc_ns);
+            entries.push(Entry {
+                objects,
+                fraction,
+                semispace_words: last.semispace_words,
+                gc_ns_per_object: gc.median_ns() as f64 / objects as f64,
+                gc_min_ns_per_object: gc.min_ns() as f64 / objects as f64,
+                total_ns_per_object: Samples::from_ns(total_ns).median_ns() as f64
+                    / objects as f64,
+                gc_copied_cells: last.gc_copied_cells,
+                gc_copied_words: last.gc_copied_words,
+            });
+        }
+    }
+    eprintln!();
+    entries
+}
+
+fn to_json(entries: &[Entry], iters: usize) -> Json {
+    Json::obj([
+        ("schema", Json::from("jvolve-gcbench-v1")),
+        ("iters", Json::from(iters)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("objects", Json::from(e.objects)),
+                            ("fraction", Json::from(e.fraction)),
+                            ("semispace_words", Json::from(e.semispace_words)),
+                            ("gc_ns_per_object", Json::from(e.gc_ns_per_object)),
+                            ("gc_min_ns_per_object", Json::from(e.gc_min_ns_per_object)),
+                            ("total_ns_per_object", Json::from(e.total_ns_per_object)),
+                            ("gc_copied_cells", Json::from(e.gc_copied_cells)),
+                            ("gc_copied_words", Json::from(e.gc_copied_words)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Best-of-`iters` GC phase time for one configuration, in ns/object.
+/// Used by `--check` to re-measure a configuration that tripped the gate:
+/// a real regression survives the retry, scheduler noise does not.
+fn gc_min_ns(objects: usize, fraction: f64, iters: usize) -> f64 {
+    let mut best = u64::MAX;
+    measure_pause(objects, fraction);
+    for _ in 0..iters {
+        let s = measure_pause(objects, fraction);
+        best = best.min(s.gc_time.as_nanos() as u64);
+    }
+    best as f64 / objects as f64
+}
+
+fn baseline_gc_ns(baseline: &Json, objects: usize, fraction: f64) -> Option<f64> {
+    baseline.get("entries")?.as_arr()?.iter().find_map(|e| {
+        let obj = e.get("objects")?.as_u64()? as usize;
+        let frac = e.get("fraction")?.as_f64()?;
+        (obj == objects && (frac - fraction).abs() < 1e-9)
+            .then(|| e.get("gc_min_ns_per_object")?.as_f64())
+            .flatten()
+    })
+}
+
+fn print_table(entries: &[Entry]) {
+    println!(
+        "{:>9} {:>9} {:>10} {:>16} {:>18} {:>14}",
+        "objects", "updated%", "heap(MB)", "gc ns/object", "total ns/object", "copied cells"
+    );
+    for e in entries {
+        println!(
+            "{:>9} {:>8.0}% {:>10.1} {:>16.1} {:>18.1} {:>14}",
+            e.objects,
+            e.fraction * 100.0,
+            (e.semispace_words * 2 * 8) as f64 / (1024.0 * 1024.0),
+            e.gc_ns_per_object,
+            e.total_ns_per_object,
+            e.gc_copied_cells,
+        );
+    }
+}
+
+fn main() {
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--iters" | "--baseline" | "--out" => {
+                raw.next();
+            }
+            other => {
+                eprintln!("gcbench: unknown argument `{other}`");
+                eprintln!("usage: gcbench [--check] [--iters N] [--baseline FILE] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters = arg_value("--iters").and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    // Load the baseline before measuring so a missing or malformed file
+    // fails immediately, not after the timed runs.
+    let baseline_for_check = arg_flag("--check").then(|| {
+        let path =
+            arg_value("--baseline").unwrap_or_else(|| "results/BENCH_gc.json".to_string());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("gcbench: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = Json::parse(&text).expect("baseline parses");
+        (path, baseline)
+    });
+
+    let entries = measure(iters);
+    print_table(&entries);
+
+    if let Some((path, baseline)) = baseline_for_check {
+        let mut regressions = Vec::new();
+        println!("\nregression check vs {path} (limit +{:.0}%):", REGRESSION_LIMIT * 100.0);
+        for e in &entries {
+            let Some(base) = baseline_gc_ns(&baseline, e.objects, e.fraction) else {
+                println!(
+                    "  {:>7} objects {:>3.0}%: no baseline entry — skipped",
+                    e.objects,
+                    e.fraction * 100.0
+                );
+                continue;
+            };
+            let mut current = e.gc_min_ns_per_object;
+            let mut delta = current / base - 1.0;
+            let mut retried = false;
+            if delta > REGRESSION_LIMIT {
+                // Suspicious — re-measure with 3x iterations before
+                // declaring a regression.
+                current = current.min(gc_min_ns(e.objects, e.fraction, iters * 3));
+                delta = current / base - 1.0;
+                retried = true;
+            }
+            let verdict = match (delta > REGRESSION_LIMIT, retried) {
+                (true, _) => "REGRESSED",
+                (false, true) => "ok (after retry)",
+                (false, false) => "ok",
+            };
+            println!(
+                "  {:>7} objects {:>3.0}%: {:>9} -> {:>9} per object ({:>+6.1}%) {verdict}",
+                e.objects,
+                e.fraction * 100.0,
+                fmt_ns(base as u64),
+                fmt_ns(current as u64),
+                delta * 100.0,
+            );
+            if delta > REGRESSION_LIMIT {
+                regressions.push(format!(
+                    "{} objects at {:.0}%: {:.1} -> {:.1} ns/object",
+                    e.objects,
+                    e.fraction * 100.0,
+                    base,
+                    current
+                ));
+            }
+        }
+        if !regressions.is_empty() {
+            eprintln!("\nGC pause regression(s) beyond {:.0}%:", REGRESSION_LIMIT * 100.0);
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        println!("no GC pause regressions.");
+    } else {
+        let out = arg_value("--out").unwrap_or_else(|| "BENCH_gc.json".to_string());
+        std::fs::write(&out, to_json(&entries, iters).pretty() + "\n").expect("write output");
+        println!("\nwrote {out}");
+    }
+}

@@ -43,14 +43,18 @@ fn main() {
             if let Some(s) = stats {
                 phase_lines.push(format!(
                     "{:<12} {:<7} safepoint {:>8.3}ms  load {:>8.3}ms  gc {:>8.3}ms  \
-                     transform {:>8.3}ms  (objects {:>4}, barriers {}, OSR {})",
+                     transform {:>8.3}ms  wall {:>8.3}ms (phases {:>8.3}ms)  \
+                     (objects {:>4}, cells {:>5}, barriers {}, OSR {})",
                     app.name(),
                     to_label,
                     s.safepoint_time.as_secs_f64() * 1e3,
                     s.classload_time.as_secs_f64() * 1e3,
                     s.gc_time.as_secs_f64() * 1e3,
                     s.transform_time.as_secs_f64() * 1e3,
+                    s.total_time.as_secs_f64() * 1e3,
+                    s.phase_sum().as_secs_f64() * 1e3,
                     s.objects_transformed,
+                    s.gc_copied_cells,
                     s.barriers_installed,
                     s.osr_replacements + s.active_migrations,
                 ));

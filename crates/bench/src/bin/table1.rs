@@ -9,6 +9,7 @@
 
 use jvolve_bench::micro::{measure_pause, ms, paper_fractions, paper_object_counts, PauseSample};
 use jvolve_bench::{arg_flag, arg_value};
+use jvolve_json::Json;
 
 fn main() {
     let scale = if arg_flag("--full") {
@@ -71,6 +72,15 @@ fn main() {
         println!();
     }
 
+    header("GC work: copied cells (thousands)");
+    for row in &samples {
+        print!("{:>9} {:>10.0}", row[0].objects, heap_mb(&row[0]));
+        for s in row {
+            print!(" {:>8.1}", s.gc_copied_cells as f64 / 1e3);
+        }
+        println!();
+    }
+
     // Shape checks the paper's prose calls out.
     let largest = samples.last().expect("at least one row");
     let t0 = largest[0].total_time.as_secs_f64();
@@ -81,22 +91,24 @@ fn main() {
     );
 
     if let Some(path) = arg_value("--json") {
-        let json = serde_json::to_string_pretty(
-            &samples
+        let json = Json::Arr(
+            samples
                 .iter()
                 .flatten()
                 .map(|s| {
-                    serde_json::json!({
-                        "objects": s.objects,
-                        "fraction": s.fraction,
-                        "gc_ms": s.gc_time.as_secs_f64() * 1e3,
-                        "transform_ms": s.transform_time.as_secs_f64() * 1e3,
-                        "total_ms": s.total_time.as_secs_f64() * 1e3,
-                    })
+                    Json::obj([
+                        ("objects", Json::from(s.objects)),
+                        ("fraction", Json::from(s.fraction)),
+                        ("gc_ms", Json::from(s.gc_time.as_secs_f64() * 1e3)),
+                        ("transform_ms", Json::from(s.transform_time.as_secs_f64() * 1e3)),
+                        ("total_ms", Json::from(s.total_time.as_secs_f64() * 1e3)),
+                        ("gc_copied_cells", Json::from(s.gc_copied_cells)),
+                        ("gc_copied_words", Json::from(s.gc_copied_words)),
+                    ])
                 })
-                .collect::<Vec<_>>(),
+                .collect(),
         )
-        .expect("serializes");
+        .pretty();
         std::fs::write(&path, json).expect("write json");
         println!("wrote {path}");
     }

@@ -9,11 +9,13 @@
 //! * `table2` / `table3` / `table4` — per-release summaries + live updates
 //! * `summary` — the "20 of 22" headline and the E&C comparison
 //! * `ablation` — eager vs lazy steady state; barriers/OSR machinery
+//! * `gcbench` — update-GC pause regression gate vs `results/BENCH_gc.json`
 
 pub mod ablation;
 pub mod fig5;
 pub mod micro;
 pub mod tables;
+pub mod timing;
 
 /// Parses `--flag value` style arguments from `std::env::args`.
 pub fn arg_value(name: &str) -> Option<String> {

@@ -52,8 +52,14 @@ pub struct PauseSample {
     pub transform_time: Duration,
     /// Total update pause (third group).
     pub total_time: Duration,
+    /// Sum of the four timed phases (the stacked bars of Figure 6).
+    pub phase_sum: Duration,
     /// Objects actually transformed.
     pub transformed: usize,
+    /// Cells the update GC copied (duplicated objects count twice).
+    pub gc_copied_cells: usize,
+    /// Words the update GC copied, headers included.
+    pub gc_copied_words: usize,
 }
 
 /// Runs one microbenchmark configuration: `objects` live objects, a
@@ -102,7 +108,10 @@ pub fn measure_pause(objects: usize, fraction: f64) -> PauseSample {
         gc_time: stats.gc_time,
         transform_time: stats.transform_time,
         total_time: stats.total_time,
+        phase_sum: stats.phase_sum(),
         transformed: stats.objects_transformed,
+        gc_copied_cells: stats.gc_copied_cells,
+        gc_copied_words: stats.gc_copied_words,
     }
 }
 
@@ -133,6 +142,11 @@ mod tests {
         let s = measure_pause(1_000, 0.3);
         assert_eq!(s.transformed, 300);
         assert!(s.total_time >= s.gc_time);
+        assert!(s.total_time >= s.phase_sum);
+        // 1000 live objects + 300 duplicates (old copy + new object each
+        // replaces the single normal copy).
+        assert!(s.gc_copied_cells >= 1_300, "copied {} cells", s.gc_copied_cells);
+        assert!(s.gc_copied_words > s.gc_copied_cells);
     }
 
     #[test]

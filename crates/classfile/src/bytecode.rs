@@ -7,7 +7,6 @@
 //! *bytecode* mentions an updated class becomes stale — the paper's
 //! "indirect method updates" (§3.1).
 
-use serde::{Deserialize, Serialize};
 
 use crate::name::ClassName;
 use crate::ty::Type;
@@ -22,7 +21,7 @@ pub type LocalSlot = u16;
 ///
 /// The machine is a conventional operand-stack machine: operands are pushed
 /// and consumed on an evaluation stack; locals live in numbered slots.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Instr {
     // ---- constants -----------------------------------------------------
     /// Push an integer constant.

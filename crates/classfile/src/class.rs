@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::bytecode::Instr;
 use crate::name::ClassName;
@@ -14,7 +13,7 @@ pub const CTOR_NAME: &str = "<init>";
 pub const CLINIT_NAME: &str = "<clinit>";
 
 /// Member visibility.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Visibility {
     /// Accessible everywhere.
     #[default]
@@ -26,7 +25,7 @@ pub enum Visibility {
 }
 
 /// Per-class flags.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct ClassFlags {
     /// Transformer-class allowance (paper §2.3): bytecode in this class may
     /// read/write `private`/`protected` members of other classes and assign
@@ -47,7 +46,7 @@ impl ClassFlags {
 }
 
 /// An instance or static field declaration.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FieldDef {
     /// Field name, unique within the declaring class.
     pub name: String,
@@ -68,7 +67,7 @@ impl FieldDef {
 }
 
 /// What kind of method a [`MethodDef`] is.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MethodKind {
     /// An ordinary instance or static method.
     Regular,
@@ -79,7 +78,7 @@ pub enum MethodKind {
 }
 
 /// A method body: instruction sequence plus frame sizing.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Code {
     /// The instructions. Branch targets index into this vector.
     pub instrs: Vec<Instr>,
@@ -90,7 +89,7 @@ pub struct Code {
 /// A method declaration, possibly with a body.
 ///
 /// Native builtin methods ([`ClassFlags::native`]) have `code == None`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MethodDef {
     /// Method name; `<init>` for constructors.
     pub name: String,
@@ -130,7 +129,7 @@ impl MethodDef {
 }
 
 /// The update-relevant part of a method declaration (no body).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MethodSignature {
     /// Method name.
     pub name: String,
@@ -161,7 +160,7 @@ impl fmt::Display for MethodSignature {
 }
 
 /// A complete class definition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClassFile {
     /// Class name, unique within a program version.
     pub name: ClassName,

@@ -3,7 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 /// An interned class name.
 ///
@@ -68,25 +67,12 @@ impl fmt::Debug for ClassName {
     }
 }
 
-impl Serialize for ClassName {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for ClassName {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(ClassName::from(s))
-    }
-}
-
 /// A symbolic reference to a field: `class.field`.
 ///
 /// Field references stay symbolic in class files; the VM's baseline compiler
 /// resolves them to word offsets (which is why the paper must recompile
 /// *indirect* methods when a referenced class's layout changes).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FieldRef {
     /// Class the field is looked up on (declaring class or a subclass).
     pub class: ClassName,
@@ -118,7 +104,7 @@ impl fmt::Debug for FieldRef {
 /// MJ has no method overloading (the paper's only use of overloading — to
 /// distinguish `jvolveObject` transformers — is replaced by name mangling,
 /// see DESIGN.md), so a name pair identifies a method.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MethodRef {
     /// Class the method is looked up on.
     pub class: ClassName,

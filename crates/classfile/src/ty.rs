@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::name::ClassName;
 use crate::{OBJECT_CLASS, STRING_CLASS};
@@ -10,7 +9,7 @@ use crate::{OBJECT_CLASS, STRING_CLASS};
 /// A guest type: primitive, class reference, or array.
 ///
 /// `Void` only appears as a method return type.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// 64-bit signed integer.
     Int,

@@ -146,6 +146,10 @@ pub struct UpdateStats {
     pub methods_invalidated: usize,
     /// Objects transformed by the update GC + transformer pass.
     pub objects_transformed: usize,
+    /// Cells the update GC copied (duplicated objects count twice).
+    pub gc_copied_cells: usize,
+    /// Words the update GC copied, headers included.
+    pub gc_copied_words: usize,
     /// Time spent reaching the safe point (thread-suspend analogue).
     pub safepoint_time: Duration,
     /// Time spent loading/installing classes and transformers.
@@ -154,8 +158,20 @@ pub struct UpdateStats {
     pub gc_time: Duration,
     /// Class + object transformer execution time.
     pub transform_time: Duration,
-    /// End-to-end pause (sum of the above phases).
+    /// End-to-end wall-clock pause, measured independently of the phases.
+    /// Slightly larger than [`UpdateStats::phase_sum`]: it also covers
+    /// inter-phase bookkeeping (restricted-set checks, transformer-class
+    /// retirement).
     pub total_time: Duration,
+}
+
+impl UpdateStats {
+    /// Sum of the four timed phases (safepoint + classload + GC +
+    /// transform). The paper's Figure 6 stacks exactly these; the gap to
+    /// [`UpdateStats::total_time`] is untimed bookkeeping.
+    pub fn phase_sum(&self) -> Duration {
+        self.safepoint_time + self.classload_time + self.gc_time + self.transform_time
+    }
 }
 
 /// Applies a prepared update to a running VM (paper steps 3–5).
@@ -314,8 +330,10 @@ pub fn apply(vm: &mut Vm, update: &Update, opts: &ApplyOptions) -> Result<Update
 
     // ---- step 5: update GC + transformers (paper §3.4) ----------------------
     let t_gc = Instant::now();
-    vm.collect_for_update(remap, transformer_for)?;
+    let gc_out = vm.collect_for_update(remap, transformer_for)?;
     stats.gc_time = t_gc.elapsed();
+    stats.gc_copied_cells = gc_out.copied_cells;
+    stats.gc_copied_words = gc_out.copied_words;
 
     let t_tf = Instant::now();
     for delta in update.spec.class_updates() {

@@ -7,12 +7,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::spec::UpdateSpec;
 
 /// Counts for one release transition.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReleaseSummary {
     /// Version label, e.g. "5.1.3".
     pub version: String,
@@ -93,7 +91,7 @@ impl fmt::Display for ReleaseSummary {
 
 /// Outcome of attempting one release's dynamic update, for the §4 summary
 /// ("JVolve can support 20 of the 22 updates").
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum UpdateOutcome {
     /// Applied at a DSU safe point.
     Applied {

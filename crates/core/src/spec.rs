@@ -6,12 +6,11 @@
 //! method updates. This module is that file format (serializable to JSON,
 //! standing in for the on-disk spec file).
 
-use serde::{Deserialize, Serialize};
-
 use jvolve_classfile::{ClassName, MethodRef};
+use jvolve_json::Json;
 
 /// How a class changed between versions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ClassChangeKind {
     /// The class *signature* changed: fields or methods added/deleted,
     /// types changed, superclass changed — or an ancestor's fields changed
@@ -23,7 +22,7 @@ pub enum ClassChangeKind {
 }
 
 /// Change record for one class present in both versions.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClassDelta {
     /// Class name.
     pub name: ClassName,
@@ -101,7 +100,7 @@ impl ClassDelta {
 }
 
 /// The complete update specification for one release transition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct UpdateSpec {
     /// Prefix prepended to old class names during the update
     /// (e.g. `v131_`).
@@ -150,17 +149,142 @@ impl UpdateSpec {
 
     /// Serializes the specification as pretty JSON (the on-disk spec file).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        Json::obj([
+            ("version_prefix", Json::from(self.version_prefix.as_str())),
+            ("changed", Json::Arr(self.changed.iter().map(ClassDelta::to_json_value).collect())),
+            ("added_classes", names_json(&self.added_classes)),
+            ("deleted_classes", names_json(&self.deleted_classes)),
+            (
+                "indirect_methods",
+                Json::Arr(self.indirect_methods.iter().map(method_ref_json).collect()),
+            ),
+        ])
+        .pretty()
     }
 
     /// Parses a specification from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error message.
+    /// Returns a description of the parse or schema failure.
     pub fn from_json(s: &str) -> Result<UpdateSpec, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = Json::parse(s).map_err(|e| e.to_string())?;
+        Ok(UpdateSpec {
+            version_prefix: str_field(&v, "version_prefix")?,
+            changed: v
+                .get("changed")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'changed' array")?
+                .iter()
+                .map(ClassDelta::from_json_value)
+                .collect::<Result<_, _>>()?,
+            added_classes: names_field(&v, "added_classes")?,
+            deleted_classes: names_field(&v, "deleted_classes")?,
+            indirect_methods: v
+                .get("indirect_methods")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'indirect_methods' array")?
+                .iter()
+                .map(method_ref_from_json)
+                .collect::<Result<_, _>>()?,
+        })
     }
+}
+
+impl ClassDelta {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "kind",
+                Json::from(match self.kind {
+                    ClassChangeKind::ClassUpdate => "ClassUpdate",
+                    ClassChangeKind::MethodBodyOnly => "MethodBodyOnly",
+                }),
+            ),
+            ("fields_added", strings_json(&self.fields_added)),
+            ("fields_deleted", strings_json(&self.fields_deleted)),
+            ("fields_changed", strings_json(&self.fields_changed)),
+            ("statics_added", strings_json(&self.statics_added)),
+            ("statics_deleted", strings_json(&self.statics_deleted)),
+            ("statics_changed", strings_json(&self.statics_changed)),
+            ("methods_added", strings_json(&self.methods_added)),
+            ("methods_deleted", strings_json(&self.methods_deleted)),
+            ("methods_body_changed", strings_json(&self.methods_body_changed)),
+            ("methods_sig_changed", strings_json(&self.methods_sig_changed)),
+            ("superclass_changed", Json::from(self.superclass_changed)),
+            ("inherited_only", Json::from(self.inherited_only)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<ClassDelta, String> {
+        let kind = match v.get("kind").and_then(Json::as_str) {
+            Some("ClassUpdate") => ClassChangeKind::ClassUpdate,
+            Some("MethodBodyOnly") => ClassChangeKind::MethodBodyOnly,
+            other => return Err(format!("bad class-delta kind {other:?}")),
+        };
+        Ok(ClassDelta {
+            name: ClassName::from(str_field(v, "name")?),
+            kind,
+            fields_added: strings_field(v, "fields_added")?,
+            fields_deleted: strings_field(v, "fields_deleted")?,
+            fields_changed: strings_field(v, "fields_changed")?,
+            statics_added: strings_field(v, "statics_added")?,
+            statics_deleted: strings_field(v, "statics_deleted")?,
+            statics_changed: strings_field(v, "statics_changed")?,
+            methods_added: strings_field(v, "methods_added")?,
+            methods_deleted: strings_field(v, "methods_deleted")?,
+            methods_body_changed: strings_field(v, "methods_body_changed")?,
+            methods_sig_changed: strings_field(v, "methods_sig_changed")?,
+            superclass_changed: bool_field(v, "superclass_changed")?,
+            inherited_only: bool_field(v, "inherited_only")?,
+        })
+    }
+}
+
+fn strings_json(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::from(s.as_str())).collect())
+}
+
+fn names_json(items: &[ClassName]) -> Json {
+    Json::Arr(items.iter().map(|n| Json::from(n.as_str())).collect())
+}
+
+fn method_ref_json(m: &MethodRef) -> Json {
+    Json::obj([
+        ("class", Json::from(m.class.as_str())),
+        ("method", Json::from(m.method.as_str())),
+    ])
+}
+
+fn method_ref_from_json(v: &Json) -> Result<MethodRef, String> {
+    Ok(MethodRef::new(str_field(v, "class")?, str_field(v, "method")?))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, String> {
+    v.get(key).and_then(Json::as_bool).ok_or_else(|| format!("missing bool field '{key}'"))
+}
+
+fn strings_field(v: &Json, key: &str) -> Result<Vec<String>, String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field '{key}'"))?
+        .iter()
+        .map(|item| {
+            item.as_str().map(str::to_string).ok_or_else(|| format!("non-string in '{key}'"))
+        })
+        .collect()
+}
+
+fn names_field(v: &Json, key: &str) -> Result<Vec<ClassName>, String> {
+    Ok(strings_field(v, key)?.into_iter().map(ClassName::from).collect())
 }
 
 #[cfg(test)]

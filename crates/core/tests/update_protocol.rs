@@ -91,6 +91,8 @@ fn figure_2_3_email_update_end_to_end() {
 
     let stats = apply(&mut vm, &update, &quick_opts()).unwrap();
     assert_eq!(stats.objects_transformed, 1, "one User instance");
+    assert!(stats.gc_copied_cells >= 2, "update GC duplicated the User instance");
+    assert!(stats.gc_copied_words > stats.gc_copied_cells, "cells carry headers + fields");
 
     let v = vm.call_static_sync("Store", "describe", &[]).unwrap().unwrap();
     assert_eq!(
@@ -676,4 +678,39 @@ fn migration_falls_back_to_barriers_when_pc_is_unmappable() {
     assert!(stats.barriers_installed > 0, "fell back to the return-barrier path");
     assert!(vm.run_to_completion(100_000));
     assert_eq!(vm.output(), ["9"]);
+}
+
+#[test]
+fn total_time_is_wall_clock_and_tracks_phase_sum() {
+    let old_src = "
+      class A { field x: int; ctor() { this.x = 3; } }
+      class Store {
+        static field a: A;
+        static method init(): void { Store.a = new A(); }
+      }";
+    let new_src = "
+      class A { field x: int; field y: int; ctor() { this.x = 3; } }
+      class Store {
+        static field a: A;
+        static method init(): void { Store.a = new A(); }
+      }";
+    let (mut vm, old) = vm_with(old_src);
+    vm.call_static_sync("Store", "init", &[]).unwrap();
+    let new = jvolve_lang::compile(new_src).unwrap();
+    let update = Update::prepare(&old, &new, "v1_").unwrap();
+    let stats = apply(&mut vm, &update, &quick_opts()).unwrap();
+
+    // total_time spans the whole apply, so it bounds the disjoint phases;
+    // the remainder is untimed bookkeeping and must stay negligible.
+    assert!(
+        stats.total_time >= stats.phase_sum(),
+        "total {:?} < phase sum {:?}",
+        stats.total_time,
+        stats.phase_sum()
+    );
+    let gap = stats.total_time - stats.phase_sum();
+    assert!(
+        gap < std::time::Duration::from_millis(100),
+        "untimed bookkeeping gap too large: {gap:?}"
+    );
 }

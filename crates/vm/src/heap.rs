@@ -24,6 +24,18 @@
 //!
 //! Objects are `1 + size_words(class)` words; arrays `1 + len`; strings
 //! `1 + ceil(bytes/8)`.
+//!
+//! # The flattened hot path
+//!
+//! The collector does not consult the class registry directly. Instead the
+//! caller hands it a [`LayoutSnapshot`] — a dense table indexed by
+//! [`ClassId`] holding each class's size and a packed u64 ref bitset —
+//! built once per collection (and cached by the registry between class
+//! loads). The scan loop indexes the snapshot once per cell and walks ref
+//! fields with `trailing_zeros`, so a wide class with few references costs
+//! one iteration per reference, not one per field. The DSU remap policy is
+//! likewise resolved up front into a dense [`RemapTable`]; ordinary
+//! collections pass `None` and skip the remap probe entirely.
 
 use crate::error::VmError;
 use crate::ids::ClassId;
@@ -44,8 +56,9 @@ pub enum HeapKind {
 
 /// Per-class layout information the collector needs.
 ///
-/// The class registry implements this; keeping it a trait lets heap unit
-/// tests run without a registry.
+/// The class registry implements this; [`LayoutSnapshot::from_layouts`]
+/// flattens an implementation into the dense table the collector consumes,
+/// which lets heap unit tests run without a registry.
 pub trait ClassLayouts {
     /// Number of field words of instances of `class` (header excluded).
     fn object_size(&self, class: ClassId) -> usize;
@@ -56,7 +69,9 @@ pub trait ClassLayouts {
 /// The DSU remapping policy consulted during a collection (paper §3.4).
 ///
 /// Returning `Some(new_class)` for a class makes the collector duplicate
-/// each instance (old copy + new-layout object) and log the pair.
+/// each instance (old copy + new-layout object) and log the pair. The
+/// policy is resolved once per collection into a [`RemapTable`]; the
+/// collector never calls it per object.
 pub trait GcRemap {
     /// The updated class an instance of `class` must be converted to.
     fn remap(&self, class: ClassId) -> Option<ClassId>;
@@ -69,6 +84,129 @@ pub struct NoRemap;
 impl GcRemap for NoRemap {
     fn remap(&self, _class: ClassId) -> Option<ClassId> {
         None
+    }
+}
+
+/// A snapshot entry: object size in words plus the offset of the class's
+/// ref bitset in the shared pool. `size_words == u32::MAX` marks a class
+/// id the snapshot has no layout for.
+#[derive(Debug, Clone, Copy)]
+struct SnapEntry {
+    size_words: u32,
+    bits_start: u32,
+}
+
+impl SnapEntry {
+    const UNKNOWN: SnapEntry = SnapEntry { size_words: u32::MAX, bits_start: 0 };
+
+    #[inline]
+    fn ref_words(&self) -> usize {
+        (self.size_words as usize).div_ceil(64)
+    }
+}
+
+/// A dense, immutable snapshot of every loaded class's layout, indexed by
+/// [`ClassId`].
+///
+/// Per class: the instance size in words and a packed bitset (one bit per
+/// field word, u64 granules in a shared pool) marking reference fields.
+/// [`Heap::collect`] reads layouts exclusively from a snapshot — one index
+/// per scanned cell, `trailing_zeros` per reference field — instead of
+/// making a virtual `ClassLayouts` call per field, which was the hottest
+/// dispatch in the VM.
+///
+/// The registry builds and caches one of these, invalidating on class load
+/// and rename; tests can assemble one by hand with [`LayoutSnapshot::set`].
+#[derive(Debug, Clone, Default)]
+pub struct LayoutSnapshot {
+    entries: Vec<SnapEntry>,
+    bits: Vec<u64>,
+}
+
+impl LayoutSnapshot {
+    /// Creates an empty snapshot (no classes).
+    pub fn new() -> Self {
+        LayoutSnapshot::default()
+    }
+
+    /// Records `class`'s layout: one bool per field word, `true` for
+    /// reference fields. The instance size is `ref_map.len()`.
+    pub fn set(&mut self, class: ClassId, ref_map: &[bool]) {
+        let idx = class.index();
+        if self.entries.len() <= idx {
+            self.entries.resize(idx + 1, SnapEntry::UNKNOWN);
+        }
+        let bits_start = self.bits.len() as u32;
+        self.bits.resize(self.bits.len() + ref_map.len().div_ceil(64), 0);
+        for (i, &is_ref) in ref_map.iter().enumerate() {
+            if is_ref {
+                self.bits[bits_start as usize + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.entries[idx] = SnapEntry { size_words: ref_map.len() as u32, bits_start };
+    }
+
+    /// Flattens a [`ClassLayouts`] implementation over the given classes.
+    pub fn from_layouts(layouts: &dyn ClassLayouts, classes: &[ClassId]) -> Self {
+        let mut snap = LayoutSnapshot::new();
+        for &class in classes {
+            let refs = layouts.ref_map(class);
+            assert_eq!(
+                refs.len(),
+                layouts.object_size(class),
+                "ref map not parallel to layout for {class}"
+            );
+            snap.set(class, refs);
+        }
+        snap
+    }
+
+    /// Number of class-id slots (known or not) the snapshot covers.
+    pub fn num_classes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Instance size in field words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is not in the snapshot.
+    #[inline]
+    pub fn size_words(&self, class: ClassId) -> usize {
+        self.entry(class).size_words as usize
+    }
+
+    #[inline]
+    fn entry(&self, class: ClassId) -> SnapEntry {
+        let e = self.entries.get(class.index()).copied().unwrap_or(SnapEntry::UNKNOWN);
+        assert_ne!(e.size_words, u32::MAX, "class {class} missing from layout snapshot");
+        e
+    }
+}
+
+/// A [`GcRemap`] policy resolved into a dense per-class table, built once
+/// per update collection so the copy path costs one indexed load per
+/// object instead of a virtual call.
+#[derive(Debug, Clone, Default)]
+pub struct RemapTable {
+    map: Vec<Option<ClassId>>,
+}
+
+impl RemapTable {
+    /// Resolves `policy` for every class id below `num_classes`.
+    pub fn from_policy(policy: &dyn GcRemap, num_classes: usize) -> Self {
+        RemapTable { map: (0..num_classes).map(|i| policy.remap(ClassId(i as u32))).collect() }
+    }
+
+    /// Whether no class is remapped (an ordinary collection — callers
+    /// should pass `None` to [`Heap::collect`] instead).
+    pub fn is_empty(&self) -> bool {
+        self.map.iter().all(Option::is_none)
+    }
+
+    #[inline]
+    fn get(&self, class: ClassId) -> Option<ClassId> {
+        self.map.get(class.index()).copied().flatten()
     }
 }
 
@@ -120,6 +258,17 @@ fn header_kind(h: u64) -> HeapKind {
 
 fn header_meta(h: u64) -> u32 {
     (h >> META_SHIFT) as u32
+}
+
+/// Size in words (header included) of the live cell whose header is `h`.
+#[inline]
+fn cell_size_of(h: u64, snapshot: &LayoutSnapshot) -> usize {
+    let meta = header_meta(h) as usize;
+    match header_kind(h) {
+        HeapKind::Object => 1 + snapshot.size_words(ClassId(meta as u32)),
+        HeapKind::RefArray | HeapKind::PrimArray => 1 + meta,
+        HeapKind::Str => 1 + meta.div_ceil(8),
+    }
 }
 
 impl Heap {
@@ -297,25 +446,18 @@ impl Heap {
         r
     }
 
-    /// Size in words (header included) of the cell at `addr`.
-    fn cell_size(&self, addr: usize, layouts: &dyn ClassLayouts) -> usize {
-        let h = self.words[addr];
-        match header_kind(h) {
-            HeapKind::Object => 1 + layouts.object_size(ClassId(header_meta(h))),
-            HeapKind::RefArray | HeapKind::PrimArray => 1 + header_meta(h) as usize,
-            HeapKind::Str => 1 + (header_meta(h) as usize).div_ceil(8),
-        }
-    }
-
     /// Performs a full copying collection.
     ///
     /// `roots` are the addresses of live references (from thread frames,
     /// statics, and any DSU bookkeeping); after `collect` returns, the
     /// caller must rewrite each root via [`Heap::resolve`].
     ///
-    /// When `remap` returns a new class for an object's class, the object
-    /// is duplicated per the paper's §3.4 protocol and the pair is pushed
-    /// onto the returned update log.
+    /// Layouts come from `snapshot`, built once by the caller (the
+    /// registry caches one between class loads). `remap` is the resolved
+    /// DSU policy: `None` for ordinary collections — the fast path, which
+    /// never probes for remapped classes — or a [`RemapTable`] during
+    /// updates, in which case each remapped object is duplicated per the
+    /// paper's §3.4 protocol and the pair pushed onto the update log.
     ///
     /// # Errors
     ///
@@ -324,8 +466,24 @@ impl Heap {
     pub fn collect(
         &mut self,
         roots: &[GcRef],
-        layouts: &dyn ClassLayouts,
-        remap: &dyn GcRemap,
+        snapshot: &LayoutSnapshot,
+        remap: Option<&RemapTable>,
+    ) -> Result<GcOutcome, VmError> {
+        // Monomorphize: ordinary collections run a copy loop with the
+        // remap probe compiled out entirely, not just branched around.
+        match remap {
+            Some(table) if !table.is_empty() => {
+                self.collect_impl::<true>(roots, snapshot, Some(table))
+            }
+            _ => self.collect_impl::<false>(roots, snapshot, None),
+        }
+    }
+
+    fn collect_impl<const HAS_REMAP: bool>(
+        &mut self,
+        roots: &[GcRef],
+        snapshot: &LayoutSnapshot,
+        remap: Option<&RemapTable>,
     ) -> Result<GcOutcome, VmError> {
         let to_b = !self.active_b;
         let to_base = self.base(to_b);
@@ -335,29 +493,34 @@ impl Heap {
 
         // Copy roots.
         for &root in roots {
-            self.copy_cell(root, &mut to_alloc, to_base, to_limit, layouts, remap, &mut outcome)?;
+            self.copy_cell::<HAS_REMAP>(
+                root, &mut to_alloc, to_base, to_limit, snapshot, remap, &mut outcome,
+            )?;
         }
 
-        // Cheney scan.
+        // Cheney scan: one header read and one snapshot lookup per cell;
+        // ref fields enumerated from the bitset via `trailing_zeros`.
         let mut scan = to_base;
         while scan < to_alloc {
-            let size = self.cell_size(scan, layouts);
             let h = self.words[scan];
+            let meta = header_meta(h) as usize;
             match header_kind(h) {
                 HeapKind::Object => {
-                    let class = ClassId(header_meta(h));
-                    let nfields = layouts.object_size(class);
-                    for i in 0..nfields {
-                        if layouts.ref_map(class)[i] {
-                            let slot = scan + 1 + i;
+                    let e = snapshot.entry(ClassId(meta as u32));
+                    for wi in 0..e.ref_words() {
+                        let mut bits = snapshot.bits[e.bits_start as usize + wi];
+                        let word_base = scan + 1 + wi * 64;
+                        while bits != 0 {
+                            let slot = word_base + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
                             let val = self.words[slot];
                             if val != 0 {
-                                let new = self.copy_cell(
+                                let new = self.copy_cell::<HAS_REMAP>(
                                     GcRef(val as u32),
                                     &mut to_alloc,
                                     to_base,
                                     to_limit,
-                                    layouts,
+                                    snapshot,
                                     remap,
                                     &mut outcome,
                                 )?;
@@ -365,29 +528,29 @@ impl Heap {
                             }
                         }
                     }
+                    scan += 1 + e.size_words as usize;
                 }
                 HeapKind::RefArray => {
-                    let len = header_meta(h) as usize;
-                    for i in 0..len {
-                        let slot = scan + 1 + i;
+                    for slot in scan + 1..scan + 1 + meta {
                         let val = self.words[slot];
                         if val != 0 {
-                            let new = self.copy_cell(
+                            let new = self.copy_cell::<HAS_REMAP>(
                                 GcRef(val as u32),
                                 &mut to_alloc,
                                 to_base,
                                 to_limit,
-                                layouts,
+                                snapshot,
                                 remap,
                                 &mut outcome,
                             )?;
                             self.words[slot] = u64::from(new.0);
                         }
                     }
+                    scan += 1 + meta;
                 }
-                HeapKind::PrimArray | HeapKind::Str => {}
+                HeapKind::PrimArray => scan += 1 + meta,
+                HeapKind::Str => scan += 1 + meta.div_ceil(8),
             }
-            scan += size;
         }
 
         self.active_b = to_b;
@@ -398,47 +561,45 @@ impl Heap {
 
     /// Copies one cell to to-space (or returns its forwarding target).
     #[allow(clippy::too_many_arguments)]
-    fn copy_cell(
+    #[inline]
+    fn copy_cell<const HAS_REMAP: bool>(
         &mut self,
         r: GcRef,
         to_alloc: &mut usize,
         to_base: usize,
         to_limit: usize,
-        layouts: &dyn ClassLayouts,
-        remap: &dyn GcRemap,
+        snapshot: &LayoutSnapshot,
+        remap: Option<&RemapTable>,
         outcome: &mut GcOutcome,
     ) -> Result<GcRef, VmError> {
         let mut addr = r.addr();
-        // Chase forwarding chains. A target already in to-space is a GC
+        // Chase forwarding chains, leaving `h` holding the live cell's
+        // header — read exactly once. A target already in to-space is a GC
         // forward (done); a target in from-space is a pre-existing lazy
         // forward whose live cell still needs copying.
-        loop {
+        let h = loop {
             let h = self.words[addr];
             if h & 1 == 0 {
-                break;
+                break h;
             }
             let t = (h >> 1) as usize;
             if t >= to_base && t < to_limit {
                 return Ok(GcRef(t as u32));
             }
             addr = t;
-        }
+        };
 
-        let h = self.words[addr];
-        let kind = header_kind(h);
-
-        if kind == HeapKind::Object {
+        if HAS_REMAP && header_kind(h) == HeapKind::Object {
             let class = ClassId(header_meta(h));
-            if let Some(new_class) = remap.remap(class) {
+            if let Some(new_class) = remap.and_then(|table| table.get(class)) {
                 // Paper §3.4: duplicate the object. Allocate an old-layout
                 // copy (scanned normally so its fields get forwarded) and a
                 // zeroed new-layout object the transformer will populate.
-                let old_size = 1 + layouts.object_size(class);
+                let old_size = 1 + snapshot.size_words(class);
                 let old_copy = self.alloc_to(old_size, to_alloc, to_limit)?;
-                let (src_range, dst_start) = (addr..addr + old_size, old_copy);
-                self.words.copy_within(src_range, dst_start);
+                self.words.copy_within(addr..addr + old_size, old_copy);
 
-                let new_size = 1 + layouts.object_size(new_class);
+                let new_size = 1 + snapshot.size_words(new_class);
                 let new_obj = self.alloc_to(new_size, to_alloc, to_limit)?;
                 self.words[new_obj..new_obj + new_size].fill(0);
                 self.words[new_obj] = header(HeapKind::Object, new_class.0);
@@ -451,15 +612,40 @@ impl Heap {
             }
         }
 
-        let size = self.cell_size(addr, layouts);
+        let size = cell_size_of(h, snapshot);
         let dst = self.alloc_to(size, to_alloc, to_limit)?;
-        self.words.copy_within(addr..addr + size, dst);
+        // Nearly all cells are a few words; fixed-size copies compile to
+        // straight-line moves, where `copy_within` pays a memmove call.
+        match size {
+            2 => {
+                self.words[dst] = self.words[addr];
+                self.words[dst + 1] = self.words[addr + 1];
+            }
+            3 => {
+                self.words[dst] = self.words[addr];
+                self.words[dst + 1] = self.words[addr + 1];
+                self.words[dst + 2] = self.words[addr + 2];
+            }
+            4 => {
+                self.words[dst] = self.words[addr];
+                self.words[dst + 1] = self.words[addr + 1];
+                self.words[dst + 2] = self.words[addr + 2];
+                self.words[dst + 3] = self.words[addr + 3];
+            }
+            _ if size <= 8 => {
+                for i in 0..size {
+                    self.words[dst + i] = self.words[addr + i];
+                }
+            }
+            _ => self.words.copy_within(addr..addr + size, dst),
+        }
         self.words[addr] = ((dst as u64) << 1) | 1;
         outcome.copied_cells += 1;
         outcome.copied_words += size;
         Ok(GcRef(dst as u32))
     }
 
+    #[inline]
     fn alloc_to(
         &mut self,
         n: usize,
@@ -503,11 +689,19 @@ mod tests {
         }
     }
 
+    fn snap() -> LayoutSnapshot {
+        LayoutSnapshot::from_layouts(&TestLayouts, &[ClassId(0), ClassId(1), ClassId(9)])
+    }
+
     struct RemapZeroToNine;
     impl GcRemap for RemapZeroToNine {
         fn remap(&self, class: ClassId) -> Option<ClassId> {
             (class.0 == 0).then_some(ClassId(9))
         }
+    }
+
+    fn remap09() -> RemapTable {
+        RemapTable::from_policy(&RemapZeroToNine, 10)
     }
 
     #[test]
@@ -537,6 +731,27 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_matches_trait_layouts() {
+        let s = snap();
+        for class in [ClassId(0), ClassId(1), ClassId(9)] {
+            assert_eq!(s.size_words(class), TestLayouts.object_size(class));
+        }
+        assert_eq!(s.num_classes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from layout snapshot")]
+    fn snapshot_panics_on_unknown_class() {
+        snap().size_words(ClassId(5));
+    }
+
+    #[test]
+    fn empty_remap_table_is_empty() {
+        assert!(RemapTable::from_policy(&NoRemap, 10).is_empty());
+        assert!(!remap09().is_empty());
+    }
+
+    #[test]
     fn collect_preserves_reachable_graph() {
         let mut heap = Heap::new(1024);
         let a = heap.alloc_object(ClassId(0), 2).unwrap();
@@ -553,7 +768,7 @@ mod tests {
         }
         let used_before = heap.used_words();
 
-        let out = heap.collect(&[a], &TestLayouts, &NoRemap).unwrap();
+        let out = heap.collect(&[a], &snap(), None).unwrap();
         assert_eq!(out.copied_cells, 3);
         assert!(out.update_log.is_empty());
 
@@ -576,7 +791,7 @@ mod tests {
         heap.set(y, 0, u64::from(x.0));
         let keep = heap.alloc_string("root").unwrap();
 
-        let out = heap.collect(&[keep], &TestLayouts, &NoRemap).unwrap();
+        let out = heap.collect(&[keep], &snap(), None).unwrap();
         assert_eq!(out.copied_cells, 1);
     }
 
@@ -587,12 +802,46 @@ mod tests {
         let s = heap.alloc_string("elem").unwrap();
         heap.set(arr, 2, u64::from(s.0));
 
-        heap.collect(&[arr], &TestLayouts, &NoRemap).unwrap();
+        heap.collect(&[arr], &snap(), None).unwrap();
         let arr2 = heap.resolve(arr);
         assert_eq!(heap.len_of(arr2), 3);
         assert_eq!(heap.get(arr2, 0), 0);
         let s2 = GcRef(heap.get(arr2, 2) as u32);
         assert_eq!(heap.read_string(s2), "elem");
+    }
+
+    #[test]
+    fn wide_class_multi_word_bitset_is_traced() {
+        // A 130-field class with refs at 0, 63, 64, 129 exercises every
+        // u64 granule boundary of the packed ref map.
+        let mut wide = vec![false; 130];
+        for i in [0usize, 63, 64, 129] {
+            wide[i] = true;
+        }
+        let mut s = snap();
+        s.set(ClassId(4), &wide);
+
+        let mut heap = Heap::new(2048);
+        let o = heap.alloc_object(ClassId(4), 130).unwrap();
+        let mut strings = Vec::new();
+        for (n, i) in [0usize, 63, 64, 129].into_iter().enumerate() {
+            let r = heap.alloc_string(&format!("s{n}")).unwrap();
+            heap.set(o, i, u64::from(r.0));
+            strings.push(r);
+        }
+        // Garbage between the live strings.
+        heap.alloc_object(ClassId(1), 3).unwrap();
+
+        let out = heap.collect(&[o], &s, None).unwrap();
+        assert_eq!(out.copied_cells, 5, "object + 4 strings survive");
+        let o2 = heap.resolve(o);
+        for (n, i) in [0usize, 63, 64, 129].into_iter().enumerate() {
+            let r = GcRef(heap.get(o2, i) as u32);
+            assert_eq!(heap.read_string(r), format!("s{n}"));
+        }
+        // Non-ref fields stayed zero.
+        assert_eq!(heap.get(o2, 1), 0);
+        assert_eq!(heap.get(o2, 128), 0);
     }
 
     #[test]
@@ -603,7 +852,7 @@ mod tests {
         let s = heap.alloc_string("payload").unwrap();
         heap.set(o, 1, u64::from(s.0));
 
-        let out = heap.collect(&[o], &TestLayouts, &RemapZeroToNine).unwrap();
+        let out = heap.collect(&[o], &snap(), Some(&remap09())).unwrap();
         assert_eq!(out.update_log.len(), 1);
         let (old_copy, new_obj) = out.update_log[0];
 
@@ -631,7 +880,7 @@ mod tests {
         let o = heap.alloc_object(ClassId(0), 2).unwrap();
         heap.set(holder, 0, u64::from(o.0));
 
-        let out = heap.collect(&[holder], &TestLayouts, &RemapZeroToNine).unwrap();
+        let out = heap.collect(&[holder], &snap(), Some(&remap09())).unwrap();
         let (_, new_obj) = out.update_log[0];
         let holder2 = heap.resolve(holder);
         assert_eq!(heap.get(holder2, 0), u64::from(new_obj.0));
@@ -646,7 +895,7 @@ mod tests {
         heap.set(h1, 0, u64::from(o.0));
         heap.set(h2, 0, u64::from(o.0));
 
-        let out = heap.collect(&[h1, h2], &TestLayouts, &RemapZeroToNine).unwrap();
+        let out = heap.collect(&[h1, h2], &snap(), Some(&remap09())).unwrap();
         assert_eq!(out.update_log.len(), 1, "object transformed once");
         let a = heap.get(heap.resolve(h1), 0);
         let b = heap.get(heap.resolve(h2), 0);
@@ -666,7 +915,7 @@ mod tests {
         let holder = heap.alloc_object(ClassId(1), 3).unwrap();
         heap.set(holder, 0, u64::from(old.0));
 
-        heap.collect(&[holder], &TestLayouts, &NoRemap).unwrap();
+        heap.collect(&[holder], &snap(), None).unwrap();
         let holder2 = heap.resolve(holder);
         let target = GcRef(heap.get(holder2, 0) as u32);
         assert_eq!(heap.class_of(target), ClassId(9));
@@ -682,7 +931,7 @@ mod tests {
         while let Some(o) = heap.alloc_object(ClassId(0), 2) {
             roots.push(o);
         }
-        let err = heap.collect(&roots, &TestLayouts, &RemapZeroToNine).unwrap_err();
+        let err = heap.collect(&roots, &snap(), Some(&remap09())).unwrap_err();
         assert!(matches!(err, VmError::OutOfMemory { .. }), "{err}");
     }
 
@@ -691,9 +940,9 @@ mod tests {
         let mut heap = Heap::new(1024);
         let o = heap.alloc_object(ClassId(0), 2).unwrap();
         heap.set(o, 0, 1);
-        heap.collect(&[o], &TestLayouts, &NoRemap).unwrap();
+        heap.collect(&[o], &snap(), None).unwrap();
         let o1 = heap.resolve(o);
-        heap.collect(&[o1], &TestLayouts, &NoRemap).unwrap();
+        heap.collect(&[o1], &snap(), None).unwrap();
         let o2 = heap.resolve(o1);
         assert_eq!(heap.get(o2, 0), 1);
         assert_eq!(heap.collections(), 2);

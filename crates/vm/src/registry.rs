@@ -16,7 +16,7 @@ use jvolve_classfile::{verify, ClassFile, ClassName, ClassResolver, Type};
 
 use crate::compiled::CompiledMethod;
 use crate::error::VmError;
-use crate::heap::ClassLayouts;
+use crate::heap::{ClassLayouts, LayoutSnapshot};
 use crate::ids::{ClassId, MethodId};
 use crate::natives::{self, NativeFn};
 
@@ -89,6 +89,8 @@ pub struct Registry {
     /// The "Java table of contents": one word per static field.
     jtoc: Vec<u64>,
     jtoc_ref: Vec<bool>,
+    /// Cached GC layout snapshot; rebuilt lazily after class load/rename.
+    snapshot: Option<Arc<LayoutSnapshot>>,
 }
 
 impl Registry {
@@ -126,6 +128,25 @@ impl Registry {
     /// All loaded classes.
     pub fn classes(&self) -> impl Iterator<Item = &RuntimeClass> {
         self.classes.iter()
+    }
+
+    /// Number of classes loaded (class ids are `0..num_classes`).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The cached GC layout snapshot, building it if a class was loaded or
+    /// renamed since the last collection. Collections share the `Arc`, so
+    /// steady-state GC pays zero snapshot-construction cost.
+    pub fn layout_snapshot(&mut self) -> Arc<LayoutSnapshot> {
+        if self.snapshot.is_none() {
+            let mut snap = LayoutSnapshot::new();
+            for class in &self.classes {
+                snap.set(class.id, &class.ref_map);
+            }
+            self.snapshot = Some(Arc::new(snap));
+        }
+        Arc::clone(self.snapshot.as_ref().expect("just built"))
     }
 
     /// Number of methods loaded.
@@ -363,6 +384,7 @@ impl Registry {
             vslots,
             statics,
         });
+        self.snapshot = None;
         Ok(id)
     }
 
@@ -389,6 +411,7 @@ impl Registry {
         let class = &mut self.classes[id.index()];
         class.name = new_name.clone();
         class.file.name = new_name;
+        self.snapshot = None;
         Ok(())
     }
 
@@ -545,6 +568,23 @@ mod tests {
         assert_eq!(r.field_offset(b, "s"), Some((1, true)));
         assert_eq!(r.field_offset(b, "y"), Some((2, false)));
         assert_eq!(r.ref_map(b), &[false, true, false]);
+    }
+
+    #[test]
+    fn layout_snapshot_is_cached_and_invalidated_by_load() {
+        let mut r = base_registry();
+        let first = r.layout_snapshot();
+        let again = r.layout_snapshot();
+        assert!(Arc::ptr_eq(&first, &again), "steady state reuses the snapshot");
+
+        let classes =
+            jvolve_lang::compile("class P { field n: int; field s: String; }").unwrap();
+        r.load_batch(&classes).unwrap();
+        let rebuilt = r.layout_snapshot();
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "class load invalidates");
+        let p = r.class_id(&ClassName::from("P")).unwrap();
+        assert_eq!(rebuilt.size_words(p), 2);
+        assert_eq!(rebuilt.num_classes(), r.num_classes());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use jvolve_classfile::{ClassFile, ClassName};
 use crate::compiled::{CompileLevel, CompiledMethod};
 use crate::config::VmConfig;
 use crate::error::VmError;
-use crate::heap::{ClassLayouts, GcOutcome, GcRemap, Heap, HeapKind, NoRemap};
+use crate::heap::{ClassLayouts, GcOutcome, GcRemap, Heap, HeapKind, NoRemap, RemapTable};
 use crate::ids::{ClassId, MethodId, ThreadId};
 use crate::interp::SliceEvent;
 use crate::jit;
@@ -431,6 +431,12 @@ impl Vm {
     /// Gathers every root location, runs a collection with `remap`, and
     /// rewrites roots and DSU bookkeeping.
     ///
+    /// The remap policy is resolved into a dense [`RemapTable`] up front;
+    /// when it comes out empty (an ordinary collection) the heap takes its
+    /// no-remap fast path. Layouts come from the registry's cached
+    /// [`LayoutSnapshot`](crate::heap::LayoutSnapshot), rebuilt only after
+    /// class loads/renames.
+    ///
     /// # Errors
     ///
     /// Propagates [`VmError::OutOfMemory`] on to-space overflow.
@@ -460,7 +466,10 @@ impl Vm {
             roots.push(r);
         }
 
-        let outcome = self.heap.collect(&roots, &self.registry, remap)?;
+        let snapshot = self.registry.layout_snapshot();
+        let table = RemapTable::from_policy(remap, self.registry.num_classes());
+        let table = if table.is_empty() { None } else { Some(&table) };
+        let outcome = self.heap.collect(&roots, &snapshot, table)?;
         self.stats.gcs += 1;
 
         // Rewrite every root location through the forwarding pointers.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full workspace test suite, and the quick
+# GC-pause regression check against the committed baseline
+# (results/BENCH_gc.json). Run from the repository root:
+#
+#   scripts/tier1.sh
+#
+# Pass --skip-bench to skip the pause-time gate (e.g. on heavily loaded
+# CI machines where even best-of-N timing is meaningless).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-bench) skip_bench=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test (workspace) =="
+cargo test -q --workspace
+
+if [ "$skip_bench" = 0 ]; then
+    echo "== tier-1: GC pause regression check =="
+    cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5
+else
+    echo "== tier-1: GC pause regression check skipped (--skip-bench) =="
+fi
+
+echo "== tier-1: OK =="

@@ -2,7 +2,9 @@
 //! exactly what the baseline tier computes, on randomly generated guest
 //! programs.
 
-use proptest::prelude::*;
+mod testkit;
+
+use testkit::Rng;
 
 use jvolve_repro::vm::{Value, Vm, VmConfig};
 
@@ -56,18 +58,25 @@ impl Expr {
     }
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![Just(Expr::A), Just(Expr::B), any::<i8>().prop_map(Expr::Lit)];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Add(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Sub(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Mul(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::H1(Box::new(x), Box::new(y))),
-            inner.clone().prop_map(|x| Expr::H2(Box::new(x))),
-            inner.prop_map(|x| Expr::Abs(Box::new(x))),
-        ]
-    })
+/// Random expression with a bounded depth; leaves get likelier as the
+/// budget shrinks, matching the old recursive-strategy shape.
+fn expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => Expr::A,
+            1 => Expr::B,
+            _ => Expr::Lit(rng.i8()),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(6) {
+        0 => Expr::Add(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        1 => Expr::Sub(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        2 => Expr::Mul(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        3 => Expr::H1(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        4 => Expr::H2(Box::new(expr(rng, d))),
+        _ => Expr::Abs(Box::new(expr(rng, d))),
+    }
 }
 
 fn program_for(e: &Expr) -> String {
@@ -101,20 +110,18 @@ fn run_tier(src: &str, opt: bool, a: i64, b: i64, reps: u32) -> i64 {
     last
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn opt_tier_matches_base_tier_and_host(
-        e in expr(),
-        a in -1000i64..1000,
-        b in -1000i64..1000,
-    ) {
+#[test]
+fn opt_tier_matches_base_tier_and_host() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(seed);
+        let e = expr(&mut rng, 4);
+        let a = rng.i64_in(-1000, 1000);
+        let b = rng.i64_in(-1000, 1000);
         let src = program_for(&e);
         let expected = e.eval(a, b);
         let base = run_tier(&src, false, a, b, 1);
         let opt = run_tier(&src, true, a, b, 5);
-        prop_assert_eq!(base, expected, "baseline vs host model\n{}", src);
-        prop_assert_eq!(opt, expected, "opt (inlining) vs host model\n{}", src);
+        assert_eq!(base, expected, "seed {seed}: baseline vs host model\n{src}");
+        assert_eq!(opt, expected, "seed {seed}: opt (inlining) vs host model\n{src}");
     }
 }

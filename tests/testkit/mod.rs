@@ -1,0 +1,160 @@
+//! Deterministic random-input generation for the property tests.
+//!
+//! A tiny SplitMix64 generator replaces the external `proptest` crate:
+//! every test iterates over a fixed range of seeds, so failures are
+//! reproducible by seed number with no shrinking machinery required.
+
+#![allow(dead_code)]
+
+/// SplitMix64: a fast, well-distributed 64-bit generator with a one-word
+/// state. Good enough for test-input generation; not for cryptography.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero orbit and decorrelate small consecutive seeds.
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    pub fn i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    pub fn i8(&mut self) -> i8 {
+        self.next_u64() as i8
+    }
+
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// Random bytes, length in `[0, max_len)`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.below(max_len);
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn char_from(&mut self, set: &str) -> char {
+        let chars: Vec<char> = set.chars().collect();
+        *self.pick(&chars)
+    }
+
+    /// `[a-z][a-zA-Z0-9_]{0,8}` — a lowercase identifier.
+    pub fn ident(&mut self) -> String {
+        self.name_like("abcdefghijklmnopqrstuvwxyz",
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_", 8)
+    }
+
+    /// `[A-Z][a-zA-Z0-9]{0,8}` — a capitalized class name.
+    pub fn class_name(&mut self) -> String {
+        self.name_like("ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", 8)
+    }
+
+    fn name_like(&mut self, first: &str, rest: &str, max_extra: usize) -> String {
+        let mut s = String::new();
+        s.push(self.char_from(first));
+        for _ in 0..self.below(max_extra + 1) {
+            s.push(self.char_from(rest));
+        }
+        s
+    }
+
+    /// Printable-ASCII text (plus occasional whitespace), length `[0, max_len)`.
+    pub fn ascii_text(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len.max(1));
+        (0..len)
+            .map(|_| match self.below(20) {
+                0 => '\n',
+                1 => '\t',
+                _ => char::from(b' ' + (self.next_u64() % 95) as u8),
+            })
+            .collect()
+    }
+
+    /// Arbitrary (valid UTF-8) text: mostly ASCII with some multi-byte
+    /// code points mixed in, length up to `max_len` characters.
+    pub fn unicode_text(&mut self, max_len: usize) -> String {
+        let len = self.below(max_len.max(1));
+        (0..len)
+            .map(|_| {
+                if self.below(8) == 0 {
+                    char::from_u32(self.range(0x80, 0xD7FF) as u32).unwrap_or('\u{FFFD}')
+                } else {
+                    char::from(b' ' + (self.next_u64() % 95) as u8)
+                }
+            })
+            .collect()
+    }
+
+    /// String over the given charset, length `[0, max_len)`.
+    pub fn string_over(&mut self, set: &str, max_len: usize) -> String {
+        let chars: Vec<char> = set.chars().collect();
+        let len = self.below(max_len.max(1));
+        (0..len).map(|_| *self.pick(&chars)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = { let mut r = Rng::new(7); (0..8).map(|_| r.next_u64()).collect() };
+        let b: Vec<u64> = { let mut r = Rng::new(7); (0..8).map(|_| r.next_u64()).collect() };
+        assert_eq!(a, b);
+        let c: Vec<u64> = { let mut r = Rng::new(8); (0..8).map(|_| r.next_u64()).collect() };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = Rng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.i64_in(-50, 50);
+            assert!((-50..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn names_have_expected_shape() {
+        let mut r = Rng::new(2);
+        for _ in 0..100 {
+            let id = r.ident();
+            assert!(id.chars().next().unwrap().is_ascii_lowercase());
+            assert!(id.len() <= 9);
+            let cn = r.class_name();
+            assert!(cn.chars().next().unwrap().is_ascii_uppercase());
+            assert!(cn.len() <= 9);
+        }
+    }
+}
