@@ -3,7 +3,10 @@
 //! ("we ran Jetty under full load; after 30 seconds we tried to apply the
 //! update to the next version").
 
-use jvolve::{apply, ApplyOptions, Update, UpdateError, UpdateOutcome, UpdateStats};
+use jvolve::{
+    ApplyOptions, StepProgress, Update, UpdateController, UpdateError, UpdateOutcome,
+    UpdatePhase, UpdateStats,
+};
 use jvolve_vm::{Vm, VmConfig};
 
 use crate::common::GuestApp;
@@ -81,19 +84,47 @@ pub fn attempt_update(
     from: usize,
     opts: &ApplyOptions,
 ) -> (UpdateOutcome, Option<UpdateStats>) {
+    attempt_update_interleaved(vm, app, from, opts, |_| {})
+}
+
+/// [`attempt_update`] through the resumable [`UpdateController`], calling
+/// `pump` between steps while the update waits for a safe point. The pump
+/// may drive the VM's workload — issue requests, run extra slices — so
+/// the app keeps serving mid-update, exactly the paper's §4 setup of
+/// updating Jetty under full load. Once the controller leaves the waiting
+/// phase the pause has begun and the pump is no longer called.
+pub fn attempt_update_interleaved(
+    vm: &mut Vm,
+    app: &dyn GuestApp,
+    from: usize,
+    opts: &ApplyOptions,
+    mut pump: impl FnMut(&mut Vm),
+) -> (UpdateOutcome, Option<UpdateStats>) {
     let update = prepare_next(app, from);
-    match apply(vm, &update, opts) {
-        Ok(stats) => {
-            let outcome = UpdateOutcome::Applied {
-                used_osr: stats.osr_replacements > 0,
-                barriers: stats.barriers_installed,
-            };
-            (outcome, Some(stats))
+    let mut controller = UpdateController::new(&update, opts.clone());
+    loop {
+        match controller.step(vm) {
+            StepProgress::Pending(UpdatePhase::WaitingForSafePoint) => pump(vm),
+            StepProgress::Pending(_) => {}
+            StepProgress::Committed => {
+                let stats = controller.stats().clone();
+                let outcome = UpdateOutcome::Applied {
+                    used_osr: stats.osr_replacements > 0,
+                    barriers: stats.barriers_installed,
+                };
+                return (outcome, Some(stats));
+            }
+            StepProgress::Aborted => {
+                let outcome = match controller.error() {
+                    Some(UpdateError::Timeout { blocking, .. }) => {
+                        UpdateOutcome::TimedOut { blocking: blocking.clone() }
+                    }
+                    Some(e) => UpdateOutcome::Failed { reason: e.to_string() },
+                    None => UpdateOutcome::Failed { reason: "update aborted".to_string() },
+                };
+                return (outcome, None);
+            }
         }
-        Err(UpdateError::Timeout { blocking, .. }) => {
-            (UpdateOutcome::TimedOut { blocking }, None)
-        }
-        Err(e) => (UpdateOutcome::Failed { reason: e.to_string() }, None),
     }
 }
 

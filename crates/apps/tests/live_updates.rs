@@ -3,7 +3,9 @@
 //! the two that change always-on-stack methods must time out.
 
 use jvolve::UpdateOutcome;
-use jvolve_apps::harness::{attempt_update, bench_apply_options, boot};
+use jvolve_apps::harness::{
+    attempt_update, attempt_update_interleaved, bench_apply_options, boot,
+};
 use jvolve_apps::workload::{ftp_retr, one_shot, pop_list, smtp_send};
 use jvolve_apps::{Emailserver, Ftpserver, GuestApp, Webserver};
 
@@ -41,6 +43,39 @@ fn webserver_updates_match_paper() {
     }
     let supported = outcomes.iter().filter(|(_, o)| o.supported()).count();
     assert_eq!(supported, 9, "9 of 10 webserver updates supported");
+}
+
+#[test]
+fn webserver_serves_requests_between_controller_steps() {
+    // The resumable controller lets the embedder keep draining requests
+    // while the update waits for a safe point: every request served
+    // mid-update must see a fully consistent server — a complete, correct
+    // response, never a half-installed class.
+    let app = Webserver;
+    let mut vm = boot(&app, 0);
+    let mut served_mid_update = 0;
+    let (outcome, stats) = attempt_update_interleaved(
+        &mut vm,
+        &app,
+        0,
+        &bench_apply_options(),
+        |vm| {
+            let resp = one_shot(vm, app.port(), "GET /index.html", 20_000)
+                .expect("server must answer between controller steps");
+            assert_eq!(resp.0, "200 <html>welcome</html>", "mid-update response corrupted");
+            served_mid_update += 1;
+        },
+    );
+    assert!(outcome.supported(), "{outcome}");
+    assert!(stats.is_some());
+    assert!(
+        served_mid_update >= 1,
+        "the waiting phase must have interleaved with request serving"
+    );
+    // And the updated server serves correctly afterwards.
+    let resp = one_shot(&mut vm, app.port(), "GET /about.html", 40_000)
+        .expect("server unresponsive after interleaved update");
+    assert!(resp.0.starts_with("200"), "{resp:?}");
 }
 
 #[test]

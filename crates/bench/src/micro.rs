@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use jvolve::{apply, ApplyOptions, Update};
+use jvolve::{ApplyOptions, MemorySink, Update, UpdateController, UpdateEvent};
 use jvolve_vm::{Value, Vm, VmConfig};
 
 /// Guest classes for the microbenchmark (old version).
@@ -92,7 +92,10 @@ pub fn measure_pause(objects: usize, fraction: f64) -> PauseSample {
     }
 
     let update = Update::prepare(&old, &new, "v1_").expect("non-empty update");
-    let stats = apply(&mut vm, &update, &ApplyOptions::default()).expect("update applies");
+    let mut events = MemorySink::default();
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    controller.attach_sink(&mut events);
+    let stats = controller.run_to_completion(&mut vm).expect("update applies");
 
     // Sanity: transformed objects kept their fields and gained w = 0.
     if objects > 0 && n_change > 0 {
@@ -100,6 +103,28 @@ pub fn measure_pause(objects: usize, fraction: f64) -> PauseSample {
         assert_eq!(vm.read_field(r, "a"), Value::Int(0));
         assert_eq!(vm.read_field(r, "w"), Value::Int(0));
     }
+
+    // The GC and transformer outcomes come from the controller's typed
+    // event stream; the aggregate stats must agree with them (this keeps
+    // the default stats sink honest).
+    let mut transformed = 0;
+    let mut gc_copied_cells = 0;
+    let mut gc_copied_words = 0;
+    for event in &events.events {
+        match *event {
+            UpdateEvent::GcCompleted { copied_cells, copied_words, .. } => {
+                gc_copied_cells = copied_cells;
+                gc_copied_words = copied_words;
+            }
+            UpdateEvent::TransformersRun { objects_transformed } => {
+                transformed = objects_transformed;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(transformed, stats.objects_transformed, "event stream and stats disagree");
+    assert_eq!(gc_copied_cells, stats.gc_copied_cells, "event stream and stats disagree");
+    assert_eq!(gc_copied_words, stats.gc_copied_words, "event stream and stats disagree");
 
     PauseSample {
         objects,
@@ -109,9 +134,9 @@ pub fn measure_pause(objects: usize, fraction: f64) -> PauseSample {
         transform_time: stats.transform_time,
         total_time: stats.total_time,
         phase_sum: stats.phase_sum(),
-        transformed: stats.objects_transformed,
-        gc_copied_cells: stats.gc_copied_cells,
-        gc_copied_words: stats.gc_copied_words,
+        transformed,
+        gc_copied_cells,
+        gc_copied_words,
     }
 }
 

@@ -4,12 +4,17 @@
 //!
 //! ```text
 //! jvolve_run <v1.mj> --main Class.method [--slices N]
-//!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]]
+//!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]
+//!             [--trace results/update_trace.json]]
 //! ```
+//!
+//! When an update is applied, the controller's structured event stream
+//! (phase transitions, safe-point polls, install counts, GC outcome) is
+//! written as JSON to `--trace` (default `results/update_trace.json`).
 
 use std::process::ExitCode;
 
-use jvolve::{apply, ApplyOptions, Update};
+use jvolve::{ApplyOptions, JsonTraceSink, Update, UpdateController};
 use jvolve_vm::{Vm, VmConfig};
 
 fn main() -> ExitCode {
@@ -88,7 +93,20 @@ fn main() -> ExitCode {
     vm.run_slices(after.max(1));
     if let Some(update) = update {
         eprintln!("jvolve_run: applying update after {after} slices ...");
-        match apply(&mut vm, &update, &ApplyOptions::default()) {
+        let trace_path =
+            flag("--trace").unwrap_or_else(|| "results/update_trace.json".to_string());
+        let mut trace = JsonTraceSink::new();
+        let mut controller = UpdateController::new(&update, ApplyOptions::default());
+        controller.attach_sink(&mut trace);
+        let result = controller.run_to_completion(&mut vm);
+        if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match trace.write(&trace_path) {
+            Ok(()) => eprintln!("jvolve_run: phase-event trace written to {trace_path}"),
+            Err(e) => eprintln!("jvolve_run: could not write {trace_path}: {e}"),
+        }
+        match result {
             Ok(stats) => eprintln!(
                 "jvolve_run: updated ({} objects transformed, pause {:?})",
                 stats.objects_transformed, stats.total_time

@@ -10,22 +10,22 @@
 //!    invalidates every affected compiled method (inliners included);
 //! 5. it runs the update GC, then class transformers, then object
 //!    transformers over the update log.
+//!
+//! Steps 3–5 are implemented by the resumable
+//! [`UpdateController`](crate::controller::UpdateController) phase
+//! machine; [`apply`] is the synchronous convenience wrapper that steps a
+//! controller to completion.
 
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use jvolve_classfile::{verify, ClassFile, ClassSet, MethodRef};
-use jvolve_vm::{MethodId, Vm};
+use jvolve_vm::Vm;
 
+use crate::controller::UpdateController;
 use crate::diff::prepare_spec;
 use crate::error::UpdateError;
-use crate::migrate::method_pc_map;
-use crate::restricted::{barrier_targets, check_stacks, Category, RestrictedSet, StackCheck};
 use crate::spec::UpdateSpec;
-use crate::transform::{
-    class_transformer_name, compile_transformers, default_transformers_source,
-    object_transformer_name, TRANSFORMERS_CLASS,
-};
+use crate::transform::default_transformers_source;
 
 /// A prepared update: specification, payload, transformers.
 #[derive(Clone, Debug)]
@@ -180,284 +180,22 @@ impl UpdateStats {
 /// installed, every existing object conforms to its new class definition,
 /// and invalidated methods recompile (and re-optimize) on demand.
 ///
+/// This is the synchronous wrapper over the resumable
+/// [`UpdateController`]: it constructs a controller and steps it to
+/// completion without interleaving any embedder work. Use the controller
+/// directly to keep serving requests between safe-point polls, attach
+/// event sinks, or inspect the phase the update is in.
+///
 /// # Errors
 ///
 /// * [`UpdateError::Timeout`] — no DSU safe point was reached; the VM is
 ///   left running the old version, unchanged (barriers cleared).
-/// * [`UpdateError::Compile`] / [`UpdateError::Vm`] — installation
-///   failures; the caller should treat the VM as poisoned.
+/// * [`UpdateError::BadSpec`] / [`UpdateError::Compile`] /
+///   [`UpdateError::Vm`] during installation — the controller rolled the
+///   VM back to the old version.
+/// * [`UpdateError::Vm`] during heap transformation — the caller should
+///   treat the VM as poisoned (no rollback is possible once object
+///   transformers have started).
 pub fn apply(vm: &mut Vm, update: &Update, opts: &ApplyOptions) -> Result<UpdateStats, UpdateError> {
-    let mut stats = UpdateStats::default();
-    let t_total = Instant::now();
-
-    // ---- step 3: reach a DSU safe point -----------------------------------
-    let t_safe = Instant::now();
-    let restricted = RestrictedSet::compute(&update.spec, &update.old_classes, &update.blacklist);
-    let (check, migrations) = wait_for_safe_point(vm, update, &restricted, opts, &mut stats)?;
-    vm.clear_return_barriers();
-    stats.safepoint_time = t_safe.elapsed();
-
-    // ---- step 4: install modified classes ----------------------------------
-    let t_load = Instant::now();
-    let mut remap = HashMap::new();
-    let mut invalidated: Vec<MethodId> = Vec::new();
-
-    // Rename old versions out of the way and strip their methods
-    // (paper §2.3/§3.3).
-    let mut old_ids = HashMap::new();
-    for delta in update.spec.class_updates() {
-        let old_id = vm
-            .registry()
-            .class_id(&delta.name)
-            .ok_or_else(|| UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
-                message: format!("updated class {} not loaded", delta.name),
-            }))?;
-        vm.registry_mut().rename_class(old_id, update.spec.old_name(&delta.name))?;
-        old_ids.insert(delta.name.clone(), old_id);
-    }
-    for &old_id in old_ids.values() {
-        invalidated.extend(vm.registry().methods_of(old_id));
-        vm.registry_mut().strip_methods(old_id);
-    }
-
-    // Load the new versions of updated classes plus added classes, as one
-    // batch (they may reference each other).
-    let mut batch: Vec<ClassFile> = Vec::new();
-    for delta in update.spec.class_updates() {
-        batch.push(
-            update
-                .new_classes
-                .get(&delta.name)
-                .expect("spec classes exist in the new version")
-                .clone(),
-        );
-    }
-    for name in &update.spec.added_classes {
-        batch.push(update.new_classes.get(name).expect("added class exists").clone());
-    }
-    let new_ids = vm.load_classes(&batch)?;
-    stats.classes_loaded += new_ids.len();
-    for (file, id) in batch.iter().zip(&new_ids) {
-        if let Some(&old_id) = old_ids.get(&file.name) {
-            remap.insert(old_id, *id);
-        }
-    }
-
-    // Method-body updates: swap bytecode in place and invalidate.
-    for delta in update.spec.body_only_updates() {
-        let class_id = vm
-            .registry()
-            .class_id(&delta.name)
-            .expect("body-updated class is loaded");
-        let new_class = update.new_classes.get(&delta.name).expect("class in new version");
-        for mname in &delta.methods_body_changed {
-            let def = new_class.find_method(mname).expect("changed method exists").clone();
-            let mid = vm.registry_mut().replace_method_body(class_id, mname, def)?;
-            invalidated.push(mid);
-            stats.bodies_swapped += 1;
-        }
-    }
-
-    // Indirect (category-2) methods: invalidate so the JIT re-resolves
-    // offsets on next invocation.
-    for mref in &update.spec.indirect_methods {
-        if let Some(cid) = vm.registry().class_id(&mref.class) {
-            if let Some(mid) = vm.registry().find_method(cid, &mref.method) {
-                vm.registry_mut().invalidate(mid);
-                invalidated.push(mid);
-                stats.methods_invalidated += 1;
-            }
-        }
-    }
-    // Inlined copies of anything invalidated must go too (paper §3.2).
-    let inliners = vm.registry_mut().invalidate_inliners(&invalidated);
-    stats.methods_invalidated += inliners.len();
-
-    // OSR-replace on-stack base-compiled category-2 frames now that the
-    // new metadata is installed (paper: "the exact timing of OSR for DSU
-    // requires the VM to first load modified classes").
-    if opts.use_osr {
-        for f in &check.osr_candidates {
-            vm.osr_replace(f.thread, f.frame)?;
-            stats.osr_replacements += 1;
-        }
-    }
-
-    // §3.5 future work: migrate changed methods while they run. The new
-    // method version is looked up through the *current* name (the new
-    // class for class updates, the same class for body updates).
-    for m in &migrations {
-        let class_id = vm.registry().class_id(&m.method.class).ok_or_else(|| {
-            UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
-                message: format!("migration target class {} missing", m.method.class),
-            })
-        })?;
-        let new_mid = vm.registry().find_method(class_id, &m.method.method).ok_or_else(|| {
-            UpdateError::Vm(jvolve_vm::VmError::ResolutionError {
-                message: format!("migration target method {} missing", m.method),
-            })
-        })?;
-        vm.osr_migrate(m.thread, m.frame, new_mid, m.new_pc)?;
-        stats.active_migrations += 1;
-    }
-
-    // Compile and load the transformer class (access-override mode).
-    let transformer_classes = compile_transformers(
-        &update.transformers_source,
-        &update.spec,
-        &update.old_classes,
-        &update.new_classes,
-    )
-    .map_err(|e| UpdateError::Compile(e.to_string()))?;
-    vm.load_classes(&transformer_classes)?;
-    stats.classes_loaded += transformer_classes.len();
-
-    // Map each new class to its object transformer.
-    let mut transformer_for = HashMap::new();
-    for delta in update.spec.class_updates() {
-        let new_id = vm.registry().class_id(&delta.name).expect("new class loaded");
-        let tclass = vm
-            .registry()
-            .class_id(&jvolve_classfile::ClassName::from(TRANSFORMERS_CLASS))
-            .ok_or_else(|| UpdateError::Compile("transformer class missing".into()))?;
-        let tname = object_transformer_name(&delta.name);
-        let mid = vm.registry().find_method(tclass, &tname).ok_or_else(|| {
-            UpdateError::Compile(format!("transformer {tname} missing from source"))
-        })?;
-        transformer_for.insert(new_id, mid);
-    }
-    stats.classload_time = t_load.elapsed();
-
-    // ---- step 5: update GC + transformers (paper §3.4) ----------------------
-    let t_gc = Instant::now();
-    let gc_out = vm.collect_for_update(remap, transformer_for)?;
-    stats.gc_time = t_gc.elapsed();
-    stats.gc_copied_cells = gc_out.copied_cells;
-    stats.gc_copied_words = gc_out.copied_words;
-
-    let t_tf = Instant::now();
-    for delta in update.spec.class_updates() {
-        let tname = class_transformer_name(&delta.name);
-        // Class transformers are optional in customized sources.
-        let tclass = vm
-            .registry()
-            .class_id(&jvolve_classfile::ClassName::from(TRANSFORMERS_CLASS))
-            .expect("transformer class loaded");
-        if vm.registry().find_method(tclass, &tname).is_some() {
-            vm.call_static_sync(TRANSFORMERS_CLASS, &tname, &[])?;
-        }
-    }
-    stats.objects_transformed = vm.pending_transforms();
-    vm.transform_pending()?;
-    stats.transform_time = t_tf.elapsed();
-
-    // The transformer class is only meaningful during the update; rename
-    // it out of the way so the next update can load a fresh one (the
-    // paper's VM deletes it).
-    retire_transformer_class(vm, &update.spec.version_prefix);
-
-    stats.total_time = t_total.elapsed();
-    Ok(stats)
-}
-
-/// A planned active-method migration (paper §3.5 future work).
-#[derive(Debug, Clone)]
-struct PlannedMigration {
-    thread: jvolve_vm::ThreadId,
-    frame: usize,
-    method: jvolve_classfile::MethodRef,
-    new_pc: u32,
-}
-
-/// Waits (running the program) until a DSU safe point, installing return
-/// barriers on blocking frames. With active-method migration enabled,
-/// changed-method frames whose pc survives the bytecode alignment are
-/// lifted out of the blocking set and scheduled for migration.
-fn wait_for_safe_point(
-    vm: &mut Vm,
-    update: &Update,
-    restricted: &RestrictedSet,
-    opts: &ApplyOptions,
-    stats: &mut UpdateStats,
-) -> Result<(StackCheck, Vec<PlannedMigration>), UpdateError> {
-    loop {
-        let mut check = check_stacks(vm, restricted);
-        if !opts.use_osr {
-            // Ablation: treat OSR candidates as blocking.
-            check.blocking.append(&mut check.osr_candidates);
-        }
-
-        let mut migrations = Vec::new();
-        if opts.migrate_active_methods {
-            let mut residual = Vec::new();
-            for finding in check.blocking.drain(..) {
-                let plan = (finding.category == Category::Changed)
-                    .then(|| {
-                        let frame = vm
-                            .thread(finding.thread)
-                            .and_then(|t| t.frames.get(finding.frame))?;
-                        if !frame.compiled.osr_capable() {
-                            return None;
-                        }
-                        let map = method_pc_map(
-                            &update.old_classes,
-                            &update.new_classes,
-                            &finding.method,
-                        )?;
-                        let new_pc = map.lookup(frame.pc)?;
-                        Some(PlannedMigration {
-                            thread: finding.thread,
-                            frame: finding.frame,
-                            method: finding.method.clone(),
-                            new_pc,
-                        })
-                    })
-                    .flatten();
-                match plan {
-                    Some(p) => migrations.push(p),
-                    None => residual.push(finding),
-                }
-            }
-            check.blocking = residual;
-        }
-
-        if check.safe() {
-            return Ok((check, migrations));
-        }
-        if stats.slices_waited >= opts.timeout_slices {
-            vm.clear_return_barriers();
-            let mut blocking: Vec<String> =
-                check.blocking.iter().map(|f| f.method.to_string()).collect();
-            blocking.sort();
-            blocking.dedup();
-            return Err(UpdateError::Timeout {
-                blocking,
-                slices_waited: stats.slices_waited,
-            });
-        }
-        if opts.use_return_barriers {
-            for (tid, frame) in barrier_targets(&check) {
-                let already = vm
-                    .thread(tid)
-                    .and_then(|t| t.frames.get(frame))
-                    .is_some_and(|f| f.return_barrier);
-                if !already {
-                    vm.install_return_barrier(tid, frame)?;
-                    stats.barriers_installed += 1;
-                }
-            }
-        }
-        vm.step_slice();
-        stats.slices_waited += 1;
-    }
-}
-
-/// Renames the spent transformer class out of the global namespace.
-fn retire_transformer_class(vm: &mut Vm, prefix: &str) {
-    let name = jvolve_classfile::ClassName::from(TRANSFORMERS_CLASS);
-    if let Some(id) = vm.registry().class_id(&name) {
-        let retired = jvolve_classfile::ClassName::from(format!("{prefix}{TRANSFORMERS_CLASS}"));
-        let _ = vm.registry_mut().rename_class(id, retired);
-        vm.registry_mut().strip_methods(id);
-    }
+    UpdateController::new(update, opts.clone()).run_to_completion(vm)
 }

@@ -18,6 +18,13 @@ pub enum UpdateError {
     },
     /// The transformer class (or an update payload) failed to compile.
     Compile(String),
+    /// The update specification is malformed: it names classes or methods
+    /// that do not exist in the update payload or the running VM. The
+    /// update aborts (and rolls back) instead of panicking the host.
+    BadSpec {
+        /// Description, e.g. "updated class Foo missing from the new version".
+        message: String,
+    },
     /// A VM operation failed (load, GC overflow, transformer trap, …).
     Vm(VmError),
     /// The update changes nothing.
@@ -39,6 +46,7 @@ impl fmt::Display for UpdateError {
                 blocking.join(", ")
             ),
             UpdateError::Compile(msg) => write!(f, "update compilation failed: {msg}"),
+            UpdateError::BadSpec { message } => write!(f, "malformed update spec: {message}"),
             UpdateError::Vm(e) => write!(f, "VM error during update: {e}"),
             UpdateError::Empty => f.write_str("update changes nothing"),
             UpdateError::Unsupported { reason } => write!(f, "update unsupported: {reason}"),

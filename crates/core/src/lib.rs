@@ -12,9 +12,13 @@
 //! * [`transform`] — old-class stubs and default class/object transformer
 //!   generation (customizable, as in the paper's Figure 3).
 //! * [`restricted`] — DSU safe-point analysis over thread stacks.
-//! * [`driver`] — the update protocol: reach a safe point (with return
-//!   barriers, OSR and a timeout), install classes, run the update GC and
-//!   the transformers.
+//! * [`controller`] — the update protocol as a resumable phase machine:
+//!   reach a safe point (with return barriers, OSR and a timeout) while
+//!   interleaving with VM scheduling, install classes with a rollback
+//!   ledger, run the update GC and the transformers, emitting a typed
+//!   event stream throughout.
+//! * [`driver`] — update preparation plus the synchronous [`apply`]
+//!   wrapper over the controller.
 //! * [`modes`] — the baselines the paper compares against: method-body-
 //!   only (E&C) updating and lazy-indirection updating.
 //! * [`report`] — per-release summaries (the rows of Tables 2–4).
@@ -50,6 +54,7 @@
 //! # Ok::<(), jvolve_vm::VmError>(())
 //! ```
 
+pub mod controller;
 pub mod diff;
 pub mod driver;
 pub mod error;
@@ -60,6 +65,10 @@ pub mod restricted;
 pub mod spec;
 pub mod transform;
 
+pub use controller::{
+    ControllerCounters, JsonTraceSink, MemorySink, StepProgress, UpdateController, UpdateEvent,
+    UpdateEventSink, UpdatePhase,
+};
 pub use driver::{apply, ApplyOptions, Update, UpdateStats};
 pub use error::UpdateError;
 pub use report::{ReleaseSummary, UpdateOutcome};

@@ -142,6 +142,17 @@ impl StackCheck {
 /// called between scheduler slices (i.e. at a VM safe point).
 pub fn check_stacks(vm: &Vm, restricted: &RestrictedSet) -> StackCheck {
     let mut check = StackCheck::default();
+    check_stacks_into(vm, restricted, &mut check);
+    check
+}
+
+/// [`check_stacks`] into a caller-owned scratch buffer: the update
+/// controller polls once per scheduler slice while waiting for a DSU safe
+/// point, and reusing the finding vectors keeps the poll free of
+/// per-iteration container construction.
+pub fn check_stacks_into(vm: &Vm, restricted: &RestrictedSet, check: &mut StackCheck) {
+    check.blocking.clear();
+    check.osr_candidates.clear();
     let registry = vm.registry();
 
     for thread in vm.threads() {
@@ -185,21 +196,28 @@ pub fn check_stacks(vm: &Vm, restricted: &RestrictedSet) -> StackCheck {
             }
         }
     }
-    check
 }
 
 /// The topmost blocking frame per thread, where return barriers go
 /// (paper §3.2: "installs a return barrier on the topmost restricted
 /// method of each thread").
 pub fn barrier_targets(check: &StackCheck) -> Vec<(ThreadId, usize)> {
-    let mut per_thread: std::collections::BTreeMap<u32, usize> = Default::default();
+    let mut targets = Vec::new();
+    barrier_targets_into(check, &mut targets);
+    targets
+}
+
+/// [`barrier_targets`] into a caller-owned scratch buffer (no per-poll
+/// map construction; the result is sorted by thread id).
+pub fn barrier_targets_into(check: &StackCheck, out: &mut Vec<(ThreadId, usize)>) {
+    out.clear();
     for f in &check.blocking {
-        let e = per_thread.entry(f.thread.0).or_insert(f.frame);
-        if f.frame > *e {
-            *e = f.frame;
+        match out.iter_mut().find(|(t, _)| *t == f.thread) {
+            Some((_, frame)) => *frame = (*frame).max(f.frame),
+            None => out.push((f.thread, f.frame)),
         }
     }
-    per_thread.into_iter().map(|(t, f)| (ThreadId(t), f)).collect()
+    out.sort_unstable_by_key(|&(t, _)| t.0);
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ fn upt_rejects_identical_versions() {
 fn jvolve_run_executes_and_updates() {
     let old = write_temp("run_v1.mj", V1);
     let new = write_temp("run_v2.mj", V2);
+    let trace = write_temp("trace.json", "");
     let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
         .args([
             old.to_str().unwrap(),
@@ -85,6 +86,8 @@ fn jvolve_run_executes_and_updates() {
             new.to_str().unwrap(),
             "--after",
             "1",
+            "--trace",
+            trace.to_str().unwrap(),
         ])
         .output()
         .expect("jvolve_run runs");
@@ -93,6 +96,18 @@ fn jvolve_run_executes_and_updates() {
     assert!(out.status.success(), "{stdout}\n{stderr}");
     assert!(stdout.contains('3'), "program output present: {stdout}");
     assert!(stderr.contains("updated"), "update applied: {stderr}");
+
+    // The phase-event trace was written and tells the whole story.
+    let trace_json = std::fs::read_to_string(&trace).expect("trace file written");
+    let parsed = jvolve_json::Json::parse(&trace_json).expect("trace is valid JSON");
+    let kinds: Vec<&str> = parsed
+        .as_arr()
+        .expect("trace is an array")
+        .iter()
+        .filter_map(|e| e.get("event").and_then(|v| v.as_str()))
+        .collect();
+    assert_eq!(kinds.first(), Some(&"phase_entered"), "{kinds:?}");
+    assert_eq!(kinds.last(), Some(&"committed"), "{kinds:?}");
 }
 
 #[test]

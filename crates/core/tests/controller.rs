@@ -1,0 +1,347 @@
+//! Controller-level tests: phase stepping, rollback fidelity, and the
+//! atomicity guarantee (no embedder observation sees a half-installed
+//! class).
+//!
+//! The rollback tests compare *deterministic registry fingerprints* taken
+//! before the update starts and after it aborts: classes (name, layout,
+//! ref map, TIB, dispatch and static tables, class-file method lists),
+//! methods (definition, compiled code, counters), and the JTOC must all be
+//! identical — the old version verifiably still runs.
+
+use std::fmt::Write as _;
+
+use jvolve::{
+    ApplyOptions, MemorySink, StepProgress, Update, UpdateController, UpdateError, UpdateEvent,
+    UpdatePhase,
+};
+use jvolve_vm::{MethodId, Value, Vm, VmConfig};
+
+/// A deterministic dump of every registry table (HashMap-backed tables are
+/// sorted before printing, so rebuilding a map during rollback cannot
+/// produce a spurious diff).
+fn registry_fingerprint(vm: &Vm) -> String {
+    let reg = vm.registry();
+    let mut out = String::new();
+    for class in reg.classes() {
+        writeln!(out, "class {} name={} super={:?}", class.id, class.name, class.super_id)
+            .unwrap();
+        writeln!(out, "  layout={:?}", class.layout).unwrap();
+        writeln!(out, "  ref_map={:?}", class.ref_map).unwrap();
+        writeln!(out, "  tib={:?}", class.tib).unwrap();
+        let mut vslots: Vec<_> = class.vslots.iter().collect();
+        vslots.sort();
+        writeln!(out, "  vslots={vslots:?}").unwrap();
+        let mut statics: Vec<_> = class.statics.iter().collect();
+        statics.sort_by_key(|(name, _)| name.as_str());
+        writeln!(out, "  statics={statics:?}").unwrap();
+        writeln!(out, "  file_methods={:?}", class.file.methods).unwrap();
+    }
+    for i in 0..reg.method_count() {
+        let m = reg.method(MethodId(i as u32));
+        writeln!(
+            out,
+            "method {} class={} name={} invocations={} invalidations={}",
+            m.id, m.class, m.name, m.invocations, m.invalidations
+        )
+        .unwrap();
+        writeln!(out, "  def={:?}", m.def).unwrap();
+        writeln!(out, "  compiled={:?}", m.compiled).unwrap();
+    }
+    for slot in 0..reg.jtoc_len() {
+        writeln!(
+            out,
+            "jtoc[{slot}]={} ref={}",
+            reg.jtoc_get(slot as u32),
+            reg.jtoc_is_ref(slot as u32)
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn compile(src: &str) -> Vec<jvolve_classfile::ClassFile> {
+    jvolve_lang::compile(src).expect("test source compiles")
+}
+
+/// v1 of a guest whose `spin` runs an effectively unbounded loop — any
+/// update changing `spin` can never reach a DSU safe point.
+const SPINNER_V1: &str = "
+class App {
+  static field mode: int;
+  static method work(): int { App.mode = App.mode + 1; return App.mode; }
+  static method spin(): int {
+    var i: int = 0;
+    while (i < 100000000) { i = i + 1; }
+    return i;
+  }
+  static method main(): void { Sys.printInt(App.spin()); }
+}";
+
+/// v2 changes both `spin` (making it restricted and always on stack) and
+/// `work` (an observable behavior change: +10 per call instead of +1).
+const SPINNER_V2: &str = "
+class App {
+  static field mode: int;
+  static method work(): int { App.mode = App.mode + 10; return App.mode; }
+  static method spin(): int {
+    var i: int = 0;
+    while (i < 100000000) { i = i + 2; }
+    return i;
+  }
+  static method main(): void { Sys.printInt(App.spin()); }
+}";
+
+fn boot_spinner() -> Vm {
+    let mut vm = Vm::new(VmConfig { quantum: 50, ..VmConfig::small() });
+    vm.load_classes(&compile(SPINNER_V1)).expect("v1 loads");
+    vm.spawn("App", "main").expect("main spawns");
+    // Get spin() onto the stack.
+    for _ in 0..10 {
+        vm.step_slice();
+    }
+    vm
+}
+
+#[test]
+fn timeout_rolls_back_to_a_bit_identical_registry() {
+    let mut vm = boot_spinner();
+    let update = Update::prepare(&compile(SPINNER_V1), &compile(SPINNER_V2), "v1_")
+        .expect("non-empty update");
+
+    let before = registry_fingerprint(&vm);
+    let mut events = MemorySink::default();
+    let mut controller =
+        UpdateController::new(&update, ApplyOptions { timeout_slices: 50, ..Default::default() });
+    controller.attach_sink(&mut events);
+    let err = controller.run_to_completion(&mut vm).expect_err("spin blocks forever");
+    assert!(
+        matches!(&err, UpdateError::Timeout { blocking, .. } if blocking.iter().any(|b| b.contains("spin"))),
+        "expected a timeout naming spin, got: {err}"
+    );
+
+    // The rollback must leave every registry table exactly as it was. The
+    // spinner never enters or leaves a method while waiting, so even the
+    // JIT counters cannot legitimately differ.
+    let after = registry_fingerprint(&vm);
+    assert_eq!(before, after, "timeout rollback must restore the registry bit-for-bit");
+
+    // The event stream records the rollback.
+    assert!(
+        events.events.iter().any(|e| matches!(e, UpdateEvent::RolledBack { .. })),
+        "a RolledBack event must be emitted"
+    );
+    assert!(
+        events
+            .events
+            .iter()
+            .any(|e| matches!(e, UpdateEvent::Aborted { rolled_back: true, .. })),
+        "the Aborted event must record that the VM was rolled back"
+    );
+
+    // And the old version still runs: work() is v1's +1, not v2's +10.
+    assert_eq!(
+        vm.call_static_sync("App", "work", &[]).expect("old code runs"),
+        Some(Value::Int(1))
+    );
+}
+
+#[test]
+fn bad_transformer_source_rolls_back_mid_install() {
+    // No thread is running restricted code, so the controller sails
+    // through the safe point and fails *inside* the install phase when the
+    // transformer class does not compile — after classes were renamed,
+    // stripped, and the new batch loaded. All of it must be undone.
+    let v1 = compile("class Counter { static field hits: int; field pad: int;
+        static method bump(): int { Counter.hits = Counter.hits + 1; return Counter.hits; } }");
+    let v2 = compile("class Counter { static field hits: int; field pad: int; field extra: int;
+        static method bump(): int { Counter.hits = Counter.hits + 2; return Counter.hits; } }");
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_classes(&v1).expect("v1 loads");
+    assert_eq!(vm.call_static_sync("Counter", "bump", &[]).unwrap(), Some(Value::Int(1)));
+
+    let mut update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
+    update.set_transformers_source("this is not a valid MJ program {{{");
+
+    let before = registry_fingerprint(&vm);
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    let err = controller.run_to_completion(&mut vm).expect_err("transformer compile fails");
+    assert!(matches!(err, UpdateError::Compile(_)), "got: {err}");
+    assert_eq!(controller.phase(), UpdatePhase::Aborted);
+
+    let after = registry_fingerprint(&vm);
+    assert_eq!(before, after, "mid-install rollback must restore the registry bit-for-bit");
+
+    // Old code, old semantics, preserved statics: 1 + 1 = 2, not + 2.
+    assert_eq!(vm.call_static_sync("Counter", "bump", &[]).unwrap(), Some(Value::Int(2)));
+}
+
+#[test]
+fn malformed_spec_aborts_with_bad_spec_and_rolls_back() {
+    // A spec that names a class missing from the payload used to panic the
+    // host via expect(); it must now abort with BadSpec and roll back.
+    let v1 = compile("class Widget { field a: int; method get(): int { return this.a; } }");
+    let v2 = compile(
+        "class Widget { field a: int; field b: int; method get(): int { return this.a; } }",
+    );
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_classes(&v1).expect("v1 loads");
+
+    let mut update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
+    // Sabotage the payload: the spec still lists Widget as a class update,
+    // but the new version no longer carries it.
+    update.new_classes.remove(&jvolve_classfile::ClassName::from("Widget"));
+
+    let before = registry_fingerprint(&vm);
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    let err = controller.run_to_completion(&mut vm).expect_err("payload is malformed");
+    assert!(
+        matches!(&err, UpdateError::BadSpec { message } if message.contains("Widget")),
+        "got: {err}"
+    );
+
+    let after = registry_fingerprint(&vm);
+    assert_eq!(before, after, "BadSpec rollback must restore the registry bit-for-bit");
+    // In particular the rename of Widget → v1_Widget was undone.
+    assert!(vm.registry().class_id(&jvolve_classfile::ClassName::from("Widget")).is_some());
+    assert!(vm.registry().class_id(&jvolve_classfile::ClassName::from("v1_Widget")).is_none());
+}
+
+/// v1 of a guest that spins for a *bounded* stretch inside a changed
+/// method, so the update must wait but eventually applies. `probe`
+/// returns a version marker.
+const SERVER_V1: &str = "
+class Srv {
+  static method probe(): int { return 1; }
+  static method handle(): int {
+    var i: int = 0;
+    while (i < 60000) { i = i + 1; }
+    return i;
+  }
+  static method main(): void { Sys.printInt(Srv.handle()); }
+}";
+
+const SERVER_V2: &str = "
+class Srv {
+  static method probe(): int { return 2; }
+  static method handle(): int {
+    var i: int = 0;
+    while (i < 60000) { i = i + 2; }
+    return i;
+  }
+  static method main(): void { Sys.printInt(Srv.handle()); }
+}";
+
+#[test]
+fn interleaved_stepping_never_observes_a_half_installed_class() {
+    let mut vm = Vm::new(VmConfig { quantum: 50, ..VmConfig::small() });
+    vm.load_classes(&compile(SERVER_V1)).expect("v1 loads");
+    vm.spawn("Srv", "main").expect("main spawns");
+    for _ in 0..5 {
+        vm.step_slice();
+    }
+
+    let update = Update::prepare(&compile(SERVER_V1), &compile(SERVER_V2), "v1_")
+        .expect("non-empty update");
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+
+    // Step the controller while serving "requests" (probe calls) between
+    // waiting polls — the embedder keeps working mid-update. Every
+    // observation must be fully-old (1) before commit and fully-new (2)
+    // after; anything else would mean a request saw a half-installed
+    // class.
+    let mut observations_before_commit = 0;
+    let committed = loop {
+        match controller.step(&mut vm) {
+            StepProgress::Pending(UpdatePhase::WaitingForSafePoint) => {
+                let v = vm
+                    .call_static_sync("Srv", "probe", &[])
+                    .expect("probe serves during the wait");
+                assert_eq!(
+                    v,
+                    Some(Value::Int(1)),
+                    "a request observed non-v1 state before the update committed"
+                );
+                observations_before_commit += 1;
+            }
+            StepProgress::Pending(_) => {}
+            StepProgress::Committed => break true,
+            StepProgress::Aborted => break false,
+        }
+    };
+    assert!(committed, "the bounded handler must eventually let the update in: {:?}",
+        controller.error());
+    assert!(
+        observations_before_commit > 0,
+        "the update must actually have waited while requests were served"
+    );
+    assert_eq!(
+        vm.call_static_sync("Srv", "probe", &[]).expect("probe serves after the update"),
+        Some(Value::Int(2)),
+        "after commit every request sees v2"
+    );
+}
+
+#[test]
+fn phase_events_tell_the_protocol_story() {
+    // A trivially-applicable update emits the phases in protocol order.
+    let v1 = compile("class K { static method f(): int { return 1; } }");
+    let v2 = compile("class K { static method f(): int { return 2; } }");
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_classes(&v1).expect("v1 loads");
+
+    let update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
+    let mut events = MemorySink::default();
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    controller.attach_sink(&mut events);
+    controller.run_to_completion(&mut vm).expect("update applies");
+    assert_eq!(controller.phase(), UpdatePhase::Committed);
+    // The stats the wrapper returns flow from the same event stream.
+    let stats = controller.stats().clone();
+    drop(controller);
+    assert_eq!(stats.bodies_swapped, 1);
+
+    let entered: Vec<UpdatePhase> = events
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            UpdateEvent::PhaseEntered { phase, .. } => Some(*phase),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        entered,
+        vec![
+            UpdatePhase::WaitingForSafePoint,
+            UpdatePhase::Installing,
+            UpdatePhase::TransformingHeap
+        ]
+    );
+    assert!(events.events.iter().any(|e| matches!(e, UpdateEvent::SafePointReached { .. })));
+    assert!(events.events.iter().any(|e| matches!(e, UpdateEvent::Committed { .. })));
+}
+
+#[test]
+fn json_trace_is_valid_and_ordered() {
+    let v1 = compile("class K { field x: int; method get(): int { return this.x; } }");
+    let v2 =
+        compile("class K { field x: int; field y: int; method get(): int { return this.x; } }");
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_classes(&v1).expect("v1 loads");
+
+    let update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
+    let mut trace = jvolve::JsonTraceSink::new();
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    controller.attach_sink(&mut trace);
+    controller.run_to_completion(&mut vm).expect("update applies");
+
+    let json = trace.to_json();
+    let reparsed = jvolve_json::Json::parse(&json.pretty()).expect("trace is valid JSON");
+    let entries = reparsed.as_arr().expect("trace is an array");
+    assert!(!entries.is_empty());
+    let kinds: Vec<&str> =
+        entries.iter().filter_map(|e| e.get("event").and_then(|v| v.as_str())).collect();
+    assert_eq!(kinds.first(), Some(&"phase_entered"));
+    assert_eq!(kinds.last(), Some(&"committed"));
+    assert!(kinds.contains(&"classes_loaded"));
+    assert!(kinds.contains(&"gc_completed"));
+}

@@ -498,7 +498,7 @@ impl Vm {
         frame.pc = caller_next_pc as u32;
         let base = frame.stack.len() - total;
         let args: Vec<Value> = frame.stack.split_off(base);
-        t.frames.push(Frame::new(compiled, &args));
+        t.frames.push(Frame::new(compiled, &args)?);
         Ok(())
     }
 
@@ -616,7 +616,10 @@ impl Vm {
                     Ok(c) => c,
                     Err(e) => return NOut::Trap(e),
                 };
-                let new_frame = Frame::new(compiled, &[Value::Ref(obj)]);
+                let new_frame = match Frame::new(compiled, &[Value::Ref(obj)]) {
+                    Ok(f) => f,
+                    Err(e) => return NOut::Trap(e),
+                };
                 let name = format!("{}::run", self.registry.class(class).name);
                 let tid = self.add_thread(name, new_frame);
                 NOut::Val(Some(Value::Int(i64::from(tid.0))))
@@ -778,7 +781,11 @@ impl Vm {
                     Err(e) => return NOut::Trap(e),
                 };
                 self.dsu.in_progress.insert(addr);
-                let mut new_frame = Frame::new(compiled, &[Value::Ref(new), Value::Ref(old)]);
+                let mut new_frame = match Frame::new(compiled, &[Value::Ref(new), Value::Ref(old)])
+                {
+                    Ok(f) => f,
+                    Err(e) => return NOut::Trap(e),
+                };
                 new_frame.note = Some(FrameNote::TransformOf(addr));
                 NOut::Frame(Box::new(new_frame))
             }

@@ -47,5 +47,6 @@ mod vm;
 pub use config::VmConfig;
 pub use error::VmError;
 pub use ids::{ClassId, MethodId, ThreadId};
+pub use registry::{ClassMethodsSnapshot, RegistryMark};
 pub use value::{GcRef, Value};
 pub use vm::{SliceOutcome, SliceReport, Vm, VmStats};

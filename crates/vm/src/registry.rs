@@ -477,12 +477,12 @@ impl Registry {
         info.invocations = 0;
     }
 
-    /// Invalidates every compiled method that inlined one of `changed`
-    /// (paper §3.2: inlined callers of restricted methods are restricted).
-    /// Returns the invalidated methods.
-    pub fn invalidate_inliners(&mut self, changed: &[MethodId]) -> Vec<MethodId> {
-        let victims: Vec<MethodId> = self
-            .methods
+    /// Every compiled method that inlined one of `changed` (paper §3.2:
+    /// inlined callers of restricted methods are restricted). Read-only so
+    /// the update controller can capture each victim's state for its
+    /// rollback ledger before invalidating.
+    pub fn inliners_of(&self, changed: &[MethodId]) -> Vec<MethodId> {
+        self.methods
             .iter()
             .filter(|m| {
                 m.compiled
@@ -490,7 +490,13 @@ impl Registry {
                     .is_some_and(|c| c.inlined.iter().any(|i| changed.contains(i)))
             })
             .map(|m| m.id)
-            .collect();
+            .collect()
+    }
+
+    /// Invalidates every compiled method that inlined one of `changed`.
+    /// Returns the invalidated methods.
+    pub fn invalidate_inliners(&mut self, changed: &[MethodId]) -> Vec<MethodId> {
+        let victims = self.inliners_of(changed);
         for &v in &victims {
             self.invalidate(v);
         }
@@ -501,6 +507,134 @@ impl Registry {
     pub fn set_compiled(&mut self, mid: MethodId, code: Arc<CompiledMethod>) {
         self.methods[mid.index()].compiled = Some(code);
     }
+
+    // ---- rollback primitives (used by the update controller) ----------------
+    //
+    // Classes, methods, and JTOC slots are append-only tables, so a failed
+    // update's half-loaded batch can be dropped by truncating back to a
+    // mark taken before the first load. Renames and method strips/swaps are
+    // undone from snapshots captured before the mutation.
+
+    /// A high-water mark of the registry's append-only tables.
+    #[must_use]
+    pub fn mark(&self) -> RegistryMark {
+        RegistryMark {
+            classes: self.classes.len(),
+            methods: self.methods.len(),
+            jtoc: self.jtoc.len(),
+        }
+    }
+
+    /// Drops every class, method, and JTOC slot added after `mark`,
+    /// removing their name/lookup entries. Callers must ensure nothing
+    /// still references the dropped ids (the update controller rolls back
+    /// frames and renames first).
+    pub fn truncate_to(&mut self, mark: &RegistryMark) {
+        for class in self.classes.drain(mark.classes..) {
+            if self.by_name.get(&class.name) == Some(&class.id) {
+                self.by_name.remove(&class.name);
+            }
+        }
+        for method in self.methods.drain(mark.methods..) {
+            self.method_by_key.remove(&(method.class, method.name));
+        }
+        self.jtoc.truncate(mark.jtoc);
+        self.jtoc_ref.truncate(mark.jtoc);
+        self.snapshot = None;
+    }
+
+    /// Captures everything [`Registry::strip_methods`] destroys for class
+    /// `id`, so an aborted update can restore it.
+    #[must_use]
+    pub fn snapshot_class_methods(&self, id: ClassId) -> ClassMethodsSnapshot {
+        let class = &self.classes[id.index()];
+        ClassMethodsSnapshot {
+            file_methods: class.file.methods.clone(),
+            tib: class.tib.clone(),
+            vslots: class.vslots.clone(),
+            methods: self
+                .methods
+                .iter()
+                .filter(|m| m.class == id)
+                .map(|m| (m.id, m.compiled.clone(), m.invocations, m.invalidations))
+                .collect(),
+        }
+    }
+
+    /// Restores a class's methods from a snapshot taken before
+    /// [`Registry::strip_methods`]: lookup entries, TIB, virtual slots,
+    /// class-file method list, and each method's compiled code and
+    /// counters.
+    pub fn restore_class_methods(&mut self, id: ClassId, snap: ClassMethodsSnapshot) {
+        let class = &mut self.classes[id.index()];
+        class.file.methods = snap.file_methods;
+        class.tib = snap.tib;
+        class.vslots = snap.vslots;
+        for (mid, compiled, invocations, invalidations) in snap.methods {
+            let name = self.methods[mid.index()].name.clone();
+            self.method_by_key.insert((id, name), mid);
+            let info = &mut self.methods[mid.index()];
+            info.compiled = compiled;
+            info.invocations = invocations;
+            info.invalidations = invalidations;
+        }
+    }
+
+    /// Restores one method's definition, compiled code, and counters —
+    /// the inverse of [`Registry::replace_method_body`] /
+    /// [`Registry::invalidate`] for rollback.
+    pub fn restore_method_state(
+        &mut self,
+        mid: MethodId,
+        def: jvolve_classfile::MethodDef,
+        compiled: Option<Arc<CompiledMethod>>,
+        invocations: u32,
+        invalidations: u32,
+    ) {
+        let class = self.methods[mid.index()].class;
+        if let Some(m) = self.classes[class.index()]
+            .file
+            .methods
+            .iter_mut()
+            .find(|m| m.name == def.name)
+        {
+            *m = def.clone();
+        }
+        let info = &mut self.methods[mid.index()];
+        info.def = def;
+        info.compiled = compiled;
+        info.invocations = invocations;
+        info.invalidations = invalidations;
+    }
+
+    /// Number of JTOC slots allocated (for registry state comparisons).
+    pub fn jtoc_len(&self) -> usize {
+        self.jtoc.len()
+    }
+
+    /// Raw refness of a JTOC slot (for registry state comparisons).
+    pub fn jtoc_is_ref(&self, slot: u32) -> bool {
+        self.jtoc_ref[slot as usize]
+    }
+}
+
+/// High-water mark of the registry's append-only tables (see
+/// [`Registry::mark`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryMark {
+    classes: usize,
+    methods: usize,
+    jtoc: usize,
+}
+
+/// Opaque snapshot of a class's method tables (see
+/// [`Registry::snapshot_class_methods`]).
+#[derive(Debug)]
+pub struct ClassMethodsSnapshot {
+    file_methods: Vec<jvolve_classfile::MethodDef>,
+    tib: Vec<MethodId>,
+    vslots: HashMap<String, u16>,
+    methods: Vec<(MethodId, Option<Arc<CompiledMethod>>, u32, u32)>,
 }
 
 impl ClassLayouts for Registry {
@@ -710,6 +844,53 @@ mod tests {
         let b = r.class_id(&ClassName::from("B")).unwrap();
         let a = r.class_id(&ClassName::from("A")).unwrap();
         assert!(r.is_subclass_of(b, a));
+    }
+
+    #[test]
+    fn truncate_to_drops_a_loaded_batch() {
+        let mut r = base_registry();
+        let mark = r.mark();
+        let n_classes = r.num_classes();
+        let n_methods = r.method_count();
+        let n_jtoc = r.jtoc_len();
+        let classes = jvolve_lang::compile(
+            "class Late { static field n: int; method f(): int { return 1; } }",
+        )
+        .unwrap();
+        r.load_batch(&classes).unwrap();
+        assert!(r.class_id(&ClassName::from("Late")).is_some());
+        r.truncate_to(&mark);
+        assert_eq!(r.num_classes(), n_classes);
+        assert_eq!(r.method_count(), n_methods);
+        assert_eq!(r.jtoc_len(), n_jtoc);
+        assert!(r.class_id(&ClassName::from("Late")).is_none());
+        // The name is free again.
+        r.load_batch(&classes).unwrap();
+        assert!(r.class_id(&ClassName::from("Late")).is_some());
+    }
+
+    #[test]
+    fn strip_and_restore_round_trips() {
+        let mut r = base_registry();
+        let classes = jvolve_lang::compile(
+            "class User { method getName(): int { return 1; } method other(): int { return 2; } }",
+        )
+        .unwrap();
+        r.load_batch(&classes).unwrap();
+        let id = r.class_id(&ClassName::from("User")).unwrap();
+        let mid = r.find_method(id, "getName").unwrap();
+        let tib_before = r.class(id).tib.clone();
+        let file_methods_before = r.class(id).file.methods.len();
+
+        let snap = r.snapshot_class_methods(id);
+        r.strip_methods(id);
+        assert!(r.find_method(id, "getName").is_none());
+        r.restore_class_methods(id, snap);
+
+        assert_eq!(r.find_method(id, "getName"), Some(mid));
+        assert_eq!(r.class(id).tib, tib_before);
+        assert_eq!(r.class(id).file.methods.len(), file_methods_before);
+        assert_eq!(r.method(mid).invalidations, 0, "counters restored");
     }
 
     #[test]

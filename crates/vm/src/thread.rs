@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::compiled::CompiledMethod;
+use crate::error::VmError;
 use crate::ids::{MethodId, ThreadId};
 use crate::value::Value;
 
@@ -36,10 +37,22 @@ pub struct Frame {
 
 impl Frame {
     /// Creates a frame for `compiled` with arguments in the leading locals.
-    pub fn new(compiled: Arc<CompiledMethod>, args: &[Value]) -> Frame {
-        let mut locals = vec![Value::Null; compiled.max_locals.max(args.len() as u16) as usize];
+    ///
+    /// # Errors
+    ///
+    /// Traps with [`VmError::Internal`] when `args` exceeds the `u16`
+    /// local-slot space instead of silently truncating the count.
+    pub fn new(compiled: Arc<CompiledMethod>, args: &[Value]) -> Result<Frame, VmError> {
+        let argc = u16::try_from(args.len()).map_err(|_| VmError::Internal {
+            message: format!(
+                "{} arguments overflow the frame's local slots (max {})",
+                args.len(),
+                u16::MAX
+            ),
+        })?;
+        let mut locals = vec![Value::Null; compiled.max_locals.max(argc) as usize];
         locals[..args.len()].copy_from_slice(args);
-        Frame {
+        Ok(Frame {
             method: compiled.method,
             compiled,
             pc: 0,
@@ -47,7 +60,7 @@ impl Frame {
             stack: Vec::with_capacity(8),
             return_barrier: false,
             note: None,
-        }
+        })
     }
 }
 
@@ -140,7 +153,7 @@ mod tests {
 
     #[test]
     fn frame_seeds_arguments() {
-        let f = Frame::new(dummy_compiled(4), &[Value::Int(7), Value::Bool(true)]);
+        let f = Frame::new(dummy_compiled(4), &[Value::Int(7), Value::Bool(true)]).unwrap();
         assert_eq!(f.locals.len(), 4);
         assert_eq!(f.locals[0], Value::Int(7));
         assert_eq!(f.locals[1], Value::Bool(true));
@@ -148,8 +161,16 @@ mod tests {
     }
 
     #[test]
+    fn frame_rejects_oversized_argument_lists() {
+        let args = vec![Value::Int(0); usize::from(u16::MAX) + 1];
+        let err = Frame::new(dummy_compiled(0), &args).unwrap_err();
+        assert!(matches!(err, VmError::Internal { .. }), "{err}");
+    }
+
+    #[test]
     fn thread_liveness() {
-        let mut t = VmThread::new(ThreadId(0), "main", Frame::new(dummy_compiled(0), &[]));
+        let frame = Frame::new(dummy_compiled(0), &[]).unwrap();
+        let mut t = VmThread::new(ThreadId(0), "main", frame);
         assert!(t.is_live());
         t.state = ThreadState::Finished;
         assert!(!t.is_live());

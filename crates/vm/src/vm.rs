@@ -249,7 +249,7 @@ impl Vm {
             });
         }
         let compiled = self.compiled_for(mid)?;
-        let frame = Frame::new(compiled, &[]);
+        let frame = Frame::new(compiled, &[])?;
         Ok(self.add_thread(format!("{class}.{method}"), frame))
     }
 
@@ -402,6 +402,26 @@ impl Vm {
             self.step_slice();
         }
         n
+    }
+
+    /// Runs scheduler slices until `stop` says so or `max_slices` elapse,
+    /// returning the number of slices executed. `stop` is consulted after
+    /// every slice, i.e. at a VM safe point — this is the scheduling hook
+    /// an update controller (or any embedder) uses to interleave its own
+    /// work with guest execution instead of freezing the world from the
+    /// outside.
+    pub fn run_until(
+        &mut self,
+        max_slices: u64,
+        mut stop: impl FnMut(&Vm, &SliceReport) -> bool,
+    ) -> u64 {
+        for i in 0..max_slices {
+            let report = self.step_slice();
+            if stop(self, &report) {
+                return i + 1;
+            }
+        }
+        max_slices
     }
 
     /// Runs until every thread finished/trapped or `max_slices` elapsed.
@@ -591,7 +611,7 @@ impl Vm {
         };
         self.dsu.in_progress.insert(new.0);
         let compiled = self.compiled_for(mid)?;
-        let mut frame = Frame::new(compiled, &[Value::Ref(new), Value::Ref(old)]);
+        let mut frame = Frame::new(compiled, &[Value::Ref(new), Value::Ref(old)])?;
         frame.note = Some(FrameNote::TransformOf(new.0));
         self.run_sync(frame, "object-transformer")?;
         Ok(())
@@ -616,7 +636,7 @@ impl Vm {
             VmError::ResolutionError { message: format!("unknown method {class}.{method}") }
         })?;
         let compiled = self.compiled_for(mid)?;
-        let frame = Frame::new(compiled, args);
+        let frame = Frame::new(compiled, args)?;
         self.run_sync(frame, &format!("{class}.{method}"))
     }
 
@@ -796,6 +816,38 @@ impl Vm {
         f.method = new_method;
         f.compiled = fresh;
         f.pc = new_pc;
+        Ok(())
+    }
+
+    /// Restores a frame's executing code, method, pc, and local-slot count
+    /// — the exact inverse of [`Vm::osr_replace`] / [`Vm::osr_migrate`],
+    /// used by the update controller's rollback to put an aborted update's
+    /// frames back on their old code.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a stale thread/frame index.
+    pub fn osr_restore(
+        &mut self,
+        thread: ThreadId,
+        frame_idx: usize,
+        method: MethodId,
+        compiled: Arc<CompiledMethod>,
+        pc: u32,
+        locals_len: usize,
+    ) -> Result<(), VmError> {
+        let t = self
+            .threads
+            .get_mut(thread.0 as usize)
+            .and_then(|t| t.as_mut())
+            .ok_or_else(|| VmError::Internal { message: format!("no thread {thread}") })?;
+        let f = t.frames.get_mut(frame_idx).ok_or_else(|| VmError::Internal {
+            message: format!("no frame {frame_idx} on {thread}"),
+        })?;
+        f.method = method;
+        f.compiled = compiled;
+        f.pc = pc;
+        f.locals.truncate(locals_len);
         Ok(())
     }
 

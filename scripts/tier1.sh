@@ -21,6 +21,9 @@ done
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
+echo "== tier-1: cargo clippy (workspace, warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tier-1: cargo test (workspace) =="
 cargo test -q --workspace
 
