@@ -2,8 +2,9 @@
 //!
 //! Measures the **update-GC phase** of the §4.1 microbenchmark — the part
 //! the flattened `LayoutSnapshot` hot path optimizes — as median
-//! nanoseconds per live object, at 0%/50%/100% updated fractions and two
-//! heap sizes, and gates changes against the committed baseline.
+//! nanoseconds per live object, at 0%/50%/100% updated fractions, two
+//! heap sizes, and three GC worker counts (the parallel collector's
+//! threads axis), and gates changes against the committed baseline.
 //!
 //! Usage:
 //!
@@ -11,15 +12,23 @@
 //!   write `BENCH_gc.json` (override with `--out FILE`; to refresh the
 //!   committed baseline, `--out results/BENCH_gc.json`).
 //! * `cargo run --release -p jvolve-bench --bin gcbench -- --check` —
-//!   quick mode: re-measure and exit nonzero if any configuration's GC
-//!   phase regressed more than 15% vs `results/BENCH_gc.json` (override
-//!   with `--baseline FILE`). `scripts/tier1.sh` runs this. The gate
-//!   compares *best-of-N* times, not medians — noise only adds time, so
-//!   min-of-N is the stable statistic at microsecond scales.
+//!   quick mode: re-measure and exit nonzero if any serial
+//!   (`gc_threads = 1`) configuration's GC phase regressed more than 15%
+//!   vs `results/BENCH_gc.json` (override with `--baseline FILE`).
+//!   `scripts/tier1.sh` runs this. The gate compares *best-of-N* times,
+//!   not medians — noise only adds time, so min-of-N is the stable
+//!   statistic at microsecond scales. Baseline entries without a
+//!   `gc_threads` field (the v1 schema) are treated as serial.
+//!
+//!   `--check` also gates the parallel collector itself: at the largest
+//!   configuration, 4 workers must not be more than 15% *slower* than
+//!   serial. That gate only makes sense with real cores behind the
+//!   workers, so it is skipped (with a message) on hosts with fewer than
+//!   4 logical CPUs.
 //!
 //! `--iters N` controls timed iterations per configuration (default 5).
 
-use jvolve_bench::micro::{measure_pause, PauseSample};
+use jvolve_bench::micro::{measure_pause_threads, PauseSample};
 use jvolve_bench::timing::{fmt_ns, Samples};
 use jvolve_bench::{arg_flag, arg_value};
 use jvolve_json::Json;
@@ -28,13 +37,20 @@ use jvolve_json::Json;
 const REGRESSION_LIMIT: f64 = 0.15;
 
 /// The gated configurations: two heap sizes (the semispace scales with the
-/// object count) × three updated fractions.
+/// object count) × three updated fractions × three GC worker counts.
 const OBJECT_COUNTS: [usize; 2] = [5_000, 20_000];
 const FRACTIONS: [f64; 3] = [0.0, 0.5, 1.0];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Minimum logical CPUs before the parallel-vs-serial gate is enforced.
+/// With fewer cores the workers time-slice one CPU and "parallel beats
+/// serial" is not a meaningful claim.
+const PARALLEL_GATE_MIN_CPUS: usize = 4;
 
 struct Entry {
     objects: usize,
     fraction: f64,
+    gc_threads: usize,
     semispace_words: usize,
     gc_ns_per_object: f64,
     /// Best-of-N GC phase time. The check gate compares this, not the
@@ -50,32 +66,38 @@ fn measure(iters: usize) -> Vec<Entry> {
     let mut entries = Vec::new();
     for &objects in &OBJECT_COUNTS {
         for &fraction in &FRACTIONS {
-            eprint!("\rmeasuring {objects} objects, {:>3.0}% updated...", fraction * 100.0);
-            let mut gc_ns = Vec::with_capacity(iters);
-            let mut total_ns = Vec::with_capacity(iters);
-            let mut last: Option<PauseSample> = None;
-            // Warmup run, then timed runs; measure_pause builds a fresh VM
-            // each time, so iterations are independent.
-            measure_pause(objects, fraction);
-            for _ in 0..iters {
-                let s = measure_pause(objects, fraction);
-                gc_ns.push(s.gc_time.as_nanos() as u64);
-                total_ns.push(s.total_time.as_nanos() as u64);
-                last = Some(s);
+            for &gc_threads in &THREAD_COUNTS {
+                eprint!(
+                    "\rmeasuring {objects} objects, {:>3.0}% updated, {gc_threads} worker(s)...",
+                    fraction * 100.0
+                );
+                let mut gc_ns = Vec::with_capacity(iters);
+                let mut total_ns = Vec::with_capacity(iters);
+                let mut last: Option<PauseSample> = None;
+                // Warmup run, then timed runs; measure_pause_threads builds
+                // a fresh VM each time, so iterations are independent.
+                measure_pause_threads(objects, fraction, gc_threads);
+                for _ in 0..iters {
+                    let s = measure_pause_threads(objects, fraction, gc_threads);
+                    gc_ns.push(s.gc_time.as_nanos() as u64);
+                    total_ns.push(s.total_time.as_nanos() as u64);
+                    last = Some(s);
+                }
+                let last = last.expect("at least one iteration");
+                let gc = Samples::from_ns(gc_ns);
+                entries.push(Entry {
+                    objects,
+                    fraction,
+                    gc_threads,
+                    semispace_words: last.semispace_words,
+                    gc_ns_per_object: gc.median_ns() as f64 / objects as f64,
+                    gc_min_ns_per_object: gc.min_ns() as f64 / objects as f64,
+                    total_ns_per_object: Samples::from_ns(total_ns).median_ns() as f64
+                        / objects as f64,
+                    gc_copied_cells: last.gc_copied_cells,
+                    gc_copied_words: last.gc_copied_words,
+                });
             }
-            let last = last.expect("at least one iteration");
-            let gc = Samples::from_ns(gc_ns);
-            entries.push(Entry {
-                objects,
-                fraction,
-                semispace_words: last.semispace_words,
-                gc_ns_per_object: gc.median_ns() as f64 / objects as f64,
-                gc_min_ns_per_object: gc.min_ns() as f64 / objects as f64,
-                total_ns_per_object: Samples::from_ns(total_ns).median_ns() as f64
-                    / objects as f64,
-                gc_copied_cells: last.gc_copied_cells,
-                gc_copied_words: last.gc_copied_words,
-            });
         }
     }
     eprintln!();
@@ -84,7 +106,7 @@ fn measure(iters: usize) -> Vec<Entry> {
 
 fn to_json(entries: &[Entry], iters: usize) -> Json {
     Json::obj([
-        ("schema", Json::from("jvolve-gcbench-v1")),
+        ("schema", Json::from("jvolve-gcbench-v2")),
         ("iters", Json::from(iters)),
         (
             "entries",
@@ -95,6 +117,7 @@ fn to_json(entries: &[Entry], iters: usize) -> Json {
                         Json::obj([
                             ("objects", Json::from(e.objects)),
                             ("fraction", Json::from(e.fraction)),
+                            ("gc_threads", Json::from(e.gc_threads)),
                             ("semispace_words", Json::from(e.semispace_words)),
                             ("gc_ns_per_object", Json::from(e.gc_ns_per_object)),
                             ("gc_min_ns_per_object", Json::from(e.gc_min_ns_per_object)),
@@ -112,11 +135,11 @@ fn to_json(entries: &[Entry], iters: usize) -> Json {
 /// Best-of-`iters` GC phase time for one configuration, in ns/object.
 /// Used by `--check` to re-measure a configuration that tripped the gate:
 /// a real regression survives the retry, scheduler noise does not.
-fn gc_min_ns(objects: usize, fraction: f64, iters: usize) -> f64 {
+fn gc_min_ns(objects: usize, fraction: f64, gc_threads: usize, iters: usize) -> f64 {
     let mut best = u64::MAX;
-    measure_pause(objects, fraction);
+    measure_pause_threads(objects, fraction, gc_threads);
     for _ in 0..iters {
-        let s = measure_pause(objects, fraction);
+        let s = measure_pause_threads(objects, fraction, gc_threads);
         best = best.min(s.gc_time.as_nanos() as u64);
     }
     best as f64 / objects as f64
@@ -126,7 +149,10 @@ fn baseline_gc_ns(baseline: &Json, objects: usize, fraction: f64) -> Option<f64>
     baseline.get("entries")?.as_arr()?.iter().find_map(|e| {
         let obj = e.get("objects")?.as_u64()? as usize;
         let frac = e.get("fraction")?.as_f64()?;
-        (obj == objects && (frac - fraction).abs() < 1e-9)
+        // v1 baselines predate the threads axis: no gc_threads field means
+        // the serial collector.
+        let threads = e.get("gc_threads").and_then(Json::as_u64).unwrap_or(1) as usize;
+        (obj == objects && threads == 1 && (frac - fraction).abs() < 1e-9)
             .then(|| e.get("gc_min_ns_per_object")?.as_f64())
             .flatten()
     })
@@ -134,19 +160,120 @@ fn baseline_gc_ns(baseline: &Json, objects: usize, fraction: f64) -> Option<f64>
 
 fn print_table(entries: &[Entry]) {
     println!(
-        "{:>9} {:>9} {:>10} {:>16} {:>18} {:>14}",
-        "objects", "updated%", "heap(MB)", "gc ns/object", "total ns/object", "copied cells"
+        "{:>9} {:>9} {:>8} {:>10} {:>16} {:>18} {:>14}",
+        "objects", "updated%", "workers", "heap(MB)", "gc ns/object", "total ns/object",
+        "copied cells"
     );
     for e in entries {
         println!(
-            "{:>9} {:>8.0}% {:>10.1} {:>16.1} {:>18.1} {:>14}",
+            "{:>9} {:>8.0}% {:>8} {:>10.1} {:>16.1} {:>18.1} {:>14}",
             e.objects,
             e.fraction * 100.0,
+            e.gc_threads,
             (e.semispace_words * 2 * 8) as f64 / (1024.0 * 1024.0),
             e.gc_ns_per_object,
             e.total_ns_per_object,
             e.gc_copied_cells,
         );
+    }
+}
+
+/// The serial-vs-baseline regression gate, `gc_threads = 1` entries only.
+/// Returns human-readable descriptions of configurations beyond the limit.
+fn check_serial(entries: &[Entry], baseline: &Json, path: &str, iters: usize) -> Vec<String> {
+    let mut regressions = Vec::new();
+    println!("\nregression check vs {path} (limit +{:.0}%):", REGRESSION_LIMIT * 100.0);
+    for e in entries.iter().filter(|e| e.gc_threads == 1) {
+        let Some(base) = baseline_gc_ns(baseline, e.objects, e.fraction) else {
+            println!(
+                "  {:>7} objects {:>3.0}%: no baseline entry — skipped",
+                e.objects,
+                e.fraction * 100.0
+            );
+            continue;
+        };
+        let mut current = e.gc_min_ns_per_object;
+        let mut delta = current / base - 1.0;
+        let mut retried = false;
+        if delta > REGRESSION_LIMIT {
+            // Suspicious — re-measure with 3x iterations before
+            // declaring a regression.
+            current = current.min(gc_min_ns(e.objects, e.fraction, 1, iters * 3));
+            delta = current / base - 1.0;
+            retried = true;
+        }
+        let verdict = match (delta > REGRESSION_LIMIT, retried) {
+            (true, _) => "REGRESSED",
+            (false, true) => "ok (after retry)",
+            (false, false) => "ok",
+        };
+        println!(
+            "  {:>7} objects {:>3.0}%: {:>9} -> {:>9} per object ({:>+6.1}%) {verdict}",
+            e.objects,
+            e.fraction * 100.0,
+            fmt_ns(base as u64),
+            fmt_ns(current as u64),
+            delta * 100.0,
+        );
+        if delta > REGRESSION_LIMIT {
+            regressions.push(format!(
+                "{} objects at {:.0}%: {:.1} -> {:.1} ns/object",
+                e.objects,
+                e.fraction * 100.0,
+                base,
+                current
+            ));
+        }
+    }
+    regressions
+}
+
+/// The parallel-vs-serial gate: at the largest configuration, 4 workers
+/// must not be more than `REGRESSION_LIMIT` slower than serial in the
+/// same run. Skipped on hosts without enough CPUs to run the workers in
+/// parallel at all.
+fn check_parallel(entries: &[Entry], iters: usize) -> Vec<String> {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cpus < PARALLEL_GATE_MIN_CPUS {
+        println!(
+            "\nparallel-vs-serial gate skipped: host has {cpus} logical CPU(s), \
+             need >= {PARALLEL_GATE_MIN_CPUS}"
+        );
+        return Vec::new();
+    }
+    let objects = *OBJECT_COUNTS.last().expect("object counts");
+    let fraction = *FRACTIONS.last().expect("fractions");
+    let pick = |threads: usize| {
+        entries
+            .iter()
+            .find(|e| e.objects == objects && e.fraction == fraction && e.gc_threads == threads)
+            .map(|e| e.gc_min_ns_per_object)
+    };
+    let (Some(serial), Some(parallel)) = (pick(1), pick(4)) else {
+        return Vec::new();
+    };
+    let mut current = parallel;
+    let mut delta = current / serial - 1.0;
+    if delta > REGRESSION_LIMIT {
+        // Retry before declaring the parallel collector slow.
+        current = current.min(gc_min_ns(objects, fraction, 4, iters * 3));
+        delta = current / serial - 1.0;
+    }
+    println!(
+        "\nparallel-vs-serial gate ({objects} objects, {:.0}% updated): \
+         serial {} -> 4 workers {} per object ({:+.1}%)",
+        fraction * 100.0,
+        fmt_ns(serial as u64),
+        fmt_ns(current as u64),
+        delta * 100.0,
+    );
+    if delta > REGRESSION_LIMIT {
+        vec![format!(
+            "4 workers slower than serial at {objects} objects: {serial:.1} -> {current:.1} \
+             ns/object"
+        )]
+    } else {
+        Vec::new()
     }
 }
 
@@ -184,50 +311,8 @@ fn main() {
     print_table(&entries);
 
     if let Some((path, baseline)) = baseline_for_check {
-        let mut regressions = Vec::new();
-        println!("\nregression check vs {path} (limit +{:.0}%):", REGRESSION_LIMIT * 100.0);
-        for e in &entries {
-            let Some(base) = baseline_gc_ns(&baseline, e.objects, e.fraction) else {
-                println!(
-                    "  {:>7} objects {:>3.0}%: no baseline entry — skipped",
-                    e.objects,
-                    e.fraction * 100.0
-                );
-                continue;
-            };
-            let mut current = e.gc_min_ns_per_object;
-            let mut delta = current / base - 1.0;
-            let mut retried = false;
-            if delta > REGRESSION_LIMIT {
-                // Suspicious — re-measure with 3x iterations before
-                // declaring a regression.
-                current = current.min(gc_min_ns(e.objects, e.fraction, iters * 3));
-                delta = current / base - 1.0;
-                retried = true;
-            }
-            let verdict = match (delta > REGRESSION_LIMIT, retried) {
-                (true, _) => "REGRESSED",
-                (false, true) => "ok (after retry)",
-                (false, false) => "ok",
-            };
-            println!(
-                "  {:>7} objects {:>3.0}%: {:>9} -> {:>9} per object ({:>+6.1}%) {verdict}",
-                e.objects,
-                e.fraction * 100.0,
-                fmt_ns(base as u64),
-                fmt_ns(current as u64),
-                delta * 100.0,
-            );
-            if delta > REGRESSION_LIMIT {
-                regressions.push(format!(
-                    "{} objects at {:.0}%: {:.1} -> {:.1} ns/object",
-                    e.objects,
-                    e.fraction * 100.0,
-                    base,
-                    current
-                ));
-            }
-        }
+        let mut regressions = check_serial(&entries, &baseline, &path, iters);
+        regressions.extend(check_parallel(&entries, iters));
         if !regressions.is_empty() {
             eprintln!("\nGC pause regression(s) beyond {:.0}%:", REGRESSION_LIMIT * 100.0);
             for r in &regressions {

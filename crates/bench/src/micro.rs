@@ -63,19 +63,32 @@ pub struct PauseSample {
 }
 
 /// Runs one microbenchmark configuration: `objects` live objects, a
-/// `fraction` of which are instances of the updated class.
+/// `fraction` of which are instances of the updated class, on the serial
+/// (single-worker) collector — the paper's configuration, and the one
+/// `table1`/`fig6` report.
 ///
 /// # Panics
 ///
 /// Panics on fixture errors (the microbenchmark classes always compile
 /// and the update always applies).
 pub fn measure_pause(objects: usize, fraction: f64) -> PauseSample {
+    measure_pause_threads(objects, fraction, 1)
+}
+
+/// [`measure_pause`] with an explicit GC worker count (`gcbench`'s
+/// threads axis). Any worker count yields the same transformed counts,
+/// copied cells/words, and post-update heap — only the timings move.
+///
+/// # Panics
+///
+/// Panics on fixture errors, like [`measure_pause`].
+pub fn measure_pause_threads(objects: usize, fraction: f64, gc_threads: usize) -> PauseSample {
     // Size the heap generously (the paper uses 5x the minimum): live data
     // is ~7 words per object; the update GC additionally materializes an
     // old copy (7 words) and a new object (8 words) per updated object.
     let per_object = 8 + 1;
     let semispace_words = (objects * per_object * 3).max(64 * 1024);
-    let mut vm = Vm::new(VmConfig { semispace_words, ..VmConfig::default() });
+    let mut vm = Vm::new(VmConfig { semispace_words, gc_threads, ..VmConfig::default() });
 
     let old = jvolve_lang::compile(MICRO_V1).expect("micro v1 compiles");
     let new = jvolve_lang::compile(MICRO_V2).expect("micro v2 compiles");
@@ -184,6 +197,15 @@ mod tests {
     fn full_fraction_transforms_everything() {
         let s = measure_pause(500, 1.0);
         assert_eq!(s.transformed, 500);
+    }
+
+    #[test]
+    fn threads_axis_changes_only_timings() {
+        let serial = measure_pause_threads(2_000, 0.5, 1);
+        let par = measure_pause_threads(2_000, 0.5, 4);
+        assert_eq!(par.transformed, serial.transformed);
+        assert_eq!(par.gc_copied_cells, serial.gc_copied_cells);
+        assert_eq!(par.gc_copied_words, serial.gc_copied_words);
     }
 
     #[test]

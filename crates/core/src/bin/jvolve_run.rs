@@ -3,7 +3,7 @@
 //! command).
 //!
 //! ```text
-//! jvolve_run <v1.mj> --main Class.method [--slices N]
+//! jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N]
 //!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]
 //!             [--trace results/update_trace.json]]
 //! ```
@@ -21,7 +21,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(program) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: jvolve_run <v1.mj> --main Class.method [--slices N] \
+            "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N] \
              [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]]"
         );
         return ExitCode::from(2);
@@ -47,7 +47,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut vm = Vm::new(VmConfig { echo_output: true, ..VmConfig::default() });
+    // Update-GC parallelism; defaults to one worker per core (capped).
+    let gc_threads: usize = flag("--gc-threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(VmConfig::default_gc_threads)
+        .max(1);
+
+    let mut vm = Vm::new(VmConfig { echo_output: true, gc_threads, ..VmConfig::default() });
     if let Err(e) = vm.load_classes(&v1) {
         eprintln!("jvolve_run: load failed: {e}");
         return ExitCode::FAILURE;

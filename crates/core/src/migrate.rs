@@ -16,6 +16,11 @@
 //! the analogue of UpStare's (identity) stack-frame transformer, asserted
 //! by the developer when enabling [`migrate_active_methods`].
 //!
+//! Migration runs during install, before the update GC, and only touches
+//! stack frames — so it is independent of `VmConfig::gc_threads`; the
+//! parallel collector sees the already-migrated frames as roots exactly
+//! as the serial one does.
+//!
 //! [`migrate_active_methods`]: crate::ApplyOptions::migrate_active_methods
 
 use std::collections::HashMap;

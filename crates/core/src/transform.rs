@@ -16,6 +16,12 @@
 //! overloading, so the names are mangled with the class name instead (see
 //! DESIGN.md). Developers may customize the generated source before the
 //! update is applied, exactly as in the paper's workflow (Figure 1).
+//!
+//! Object transformers run serially over the update GC's log, which both
+//! the serial and parallel collectors emit in one canonical order (sorted
+//! by the old object's from-space address — see DESIGN.md §5 "Parallel
+//! update-GC"). Transformers with order-dependent effects on shared
+//! state therefore behave identically for any `VmConfig::gc_threads`.
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;

@@ -28,12 +28,26 @@ pub struct VmConfig {
     /// objects can be migrated on first touch, imposing steady-state
     /// overhead. The default (eager, GC-based) mode never pays this cost.
     pub lazy_indirection: bool,
+    /// OS worker threads for the copying collector (clamped to
+    /// `1..=`[`MAX_GC_THREADS`](crate::heap::MAX_GC_THREADS)). `1` runs
+    /// the serial path; any setting produces bit-identical post-GC state
+    /// (same graph, same canonical update-log order, same stats) — only
+    /// wall-clock time and to-space placement differ.
+    pub gc_threads: usize,
 }
 
 impl VmConfig {
     /// A small heap suitable for unit tests (1 MiB semispaces).
     pub fn small() -> Self {
         VmConfig { semispace_words: 128 * 1024, ..VmConfig::default() }
+    }
+
+    /// Default GC parallelism: one worker per available core, capped at
+    /// [`MAX_GC_THREADS`](crate::heap::MAX_GC_THREADS).
+    pub fn default_gc_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(crate::heap::MAX_GC_THREADS))
+            .unwrap_or(1)
     }
 }
 
@@ -50,6 +64,7 @@ impl Default for VmConfig {
             max_stack_depth: 2_048,
             echo_output: false,
             lazy_indirection: false,
+            gc_threads: VmConfig::default_gc_threads(),
         }
     }
 }
@@ -65,5 +80,11 @@ mod tests {
         assert!(c.quantum > 0);
         assert!(c.enable_opt);
         assert!(!c.lazy_indirection);
+    }
+
+    #[test]
+    fn gc_threads_default_is_in_clamp_range() {
+        let c = VmConfig::default();
+        assert!((1..=crate::heap::MAX_GC_THREADS).contains(&c.gc_threads));
     }
 }

@@ -36,10 +36,63 @@
 //! one iteration per reference, not one per field. The DSU remap policy is
 //! likewise resolved up front into a dense [`RemapTable`]; ordinary
 //! collections pass `None` and skip the remap probe entirely.
+//!
+//! # Parallel collection
+//!
+//! [`Heap::collect_parallel`] shards the root set across a fixed pool of
+//! OS workers ([`MAX_GC_THREADS`] at most). Each worker owns a private
+//! bump buffer (TLAB-style chunks carved from to-space by a shared atomic
+//! cursor), a private gray stack, a private stripe of the update log, and
+//! private copy counters. Forwarding uses a claim protocol on the cell
+//! header: a worker CASes the header to a [`BUSY`] sentinel, copies the
+//! cell into its own buffer, then publishes the forwarding pointer with a
+//! release store; losers of the race spin until the forward appears. Two
+//! workers racing on the same object therefore agree on a single to-space
+//! copy and **no cell is ever copied twice**. After the workers join,
+//! counters are folded with saturating adds in worker order and the log
+//! stripes are merged and stably sorted by *from-space* address — the
+//! same canonical order the serial collector emits — so the transformer
+//! pass (and everything downstream of it) is bit-identical to a serial
+//! collection of the same heap.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crate::error::VmError;
 use crate::ids::ClassId;
 use crate::value::GcRef;
+
+/// Upper bound on GC worker threads; `VmConfig::gc_threads` is clamped to
+/// `1..=MAX_GC_THREADS` (the paper's pauses are dominated by copy + scan,
+/// which stops scaling well past a handful of cores on one heap).
+pub const MAX_GC_THREADS: usize = 8;
+
+/// Claim sentinel for parallel copying: a forwarding header whose target
+/// is address 0. No real forward can point at word 0 (it is reserved so
+/// that 0 means `null`), so the value is unambiguous.
+const BUSY: u64 = 1;
+
+/// Words per TLAB-style bump chunk each worker carves from to-space.
+/// Cells larger than this get an exact-fit block instead. Chunk tails the
+/// owner cannot fill are wasted until the next collection — harmless,
+/// since nothing parses to-space linearly after a parallel collection and
+/// the mutator zeroes cells on allocation.
+const PAR_CHUNK_WORDS: usize = 4096;
+
+/// Reinterprets the heap's words as atomics for the parallel collector.
+///
+/// The `&mut` proves exclusive ownership, so handing out a shared atomic
+/// view is sound; every access during the parallel phase then goes
+/// through atomic operations.
+fn as_atomic(words: &mut [u64]) -> &[AtomicU64] {
+    const _: () = assert!(
+        std::mem::size_of::<AtomicU64>() == std::mem::size_of::<u64>()
+            && std::mem::align_of::<AtomicU64>() == std::mem::align_of::<u64>()
+    );
+    // SAFETY: AtomicU64 is layout-compatible with u64 (checked above) and
+    // the exclusive borrow guarantees no non-atomic access can alias the
+    // returned view for its lifetime.
+    unsafe { &*(words as *mut [u64] as *const [AtomicU64]) }
+}
 
 /// What kind of heap cell a header describes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -218,8 +271,13 @@ pub struct GcOutcome {
     /// Words copied (headers included).
     pub copied_words: usize,
     /// Old-copy/new-object pairs produced by the remap policy: the paper's
-    /// update log, consumed by the transformer pass.
+    /// update log, consumed by the transformer pass. Canonically ordered
+    /// by ascending *from-space* address of the original object, so serial
+    /// and parallel collections of the same heap produce the same log (and
+    /// hence the same transformer execution order).
     pub update_log: Vec<(GcRef, GcRef)>,
+    /// OS workers that performed the copy (1 = the serial path).
+    pub workers: usize,
 }
 
 /// The semi-space heap.
@@ -489,12 +547,15 @@ impl Heap {
         let to_base = self.base(to_b);
         let to_limit = self.limit(to_b);
         let mut to_alloc = to_base;
-        let mut outcome = GcOutcome::default();
+        let mut outcome = GcOutcome { workers: 1, ..GcOutcome::default() };
+        // Update-log entries tagged with the from-space address of the
+        // original object; sorted into the canonical order at the end.
+        let mut log: Vec<(u32, GcRef, GcRef)> = Vec::new();
 
         // Copy roots.
         for &root in roots {
             self.copy_cell::<HAS_REMAP>(
-                root, &mut to_alloc, to_base, to_limit, snapshot, remap, &mut outcome,
+                root, &mut to_alloc, to_base, to_limit, snapshot, remap, &mut outcome, &mut log,
             )?;
         }
 
@@ -523,6 +584,7 @@ impl Heap {
                                     snapshot,
                                     remap,
                                     &mut outcome,
+                                    &mut log,
                                 )?;
                                 self.words[slot] = u64::from(new.0);
                             }
@@ -542,6 +604,7 @@ impl Heap {
                                 snapshot,
                                 remap,
                                 &mut outcome,
+                                &mut log,
                             )?;
                             self.words[slot] = u64::from(new.0);
                         }
@@ -553,6 +616,8 @@ impl Heap {
             }
         }
 
+        log.sort_by_key(|&(from, _, _)| from);
+        outcome.update_log = log.into_iter().map(|(_, old, new)| (old, new)).collect();
         self.active_b = to_b;
         self.alloc = to_alloc;
         self.collections += 1;
@@ -571,6 +636,7 @@ impl Heap {
         snapshot: &LayoutSnapshot,
         remap: Option<&RemapTable>,
         outcome: &mut GcOutcome,
+        log: &mut Vec<(u32, GcRef, GcRef)>,
     ) -> Result<GcRef, VmError> {
         let mut addr = r.addr();
         // Chase forwarding chains, leaving `h` holding the live cell's
@@ -607,7 +673,7 @@ impl Heap {
                 self.words[addr] = ((new_obj as u64) << 1) | 1;
                 outcome.copied_cells += 2;
                 outcome.copied_words += old_size + new_size;
-                outcome.update_log.push((GcRef(old_copy as u32), GcRef(new_obj as u32)));
+                log.push((addr as u32, GcRef(old_copy as u32), GcRef(new_obj as u32)));
                 return Ok(GcRef(new_obj as u32));
             }
         }
@@ -658,6 +724,354 @@ impl Heap {
         let addr = *to_alloc;
         *to_alloc += n;
         Ok(addr)
+    }
+
+    /// Performs a full copying collection on `workers` OS threads.
+    ///
+    /// Semantically identical to [`Heap::collect`]: the resulting object
+    /// graph, [`GcOutcome::copied_cells`]/[`GcOutcome::copied_words`]
+    /// totals, and the canonical update-log order are the same as a serial
+    /// collection of the same heap (only to-space *placement* differs).
+    /// `workers` is clamped to `1..=MAX_GC_THREADS`; `1` delegates to the
+    /// serial monomorphized path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] if to-space overflows. As with the
+    /// serial collector, the heap is left mid-copy and must be considered
+    /// corrupt (update collections are the only path that can overflow,
+    /// and the caller already treats a transform-phase failure as fatal).
+    pub fn collect_parallel(
+        &mut self,
+        roots: &[GcRef],
+        snapshot: &LayoutSnapshot,
+        remap: Option<&RemapTable>,
+        workers: usize,
+    ) -> Result<GcOutcome, VmError> {
+        let workers = workers.clamp(1, MAX_GC_THREADS);
+        if workers == 1 {
+            return self.collect(roots, snapshot, remap);
+        }
+        match remap {
+            Some(table) if !table.is_empty() => {
+                self.par_collect_impl::<true>(roots, snapshot, Some(table), workers)
+            }
+            _ => self.par_collect_impl::<false>(roots, snapshot, None, workers),
+        }
+    }
+
+    fn par_collect_impl<const HAS_REMAP: bool>(
+        &mut self,
+        roots: &[GcRef],
+        snapshot: &LayoutSnapshot,
+        remap: Option<&RemapTable>,
+        workers: usize,
+    ) -> Result<GcOutcome, VmError> {
+        let to_b = !self.active_b;
+        let to_base = self.base(to_b);
+        let to_limit = self.limit(to_b);
+
+        let cursor = AtomicUsize::new(to_base);
+        let oom = AtomicBool::new(false);
+        let oom_request = AtomicUsize::new(0);
+        let chunk_words = PAR_CHUNK_WORDS.min((self.semi / (workers * 4)).max(64));
+        let shared = ParShared {
+            words: as_atomic(&mut self.words),
+            cursor: &cursor,
+            to_base,
+            to_limit,
+            chunk_words,
+            oom: &oom,
+            oom_request: &oom_request,
+            snapshot,
+            remap,
+        };
+
+        let mut states: Vec<ParWorker> = (0..workers).map(|_| ParWorker::default()).collect();
+        std::thread::scope(|scope| {
+            for (w, state) in states.iter_mut().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || {
+                    // Strided root sharding: worker w takes roots[w],
+                    // roots[w + workers], … Duplicate roots are fine — the
+                    // claim protocol makes copying idempotent.
+                    state.run::<HAS_REMAP>(shared, roots.iter().skip(w).step_by(workers));
+                });
+            }
+        });
+
+        if oom.load(Ordering::Relaxed) {
+            return Err(VmError::OutOfMemory { requested: oom_request.load(Ordering::Relaxed) });
+        }
+
+        // Deterministic merge: fold counters in worker order with
+        // saturating adds, then sort the log stripes into the canonical
+        // from-space-address order the serial collector also emits.
+        let mut outcome = GcOutcome { workers, ..GcOutcome::default() };
+        let mut log: Vec<(u32, GcRef, GcRef)> = Vec::new();
+        for state in &states {
+            outcome.copied_cells = outcome.copied_cells.saturating_add(state.copied_cells);
+            outcome.copied_words = outcome.copied_words.saturating_add(state.copied_words);
+            log.extend_from_slice(&state.log);
+        }
+        log.sort_by_key(|&(from, _, _)| from);
+        outcome.update_log = log.into_iter().map(|(_, old, new)| (old, new)).collect();
+
+        self.active_b = to_b;
+        self.alloc = cursor.load(Ordering::Relaxed).min(to_limit);
+        self.collections += 1;
+        Ok(outcome)
+    }
+}
+
+/// State shared by every parallel GC worker.
+struct ParShared<'a> {
+    /// Atomic view of the whole heap (both semispaces).
+    words: &'a [AtomicU64],
+    /// To-space bump cursor chunks are carved from; never exceeds
+    /// `to_limit`.
+    cursor: &'a AtomicUsize,
+    to_base: usize,
+    to_limit: usize,
+    /// Preferred chunk size, scaled down for small heaps so per-worker
+    /// chunk tails cannot dominate a tight to-space.
+    chunk_words: usize,
+    /// Set (before the failing cell's header is restored) when any worker
+    /// fails to allocate, so spinners and siblings bail out promptly.
+    oom: &'a AtomicBool,
+    oom_request: &'a AtomicUsize,
+    snapshot: &'a LayoutSnapshot,
+    remap: Option<&'a RemapTable>,
+}
+
+/// Per-worker private state: bump chunk, gray stack, counters, log stripe.
+#[derive(Default)]
+struct ParWorker {
+    /// Next free word in the current bump chunk.
+    chunk: usize,
+    chunk_end: usize,
+    /// To-space addresses of cells this worker copied and must still scan.
+    /// Private: a worker scans exactly the cells it won, so termination is
+    /// simply draining the local stack — no stealing, no global quiescence
+    /// protocol.
+    gray: Vec<usize>,
+    copied_cells: usize,
+    copied_words: usize,
+    /// Update-log stripe: (from-space address, old copy, new object).
+    log: Vec<(u32, GcRef, GcRef)>,
+}
+
+impl ParWorker {
+    /// Copies this worker's root shard, then drains the gray stack.
+    /// Returns early on OOM (the shared flag is already set).
+    fn run<'a, const HAS_REMAP: bool>(
+        &mut self,
+        shared: &ParShared<'_>,
+        roots: impl Iterator<Item = &'a GcRef>,
+    ) {
+        for &root in roots {
+            if self.copy::<HAS_REMAP>(shared, root.addr()).is_none() {
+                return;
+            }
+        }
+        while let Some(cell) = self.gray.pop() {
+            if !self.scan_cell::<HAS_REMAP>(shared, cell) {
+                return;
+            }
+        }
+    }
+
+    /// Bump-allocates `n` words from the current chunk, carving a new
+    /// chunk (or an exact-fit block for oversized cells) from the shared
+    /// cursor when it runs dry. The carve is a CAS loop so the cursor
+    /// never overshoots `to_limit` — the final chunk simply shrinks to
+    /// whatever space remains. `None` = to-space exhausted.
+    fn par_alloc(&mut self, shared: &ParShared<'_>, n: usize) -> Option<usize> {
+        if self.chunk + n <= self.chunk_end {
+            let addr = self.chunk;
+            self.chunk += n;
+            return Some(addr);
+        }
+        let mut cur = shared.cursor.load(Ordering::Relaxed);
+        loop {
+            let avail = shared.to_limit.saturating_sub(cur);
+            if avail < n {
+                shared.oom_request.store(n, Ordering::Relaxed);
+                shared.oom.store(true, Ordering::Release);
+                return None;
+            }
+            let take = n.max(shared.chunk_words).min(avail);
+            match shared.cursor.compare_exchange_weak(
+                cur,
+                cur + take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if take > n {
+                        self.chunk = cur + n;
+                        self.chunk_end = cur + take;
+                    }
+                    return Some(cur);
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Returns the to-space address `from` forwards to, copying the cell
+    /// if this worker wins the claim race. `None` = OOM (shared flag set).
+    fn copy<const HAS_REMAP: bool>(&mut self, shared: &ParShared<'_>, from: usize) -> Option<u32> {
+        let mut addr = from;
+        loop {
+            let h = shared.words[addr].load(Ordering::Acquire);
+            if h & 1 == 1 {
+                if h == BUSY {
+                    // Another worker is copying this cell right now; its
+                    // forward is imminent. Bail if the owner (or anyone)
+                    // hit OOM — the owner restores the header *after*
+                    // raising the flag, so this cannot spin forever.
+                    if shared.oom.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let t = (h >> 1) as usize;
+                if t >= shared.to_base && t < shared.to_limit {
+                    return Some(t as u32);
+                }
+                // Pre-existing lazy forward into from-space: chase it.
+                addr = t;
+                continue;
+            }
+            // Unforwarded: try to claim. Losing means another worker just
+            // claimed or forwarded it — re-read and follow.
+            if shared.words[addr]
+                .compare_exchange(h, BUSY, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return self.copy_claimed::<HAS_REMAP>(shared, addr, h);
+            }
+        }
+    }
+
+    /// Copies the claimed cell at `addr` (original header `h`) into this
+    /// worker's buffer and publishes the forwarding pointer.
+    fn copy_claimed<const HAS_REMAP: bool>(
+        &mut self,
+        shared: &ParShared<'_>,
+        addr: usize,
+        h: u64,
+    ) -> Option<u32> {
+        if HAS_REMAP && header_kind(h) == HeapKind::Object {
+            let class = ClassId(header_meta(h));
+            if let Some(new_class) = shared.remap.and_then(|table| table.get(class)) {
+                // Paper §3.4: duplicate the object (old-layout copy the
+                // owner scans normally + zeroed new-layout object).
+                let old_size = 1 + shared.snapshot.size_words(class);
+                let new_size = 1 + shared.snapshot.size_words(new_class);
+                let Some(old_copy) = self.par_alloc(shared, old_size) else {
+                    return self.abandon(shared, addr, h);
+                };
+                let Some(new_obj) = self.par_alloc(shared, new_size) else {
+                    return self.abandon(shared, addr, h);
+                };
+                shared.words[old_copy].store(h, Ordering::Relaxed);
+                for i in 1..old_size {
+                    let w = shared.words[addr + i].load(Ordering::Relaxed);
+                    shared.words[old_copy + i].store(w, Ordering::Relaxed);
+                }
+                shared.words[new_obj].store(header(HeapKind::Object, new_class.0), Ordering::Relaxed);
+                for i in 1..new_size {
+                    shared.words[new_obj + i].store(0, Ordering::Relaxed);
+                }
+                // Publish: racing readers acquire-load the forward, which
+                // releases the payload stores above.
+                shared.words[addr].store(((new_obj as u64) << 1) | 1, Ordering::Release);
+                self.copied_cells += 2;
+                self.copied_words += old_size + new_size;
+                self.log.push((addr as u32, GcRef(old_copy as u32), GcRef(new_obj as u32)));
+                // The old copy's ref fields still point into from-space;
+                // the new object is all-null. Only the former needs a scan.
+                self.gray.push(old_copy);
+                return Some(new_obj as u32);
+            }
+        }
+
+        let size = cell_size_of(h, shared.snapshot);
+        let Some(dst) = self.par_alloc(shared, size) else {
+            return self.abandon(shared, addr, h);
+        };
+        shared.words[dst].store(h, Ordering::Relaxed);
+        for i in 1..size {
+            let w = shared.words[addr + i].load(Ordering::Relaxed);
+            shared.words[dst + i].store(w, Ordering::Relaxed);
+        }
+        shared.words[addr].store(((dst as u64) << 1) | 1, Ordering::Release);
+        self.copied_cells += 1;
+        self.copied_words += size;
+        match header_kind(h) {
+            HeapKind::Object | HeapKind::RefArray => self.gray.push(dst),
+            HeapKind::PrimArray | HeapKind::Str => {}
+        }
+        Some(dst as u32)
+    }
+
+    /// Undoes a claim after an allocation failure: restores the original
+    /// header so spinners observe an unforwarded cell again (they will
+    /// re-claim, fail to allocate themselves, and bail via the OOM flag,
+    /// which `par_alloc` raised before this runs).
+    fn abandon(&mut self, shared: &ParShared<'_>, addr: usize, h: u64) -> Option<u32> {
+        shared.words[addr].store(h, Ordering::Release);
+        None
+    }
+
+    /// Forwards every reference field of the to-space cell this worker
+    /// owns at `cell`. Returns `false` on OOM.
+    fn scan_cell<const HAS_REMAP: bool>(&mut self, shared: &ParShared<'_>, cell: usize) -> bool {
+        let h = shared.words[cell].load(Ordering::Relaxed);
+        let meta = header_meta(h) as usize;
+        let (first, len) = match header_kind(h) {
+            HeapKind::Object => {
+                let e = shared.snapshot.entry(ClassId(meta as u32));
+                for wi in 0..e.ref_words() {
+                    let mut bits = shared.snapshot.bits[e.bits_start as usize + wi];
+                    let word_base = cell + 1 + wi * 64;
+                    while bits != 0 {
+                        let slot = word_base + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if !self.forward_slot::<HAS_REMAP>(shared, slot) {
+                            return false;
+                        }
+                    }
+                }
+                return true;
+            }
+            HeapKind::RefArray => (cell + 1, meta),
+            HeapKind::PrimArray | HeapKind::Str => (cell, 0),
+        };
+        for slot in first..first + len {
+            if !self.forward_slot::<HAS_REMAP>(shared, slot) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn forward_slot<const HAS_REMAP: bool>(&mut self, shared: &ParShared<'_>, slot: usize) -> bool {
+        let val = shared.words[slot].load(Ordering::Relaxed);
+        if val == 0 {
+            return true;
+        }
+        match self.copy::<HAS_REMAP>(shared, val as usize) {
+            Some(new) => {
+                shared.words[slot].store(u64::from(new), Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -932,6 +1346,153 @@ mod tests {
             roots.push(o);
         }
         let err = heap.collect(&roots, &snap(), Some(&remap09())).unwrap_err();
+        assert!(matches!(err, VmError::OutOfMemory { .. }), "{err}");
+    }
+
+    /// SplitMix64, inlined so these tests stay registry- and crate-free.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_B9F9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Builds a deterministic mixed graph (objects of classes 0/1,
+    /// strings, shared edges, cycles, interleaved garbage) and returns the
+    /// roots. Each object carries a unique id in a non-ref field so update
+    /// logs can be compared across collections by content, not address.
+    fn build_mixed_graph(heap: &mut Heap, seed: u64, n: usize) -> Vec<GcRef> {
+        let mut state = seed;
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let r = splitmix(&mut state);
+            let node = match r % 3 {
+                0 => {
+                    let o = heap.alloc_object(ClassId(0), 2).unwrap();
+                    heap.set(o, 0, 1_000 + i as u64);
+                    o
+                }
+                1 => {
+                    let o = heap.alloc_object(ClassId(1), 3).unwrap();
+                    heap.set(o, 1, 1_000 + i as u64);
+                    o
+                }
+                _ => heap.alloc_string(&format!("s{i}")).unwrap(),
+            };
+            nodes.push(node);
+            if r.is_multiple_of(5) {
+                heap.alloc_object(ClassId(1), 3).unwrap(); // garbage
+            }
+        }
+        // Wire edges (shared targets, self-loops, cycles all possible).
+        for &node in &nodes {
+            let target = nodes[(splitmix(&mut state) % nodes.len() as u64) as usize];
+            match heap.kind(node) {
+                HeapKind::Object if heap.class_of(node) == ClassId(0) => {
+                    heap.set(node, 1, u64::from(target.0));
+                }
+                HeapKind::Object => heap.set(node, 0, u64::from(target.0)),
+                _ => {}
+            }
+        }
+        let mut roots = vec![nodes[0]];
+        for _ in 0..5 {
+            roots.push(nodes[(splitmix(&mut state) % nodes.len() as u64) as usize]);
+        }
+        roots
+    }
+
+    #[test]
+    fn parallel_totals_match_serial_exactly_on_fixed_seed() {
+        // The per-worker counters are folded with saturating adds; the
+        // claim protocol copies each live cell exactly once, so the folded
+        // totals must equal the serial collector's on the same graph.
+        let serial = {
+            let mut heap = Heap::new(8192);
+            let roots = build_mixed_graph(&mut heap, 0xDEAD_BEEF, 300);
+            heap.collect(&roots, &snap(), None).unwrap()
+        };
+        assert_eq!(serial.workers, 1);
+        for workers in 2..=MAX_GC_THREADS {
+            let mut heap = Heap::new(8192);
+            let roots = build_mixed_graph(&mut heap, 0xDEAD_BEEF, 300);
+            let par = heap.collect_parallel(&roots, &snap(), None, workers).unwrap();
+            assert_eq!(par.workers, workers);
+            assert_eq!(par.copied_cells, serial.copied_cells, "{workers} workers");
+            assert_eq!(par.copied_words, serial.copied_words, "{workers} workers");
+            assert!(par.update_log.is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_update_log_matches_serial_order() {
+        // Canonical from-address ordering: entry i of the parallel log
+        // must describe the same original object as entry i of the serial
+        // log, identified by the unique id planted in field 0.
+        let ids = |heap: &Heap, out: &GcOutcome| -> Vec<u64> {
+            out.update_log
+                .iter()
+                .map(|&(old, new)| {
+                    assert_eq!(heap.class_of(old), ClassId(0));
+                    assert_eq!(heap.class_of(new), ClassId(9));
+                    heap.get(old, 0)
+                })
+                .collect()
+        };
+        let serial_ids = {
+            let mut heap = Heap::new(8192);
+            let roots = build_mixed_graph(&mut heap, 42, 200);
+            let out = heap.collect(&roots, &snap(), Some(&remap09())).unwrap();
+            ids(&heap, &out)
+        };
+        assert!(!serial_ids.is_empty(), "seed must produce remapped objects");
+        for workers in [2, 4, 7] {
+            let mut heap = Heap::new(8192);
+            let roots = build_mixed_graph(&mut heap, 42, 200);
+            let out = heap.collect_parallel(&roots, &snap(), Some(&remap09()), workers).unwrap();
+            assert_eq!(ids(&heap, &out), serial_ids, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_worker_delegates_to_serial() {
+        let mut heap = Heap::new(1024);
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(o, 0, 7);
+        let out = heap.collect_parallel(&[o], &snap(), None, 1).unwrap();
+        assert_eq!(out.workers, 1);
+        assert_eq!(heap.get(heap.resolve(o), 0), 7);
+    }
+
+    #[test]
+    fn parallel_preserves_graph_and_remap_semantics() {
+        let mut heap = Heap::new(1024);
+        let holder = heap.alloc_object(ClassId(1), 3).unwrap();
+        let o = heap.alloc_object(ClassId(0), 2).unwrap();
+        heap.set(o, 0, 99);
+        let s = heap.alloc_string("payload").unwrap();
+        heap.set(o, 1, u64::from(s.0));
+        heap.set(holder, 0, u64::from(o.0));
+
+        let out = heap.collect_parallel(&[holder], &snap(), Some(&remap09()), 4).unwrap();
+        assert_eq!(out.update_log.len(), 1);
+        let (old_copy, new_obj) = out.update_log[0];
+        assert_eq!(heap.class_of(old_copy), ClassId(0));
+        assert_eq!(heap.get(old_copy, 0), 99);
+        assert_eq!(heap.read_string(GcRef(heap.get(old_copy, 1) as u32)), "payload");
+        assert_eq!(heap.class_of(new_obj), ClassId(9));
+        assert_eq!(heap.get(heap.resolve(holder), 0), u64::from(new_obj.0));
+    }
+
+    #[test]
+    fn parallel_collect_reports_oom() {
+        let mut heap = Heap::new(256);
+        let mut roots = Vec::new();
+        while let Some(o) = heap.alloc_object(ClassId(0), 2) {
+            roots.push(o);
+        }
+        let err = heap.collect_parallel(&roots, &snap(), Some(&remap09()), 4).unwrap_err();
         assert!(matches!(err, VmError::OutOfMemory { .. }), "{err}");
     }
 

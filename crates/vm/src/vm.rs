@@ -489,7 +489,8 @@ impl Vm {
         let snapshot = self.registry.layout_snapshot();
         let table = RemapTable::from_policy(remap, self.registry.num_classes());
         let table = if table.is_empty() { None } else { Some(&table) };
-        let outcome = self.heap.collect(&roots, &snapshot, table)?;
+        let outcome =
+            self.heap.collect_parallel(&roots, &snapshot, table, self.config.gc_threads)?;
         self.stats.gcs += 1;
 
         // Rewrite every root location through the forwarding pointers.
@@ -527,6 +528,108 @@ impl Vm {
     fn rebuild_dsu_index(&mut self) {
         self.dsu.index_of =
             self.dsu.pending.iter().enumerate().map(|(i, &(_, new))| (new.0, i)).collect();
+    }
+
+    /// A canonical, address-independent hash of the reachable heap.
+    ///
+    /// Cells are numbered in BFS visit order from the VM's roots
+    /// (gathered in the same order [`Vm::collect_full`] uses) and hashed
+    /// by content — kind, class id or length, primitive payloads, string
+    /// bytes — with reference fields contributing the *visit index* of
+    /// their target rather than its address. Two heaps holding isomorphic
+    /// object graphs therefore hash equal even when cell placement
+    /// differs, which is exactly what distinguishes a parallel collection
+    /// (different placement, same graph) from a corrupted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-GC (on forwarded cells); fingerprint a VM only
+    /// at a quiescent point.
+    pub fn heap_fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_B9F9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        struct Visit {
+            index_of: HashMap<u32, u64>,
+            queue: std::collections::VecDeque<GcRef>,
+        }
+        impl Visit {
+            fn visit(&mut self, r: GcRef) -> u64 {
+                if let Some(&i) = self.index_of.get(&r.0) {
+                    return i;
+                }
+                let next = self.index_of.len() as u64 + 1;
+                self.index_of.insert(r.0, next);
+                self.queue.push_back(r);
+                next
+            }
+        }
+        let mut v = Visit { index_of: HashMap::new(), queue: Default::default() };
+        let mut h = 0xA076_1D64_78BD_642Fu64;
+
+        // Roots, in collect_full's gathering order.
+        for t in self.threads.iter().flatten() {
+            for f in &t.frames {
+                for val in f.locals.iter().chain(f.stack.iter()) {
+                    if let Value::Ref(r) = val {
+                        h = mix(h, v.visit(*r));
+                    }
+                }
+            }
+        }
+        for slot in self.registry.jtoc_ref_slots() {
+            h = mix(h, v.visit(GcRef(self.registry.jtoc_get(slot) as u32)));
+        }
+        for &r in &self.host_roots {
+            h = mix(h, v.visit(r));
+        }
+
+        while let Some(r) = v.queue.pop_front() {
+            match self.heap.kind(r) {
+                HeapKind::Object => {
+                    let class = self.heap.class_of(r);
+                    h = mix(h, 1);
+                    h = mix(h, u64::from(class.0));
+                    let ref_map = &self.registry.class(class).ref_map;
+                    for (i, &is_ref) in ref_map.iter().enumerate() {
+                        let word = self.heap.get(r, i);
+                        if is_ref {
+                            h = mix(h, if word == 0 { 0 } else { v.visit(GcRef(word as u32)) });
+                        } else {
+                            h = mix(h, word);
+                        }
+                    }
+                }
+                HeapKind::RefArray => {
+                    let len = self.heap.len_of(r) as usize;
+                    h = mix(h, 2);
+                    h = mix(h, len as u64);
+                    for i in 0..len {
+                        let word = self.heap.get(r, i);
+                        h = mix(h, if word == 0 { 0 } else { v.visit(GcRef(word as u32)) });
+                    }
+                }
+                HeapKind::PrimArray => {
+                    let len = self.heap.len_of(r) as usize;
+                    h = mix(h, 3);
+                    h = mix(h, len as u64);
+                    for i in 0..len {
+                        h = mix(h, self.heap.get(r, i));
+                    }
+                }
+                HeapKind::Str => {
+                    h = mix(h, 4);
+                    for b in self.heap.read_string(r).into_bytes() {
+                        h = mix(h, u64::from(b));
+                    }
+                    h = mix(h, 5);
+                }
+            }
+        }
+        h
     }
 
     // ---- DSU mechanisms (composed by the jvolve update driver) -------------------

@@ -10,7 +10,12 @@
 //!   class with a zeroed new-layout object on the update log;
 //! * collection is deterministic: two identical heaps collected with the
 //!   same snapshot and remap table produce identical update logs, in the
-//!   same order, and identical copy counts.
+//!   same order, and identical copy counts;
+//! * the parallel collector is observationally identical to the serial
+//!   one for every worker count 1–8: same reachable-graph signature (so
+//!   no cell was copied twice — a double copy would break sharing — and
+//!   every live edge was remapped to the single surviving copy), same
+//!   fold of the copy counters, and the same canonical update-log order.
 
 use std::collections::BTreeMap;
 
@@ -157,6 +162,61 @@ fn build_graph(heap: &mut Heap, seed: u64) -> Graph {
     let mut roots: Vec<GcRef> =
         (0..rng.range(1, 6)).map(|_| nodes[rng.below(n)]).collect();
     roots.dedup();
+    Graph { nodes, roots }
+}
+
+/// Like [`build_graph`] but sized and wired to make parallel workers
+/// collide: hundreds of nodes, a handful of "hub" cells that half of all
+/// edges target (shared subgraphs — every worker races to claim them),
+/// long ref arrays whose elements span the whole allocation range
+/// (cross-shard edges), and enough roots that all 8 workers get a shard.
+fn build_contended_graph(heap: &mut Heap, seed: u64) -> Graph {
+    let mut rng = Rng::new(seed ^ 0xC0FF_EE00_C0FF_EE00);
+    let n = rng.range(600, 1000);
+    let mut nodes: Vec<GcRef> = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = match rng.below(5) {
+            0 | 1 => {
+                let r = heap.alloc_object(ClassId(0), 3).expect("fits");
+                heap.set(r, 0, rng.next_u64() | 1);
+                r
+            }
+            2 => {
+                let r = heap.alloc_object(ClassId(1), 2).expect("fits");
+                heap.set(r, 1, rng.next_u64() | 1);
+                r
+            }
+            3 => heap.alloc_array(true, rng.range(1, 32)).expect("fits"),
+            _ => heap.alloc_string(&format!("cell-{i}")).expect("fits"),
+        };
+        nodes.push(node);
+        if rng.below(7) == 0 {
+            heap.alloc_object(ClassId(1), 2).expect("fits"); // garbage
+        }
+    }
+
+    let hubs: Vec<GcRef> = (0..4).map(|_| nodes[rng.below(n)]).collect();
+    for i in 0..n {
+        let node = nodes[i];
+        let slots: Vec<usize> = match heap.kind(node) {
+            HeapKind::Object if heap.class_of(node) == ClassId(0) => vec![1, 2],
+            HeapKind::Object => vec![0],
+            HeapKind::RefArray => (0..heap.len_of(node) as usize).collect(),
+            _ => vec![],
+        };
+        for slot in slots {
+            let target = if rng.below(2) == 0 {
+                hubs[rng.below(hubs.len())] // contended shared target
+            } else {
+                nodes[rng.below(n)] // cross-shard edge (cycles included)
+            };
+            heap.set(node, slot, u64::from(target.0));
+        }
+    }
+
+    // One root per prospective worker shard plus extras: strided sharding
+    // gives every worker real work, maximizing claim races.
+    let roots: Vec<GcRef> = (0..16).map(|_| nodes[rng.below(n)]).collect();
     Graph { nodes, roots }
 }
 
@@ -334,5 +394,94 @@ fn identical_collections_are_deterministic() {
         assert_eq!(log1, log2, "seed {seed}: update-log order must be deterministic");
         assert_eq!(o1.copied_cells, o2.copied_cells, "seed {seed}");
         assert_eq!(o1.copied_words, o2.copied_words, "seed {seed}");
+    }
+}
+
+/// Parallel ordinary collections are observationally identical to serial
+/// ones for every worker count: the reachable-graph signature is
+/// preserved (every live edge remapped; sharing intact, so no cell can
+/// have been copied twice) and the folded copy counters equal the serial
+/// collector's exact totals.
+#[test]
+fn parallel_collection_matches_serial_for_all_worker_counts() {
+    let snap = snapshot();
+    for seed in 0..6 {
+        let (serial_out, expected) = {
+            let mut heap = Heap::new(64 * 1024);
+            let g = build_contended_graph(&mut heap, seed);
+            let before = signature(&heap, &g.roots);
+            let out = heap.collect(&g.roots, &snap, None).expect("serial collect");
+            let new_roots: Vec<GcRef> = g.roots.iter().map(|&r| heap.resolve(r)).collect();
+            assert_eq!(before, signature(&heap, &new_roots), "seed {seed}: serial baseline");
+            (out, before)
+        };
+        for workers in 1..=8 {
+            let mut heap = Heap::new(64 * 1024);
+            let g = build_contended_graph(&mut heap, seed);
+            let out = heap
+                .collect_parallel(&g.roots, &snap, None, workers)
+                .expect("parallel collect");
+            assert_eq!(
+                out.copied_cells, serial_out.copied_cells,
+                "seed {seed}, {workers} workers: a claim race double-copied a cell"
+            );
+            assert_eq!(out.copied_words, serial_out.copied_words, "seed {seed}, {workers} workers");
+            let new_roots: Vec<GcRef> = g.roots.iter().map(|&r| heap.resolve(r)).collect();
+            assert_eq!(
+                expected,
+                signature(&heap, &new_roots),
+                "seed {seed}, {workers} workers: reachable graph shape changed"
+            );
+        }
+    }
+}
+
+/// Parallel update collections produce the same canonical update log as
+/// serial ones — same length, same per-entry original object (identified
+/// by the odd payload planted at build time), same old/new classes — and
+/// the post-collection graph signature matches for every worker count.
+#[test]
+fn parallel_update_log_is_canonical_for_all_worker_counts() {
+    let snap = snapshot();
+    let table = RemapTable::from_policy(&Remap09, 10);
+    // The old-copy payloads, in log order, identify the original objects
+    // regardless of where the collector placed the copies.
+    let log_payloads = |heap: &Heap, out: &jvolve_vm::heap::GcOutcome| -> Vec<u64> {
+        out.update_log
+            .iter()
+            .map(|&(old, new)| {
+                assert_eq!(heap.class_of(old), ClassId(0));
+                assert_eq!(heap.class_of(new), ClassId(9));
+                heap.get(old, 0)
+            })
+            .collect()
+    };
+    for seed in 0..6 {
+        let (serial_log, expected_after) = {
+            let mut heap = Heap::new(64 * 1024);
+            let g = build_contended_graph(&mut heap, seed);
+            let out = heap.collect(&g.roots, &snap, Some(&table)).expect("serial collect");
+            let new_roots: Vec<GcRef> = g.roots.iter().map(|&r| heap.resolve(r)).collect();
+            (log_payloads(&heap, &out), signature(&heap, &new_roots))
+        };
+        assert!(!serial_log.is_empty(), "seed {seed}: graph must contain remapped objects");
+        for workers in 1..=8 {
+            let mut heap = Heap::new(64 * 1024);
+            let g = build_contended_graph(&mut heap, seed);
+            let out = heap
+                .collect_parallel(&g.roots, &snap, Some(&table), workers)
+                .expect("parallel collect");
+            assert_eq!(
+                log_payloads(&heap, &out),
+                serial_log,
+                "seed {seed}, {workers} workers: canonical log order diverged"
+            );
+            let new_roots: Vec<GcRef> = g.roots.iter().map(|&r| heap.resolve(r)).collect();
+            assert_eq!(
+                expected_after,
+                signature(&heap, &new_roots),
+                "seed {seed}, {workers} workers: post-update graph diverged"
+            );
+        }
     }
 }

@@ -27,6 +27,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo test (workspace) =="
 cargo test -q --workspace
 
+# The parallel update-GC differential oracle: serial vs gc_threads in
+# {2, 4, 7} must produce bit-identical heaps, logs, and stats. Part of
+# the workspace run above, but named explicitly so a gate failure here
+# is unambiguous in CI logs.
+echo "== tier-1: parallel update-GC differential oracle (gc_threads 2/4/7) =="
+cargo test -q --test differential
+
 if [ "$skip_bench" = 0 ]; then
     echo "== tier-1: GC pause regression check =="
     cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5

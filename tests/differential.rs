@@ -1,12 +1,21 @@
-//! Differential testing: the optimizing tier (inlining) must compute
-//! exactly what the baseline tier computes, on randomly generated guest
-//! programs.
+//! Differential testing.
+//!
+//! * The optimizing tier (inlining) must compute exactly what the
+//!   baseline tier computes, on randomly generated guest programs.
+//! * The parallel update-GC must be observationally identical to the
+//!   serial collector: same post-update heap fingerprint, registry
+//!   fingerprint, transformer execution order (= canonical update-log
+//!   order), event stream, and `UpdateStats` (minus wall-clock fields)
+//!   for every `gc_threads` setting.
 
 mod testkit;
 
+use std::fmt::Write as _;
+
 use testkit::Rng;
 
-use jvolve_repro::vm::{Value, Vm, VmConfig};
+use jvolve_repro::dsu::{ApplyOptions, MemorySink, Update, UpdateController, UpdateEvent};
+use jvolve_repro::vm::{MethodId, Value, Vm, VmConfig};
 
 /// A tiny expression language over two variables and helper calls,
 /// rendered to MJ. Helpers are small enough to be inlined, so evaluating
@@ -123,5 +132,307 @@ fn opt_tier_matches_base_tier_and_host() {
         let opt = run_tier(&src, true, a, b, 5);
         assert_eq!(base, expected, "seed {seed}: baseline vs host model\n{src}");
         assert_eq!(opt, expected, "seed {seed}: opt (inlining) vs host model\n{src}");
+    }
+}
+
+// ---- parallel vs serial update-GC oracle -------------------------------
+
+/// v1 workload: a ring of `Node`s densely cross-linked through `peer`
+/// (every node is shared by several others) plus the backing array, all
+/// reachable from statics. `App.trace` accumulates an order-sensitive
+/// hash the object transformers feed.
+const GC_ORACLE_V1: &str = "
+class Node {
+  field id: int;
+  field next: Node;
+  field peer: Node;
+  ctor(i: int) { this.id = i; }
+}
+class App {
+  static field nodes: Node[];
+  static field trace: int;
+  static method build(n: int): void {
+    var arr: Node[] = new Node[n];
+    var i: int = 0;
+    while (i < n) { arr[i] = new Node(i); i = i + 1; }
+    i = 0;
+    while (i < n) {
+      arr[i].next = arr[(i + 1) % n];
+      arr[i].peer = arr[(i * 7 + 3) % n];
+      i = i + 1;
+    }
+    App.nodes = arr;
+    App.trace = 1;
+  }
+  static method checksum(): int {
+    var sum: int = 0;
+    var i: int = 0;
+    var n: int = App.nodes.length;
+    while (i < n) {
+      sum = sum * 31 + App.nodes[i].id + App.nodes[i].peer.id + App.nodes[i].next.id;
+      i = i + 1;
+    }
+    return sum;
+  }
+}";
+
+/// v2: `Node` gains a `gen` field the transformer stamps.
+const GC_ORACLE_V2: &str = "
+class Node {
+  field id: int;
+  field gen: int;
+  field next: Node;
+  field peer: Node;
+  ctor(i: int) { this.id = i; this.gen = 0; }
+}
+class App {
+  static field nodes: Node[];
+  static field trace: int;
+  static method build(n: int): void {
+    var arr: Node[] = new Node[n];
+    var i: int = 0;
+    while (i < n) { arr[i] = new Node(i); i = i + 1; }
+    i = 0;
+    while (i < n) {
+      arr[i].next = arr[(i + 1) % n];
+      arr[i].peer = arr[(i * 7 + 3) % n];
+      i = i + 1;
+    }
+    App.nodes = arr;
+    App.trace = 1;
+  }
+  static method checksum(): int {
+    var sum: int = 0;
+    var i: int = 0;
+    var n: int = App.nodes.length;
+    while (i < n) {
+      sum = sum * 31 + App.nodes[i].id + App.nodes[i].peer.id + App.nodes[i].next.id;
+      i = i + 1;
+    }
+    return sum;
+  }
+}";
+
+/// Order-sensitive transformer: `App.trace` becomes a rolling hash of the
+/// transformer *execution order* — any divergence from the serial
+/// collector's canonical update-log order changes it.
+const GC_ORACLE_TRANSFORMERS: &str = "
+class JvolveTransformers {
+  static method jvolve_class_Node(): void { }
+  static method jvolve_object_Node(to: Node, from: v1_Node): void {
+    to.id = from.id;
+    to.next = from.next;
+    to.peer = from.peer;
+    to.gen = 1;
+    App.trace = App.trace * 31 + from.id + 1;
+  }
+}";
+
+/// A deterministic dump of the registry (same scheme as the controller's
+/// rollback tests): classes, methods, and the JTOC, with map-backed
+/// tables sorted.
+fn registry_fingerprint(vm: &Vm) -> String {
+    let reg = vm.registry();
+    let mut out = String::new();
+    for class in reg.classes() {
+        writeln!(out, "class {} name={} super={:?}", class.id, class.name, class.super_id)
+            .unwrap();
+        writeln!(out, "  layout={:?} ref_map={:?} tib={:?}", class.layout, class.ref_map, class.tib)
+            .unwrap();
+        let mut vslots: Vec<_> = class.vslots.iter().collect();
+        vslots.sort();
+        let mut statics: Vec<_> = class.statics.iter().collect();
+        statics.sort_by_key(|(name, _)| name.as_str());
+        writeln!(out, "  vslots={vslots:?} statics={statics:?}").unwrap();
+    }
+    for i in 0..reg.method_count() {
+        let m = reg.method(MethodId(i as u32));
+        writeln!(out, "method {} class={} name={}", m.id, m.class, m.name).unwrap();
+    }
+    for slot in 0..reg.jtoc_len() {
+        writeln!(out, "jtoc[{slot}]={} ref={}", reg.jtoc_get(slot as u32), reg.jtoc_is_ref(slot as u32))
+            .unwrap();
+    }
+    out
+}
+
+/// Everything the oracle compares across `gc_threads` settings. No
+/// wall-clock: `UpdateStats` Duration fields and `PhaseExited` events
+/// (which carry elapsed time) are excluded; everything else must be
+/// bit-identical.
+#[derive(Debug, PartialEq, Eq)]
+struct OracleOutcome {
+    heap_fingerprint: u64,
+    registry_fingerprint: String,
+    /// Rolling hash of transformer execution order (= update-log order).
+    trace: i64,
+    checksum: i64,
+    stats: (u64, usize, usize, usize, usize, usize, usize, usize, usize, usize),
+    events: Vec<String>,
+}
+
+fn run_gc_oracle(gc_threads: usize, nodes: i64) -> OracleOutcome {
+    let mut vm = Vm::new(VmConfig { gc_threads, ..VmConfig::small() });
+    let old = jvolve_repro::lang::compile(GC_ORACLE_V1).expect("v1 compiles");
+    let new = jvolve_repro::lang::compile(GC_ORACLE_V2).expect("v2 compiles");
+    vm.load_classes(&old).expect("v1 loads");
+    vm.call_static_sync("App", "build", &[Value::Int(nodes)]).expect("build runs");
+
+    let mut update = Update::prepare(&old, &new, "v1_").expect("update prepares");
+    update.set_transformers_source(GC_ORACLE_TRANSFORMERS);
+
+    let mut events = MemorySink::default();
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    controller.attach_sink(&mut events);
+    let stats = controller.run_to_completion(&mut vm).expect("update applies");
+
+    let trace = match vm.read_static("App", "trace") {
+        Value::Int(t) => t,
+        other => panic!("trace is {other:?}"),
+    };
+    let checksum = vm
+        .call_static_sync("App", "checksum", &[])
+        .expect("checksum runs")
+        .expect("returns")
+        .as_int();
+    OracleOutcome {
+        heap_fingerprint: vm.heap_fingerprint(),
+        registry_fingerprint: registry_fingerprint(&vm),
+        trace,
+        checksum,
+        stats: (
+            stats.slices_waited,
+            stats.barriers_installed,
+            stats.osr_replacements,
+            stats.active_migrations,
+            stats.classes_loaded,
+            stats.bodies_swapped,
+            stats.methods_invalidated,
+            stats.objects_transformed,
+            stats.gc_copied_cells,
+            stats.gc_copied_words,
+        ),
+        events: events
+            .events
+            .iter()
+            .filter(|e| !matches!(e, UpdateEvent::PhaseExited { .. }))
+            .map(|e| match e {
+                // Commit/abort events carry wall-clock; keep the fact
+                // that they fired, drop the timing.
+                UpdateEvent::Committed { .. } => "Committed".to_string(),
+                UpdateEvent::Aborted { .. } => "Aborted".to_string(),
+                other => format!("{other:?}"),
+            })
+            .collect(),
+    }
+}
+
+/// The differential oracle: the same workload + update spec under
+/// `gc_threads = 1` and `{2, 4, 7}` must be bit-identical in every
+/// non-wall-clock observable.
+#[test]
+fn parallel_update_gc_is_bit_identical_to_serial() {
+    const NODES: i64 = 400;
+    let serial = run_gc_oracle(1, NODES);
+    assert_eq!(serial.stats.7, NODES as usize, "every node transformed");
+    assert!(serial.trace != 1, "transformers fed the trace");
+    for gc_threads in [2, 4, 7] {
+        let parallel = run_gc_oracle(gc_threads, NODES);
+        assert_eq!(serial, parallel, "gc_threads={gc_threads} diverged from serial");
+    }
+}
+
+// ---- recursive transformer ordering (paper §4.2) -----------------------
+
+/// Chain workload for the recursion stress: `Node(i).next = Node(i+1)`.
+const GC_CHAIN_V1: &str = "
+class Node {
+  field id: int;
+  field next: Node;
+  ctor(i: int, n: Node) { this.id = i; this.next = n; }
+}
+class App {
+  static field head: Node;
+  static field trace: int;
+  static method build(n: int): void {
+    var head: Node = null;
+    var i: int = n - 1;
+    while (i >= 0) { head = new Node(i, head); i = i - 1; }
+    App.head = head;
+    App.trace = 1;
+  }
+}";
+
+const GC_CHAIN_V2: &str = "
+class Node {
+  field id: int;
+  field depth: int;
+  field next: Node;
+  ctor(i: int, n: Node) { this.id = i; this.next = n; this.depth = 0; }
+}
+class App {
+  static field head: Node;
+  static field trace: int;
+  static method build(n: int): void {
+    var head: Node = null;
+    var i: int = n - 1;
+    while (i >= 0) { head = new Node(i, head); i = i - 1; }
+    App.head = head;
+    App.trace = 1;
+  }
+}";
+
+/// \"Transform `o` before I read it\" (paper §3.4/§4.2): each transformer
+/// forces its referent first, so resolution recurses to the chain tail
+/// and unwinds back. The trace records *completion* order.
+const GC_CHAIN_TRANSFORMERS: &str = "
+class JvolveTransformers {
+  static method jvolve_class_Node(): void { }
+  static method jvolve_object_Node(to: Node, from: v1_Node): void {
+    to.id = from.id;
+    to.next = from.next;
+    if (from.next != null) {
+      Dsu.forceTransform(from.next);
+      to.depth = from.next.depth + 1;
+    }
+    App.trace = App.trace * 31 + from.id + 1;
+  }
+}";
+
+/// Runs the chain update and returns (trace transcript hash, head depth).
+fn run_chain_oracle(gc_threads: usize, nodes: i64) -> (i64, i64) {
+    let mut vm = Vm::new(VmConfig { gc_threads, ..VmConfig::small() });
+    let old = jvolve_repro::lang::compile(GC_CHAIN_V1).expect("v1 compiles");
+    let new = jvolve_repro::lang::compile(GC_CHAIN_V2).expect("v2 compiles");
+    vm.load_classes(&old).expect("v1 loads");
+    vm.call_static_sync("App", "build", &[Value::Int(nodes)]).expect("build runs");
+
+    let mut update = Update::prepare(&old, &new, "v1_").expect("update prepares");
+    update.set_transformers_source(GC_CHAIN_TRANSFORMERS);
+    let stats = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+        .expect("update applies");
+    assert_eq!(stats.objects_transformed, nodes as usize);
+
+    let trace = match vm.read_static("App", "trace") {
+        Value::Int(t) => t,
+        other => panic!("trace is {other:?}"),
+    };
+    let Value::Ref(head) = vm.read_static("App", "head") else { panic!("head is null") };
+    let Value::Int(depth) = vm.read_field(head, "depth") else { panic!("depth unset") };
+    (trace, depth)
+}
+
+/// Recursive \"transform before read\" requests must resolve in the same
+/// order under parallel copy as serial: the completion-order transcript
+/// and the recursively-computed depths must match exactly.
+#[test]
+fn recursive_transformer_ordering_matches_serial_under_parallel_gc() {
+    const NODES: i64 = 40;
+    let (serial_trace, serial_depth) = run_chain_oracle(1, NODES);
+    assert_eq!(serial_depth, NODES - 1, "depth propagated from the chain tail");
+    for gc_threads in [2, 4, 7] {
+        let (trace, depth) = run_chain_oracle(gc_threads, NODES);
+        assert_eq!(trace, serial_trace, "gc_threads={gc_threads}: transcript diverged");
+        assert_eq!(depth, serial_depth, "gc_threads={gc_threads}: resolution order diverged");
     }
 }
