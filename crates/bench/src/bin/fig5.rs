@@ -18,8 +18,8 @@ fn main() {
          concurrency {concurrency})\n"
     );
     println!(
-        "{:<22} {:>12} {:>17} {:>12} {:>17}",
-        "Config.", "Tput (r/ks)", "quartiles", "Lat (slices)", "quartiles"
+        "{:<22} {:>12} {:>17} {:>12} {:>17} {:>10}",
+        "Config.", "Tput (r/ks)", "quartiles", "Lat (slices)", "quartiles", "IC hits"
     );
 
     let mut rows = Vec::new();
@@ -27,14 +27,15 @@ fn main() {
         eprintln!("measuring {} ...", config.label());
         let row = run_config(config, runs, concurrency, slices);
         println!(
-            "{:<22} {:>12.2} {:>7.2}/{:>7.2}  {:>12.1} {:>7.1}/{:>7.1}",
+            "{:<22} {:>12.2} {:>7.2}/{:>7.2}  {:>12.1} {:>7.1}/{:>7.1} {:>9.1}%",
             config.label(),
             row.throughput_median,
             row.throughput_quartiles.0,
             row.throughput_quartiles.1,
             row.latency_median,
             row.latency_quartiles.0,
-            row.latency_quartiles.1
+            row.latency_quartiles.1,
+            row.ic_hit_rate * 100.0
         );
         rows.push(row);
     }

@@ -1,0 +1,247 @@
+//! Steady-state dispatch-throughput regression harness.
+//!
+//! Measures calls/second of the dispatch-bound workload in
+//! `jvolve_bench::interp` — inline caches off, on, and on-after-update —
+//! and gates changes against the committed baseline.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p jvolve-bench --bin interpbench` — measure
+//!   and write `BENCH_interp.json` (override with `--out FILE`; to
+//!   refresh the committed baseline, `--out results/BENCH_interp.json`).
+//! * `cargo run --release -p jvolve-bench --bin interpbench -- --check`
+//!   — re-measure and exit nonzero if any configuration regressed more
+//!   than 15% vs `results/BENCH_interp.json` (override with
+//!   `--baseline FILE`), or if the caches-on configuration is no longer
+//!   at least [`SPEEDUP_FLOOR`]× faster than caches-off.
+//!   `scripts/tier1.sh` runs this. Like `gcbench`, the gate compares
+//!   *best-of-N* times — noise only adds time, so min-of-N is the stable
+//!   statistic — and re-measures with 3× iterations before declaring a
+//!   regression.
+//!
+//! `--iters N` controls timed iterations per configuration (default 5).
+
+use jvolve_bench::interp::{measure, Config, InterpSample};
+use jvolve_bench::timing::fmt_ns;
+use jvolve_bench::{arg_flag, arg_value};
+use jvolve_json::Json;
+
+/// Allowed best-of-N regression before `--check` fails.
+const REGRESSION_LIMIT: f64 = 0.15;
+
+/// `--check` fails if best-of-N caches-off time / caches-on time drops
+/// below this: the inline caches must keep buying a real steady-state
+/// win, not just avoid regressing.
+const SPEEDUP_FLOOR: f64 = 1.20;
+
+/// Guest loop iterations per timed run (16 calls each).
+const GUEST_ITERS: i64 = 100_000;
+
+struct Entry {
+    config: Config,
+    ns_per_call: f64,
+    /// Best-of-N. The check gate compares this, not the median.
+    min_ns_per_call: f64,
+    calls: u64,
+    checksum: i64,
+    ic_hit_rate: f64,
+}
+
+fn best_of(config: Config, iters: usize) -> (Vec<f64>, InterpSample) {
+    // Warmup run, then timed runs; measure() builds a fresh VM each
+    // time, so iterations are independent.
+    measure(config, GUEST_ITERS);
+    let mut ns = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let s = measure(config, GUEST_ITERS);
+        ns.push(s.ns_per_call());
+        last = Some(s);
+    }
+    (ns, last.expect("at least one iteration"))
+}
+
+fn run(iters: usize) -> Vec<Entry> {
+    Config::all()
+        .into_iter()
+        .map(|config| {
+            eprint!("\rmeasuring {} ...          ", config.key());
+            let (mut ns, last) = best_of(config, iters);
+            ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            Entry {
+                config,
+                ns_per_call: ns[ns.len() / 2],
+                min_ns_per_call: ns[0],
+                calls: last.calls,
+                checksum: last.checksum,
+                ic_hit_rate: last.hit_rate(),
+            }
+        })
+        .collect()
+}
+
+fn to_json(entries: &[Entry], iters: usize) -> Json {
+    Json::obj([
+        ("schema", Json::from("jvolve-interpbench-v1")),
+        ("iters", Json::from(iters)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("config", Json::from(e.config.key())),
+                            ("ns_per_call", Json::from(e.ns_per_call)),
+                            ("min_ns_per_call", Json::from(e.min_ns_per_call)),
+                            ("calls", Json::from(e.calls)),
+                            ("checksum", Json::from(e.checksum as f64)),
+                            ("ic_hit_rate", Json::from(e.ic_hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn baseline_min_ns(baseline: &Json, config: Config) -> Option<f64> {
+    baseline.get("entries")?.as_arr()?.iter().find_map(|e| {
+        (e.get("config")?.as_str()? == config.key())
+            .then(|| e.get("min_ns_per_call")?.as_f64())
+            .flatten()
+    })
+}
+
+fn print_table(entries: &[Entry]) {
+    println!(
+        "{:>20} {:>14} {:>14} {:>12} {:>10}",
+        "config", "ns/call", "min ns/call", "calls", "hit rate"
+    );
+    for e in entries {
+        println!(
+            "{:>20} {:>14.1} {:>14.1} {:>12} {:>9.1}%",
+            e.config.key(),
+            e.ns_per_call,
+            e.min_ns_per_call,
+            e.calls,
+            e.ic_hit_rate * 100.0,
+        );
+    }
+}
+
+/// Best-of-`iters` re-measurement of one configuration, for the retry
+/// path: a real regression survives it, scheduler noise does not.
+fn retry_min_ns(config: Config, iters: usize) -> f64 {
+    let (ns, _) = best_of(config, iters);
+    ns.into_iter().fold(f64::MAX, f64::min)
+}
+
+fn check(entries: &mut [Entry], baseline: &Json, path: &str, iters: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    println!("\nregression check vs {path} (limit +{:.0}%):", REGRESSION_LIMIT * 100.0);
+    for e in entries.iter_mut() {
+        let Some(base) = baseline_min_ns(baseline, e.config) else {
+            println!("  {:>20}: no baseline entry — skipped", e.config.key());
+            continue;
+        };
+        let mut delta = e.min_ns_per_call / base - 1.0;
+        let mut retried = false;
+        if delta > REGRESSION_LIMIT {
+            e.min_ns_per_call = e.min_ns_per_call.min(retry_min_ns(e.config, iters * 3));
+            delta = e.min_ns_per_call / base - 1.0;
+            retried = true;
+        }
+        let verdict = match (delta > REGRESSION_LIMIT, retried) {
+            (true, _) => "REGRESSED",
+            (false, true) => "ok (after retry)",
+            (false, false) => "ok",
+        };
+        println!(
+            "  {:>20}: {:>9} -> {:>9} per call ({:>+6.1}%) {verdict}",
+            e.config.key(),
+            fmt_ns(base as u64),
+            fmt_ns(e.min_ns_per_call as u64),
+            delta * 100.0,
+        );
+        if delta > REGRESSION_LIMIT {
+            failures.push(format!(
+                "{}: {:.1} -> {:.1} ns/call",
+                e.config.key(),
+                base,
+                e.min_ns_per_call
+            ));
+        }
+    }
+
+    // The speedup gate: inline caches must keep earning their keep.
+    let pick = |c: Config| {
+        entries.iter().find(|e| e.config == c).map(|e| e.min_ns_per_call)
+    };
+    if let (Some(off), Some(on)) = (pick(Config::CachesOff), pick(Config::CachesOn)) {
+        let speedup = off / on;
+        println!(
+            "\ncaches-on speedup gate: {:.2}x (floor {SPEEDUP_FLOOR:.2}x)",
+            speedup
+        );
+        if speedup < SPEEDUP_FLOOR {
+            failures.push(format!(
+                "caches-on speedup {speedup:.2}x below the {SPEEDUP_FLOOR:.2}x floor"
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--iters" | "--baseline" | "--out" => {
+                raw.next();
+            }
+            other => {
+                eprintln!("interpbench: unknown argument `{other}`");
+                eprintln!(
+                    "usage: interpbench [--check] [--iters N] [--baseline FILE] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let iters = arg_value("--iters").and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    // Load the baseline before measuring so a missing or malformed file
+    // fails immediately, not after the timed runs.
+    let baseline_for_check = arg_flag("--check").then(|| {
+        let path =
+            arg_value("--baseline").unwrap_or_else(|| "results/BENCH_interp.json".to_string());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("interpbench: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = Json::parse(&text).expect("baseline parses");
+        (path, baseline)
+    });
+
+    let mut entries = run(iters);
+    eprintln!();
+    print_table(&entries);
+
+    if let Some((path, baseline)) = baseline_for_check {
+        let failures = check(&mut entries, &baseline, &path, iters);
+        if !failures.is_empty() {
+            eprintln!("\ndispatch throughput failure(s):");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("no dispatch throughput regressions.");
+    } else {
+        let out = arg_value("--out").unwrap_or_else(|| "BENCH_interp.json".to_string());
+        std::fs::write(&out, to_json(&entries, iters).pretty() + "\n").expect("write output");
+        println!("\nwrote {out}");
+    }
+}

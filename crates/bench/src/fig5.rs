@@ -4,10 +4,11 @@
 //! JVolve after a dynamic update from 5.1.5 — finding the three
 //! "essentially identical". Here the three configurations are:
 //!
-//! * `Stock` — the VM with the optimizing tier as shipped, running 5.1.6
-//!   from scratch (no DSU activity);
-//! * `Jvolve` — identical VM, DSU driver linked and idle (the paper's
-//!   claim is exactly that this costs nothing at steady state);
+//! * `Stock` — the VM with the optimizing tier as shipped and the
+//!   epoch-guarded dispatch fast path *off* (`enable_inline_caches:
+//!   false`), running 5.1.6 from scratch (no DSU activity);
+//! * `Jvolve` — the default DSU-capable VM, driver linked and idle (the
+//!   paper's claim is exactly that this costs nothing at steady state);
 //! * `JvolveUpdated` — started at 5.1.5, dynamically updated to 5.1.6
 //!   under way, then measured.
 
@@ -45,16 +46,25 @@ impl Config {
 }
 
 /// The standard measurement: saturating closed-loop load for `slices`
-/// scheduler slices at the given concurrency.
-pub fn measure(config: Config, concurrency: usize, slices: u64) -> LoadStats {
-    let vm_config = VmConfig { semispace_words: 512 * 1024, quantum: 300, ..VmConfig::default() };
+/// scheduler slices at the given concurrency. Returns the load stats and
+/// the inline-cache hit rate over the measured window (0 for `Stock`,
+/// which runs with the dispatch fast path off).
+pub fn measure(config: Config, concurrency: usize, slices: u64) -> (LoadStats, f64) {
+    let vm_config = VmConfig {
+        semispace_words: 512 * 1024,
+        quantum: 300,
+        // `Stock` holds the pre-fast-path dispatch behavior; the two
+        // JVolve configurations run the default VM.
+        enable_inline_caches: config != Config::Stock,
+        ..VmConfig::default()
+    };
     let paths = ["/index.html", "/about.html", "/data.json", "/missing.html"];
-    match config {
+    let mut vm = match config {
         Config::Stock | Config::Jvolve => {
             let from = Webserver.versions().len() - 5; // 5.1.6
             let mut vm = boot_with(&Webserver, from, vm_config);
             warmup(&mut vm, &paths, concurrency);
-            drive_http(&mut vm, PORT, &paths, concurrency, slices)
+            vm
         }
         Config::JvolveUpdated => {
             let from = Webserver.versions().len() - 6; // 5.1.5
@@ -65,9 +75,18 @@ pub fn measure(config: Config, concurrency: usize, slices: u64) -> LoadStats {
             // Post-update warm-up: invalidated methods re-baseline and
             // re-optimize, as the paper describes.
             warmup(&mut vm, &paths, concurrency);
-            drive_http(&mut vm, PORT, &paths, concurrency, slices)
+            vm
         }
-    }
+    };
+    let (hits0, misses0) = (vm.stats().ic_hits, vm.stats().ic_misses);
+    let stats = drive_http(&mut vm, PORT, &paths, concurrency, slices);
+    let lookups = (vm.stats().ic_hits - hits0) + (vm.stats().ic_misses - misses0);
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (vm.stats().ic_hits - hits0) as f64 / lookups as f64
+    };
+    (stats, hit_rate)
 }
 
 fn warmup(vm: &mut jvolve_vm::Vm, paths: &[&str], concurrency: usize) {
@@ -89,6 +108,8 @@ pub struct Fig5Row {
     pub latency_median: f64,
     /// Quartiles of per-run median latencies.
     pub latency_quartiles: (f64, f64),
+    /// Median inline-cache hit rate across runs (0 for `Stock`).
+    pub ic_hit_rate: f64,
     /// Number of runs.
     pub runs: usize,
 }
@@ -97,10 +118,12 @@ pub struct Fig5Row {
 pub fn run_config(config: Config, runs: usize, concurrency: usize, slices: u64) -> Fig5Row {
     let mut throughputs = Vec::with_capacity(runs);
     let mut latencies = Vec::with_capacity(runs);
+    let mut hit_rates = Vec::with_capacity(runs);
     for _ in 0..runs {
-        let stats = measure(config, concurrency, slices);
+        let (stats, hit_rate) = measure(config, concurrency, slices);
         throughputs.push(stats.throughput_per_kslice());
         latencies.push(stats.median_latency());
+        hit_rates.push(hit_rate);
     }
     Fig5Row {
         config,
@@ -108,6 +131,7 @@ pub fn run_config(config: Config, runs: usize, concurrency: usize, slices: u64) 
         throughput_quartiles: fquartiles(&mut throughputs.clone()),
         latency_median: fmedian(&mut latencies.clone()),
         latency_quartiles: fquartiles(&mut latencies.clone()),
+        ic_hit_rate: fmedian(&mut hit_rates),
         runs,
     }
 }
@@ -170,12 +194,17 @@ mod tests {
     #[test]
     fn all_three_configurations_serve_requests() {
         for config in Config::all() {
-            let stats = measure(config, 4, 4_000);
+            let (stats, hit_rate) = measure(config, 4, 4_000);
             assert!(
                 stats.completed > 0,
                 "{}: no requests completed",
                 config.label()
             );
+            if config == Config::Stock {
+                assert_eq!(hit_rate, 0.0, "stock runs with caches off");
+            } else {
+                assert!(hit_rate > 0.5, "{}: hit rate {hit_rate}", config.label());
+            }
         }
     }
 }

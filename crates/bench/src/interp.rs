@@ -1,0 +1,229 @@
+//! Steady-state call-dispatch throughput (the micro-scale companion to
+//! Figure 5).
+//!
+//! The paper's Fig. 5 claim is that DSU support costs nothing at steady
+//! state. The epoch-guarded inline caches (see `jvolve_vm::icache`) are
+//! what makes that true for call dispatch here: a virtual call hits a
+//! per-site cache instead of walking the TIB and funneling through the
+//! registry. This harness measures calls/second of a dispatch-bound
+//! workload in three configurations:
+//!
+//! * `CachesOff` — the honest baseline (`--no-inline-caches`);
+//! * `CachesOn`  — the default VM;
+//! * `CachesOnUpdated` — caches on, measured *after* a dynamic update
+//!   changed every `area` body (so every cache was invalidated by the
+//!   epoch bump and refilled) — steady state must be indistinguishable
+//!   from `CachesOn`.
+
+use std::time::{Duration, Instant};
+
+use jvolve::{ApplyOptions, MemorySink, Update, UpdateController};
+use jvolve_vm::{Value, Vm, VmConfig};
+
+/// Dispatch-bound guest workload: a small class hierarchy whose `area`
+/// methods get opt-promoted while `Bench.run` itself stays baseline, so
+/// its call sites keep dispatching through the interpreter — 8 virtual
+/// calls and 2 direct (static) calls per loop iteration, with minimal
+/// loop overhead around them.
+pub const INTERP_V1: &str = "
+class Shape { method area(): int { return 1; } }
+class Square extends Shape {
+  field side: int;
+  ctor(s: int) { this.side = s; }
+  method area(): int { return this.side; }
+}
+class Circle extends Shape {
+  field r: int;
+  ctor(r: int) { this.r = r; }
+  method area(): int { return this.r + this.r; }
+}
+class Bench {
+  static method bump(x: int): int { return x + 1; }
+  static method run(iters: int): int {
+    var a: Shape = new Square(3);
+    var b: Shape = new Circle(2);
+    var c: Shape = new Shape();
+    var d: Shape = new Square(5);
+    var total: int = 0;
+    var i: int = 0;
+    while (i < iters) {
+      total = Bench.bump(total + a.area() + b.area() + c.area() + d.area());
+      total = Bench.bump(total + d.area() + c.area() + b.area() + a.area());
+      i = i + 1;
+    }
+    return total;
+  }
+}
+";
+
+/// New version: every callee body changes, so the update invalidates (and
+/// the epoch bump flushes) every dispatch target the caches held.
+pub const INTERP_V2: &str = "
+class Shape { method area(): int { return 2; } }
+class Square extends Shape {
+  field side: int;
+  ctor(s: int) { this.side = s; }
+  method area(): int { return this.side + 1; }
+}
+class Circle extends Shape {
+  field r: int;
+  ctor(r: int) { this.r = r; }
+  method area(): int { return this.r + this.r + 1; }
+}
+class Bench {
+  static method bump(x: int): int { return x + 2; }
+  static method run(iters: int): int {
+    var a: Shape = new Square(3);
+    var b: Shape = new Circle(2);
+    var c: Shape = new Shape();
+    var d: Shape = new Square(5);
+    var total: int = 0;
+    var i: int = 0;
+    while (i < iters) {
+      total = Bench.bump(total + a.area() + b.area() + c.area() + d.area());
+      total = Bench.bump(total + d.area() + c.area() + b.area() + a.area());
+      i = i + 1;
+    }
+    return total;
+  }
+}
+";
+
+/// Guest calls per loop iteration (8 virtual `area` + 2 static `bump`).
+pub const CALLS_PER_ITER: u64 = 10;
+
+/// Benchmark configuration identifiers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Config {
+    /// Inline caches disabled: every call walks TIB/registry.
+    CachesOff,
+    /// The default VM.
+    CachesOn,
+    /// Caches on, measured after a dynamic update invalidated them all.
+    CachesOnUpdated,
+}
+
+impl Config {
+    /// All three, baseline first.
+    pub fn all() -> [Config; 3] {
+        [Config::CachesOff, Config::CachesOn, Config::CachesOnUpdated]
+    }
+
+    /// Stable identifier used in `BENCH_interp.json`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Config::CachesOff => "caches_off",
+            Config::CachesOn => "caches_on",
+            Config::CachesOnUpdated => "caches_on_updated",
+        }
+    }
+}
+
+/// One timed measurement.
+#[derive(Debug, Clone)]
+pub struct InterpSample {
+    /// Wall time of the timed `Bench.run` call.
+    pub wall: Duration,
+    /// Guest calls dispatched during the timed run.
+    pub calls: u64,
+    /// `Bench.run`'s return value (cross-configuration sanity check).
+    pub checksum: i64,
+    /// Inline-cache hits during the timed run.
+    pub ic_hits: u64,
+    /// Inline-cache misses during the timed run.
+    pub ic_misses: u64,
+}
+
+impl InterpSample {
+    /// Nanoseconds per dispatched guest call.
+    pub fn ns_per_call(&self) -> f64 {
+        self.wall.as_nanos() as f64 / self.calls as f64
+    }
+
+    /// Hit fraction of all cache lookups (0.0 with caches off).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.ic_hits + self.ic_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ic_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Runs one configuration: boot, warm up (promoting the `area` methods
+/// past the opt threshold and filling the caches), then time one
+/// `Bench.run(iters)` call.
+///
+/// # Panics
+///
+/// Panics on fixture errors (the workload always compiles, runs, and —
+/// for [`Config::CachesOnUpdated`] — the update always applies).
+pub fn measure(config: Config, iters: i64) -> InterpSample {
+    let vm_config = VmConfig {
+        enable_inline_caches: config != Config::CachesOff,
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(vm_config);
+    let v1 = jvolve_lang::compile(INTERP_V1).expect("interp v1 compiles");
+    vm.load_classes(&v1).expect("interp classes load");
+
+    // Warm-up: fills caches and drives every `area` body past the opt
+    // threshold, so the timed run sees steady-state code in both modes.
+    let warm = vm
+        .call_static_sync("Bench", "run", &[Value::Int(1_000)])
+        .expect("warmup runs")
+        .expect("run returns a value");
+    assert!(matches!(warm, Value::Int(_)));
+
+    if config == Config::CachesOnUpdated {
+        let v2 = jvolve_lang::compile(INTERP_V2).expect("interp v2 compiles");
+        let update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
+        let mut events = MemorySink::default();
+        let mut controller = UpdateController::new(&update, ApplyOptions::default());
+        controller.attach_sink(&mut events);
+        controller.run_to_completion(&mut vm).expect("update applies");
+        // Post-update warm-up: invalidated methods re-baseline and
+        // re-optimize, and the flushed caches refill.
+        vm.call_static_sync("Bench", "run", &[Value::Int(1_000)]).expect("post-update warmup");
+    }
+
+    let hits0 = vm.stats().ic_hits;
+    let misses0 = vm.stats().ic_misses;
+    let start = Instant::now();
+    let result = vm
+        .call_static_sync("Bench", "run", &[Value::Int(iters)])
+        .expect("timed run")
+        .expect("run returns a value");
+    let wall = start.elapsed();
+    let Value::Int(checksum) = result else { panic!("Bench.run returns an int") };
+
+    InterpSample {
+        wall,
+        calls: iters as u64 * CALLS_PER_ITER,
+        checksum,
+        ic_hits: vm.stats().ic_hits - hits0,
+        ic_misses: vm.stats().ic_misses - misses0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_configurations_agree_on_the_checksum() {
+        let iters = 300;
+        let off = measure(Config::CachesOff, iters);
+        let on = measure(Config::CachesOn, iters);
+        assert_eq!(off.checksum, on.checksum, "caches must not change results");
+        assert_eq!(off.ic_hits, 0, "caches-off must never consult a cache");
+        assert!(on.hit_rate() > 0.9, "steady state should hit: {}", on.hit_rate());
+
+        // The updated configuration runs v2 bodies, so its checksum
+        // differs — but it must still dispatch through warm caches.
+        let updated = measure(Config::CachesOnUpdated, iters);
+        assert_ne!(updated.checksum, on.checksum, "v2 bodies changed");
+        assert!(updated.hit_rate() > 0.9, "post-update steady state: {}", updated.hit_rate());
+    }
+}

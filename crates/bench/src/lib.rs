@@ -10,9 +10,12 @@
 //! * `summary` — the "20 of 22" headline and the E&C comparison
 //! * `ablation` — eager vs lazy steady state; barriers/OSR machinery
 //! * `gcbench` — update-GC pause regression gate vs `results/BENCH_gc.json`
+//! * `interpbench` — steady-state dispatch throughput gate vs
+//!   `results/BENCH_interp.json` (inline caches on/off/after-update)
 
 pub mod ablation;
 pub mod fig5;
+pub mod interp;
 pub mod micro;
 pub mod tables;
 pub mod timing;

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N]
+//!            [--no-inline-caches]
 //!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]
 //!             [--trace results/update_trace.json]]
 //! ```
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
     let Some(program) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!(
             "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N] \
+             [--no-inline-caches] \
              [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]]"
         );
         return ExitCode::from(2);
@@ -53,7 +55,16 @@ fn main() -> ExitCode {
         .unwrap_or_else(VmConfig::default_gc_threads)
         .max(1);
 
-    let mut vm = Vm::new(VmConfig { echo_output: true, gc_threads, ..VmConfig::default() });
+    // Dispatch inline caches are on by default; `--no-inline-caches` holds
+    // the caches-off baseline (Fig. 5's "stock" configuration).
+    let enable_inline_caches = !args.iter().any(|a| a == "--no-inline-caches");
+
+    let mut vm = Vm::new(VmConfig {
+        echo_output: true,
+        gc_threads,
+        enable_inline_caches,
+        ..VmConfig::default()
+    });
     if let Err(e) = vm.load_classes(&v1) {
         eprintln!("jvolve_run: load failed: {e}");
         return ExitCode::FAILURE;

@@ -789,6 +789,12 @@ impl<'u> UpdateController<'u> {
                 }
             }
         }
+        // The individual registry restores bump the dispatch epoch, but a
+        // ledger holding only `RestoreFrame` actions would not: `osr_restore`
+        // writes frames directly, bypassing the registry. Bump once more so
+        // every inline cache filled mid-update is guaranteed stale after a
+        // rollback, regardless of what the ledger contained.
+        vm.registry_mut().bump_code_epoch();
         vm.clear_return_barriers();
         n
     }

@@ -345,3 +345,81 @@ fn json_trace_is_valid_and_ordered() {
     assert!(kinds.contains(&"classes_loaded"));
     assert!(kinds.contains(&"gc_completed"));
 }
+
+#[test]
+fn rollback_invalidates_warm_inline_caches() {
+    // Fill per-site dispatch caches with hot pre-update targets (past the
+    // opt threshold, so the cached code is the optimizing tier's), induce
+    // a mid-install failure, and verify the rollback re-resolves every
+    // cached site to the *restored* old code: v1 semantics, bit-identical
+    // registry, and a dispatch epoch strictly newer than every filled
+    // cache entry.
+    let v1 = compile(
+        "class Counter {
+           field n: int;
+           ctor() { this.n = 0; }
+           method tick(): int { this.n = this.n + 1; return this.n; }
+         }
+         class App {
+           static field c: Counter;
+           static method init(): void { App.c = new Counter(); }
+           static method drive(calls: int): int {
+             var last: int = 0;
+             var i: int = 0;
+             while (i < calls) { last = App.c.tick(); i = i + 1; }
+             return last;
+           }
+         }",
+    );
+    let v2 = compile(
+        "class Counter {
+           field n: int;
+           ctor() { this.n = 0; }
+           method tick(): int { this.n = this.n + 1; return this.n + 1000; }
+         }
+         class App {
+           static field c: Counter;
+           static method init(): void { App.c = new Counter(); }
+           static method drive(calls: int): int {
+             var last: int = 0;
+             var i: int = 0;
+             while (i < calls) { last = App.c.tick(); i = i + 1; }
+             return last;
+           }
+         }",
+    );
+    let mut vm = Vm::new(VmConfig::small());
+    assert!(vm.config().enable_inline_caches, "caches are on by default");
+    vm.load_classes(&v1).expect("v1 loads");
+    vm.call_static_sync("App", "init", &[]).expect("init runs");
+    // 500 calls: well past the opt threshold, so the cached `tick` target
+    // is opt-tier code and the sites are as warm as they get.
+    assert_eq!(
+        vm.call_static_sync("App", "drive", &[Value::Int(500)]).unwrap(),
+        Some(Value::Int(500))
+    );
+
+    let mut update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
+    update.set_transformers_source("this is not a valid MJ program {{{");
+
+    let before = registry_fingerprint(&vm);
+    let epoch_before = vm.registry().code_epoch();
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    let err = controller.run_to_completion(&mut vm).expect_err("transformer compile fails");
+    assert!(matches!(err, UpdateError::Compile(_)), "got: {err}");
+
+    let after = registry_fingerprint(&vm);
+    assert_eq!(before, after, "rollback must restore the registry bit-for-bit");
+    assert!(
+        vm.registry().code_epoch() > epoch_before,
+        "rollback must advance the dispatch epoch so warm caches cannot serve \
+         mid-update (or rolled-back) code"
+    );
+
+    // Execution through the previously cached sites: v1 semantics exactly
+    // (tick is +1, not v2's +1000 offset), continuing the preserved state.
+    assert_eq!(
+        vm.call_static_sync("App", "drive", &[Value::Int(3)]).unwrap(),
+        Some(Value::Int(503))
+    );
+}

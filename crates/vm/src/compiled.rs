@@ -8,10 +8,43 @@
 //! of any method referencing the class silently holds stale offsets and
 //! must be invalidated (and, if on-stack, OSR-replaced).
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crate::ids::{ClassId, MethodId};
 use crate::natives::NativeFn;
+
+/// Relaxed invocation counter attached to compiled code.
+///
+/// Hotness accounting lives on the `CompiledMethod` itself so the
+/// interpreter's inline-cache hit path can count an invocation with one
+/// relaxed atomic add instead of a registry hashmap write. The counter is
+/// per-*code-object*: a recompilation starts a fresh cell at zero, which
+/// matches [`Registry::invalidate`](crate::registry::Registry::invalidate)
+/// resetting the method's counter.
+#[derive(Debug, Default)]
+pub struct CounterCell(AtomicU32);
+
+impl CounterCell {
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u32 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Adds one, returning the *previous* value (the call number before
+    /// this invocation — what the opt-promotion threshold compares).
+    #[inline]
+    pub fn bump(&self) -> u32 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Clone for CounterCell {
+    fn clone(&self) -> Self {
+        CounterCell(AtomicU32::new(self.get()))
+    }
+}
 
 /// Compilation tier.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -126,6 +159,9 @@ pub enum RInstr {
         vslot: u16,
         /// Argument count (receiver excluded).
         argc: u8,
+        /// Dense call-site id within this code object (assigned by the
+        /// JIT after inlining); indexes the per-thread inline-cache table.
+        site: u32,
     },
     /// Direct call (static methods, constructors, `super` calls).
     CallDirect {
@@ -135,6 +171,8 @@ pub enum RInstr {
         argc: u8,
         /// Whether a receiver sits under the arguments.
         has_receiver: bool,
+        /// Dense call-site id within this code object (see `CallVirtual`).
+        site: u32,
     },
     /// Call into the VM.
     CallNative {
@@ -179,6 +217,12 @@ pub struct CompiledMethod {
     pub inlined: Vec<MethodId>,
     /// Classes whose layout/dispatch data is baked into this code.
     pub referenced_classes: Vec<ClassId>,
+    /// Invocation counter driving adaptive recompilation (sampled by the
+    /// interpreter on every call, cache hit or miss).
+    pub invocations: CounterCell,
+    /// Number of call sites in `code` (`CallVirtual`/`CallDirect` carry
+    /// ids `0..call_sites`); sizes the per-thread inline-cache rows.
+    pub call_sites: u32,
 }
 
 impl CompiledMethod {
@@ -202,9 +246,23 @@ mod tests {
             max_locals: 0,
             inlined: vec![],
             referenced_classes: vec![],
+            invocations: CounterCell::default(),
+            call_sites: 0,
         };
         assert!(base.osr_capable());
         let opt = CompiledMethod { level: CompileLevel::Opt, ..base };
         assert!(!opt.osr_capable());
+    }
+
+    #[test]
+    fn counter_cell_bump_returns_previous_and_clone_copies() {
+        let c = CounterCell::default();
+        assert_eq!(c.bump(), 0);
+        assert_eq!(c.bump(), 1);
+        assert_eq!(c.get(), 2);
+        let d = c.clone();
+        assert_eq!(d.get(), 2);
+        d.bump();
+        assert_eq!(c.get(), 2, "clones are independent cells");
     }
 }

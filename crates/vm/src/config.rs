@@ -28,6 +28,13 @@ pub struct VmConfig {
     /// objects can be migrated on first touch, imposing steady-state
     /// overhead. The default (eager, GC-based) mode never pays this cost.
     pub lazy_indirection: bool,
+    /// The steady-state dispatch fast path: per-thread inline caches for
+    /// `CallVirtual`/`CallDirect` (guarded by the registry's dispatch
+    /// epoch — every registry mutation that can change dispatch
+    /// invalidates all caches at once) plus call-frame vector recycling.
+    /// On by default; off holds the honest stock baseline for the
+    /// differential oracle and Fig. 5's "stock" configuration.
+    pub enable_inline_caches: bool,
     /// OS worker threads for the copying collector (clamped to
     /// `1..=`[`MAX_GC_THREADS`](crate::heap::MAX_GC_THREADS)). `1` runs
     /// the serial path; any setting produces bit-identical post-GC state
@@ -64,6 +71,7 @@ impl Default for VmConfig {
             max_stack_depth: 2_048,
             echo_output: false,
             lazy_indirection: false,
+            enable_inline_caches: true,
             gc_threads: VmConfig::default_gc_threads(),
         }
     }
@@ -80,6 +88,7 @@ mod tests {
         assert!(c.quantum > 0);
         assert!(c.enable_opt);
         assert!(!c.lazy_indirection);
+        assert!(c.enable_inline_caches);
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! every inter-slice point a VM safe point. Return barriers and the
 //! lazy-indirection access checks are implemented here.
 
+use std::sync::Arc;
+
 use jvolve_classfile::STRING_CLASS;
 
-use crate::compiled::RInstr;
+use crate::compiled::{CompileLevel, CompiledMethod, RInstr};
 use crate::error::VmError;
 use crate::heap::HeapKind;
-use crate::ids::MethodId;
+use crate::icache::SiteEntry;
+use crate::ids::{ClassId, MethodId};
 use crate::natives::NativeFn;
-use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread};
+use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread, FRAME_POOL_CAP};
 use crate::value::{GcRef, Value};
 use crate::vm::Vm;
 
@@ -65,18 +68,39 @@ impl Vm {
     /// Runs `t` until a slice-ending event, with `budget` steps before the
     /// next yield point ends the slice.
     pub(crate) fn exec_thread(&mut self, t: &mut VmThread, budget: usize) -> SliceEvent {
+        let (event, steps) = self.exec_inner(t, budget);
+        // Folded once per slice rather than once per instruction; callers
+        // (e.g. GC-retry stuck detection) only read the total between
+        // `exec_thread` calls, which always see it up to date.
+        self.stats.steps += steps as u64;
+        event
+    }
+
+    fn exec_inner(&mut self, t: &mut VmThread, budget: usize) -> (SliceEvent, usize) {
         let mut steps: usize = 0;
+        let use_ic = self.config.enable_inline_caches;
+        let opt_threshold = self.config.opt_threshold;
+        let enable_opt = self.config.enable_opt;
 
         'outer: loop {
             let Some(fi) = t.frames.len().checked_sub(1) else {
                 t.state = ThreadState::Finished;
-                return SliceEvent::Finished;
+                return (SliceEvent::Finished, steps);
             };
-            let code = t.frames[fi].compiled.clone();
+            // SAFETY: nothing replaces `frames[fi].compiled` while this
+            // activation executes — OSR runs only between slices, and a
+            // registry recompilation swaps the *registry's* `Arc`, never
+            // the frame's — and the borrow is last used before the frame
+            // pops (the Return arm re-enters 'outer immediately, and the
+            // popped frame keeps the `Arc` alive through the arm).
+            // Pushing frames may move the `Arc` struct itself; the
+            // pointee is heap-allocated and unaffected.
+            let code: &CompiledMethod =
+                unsafe { &*Arc::as_ptr(&t.frames[fi].compiled) };
+            let code_key = Arc::as_ptr(&t.frames[fi].compiled) as usize;
 
             loop {
                 steps += 1;
-                self.stats.steps += 1;
                 let pc = t.frames[fi].pc as usize;
                 debug_assert!(pc < code.code.len(), "pc ran off method end");
                 let instr = &code.code[pc];
@@ -84,7 +108,7 @@ impl Vm {
 
                 macro_rules! trap {
                     ($e:expr) => {{
-                        return SliceEvent::Trapped($e);
+                        return (SliceEvent::Trapped($e), steps);
                     }};
                 }
                 macro_rules! push {
@@ -105,7 +129,7 @@ impl Vm {
                     RInstr::ConstNull => push!(Value::Null),
                     RInstr::ConstStr(s) => match self.heap.alloc_string(s) {
                         Some(r) => t.frames[fi].stack.push(Value::Ref(r)),
-                        None => return SliceEvent::NeedGc,
+                        None => return (SliceEvent::NeedGc, steps),
                     },
                     RInstr::Load(slot) => {
                         let v = frame.locals[*slot as usize];
@@ -228,13 +252,13 @@ impl Vm {
                                 frame.stack.truncate(n - 2);
                                 frame.stack.push(Value::Ref(r));
                             }
-                            None => return SliceEvent::NeedGc,
+                            None => return (SliceEvent::NeedGc, steps),
                         }
                     }
                     RInstr::New { class, size } => {
                         match self.heap.alloc_object(*class, *size as usize) {
                             Some(r) => t.frames[fi].stack.push(Value::Ref(r)),
-                            None => return SliceEvent::NeedGc,
+                            None => return (SliceEvent::NeedGc, steps),
                         }
                     }
                     RInstr::NewArray { is_ref } => {
@@ -248,7 +272,7 @@ impl Vm {
                                 frame.stack.pop();
                                 frame.stack.push(Value::Ref(r));
                             }
-                            None => return SliceEvent::NeedGc,
+                            None => return (SliceEvent::NeedGc, steps),
                         }
                     }
                     RInstr::GetField { offset, is_ref } => {
@@ -258,7 +282,7 @@ impl Vm {
                         };
                         let obj = match self.lazy_object(obj) {
                             Lazy::Ready(o) => o,
-                            Lazy::NeedGc => return SliceEvent::NeedGc,
+                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
                         };
                         let word = self.heap.get(obj, *offset as usize);
                         let frame = &mut t.frames[fi];
@@ -272,7 +296,7 @@ impl Vm {
                         };
                         let obj = match self.lazy_object(obj) {
                             Lazy::Ready(o) => o,
-                            Lazy::NeedGc => return SliceEvent::NeedGc,
+                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
                         };
                         let frame = &mut t.frames[fi];
                         let val = frame.stack.pop().expect("verified");
@@ -322,7 +346,7 @@ impl Vm {
                         let len = self.heap.len_of(arr);
                         t.frames[fi].stack.push(Value::Int(i64::from(len)));
                     }
-                    RInstr::CallVirtual { vslot, argc } => {
+                    RInstr::CallVirtual { vslot, argc, site } => {
                         let n = frame.stack.len();
                         let ridx = n - 1 - *argc as usize;
                         let Some(recv) = frame.stack[ridx].as_ref_opt() else {
@@ -330,10 +354,41 @@ impl Vm {
                         };
                         let recv = match self.lazy_object(recv) {
                             Lazy::Ready(o) => o,
-                            Lazy::NeedGc => return SliceEvent::NeedGc,
+                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
                         };
                         t.frames[fi].stack[ridx] = Value::Ref(recv);
                         let class = self.heap.class_of(recv);
+                        let total = *argc as usize + 1;
+                        if use_ic {
+                            let epoch = self.registry.code_epoch();
+                            let row = t.ic.site(code, code_key, *site);
+                            if let Some(entry) = row.lookup(epoch, class) {
+                                let callee = Arc::clone(&entry.code);
+                                self.stats.ic_hits += 1;
+                                // Hotness sampled on the hit path too, so
+                                // adaptive recompilation triggers at the
+                                // same call number as with caches off.
+                                let pre = callee.invocations.bump();
+                                let promote = enable_opt
+                                    && callee.level == CompileLevel::Base
+                                    && pre >= opt_threshold;
+                                if !promote {
+                                    if let Err(e) =
+                                        self.push_callee(t, fi, callee, total, next_pc)
+                                    {
+                                        trap!(e);
+                                    }
+                                    if steps >= budget {
+                                        return (SliceEvent::Quantum, steps);
+                                    }
+                                    continue 'outer;
+                                }
+                                // Crossed the opt threshold: fall through
+                                // to the slow path, which recompiles.
+                            } else {
+                                self.stats.ic_misses += 1;
+                            }
+                        }
                         let tib = &self.registry.class(class).tib;
                         let Some(&mid) = tib.get(*vslot as usize) else {
                             trap!(VmError::Internal {
@@ -343,18 +398,29 @@ impl Vm {
                                 ),
                             });
                         };
-                        let total = *argc as usize + 1;
-                        match self.invoke(t, fi, mid, total, next_pc) {
-                            Ok(()) => {
-                                if steps >= budget {
-                                    return SliceEvent::Quantum;
-                                }
-                                continue 'outer;
-                            }
+                        let callee = match self.compiled_for(mid) {
+                            Ok(c) => c,
                             Err(e) => trap!(e),
+                        };
+                        if use_ic {
+                            // Epoch read *after* compiled_for: a fresh
+                            // compile bumps it, and an entry stamped with
+                            // the pre-compile epoch would never hit.
+                            let epoch = self.registry.code_epoch();
+                            t.ic.site(code, code_key, *site).insert(
+                                epoch,
+                                SiteEntry { class, method: mid, code: Arc::clone(&callee) },
+                            );
                         }
+                        if let Err(e) = self.push_callee(t, fi, callee, total, next_pc) {
+                            trap!(e);
+                        }
+                        if steps >= budget {
+                            return (SliceEvent::Quantum, steps);
+                        }
+                        continue 'outer;
                     }
-                    RInstr::CallDirect { method, argc, has_receiver } => {
+                    RInstr::CallDirect { method, argc, has_receiver, site } => {
                         let total = *argc as usize + usize::from(*has_receiver);
                         if *has_receiver {
                             let n = frame.stack.len();
@@ -362,15 +428,55 @@ impl Vm {
                                 trap!(VmError::NullPointer { context: "instance call".into() });
                             }
                         }
-                        match self.invoke(t, fi, *method, total, next_pc) {
-                            Ok(()) => {
-                                if steps >= budget {
-                                    return SliceEvent::Quantum;
+                        if use_ic {
+                            let epoch = self.registry.code_epoch();
+                            let row = t.ic.site(code, code_key, *site);
+                            if let Some(entry) = row.lookup_direct(epoch) {
+                                let callee = Arc::clone(&entry.code);
+                                self.stats.ic_hits += 1;
+                                let pre = callee.invocations.bump();
+                                let promote = enable_opt
+                                    && callee.level == CompileLevel::Base
+                                    && pre >= opt_threshold;
+                                if !promote {
+                                    if let Err(e) =
+                                        self.push_callee(t, fi, callee, total, next_pc)
+                                    {
+                                        trap!(e);
+                                    }
+                                    if steps >= budget {
+                                        return (SliceEvent::Quantum, steps);
+                                    }
+                                    continue 'outer;
                                 }
-                                continue 'outer;
+                            } else {
+                                self.stats.ic_misses += 1;
                             }
-                            Err(e) => trap!(e),
                         }
+                        let callee = match self.compiled_for(*method) {
+                            Ok(c) => c,
+                            Err(e) => trap!(e),
+                        };
+                        if use_ic {
+                            let epoch = self.registry.code_epoch();
+                            t.ic.site(code, code_key, *site).insert_direct(
+                                epoch,
+                                // Direct calls have no receiver class to key
+                                // on; way 0 is guarded by the epoch alone.
+                                SiteEntry {
+                                    class: ClassId(0),
+                                    method: *method,
+                                    code: Arc::clone(&callee),
+                                },
+                            );
+                        }
+                        if let Err(e) = self.push_callee(t, fi, callee, total, next_pc) {
+                            trap!(e);
+                        }
+                        if steps >= budget {
+                            return (SliceEvent::Quantum, steps);
+                        }
+                        continue 'outer;
                     }
                     RInstr::CallNative { native, argc } => {
                         let argc = *argc as usize;
@@ -385,7 +491,7 @@ impl Vm {
                             }
                             NOut::Block(on) => {
                                 t.state = ThreadState::Blocked(on);
-                                return SliceEvent::Blocked;
+                                return (SliceEvent::Blocked, steps);
                             }
                             NOut::BlockAfter(on) => {
                                 let frame = &mut t.frames[fi];
@@ -393,9 +499,9 @@ impl Vm {
                                 frame.stack.truncate(n - argc);
                                 frame.pc = next_pc as u32;
                                 t.state = ThreadState::Blocked(on);
-                                return SliceEvent::Blocked;
+                                return (SliceEvent::Blocked, steps);
                             }
-                            NOut::NeedGc => return SliceEvent::NeedGc,
+                            NOut::NeedGc => return (SliceEvent::NeedGc, steps),
                             NOut::Trap(e) => trap!(e),
                             NOut::Frame(new_frame) => {
                                 let frame = &mut t.frames[fi];
@@ -410,7 +516,7 @@ impl Vm {
                                 let n = frame.stack.len();
                                 frame.stack.truncate(n - argc);
                                 frame.pc = next_pc as u32;
-                                return SliceEvent::Quantum;
+                                return (SliceEvent::Quantum, steps);
                             }
                         }
                     }
@@ -419,7 +525,7 @@ impl Vm {
                         t.frames[fi].pc = target as u32;
                         if target <= pc && steps >= budget {
                             // Loop back-edge: a yield point.
-                            return SliceEvent::Quantum;
+                            return (SliceEvent::Quantum, steps);
                         }
                         continue;
                     }
@@ -439,10 +545,23 @@ impl Vm {
                         } else {
                             None
                         };
-                        let done = t.frames.pop().expect("frame present");
+                        let mut done = t.frames.pop().expect("frame present");
                         if let Some(FrameNote::TransformOf(addr)) = done.note {
                             self.dsu.in_progress.remove(&addr);
                             self.dsu.done.insert(addr);
+                        }
+                        // Recycle the frame's vectors (cleared, so the GC
+                        // and roots never see stale references). Gated with
+                        // the inline caches: together they are the
+                        // steady-state dispatch fast path, and caches-off
+                        // holds the stock per-call allocation behavior.
+                        if use_ic && t.pool.len() < FRAME_POOL_CAP {
+                            done.locals.clear();
+                            done.stack.clear();
+                            t.pool.push((
+                                std::mem::take(&mut done.locals),
+                                std::mem::take(&mut done.stack),
+                            ));
                         }
                         match t.frames.last_mut() {
                             Some(caller) => {
@@ -457,14 +576,14 @@ impl Vm {
                         if done.return_barrier {
                             // Paper §3.2: the bridge code notifies the
                             // update driver, which restarts the update.
-                            return SliceEvent::ReturnBarrier { method: done.method };
+                            return (SliceEvent::ReturnBarrier { method: done.method }, steps);
                         }
                         if t.frames.is_empty() {
                             t.state = ThreadState::Finished;
-                            return SliceEvent::Finished;
+                            return (SliceEvent::Finished, steps);
                         }
                         if steps >= budget {
-                            return SliceEvent::Quantum;
+                            return (SliceEvent::Quantum, steps);
                         }
                         continue 'outer;
                     }
@@ -481,24 +600,37 @@ impl Vm {
         }
     }
 
-    /// Pushes a callee frame, consuming `total` stack values as arguments.
-    fn invoke(
+    /// Pushes a frame for already-resolved code, consuming `total` stack
+    /// values as arguments. Reuses pooled vectors when available.
+    fn push_callee(
         &mut self,
         t: &mut VmThread,
         fi: usize,
-        mid: MethodId,
+        compiled: Arc<CompiledMethod>,
         total: usize,
         caller_next_pc: usize,
     ) -> Result<(), VmError> {
         if t.frames.len() >= self.config.max_stack_depth {
             return Err(VmError::StackOverflow);
         }
-        let compiled = self.compiled_for(mid)?;
+        let (mut locals, stack) = t.pool.pop().unwrap_or_default();
         let frame = &mut t.frames[fi];
         frame.pc = caller_next_pc as u32;
         let base = frame.stack.len() - total;
-        let args: Vec<Value> = frame.stack.split_off(base);
-        t.frames.push(Frame::new(compiled, &args)?);
+        // Pooled vectors arrive cleared, so resize nulls every slot past
+        // the arguments — same as a fresh `Frame::new`.
+        locals.resize((compiled.max_locals as usize).max(total), Value::Null);
+        locals[..total].copy_from_slice(&frame.stack[base..]);
+        frame.stack.truncate(base);
+        t.frames.push(Frame {
+            method: compiled.method,
+            compiled,
+            pc: 0,
+            locals,
+            stack,
+            return_barrier: false,
+            note: None,
+        });
         Ok(())
     }
 
@@ -611,7 +743,14 @@ impl Vm {
                         ),
                     });
                 };
-                let mid = self.registry.class(class).tib[vslot as usize];
+                let Some(&mid) = self.registry.class(class).tib.get(vslot as usize) else {
+                    return NOut::Trap(VmError::Internal {
+                        message: format!(
+                            "Sys.spawn: TIB slot {vslot} missing on {} — stale compiled code?",
+                            self.registry.class(class).name
+                        ),
+                    });
+                };
                 let compiled = match self.compiled_for(mid) {
                     Ok(c) => c,
                     Err(e) => return NOut::Trap(e),

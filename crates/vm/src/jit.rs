@@ -44,7 +44,8 @@ pub fn compile(
 
     match level {
         CompileLevel::Base => {
-            let (rcode, referenced) = resolve_code(registry, &code.instrs)?;
+            let (mut rcode, referenced) = resolve_code(registry, &code.instrs)?;
+            let call_sites = assign_call_sites(&mut rcode);
             Ok(CompiledMethod {
                 method: mid,
                 level: CompileLevel::Base,
@@ -52,6 +53,8 @@ pub fn compile(
                 max_locals: code.max_locals,
                 inlined: Vec::new(),
                 referenced_classes: referenced,
+                invocations: Default::default(),
+                call_sites,
             })
         }
         CompileLevel::Opt => {
@@ -68,7 +71,8 @@ pub fn compile(
                 &mut next_local,
                 0,
             );
-            let (rcode, referenced) = resolve_code(registry, &expanded)?;
+            let (mut rcode, referenced) = resolve_code(registry, &expanded)?;
+            let call_sites = assign_call_sites(&mut rcode);
             Ok(CompiledMethod {
                 method: mid,
                 level: CompileLevel::Opt,
@@ -76,9 +80,29 @@ pub fn compile(
                 max_locals: next_local,
                 inlined,
                 referenced_classes: referenced,
+                invocations: Default::default(),
+                call_sites,
             })
         }
     }
+}
+
+/// Numbers every call site sequentially over the *final* instruction
+/// sequence (after inlining dropped or duplicated symbolic call sites),
+/// returning the count. The interpreter's per-thread inline-cache rows
+/// are indexed by these ids, so they must be dense and code-relative.
+fn assign_call_sites(code: &mut [RInstr]) -> u32 {
+    let mut next = 0u32;
+    for instr in code {
+        match instr {
+            RInstr::CallVirtual { site, .. } | RInstr::CallDirect { site, .. } => {
+                *site = next;
+                next += 1;
+            }
+            _ => {}
+        }
+    }
+    next
 }
 
 /// Resolves a symbolic instruction sequence (1:1).
@@ -178,7 +202,7 @@ fn resolve_code(
                     registry.vslot(id, method).ok_or_else(|| VmError::ResolutionError {
                         message: format!("no virtual slot for {class}.{method}"),
                     })?;
-                RInstr::CallVirtual { vslot, argc: *argc }
+                RInstr::CallVirtual { vslot, argc: *argc, site: 0 }
             }
             Instr::CallStatic { class, method, argc } => {
                 let id = class_id(class)?;
@@ -189,7 +213,12 @@ fn resolve_code(
                     })?;
                 match registry.method(target).native {
                     Some(native) => RInstr::CallNative { native, argc: *argc },
-                    None => RInstr::CallDirect { method: target, argc: *argc, has_receiver: false },
+                    None => RInstr::CallDirect {
+                        method: target,
+                        argc: *argc,
+                        has_receiver: false,
+                        site: 0,
+                    },
                 }
             }
             Instr::CallSpecial { class, method, argc } => {
@@ -199,7 +228,7 @@ fn resolve_code(
                     registry.find_method(id, method).ok_or_else(|| VmError::ResolutionError {
                         message: format!("unknown method {class}.{method}"),
                     })?;
-                RInstr::CallDirect { method: target, argc: *argc, has_receiver: true }
+                RInstr::CallDirect { method: target, argc: *argc, has_receiver: true, site: 0 }
             }
             Instr::Jump(t) => RInstr::Jump(*t),
             Instr::JumpIfTrue(t) => RInstr::JumpIfTrue(*t),
@@ -503,6 +532,37 @@ mod tests {
             if let RInstr::Load(s) | RInstr::Store(s) = i {
                 assert!(*s < c.max_locals, "slot {s} >= max_locals {}", c.max_locals);
             }
+        }
+    }
+
+    #[test]
+    fn call_sites_are_dense_and_counted_after_inlining() {
+        let r = registry_with(
+            "class A { method id(): int { return 1; } }
+             class T {
+               static method big(a: A, n: int): int {
+                 var s: int = 0; var i: int = 0;
+                 while (i < n) { s = s + a.id() + a.id(); i = i + 1; }
+                 return s + T.big(a, 0);
+               }
+             }",
+        );
+        let mid = method_id(&r, "T", "big");
+        for level in [CompileLevel::Base, CompileLevel::Opt] {
+            let c = compile(&r, mid, level, &VmConfig::default()).unwrap();
+            let sites: Vec<u32> = c
+                .code
+                .iter()
+                .filter_map(|i| match i {
+                    RInstr::CallVirtual { site, .. } | RInstr::CallDirect { site, .. } => {
+                        Some(*site)
+                    }
+                    _ => None,
+                })
+                .collect();
+            let expect: Vec<u32> = (0..c.call_sites).collect();
+            assert_eq!(sites, expect, "sites dense in code order at {level:?}");
+            assert!(c.call_sites >= 3, "two virtual + one recursive direct call");
         }
     }
 

@@ -91,6 +91,13 @@ pub struct Registry {
     jtoc_ref: Vec<bool>,
     /// Cached GC layout snapshot; rebuilt lazily after class load/rename.
     snapshot: Option<Arc<LayoutSnapshot>>,
+    /// Monotonic dispatch epoch: advanced by *every* mutation that can
+    /// change what a call site should run — class load/rename, method
+    /// strip/swap, compiled-code invalidation or (re)install, rollback
+    /// restores, batch truncation. Inline caches tag entries with their
+    /// fill epoch; a mismatch forces the slow path, so one counter bump
+    /// invalidates every cache in the VM at once.
+    code_epoch: u64,
 }
 
 impl Registry {
@@ -152,6 +159,22 @@ impl Registry {
     /// Number of methods loaded.
     pub fn method_count(&self) -> usize {
         self.methods.len()
+    }
+
+    /// The current dispatch epoch (see the field docs): inline-cache
+    /// entries filled under an older epoch must re-resolve.
+    #[inline]
+    pub fn code_epoch(&self) -> u64 {
+        self.code_epoch
+    }
+
+    /// Invalidates every inline cache in the VM in O(1) by advancing the
+    /// dispatch epoch. Every registry mutation that can change dispatch
+    /// already calls this; it is public so the update controller can also
+    /// force invalidation after mutations that bypass the registry
+    /// (frame-level OSR restores during rollback).
+    pub fn bump_code_epoch(&mut self) {
+        self.code_epoch += 1;
     }
 
     /// Looks up a method by declaring-class chain: starts at `class` and
@@ -385,6 +408,7 @@ impl Registry {
             statics,
         });
         self.snapshot = None;
+        self.bump_code_epoch();
         Ok(id)
     }
 
@@ -412,6 +436,7 @@ impl Registry {
         class.name = new_name.clone();
         class.file.name = new_name;
         self.snapshot = None;
+        self.bump_code_epoch();
         Ok(())
     }
 
@@ -431,6 +456,8 @@ impl Registry {
             self.method_by_key.remove(&(id, name));
             self.invalidate(mid);
         }
+        // The TIB itself changed even if the class had no compiled code.
+        self.bump_code_epoch();
     }
 
     /// Replaces a method's bytecode (a *method body update*): the new body
@@ -475,6 +502,7 @@ impl Registry {
             info.invalidations += 1;
         }
         info.invocations = 0;
+        self.bump_code_epoch();
     }
 
     /// Every compiled method that inlined one of `changed` (paper §3.2:
@@ -503,9 +531,12 @@ impl Registry {
         victims
     }
 
-    /// Installs compiled code for a method.
+    /// Installs compiled code for a method. Advances the dispatch epoch:
+    /// caches holding the previous code object (e.g. the base-tier body a
+    /// hot method just outgrew, or pre-OSR code) must re-resolve.
     pub fn set_compiled(&mut self, mid: MethodId, code: Arc<CompiledMethod>) {
         self.methods[mid.index()].compiled = Some(code);
+        self.bump_code_epoch();
     }
 
     // ---- rollback primitives (used by the update controller) ----------------
@@ -541,6 +572,7 @@ impl Registry {
         self.jtoc.truncate(mark.jtoc);
         self.jtoc_ref.truncate(mark.jtoc);
         self.snapshot = None;
+        self.bump_code_epoch();
     }
 
     /// Captures everything [`Registry::strip_methods`] destroys for class
@@ -578,6 +610,9 @@ impl Registry {
             info.invocations = invocations;
             info.invalidations = invalidations;
         }
+        // Rollback republished old code objects: caches filled with the
+        // new version's code must re-resolve.
+        self.bump_code_epoch();
     }
 
     /// Restores one method's definition, compiled code, and counters —
@@ -605,6 +640,7 @@ impl Registry {
         info.compiled = compiled;
         info.invocations = invocations;
         info.invalidations = invalidations;
+        self.bump_code_epoch();
     }
 
     /// Number of JTOC slots allocated (for registry state comparisons).
@@ -804,6 +840,8 @@ mod tests {
                 max_locals: 0,
                 inlined: vec![],
                 referenced_classes: vec![],
+                invocations: Default::default(),
+                call_sites: 0,
             }),
         );
         let new_def = jvolve_lang::compile("class T { static method f(): int { return 2; } }")
@@ -914,10 +952,73 @@ mod tests {
                 max_locals: 0,
                 inlined: vec![f],
                 referenced_classes: vec![],
+                invocations: Default::default(),
+                call_sites: 0,
             }),
         );
         let victims = r.invalidate_inliners(&[f]);
         assert_eq!(victims, vec![g]);
         assert!(r.method(g).compiled.is_none());
+    }
+
+    #[test]
+    fn every_dispatch_mutation_bumps_the_code_epoch() {
+        let mut r = base_registry();
+        let mut last = r.code_epoch();
+        let expect_bump = |r: &Registry, what: &str, last: &mut u64| {
+            assert!(r.code_epoch() > *last, "{what} must advance the epoch");
+            *last = r.code_epoch();
+        };
+
+        let mark = r.mark();
+        let classes = jvolve_lang::compile(
+            "class E { method m(): int { return 1; } static method s(): int { return 2; } }",
+        )
+        .unwrap();
+        r.load_batch(&classes).unwrap();
+        expect_bump(&r, "class load", &mut last);
+
+        let e = r.class_id(&ClassName::from("E")).unwrap();
+        let m = r.find_method(e, "m").unwrap();
+        r.set_compiled(
+            m,
+            Arc::new(CompiledMethod {
+                method: m,
+                level: crate::compiled::CompileLevel::Base,
+                code: vec![RInstrStub()],
+                max_locals: 0,
+                inlined: vec![],
+                referenced_classes: vec![],
+                invocations: Default::default(),
+                call_sites: 0,
+            }),
+        );
+        expect_bump(&r, "set_compiled", &mut last);
+
+        let snap = r.snapshot_class_methods(e);
+        r.invalidate(m);
+        expect_bump(&r, "invalidate", &mut last);
+
+        let new_def = jvolve_lang::compile("class E { method m(): int { return 9; } }")
+            .unwrap()[0]
+            .find_method("m")
+            .unwrap()
+            .clone();
+        let def_backup = r.method(m).def.clone();
+        r.replace_method_body(e, "m", new_def).unwrap();
+        expect_bump(&r, "replace_method_body", &mut last);
+        r.restore_method_state(m, def_backup, None, 0, 0);
+        expect_bump(&r, "restore_method_state", &mut last);
+
+        r.rename_class(e, ClassName::from("v1_E")).unwrap();
+        expect_bump(&r, "rename_class", &mut last);
+
+        r.strip_methods(e);
+        expect_bump(&r, "strip_methods", &mut last);
+        r.restore_class_methods(e, snap);
+        expect_bump(&r, "restore_class_methods", &mut last);
+
+        r.truncate_to(&mark);
+        expect_bump(&r, "truncate_to", &mut last);
     }
 }

@@ -4,8 +4,13 @@ use std::sync::Arc;
 
 use crate::compiled::CompiledMethod;
 use crate::error::VmError;
+use crate::icache::InlineCaches;
 use crate::ids::{MethodId, ThreadId};
 use crate::value::Value;
+
+/// Recycled `(locals, stack)` vectors kept per thread beyond this count
+/// are dropped instead of pooled.
+pub(crate) const FRAME_POOL_CAP: usize = 32;
 
 /// One activation record.
 ///
@@ -110,6 +115,14 @@ pub struct VmThread {
     /// Value returned by the outermost frame, once finished (used by
     /// synchronous host-initiated calls).
     pub result: Option<Value>,
+    /// Per-thread inline caches for call dispatch (epoch-guarded; see
+    /// [`crate::icache`]). Thread-local so `CompiledMethod` stays
+    /// shareable and no synchronization touches the call fast path.
+    pub(crate) ic: InlineCaches,
+    /// Recycled `(locals, stack)` vectors from popped frames, so a call
+    /// in steady state reuses allocations instead of making fresh ones.
+    /// Always cleared before pooling — the GC scans only live frames.
+    pub(crate) pool: Vec<(Vec<Value>, Vec<Value>)>,
 }
 
 impl VmThread {
@@ -121,6 +134,8 @@ impl VmThread {
             frames: vec![frame],
             state: ThreadState::Runnable,
             result: None,
+            ic: InlineCaches::default(),
+            pool: Vec::new(),
         }
     }
 
@@ -148,6 +163,8 @@ mod tests {
             max_locals,
             inlined: vec![],
             referenced_classes: vec![],
+            invocations: Default::default(),
+            call_sites: 0,
         })
     }
 

@@ -34,6 +34,11 @@ pub struct VmStats {
     pub base_compiles: u64,
     /// Methods opt-compiled.
     pub opt_compiles: u64,
+    /// Inline-cache dispatch hits (excluded from differential oracles —
+    /// the two cache modes differ here by construction).
+    pub ic_hits: u64,
+    /// Inline-cache dispatch misses.
+    pub ic_misses: u64,
 }
 
 /// DSU bookkeeping owned by the VM so the GC can keep it consistent.
@@ -273,13 +278,20 @@ impl Vm {
         let info = self.registry.method(mid);
         debug_assert!(info.native.is_none(), "natives are dispatched separately");
 
+        // The hotness counter lives on the code object so inline-cache
+        // hits (which bypass this path) can keep sampling it; checked
+        // pre-bump, so promotion fires at the same call number in both
+        // cache modes.
         let needs_opt = enable_opt
-            && info.invocations >= threshold
-            && info.compiled.as_ref().is_some_and(|c| c.level == CompileLevel::Base);
+            && info
+                .compiled
+                .as_ref()
+                .is_some_and(|c| c.level == CompileLevel::Base && c.invocations.get() >= threshold);
 
         if let (Some(c), false) = (&info.compiled, needs_opt) {
             let c = c.clone();
-            self.registry.method_mut(mid).invocations += 1;
+            c.invocations.bump();
+            self.registry.method_mut(mid).invocations = c.invocations.get();
             return Ok(c);
         }
 
@@ -289,8 +301,9 @@ impl Vm {
             CompileLevel::Base => self.stats.base_compiles += 1,
             CompileLevel::Opt => self.stats.opt_compiles += 1,
         }
+        compiled.invocations.bump();
         self.registry.set_compiled(mid, compiled.clone());
-        self.registry.method_mut(mid).invocations += 1;
+        self.registry.method_mut(mid).invocations = compiled.invocations.get();
         Ok(compiled)
     }
 

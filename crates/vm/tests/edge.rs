@@ -219,6 +219,46 @@ fn spawn_without_run_method_traps() {
 }
 
 #[test]
+fn spawn_through_stripped_class_traps_gracefully() {
+    // Mid-update the driver strips an old class's methods and TIB; a
+    // Sys.spawn through a surviving instance of it must trap like a stale
+    // CallVirtual does — not panic — and the VM must keep running.
+    let mut vm = Vm::new(VmConfig::small());
+    vm.load_source(
+        "class W { method run(): void { Sys.printInt(7); } }
+         class M {
+           static field w: W;
+           static method mk(): void { M.w = new W(); }
+           static method go(): void { Sys.spawn(M.w); }
+           static method ping(): int { return 42; }
+         }",
+    )
+    .unwrap();
+    vm.call_static_sync("M", "mk", &[]).unwrap();
+
+    let cid = vm
+        .registry()
+        .class_id(&jvolve_classfile::ClassName::from("W"))
+        .unwrap();
+    vm.registry_mut().strip_methods(cid);
+
+    let tid = vm.spawn("M", "go").unwrap();
+    vm.run_to_completion(10_000);
+    assert!(
+        matches!(
+            &vm.thread(tid).unwrap().state,
+            ThreadState::Trapped(VmError::ResolutionError { .. } | VmError::Internal { .. })
+        ),
+        "spawn through a stripped class must trap, got {:?}",
+        vm.thread(tid).unwrap().state
+    );
+    // No output from W::run, and the VM still executes code.
+    assert!(vm.output().is_empty());
+    let pong = vm.call_static_sync("M", "ping", &[]).unwrap();
+    assert_eq!(pong, Some(Value::Int(42)));
+}
+
+#[test]
 fn virtual_dispatch_selects_most_derived_override() {
     let mut vm = Vm::new(VmConfig::small());
     vm.load_source(

@@ -34,11 +34,20 @@ cargo test -q --workspace
 echo "== tier-1: parallel update-GC differential oracle (gc_threads 2/4/7) =="
 cargo test -q --test differential
 
+# The inline-cache differential oracle: caches on vs off must be
+# observationally identical — same heap, registry, events, and stats —
+# across a full update and across a rolled-back one.
+echo "== tier-1: inline-cache differential oracle (caches on/off, update + rollback) =="
+cargo test -q --test differential inline_caches_are_observationally_invisible
+
 if [ "$skip_bench" = 0 ]; then
     echo "== tier-1: GC pause regression check =="
     cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5
+    echo "== tier-1: interpreter dispatch throughput check =="
+    cargo run --release -q -p jvolve-bench --bin interpbench -- --check --iters 5
 else
     echo "== tier-1: GC pause regression check skipped (--skip-bench) =="
+    echo "== tier-1: interpreter dispatch throughput check skipped (--skip-bench) =="
 fi
 
 echo "== tier-1: OK =="
