@@ -88,11 +88,13 @@ pub fn attempt_update(
 }
 
 /// [`attempt_update`] through the resumable [`UpdateController`], calling
-/// `pump` between steps while the update waits for a safe point. The pump
-/// may drive the VM's workload — issue requests, run extra slices — so
-/// the app keeps serving mid-update, exactly the paper's §4 setup of
-/// updating Jetty under full load. Once the controller leaves the waiting
-/// phase the pause has begun and the pump is no longer called.
+/// `pump` between steps whenever the guest is allowed to run: while the
+/// update waits for a safe point, and — under `VmConfig::lazy_migration`
+/// — while the lazy epoch drains. The pump may drive the VM's workload —
+/// issue requests, run extra slices — so the app keeps serving
+/// mid-update, exactly the paper's §4 setup of updating Jetty under full
+/// load. During the remaining (stop-the-world) phases the pump is not
+/// called.
 pub fn attempt_update_interleaved(
     vm: &mut Vm,
     app: &dyn GuestApp,
@@ -104,7 +106,8 @@ pub fn attempt_update_interleaved(
     let mut controller = UpdateController::new(&update, opts.clone());
     loop {
         match controller.step(vm) {
-            StepProgress::Pending(UpdatePhase::WaitingForSafePoint) => pump(vm),
+            StepProgress::Pending(UpdatePhase::WaitingForSafePoint)
+            | StepProgress::Pending(UpdatePhase::LazyMigrating) => pump(vm),
             StepProgress::Pending(_) => {}
             StepProgress::Committed => {
                 let stats = controller.stats().clone();

@@ -4,7 +4,8 @@
 
 use jvolve::UpdateOutcome;
 use jvolve_apps::harness::{
-    attempt_update, attempt_update_interleaved, bench_apply_options, boot,
+    app_vm_config, attempt_update, attempt_update_interleaved, bench_apply_options, boot,
+    boot_with,
 };
 use jvolve_apps::workload::{ftp_retr, one_shot, pop_list, smtp_send};
 use jvolve_apps::{Emailserver, Ftpserver, GuestApp, Webserver};
@@ -75,6 +76,51 @@ fn webserver_serves_requests_between_controller_steps() {
     // And the updated server serves correctly afterwards.
     let resp = one_shot(&mut vm, app.port(), "GET /about.html", 40_000)
         .expect("server unresponsive after interleaved update");
+    assert!(resp.0.starts_with("200"), "{resp:?}");
+}
+
+#[test]
+fn webserver_serves_verified_responses_while_lazy_epoch_drains() {
+    // Lazy mode end to end on a real app: the 5.1.4 → 5.1.5 update (the
+    // webserver's largest class update) commits behind the read barrier
+    // while the server keeps serving. The controller yields at least once
+    // in the lazy phase, so the pump provably runs mid-epoch — and every
+    // response served there must be complete and correct.
+    let app = Webserver;
+    let from = 4; // 5.1.4 → 5.1.5
+    let mut config = app_vm_config();
+    config.lazy_migration = true;
+    let mut vm = boot_with(&app, from, config);
+    for _ in 0..3 {
+        let resp = one_shot(&mut vm, app.port(), "GET /index.html", 20_000)
+            .expect("server unresponsive before update");
+        assert!(resp.0.starts_with("200"), "{resp:?}");
+    }
+
+    let mut served_mid_update = 0;
+    let (outcome, stats) = attempt_update_interleaved(
+        &mut vm,
+        &app,
+        from,
+        &bench_apply_options(),
+        |vm| {
+            let resp = one_shot(vm, app.port(), "GET /index.html", 20_000)
+                .expect("server must answer while the update is in flight");
+            assert!(resp.0.starts_with("200"), "mid-migration response corrupted: {resp:?}");
+            served_mid_update += 1;
+        },
+    );
+    assert!(outcome.supported(), "{outcome}");
+    let stats = stats.expect("stats on commit");
+    assert!(
+        stats.lazy_time > std::time::Duration::ZERO,
+        "the update must have gone through the lazy phase"
+    );
+    assert!(served_mid_update >= 1, "requests must be served while the epoch drains");
+
+    // And the updated server serves correctly afterwards.
+    let resp = one_shot(&mut vm, app.port(), "GET /about.html", 40_000)
+        .expect("server unresponsive after lazy update");
     assert!(resp.0.starts_with("200"), "{resp:?}");
 }
 

@@ -29,12 +29,9 @@
 //! `--iters N` controls timed iterations per configuration (default 5).
 
 use jvolve_bench::micro::{measure_pause_threads, PauseSample};
-use jvolve_bench::timing::{fmt_ns, Samples};
-use jvolve_bench::{arg_flag, arg_value};
+use jvolve_bench::timing::{fmt_ns, gate_best_of, Samples, REGRESSION_LIMIT};
+use jvolve_bench::{arg_value, baseline_for_check, enforce_gate_args, gate_iters};
 use jvolve_json::Json;
-
-/// Allowed best-of-N regression before `--check` fails.
-const REGRESSION_LIMIT: f64 = 0.15;
 
 /// The gated configurations: two heap sizes (the semispace scales with the
 /// object count) × three updated fractions × three GC worker counts.
@@ -192,36 +189,27 @@ fn check_serial(entries: &[Entry], baseline: &Json, path: &str, iters: usize) ->
             );
             continue;
         };
-        let mut current = e.gc_min_ns_per_object;
-        let mut delta = current / base - 1.0;
-        let mut retried = false;
-        if delta > REGRESSION_LIMIT {
-            // Suspicious — re-measure with 3x iterations before
-            // declaring a regression.
-            current = current.min(gc_min_ns(e.objects, e.fraction, 1, iters * 3));
-            delta = current / base - 1.0;
-            retried = true;
-        }
-        let verdict = match (delta > REGRESSION_LIMIT, retried) {
-            (true, _) => "REGRESSED",
-            (false, true) => "ok (after retry)",
-            (false, false) => "ok",
-        };
+        // A tripped gate re-measures with 3x iterations before declaring
+        // a regression.
+        let g = gate_best_of(e.gc_min_ns_per_object, base, || {
+            gc_min_ns(e.objects, e.fraction, 1, iters * 3)
+        });
         println!(
-            "  {:>7} objects {:>3.0}%: {:>9} -> {:>9} per object ({:>+6.1}%) {verdict}",
+            "  {:>7} objects {:>3.0}%: {:>9} -> {:>9} per object ({:>+6.1}%) {}",
             e.objects,
             e.fraction * 100.0,
             fmt_ns(base as u64),
-            fmt_ns(current as u64),
-            delta * 100.0,
+            fmt_ns(g.current as u64),
+            g.delta * 100.0,
+            g.verdict(),
         );
-        if delta > REGRESSION_LIMIT {
+        if g.regressed() {
             regressions.push(format!(
                 "{} objects at {:.0}%: {:.1} -> {:.1} ns/object",
                 e.objects,
                 e.fraction * 100.0,
                 base,
-                current
+                g.current
             ));
         }
     }
@@ -252,25 +240,20 @@ fn check_parallel(entries: &[Entry], iters: usize) -> Vec<String> {
     let (Some(serial), Some(parallel)) = (pick(1), pick(4)) else {
         return Vec::new();
     };
-    let mut current = parallel;
-    let mut delta = current / serial - 1.0;
-    if delta > REGRESSION_LIMIT {
-        // Retry before declaring the parallel collector slow.
-        current = current.min(gc_min_ns(objects, fraction, 4, iters * 3));
-        delta = current / serial - 1.0;
-    }
+    // Retry before declaring the parallel collector slow.
+    let g = gate_best_of(parallel, serial, || gc_min_ns(objects, fraction, 4, iters * 3));
     println!(
         "\nparallel-vs-serial gate ({objects} objects, {:.0}% updated): \
          serial {} -> 4 workers {} per object ({:+.1}%)",
         fraction * 100.0,
         fmt_ns(serial as u64),
-        fmt_ns(current as u64),
-        delta * 100.0,
+        fmt_ns(g.current as u64),
+        g.delta * 100.0,
     );
-    if delta > REGRESSION_LIMIT {
+    if g.regressed() {
         vec![format!(
-            "4 workers slower than serial at {objects} objects: {serial:.1} -> {current:.1} \
-             ns/object"
+            "4 workers slower than serial at {objects} objects: {serial:.1} -> {:.1} ns/object",
+            g.current
         )]
     } else {
         Vec::new()
@@ -278,39 +261,14 @@ fn check_parallel(entries: &[Entry], iters: usize) -> Vec<String> {
 }
 
 fn main() {
-    let mut raw = std::env::args().skip(1);
-    while let Some(a) = raw.next() {
-        match a.as_str() {
-            "--check" => {}
-            "--iters" | "--baseline" | "--out" => {
-                raw.next();
-            }
-            other => {
-                eprintln!("gcbench: unknown argument `{other}`");
-                eprintln!("usage: gcbench [--check] [--iters N] [--baseline FILE] [--out FILE]");
-                std::process::exit(2);
-            }
-        }
-    }
-    let iters = arg_value("--iters").and_then(|s| s.parse().ok()).unwrap_or(5);
-
-    // Load the baseline before measuring so a missing or malformed file
-    // fails immediately, not after the timed runs.
-    let baseline_for_check = arg_flag("--check").then(|| {
-        let path =
-            arg_value("--baseline").unwrap_or_else(|| "results/BENCH_gc.json".to_string());
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("gcbench: cannot read baseline {path}: {e}");
-            std::process::exit(2);
-        });
-        let baseline = Json::parse(&text).expect("baseline parses");
-        (path, baseline)
-    });
+    enforce_gate_args("gcbench");
+    let iters = gate_iters();
+    let baseline = baseline_for_check("gcbench", "results/BENCH_gc.json");
 
     let entries = measure(iters);
     print_table(&entries);
 
-    if let Some((path, baseline)) = baseline_for_check {
+    if let Some((path, baseline)) = baseline {
         let mut regressions = check_serial(&entries, &baseline, &path, iters);
         regressions.extend(check_parallel(&entries, iters));
         if !regressions.is_empty() {

@@ -22,12 +22,9 @@
 //! `--iters N` controls timed iterations per configuration (default 5).
 
 use jvolve_bench::interp::{measure, Config, InterpSample};
-use jvolve_bench::timing::fmt_ns;
-use jvolve_bench::{arg_flag, arg_value};
+use jvolve_bench::timing::{fmt_ns, gate_best_of, REGRESSION_LIMIT};
+use jvolve_bench::{arg_value, baseline_for_check, enforce_gate_args, gate_iters};
 use jvolve_json::Json;
-
-/// Allowed best-of-N regression before `--check` fails.
-const REGRESSION_LIMIT: f64 = 0.15;
 
 /// `--check` fails if best-of-N caches-off time / caches-on time drops
 /// below this: the inline caches must keep buying a real steady-state
@@ -145,26 +142,17 @@ fn check(entries: &mut [Entry], baseline: &Json, path: &str, iters: usize) -> Ve
             println!("  {:>20}: no baseline entry — skipped", e.config.key());
             continue;
         };
-        let mut delta = e.min_ns_per_call / base - 1.0;
-        let mut retried = false;
-        if delta > REGRESSION_LIMIT {
-            e.min_ns_per_call = e.min_ns_per_call.min(retry_min_ns(e.config, iters * 3));
-            delta = e.min_ns_per_call / base - 1.0;
-            retried = true;
-        }
-        let verdict = match (delta > REGRESSION_LIMIT, retried) {
-            (true, _) => "REGRESSED",
-            (false, true) => "ok (after retry)",
-            (false, false) => "ok",
-        };
+        let g = gate_best_of(e.min_ns_per_call, base, || retry_min_ns(e.config, iters * 3));
+        e.min_ns_per_call = g.current;
         println!(
-            "  {:>20}: {:>9} -> {:>9} per call ({:>+6.1}%) {verdict}",
+            "  {:>20}: {:>9} -> {:>9} per call ({:>+6.1}%) {}",
             e.config.key(),
             fmt_ns(base as u64),
             fmt_ns(e.min_ns_per_call as u64),
-            delta * 100.0,
+            g.delta * 100.0,
+            g.verdict(),
         );
-        if delta > REGRESSION_LIMIT {
+        if g.regressed() {
             failures.push(format!(
                 "{}: {:.1} -> {:.1} ns/call",
                 e.config.key(),
@@ -194,42 +182,15 @@ fn check(entries: &mut [Entry], baseline: &Json, path: &str, iters: usize) -> Ve
 }
 
 fn main() {
-    let mut raw = std::env::args().skip(1);
-    while let Some(a) = raw.next() {
-        match a.as_str() {
-            "--check" => {}
-            "--iters" | "--baseline" | "--out" => {
-                raw.next();
-            }
-            other => {
-                eprintln!("interpbench: unknown argument `{other}`");
-                eprintln!(
-                    "usage: interpbench [--check] [--iters N] [--baseline FILE] [--out FILE]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    let iters = arg_value("--iters").and_then(|s| s.parse().ok()).unwrap_or(5);
-
-    // Load the baseline before measuring so a missing or malformed file
-    // fails immediately, not after the timed runs.
-    let baseline_for_check = arg_flag("--check").then(|| {
-        let path =
-            arg_value("--baseline").unwrap_or_else(|| "results/BENCH_interp.json".to_string());
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("interpbench: cannot read baseline {path}: {e}");
-            std::process::exit(2);
-        });
-        let baseline = Json::parse(&text).expect("baseline parses");
-        (path, baseline)
-    });
+    enforce_gate_args("interpbench");
+    let iters = gate_iters();
+    let baseline = baseline_for_check("interpbench", "results/BENCH_interp.json");
 
     let mut entries = run(iters);
     eprintln!();
     print_table(&entries);
 
-    if let Some((path, baseline)) = baseline_for_check {
+    if let Some((path, baseline)) = baseline {
         let failures = check(&mut entries, &baseline, &path, iters);
         if !failures.is_empty() {
             eprintln!("\ndispatch throughput failure(s):");

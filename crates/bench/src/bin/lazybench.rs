@@ -1,0 +1,295 @@
+//! Lazy-migration pause and steady-state regression harness.
+//!
+//! Measures the tentpole claim of the lazy mode at §4.1-shaped heap
+//! points (the paper's object counts scaled down, 100% updated — the
+//! worst case for an eager commit):
+//!
+//! 1. **Pause**: the lazy commit pause (safe point + install + linear
+//!    scan + class transformers, everything before the mutator is
+//!    released) must be at most [`PAUSE_RATIO_LIMIT`] of the eager pause
+//!    at the largest heap point — O(roots + scan) vs O(heap).
+//! 2. **Steady state**: after the epoch drains and the barrier is
+//!    disarmed, a field-read spin loop must cost no more than
+//!    `REGRESSION_LIMIT` over the same loop after an eager commit —
+//!    the zero-steady-state-overhead half of the claim.
+//! 3. **Baseline**: the lazy pause itself is gated against the committed
+//!    `results/BENCH_lazy.json` like every other tier-1 bench.
+//!
+//! Usage (same dialect as `gcbench`/`interpbench`):
+//!
+//! * `cargo run --release -p jvolve-bench --bin lazybench` — measure and
+//!   write `BENCH_lazy.json` (`--out FILE`; to refresh the committed
+//!   baseline, `--out results/BENCH_lazy.json`).
+//! * `... --bin lazybench -- --check` — re-measure and exit nonzero if
+//!   any gate fails (`--baseline FILE` overrides the baseline path).
+//!   `scripts/tier1.sh` runs this. Gates compare *best-of-N* times and
+//!   re-measure with 3× iterations before declaring a failure.
+//!
+//! `--iters N` controls timed iterations per configuration (default 5).
+
+use jvolve_bench::lazy::{measure_update, UpdateRun};
+use jvolve_bench::micro::paper_object_counts;
+use jvolve_bench::timing::{fmt_ns, gate_best_of, Samples, REGRESSION_LIMIT};
+use jvolve_bench::{arg_value, baseline_for_check, enforce_gate_args, gate_iters};
+use jvolve_json::Json;
+
+/// The lazy commit pause may cost at most this fraction of the eager
+/// pause at the largest heap point.
+const PAUSE_RATIO_LIMIT: f64 = 0.25;
+
+/// Paper object counts are scaled by 1/80 (the gate must run in seconds,
+/// not minutes); the largest point is still the harness's biggest heap.
+const SCALE_DIV: usize = 80;
+
+/// Every object is an instance of the updated class: the eager pause is
+/// maximal and the lazy drain does the most possible deferred work.
+const FRACTION: f64 = 1.0;
+
+/// Spin-loop iterations per steady-state measurement (three field reads
+/// and an array load each).
+const SPIN_ITERS: i64 = 200_000;
+
+struct Entry {
+    objects: usize,
+    eager_pause_ns: f64,
+    eager_pause_min_ns: f64,
+    lazy_pause_ns: f64,
+    /// Best-of-N. The check gates compare this, not the median.
+    lazy_pause_min_ns: f64,
+    lazy_drain_ns: f64,
+    steady_eager_min_ns_per_op: f64,
+    steady_lazy_min_ns_per_op: f64,
+    transformed: usize,
+}
+
+impl Entry {
+    /// Best-of-N lazy pause as a fraction of best-of-N eager pause.
+    fn pause_ratio(&self) -> f64 {
+        self.lazy_pause_min_ns / self.eager_pause_min_ns
+    }
+}
+
+/// Best-of-`iters` runs of one configuration in one mode (warmup first;
+/// each run builds a fresh VM, so iterations are independent).
+fn best_of(objects: usize, lazy: bool, iters: usize) -> (Samples, Vec<f64>, UpdateRun) {
+    measure_update(objects, FRACTION, lazy, SPIN_ITERS);
+    let mut pause = Vec::with_capacity(iters);
+    let mut steady = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let r = measure_update(objects, FRACTION, lazy, SPIN_ITERS);
+        pause.push(r.pause_ns);
+        steady.push(r.steady_ns_per_op);
+        last = Some(r);
+    }
+    steady.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    (Samples::from_ns(pause), steady, last.expect("at least one iteration"))
+}
+
+fn measure(iters: usize) -> Vec<Entry> {
+    // First and last scaled §4.1 points: the small one shows the scan is
+    // cheap even when the heap is, the large one carries the gates.
+    let counts = paper_object_counts(SCALE_DIV);
+    let points = [counts[0], *counts.last().expect("paper counts")];
+    let mut entries = Vec::new();
+    for &objects in &points {
+        eprint!("\rmeasuring {objects} objects, eager...        ");
+        let (eager_pause, eager_steady, eager_last) = best_of(objects, false, iters);
+        eprint!("\rmeasuring {objects} objects, lazy...         ");
+        let (lazy_pause, lazy_steady, lazy_last) = best_of(objects, true, iters);
+        assert_eq!(
+            eager_last.spin_result, lazy_last.spin_result,
+            "modes disagree on the heap contents"
+        );
+        entries.push(Entry {
+            objects,
+            eager_pause_ns: eager_pause.median_ns() as f64,
+            eager_pause_min_ns: eager_pause.min_ns() as f64,
+            lazy_pause_ns: lazy_pause.median_ns() as f64,
+            lazy_pause_min_ns: lazy_pause.min_ns() as f64,
+            lazy_drain_ns: lazy_last.drain_ns as f64,
+            steady_eager_min_ns_per_op: eager_steady[0],
+            steady_lazy_min_ns_per_op: lazy_steady[0],
+            transformed: lazy_last.transformed,
+        });
+    }
+    eprintln!();
+    entries
+}
+
+fn to_json(entries: &[Entry], iters: usize) -> Json {
+    Json::obj([
+        ("schema", Json::from("jvolve-lazybench-v1")),
+        ("iters", Json::from(iters)),
+        ("spin_iters", Json::from(SPIN_ITERS as f64)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("objects", Json::from(e.objects)),
+                            ("fraction", Json::from(FRACTION)),
+                            ("eager_pause_ns", Json::from(e.eager_pause_ns)),
+                            ("eager_pause_min_ns", Json::from(e.eager_pause_min_ns)),
+                            ("lazy_pause_ns", Json::from(e.lazy_pause_ns)),
+                            ("lazy_pause_min_ns", Json::from(e.lazy_pause_min_ns)),
+                            ("pause_ratio", Json::from(e.pause_ratio())),
+                            ("lazy_drain_ns", Json::from(e.lazy_drain_ns)),
+                            (
+                                "steady_eager_min_ns_per_op",
+                                Json::from(e.steady_eager_min_ns_per_op),
+                            ),
+                            (
+                                "steady_lazy_min_ns_per_op",
+                                Json::from(e.steady_lazy_min_ns_per_op),
+                            ),
+                            ("transformed", Json::from(e.transformed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn baseline_lazy_pause_ns(baseline: &Json, objects: usize) -> Option<f64> {
+    baseline.get("entries")?.as_arr()?.iter().find_map(|e| {
+        (e.get("objects")?.as_u64()? as usize == objects)
+            .then(|| e.get("lazy_pause_min_ns")?.as_f64())
+            .flatten()
+    })
+}
+
+fn print_table(entries: &[Entry]) {
+    println!(
+        "{:>9} {:>14} {:>14} {:>8} {:>13} {:>16} {:>15}",
+        "objects", "eager pause", "lazy pause", "ratio", "lazy drain", "steady eager/op",
+        "steady lazy/op"
+    );
+    for e in entries {
+        println!(
+            "{:>9} {:>14} {:>14} {:>7.1}% {:>13} {:>16.1} {:>15.1}",
+            e.objects,
+            fmt_ns(e.eager_pause_ns as u64),
+            fmt_ns(e.lazy_pause_ns as u64),
+            e.pause_ratio() * 100.0,
+            fmt_ns(e.lazy_drain_ns as u64),
+            e.steady_eager_min_ns_per_op,
+            e.steady_lazy_min_ns_per_op,
+        );
+    }
+}
+
+/// Best-of-`iters` lazy pause for the retry path.
+fn retry_lazy_pause_ns(objects: usize, iters: usize) -> f64 {
+    best_of(objects, true, iters).0.min_ns() as f64
+}
+
+fn check(entries: &[Entry], baseline: &Json, path: &str, iters: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // Gate 3: the lazy pause vs the committed baseline, every point.
+    println!("\nregression check vs {path} (limit +{:.0}%):", REGRESSION_LIMIT * 100.0);
+    for e in entries {
+        let Some(base) = baseline_lazy_pause_ns(baseline, e.objects) else {
+            println!("  {:>7} objects: no baseline entry — skipped", e.objects);
+            continue;
+        };
+        let g = gate_best_of(e.lazy_pause_min_ns, base, || {
+            retry_lazy_pause_ns(e.objects, iters * 3)
+        });
+        println!(
+            "  {:>7} objects: lazy pause {:>9} -> {:>9} ({:>+6.1}%) {}",
+            e.objects,
+            fmt_ns(base as u64),
+            fmt_ns(g.current as u64),
+            g.delta * 100.0,
+            g.verdict(),
+        );
+        if g.regressed() {
+            failures.push(format!(
+                "lazy pause at {} objects: {:.0} -> {:.0} ns",
+                e.objects, base, g.current
+            ));
+        }
+    }
+
+    let largest = entries.last().expect("at least one entry");
+
+    // Gate 1: the pause contract at the largest heap point. A tripped
+    // gate re-measures both modes with 3× iterations before failing.
+    let mut lazy_min = largest.lazy_pause_min_ns;
+    let mut eager_min = largest.eager_pause_min_ns;
+    let mut ratio = lazy_min / eager_min;
+    if ratio > PAUSE_RATIO_LIMIT {
+        lazy_min = lazy_min.min(retry_lazy_pause_ns(largest.objects, iters * 3));
+        eager_min = eager_min.min(best_of(largest.objects, false, iters * 3).0.min_ns() as f64);
+        ratio = lazy_min / eager_min;
+    }
+    println!(
+        "\npause gate ({} objects): lazy {} / eager {} = {:.1}% (limit {:.0}%)",
+        largest.objects,
+        fmt_ns(lazy_min as u64),
+        fmt_ns(eager_min as u64),
+        ratio * 100.0,
+        PAUSE_RATIO_LIMIT * 100.0,
+    );
+    if ratio > PAUSE_RATIO_LIMIT {
+        failures.push(format!(
+            "lazy pause is {:.1}% of eager at {} objects (limit {:.0}%)",
+            ratio * 100.0,
+            largest.objects,
+            PAUSE_RATIO_LIMIT * 100.0
+        ));
+    }
+
+    // Gate 2: zero steady-state overhead once the epoch has drained.
+    let g = gate_best_of(
+        largest.steady_lazy_min_ns_per_op,
+        largest.steady_eager_min_ns_per_op,
+        || best_of(largest.objects, true, iters * 3).1[0],
+    );
+    println!(
+        "steady-state gate ({} objects): eager {:.1} -> lazy {:.1} ns/op ({:+.1}%) {}",
+        largest.objects,
+        largest.steady_eager_min_ns_per_op,
+        g.current,
+        g.delta * 100.0,
+        g.verdict(),
+    );
+    if g.regressed() {
+        failures.push(format!(
+            "post-drain steady state {:.1}% over eager at {} objects",
+            g.delta * 100.0,
+            largest.objects
+        ));
+    }
+    failures
+}
+
+fn main() {
+    enforce_gate_args("lazybench");
+    let iters = gate_iters();
+    let baseline = baseline_for_check("lazybench", "results/BENCH_lazy.json");
+
+    let entries = measure(iters);
+    print_table(&entries);
+
+    if let Some((path, baseline)) = baseline {
+        let failures = check(&entries, &baseline, &path, iters);
+        if !failures.is_empty() {
+            eprintln!("\nlazy migration gate failure(s):");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("no lazy migration regressions.");
+    } else {
+        let out = arg_value("--out").unwrap_or_else(|| "BENCH_lazy.json".to_string());
+        std::fs::write(&out, to_json(&entries, iters).pretty() + "\n").expect("write output");
+        println!("\nwrote {out}");
+    }
+}

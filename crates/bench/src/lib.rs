@@ -12,10 +12,14 @@
 //! * `gcbench` — update-GC pause regression gate vs `results/BENCH_gc.json`
 //! * `interpbench` — steady-state dispatch throughput gate vs
 //!   `results/BENCH_interp.json` (inline caches on/off/after-update)
+//! * `lazybench` — lazy-migration pause and steady-state gate vs
+//!   `results/BENCH_lazy.json` (commit pause ≤ 25% of eager, barrier-free
+//!   steady state after the epoch drains)
 
 pub mod ablation;
 pub mod fig5;
 pub mod interp;
+pub mod lazy;
 pub mod micro;
 pub mod tables;
 pub mod timing;
@@ -29,4 +33,45 @@ pub fn arg_value(name: &str) -> Option<String> {
 /// Whether a bare `--flag` is present.
 pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Validates the gate binaries' shared CLI
+/// (`[--check] [--iters N] [--baseline FILE] [--out FILE]`): anything
+/// else prints the usage line and exits 2. `gcbench`, `interpbench`, and
+/// `lazybench` all speak exactly this dialect.
+pub fn enforce_gate_args(bin: &str) {
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--iters" | "--baseline" | "--out" => {
+                raw.next();
+            }
+            other => {
+                eprintln!("{bin}: unknown argument `{other}`");
+                eprintln!("usage: {bin} [--check] [--iters N] [--baseline FILE] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// `--iters N` with the gate binaries' shared default of 5.
+pub fn gate_iters() -> usize {
+    arg_value("--iters").and_then(|s| s.parse().ok()).unwrap_or(5)
+}
+
+/// In `--check` mode, loads the baseline JSON *before* any measurement so
+/// a missing or malformed file fails immediately, not after the timed
+/// runs. Returns `(path, parsed)`, or `None` outside `--check`.
+pub fn baseline_for_check(bin: &str, default_path: &str) -> Option<(String, jvolve_json::Json)> {
+    arg_flag("--check").then(|| {
+        let path = arg_value("--baseline").unwrap_or_else(|| default_path.to_string());
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("{bin}: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = jvolve_json::Json::parse(&text).expect("baseline parses");
+        (path, baseline)
+    })
 }

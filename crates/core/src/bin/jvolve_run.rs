@@ -6,63 +6,185 @@
 //! jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N]
 //!            [--no-inline-caches]
 //!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]
-//!             [--trace results/update_trace.json]]
+//!             [--lazy] [--trace results/update_trace.json]]
 //! ```
+//!
+//! With `--lazy` the update commits in lazy-migration mode
+//! (`VmConfig::lazy_migration`): the pause is one linear scan, objects
+//! transform on first touch behind a read barrier, and the program keeps
+//! running interleaved with the scavenger until the epoch drains.
 //!
 //! When an update is applied, the controller's structured event stream
 //! (phase transitions, safe-point polls, install counts, GC outcome) is
 //! written as JSON to `--trace` (default `results/update_trace.json`).
+//!
+//! Unknown flags, missing flag values, malformed numbers, duplicate
+//! flags, and conflicting combinations (`--lazy` without `--update`) are
+//! all rejected with the usage message and exit code 2.
 
 use std::process::ExitCode;
 
-use jvolve::{ApplyOptions, JsonTraceSink, Update, UpdateController};
+use jvolve::{
+    ApplyOptions, JsonTraceSink, StepProgress, Update, UpdateController, UpdateError, UpdatePhase,
+};
 use jvolve_vm::{Vm, VmConfig};
+
+const USAGE: &str = "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N] \
+     [--no-inline-caches] \
+     [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj] [--lazy] [--trace out.json]]";
+
+/// Parsed command line. Every flag is strict: unknown names, missing or
+/// malformed values, duplicates, and conflicts are parse errors.
+struct Cli {
+    program: String,
+    main_spec: String,
+    slices: usize,
+    after: usize,
+    prefix: String,
+    gc_threads: usize,
+    inline_caches: bool,
+    lazy: bool,
+    update: Option<String>,
+    transformers: Option<String>,
+    trace: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut program: Option<String> = None;
+    let mut values: [(&str, Option<String>); 8] = [
+        ("--main", None),
+        ("--slices", None),
+        ("--after", None),
+        ("--prefix", None),
+        ("--gc-threads", None),
+        ("--update", None),
+        ("--transformers", None),
+        ("--trace", None),
+    ];
+    let mut inline_caches = true;
+    let mut lazy = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--no-inline-caches" => {
+                if !inline_caches {
+                    return Err("duplicate flag --no-inline-caches".into());
+                }
+                inline_caches = false;
+                i += 1;
+            }
+            "--lazy" => {
+                if lazy {
+                    return Err("duplicate flag --lazy".into());
+                }
+                lazy = true;
+                i += 1;
+            }
+            _ if arg.starts_with("--") => {
+                // All value-taking flags share one fetch-and-dedup path.
+                let slot = values
+                    .iter_mut()
+                    .find(|(name, _)| *name == arg)
+                    .map(|(_, slot)| slot)
+                    .ok_or_else(|| format!("unknown flag {arg}"))?;
+                if slot.is_some() {
+                    return Err(format!("duplicate flag {arg}"));
+                }
+                let v = args.get(i + 1).ok_or_else(|| format!("{arg} needs a value"))?;
+                if v.starts_with("--") {
+                    return Err(format!("{arg} needs a value, got flag {v}"));
+                }
+                *slot = Some(v.clone());
+                i += 2;
+            }
+            _ => {
+                if program.is_some() {
+                    return Err(format!("unexpected extra argument {arg}"));
+                }
+                program = Some(arg.to_string());
+                i += 1;
+            }
+        }
+    }
+    let mut take = |name: &str| {
+        values.iter_mut().find(|(n, _)| *n == name).expect("known flag").1.take()
+    };
+    let program = program.ok_or_else(|| "no program file given".to_string())?;
+    let main_spec = take("--main");
+    let slices = take("--slices");
+    let after = take("--after");
+    let prefix = take("--prefix");
+    let gc_threads = take("--gc-threads");
+    let update = take("--update");
+    let transformers = take("--transformers");
+    let trace = take("--trace");
+
+    if update.is_none() {
+        for (flag, set) in [
+            ("--after", after.is_some()),
+            ("--prefix", prefix.is_some()),
+            ("--transformers", transformers.is_some()),
+            ("--trace", trace.is_some()),
+            ("--lazy", lazy),
+        ] {
+            if set {
+                return Err(format!("{flag} requires --update"));
+            }
+        }
+    }
+    Ok(Cli {
+        program,
+        main_spec: main_spec.unwrap_or_else(|| "Main.main".to_string()),
+        slices: parse_num("--slices", slices)?.unwrap_or(100_000),
+        after: parse_num("--after", after)?.unwrap_or(0),
+        prefix: prefix.unwrap_or_else(|| "v1_".to_string()),
+        gc_threads: parse_num("--gc-threads", gc_threads)?
+            .unwrap_or_else(VmConfig::default_gc_threads)
+            .max(1),
+        inline_caches,
+        lazy,
+        update,
+        transformers,
+        trace: trace.unwrap_or_else(|| "results/update_trace.json".to_string()),
+    })
+}
+
+fn parse_num(flag: &str, value: Option<String>) -> Result<Option<usize>, String> {
+    value
+        .map(|v| v.parse().map_err(|_| format!("{flag} expects a number, got {v}")))
+        .transpose()
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(program) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!(
-            "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N] \
-             [--no-inline-caches] \
-             [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]]"
-        );
-        return ExitCode::from(2);
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("jvolve_run: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let flag = |name: &str| {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
-    };
-    let main_spec = flag("--main").unwrap_or_else(|| "Main.main".to_string());
     let (main_class, main_method) =
-        main_spec.split_once('.').unwrap_or((main_spec.as_str(), "main"));
-    let slices: usize = flag("--slices").and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let after: usize = flag("--after").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let prefix = flag("--prefix").unwrap_or_else(|| "v1_".to_string());
+        cli.main_spec.split_once('.').unwrap_or((cli.main_spec.as_str(), "main"));
 
-    let v1 = match std::fs::read_to_string(program)
+    let v1 = match std::fs::read_to_string(&cli.program)
         .map_err(|e| e.to_string())
         .and_then(|s| jvolve_lang::compile(&s).map_err(|e| e.to_string()))
     {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("jvolve_run: {program}: {e}");
+            eprintln!("jvolve_run: {}: {e}", cli.program);
             return ExitCode::FAILURE;
         }
     };
 
-    // Update-GC parallelism; defaults to one worker per core (capped).
-    let gc_threads: usize = flag("--gc-threads")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(VmConfig::default_gc_threads)
-        .max(1);
-
-    // Dispatch inline caches are on by default; `--no-inline-caches` holds
-    // the caches-off baseline (Fig. 5's "stock" configuration).
-    let enable_inline_caches = !args.iter().any(|a| a == "--no-inline-caches");
-
     let mut vm = Vm::new(VmConfig {
         echo_output: true,
-        gc_threads,
-        enable_inline_caches,
+        gc_threads: cli.gc_threads,
+        enable_inline_caches: cli.inline_caches,
+        lazy_migration: cli.lazy,
         ..VmConfig::default()
     });
     if let Err(e) = vm.load_classes(&v1) {
@@ -74,10 +196,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let update = match flag("--update") {
+    let update = match &cli.update {
         None => None,
         Some(path) => {
-            let v2 = match std::fs::read_to_string(&path)
+            let v2 = match std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
                 .and_then(|s| jvolve_lang::compile(&s).map_err(|e| e.to_string()))
             {
@@ -87,15 +209,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let mut update = match Update::prepare(&v1, &v2, &prefix) {
+            let mut update = match Update::prepare(&v1, &v2, &cli.prefix) {
                 Ok(u) => u,
                 Err(e) => {
                     eprintln!("jvolve_run: prepare failed: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            if let Some(tpath) = flag("--transformers") {
-                match std::fs::read_to_string(&tpath) {
+            if let Some(tpath) = &cli.transformers {
+                match std::fs::read_to_string(tpath) {
                     Ok(src) => update.set_transformers_source(src),
                     Err(e) => {
                         eprintln!("jvolve_run: {tpath}: {e}");
@@ -107,21 +229,34 @@ fn main() -> ExitCode {
         }
     };
 
-    vm.run_slices(after.max(1));
+    vm.run_slices(cli.after.max(1));
     if let Some(update) = update {
-        eprintln!("jvolve_run: applying update after {after} slices ...");
-        let trace_path =
-            flag("--trace").unwrap_or_else(|| "results/update_trace.json".to_string());
+        eprintln!("jvolve_run: applying update after {} slices ...", cli.after);
         let mut trace = JsonTraceSink::new();
         let mut controller = UpdateController::new(&update, ApplyOptions::default());
         controller.attach_sink(&mut trace);
-        let result = controller.run_to_completion(&mut vm);
-        if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+        // Like `run_to_completion`, but interleaves guest slices with the
+        // scavenger while a lazy epoch drains — the mode's whole point.
+        let result = loop {
+            match controller.step(&mut vm) {
+                StepProgress::Pending(UpdatePhase::LazyMigrating) => {
+                    vm.run_slices(1);
+                }
+                StepProgress::Pending(_) => {}
+                StepProgress::Committed => break Ok(controller.stats().clone()),
+                StepProgress::Aborted => {
+                    break Err(controller.error().cloned().unwrap_or_else(|| {
+                        UpdateError::Compile("aborted without error".into())
+                    }))
+                }
+            }
+        };
+        if let Some(dir) = std::path::Path::new(&cli.trace).parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        match trace.write(&trace_path) {
-            Ok(()) => eprintln!("jvolve_run: phase-event trace written to {trace_path}"),
-            Err(e) => eprintln!("jvolve_run: could not write {trace_path}: {e}"),
+        match trace.write(&cli.trace) {
+            Ok(()) => eprintln!("jvolve_run: phase-event trace written to {}", cli.trace),
+            Err(e) => eprintln!("jvolve_run: could not write {}: {e}", cli.trace),
         }
         match result {
             Ok(stats) => eprintln!(
@@ -134,6 +269,6 @@ fn main() -> ExitCode {
             }
         }
     }
-    vm.run_to_completion(slices);
+    vm.run_to_completion(cli.slices);
     ExitCode::SUCCESS
 }

@@ -30,11 +30,20 @@
 //! # Pause contract
 //!
 //! Guest slices may run between `step` calls **only while the controller
-//! is waiting for a safe point** (the controller re-checks stacks when
-//! entering `Installing` and falls back to waiting if the safe point was
-//! lost). From `Installing` through `Committed` the embedder must not run
-//! the VM: install + heap transformation are a single pause, exactly the
-//! paper's stop-the-world step 4–5.
+//! is waiting for a safe point or draining a lazy epoch** (the controller
+//! re-checks stacks when entering `Installing` and falls back to waiting
+//! if the safe point was lost). From `Installing` through `Committed` the
+//! embedder must not run the VM: install + heap transformation are a
+//! single pause, exactly the paper's stop-the-world step 4–5.
+//!
+//! With [`jvolve_vm::VmConfig::lazy_migration`] the pause ends early: the
+//! `TransformingHeap` phase only arms the read barrier (one linear scan,
+//! no copying) and runs class transformers, then the controller enters
+//! `LazyMigrating`. In that phase the guest runs freely — stale objects
+//! migrate on first touch through the barrier — while each `step` call
+//! additionally scavenges a batch of untouched objects. When the worklist
+//! drains, the controller disarms the barrier, collapses the forwarding
+//! words with one ordinary collection, and commits.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -61,15 +70,23 @@ use crate::transform::{
 pub enum UpdatePhase {
     /// Constructed; nothing touched the VM yet.
     Pending,
-    /// Polling thread stacks for a DSU safe point (paper step 3). The
-    /// only phase during which the embedder may run guest slices between
-    /// `step` calls.
+    /// Polling thread stacks for a DSU safe point (paper step 3). One of
+    /// the two phases (with [`UpdatePhase::LazyMigrating`]) during which
+    /// the embedder may run guest slices between `step` calls.
     WaitingForSafePoint,
     /// Installing modified classes: renames, strips, loads, body swaps,
     /// invalidation, OSR (paper step 4).
     Installing,
-    /// Update GC + class/object transformers (paper step 5).
+    /// Update GC + class/object transformers (paper step 5). In lazy
+    /// mode ([`jvolve_vm::VmConfig::lazy_migration`]) this phase is only
+    /// the commit scan + class transformers; object transformation is
+    /// deferred to [`UpdatePhase::LazyMigrating`].
     TransformingHeap,
+    /// A lazy-migration epoch is draining: the read barrier migrates
+    /// objects the guest touches, and each `step` call runs one scavenger
+    /// batch over the rest. Like the safe-point wait, the embedder may
+    /// run guest slices between `step` calls in this phase.
+    LazyMigrating,
     /// The VM runs the new version.
     Committed,
     /// The update failed; if it failed before the heap transformation,
@@ -84,6 +101,7 @@ impl fmt::Display for UpdatePhase {
             UpdatePhase::WaitingForSafePoint => "waiting-for-safe-point",
             UpdatePhase::Installing => "installing",
             UpdatePhase::TransformingHeap => "transforming-heap",
+            UpdatePhase::LazyMigrating => "lazy-migrating",
             UpdatePhase::Committed => "committed",
             UpdatePhase::Aborted => "aborted",
         })
@@ -180,6 +198,20 @@ pub enum UpdateEvent {
         /// Objects transformed.
         objects_transformed: usize,
     },
+    /// A lazy-migration epoch began: the read barrier is armed and the
+    /// commit scan recorded every stale object (lazy mode only).
+    LazyEpochBegun {
+        /// Stale-class objects found by the commit scan.
+        stale_objects: usize,
+    },
+    /// One scavenger batch ran over the lazy worklist (lazy mode only).
+    LazyScavengeStep {
+        /// Objects this batch transformed (barrier-migrated entries are
+        /// skipped, not counted).
+        transformed: usize,
+        /// Worklist entries still pending after the batch.
+        remaining: usize,
+    },
     /// The rollback ledger was replayed; the VM is on the old version.
     RolledBack {
         /// Why the update aborted.
@@ -234,6 +266,12 @@ impl UpdateEventSink for MemorySink {
     }
 }
 
+/// The trace document schema emitted by [`JsonTraceSink::to_json`].
+/// `v2` wrapped the bare event array of `v1` in an object carrying the
+/// migration `mode` ("eager" or "lazy"), so trace consumers can
+/// distinguish the two commit protocols.
+pub const TRACE_SCHEMA: &str = "jvolve-update-trace-v2";
+
 /// A sink that serializes the event stream to JSON (via `jvolve-json`),
 /// for `results/update_trace.json`. Consecutive safe-point polls with an
 /// unchanged blocking set are collapsed so timeouts don't produce
@@ -242,6 +280,7 @@ impl UpdateEventSink for MemorySink {
 pub struct JsonTraceSink {
     events: Vec<Json>,
     last_blocking: Option<Vec<String>>,
+    saw_lazy: bool,
 }
 
 impl JsonTraceSink {
@@ -250,9 +289,13 @@ impl JsonTraceSink {
         JsonTraceSink::default()
     }
 
-    /// The trace as a JSON array.
+    /// The trace document: schema tag, migration mode, event array.
     pub fn to_json(&self) -> Json {
-        Json::Arr(self.events.clone())
+        Json::obj([
+            ("schema", Json::from(TRACE_SCHEMA)),
+            ("mode", Json::from(if self.saw_lazy { "lazy" } else { "eager" })),
+            ("events", Json::Arr(self.events.clone())),
+        ])
     }
 
     /// Writes the pretty-printed trace to `path`.
@@ -340,6 +383,15 @@ fn event_to_json(event: &UpdateEvent) -> Json {
             ("event", Json::from("transformers_run")),
             ("objects_transformed", Json::from(*objects_transformed)),
         ]),
+        UpdateEvent::LazyEpochBegun { stale_objects } => Json::obj([
+            ("event", Json::from("lazy_epoch_begun")),
+            ("stale_objects", Json::from(*stale_objects)),
+        ]),
+        UpdateEvent::LazyScavengeStep { transformed, remaining } => Json::obj([
+            ("event", Json::from("lazy_scavenge_step")),
+            ("transformed", Json::from(*transformed)),
+            ("remaining", Json::from(*remaining)),
+        ]),
         UpdateEvent::RolledBack { reason, actions_undone } => Json::obj([
             ("event", Json::from("rolled_back")),
             ("reason", Json::from(reason.as_str())),
@@ -364,6 +416,9 @@ impl UpdateEventSink for JsonTraceSink {
                 return;
             }
             self.last_blocking = Some(blocking.clone());
+        }
+        if matches!(event, UpdateEvent::LazyEpochBegun { .. }) {
+            self.saw_lazy = true;
         }
         self.events.push(event_to_json(event));
     }
@@ -457,6 +512,8 @@ enum State {
     Waiting(WaitState),
     Installing(WaitState),
     Transforming(TransformInputs),
+    /// A lazy epoch is draining; each step runs one scavenger batch.
+    LazyMigrating,
     Committed,
     Aborted,
 }
@@ -514,6 +571,7 @@ impl<'u> UpdateController<'u> {
             State::Waiting(_) => UpdatePhase::WaitingForSafePoint,
             State::Installing(_) => UpdatePhase::Installing,
             State::Transforming(_) => UpdatePhase::TransformingHeap,
+            State::LazyMigrating => UpdatePhase::LazyMigrating,
             State::Committed => UpdatePhase::Committed,
             State::Aborted => UpdatePhase::Aborted,
         }
@@ -639,6 +697,24 @@ impl<'u> UpdateController<'u> {
                     StepProgress::Pending(UpdatePhase::WaitingForSafePoint)
                 }
             },
+            State::Transforming(inputs) if vm.config().lazy_migration => {
+                match self.begin_lazy(vm, inputs) {
+                    Ok(()) => {
+                        self.exit_phase(UpdatePhase::TransformingHeap, t);
+                        self.emit(UpdateEvent::PhaseEntered {
+                            phase: UpdatePhase::LazyMigrating,
+                            tick: vm.tick(),
+                        });
+                        self.state = State::LazyMigrating;
+                        self.stats.total_time += t.elapsed();
+                        StepProgress::Pending(UpdatePhase::LazyMigrating)
+                    }
+                    // The barrier may already be armed and class
+                    // transformers may have run: past the point of no
+                    // return, like an eager transform failure.
+                    Err(e) => self.abort_no_rollback(e, t),
+                }
+            }
             State::Transforming(inputs) => match self.transform_heap(vm, inputs) {
                 Ok(()) => {
                     self.exit_phase(UpdatePhase::TransformingHeap, t);
@@ -650,17 +726,52 @@ impl<'u> UpdateController<'u> {
                 // Past the point of no return: the heap may hold
                 // half-transformed objects, so no rollback is attempted
                 // (the paper's VM equally treats this as fatal).
-                Err(e) => {
-                    self.emit(UpdateEvent::Aborted {
-                        reason: e.to_string(),
-                        rolled_back: false,
-                    });
-                    self.error = Some(e);
-                    self.stats.total_time += t.elapsed();
-                    self.state = State::Aborted;
-                    StepProgress::Aborted
-                }
+                Err(e) => self.abort_no_rollback(e, t),
             },
+            State::LazyMigrating => {
+                let batch = self.opts.lazy_scavenge_batch.max(1);
+                match vm.lazy_scavenge(batch) {
+                    Ok(out) => {
+                        self.emit(UpdateEvent::LazyScavengeStep {
+                            transformed: out.transformed,
+                            remaining: out.remaining,
+                        });
+                        if out.remaining > 0 {
+                            self.state = State::LazyMigrating;
+                            let elapsed = t.elapsed();
+                            self.stats.lazy_time += elapsed;
+                            self.stats.total_time += elapsed;
+                            self.phase_elapsed += elapsed;
+                            return StepProgress::Pending(UpdatePhase::LazyMigrating);
+                        }
+                        match vm.finish_lazy_migration() {
+                            Ok((gc_out, transformed)) => {
+                                self.counters.gc_workers = gc_out.workers as u64;
+                                self.emit(UpdateEvent::GcCompleted {
+                                    copied_cells: gc_out.copied_cells,
+                                    copied_words: gc_out.copied_words,
+                                    objects_logged: 0,
+                                });
+                                self.emit(UpdateEvent::TransformersRun {
+                                    objects_transformed: transformed,
+                                });
+                                retire_transformer_class(vm, &self.update.spec.version_prefix);
+                                self.exit_phase(UpdatePhase::LazyMigrating, t);
+                                let elapsed = t.elapsed();
+                                self.stats.lazy_time += elapsed;
+                                self.stats.total_time += elapsed;
+                                self.emit(UpdateEvent::Committed {
+                                    wall: self.stats.total_time,
+                                });
+                                self.state = State::Committed;
+                                StepProgress::Committed
+                            }
+                            Err(e) => self.abort_no_rollback(e.into(), t),
+                        }
+                    }
+                    Err(e) => self.abort_no_rollback(e.into(), t),
+                }
+            }
             State::Committed => {
                 self.state = State::Committed;
                 StepProgress::Committed
@@ -758,6 +869,43 @@ impl<'u> UpdateController<'u> {
         self.stats.total_time += t.elapsed();
         self.state = State::Aborted;
         StepProgress::Aborted
+    }
+
+    /// Aborts without touching the ledger: the heap transformation (or
+    /// lazy epoch) already mutated objects, so the VM cannot be restored
+    /// to the old version (the paper's VM equally treats this as fatal).
+    fn abort_no_rollback(&mut self, error: UpdateError, t: Instant) -> StepProgress {
+        self.emit(UpdateEvent::Aborted { reason: error.to_string(), rolled_back: false });
+        self.error = Some(error);
+        self.stats.total_time += t.elapsed();
+        self.state = State::Aborted;
+        StepProgress::Aborted
+    }
+
+    /// Lazy-mode commit: arm the read barrier with one linear scan (no
+    /// copying, no object transformers — the O(roots + scan) pause the
+    /// mode exists for), then run the class transformers. The barrier is
+    /// armed *first* so any stale object a class transformer touches
+    /// migrates through the ordinary first-touch path.
+    fn begin_lazy(&mut self, vm: &mut Vm, inputs: TransformInputs) -> Result<(), UpdateError> {
+        let t_scan = Instant::now();
+        let stale = vm.begin_lazy_migration(inputs.remap, inputs.transformer_for)?;
+        self.stats.gc_time = t_scan.elapsed();
+        self.emit(UpdateEvent::LazyEpochBegun { stale_objects: stale });
+
+        let t_tf = Instant::now();
+        for delta in self.update.spec.class_updates() {
+            let tname = class_transformer_name(&delta.name);
+            let tclass = vm
+                .registry()
+                .class_id(&ClassName::from(TRANSFORMERS_CLASS))
+                .ok_or_else(|| UpdateError::Compile("transformer class missing".into()))?;
+            if vm.registry().find_method(tclass, &tname).is_some() {
+                vm.call_static_sync(TRANSFORMERS_CLASS, &tname, &[])?;
+            }
+        }
+        self.stats.transform_time = t_tf.elapsed();
+        Ok(())
     }
 
     /// Replays the rollback ledger in reverse and clears return barriers.

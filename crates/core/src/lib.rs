@@ -67,7 +67,7 @@ pub mod transform;
 
 pub use controller::{
     ControllerCounters, JsonTraceSink, MemorySink, StepProgress, UpdateController, UpdateEvent,
-    UpdateEventSink, UpdatePhase,
+    UpdateEventSink, UpdatePhase, TRACE_SCHEMA,
 };
 pub use driver::{apply, ApplyOptions, Update, UpdateStats};
 pub use error::UpdateError;

@@ -98,16 +98,111 @@ fn jvolve_run_executes_and_updates() {
     assert!(stderr.contains("updated"), "update applied: {stderr}");
 
     // The phase-event trace was written and tells the whole story.
-    let trace_json = std::fs::read_to_string(&trace).expect("trace file written");
+    let kinds = read_trace_events(&trace, "eager");
+    assert_eq!(kinds.first().map(String::as_str), Some("phase_entered"), "{kinds:?}");
+    assert_eq!(kinds.last().map(String::as_str), Some("committed"), "{kinds:?}");
+}
+
+/// Parses a trace file, asserting the v2 schema envelope and the expected
+/// migration mode, and returns the event kinds in order.
+fn read_trace_events(path: &std::path::Path, expect_mode: &str) -> Vec<String> {
+    let trace_json = std::fs::read_to_string(path).expect("trace file written");
     let parsed = jvolve_json::Json::parse(&trace_json).expect("trace is valid JSON");
-    let kinds: Vec<&str> = parsed
-        .as_arr()
-        .expect("trace is an array")
+    assert_eq!(
+        parsed.get("schema").and_then(|v| v.as_str()),
+        Some(jvolve::TRACE_SCHEMA),
+        "trace carries the schema tag"
+    );
+    assert_eq!(parsed.get("mode").and_then(|v| v.as_str()), Some(expect_mode));
+    parsed
+        .get("events")
+        .and_then(|v| v.as_arr())
+        .expect("trace has an event array")
         .iter()
-        .filter_map(|e| e.get("event").and_then(|v| v.as_str()))
-        .collect();
-    assert_eq!(kinds.first(), Some(&"phase_entered"), "{kinds:?}");
-    assert_eq!(kinds.last(), Some(&"committed"), "{kinds:?}");
+        .filter_map(|e| e.get("event").and_then(|v| v.as_str()).map(str::to_string))
+        .collect()
+}
+
+#[test]
+fn jvolve_run_lazy_updates_and_traces_the_epoch() {
+    let old = write_temp("lazy_v1.mj", V1);
+    let new = write_temp("lazy_v2.mj", V2);
+    let trace = write_temp("lazy_trace.json", "");
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([
+            old.to_str().unwrap(),
+            "--main",
+            "Counter.main",
+            "--update",
+            new.to_str().unwrap(),
+            "--after",
+            "1",
+            "--lazy",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("jvolve_run runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stderr.contains("updated"), "update applied: {stderr}");
+
+    let kinds = read_trace_events(&trace, "lazy");
+    assert!(kinds.iter().any(|k| k == "lazy_epoch_begun"), "{kinds:?}");
+    assert!(kinds.iter().any(|k| k == "lazy_scavenge_step"), "{kinds:?}");
+    assert_eq!(kinds.last().map(String::as_str), Some("committed"), "{kinds:?}");
+}
+
+#[test]
+fn jvolve_run_rejects_unknown_flags() {
+    let old = write_temp("strict_v1.mj", V1);
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([old.to_str().unwrap(), "--main", "Counter.main", "--turbo"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --turbo"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn jvolve_run_rejects_conflicting_and_malformed_flags() {
+    let old = write_temp("strict2_v1.mj", V1);
+    let path = old.to_str().unwrap();
+
+    // --lazy makes no sense without an update to apply.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--lazy"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--lazy requires --update"));
+
+    // Malformed numbers are rejected, not silently defaulted.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--slices", "many"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--slices expects a number"));
+
+    // A flag given twice is ambiguous.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--slices", "5", "--slices", "6"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag --slices"));
+
+    // A value-taking flag at the end of the line is missing its value.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--main needs a value"));
 }
 
 #[test]

@@ -336,7 +336,17 @@ fn json_trace_is_valid_and_ordered() {
 
     let json = trace.to_json();
     let reparsed = jvolve_json::Json::parse(&json.pretty()).expect("trace is valid JSON");
-    let entries = reparsed.as_arr().expect("trace is an array");
+    assert_eq!(
+        reparsed.get("schema").and_then(|v| v.as_str()),
+        Some(jvolve::TRACE_SCHEMA),
+        "trace carries the schema tag"
+    );
+    assert_eq!(
+        reparsed.get("mode").and_then(|v| v.as_str()),
+        Some("eager"),
+        "an eager commit is labeled as such"
+    );
+    let entries = reparsed.get("events").and_then(|v| v.as_arr()).expect("trace has events");
     assert!(!entries.is_empty());
     let kinds: Vec<&str> =
         entries.iter().filter_map(|e| e.get("event").and_then(|v| v.as_str())).collect();

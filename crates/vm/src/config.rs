@@ -28,6 +28,18 @@ pub struct VmConfig {
     /// objects can be migrated on first touch, imposing steady-state
     /// overhead. The default (eager, GC-based) mode never pays this cost.
     pub lazy_indirection: bool,
+    /// Lazy migration: commit updates with an O(roots) pause instead of a
+    /// stop-the-world full-heap update-GC. Changed classes are marked
+    /// version-pending; the interpreter's reference loads go through a
+    /// read barrier that transforms stale objects on first touch, and a
+    /// background scavenger (stepped by the update controller) transforms
+    /// the untouched remainder. When the epoch completes the heap flips
+    /// back to the barrier-free fast path, so steady-state overhead is
+    /// zero outside an epoch — unlike [`lazy_indirection`], which pays the
+    /// check forever. Mutually exclusive with `lazy_indirection`.
+    ///
+    /// [`lazy_indirection`]: VmConfig::lazy_indirection
+    pub lazy_migration: bool,
     /// The steady-state dispatch fast path: per-thread inline caches for
     /// `CallVirtual`/`CallDirect` (guarded by the registry's dispatch
     /// epoch — every registry mutation that can change dispatch
@@ -71,6 +83,7 @@ impl Default for VmConfig {
             max_stack_depth: 2_048,
             echo_output: false,
             lazy_indirection: false,
+            lazy_migration: false,
             enable_inline_caches: true,
             gc_threads: VmConfig::default_gc_threads(),
         }
@@ -88,6 +101,7 @@ mod tests {
         assert!(c.quantum > 0);
         assert!(c.enable_opt);
         assert!(!c.lazy_indirection);
+        assert!(!c.lazy_migration);
         assert!(c.enable_inline_caches);
     }
 

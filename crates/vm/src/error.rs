@@ -44,6 +44,13 @@ pub enum VmError {
     /// transformed (ill-defined transformer set; paper §3.4 aborts the
     /// update on detection).
     TransformerCycle,
+    /// Recursive force-transformation exceeded the nesting limit: the
+    /// transformer set chases a chain deeper than the VM is willing to
+    /// nest (a typed error instead of blowing the host stack).
+    TransformerDepthExceeded {
+        /// The nesting limit that was hit.
+        limit: usize,
+    },
     /// Anything else.
     Internal {
         /// Description.
@@ -69,6 +76,9 @@ impl fmt::Display for VmError {
             VmError::ResolutionError { message } => write!(f, "resolution error: {message}"),
             VmError::TransformerCycle => {
                 f.write_str("transformer functions recursed into an in-progress object")
+            }
+            VmError::TransformerDepthExceeded { limit } => {
+                write!(f, "recursive force-transformation exceeded {limit} nested objects")
             }
             VmError::Internal { message } => write!(f, "internal VM error: {message}"),
         }

@@ -289,6 +289,12 @@ pub struct Heap {
     active_b: bool,
     alloc: usize,
     collections: u64,
+    /// Whether any forwarding word has been installed since the last
+    /// collection (lazy indirection or a lazy-migration epoch). While
+    /// set, the active space may contain forwarded cells whose headers
+    /// no longer carry a size, so a linear walk is impossible; any
+    /// collection abandons from-space and clears it.
+    lazy_forwards: bool,
 }
 
 const KIND_SHIFT: u64 = 1;
@@ -339,6 +345,7 @@ impl Heap {
             active_b: false,
             alloc: 1,
             collections: 0,
+            lazy_forwards: false,
         }
     }
 
@@ -483,9 +490,43 @@ impl Heap {
         self.words[r.addr()] & 1 == 1
     }
 
-    /// Installs a forwarding pointer `from → to` (lazy-indirection mode).
+    /// Installs a forwarding pointer `from → to` (lazy-indirection mode
+    /// and lazy-migration first-touch duplication).
     pub fn install_forward(&mut self, from: GcRef, to: GcRef) {
         self.words[from.addr()] = (u64::from(to.0) << 1) | 1;
+        self.lazy_forwards = true;
+    }
+
+    /// Whether a forwarding word has been installed since the last
+    /// collection, i.e. whether [`Heap::for_each_object`] would be unsafe.
+    pub fn has_lazy_forwards(&self) -> bool {
+        self.lazy_forwards
+    }
+
+    /// Walks every live cell in the active semispace in ascending address
+    /// order, invoking `f` on each plain object with its class. This is the
+    /// lazy-migration commit scan: it discovers every stale-class instance
+    /// without copying anything.
+    ///
+    /// # Panics
+    ///
+    /// A forwarded header no longer carries a size, so the walk requires a
+    /// forward-free heap; panics if a forwarding word has been installed
+    /// since the last collection (collect first).
+    pub fn for_each_object(&self, snapshot: &LayoutSnapshot, mut f: impl FnMut(GcRef, ClassId)) {
+        assert!(
+            !self.lazy_forwards,
+            "linear heap walk requires a forward-free heap; collect first"
+        );
+        let mut addr = self.base(self.active_b);
+        while addr < self.alloc {
+            let h = self.words[addr];
+            debug_assert_eq!(h & 1, 0, "forwarded cell in a walkable heap");
+            if header_kind(h) == HeapKind::Object {
+                f(GcRef(addr as u32), ClassId(header_meta(h)));
+            }
+            addr += cell_size_of(h, snapshot);
+        }
     }
 
     /// Follows forwarding pointers from `r` to the live cell.
@@ -621,6 +662,8 @@ impl Heap {
         self.active_b = to_b;
         self.alloc = to_alloc;
         self.collections += 1;
+        // From-space (and every forwarded header in it) is now abandoned.
+        self.lazy_forwards = false;
         Ok(outcome)
     }
 
@@ -820,6 +863,8 @@ impl Heap {
         self.active_b = to_b;
         self.alloc = cursor.load(Ordering::Relaxed).min(to_limit);
         self.collections += 1;
+        // From-space (and every forwarded header in it) is now abandoned.
+        self.lazy_forwards = false;
         Ok(outcome)
     }
 }

@@ -15,6 +15,7 @@ use crate::error::VmError;
 use crate::heap::HeapKind;
 use crate::icache::SiteEntry;
 use crate::ids::{ClassId, MethodId};
+use crate::lazy::MAX_TRANSFORMER_DEPTH;
 use crate::natives::NativeFn;
 use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread, FRAME_POOL_CAP};
 use crate::value::{GcRef, Value};
@@ -54,14 +55,25 @@ enum NOut {
     Trap(VmError),
     /// Pop the arguments, advance, then run this frame (transformers).
     Frame(Box<Frame>),
+    /// Leave pc and stack untouched; run this frame, then retry the
+    /// instruction (lazy-migration barrier hit inside a native).
+    Barrier(Box<Frame>),
     /// Pop the arguments, advance, then end the slice.
     Yield,
 }
 
-/// Result of a lazy-indirection object check.
+/// Result of a lazy object check (JDrums indirection or the
+/// lazy-migration read barrier).
 enum Lazy {
+    /// Access this (resolved, current-version) object.
     Ready(GcRef),
+    /// An allocation needs a collection; retry the instruction after.
     NeedGc,
+    /// Lazy migration duplicated a stale object: run this transformer
+    /// frame with pc and stack untouched, then retry the instruction.
+    Run(Box<Frame>),
+    /// The barrier itself trapped (depth limit, missing transformer).
+    Trap(VmError),
 }
 
 impl Vm {
@@ -119,6 +131,26 @@ impl Vm {
                 macro_rules! pop {
                     () => {
                         frame.stack.pop().expect("verified code: stack underflow")
+                    };
+                }
+                // The read-barrier dance shared by every reference load:
+                // `Run` pushes the object transformer with pc and stack
+                // untouched, so the faulting instruction (which only
+                // *peeked* its operands) retries after it returns.
+                macro_rules! barrier {
+                    ($obj:expr) => {
+                        match self.lazy_object($obj) {
+                            Lazy::Ready(o) => o,
+                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
+                            Lazy::Run(f) => {
+                                if t.frames.len() >= self.config.max_stack_depth {
+                                    trap!(VmError::StackOverflow);
+                                }
+                                t.frames.push(*f);
+                                continue 'outer;
+                            }
+                            Lazy::Trap(e) => trap!(e),
+                        }
                     };
                 }
 
@@ -218,7 +250,15 @@ impl Vm {
                         let a = pop!();
                         let eq = match (a, b) {
                             (Value::Null, Value::Null) => true,
-                            (Value::Ref(x), Value::Ref(y)) => x == y,
+                            // Mid-epoch (or under JDrums indirection) one
+                            // operand may be a stale address and the other
+                            // its migrated copy: identity must compare
+                            // through the forwarding words.
+                            (Value::Ref(x), Value::Ref(y)) => {
+                                x == y
+                                    || ((self.lazy.active || self.config.lazy_indirection)
+                                        && self.heap.resolve(x) == self.heap.resolve(y))
+                            }
                             _ => false,
                         };
                         push!(Value::Bool(if matches!(instr, RInstr::RefEq) { eq } else { !eq }));
@@ -280,10 +320,7 @@ impl Vm {
                         let Some(obj) = frame.stack[n - 1].as_ref_opt() else {
                             trap!(VmError::NullPointer { context: "field read".into() });
                         };
-                        let obj = match self.lazy_object(obj) {
-                            Lazy::Ready(o) => o,
-                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
-                        };
+                        let obj = barrier!(obj);
                         let word = self.heap.get(obj, *offset as usize);
                         let frame = &mut t.frames[fi];
                         frame.stack.pop();
@@ -294,10 +331,7 @@ impl Vm {
                         let Some(obj) = frame.stack[n - 2].as_ref_opt() else {
                             trap!(VmError::NullPointer { context: "field write".into() });
                         };
-                        let obj = match self.lazy_object(obj) {
-                            Lazy::Ready(o) => o,
-                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
-                        };
+                        let obj = barrier!(obj);
                         let frame = &mut t.frames[fi];
                         let val = frame.stack.pop().expect("verified");
                         frame.stack.pop();
@@ -352,10 +386,7 @@ impl Vm {
                         let Some(recv) = frame.stack[ridx].as_ref_opt() else {
                             trap!(VmError::NullPointer { context: "virtual call".into() });
                         };
-                        let recv = match self.lazy_object(recv) {
-                            Lazy::Ready(o) => o,
-                            Lazy::NeedGc => return (SliceEvent::NeedGc, steps),
-                        };
+                        let recv = barrier!(recv);
                         t.frames[fi].stack[ridx] = Value::Ref(recv);
                         let class = self.heap.class_of(recv);
                         let total = *argc as usize + 1;
@@ -511,6 +542,13 @@ impl Vm {
                                 t.frames.push(*new_frame);
                                 continue 'outer;
                             }
+                            NOut::Barrier(new_frame) => {
+                                if t.frames.len() >= self.config.max_stack_depth {
+                                    trap!(VmError::StackOverflow);
+                                }
+                                t.frames.push(*new_frame);
+                                continue 'outer;
+                            }
                             NOut::Yield => {
                                 let frame = &mut t.frames[fi];
                                 let n = frame.stack.len();
@@ -549,6 +587,9 @@ impl Vm {
                         if let Some(FrameNote::TransformOf(addr)) = done.note {
                             self.dsu.in_progress.remove(&addr);
                             self.dsu.done.insert(addr);
+                            if self.lazy.active {
+                                self.lazy.transformed += 1;
+                            }
                         }
                         // Recycle the frame's vectors (cleared, so the GC
                         // and roots never see stale references). Gated with
@@ -634,11 +675,22 @@ impl Vm {
         Ok(())
     }
 
-    /// Lazy-indirection access check (JDrums/DVM baseline, paper §5): in
-    /// lazy mode every object access resolves forwarding pointers and
-    /// migrates stale instances on first touch. In eager mode it is the
-    /// identity — zero steady-state cost, the paper's headline property.
+    /// Lazy object check on every reference load. Three modes:
+    ///
+    /// * Eager (default): the identity — zero steady-state cost, the
+    ///   paper's headline property. Outside an epoch, lazy-migration VMs
+    ///   take this same path, which is what `lazybench`'s steady-state
+    ///   gate asserts.
+    /// * Lazy-migration epoch active: the read barrier
+    ///   ([`Vm::barrier_object`]) — duplicate stale objects on first
+    ///   touch and hand back their transformer frame to run.
+    /// * JDrums/DVM lazy indirection (paper §5 baseline): resolve
+    ///   forwarding pointers and apply the default field-copy migration
+    ///   on first touch, forever.
     fn lazy_object(&mut self, r: GcRef) -> Lazy {
+        if self.lazy.active {
+            return self.barrier_object(r);
+        }
         if !self.config.lazy_indirection {
             return Lazy::Ready(r);
         }
@@ -670,6 +722,55 @@ impl Vm {
         }
         self.heap.install_forward(r, new_obj);
         Lazy::Ready(new_obj)
+    }
+
+    /// The lazy-migration read barrier: first touch of a stale object
+    /// duplicates it ([`Vm::lazy_dup`]) and returns its object-transformer
+    /// frame as [`Lazy::Run`]; everything else is a resolve. The caller
+    /// runs the frame with the faulting instruction's pc and stack
+    /// untouched, so the access retries against the transformed object —
+    /// the same transformer, in the same (new, old-copy) calling
+    /// convention, the eager protocol runs from the update log.
+    fn barrier_object(&mut self, r: GcRef) -> Lazy {
+        let r = self.heap.resolve(r);
+        if self.heap.kind(r) != HeapKind::Object {
+            return Lazy::Ready(r);
+        }
+        let class = self.heap.class_of(r);
+        if !self.lazy.remap.contains_key(&class) || self.lazy.old_copies.contains(&r.0) {
+            // Old copies keep their stale class on purpose: transformers
+            // read them with old offsets, and migrating one would recurse
+            // forever.
+            return Lazy::Ready(r);
+        }
+        if self.dsu.in_progress.len() >= MAX_TRANSFORMER_DEPTH {
+            return Lazy::Trap(VmError::TransformerDepthExceeded {
+                limit: MAX_TRANSFORMER_DEPTH,
+            });
+        }
+        let Some((old_copy, new_obj)) = self.lazy_dup(r) else {
+            return Lazy::NeedGc;
+        };
+        let new_class = self.heap.class_of(new_obj);
+        let Some(&mid) = self.dsu.transformer_for.get(&new_class) else {
+            return Lazy::Trap(VmError::Internal {
+                message: format!(
+                    "read barrier: no object transformer for {}",
+                    self.registry.class(new_class).name
+                ),
+            });
+        };
+        let compiled = match self.compiled_for(mid) {
+            Ok(c) => c,
+            Err(e) => return Lazy::Trap(e),
+        };
+        self.dsu.in_progress.insert(new_obj.0);
+        let mut frame = match Frame::new(compiled, &[Value::Ref(new_obj), Value::Ref(old_copy)]) {
+            Ok(f) => f,
+            Err(e) => return Lazy::Trap(e),
+        };
+        frame.note = Some(FrameNote::TransformOf(new_obj.0));
+        Lazy::Run(Box::new(frame))
     }
 
     /// Executes a native call. Arguments are *peeked* (not popped) so
@@ -734,6 +835,18 @@ impl Vm {
                         message: "Sys.spawn target is not an object".into(),
                     });
                 }
+                // Spawning a stale receiver mid-epoch would look run() up
+                // on the stripped old class: migrate it first, retrying
+                // the native after the transformer runs.
+                if self.lazy.active {
+                    match self.barrier_object(obj) {
+                        Lazy::Ready(_) => {}
+                        Lazy::NeedGc => return NOut::NeedGc,
+                        Lazy::Run(f) => return NOut::Barrier(f),
+                        Lazy::Trap(e) => return NOut::Trap(e),
+                    }
+                }
+                let obj = self.heap.resolve(obj);
                 let class = self.heap.class_of(obj);
                 let Some(vslot) = self.registry.vslot(class, "run") else {
                     return NOut::Trap(VmError::ResolutionError {
@@ -899,13 +1012,35 @@ impl Vm {
                     return NOut::Val(None);
                 }
                 let addr = obj.0;
-                if self.dsu.done.contains(&addr) || !self.dsu.index_of.contains_key(&addr) {
+                if self.dsu.done.contains(&addr) {
+                    return NOut::Val(None);
+                }
+                if !self.dsu.index_of.contains_key(&addr) {
+                    // Mid-lazy-epoch an *untouched* stale object has no
+                    // logged pair yet: duplicate and transform it now,
+                    // retrying the native afterwards — the lazy analogue
+                    // of forcing an entry out of the eager update log.
+                    if self.lazy.stale_target(self.heap.class_of(obj)).is_some()
+                        && !self.lazy.old_copies.contains(&addr)
+                    {
+                        return match self.barrier_object(obj) {
+                            Lazy::Ready(_) => NOut::Val(None),
+                            Lazy::NeedGc => NOut::NeedGc,
+                            Lazy::Run(f) => NOut::Barrier(f),
+                            Lazy::Trap(e) => NOut::Trap(e),
+                        };
+                    }
                     return NOut::Val(None);
                 }
                 if self.dsu.in_progress.contains(&addr) {
                     // Recursive transformation of an in-flight object:
                     // ill-defined transformer set (paper §3.4 aborts).
                     return NOut::Trap(VmError::TransformerCycle);
+                }
+                if self.dsu.in_progress.len() >= MAX_TRANSFORMER_DEPTH {
+                    return NOut::Trap(VmError::TransformerDepthExceeded {
+                        limit: MAX_TRANSFORMER_DEPTH,
+                    });
                 }
                 let i = self.dsu.index_of[&addr];
                 let (old, new) = self.dsu.pending[i];

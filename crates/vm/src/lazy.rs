@@ -1,0 +1,153 @@
+//! Lazy-migration epoch state: on-demand object transformation behind a
+//! read barrier.
+//!
+//! The eager update protocol (paper §3.4) commits with a stop-the-world
+//! full-heap copying GC, so the pause grows with live heap size. A lazy
+//! epoch instead marks changed classes *version-pending* and defers the
+//! copies: the commit pause is a single linear scan that records every
+//! stale-class instance in an ascending-address worklist (no copying, no
+//! transformers), and objects migrate afterwards on first touch.
+//!
+//! While an epoch is [`active`](LazyEpoch::active):
+//!
+//! * The interpreter's reference loads (`GetField`/`PutField`/
+//!   `CallVirtual`, plus `Dsu.forceTransform`) go through a read barrier:
+//!   touching a stale object duplicates it (old-layout copy + zeroed
+//!   new-layout object), installs a forwarding word over the original, and
+//!   runs the object transformer *before* the faulting instruction
+//!   retries. Flipping barrier mode bumps the registry's `code_epoch`, so
+//!   the epoch composes with the inline caches.
+//! * A scavenger ([`Vm::lazy_scavenge`](crate::Vm::lazy_scavenge), stepped
+//!   by the update controller between scheduler slices) walks the worklist
+//!   and transforms whatever the guest has not touched, so migration
+//!   completes even for objects the program never reads again.
+//! * The collectors forward through the pending pairs exactly as they do
+//!   for lazy-indirection forwards: the worklist tail is rooted, so
+//!   untouched stale objects stay live until transformed — lazy and eager
+//!   epochs transform the *same* object multiset.
+//!
+//! When the worklist drains, [`Vm::finish_lazy_migration`]
+//! (crate) clears the epoch, bumps `code_epoch` again (restoring the
+//! barrier-free fast path — zero steady-state overhead, unlike the
+//! JDrums-style `lazy_indirection` baseline), and runs one ordinary
+//! collection to collapse every outstanding forwarding word.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::ClassId;
+use crate::value::GcRef;
+
+/// Maximum nesting of in-progress object transformers before the VM
+/// raises [`VmError::TransformerDepthExceeded`](crate::VmError): a typed
+/// trap instead of a host stack overflow when a transformer set
+/// force-transforms an unboundedly deep chain.
+pub const MAX_TRANSFORMER_DEPTH: usize = 128;
+
+/// Progress report from one [`Vm::lazy_scavenge`](crate::Vm::lazy_scavenge)
+/// batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ScavengeOutcome {
+    /// Objects transformed by this batch (worklist entries the guest had
+    /// already migrated through the barrier are skipped, not counted).
+    pub transformed: usize,
+    /// Worklist entries still pending after the batch; `0` means the
+    /// epoch is ready for [`Vm::finish_lazy_migration`](crate::Vm).
+    pub remaining: usize,
+}
+
+/// State of one lazy-migration epoch. Owned by [`Vm`](crate::Vm); all
+/// fields are crate-internal — embedders observe the epoch through
+/// [`Vm::lazy_epoch_active`](crate::Vm::lazy_epoch_active) and the
+/// scavenger's [`ScavengeOutcome`].
+#[derive(Debug, Default)]
+pub struct LazyEpoch {
+    /// Whether an epoch is in progress (the read barrier is armed).
+    pub(crate) active: bool,
+    /// Version-pending classes: old `ClassId` → updated `ClassId`. An
+    /// object is *stale* iff its class is a key here.
+    pub(crate) remap: HashMap<ClassId, ClassId>,
+    /// Old-layout copies produced by first-touch duplication. They keep
+    /// the stale class (so transformers can read them with old offsets)
+    /// and must never themselves trip the barrier.
+    pub(crate) old_copies: HashSet<u32>,
+    /// Every stale object found by the commit scan, ascending original
+    /// address — the scavenger's queue and (from `cursor` on) extra GC
+    /// roots, so untouched stale objects survive until transformed.
+    pub(crate) worklist: Vec<GcRef>,
+    /// First worklist entry the scavenger has not yet passed.
+    pub(crate) cursor: usize,
+    /// Object transformers completed this epoch (barrier + scavenger).
+    pub(crate) transformed: usize,
+}
+
+impl LazyEpoch {
+    /// The updated class an instance of `class` must migrate to, if
+    /// `class` is version-pending in this epoch.
+    pub(crate) fn stale_target(&self, class: ClassId) -> Option<ClassId> {
+        if self.active {
+            self.remap.get(&class).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Entries the scavenger has not yet passed.
+    pub(crate) fn pending_entries(&self) -> &[GcRef] {
+        &self.worklist[self.cursor..]
+    }
+
+    /// Drops the processed worklist prefix (called before a collection so
+    /// only the live tail is rooted and rewritten).
+    pub(crate) fn drop_processed(&mut self) {
+        if self.cursor > 0 {
+            self.worklist.drain(..self.cursor);
+            self.cursor = 0;
+        }
+    }
+
+    /// Clears the epoch back to the inactive state, returning the number
+    /// of objects transformed while it ran.
+    pub(crate) fn reset(&mut self) -> usize {
+        let transformed = self.transformed;
+        *self = LazyEpoch::default();
+        transformed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_target_requires_active_epoch() {
+        let mut epoch = LazyEpoch {
+            remap: HashMap::from([(ClassId(1), ClassId(2))]),
+            ..LazyEpoch::default()
+        };
+        assert_eq!(epoch.stale_target(ClassId(1)), None, "inactive epoch never matches");
+        epoch.active = true;
+        assert_eq!(epoch.stale_target(ClassId(1)), Some(ClassId(2)));
+        assert_eq!(epoch.stale_target(ClassId(2)), None);
+    }
+
+    #[test]
+    fn drop_processed_keeps_only_the_tail() {
+        let mut epoch = LazyEpoch {
+            worklist: vec![GcRef(10), GcRef(20), GcRef(30)],
+            cursor: 2,
+            ..LazyEpoch::default()
+        };
+        epoch.drop_processed();
+        assert_eq!(epoch.worklist, vec![GcRef(30)]);
+        assert_eq!(epoch.cursor, 0);
+        assert_eq!(epoch.pending_entries(), &[GcRef(30)]);
+    }
+
+    #[test]
+    fn reset_reports_and_clears_progress() {
+        let mut epoch = LazyEpoch { active: true, transformed: 7, ..LazyEpoch::default() };
+        assert_eq!(epoch.reset(), 7);
+        assert!(!epoch.active);
+        assert_eq!(epoch.transformed, 0);
+    }
+}

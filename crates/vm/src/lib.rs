@@ -38,6 +38,7 @@ pub mod icache;
 pub mod ids;
 pub mod interp;
 pub mod jit;
+pub mod lazy;
 pub mod natives;
 pub mod net;
 pub mod registry;
@@ -48,6 +49,7 @@ mod vm;
 pub use config::VmConfig;
 pub use error::VmError;
 pub use ids::{ClassId, MethodId, ThreadId};
+pub use lazy::{ScavengeOutcome, MAX_TRANSFORMER_DEPTH};
 pub use registry::{ClassMethodsSnapshot, RegistryMark};
 pub use value::{GcRef, Value};
 pub use vm::{SliceOutcome, SliceReport, Vm, VmStats};

@@ -16,6 +16,7 @@ use crate::heap::{ClassLayouts, GcOutcome, GcRemap, Heap, HeapKind, NoRemap, Rem
 use crate::ids::{ClassId, MethodId, ThreadId};
 use crate::interp::SliceEvent;
 use crate::jit;
+use crate::lazy::{LazyEpoch, ScavengeOutcome, MAX_TRANSFORMER_DEPTH};
 use crate::net::Net;
 use crate::registry::Registry;
 use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread};
@@ -108,6 +109,7 @@ pub struct Vm {
     pub(crate) tick: u64,
     pub(crate) rng_state: u64,
     pub(crate) dsu: DsuState,
+    pub(crate) lazy: LazyEpoch,
     pub(crate) stats: VmStats,
     host_roots: Vec<GcRef>,
     next_thread: usize,
@@ -116,6 +118,10 @@ pub struct Vm {
 impl Vm {
     /// Creates a VM with the builtin classes loaded.
     pub fn new(config: VmConfig) -> Vm {
+        assert!(
+            !(config.lazy_migration && config.lazy_indirection),
+            "lazy_migration and lazy_indirection are mutually exclusive"
+        );
         let mut registry = Registry::new();
         registry
             .load_batch(&jvolve_lang::builtins::builtin_classes())
@@ -130,6 +136,7 @@ impl Vm {
             tick: 0,
             rng_state: 0x9E3779B97F4A7C15,
             dsu: DsuState::default(),
+            lazy: LazyEpoch::default(),
             stats: VmStats::default(),
             host_roots: Vec::new(),
             next_thread: 0,
@@ -498,6 +505,13 @@ impl Vm {
         for &r in &self.host_roots {
             roots.push(r);
         }
+        if self.lazy.active {
+            // The unscavenged worklist tail keeps untouched stale objects
+            // alive until transformed, so a lazy epoch migrates exactly
+            // the object multiset an eager update would have.
+            self.lazy.drop_processed();
+            roots.extend_from_slice(self.lazy.pending_entries());
+        }
 
         let snapshot = self.registry.layout_snapshot();
         let table = RemapTable::from_policy(remap, self.registry.num_classes());
@@ -534,6 +548,13 @@ impl Vm {
         self.dsu.in_progress =
             self.dsu.in_progress.iter().map(|&a| heap.resolve(GcRef(a)).0).collect();
         self.dsu.done = self.dsu.done.iter().map(|&a| heap.resolve(GcRef(a)).0).collect();
+        if self.lazy.active {
+            for r in &mut self.lazy.worklist {
+                *r = heap.resolve(*r);
+            }
+            self.lazy.old_copies =
+                self.lazy.old_copies.iter().map(|&a| heap.resolve(GcRef(a)).0).collect();
+        }
         self.rebuild_dsu_index();
         Ok(outcome)
     }
@@ -715,6 +736,9 @@ impl Vm {
         let (old, new) = self.dsu.pending[i];
         if self.dsu.in_progress.contains(&new.0) {
             return Err(VmError::TransformerCycle);
+        }
+        if self.dsu.in_progress.len() >= MAX_TRANSFORMER_DEPTH {
+            return Err(VmError::TransformerDepthExceeded { limit: MAX_TRANSFORMER_DEPTH });
         }
         let class = self.heap.class_of(new);
         let Some(&mid) = self.dsu.transformer_for.get(&class) else {
@@ -973,6 +997,174 @@ impl Vm {
     pub fn begin_lazy_update(&mut self, remap: HashMap<ClassId, ClassId>) {
         self.dsu.lazy_remap.extend(remap);
         self.dsu.update_count += 1;
+    }
+
+    // ---- lazy migration (read-barrier epoch, see `crate::lazy`) ------------------
+
+    /// Opens a lazy-migration epoch: the O(roots) alternative to
+    /// [`Vm::collect_for_update`]. Marks the `remap` classes
+    /// version-pending, linearly scans the heap for their instances
+    /// (recording an ascending-address worklist — no copying, no
+    /// transformers, so this *is* the commit pause), arms the read
+    /// barrier, and bumps the dispatch epoch so every inline cache
+    /// re-resolves into barrier-aware dispatch. Returns the number of
+    /// stale objects found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GC failure from the (rare) pre-scan collection needed
+    /// when the heap still holds unresolved forwarding words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an epoch is already active (updates cannot overlap).
+    pub fn begin_lazy_migration(
+        &mut self,
+        remap: HashMap<ClassId, ClassId>,
+        transformer_for: HashMap<ClassId, MethodId>,
+    ) -> Result<usize, VmError> {
+        assert!(!self.lazy.active, "a lazy-migration epoch is already active");
+        if self.heap.has_lazy_forwards() {
+            // Leftover forwarding words (lazy indirection would leave
+            // some; a finished epoch never does) make a linear walk
+            // impossible — collapse them first.
+            self.collect_full(&NoRemap)?;
+        }
+        self.dsu.transformer_for = transformer_for;
+        self.dsu.pending.clear();
+        self.dsu.index_of.clear();
+        self.dsu.in_progress.clear();
+        self.dsu.done.clear();
+        let mut worklist = Vec::new();
+        let snapshot = self.registry.layout_snapshot();
+        self.heap.for_each_object(&snapshot, |r, class| {
+            if remap.contains_key(&class) {
+                worklist.push(r);
+            }
+        });
+        let stale = worklist.len();
+        self.lazy = LazyEpoch { active: true, remap, worklist, ..LazyEpoch::default() };
+        self.dsu.update_count += 1;
+        self.registry.bump_code_epoch();
+        Ok(stale)
+    }
+
+    /// Whether a lazy-migration epoch is in progress (read barrier armed).
+    pub fn lazy_epoch_active(&self) -> bool {
+        self.lazy.active
+    }
+
+    /// Worklist entries the scavenger has not yet passed (0 outside an
+    /// epoch). Entries the guest already migrated through the barrier
+    /// still count until the scavenger skips over them.
+    pub fn lazy_remaining(&self) -> usize {
+        self.lazy.worklist.len() - self.lazy.cursor
+    }
+
+    /// First-touch duplication: the slow path shared by the interpreter's
+    /// read barrier, `Dsu.forceTransform`, and the scavenger. `r` must be
+    /// a *resolved* stale object. Allocates the old-layout copy and the
+    /// zeroed new-layout object, registers the pair in the update log, and
+    /// installs the forwarding word — but does **not** run the
+    /// transformer. Returns `None` if either allocation fails, with
+    /// nothing installed (the caller collects and retries).
+    pub(crate) fn lazy_dup(&mut self, r: GcRef) -> Option<(GcRef, GcRef)> {
+        let old_class = self.heap.class_of(r);
+        let new_class = *self.lazy.remap.get(&old_class).expect("lazy_dup on a stale object");
+        let old_size = self.registry.object_size(old_class);
+        let old_copy = self.heap.alloc_object(old_class, old_size)?;
+        let new_obj = self.heap.alloc_object(new_class, self.registry.object_size(new_class))?;
+        // (If the second allocation fails the old copy is dead garbage the
+        // caller's collection reclaims; no forwarding was installed.)
+        for i in 0..old_size {
+            let w = self.heap.get(r, i);
+            self.heap.set(old_copy, i, w);
+        }
+        self.heap.install_forward(r, new_obj);
+        self.lazy.old_copies.insert(old_copy.0);
+        self.dsu.pending.push((old_copy, new_obj));
+        self.dsu.index_of.insert(new_obj.0, self.dsu.pending.len() - 1);
+        Some((old_copy, new_obj))
+    }
+
+    /// Transforms up to `batch` untouched stale objects from the worklist
+    /// (the epoch's background scavenger; the update controller calls this
+    /// between scheduler slices). Entries the guest already migrated
+    /// through the read barrier are skipped. Transformers run
+    /// synchronously, exactly as [`Vm::transform_pending`] runs them in
+    /// the eager protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformer traps and heap exhaustion; such an error
+    /// poisons the epoch (the update controller aborts).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside an active epoch.
+    pub fn lazy_scavenge(&mut self, batch: usize) -> Result<ScavengeOutcome, VmError> {
+        assert!(self.lazy.active, "lazy_scavenge outside an epoch");
+        let mut transformed = 0;
+        while transformed < batch && self.lazy.cursor < self.lazy.worklist.len() {
+            let idx = self.lazy.cursor;
+            let r = self.heap.resolve(self.lazy.worklist[idx]);
+            let stale = self.heap.kind(r) == HeapKind::Object
+                && self.lazy.remap.contains_key(&self.heap.class_of(r))
+                && !self.lazy.old_copies.contains(&r.0);
+            if !stale {
+                // The guest (or a recursive force) got here first.
+                self.lazy.cursor = idx + 1;
+                continue;
+            }
+            let mut gc_retries = 0;
+            let pair_idx = loop {
+                // Re-resolve through the worklist each attempt: a failed
+                // allocation collects, which moves the object.
+                let r = self.heap.resolve(self.lazy.worklist[idx]);
+                if let Some(_pair) = self.lazy_dup(r) {
+                    break self.dsu.pending.len() - 1;
+                }
+                if gc_retries >= 1 {
+                    return Err(VmError::OutOfMemory { requested: 0 });
+                }
+                gc_retries += 1;
+                self.collect_full(&NoRemap)?;
+            };
+            // The pair is rooted via the update log now; advance past the
+            // entry before running the transformer (which may itself GC).
+            self.lazy.cursor = idx + 1;
+            self.transform_one(pair_idx)?;
+            transformed += 1;
+        }
+        Ok(ScavengeOutcome { transformed, remaining: self.lazy_remaining() })
+    }
+
+    /// Closes a drained lazy-migration epoch: clears the epoch state and
+    /// the update log, bumps the dispatch epoch again (inline caches
+    /// re-resolve back onto the barrier-free fast path), and runs one
+    /// ordinary collection that collapses every outstanding forwarding
+    /// word and reclaims the old copies. Returns the collection outcome
+    /// and the number of objects transformed during the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GC failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch is not drained (scavenge to completion first)
+    /// or a transformer is still on some stack.
+    pub fn finish_lazy_migration(&mut self) -> Result<(GcOutcome, usize), VmError> {
+        assert!(self.lazy.active, "finish_lazy_migration outside an epoch");
+        assert!(self.lazy.cursor >= self.lazy.worklist.len(), "epoch not drained");
+        assert!(self.dsu.in_progress.is_empty(), "transformer still in progress");
+        let transformed = self.lazy.reset();
+        self.dsu.pending.clear();
+        self.dsu.index_of.clear();
+        self.dsu.done.clear();
+        self.registry.bump_code_epoch();
+        let outcome = self.collect_full(&NoRemap)?;
+        Ok((outcome, transformed))
     }
 
     // ---- host-side heap access (tests, microbenchmarks) --------------------------

@@ -40,14 +40,23 @@ cargo test -q --test differential
 echo "== tier-1: inline-cache differential oracle (caches on/off, update + rollback) =="
 cargo test -q --test differential inline_caches_are_observationally_invisible
 
+# The lazy-migration differential oracle: a lazily committed update must
+# be observationally identical to the eager one under arbitrary
+# interleavings of guest execution, scavenger steps, and full GCs.
+echo "== tier-1: lazy-migration differential oracle (eager vs lazy, interleaved) =="
+cargo test -q --test lazy_differential
+
 if [ "$skip_bench" = 0 ]; then
     echo "== tier-1: GC pause regression check =="
     cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5
     echo "== tier-1: interpreter dispatch throughput check =="
     cargo run --release -q -p jvolve-bench --bin interpbench -- --check --iters 5
+    echo "== tier-1: lazy migration pause + steady-state check =="
+    cargo run --release -q -p jvolve-bench --bin lazybench -- --check --iters 5
 else
     echo "== tier-1: GC pause regression check skipped (--skip-bench) =="
     echo "== tier-1: interpreter dispatch throughput check skipped (--skip-bench) =="
+    echo "== tier-1: lazy migration pause + steady-state check skipped (--skip-bench) =="
 fi
 
 echo "== tier-1: OK =="

@@ -1,0 +1,582 @@
+//! Differential oracle for lazy migration: an update committed in lazy
+//! mode (read barrier + scavenger, `VmConfig::lazy_migration`) must be
+//! observationally identical to the same update committed eagerly — same
+//! final heap fingerprint, same reachable-state checksums, same
+//! transformer multiset — no matter how guest execution, scavenger steps,
+//! and full GCs interleave while the epoch drains.
+
+mod testkit;
+
+use testkit::Rng;
+
+use jvolve_repro::dsu::{
+    ApplyOptions, MemorySink, StepProgress, Update, UpdateController, UpdateError, UpdateEvent,
+    UpdatePhase,
+};
+use jvolve_repro::vm::heap::NoRemap;
+use jvolve_repro::vm::{Value, Vm, VmConfig, VmError};
+
+// ---- fixtures ----------------------------------------------------------
+
+/// v1 ring workload: densely cross-linked `Node`s behind statics. Same
+/// shape as the serial-vs-parallel oracle's, but the transformer trace is
+/// *commutative* (a sum, not a rolling hash): lazy mode transforms the
+/// same multiset as eager but in a touch-dependent order.
+const RING_V1: &str = "
+class Node {
+  field id: int;
+  field next: Node;
+  field peer: Node;
+  ctor(i: int) { this.id = i; }
+}
+class App {
+  static field nodes: Node[];
+  static field trace: int;
+  static field sink: int;
+  static method build(n: int): void {
+    var arr: Node[] = new Node[n];
+    var i: int = 0;
+    while (i < n) { arr[i] = new Node(i); i = i + 1; }
+    i = 0;
+    while (i < n) {
+      arr[i].next = arr[(i + 1) % n];
+      arr[i].peer = arr[(i * 7 + 3) % n];
+      i = i + 1;
+    }
+    App.nodes = arr;
+    App.trace = 0;
+  }
+  static method checksum(): int {
+    var sum: int = 0;
+    var i: int = 0;
+    var n: int = App.nodes.length;
+    while (i < n) {
+      sum = sum * 31 + App.nodes[i].id + App.nodes[i].peer.id + App.nodes[i].next.id;
+      i = i + 1;
+    }
+    return sum;
+  }
+  static method churn(): void {
+    var r: int = 0;
+    while (r < 50) { App.sink = App.sink + App.checksum(); r = r + 1; }
+  }
+}";
+
+const RING_V2: &str = "
+class Node {
+  field id: int;
+  field gen: int;
+  field next: Node;
+  field peer: Node;
+  ctor(i: int) { this.id = i; this.gen = 0; }
+}
+class App {
+  static field nodes: Node[];
+  static field trace: int;
+  static field sink: int;
+  static method build(n: int): void {
+    var arr: Node[] = new Node[n];
+    var i: int = 0;
+    while (i < n) { arr[i] = new Node(i); i = i + 1; }
+    i = 0;
+    while (i < n) {
+      arr[i].next = arr[(i + 1) % n];
+      arr[i].peer = arr[(i * 7 + 3) % n];
+      i = i + 1;
+    }
+    App.nodes = arr;
+    App.trace = 0;
+  }
+  static method checksum(): int {
+    var sum: int = 0;
+    var i: int = 0;
+    var n: int = App.nodes.length;
+    while (i < n) {
+      sum = sum * 31 + App.nodes[i].id + App.nodes[i].peer.id + App.nodes[i].next.id;
+      i = i + 1;
+    }
+    return sum;
+  }
+  static method churn(): void {
+    var r: int = 0;
+    while (r < 50) { App.sink = App.sink + App.checksum(); r = r + 1; }
+  }
+}";
+
+/// Commutative transformer: `App.trace` accumulates a sum, so any
+/// transformation *order* yields the same final value while still proving
+/// every node was transformed exactly once (ids are distinct).
+const RING_TRANSFORMERS: &str = "
+class JvolveTransformers {
+  static method jvolve_class_Node(): void { }
+  static method jvolve_object_Node(to: Node, from: v1_Node): void {
+    to.id = from.id;
+    to.next = from.next;
+    to.peer = from.peer;
+    to.gen = 1;
+    App.trace = App.trace + from.id * 2 + 1;
+  }
+}";
+
+/// Chain fixture, tail allocated first: ascending heap address = tail →
+/// head, so both the eager update log and the lazy worklist process the
+/// tail first and `Dsu.forceTransform(from.next)` always hits an
+/// already-transformed referent by the time depth is read. The rolling
+/// (order-sensitive) trace must therefore match *exactly* across modes.
+const CHAIN_V1: &str = "
+class Node {
+  field id: int;
+  field next: Node;
+  ctor(i: int, n: Node) { this.id = i; this.next = n; }
+}
+class App {
+  static field head: Node;
+  static field trace: int;
+  static method build(n: int): void {
+    var head: Node = null;
+    var i: int = n - 1;
+    while (i >= 0) { head = new Node(i, head); i = i - 1; }
+    App.head = head;
+    App.trace = 1;
+  }
+}";
+
+const CHAIN_V2: &str = "
+class Node {
+  field id: int;
+  field depth: int;
+  field next: Node;
+  ctor(i: int, n: Node) { this.id = i; this.next = n; this.depth = 0; }
+}
+class App {
+  static field head: Node;
+  static field trace: int;
+  static method build(n: int): void {
+    var head: Node = null;
+    var i: int = n - 1;
+    while (i >= 0) { head = new Node(i, head); i = i - 1; }
+    App.head = head;
+    App.trace = 1;
+  }
+}";
+
+const CHAIN_TRANSFORMERS: &str = "
+class JvolveTransformers {
+  static method jvolve_class_Node(): void { }
+  static method jvolve_object_Node(to: Node, from: v1_Node): void {
+    to.id = from.id;
+    to.next = from.next;
+    if (from.next != null) {
+      Dsu.forceTransform(from.next);
+      to.depth = from.next.depth + 1;
+    }
+    App.trace = App.trace * 31 + from.id + 1;
+  }
+}";
+
+/// Chain allocated *head first*: the first worklist/update-log entry is
+/// the head, so a forcing transformer recurses through the entire chain
+/// before anything unwinds — the depth-limit stress.
+const DEEP_CHAIN_V1: &str = "
+class Node {
+  field id: int;
+  field next: Node;
+  ctor(i: int) { this.id = i; }
+}
+class App {
+  static field head: Node;
+  static method build(n: int): void {
+    var head: Node = new Node(0);
+    var cur: Node = head;
+    var i: int = 1;
+    while (i < n) { var nn: Node = new Node(i); cur.next = nn; cur = nn; i = i + 1; }
+    App.head = head;
+  }
+}";
+
+const DEEP_CHAIN_V2: &str = "
+class Node {
+  field id: int;
+  field depth: int;
+  field next: Node;
+  ctor(i: int) { this.id = i; this.depth = 0; }
+}
+class App {
+  static field head: Node;
+  static method build(n: int): void {
+    var head: Node = new Node(0);
+    var cur: Node = head;
+    var i: int = 1;
+    while (i < n) { var nn: Node = new Node(i); cur.next = nn; cur = nn; i = i + 1; }
+    App.head = head;
+  }
+}";
+
+const DEEP_CHAIN_TRANSFORMERS: &str = "
+class JvolveTransformers {
+  static method jvolve_class_Node(): void { }
+  static method jvolve_object_Node(to: Node, from: v1_Node): void {
+    to.id = from.id;
+    to.next = from.next;
+    if (from.next != null) {
+      Dsu.forceTransform(from.next);
+      to.depth = from.next.depth + 1;
+    }
+  }
+}";
+
+/// Two nodes forcing each other: an ill-defined transformer set the VM
+/// must reject with `TransformerCycle` (paper §3.4), not hang or recurse.
+const CYCLE_V1: &str = "
+class Node {
+  field id: int;
+  field next: Node;
+  ctor(i: int) { this.id = i; }
+}
+class App {
+  static field a: Node;
+  static method build(): void {
+    var a: Node = new Node(0);
+    var b: Node = new Node(1);
+    a.next = b;
+    b.next = a;
+    App.a = a;
+  }
+}";
+
+const CYCLE_V2: &str = "
+class Node {
+  field id: int;
+  field gen: int;
+  field next: Node;
+  ctor(i: int) { this.id = i; this.gen = 0; }
+}
+class App {
+  static field a: Node;
+  static method build(): void {
+    var a: Node = new Node(0);
+    var b: Node = new Node(1);
+    a.next = b;
+    b.next = a;
+    App.a = a;
+  }
+}";
+
+const CYCLE_TRANSFORMERS: &str = "
+class JvolveTransformers {
+  static method jvolve_class_Node(): void { }
+  static method jvolve_object_Node(to: Node, from: v1_Node): void {
+    to.id = from.id;
+    to.next = from.next;
+    Dsu.forceTransform(from.next);
+    to.gen = 1;
+  }
+}";
+
+// ---- harness -----------------------------------------------------------
+
+struct Fixture {
+    v1: &'static str,
+    v2: &'static str,
+    transformers: &'static str,
+    build_args: Vec<Value>,
+}
+
+fn make_vm(fixture: &Fixture, lazy: bool, gc_threads: usize) -> (Vm, Update) {
+    let mut vm = Vm::new(VmConfig {
+        lazy_migration: lazy,
+        gc_threads,
+        ..VmConfig::small()
+    });
+    let old = jvolve_repro::lang::compile(fixture.v1).expect("v1 compiles");
+    let new = jvolve_repro::lang::compile(fixture.v2).expect("v2 compiles");
+    vm.load_classes(&old).expect("v1 loads");
+    vm.call_static_sync("App", "build", &fixture.build_args).expect("build runs");
+    let mut update = Update::prepare(&old, &new, "v1_").expect("update prepares");
+    update.set_transformers_source(fixture.transformers);
+    (vm, update)
+}
+
+/// Everything the lazy-vs-eager oracle compares. Addresses differ between
+/// the two protocols (lazy allocates duplicates mid-heap and compacts at
+/// completion), so only address-independent observables qualify:
+/// `heap_fingerprint` hashes by BFS visit index, and the trace/checksum
+/// are guest-computed.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    heap_fingerprint: u64,
+    trace: i64,
+    checksum: i64,
+    objects_transformed: usize,
+}
+
+fn outcome(vm: &mut Vm, objects_transformed: usize) -> Outcome {
+    let trace = match vm.read_static("App", "trace") {
+        Value::Int(t) => t,
+        other => panic!("trace is {other:?}"),
+    };
+    let checksum = vm
+        .call_static_sync("App", "checksum", &[])
+        .expect("checksum runs")
+        .expect("returns")
+        .as_int();
+    Outcome {
+        heap_fingerprint: vm.heap_fingerprint(),
+        trace,
+        checksum,
+        objects_transformed,
+    }
+}
+
+fn ring_fixture(nodes: i64) -> Fixture {
+    Fixture {
+        v1: RING_V1,
+        v2: RING_V2,
+        transformers: RING_TRANSFORMERS,
+        build_args: vec![Value::Int(nodes)],
+    }
+}
+
+fn run_eager(fixture: &Fixture) -> Outcome {
+    let (mut vm, update) = make_vm(fixture, false, 1);
+    let stats = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+        .expect("eager update applies");
+    assert!(!vm.lazy_epoch_active());
+    outcome(&mut vm, stats.objects_transformed)
+}
+
+// ---- tests -------------------------------------------------------------
+
+/// The core oracle: a controller-driven lazy commit (scavenger drains the
+/// whole worklist) is observationally identical to the eager commit, for
+/// every GC parallelism setting, and its event stream tells the lazy
+/// story (epoch begun with the right population, scavenge steps, commit).
+#[test]
+fn lazy_commit_is_observationally_identical_to_eager() {
+    const NODES: i64 = 400;
+    let fixture = ring_fixture(NODES);
+    let eager = run_eager(&fixture);
+    assert_eq!(eager.objects_transformed, NODES as usize);
+    assert_eq!(eager.trace, NODES * NODES, "sum of 2i+1 over all ids");
+
+    for gc_threads in [1, 2, 4] {
+        let (mut vm, update) = make_vm(&fixture, true, gc_threads);
+        let mut events = MemorySink::default();
+        let mut controller = UpdateController::new(
+            &update,
+            ApplyOptions { lazy_scavenge_batch: 64, ..ApplyOptions::default() },
+        );
+        controller.attach_sink(&mut events);
+        let stats = controller.run_to_completion(&mut vm).expect("lazy update applies");
+        assert!(!vm.lazy_epoch_active(), "epoch completed");
+
+        let lazy = outcome(&mut vm, stats.objects_transformed);
+        assert_eq!(lazy, eager, "gc_threads={gc_threads}: lazy diverged from eager");
+
+        let begun = events.events.iter().find_map(|e| match e {
+            UpdateEvent::LazyEpochBegun { stale_objects } => Some(*stale_objects),
+            _ => None,
+        });
+        assert_eq!(begun, Some(NODES as usize), "commit scan found every stale node");
+        let scavenged: usize = events
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                UpdateEvent::LazyScavengeStep { transformed, .. } => Some(*transformed),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(scavenged, NODES as usize, "scavenger transformed the whole worklist");
+        assert!(
+            events.events.iter().any(|e| matches!(e, UpdateEvent::Committed { .. })),
+            "lazy run committed"
+        );
+        // Lazy-phase wall time is booked, and the phase sum stays
+        // consistent with (bounded by) the independently-measured total.
+        assert!(stats.lazy_time > std::time::Duration::ZERO);
+        assert!(stats.phase_sum() <= stats.total_time, "{stats:?}");
+    }
+}
+
+/// Recursive `Dsu.forceTransform` chains (paper §3.4's "transform before
+/// I read") must resolve identically in lazy mode: the order-sensitive
+/// completion trace and the recursively-computed depths match eager's.
+#[test]
+fn recursive_force_transform_matches_eager_ordering() {
+    const NODES: i64 = 40;
+    let fixture = Fixture {
+        v1: CHAIN_V1,
+        v2: CHAIN_V2,
+        transformers: CHAIN_TRANSFORMERS,
+        build_args: vec![Value::Int(NODES)],
+    };
+
+    let read_chain = |vm: &mut Vm| -> (i64, i64) {
+        let trace = match vm.read_static("App", "trace") {
+            Value::Int(t) => t,
+            other => panic!("trace is {other:?}"),
+        };
+        let Value::Ref(head) = vm.read_static("App", "head") else { panic!("head is null") };
+        let Value::Int(depth) = vm.read_field(head, "depth") else { panic!("depth unset") };
+        (trace, depth)
+    };
+
+    let (mut vm, update) = make_vm(&fixture, false, 1);
+    let stats = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+        .expect("eager update applies");
+    assert_eq!(stats.objects_transformed, NODES as usize);
+    let (eager_trace, eager_depth) = read_chain(&mut vm);
+    assert_eq!(eager_depth, NODES - 1, "depth propagated from the chain tail");
+
+    let (mut vm, update) = make_vm(&fixture, true, 1);
+    let stats = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+        .expect("lazy update applies");
+    assert_eq!(stats.objects_transformed, NODES as usize);
+    let (lazy_trace, lazy_depth) = read_chain(&mut vm);
+    assert_eq!(lazy_trace, eager_trace, "completion order diverged");
+    assert_eq!(lazy_depth, eager_depth);
+}
+
+/// Full collections forced mid-epoch — between scavenger batches, with
+/// the worklist half drained and forwarding words live — must not lose
+/// untouched stale objects or corrupt the pending pairs, at every GC
+/// parallelism setting.
+#[test]
+fn gc_forced_mid_lazy_epoch_preserves_the_oracle() {
+    const NODES: i64 = 300;
+    let fixture = ring_fixture(NODES);
+    let eager = run_eager(&fixture);
+
+    for gc_threads in [1, 2, 4] {
+        let (mut vm, update) = make_vm(&fixture, true, gc_threads);
+        let mut controller = UpdateController::new(
+            &update,
+            ApplyOptions { lazy_scavenge_batch: 17, ..ApplyOptions::default() },
+        );
+        let mut in_epoch = false;
+        let stats = loop {
+            match controller.step(&mut vm) {
+                StepProgress::Pending(UpdatePhase::LazyMigrating) => {
+                    // A full collection between every scavenge batch:
+                    // copies the half-migrated heap, rewrites the
+                    // worklist tail and pending pairs.
+                    assert!(vm.lazy_epoch_active());
+                    vm.collect_full(&NoRemap).expect("mid-epoch GC succeeds");
+                    in_epoch = true;
+                }
+                StepProgress::Pending(_) => {}
+                StepProgress::Committed => break controller.stats().clone(),
+                StepProgress::Aborted => {
+                    panic!("lazy update aborted: {:?}", controller.error())
+                }
+            }
+        };
+        assert!(in_epoch, "the update actually went through a lazy epoch");
+        let lazy = outcome(&mut vm, stats.objects_transformed);
+        assert_eq!(lazy, eager, "gc_threads={gc_threads}: mid-epoch GCs broke the oracle");
+    }
+}
+
+/// Property test: randomized interleavings of guest execution (touching
+/// objects through the read barrier), scavenger batches, and forced full
+/// GCs while the epoch drains. Every interleaving must converge to the
+/// eager outcome.
+#[test]
+fn random_interleavings_of_guest_scavenger_and_gc_match_eager() {
+    const NODES: i64 = 120;
+    let fixture = ring_fixture(NODES);
+    let eager = run_eager(&fixture);
+
+    for seed in 0..12 {
+        let mut rng = Rng::new(seed);
+        let (mut vm, update) = make_vm(&fixture, true, 1 + (seed as usize % 3));
+        // A guest thread that keeps reading the whole ring while the
+        // epoch drains: every read goes through the barrier.
+        vm.spawn("App", "churn").expect("churn spawns");
+
+        let batch = 1 + rng.below(9);
+        let mut controller = UpdateController::new(
+            &update,
+            ApplyOptions { lazy_scavenge_batch: batch, ..ApplyOptions::default() },
+        );
+        let stats = loop {
+            match controller.step(&mut vm) {
+                StepProgress::Pending(UpdatePhase::LazyMigrating) => match rng.below(4) {
+                    0 => {
+                        vm.collect_full(&NoRemap).expect("mid-epoch GC succeeds");
+                    }
+                    1 => {}
+                    _ => {
+                        vm.run_slices(1 + rng.below(3));
+                    }
+                },
+                StepProgress::Pending(_) => {}
+                StepProgress::Committed => break controller.stats().clone(),
+                StepProgress::Aborted => {
+                    panic!("seed {seed}: lazy update aborted: {:?}", controller.error())
+                }
+            }
+        };
+        // Let the churner finish before fingerprinting.
+        vm.run_to_completion(1_000_000);
+        let lazy = outcome(&mut vm, stats.objects_transformed);
+        assert_eq!(lazy, eager, "seed {seed} (batch {batch}): interleaving diverged");
+    }
+}
+
+/// A transformer set that force-chases a deep chain raises the typed
+/// depth error — from the eager update-log path and from the lazy
+/// barrier path alike — instead of overflowing the guest stack. A chain
+/// under the limit still transforms fine in both modes.
+#[test]
+fn deep_force_transform_chains_raise_a_typed_depth_error() {
+    let fixture = |n: i64| Fixture {
+        v1: DEEP_CHAIN_V1,
+        v2: DEEP_CHAIN_V2,
+        transformers: DEEP_CHAIN_TRANSFORMERS,
+        build_args: vec![Value::Int(n)],
+    };
+
+    for lazy in [false, true] {
+        // Under the limit: commits, and the head's depth proves the
+        // recursion reached the tail.
+        let (mut vm, update) = make_vm(&fixture(100), lazy, 1);
+        let stats = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+            .unwrap_or_else(|e| panic!("lazy={lazy}: 100-node chain applies: {e}"));
+        assert_eq!(stats.objects_transformed, 100);
+        let Value::Ref(head) = vm.read_static("App", "head") else { panic!("head is null") };
+        assert_eq!(vm.read_field(head, "depth"), Value::Int(99), "lazy={lazy}");
+
+        // Over the limit: the typed error, not a guest stack overflow.
+        let (mut vm, update) = make_vm(&fixture(200), lazy, 1);
+        let err = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+            .expect_err("200-node forced chain must exceed the depth limit");
+        match err {
+            UpdateError::Vm(VmError::TransformerDepthExceeded { limit }) => {
+                assert_eq!(limit, jvolve_repro::vm::MAX_TRANSFORMER_DEPTH, "lazy={lazy}");
+            }
+            other => panic!("lazy={lazy}: expected depth error, got {other:?}"),
+        }
+    }
+}
+
+/// Transformers that force a reference cycle are ill-defined; both
+/// protocols must reject them with `TransformerCycle` (paper §3.4).
+#[test]
+fn force_transform_cycles_raise_a_typed_cycle_error() {
+    let fixture = Fixture {
+        v1: CYCLE_V1,
+        v2: CYCLE_V2,
+        transformers: CYCLE_TRANSFORMERS,
+        build_args: vec![],
+    };
+    for lazy in [false, true] {
+        let (mut vm, update) = make_vm(&fixture, lazy, 1);
+        let err = jvolve_repro::dsu::apply(&mut vm, &update, &ApplyOptions::default())
+            .expect_err("cyclic force-transform must abort");
+        match err {
+            UpdateError::Vm(VmError::TransformerCycle) => {}
+            other => panic!("lazy={lazy}: expected cycle error, got {other:?}"),
+        }
+    }
+}
