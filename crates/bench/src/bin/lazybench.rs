@@ -4,16 +4,20 @@
 //! points (the paper's object counts scaled down, 100% updated — the
 //! worst case for an eager commit):
 //!
-//! 1. **Pause**: the lazy commit pause (safe point + install + linear
-//!    scan + class transformers, everything before the mutator is
+//! 1. **Pause**: the lazy commit pause (safe point + install + barrier
+//!    arm + class transformers, everything before the mutator is
 //!    released) must be at most [`PAUSE_RATIO_LIMIT`] of the eager pause
-//!    at the largest heap point — O(roots + scan) vs O(heap).
+//!    at the largest heap point — O(roots) vs O(heap).
 //! 2. **Steady state**: after the epoch drains and the barrier is
 //!    disarmed, a field-read spin loop must cost no more than
 //!    `REGRESSION_LIMIT` over the same loop after an eager commit —
 //!    the zero-steady-state-overhead half of the claim.
 //! 3. **Baseline**: the lazy pause itself is gated against the committed
 //!    `results/BENCH_lazy.json` like every other tier-1 bench.
+//! 4. **Flatness**: the lazy pause at the largest heap point must be
+//!    within [`FLATNESS_LIMIT`] of the smallest point's — with the SATB
+//!    watermark arm there is no per-object work left in the pause, so it
+//!    must not grow with the heap.
 //!
 //! Usage (same dialect as `gcbench`/`interpbench`):
 //!
@@ -37,6 +41,13 @@ use jvolve_json::Json;
 /// pause at the largest heap point.
 const PAUSE_RATIO_LIMIT: f64 = 0.25;
 
+/// The lazy commit pause at the largest §4.1 point may be at most this
+/// multiple of the pause at the smallest point (a ~13× heap-size spread).
+/// Heap-size-independent work (safe point, install, class transformers)
+/// dominates the pause, so the ratio sits near 1; the old commit-time
+/// linear heap scan put it near the heap-size spread instead.
+const FLATNESS_LIMIT: f64 = 2.0;
+
 /// Paper object counts are scaled by 1/80 (the gate must run in seconds,
 /// not minutes); the largest point is still the harness's biggest heap.
 const SCALE_DIV: usize = 80;
@@ -56,6 +67,9 @@ struct Entry {
     lazy_pause_ns: f64,
     /// Best-of-N. The check gates compare this, not the median.
     lazy_pause_min_ns: f64,
+    /// Best-of-N barrier-arm portion of the lazy pause (the entire
+    /// in-pause heap cost; recorded for the O(roots) story).
+    arm_min_ns: f64,
     lazy_drain_ns: f64,
     steady_eager_min_ns_per_op: f64,
     steady_lazy_min_ns_per_op: f64,
@@ -71,19 +85,21 @@ impl Entry {
 
 /// Best-of-`iters` runs of one configuration in one mode (warmup first;
 /// each run builds a fresh VM, so iterations are independent).
-fn best_of(objects: usize, lazy: bool, iters: usize) -> (Samples, Vec<f64>, UpdateRun) {
+fn best_of(objects: usize, lazy: bool, iters: usize) -> (Samples, Vec<f64>, Samples, UpdateRun) {
     measure_update(objects, FRACTION, lazy, SPIN_ITERS);
     let mut pause = Vec::with_capacity(iters);
     let mut steady = Vec::with_capacity(iters);
+    let mut arm = Vec::with_capacity(iters);
     let mut last = None;
     for _ in 0..iters {
         let r = measure_update(objects, FRACTION, lazy, SPIN_ITERS);
         pause.push(r.pause_ns);
         steady.push(r.steady_ns_per_op);
+        arm.push(r.arm_ns);
         last = Some(r);
     }
     steady.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    (Samples::from_ns(pause), steady, last.expect("at least one iteration"))
+    (Samples::from_ns(pause), steady, Samples::from_ns(arm), last.expect("at least one iteration"))
 }
 
 fn measure(iters: usize) -> Vec<Entry> {
@@ -94,9 +110,9 @@ fn measure(iters: usize) -> Vec<Entry> {
     let mut entries = Vec::new();
     for &objects in &points {
         eprint!("\rmeasuring {objects} objects, eager...        ");
-        let (eager_pause, eager_steady, eager_last) = best_of(objects, false, iters);
+        let (eager_pause, eager_steady, _, eager_last) = best_of(objects, false, iters);
         eprint!("\rmeasuring {objects} objects, lazy...         ");
-        let (lazy_pause, lazy_steady, lazy_last) = best_of(objects, true, iters);
+        let (lazy_pause, lazy_steady, lazy_arm, lazy_last) = best_of(objects, true, iters);
         assert_eq!(
             eager_last.spin_result, lazy_last.spin_result,
             "modes disagree on the heap contents"
@@ -107,6 +123,7 @@ fn measure(iters: usize) -> Vec<Entry> {
             eager_pause_min_ns: eager_pause.min_ns() as f64,
             lazy_pause_ns: lazy_pause.median_ns() as f64,
             lazy_pause_min_ns: lazy_pause.min_ns() as f64,
+            arm_min_ns: lazy_arm.min_ns() as f64,
             lazy_drain_ns: lazy_last.drain_ns as f64,
             steady_eager_min_ns_per_op: eager_steady[0],
             steady_lazy_min_ns_per_op: lazy_steady[0],
@@ -119,7 +136,7 @@ fn measure(iters: usize) -> Vec<Entry> {
 
 fn to_json(entries: &[Entry], iters: usize) -> Json {
     Json::obj([
-        ("schema", Json::from("jvolve-lazybench-v1")),
+        ("schema", Json::from("jvolve-lazybench-v2")),
         ("iters", Json::from(iters)),
         ("spin_iters", Json::from(SPIN_ITERS as f64)),
         (
@@ -135,6 +152,7 @@ fn to_json(entries: &[Entry], iters: usize) -> Json {
                             ("eager_pause_min_ns", Json::from(e.eager_pause_min_ns)),
                             ("lazy_pause_ns", Json::from(e.lazy_pause_ns)),
                             ("lazy_pause_min_ns", Json::from(e.lazy_pause_min_ns)),
+                            ("arm_min_ns", Json::from(e.arm_min_ns)),
                             ("pause_ratio", Json::from(e.pause_ratio())),
                             ("lazy_drain_ns", Json::from(e.lazy_drain_ns)),
                             (
@@ -164,17 +182,18 @@ fn baseline_lazy_pause_ns(baseline: &Json, objects: usize) -> Option<f64> {
 
 fn print_table(entries: &[Entry]) {
     println!(
-        "{:>9} {:>14} {:>14} {:>8} {:>13} {:>16} {:>15}",
-        "objects", "eager pause", "lazy pause", "ratio", "lazy drain", "steady eager/op",
+        "{:>9} {:>14} {:>14} {:>8} {:>10} {:>13} {:>16} {:>15}",
+        "objects", "eager pause", "lazy pause", "ratio", "arm", "lazy drain", "steady eager/op",
         "steady lazy/op"
     );
     for e in entries {
         println!(
-            "{:>9} {:>14} {:>14} {:>7.1}% {:>13} {:>16.1} {:>15.1}",
+            "{:>9} {:>14} {:>14} {:>7.1}% {:>10} {:>13} {:>16.1} {:>15.1}",
             e.objects,
             fmt_ns(e.eager_pause_ns as u64),
             fmt_ns(e.lazy_pause_ns as u64),
             e.pause_ratio() * 100.0,
+            fmt_ns(e.arm_min_ns as u64),
             fmt_ns(e.lazy_drain_ns as u64),
             e.steady_eager_min_ns_per_op,
             e.steady_lazy_min_ns_per_op,
@@ -242,6 +261,37 @@ fn check(entries: &[Entry], baseline: &Json, path: &str, iters: usize) -> Vec<St
             ratio * 100.0,
             largest.objects,
             PAUSE_RATIO_LIMIT * 100.0
+        ));
+    }
+
+    // Gate 4: pause flatness across heap sizes. The smallest and largest
+    // §4.1 points differ ~13× in heap size; an O(roots) pause must stay
+    // within FLATNESS_LIMIT. A tripped gate re-measures both points with
+    // 3× iterations before failing (commit pauses are microseconds, so
+    // scheduling noise needs the retry).
+    let smallest = entries.first().expect("at least one entry");
+    let mut small_min = smallest.lazy_pause_min_ns;
+    let mut large_min = largest.lazy_pause_min_ns;
+    let mut flatness = large_min / small_min;
+    if flatness > FLATNESS_LIMIT {
+        small_min = small_min.min(retry_lazy_pause_ns(smallest.objects, iters * 3));
+        large_min = large_min.min(retry_lazy_pause_ns(largest.objects, iters * 3));
+        flatness = large_min / small_min;
+    }
+    println!(
+        "flatness gate: lazy pause {} at {} objects vs {} at {} objects = {:.2}x (limit {:.1}x)",
+        fmt_ns(large_min as u64),
+        largest.objects,
+        fmt_ns(small_min as u64),
+        smallest.objects,
+        flatness,
+        FLATNESS_LIMIT,
+    );
+    if flatness > FLATNESS_LIMIT {
+        failures.push(format!(
+            "lazy pause grew {:.2}x from {} to {} objects (limit {:.1}x): the commit \
+             pause is not heap-size independent",
+            flatness, smallest.objects, largest.objects, FLATNESS_LIMIT
         ));
     }
 

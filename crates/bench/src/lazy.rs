@@ -1,13 +1,15 @@
 //! Lazy-vs-eager migration measurement (the `lazybench` harness).
 //!
 //! The lazy mode's claim is twofold: the *commit pause* shrinks from
-//! O(heap) — a full update-GC plus every object transformer — to one
-//! linear scan that arms the read barrier, and once the epoch drains the
-//! barrier is disarmed so the *steady state* costs exactly what an eager
-//! commit would. This module measures both halves of the claim on a
-//! §4.1-shaped population and a field-read spin loop, driving the
-//! [`UpdateController`] directly so the moment the mutator is released
-//! (the first `Pending(LazyMigrating)` step) is observable.
+//! O(heap) — a full update-GC plus every object transformer — to O(roots),
+//! arming the read barrier against an allocation watermark (stale objects
+//! are discovered afterwards by the controller-stepped SATB scan), and
+//! once the epoch drains the barrier is disarmed so the *steady state*
+//! costs exactly what an eager commit would. This module measures both
+//! halves of the claim on a §4.1-shaped population and a field-read spin
+//! loop, driving the [`UpdateController`] directly so the moment the
+//! mutator is released (the first `Pending(LazyMigrating)` step) is
+//! observable.
 
 use std::time::Instant;
 
@@ -107,9 +109,14 @@ pub struct UpdateRun {
     /// for a lazy one, everything up to the first scavenger step — the
     /// point at which the controller would hand slices back to the guest.
     pub pause_ns: u64,
-    /// Lazy only: wall time from mutator release to `Committed` (the
-    /// scavenger drain plus the forward-collapsing GC). Zero when eager.
+    /// Lazy only: wall time from mutator release to `Committed` (SATB
+    /// scan, scavenger drain, forwarding collapse). Zero when eager.
     pub drain_ns: u64,
+    /// Lazy only: the barrier-arm portion of the pause
+    /// (`UpdateStats::arm_time`) — the entire in-pause heap cost, which
+    /// the O(roots) claim says is independent of heap size. Zero when
+    /// eager.
+    pub arm_ns: u64,
     /// Objects the transformers migrated (must equal the `Change` count).
     pub transformed: usize,
     /// Post-commit steady-state cost of one spin iteration (three field
@@ -173,6 +180,7 @@ pub fn measure_update(objects: usize, fraction: f64, lazy: bool, spin_iters: i64
     }
     let total_ns = t0.elapsed().as_nanos() as u64;
     let pause_ns = pause_ns.unwrap_or(total_ns);
+    let arm_ns = controller.stats().arm_time.as_nanos() as u64;
     let transformed = controller.stats().objects_transformed;
     assert_eq!(transformed, n_change, "every Change instance migrates exactly once");
 
@@ -196,6 +204,7 @@ pub fn measure_update(objects: usize, fraction: f64, lazy: bool, spin_iters: i64
     UpdateRun {
         pause_ns,
         drain_ns: total_ns - pause_ns,
+        arm_ns,
         transformed,
         steady_ns_per_op,
         spin_result,
@@ -215,6 +224,9 @@ mod tests {
         assert_eq!(eager.spin_result, lazy.spin_result);
         assert_eq!(eager.drain_ns, 0, "eager commits entirely inside the pause");
         assert!(lazy.drain_ns > 0, "lazy drains after the mutator is released");
+        assert_eq!(eager.arm_ns, 0, "eager never arms the barrier");
+        assert!(lazy.arm_ns > 0, "the lazy arm pause was measured");
+        assert!(lazy.arm_ns <= lazy.pause_ns, "the arm is part of the pause");
     }
 
     #[test]

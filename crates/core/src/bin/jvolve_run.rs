@@ -3,16 +3,20 @@
 //! command).
 //!
 //! ```text
-//! jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N]
+//! jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N|auto]
 //!            [--no-inline-caches]
 //!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]
-//!             [--lazy] [--trace results/update_trace.json]]
+//!             [--lazy] [--lazy-batch N] [--trace results/update_trace.json]]
 //! ```
 //!
 //! With `--lazy` the update commits in lazy-migration mode
-//! (`VmConfig::lazy_migration`): the pause is one linear scan, objects
-//! transform on first touch behind a read barrier, and the program keeps
-//! running interleaved with the scavenger until the epoch drains.
+//! (`VmConfig::lazy_migration`): the pause is O(roots) — the read barrier
+//! arms against an allocation watermark, a controller-stepped SATB scan
+//! discovers stale objects, they transform on first touch or by scavenger
+//! batch, and a final incremental collapse rewrites forwarded references
+//! — all interleaved with the running program. `--lazy-batch` scales the
+//! per-step budgets. `--gc-threads auto` picks the collector's worker
+//! count per collection from the live-heap size.
 //!
 //! When an update is applied, the controller's structured event stream
 //! (phase transitions, safe-point polls, install counts, GC outcome) is
@@ -27,11 +31,12 @@ use std::process::ExitCode;
 use jvolve::{
     ApplyOptions, JsonTraceSink, StepProgress, Update, UpdateController, UpdateError, UpdatePhase,
 };
-use jvolve_vm::{Vm, VmConfig};
+use jvolve_vm::{Vm, VmConfig, GC_THREADS_AUTO};
 
-const USAGE: &str = "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N] \
+const USAGE: &str = "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N|auto] \
      [--no-inline-caches] \
-     [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj] [--lazy] [--trace out.json]]";
+     [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj] [--lazy] [--lazy-batch N] \
+      [--trace out.json]]";
 
 /// Parsed command line. Every flag is strict: unknown names, missing or
 /// malformed values, duplicates, and conflicts are parse errors.
@@ -44,6 +49,7 @@ struct Cli {
     gc_threads: usize,
     inline_caches: bool,
     lazy: bool,
+    lazy_batch: Option<usize>,
     update: Option<String>,
     transformers: Option<String>,
     trace: String,
@@ -51,12 +57,13 @@ struct Cli {
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut program: Option<String> = None;
-    let mut values: [(&str, Option<String>); 8] = [
+    let mut values: [(&str, Option<String>); 9] = [
         ("--main", None),
         ("--slices", None),
         ("--after", None),
         ("--prefix", None),
         ("--gc-threads", None),
+        ("--lazy-batch", None),
         ("--update", None),
         ("--transformers", None),
         ("--trace", None),
@@ -117,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let after = take("--after");
     let prefix = take("--prefix");
     let gc_threads = take("--gc-threads");
+    let lazy_batch = take("--lazy-batch");
     let update = take("--update");
     let transformers = take("--transformers");
     let trace = take("--trace");
@@ -134,17 +142,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
+    if lazy_batch.is_some() && !lazy {
+        return Err("--lazy-batch requires --lazy".into());
+    }
     Ok(Cli {
         program,
         main_spec: main_spec.unwrap_or_else(|| "Main.main".to_string()),
         slices: parse_num("--slices", slices)?.unwrap_or(100_000),
         after: parse_num("--after", after)?.unwrap_or(0),
         prefix: prefix.unwrap_or_else(|| "v1_".to_string()),
-        gc_threads: parse_num("--gc-threads", gc_threads)?
-            .unwrap_or_else(VmConfig::default_gc_threads)
-            .max(1),
+        gc_threads: match gc_threads.as_deref() {
+            // `auto` defers the worker count to each collection: serial
+            // for small live heaps, the default fan-out for large ones.
+            Some("auto") => GC_THREADS_AUTO,
+            _ => parse_num("--gc-threads", gc_threads)?
+                .unwrap_or_else(VmConfig::default_gc_threads)
+                .max(1),
+        },
         inline_caches,
         lazy,
+        lazy_batch: parse_num("--lazy-batch", lazy_batch)?.map(|n| n.max(1)),
         update,
         transformers,
         trace: trace.unwrap_or_else(|| "results/update_trace.json".to_string()),
@@ -233,7 +250,19 @@ fn main() -> ExitCode {
     if let Some(update) = update {
         eprintln!("jvolve_run: applying update after {} slices ...", cli.after);
         let mut trace = JsonTraceSink::new();
-        let mut controller = UpdateController::new(&update, ApplyOptions::default());
+        // `--lazy-batch N` scales both per-step budgets from their
+        // defaults: N objects per scavenge batch and proportionally many
+        // heap cells per SATB-scan/collapse batch (the default ratio is
+        // 128 objects : 4096 cells).
+        let opts = match cli.lazy_batch {
+            Some(n) => ApplyOptions {
+                lazy_scavenge_batch: n,
+                lazy_step_cells: n.saturating_mul(32),
+                ..ApplyOptions::default()
+            },
+            None => ApplyOptions::default(),
+        };
+        let mut controller = UpdateController::new(&update, opts);
         controller.attach_sink(&mut trace);
         // Like `run_to_completion`, but interleaves guest slices with the
         // scavenger while a lazy epoch drains — the mode's whole point.

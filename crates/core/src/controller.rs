@@ -53,7 +53,7 @@ use std::time::{Duration, Instant};
 use jvolve_classfile::{ClassName, MethodRef};
 use jvolve_json::Json;
 use jvolve_vm::compiled::CompiledMethod;
-use jvolve_vm::{ClassId, ClassMethodsSnapshot, MethodId, RegistryMark, ThreadId, Vm};
+use jvolve_vm::{ClassId, ClassMethodsSnapshot, LazyStage, MethodId, RegistryMark, ThreadId, Vm};
 
 use crate::driver::{ApplyOptions, Update, UpdateStats};
 use crate::error::UpdateError;
@@ -199,10 +199,25 @@ pub enum UpdateEvent {
         objects_transformed: usize,
     },
     /// A lazy-migration epoch began: the read barrier is armed and the
-    /// commit scan recorded every stale object (lazy mode only).
+    /// allocation watermark recorded (lazy mode only). Stale objects are
+    /// not known yet — the SATB scan discovers them incrementally.
     LazyEpochBegun {
-        /// Stale-class objects found by the commit scan.
-        stale_objects: usize,
+        /// Heap words below the watermark (what the SATB scan will
+        /// cover).
+        watermark_words: usize,
+        /// The arm pause: `Vm::begin_lazy_migration` wall time, the
+        /// entire in-pause heap cost of the lazy commit.
+        arm: Duration,
+    },
+    /// One SATB discovery batch ran over the watermarked region (lazy
+    /// mode only).
+    LazyScanStep {
+        /// Heap cells the batch stepped over.
+        cells: usize,
+        /// Stale objects discovered and queued.
+        found: usize,
+        /// Whether the scan reached the watermark.
+        done: bool,
     },
     /// One scavenger batch ran over the lazy worklist (lazy mode only).
     LazyScavengeStep {
@@ -211,6 +226,15 @@ pub enum UpdateEvent {
         transformed: usize,
         /// Worklist entries still pending after the batch.
         remaining: usize,
+    },
+    /// One forwarding-collapse batch ran (lazy mode only).
+    LazyCollapseStep {
+        /// Heap cells the batch swept.
+        cells: usize,
+        /// Reference slots rewritten through forwarding words.
+        rewritten: usize,
+        /// Whether the sweep reached the epoch's allocation horizon.
+        done: bool,
     },
     /// The rollback ledger was replayed; the VM is on the old version.
     RolledBack {
@@ -383,14 +407,27 @@ fn event_to_json(event: &UpdateEvent) -> Json {
             ("event", Json::from("transformers_run")),
             ("objects_transformed", Json::from(*objects_transformed)),
         ]),
-        UpdateEvent::LazyEpochBegun { stale_objects } => Json::obj([
+        UpdateEvent::LazyEpochBegun { watermark_words, arm } => Json::obj([
             ("event", Json::from("lazy_epoch_begun")),
-            ("stale_objects", Json::from(*stale_objects)),
+            ("watermark_words", Json::from(*watermark_words)),
+            ("arm_ms", duration_ms(*arm)),
+        ]),
+        UpdateEvent::LazyScanStep { cells, found, done } => Json::obj([
+            ("event", Json::from("lazy_scan_step")),
+            ("cells", Json::from(*cells)),
+            ("found", Json::from(*found)),
+            ("done", Json::from(*done)),
         ]),
         UpdateEvent::LazyScavengeStep { transformed, remaining } => Json::obj([
             ("event", Json::from("lazy_scavenge_step")),
             ("transformed", Json::from(*transformed)),
             ("remaining", Json::from(*remaining)),
+        ]),
+        UpdateEvent::LazyCollapseStep { cells, rewritten, done } => Json::obj([
+            ("event", Json::from("lazy_collapse_step")),
+            ("cells", Json::from(*cells)),
+            ("rewritten", Json::from(*rewritten)),
+            ("done", Json::from(*done)),
         ]),
         UpdateEvent::RolledBack { reason, actions_undone } => Json::obj([
             ("event", Json::from("rolled_back")),
@@ -728,50 +765,74 @@ impl<'u> UpdateController<'u> {
                 // (the paper's VM equally treats this as fatal).
                 Err(e) => self.abort_no_rollback(e, t),
             },
-            State::LazyMigrating => {
-                let batch = self.opts.lazy_scavenge_batch.max(1);
-                match vm.lazy_scavenge(batch) {
-                    Ok(out) => {
-                        self.emit(UpdateEvent::LazyScavengeStep {
-                            transformed: out.transformed,
-                            remaining: out.remaining,
-                        });
-                        if out.remaining > 0 {
+            State::LazyMigrating => match vm.lazy_stage() {
+                LazyStage::Scan => {
+                    let out = vm.lazy_scan(self.opts.lazy_step_cells.max(1));
+                    self.emit(UpdateEvent::LazyScanStep {
+                        cells: out.cells,
+                        found: out.found,
+                        done: out.done,
+                    });
+                    self.state = State::LazyMigrating;
+                    let elapsed = t.elapsed();
+                    self.stats.lazy_scan_time += elapsed;
+                    self.stats.lazy_time += elapsed;
+                    self.stats.total_time += elapsed;
+                    self.phase_elapsed += elapsed;
+                    StepProgress::Pending(UpdatePhase::LazyMigrating)
+                }
+                LazyStage::Drain => {
+                    let batch = self.opts.lazy_scavenge_batch.max(1);
+                    match vm.lazy_scavenge(batch) {
+                        Ok(out) => {
+                            self.emit(UpdateEvent::LazyScavengeStep {
+                                transformed: out.transformed,
+                                remaining: out.remaining,
+                            });
                             self.state = State::LazyMigrating;
                             let elapsed = t.elapsed();
                             self.stats.lazy_time += elapsed;
                             self.stats.total_time += elapsed;
                             self.phase_elapsed += elapsed;
-                            return StepProgress::Pending(UpdatePhase::LazyMigrating);
+                            StepProgress::Pending(UpdatePhase::LazyMigrating)
                         }
-                        match vm.finish_lazy_migration() {
-                            Ok((gc_out, transformed)) => {
-                                self.counters.gc_workers = gc_out.workers as u64;
-                                self.emit(UpdateEvent::GcCompleted {
-                                    copied_cells: gc_out.copied_cells,
-                                    copied_words: gc_out.copied_words,
-                                    objects_logged: 0,
-                                });
-                                self.emit(UpdateEvent::TransformersRun {
-                                    objects_transformed: transformed,
-                                });
-                                retire_transformer_class(vm, &self.update.spec.version_prefix);
-                                self.exit_phase(UpdatePhase::LazyMigrating, t);
-                                let elapsed = t.elapsed();
-                                self.stats.lazy_time += elapsed;
-                                self.stats.total_time += elapsed;
-                                self.emit(UpdateEvent::Committed {
-                                    wall: self.stats.total_time,
-                                });
-                                self.state = State::Committed;
-                                StepProgress::Committed
-                            }
-                            Err(e) => self.abort_no_rollback(e.into(), t),
-                        }
+                        Err(e) => self.abort_no_rollback(e.into(), t),
                     }
-                    Err(e) => self.abort_no_rollback(e.into(), t),
                 }
-            }
+                LazyStage::Collapse => {
+                    let out = vm.lazy_collapse(self.opts.lazy_step_cells.max(1));
+                    self.emit(UpdateEvent::LazyCollapseStep {
+                        cells: out.cells,
+                        rewritten: out.rewritten,
+                        done: out.done,
+                    });
+                    self.state = State::LazyMigrating;
+                    let elapsed = t.elapsed();
+                    self.stats.lazy_collapse_time += elapsed;
+                    self.stats.lazy_time += elapsed;
+                    self.stats.total_time += elapsed;
+                    self.phase_elapsed += elapsed;
+                    StepProgress::Pending(UpdatePhase::LazyMigrating)
+                }
+                LazyStage::Done => {
+                    // Disarms the barrier; no finishing collection runs.
+                    // Garbage forwards are reclaimed by the next natural
+                    // GC, so no `GcCompleted` is emitted here.
+                    let transformed = vm.finish_lazy_migration();
+                    self.emit(UpdateEvent::TransformersRun { objects_transformed: transformed });
+                    retire_transformer_class(vm, &self.update.spec.version_prefix);
+                    self.exit_phase(UpdatePhase::LazyMigrating, t);
+                    let elapsed = t.elapsed();
+                    self.stats.lazy_time += elapsed;
+                    self.stats.total_time += elapsed;
+                    self.emit(UpdateEvent::Committed { wall: self.stats.total_time });
+                    self.state = State::Committed;
+                    StepProgress::Committed
+                }
+                LazyStage::Inactive => {
+                    unreachable!("LazyMigrating state requires an active epoch")
+                }
+            },
             State::Committed => {
                 self.state = State::Committed;
                 StepProgress::Committed
@@ -882,16 +943,17 @@ impl<'u> UpdateController<'u> {
         StepProgress::Aborted
     }
 
-    /// Lazy-mode commit: arm the read barrier with one linear scan (no
-    /// copying, no object transformers — the O(roots + scan) pause the
-    /// mode exists for), then run the class transformers. The barrier is
-    /// armed *first* so any stale object a class transformer touches
-    /// migrates through the ordinary first-touch path.
+    /// Lazy-mode commit: arm the read barrier and snapshot the allocation
+    /// watermark — no heap walk, no copying, no object transformers; the
+    /// O(roots) pause the mode exists for. Stale objects are discovered
+    /// later by the controller-stepped SATB scan. The barrier is armed
+    /// *first* so any stale object a class transformer touches migrates
+    /// through the ordinary first-touch path.
     fn begin_lazy(&mut self, vm: &mut Vm, inputs: TransformInputs) -> Result<(), UpdateError> {
-        let t_scan = Instant::now();
-        let stale = vm.begin_lazy_migration(inputs.remap, inputs.transformer_for)?;
-        self.stats.gc_time = t_scan.elapsed();
-        self.emit(UpdateEvent::LazyEpochBegun { stale_objects: stale });
+        let t_arm = Instant::now();
+        let watermark_words = vm.begin_lazy_migration(inputs.remap, inputs.transformer_for);
+        self.stats.arm_time = t_arm.elapsed();
+        self.emit(UpdateEvent::LazyEpochBegun { watermark_words, arm: self.stats.arm_time });
 
         let t_tf = Instant::now();
         for delta in self.update.spec.class_updates() {

@@ -116,6 +116,12 @@ pub struct ApplyOptions {
     /// batches drain the epoch in fewer steps; smaller batches yield back
     /// to the embedder more often.
     pub lazy_scavenge_batch: usize,
+    /// Heap cells each `LazyMigrating` controller step covers during the
+    /// SATB discovery scan and the forwarding-collapse sweep (lazy mode
+    /// only; clamped to at least 1). These are linear walks over cells,
+    /// not per-object transformer runs, so the budget is much larger than
+    /// [`ApplyOptions::lazy_scavenge_batch`].
+    pub lazy_step_cells: usize,
 }
 
 impl Default for ApplyOptions {
@@ -126,6 +132,7 @@ impl Default for ApplyOptions {
             use_osr: true,
             migrate_active_methods: false,
             lazy_scavenge_batch: 128,
+            lazy_step_cells: 4096,
         }
     }
 }
@@ -160,17 +167,32 @@ pub struct UpdateStats {
     pub safepoint_time: Duration,
     /// Time spent loading/installing classes and transformers.
     pub classload_time: Duration,
-    /// Update-GC time.
+    /// Update-GC time. Zero in lazy mode, which never runs a commit
+    /// collection — the in-pause heap work is [`UpdateStats::arm_time`].
     pub gc_time: Duration,
     /// Class + object transformer execution time. In lazy mode this is
     /// only the class transformers; object-transformer time lands in
     /// [`UpdateStats::lazy_time`].
     pub transform_time: Duration,
-    /// Time spent in the `LazyMigrating` phase: scavenger batches, the
-    /// completion collection, epoch teardown. Zero for eager updates.
-    /// Unlike the other buckets this is *not* pause time — the guest runs
-    /// concurrently with the epoch.
+    /// Lazy only: time to arm the read barrier at commit —
+    /// `Vm::begin_lazy_migration`, i.e. snapshotting the allocation
+    /// watermark and bumping the dispatch epoch. This is the entire
+    /// in-pause heap cost of a lazy commit and is independent of heap
+    /// size (the O(roots) claim lazybench gates on). Zero for eager.
+    pub arm_time: Duration,
+    /// Time spent in the `LazyMigrating` phase: SATB scan batches,
+    /// scavenger batches, collapse batches, epoch teardown. Zero for
+    /// eager updates. Unlike the other buckets this is *not* pause time —
+    /// the guest runs concurrently with the epoch.
     pub lazy_time: Duration,
+    /// Portion of [`UpdateStats::lazy_time`] spent in SATB discovery
+    /// scan batches (informational sub-bucket; not added separately by
+    /// [`UpdateStats::phase_sum`]).
+    pub lazy_scan_time: Duration,
+    /// Portion of [`UpdateStats::lazy_time`] spent in forwarding-collapse
+    /// batches (informational sub-bucket; not added separately by
+    /// [`UpdateStats::phase_sum`]).
+    pub lazy_collapse_time: Duration,
     /// End-to-end wall-clock pause, measured independently of the phases.
     /// Slightly larger than [`UpdateStats::phase_sum`]: it also covers
     /// inter-phase bookkeeping (restricted-set checks, transformer-class
@@ -180,14 +202,18 @@ pub struct UpdateStats {
 
 impl UpdateStats {
     /// Sum of the timed phases (safepoint + classload + GC + transform,
-    /// plus the lazy epoch when one ran). The paper's Figure 6 stacks the
-    /// first four; the gap to [`UpdateStats::total_time`] is untimed
-    /// bookkeeping.
+    /// plus the barrier arm and the lazy epoch when one ran). The paper's
+    /// Figure 6 stacks the first four; the gap to
+    /// [`UpdateStats::total_time`] is untimed bookkeeping.
+    /// [`UpdateStats::lazy_scan_time`] and
+    /// [`UpdateStats::lazy_collapse_time`] are sub-buckets of
+    /// [`UpdateStats::lazy_time`] and are deliberately not added again.
     pub fn phase_sum(&self) -> Duration {
         self.safepoint_time
             + self.classload_time
             + self.gc_time
             + self.transform_time
+            + self.arm_time
             + self.lazy_time
     }
 }

@@ -123,10 +123,35 @@ fn read_trace_events(path: &std::path::Path, expect_mode: &str) -> Vec<String> {
         .collect()
 }
 
+// The lazy workload keeps live instances of the changed class so the
+// trace exercises the whole epoch pipeline: SATB scan discovery,
+// scavenger transformation, forwarding collapse.
+const LAZY_V1: &str = "class Node { field v: int; }
+class Counter {
+  static field keep: Node;
+  static field n: int;
+  static method main(): void {
+    Counter.keep = new Node();
+    var i: int = 0;
+    while (i < 3) { Counter.n = Counter.n + 1; Sys.printInt(Counter.n); i = i + 1; }
+  }
+}";
+
+const LAZY_V2: &str = "class Node { field v: int; field extra: int; }
+class Counter {
+  static field keep: Node;
+  static field n: int;
+  static method main(): void {
+    Counter.keep = new Node();
+    var i: int = 0;
+    while (i < 3) { Counter.n = Counter.n + 1; Sys.printInt(Counter.n); i = i + 1; }
+  }
+}";
+
 #[test]
 fn jvolve_run_lazy_updates_and_traces_the_epoch() {
-    let old = write_temp("lazy_v1.mj", V1);
-    let new = write_temp("lazy_v2.mj", V2);
+    let old = write_temp("lazy_v1.mj", LAZY_V1);
+    let new = write_temp("lazy_v2.mj", LAZY_V2);
     let trace = write_temp("lazy_trace.json", "");
     let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
         .args([
@@ -150,7 +175,89 @@ fn jvolve_run_lazy_updates_and_traces_the_epoch() {
 
     let kinds = read_trace_events(&trace, "lazy");
     assert!(kinds.iter().any(|k| k == "lazy_epoch_begun"), "{kinds:?}");
+    assert!(kinds.iter().any(|k| k == "lazy_scan_step"), "{kinds:?}");
     assert!(kinds.iter().any(|k| k == "lazy_scavenge_step"), "{kinds:?}");
+    assert!(kinds.iter().any(|k| k == "lazy_collapse_step"), "{kinds:?}");
+    assert_eq!(kinds.last().map(String::as_str), Some("committed"), "{kinds:?}");
+}
+
+#[test]
+fn jvolve_run_accepts_auto_gc_threads() {
+    let old = write_temp("auto_v1.mj", V1);
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([old.to_str().unwrap(), "--main", "Counter.main", "--gc-threads", "auto"])
+        .output()
+        .expect("jvolve_run runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains('3'), "program ran to completion: {stdout}");
+}
+
+#[test]
+fn jvolve_run_rejects_bad_gc_threads_value() {
+    let old = write_temp("badgc_v1.mj", V1);
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([old.to_str().unwrap(), "--main", "Counter.main", "--gc-threads", "many"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--gc-threads expects a number"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn jvolve_run_lazy_batch_requires_lazy() {
+    let old = write_temp("lb_v1.mj", V1);
+    let new = write_temp("lb_v2.mj", V2);
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([
+            old.to_str().unwrap(),
+            "--main",
+            "Counter.main",
+            "--update",
+            new.to_str().unwrap(),
+            "--after",
+            "1",
+            "--lazy-batch",
+            "8",
+        ])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--lazy-batch requires --lazy"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn jvolve_run_lazy_batch_tunes_the_epoch() {
+    let old = write_temp("lbt_v1.mj", LAZY_V1);
+    let new = write_temp("lbt_v2.mj", LAZY_V2);
+    let trace = write_temp("lbt_trace.json", "");
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([
+            old.to_str().unwrap(),
+            "--main",
+            "Counter.main",
+            "--update",
+            new.to_str().unwrap(),
+            "--after",
+            "1",
+            "--lazy",
+            "--lazy-batch",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("jvolve_run runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stderr.contains("updated"), "update applied: {stderr}");
+    let kinds = read_trace_events(&trace, "lazy");
     assert_eq!(kinds.last().map(String::as_str), Some("committed"), "{kinds:?}");
 }
 

@@ -291,10 +291,16 @@ pub struct Heap {
     collections: u64,
     /// Whether any forwarding word has been installed since the last
     /// collection (lazy indirection or a lazy-migration epoch). While
-    /// set, the active space may contain forwarded cells whose headers
-    /// no longer carry a size, so a linear walk is impossible; any
+    /// set, linear walks size forwarded cells via `forward_headers`; any
     /// collection abandons from-space and clears it.
     lazy_forwards: bool,
+    /// Pre-forward header of every cell [`Heap::install_forward`] has
+    /// overwritten since the last collection. A forwarding word destroys
+    /// the cell's size, so linear walks ([`Heap::for_each_object`], the
+    /// SATB commit scan, the collapse sweep) consult this side table to
+    /// step over forwarded cells. Cleared whenever a collection abandons
+    /// from-space.
+    forward_headers: std::collections::HashMap<u32, u64>,
 }
 
 const KIND_SHIFT: u64 = 1;
@@ -346,6 +352,7 @@ impl Heap {
             alloc: 1,
             collections: 0,
             lazy_forwards: false,
+            forward_headers: std::collections::HashMap::new(),
         }
     }
 
@@ -491,41 +498,148 @@ impl Heap {
     }
 
     /// Installs a forwarding pointer `from → to` (lazy-indirection mode
-    /// and lazy-migration first-touch duplication).
+    /// and lazy-migration first-touch duplication). The cell's pre-forward
+    /// header is preserved in a side table so linear walks can still step
+    /// over it.
     pub fn install_forward(&mut self, from: GcRef, to: GcRef) {
+        let h = self.words[from.addr()];
+        debug_assert_eq!(h & 1, 0, "install_forward() on already-forwarded cell {from}");
+        self.forward_headers.insert(from.0, h);
         self.words[from.addr()] = (u64::from(to.0) << 1) | 1;
         self.lazy_forwards = true;
     }
 
     /// Whether a forwarding word has been installed since the last
-    /// collection, i.e. whether [`Heap::for_each_object`] would be unsafe.
+    /// collection (linear walks then size forwarded cells from the
+    /// side table instead of their headers).
     pub fn has_lazy_forwards(&self) -> bool {
         self.lazy_forwards
     }
 
-    /// Walks every live cell in the active semispace in ascending address
-    /// order, invoking `f` on each plain object with its class. This is the
-    /// lazy-migration commit scan: it discovers every stale-class instance
-    /// without copying anything.
-    ///
-    /// # Panics
-    ///
-    /// A forwarded header no longer carries a size, so the walk requires a
-    /// forward-free heap; panics if a forwarding word has been installed
-    /// since the last collection (collect first).
+    /// First word of the active semispace.
+    pub fn active_base(&self) -> usize {
+        self.base(self.active_b)
+    }
+
+    /// The active semispace's bump-allocation cursor: the address the next
+    /// allocation will take. `active_base()..alloc_cursor()` spans every
+    /// cell allocated so far — the SATB commit watermark.
+    pub fn alloc_cursor(&self) -> usize {
+        self.alloc
+    }
+
+    /// Size in words (header included) of the cell at `addr`, live or
+    /// forwarded — a forwarded cell is sized from its preserved
+    /// pre-forward header.
+    fn walk_size(&self, addr: usize, h: u64, snapshot: &LayoutSnapshot) -> usize {
+        if h & 1 == 1 {
+            let saved = *self
+                .forward_headers
+                .get(&(addr as u32))
+                .expect("forwarded cell with no preserved header in a linear walk");
+            cell_size_of(saved, snapshot)
+        } else {
+            cell_size_of(h, snapshot)
+        }
+    }
+
+    /// Walks every cell in the active semispace in ascending address
+    /// order, invoking `f` on each *unforwarded* plain object with its
+    /// class. Forwarded cells (lazy-indirection or mid-epoch duplication)
+    /// are stepped over via their preserved headers.
     pub fn for_each_object(&self, snapshot: &LayoutSnapshot, mut f: impl FnMut(GcRef, ClassId)) {
-        assert!(
-            !self.lazy_forwards,
-            "linear heap walk requires a forward-free heap; collect first"
-        );
-        let mut addr = self.base(self.active_b);
-        while addr < self.alloc {
+        self.scan_objects(self.base(self.active_b), self.alloc, usize::MAX, snapshot, |r, c| {
+            f(r, c);
+        });
+    }
+
+    /// Resumable bounded heap walk: scans at most `max_cells` cells from
+    /// `from` (a cell boundary) toward `limit`, invoking `f` on each
+    /// unforwarded plain object, and returns `(next_addr, cells_stepped)`
+    /// (`next_addr >= limit` once the range is exhausted). Forwarded cells
+    /// are stepped over via their preserved pre-forward headers, so the
+    /// scan tolerates mutator-installed forwards between batches — the
+    /// SATB commit scanner's core.
+    pub fn scan_objects(
+        &self,
+        from: usize,
+        limit: usize,
+        max_cells: usize,
+        snapshot: &LayoutSnapshot,
+        mut f: impl FnMut(GcRef, ClassId),
+    ) -> (usize, usize) {
+        let mut addr = from;
+        let mut cells = 0;
+        while addr < limit && cells < max_cells {
             let h = self.words[addr];
-            debug_assert_eq!(h & 1, 0, "forwarded cell in a walkable heap");
-            if header_kind(h) == HeapKind::Object {
+            if h & 1 == 0 && header_kind(h) == HeapKind::Object {
                 f(GcRef(addr as u32), ClassId(header_meta(h)));
             }
-            addr += cell_size_of(h, snapshot);
+            addr += self.walk_size(addr, h, snapshot);
+            cells += 1;
+        }
+        (addr, cells)
+    }
+
+    /// Resumable bounded forwarding collapse: walks at most `max_cells`
+    /// cells from `from` toward `limit`, rewriting every reference slot
+    /// that points at a forwarded cell to its resolved target. Returns
+    /// `(next_addr, cells_stepped, slots_rewritten)`. Once every referrer
+    /// below the epoch's allocation horizon has been swept (and roots
+    /// rewritten by the caller), no live reference crosses a forwarding
+    /// word and the stale originals are plain garbage for the next
+    /// collection.
+    pub fn sweep_forwards(
+        &mut self,
+        from: usize,
+        limit: usize,
+        max_cells: usize,
+        snapshot: &LayoutSnapshot,
+    ) -> (usize, usize, usize) {
+        let mut addr = from;
+        let mut cells = 0;
+        let mut rewritten = 0;
+        while addr < limit && cells < max_cells {
+            let h = self.words[addr];
+            if h & 1 == 0 {
+                let meta = header_meta(h) as usize;
+                match header_kind(h) {
+                    HeapKind::Object => {
+                        let e = snapshot.entry(ClassId(meta as u32));
+                        for wi in 0..e.ref_words() {
+                            let mut bits = snapshot.bits[e.bits_start as usize + wi];
+                            let word_base = addr + 1 + wi * 64;
+                            while bits != 0 {
+                                let slot = word_base + bits.trailing_zeros() as usize;
+                                bits &= bits - 1;
+                                rewritten += self.collapse_slot(slot);
+                            }
+                        }
+                    }
+                    HeapKind::RefArray => {
+                        for slot in addr + 1..addr + 1 + meta {
+                            rewritten += self.collapse_slot(slot);
+                        }
+                    }
+                    HeapKind::PrimArray | HeapKind::Str => {}
+                }
+            }
+            addr += self.walk_size(addr, h, snapshot);
+            cells += 1;
+        }
+        (addr, cells, rewritten)
+    }
+
+    /// Rewrites one reference slot through the forwarding chain; returns 1
+    /// if the slot changed.
+    #[inline]
+    fn collapse_slot(&mut self, slot: usize) -> usize {
+        let val = self.words[slot];
+        if val != 0 && self.words[val as usize] & 1 == 1 {
+            self.words[slot] = u64::from(self.resolve(GcRef(val as u32)).0);
+            1
+        } else {
+            0
         }
     }
 
@@ -664,6 +778,7 @@ impl Heap {
         self.collections += 1;
         // From-space (and every forwarded header in it) is now abandoned.
         self.lazy_forwards = false;
+        self.forward_headers.clear();
         Ok(outcome)
     }
 
@@ -865,6 +980,7 @@ impl Heap {
         self.collections += 1;
         // From-space (and every forwarded header in it) is now abandoned.
         self.lazy_forwards = false;
+        self.forward_headers.clear();
         Ok(outcome)
     }
 }

@@ -321,7 +321,16 @@ impl Vm {
                             trap!(VmError::NullPointer { context: "field read".into() });
                         };
                         let obj = barrier!(obj);
-                        let word = self.heap.get(obj, *offset as usize);
+                        let mut word = self.heap.get(obj, *offset as usize);
+                        // Mid-epoch, loaded references resolve through any
+                        // forwarding word: during the collapse sweep this
+                        // keeps stale addresses read from unswept cells
+                        // from recontaminating swept ones (the SATB/
+                        // collapse invariant); outside an epoch the branch
+                        // is never taken.
+                        if *is_ref && word != 0 && self.lazy.active {
+                            word = u64::from(self.heap.resolve(GcRef(word as u32)).0);
+                        }
                         let frame = &mut t.frames[fi];
                         frame.stack.pop();
                         frame.stack.push(Value::from_word(word, *is_ref));
@@ -356,7 +365,11 @@ impl Vm {
                             trap!(VmError::IndexOutOfBounds { index: idx, len });
                         }
                         let is_ref = self.heap.kind(arr) == HeapKind::RefArray;
-                        let word = self.heap.get(arr, idx as usize);
+                        let mut word = self.heap.get(arr, idx as usize);
+                        // Same mid-epoch load resolution as GetField.
+                        if is_ref && word != 0 && self.lazy.active {
+                            word = u64::from(self.heap.resolve(GcRef(word as u32)).0);
+                        }
                         t.frames[fi].stack.push(Value::from_word(word, is_ref));
                     }
                     RInstr::AStore => {

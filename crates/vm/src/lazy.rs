@@ -1,36 +1,49 @@
 //! Lazy-migration epoch state: on-demand object transformation behind a
-//! read barrier.
+//! read barrier, with snapshot-at-the-beginning discovery and incremental
+//! forwarding collapse.
 //!
 //! The eager update protocol (paper §3.4) commits with a stop-the-world
 //! full-heap copying GC, so the pause grows with live heap size. A lazy
-//! epoch instead marks changed classes *version-pending* and defers the
-//! copies: the commit pause is a single linear scan that records every
-//! stale-class instance in an ascending-address worklist (no copying, no
-//! transformers), and objects migrate afterwards on first touch.
+//! epoch instead marks changed classes *version-pending* and defers all
+//! heap-proportional work: the commit records only an allocation
+//! **watermark** (`[scan_addr, scan_limit)` — the active semispace at the
+//! moment the barrier arms), so the pause is O(roots); discovery,
+//! transformation, and forwarding collapse all happen afterwards in
+//! bounded controller-stepped batches.
 //!
-//! While an epoch is [`active`](LazyEpoch::active):
+//! An epoch moves through four [stages](LazyStage) while
+//! [`active`](LazyEpoch::active):
 //!
-//! * The interpreter's reference loads (`GetField`/`PutField`/
-//!   `CallVirtual`, plus `Dsu.forceTransform`) go through a read barrier:
-//!   touching a stale object duplicates it (old-layout copy + zeroed
-//!   new-layout object), installs a forwarding word over the original, and
-//!   runs the object transformer *before* the faulting instruction
-//!   retries. Flipping barrier mode bumps the registry's `code_epoch`, so
-//!   the epoch composes with the inline caches.
-//! * A scavenger ([`Vm::lazy_scavenge`](crate::Vm::lazy_scavenge), stepped
-//!   by the update controller between scheduler slices) walks the worklist
-//!   and transforms whatever the guest has not touched, so migration
-//!   completes even for objects the program never reads again.
-//! * The collectors forward through the pending pairs exactly as they do
-//!   for lazy-indirection forwards: the worklist tail is rooted, so
-//!   untouched stale objects stay live until transformed — lazy and eager
-//!   epochs transform the *same* object multiset.
+//! * **Scan** — a resumable scanner ([`Vm::lazy_scan`](crate::Vm)) walks
+//!   the watermarked region in bounded batches, pushing every stale-class
+//!   instance onto the worklist. The read barrier is the SATB invariant
+//!   keeper: any stale object the mutator touches first is transformed on
+//!   the spot (its forwarding word makes the scanner skip it), and
+//!   objects allocated *past* the watermark can never be stale, because
+//!   every method that could allocate a changed class was invalidated at
+//!   install time and recompiles against the new class. A full GC during
+//!   this stage first runs the scanner to completion so the collection
+//!   can root the undiscovered tail.
+//! * **Drain** — the PR 5 scavenger ([`Vm::lazy_scavenge`](crate::Vm))
+//!   transforms bounded batches off the worklist, so cold objects migrate
+//!   even if the guest never reads them again.
+//! * **Collapse** — with every stale object transformed, the epoch's
+//!   forwarding words are compacted away incrementally
+//!   ([`Vm::lazy_collapse`](crate::Vm)): one O(roots) pass rewrites
+//!   thread frames, statics, and host roots through the forwards, then a
+//!   resumable sweep rewrites heap referrers batch by batch. Reference
+//!   *loads* resolve through forwards while the epoch is active, so a
+//!   stale reference read from an unswept cell can never recontaminate a
+//!   swept one.
+//! * **Done** — [`Vm::finish_lazy_migration`](crate::Vm) disarms the
+//!   barrier and bumps `code_epoch`, restoring the barrier-free fast
+//!   path. No GC runs: the stale originals are unreferenced garbage and
+//!   their forwarding words are reclaimed by the next natural collection.
 //!
-//! When the worklist drains, [`Vm::finish_lazy_migration`]
-//! (crate) clears the epoch, bumps `code_epoch` again (restoring the
-//! barrier-free fast path — zero steady-state overhead, unlike the
-//! JDrums-style `lazy_indirection` baseline), and runs one ordinary
-//! collection to collapse every outstanding forwarding word.
+//! The collectors forward through the pending pairs exactly as they do
+//! for lazy-indirection forwards: the worklist tail is rooted, so
+//! untouched stale objects stay live until transformed — lazy and eager
+//! epochs transform the *same* object multiset.
 
 use std::collections::{HashMap, HashSet};
 
@@ -43,6 +56,38 @@ use crate::value::GcRef;
 /// force-transforms an unboundedly deep chain.
 pub const MAX_TRANSFORMER_DEPTH: usize = 128;
 
+/// Which part of a lazy epoch's post-pause work is up next. Ordered:
+/// `Scan → Drain → Collapse → Done`; the controller dispatches each
+/// `LazyMigrating` step on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LazyStage {
+    /// No epoch is active.
+    Inactive,
+    /// The watermarked region has not been fully scanned for stale
+    /// objects yet.
+    Scan,
+    /// The worklist still holds discovered-but-untransformed objects.
+    Drain,
+    /// Every stale object is transformed; forwarding words are being
+    /// compacted away.
+    Collapse,
+    /// The epoch is ready for [`Vm::finish_lazy_migration`](crate::Vm).
+    Done,
+}
+
+/// Progress report from one [`Vm::lazy_scan`](crate::Vm::lazy_scan)
+/// batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOutcome {
+    /// Heap cells the batch stepped over (live or forwarded).
+    pub cells: usize,
+    /// Stale objects discovered and queued by this batch.
+    pub found: usize,
+    /// Whether the scan has reached the watermark — the worklist is now
+    /// complete.
+    pub done: bool,
+}
+
 /// Progress report from one [`Vm::lazy_scavenge`](crate::Vm::lazy_scavenge)
 /// batch.
 #[derive(Debug, Clone, Copy)]
@@ -51,14 +96,27 @@ pub struct ScavengeOutcome {
     /// already migrated through the barrier are skipped, not counted).
     pub transformed: usize,
     /// Worklist entries still pending after the batch; `0` means the
-    /// epoch is ready for [`Vm::finish_lazy_migration`](crate::Vm).
+    /// drain is complete (the epoch then moves to collapse).
     pub remaining: usize,
+}
+
+/// Progress report from one [`Vm::lazy_collapse`](crate::Vm::lazy_collapse)
+/// batch.
+#[derive(Debug, Clone, Copy)]
+pub struct CollapseOutcome {
+    /// Heap cells the batch swept.
+    pub cells: usize,
+    /// Reference slots rewritten through forwarding words.
+    pub rewritten: usize,
+    /// Whether the sweep has reached the epoch's allocation horizon — the
+    /// epoch is ready for [`Vm::finish_lazy_migration`](crate::Vm).
+    pub done: bool,
 }
 
 /// State of one lazy-migration epoch. Owned by [`Vm`](crate::Vm); all
 /// fields are crate-internal — embedders observe the epoch through
-/// [`Vm::lazy_epoch_active`](crate::Vm::lazy_epoch_active) and the
-/// scavenger's [`ScavengeOutcome`].
+/// [`Vm::lazy_epoch_active`](crate::Vm::lazy_epoch_active),
+/// [`Vm::lazy_stage`](crate::Vm::lazy_stage), and the step outcomes.
 #[derive(Debug, Default)]
 pub struct LazyEpoch {
     /// Whether an epoch is in progress (the read barrier is armed).
@@ -70,7 +128,8 @@ pub struct LazyEpoch {
     /// the stale class (so transformers can read them with old offsets)
     /// and must never themselves trip the barrier.
     pub(crate) old_copies: HashSet<u32>,
-    /// Every stale object found by the commit scan, ascending original
+    /// Stale objects found so far (barrier-migrated ones are skipped at
+    /// scavenge time via their forwarding words), ascending original
     /// address — the scavenger's queue and (from `cursor` on) extra GC
     /// roots, so untouched stale objects survive until transformed.
     pub(crate) worklist: Vec<GcRef>,
@@ -78,6 +137,21 @@ pub struct LazyEpoch {
     pub(crate) cursor: usize,
     /// Object transformers completed this epoch (barrier + scavenger).
     pub(crate) transformed: usize,
+    /// Next address the SATB scanner will look at.
+    pub(crate) scan_addr: usize,
+    /// The commit watermark: the active semispace's allocation cursor at
+    /// arm time. Cells at or past it were allocated *inside* the epoch
+    /// and can never be stale.
+    pub(crate) scan_limit: usize,
+    /// Whether the collapse stage has begun (roots rewritten, sweep
+    /// bounds recorded).
+    pub(crate) collapsing: bool,
+    /// Next address the collapse sweep will look at.
+    pub(crate) sweep_addr: usize,
+    /// The collapse horizon: the allocation cursor when the sweep began.
+    /// Cells past it were allocated after the O(roots) root rewrite and
+    /// load-resolution took effect, so they hold no stale references.
+    pub(crate) sweep_limit: usize,
 }
 
 impl LazyEpoch {
@@ -89,6 +163,26 @@ impl LazyEpoch {
         } else {
             None
         }
+    }
+
+    /// Which part of the epoch's work is up next.
+    pub(crate) fn stage(&self) -> LazyStage {
+        if !self.active {
+            LazyStage::Inactive
+        } else if self.scan_addr < self.scan_limit {
+            LazyStage::Scan
+        } else if self.cursor < self.worklist.len() {
+            LazyStage::Drain
+        } else if !self.collapsing || self.sweep_addr < self.sweep_limit {
+            LazyStage::Collapse
+        } else {
+            LazyStage::Done
+        }
+    }
+
+    /// Whether the SATB scan has covered the whole watermarked region.
+    pub(crate) fn scan_done(&self) -> bool {
+        self.scan_addr >= self.scan_limit
     }
 
     /// Entries the scavenger has not yet passed.
@@ -149,5 +243,31 @@ mod tests {
         assert_eq!(epoch.reset(), 7);
         assert!(!epoch.active);
         assert_eq!(epoch.transformed, 0);
+    }
+
+    #[test]
+    fn stages_progress_scan_drain_collapse_done() {
+        let mut epoch = LazyEpoch::default();
+        assert_eq!(epoch.stage(), LazyStage::Inactive);
+
+        epoch.active = true;
+        epoch.scan_addr = 1;
+        epoch.scan_limit = 100;
+        assert_eq!(epoch.stage(), LazyStage::Scan);
+
+        epoch.scan_addr = 100;
+        epoch.worklist = vec![GcRef(10)];
+        assert_eq!(epoch.stage(), LazyStage::Drain);
+
+        epoch.cursor = 1;
+        assert_eq!(epoch.stage(), LazyStage::Collapse, "collapse must begin");
+
+        epoch.collapsing = true;
+        epoch.sweep_addr = 1;
+        epoch.sweep_limit = 100;
+        assert_eq!(epoch.stage(), LazyStage::Collapse, "sweep in progress");
+
+        epoch.sweep_addr = 100;
+        assert_eq!(epoch.stage(), LazyStage::Done);
     }
 }

@@ -16,7 +16,9 @@ use crate::heap::{ClassLayouts, GcOutcome, GcRemap, Heap, HeapKind, NoRemap, Rem
 use crate::ids::{ClassId, MethodId, ThreadId};
 use crate::interp::SliceEvent;
 use crate::jit;
-use crate::lazy::{LazyEpoch, ScavengeOutcome, MAX_TRANSFORMER_DEPTH};
+use crate::lazy::{
+    CollapseOutcome, LazyEpoch, LazyStage, ScanOutcome, ScavengeOutcome, MAX_TRANSFORMER_DEPTH,
+};
 use crate::net::Net;
 use crate::registry::Registry;
 use crate::thread::{BlockOn, Frame, FrameNote, ThreadState, VmThread};
@@ -481,6 +483,13 @@ impl Vm {
     ///
     /// Propagates [`VmError::OutOfMemory`] on to-space overflow.
     pub fn collect_full(&mut self, remap: &dyn GcRemap) -> Result<GcOutcome, VmError> {
+        if self.lazy.active && !self.lazy.scan_done() {
+            // A collection abandons from-space, so run the SATB scanner to
+            // completion first: the undiscovered worklist tail must be
+            // rooted below, or untouched stale garbage would be reclaimed
+            // here that an eager commit would have transformed.
+            self.lazy_scan(usize::MAX);
+        }
         let mut roots: Vec<GcRef> = Vec::new();
         for t in self.threads.iter().flatten() {
             for f in &t.frames {
@@ -516,8 +525,8 @@ impl Vm {
         let snapshot = self.registry.layout_snapshot();
         let table = RemapTable::from_policy(remap, self.registry.num_classes());
         let table = if table.is_empty() { None } else { Some(&table) };
-        let outcome =
-            self.heap.collect_parallel(&roots, &snapshot, table, self.config.gc_threads)?;
+        let workers = self.config.resolve_gc_workers(self.heap.used_words());
+        let outcome = self.heap.collect_parallel(&roots, &snapshot, table, workers)?;
         self.stats.gcs += 1;
 
         // Rewrite every root location through the forwarding pointers.
@@ -554,6 +563,17 @@ impl Vm {
             }
             self.lazy.old_copies =
                 self.lazy.old_copies.iter().map(|&a| heap.resolve(GcRef(a)).0).collect();
+            // The scan completed up top and its addresses died with
+            // from-space; pin the stage at scan-done.
+            self.lazy.scan_addr = 0;
+            self.lazy.scan_limit = 0;
+            if self.lazy.collapsing {
+                // A copying collection resolves every reference as it
+                // copies, which is exactly what the sweep was doing —
+                // the collapse is complete.
+                self.lazy.sweep_addr = 0;
+                self.lazy.sweep_limit = 0;
+            }
         }
         self.rebuild_dsu_index();
         Ok(outcome)
@@ -1003,17 +1023,16 @@ impl Vm {
 
     /// Opens a lazy-migration epoch: the O(roots) alternative to
     /// [`Vm::collect_for_update`]. Marks the `remap` classes
-    /// version-pending, linearly scans the heap for their instances
-    /// (recording an ascending-address worklist — no copying, no
-    /// transformers, so this *is* the commit pause), arms the read
-    /// barrier, and bumps the dispatch epoch so every inline cache
-    /// re-resolves into barrier-aware dispatch. Returns the number of
-    /// stale objects found.
-    ///
-    /// # Errors
-    ///
-    /// Propagates GC failure from the (rare) pre-scan collection needed
-    /// when the heap still holds unresolved forwarding words.
+    /// version-pending, snapshots the allocation **watermark** (the SATB
+    /// commit point — no heap walk, no copying, no transformers, so this
+    /// *is* the commit pause and it is independent of heap size), arms
+    /// the read barrier, and bumps the dispatch epoch so every inline
+    /// cache re-resolves into barrier-aware dispatch. Stale objects are
+    /// discovered afterwards by [`Vm::lazy_scan`] batches; objects
+    /// allocated past the watermark can never be stale because install
+    /// already invalidated every method that could allocate a changed
+    /// class. Returns the watermarked region's size in words (what the
+    /// scanner will cover).
     ///
     /// # Panics
     ///
@@ -1022,36 +1041,66 @@ impl Vm {
         &mut self,
         remap: HashMap<ClassId, ClassId>,
         transformer_for: HashMap<ClassId, MethodId>,
-    ) -> Result<usize, VmError> {
+    ) -> usize {
         assert!(!self.lazy.active, "a lazy-migration epoch is already active");
-        if self.heap.has_lazy_forwards() {
-            // Leftover forwarding words (lazy indirection would leave
-            // some; a finished epoch never does) make a linear walk
-            // impossible — collapse them first.
-            self.collect_full(&NoRemap)?;
-        }
         self.dsu.transformer_for = transformer_for;
         self.dsu.pending.clear();
         self.dsu.index_of.clear();
         self.dsu.in_progress.clear();
         self.dsu.done.clear();
-        let mut worklist = Vec::new();
-        let snapshot = self.registry.layout_snapshot();
-        self.heap.for_each_object(&snapshot, |r, class| {
-            if remap.contains_key(&class) {
-                worklist.push(r);
-            }
-        });
-        let stale = worklist.len();
-        self.lazy = LazyEpoch { active: true, remap, worklist, ..LazyEpoch::default() };
+        let scan_addr = self.heap.active_base();
+        let scan_limit = self.heap.alloc_cursor();
+        self.lazy =
+            LazyEpoch { active: true, remap, scan_addr, scan_limit, ..LazyEpoch::default() };
         self.dsu.update_count += 1;
         self.registry.bump_code_epoch();
-        Ok(stale)
+        scan_limit - scan_addr
     }
 
     /// Whether a lazy-migration epoch is in progress (read barrier armed).
     pub fn lazy_epoch_active(&self) -> bool {
         self.lazy.active
+    }
+
+    /// Which part of the lazy epoch's post-pause work is up next (see
+    /// [`LazyStage`]); `Inactive` outside an epoch.
+    pub fn lazy_stage(&self) -> LazyStage {
+        self.lazy.stage()
+    }
+
+    /// Runs one bounded SATB discovery batch: walks at most `max_cells`
+    /// heap cells from the scan cursor toward the watermark, queueing
+    /// every not-yet-migrated stale object on the worklist. Objects the
+    /// guest already migrated through the barrier sit behind forwarding
+    /// words and are skipped via their preserved headers. Infallible — it
+    /// allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside an active epoch.
+    pub fn lazy_scan(&mut self, max_cells: usize) -> ScanOutcome {
+        assert!(self.lazy.active, "lazy_scan outside an epoch");
+        if self.lazy.scan_done() {
+            return ScanOutcome { cells: 0, found: 0, done: true };
+        }
+        let snapshot = self.registry.layout_snapshot();
+        let mut discovered: Vec<GcRef> = Vec::new();
+        let remap = &self.lazy.remap;
+        let (next, cells) = self.heap.scan_objects(
+            self.lazy.scan_addr,
+            self.lazy.scan_limit,
+            max_cells,
+            &snapshot,
+            |r, class| {
+                if remap.contains_key(&class) {
+                    discovered.push(r);
+                }
+            },
+        );
+        self.lazy.scan_addr = next;
+        let found = discovered.len();
+        self.lazy.worklist.extend(discovered);
+        ScanOutcome { cells, found, done: self.lazy.scan_done() }
     }
 
     /// Worklist entries the scavenger has not yet passed (0 outside an
@@ -1139,32 +1188,100 @@ impl Vm {
         Ok(ScavengeOutcome { transformed, remaining: self.lazy_remaining() })
     }
 
-    /// Closes a drained lazy-migration epoch: clears the epoch state and
-    /// the update log, bumps the dispatch epoch again (inline caches
-    /// re-resolve back onto the barrier-free fast path), and runs one
-    /// ordinary collection that collapses every outstanding forwarding
-    /// word and reclaims the old copies. Returns the collection outcome
-    /// and the number of objects transformed during the epoch.
-    ///
-    /// # Errors
-    ///
-    /// Propagates GC failure.
+    /// Runs one bounded forwarding-collapse batch. The first call performs
+    /// the stage's only O(roots) work — rewriting thread frames, statics,
+    /// and host roots through the forwarding words and dropping the update
+    /// log, at which point the stale originals and old copies are plain
+    /// garbage — and records the sweep horizon. Subsequent calls sweep at
+    /// most `max_cells` heap cells, rewriting reference slots that still
+    /// point at forwarded cells. Reference loads resolve through forwards
+    /// while the epoch is active, so swept cells can never be
+    /// recontaminated by stale references read out of unswept ones.
+    /// Infallible — it allocates nothing.
     ///
     /// # Panics
     ///
-    /// Panics if the epoch is not drained (scavenge to completion first)
-    /// or a transformer is still on some stack.
-    pub fn finish_lazy_migration(&mut self) -> Result<(GcOutcome, usize), VmError> {
+    /// Panics outside an active epoch, before the scan + drain are
+    /// complete, or while a transformer frame is still on some stack.
+    pub fn lazy_collapse(&mut self, max_cells: usize) -> CollapseOutcome {
+        assert!(self.lazy.active, "lazy_collapse outside an epoch");
+        assert!(
+            self.lazy.scan_done() && self.lazy.cursor >= self.lazy.worklist.len(),
+            "lazy_collapse before the epoch drained"
+        );
+        assert!(self.dsu.in_progress.is_empty(), "transformer still in progress");
+        if !self.lazy.collapsing {
+            let heap = &self.heap;
+            for t in self.threads.iter_mut().flatten() {
+                for f in &mut t.frames {
+                    for v in f.locals.iter_mut().chain(f.stack.iter_mut()) {
+                        if let Value::Ref(r) = v {
+                            *r = heap.resolve(*r);
+                        }
+                    }
+                    if let Some(FrameNote::TransformOf(addr)) = &mut f.note {
+                        *addr = heap.resolve(GcRef(*addr)).0;
+                    }
+                }
+            }
+            let jtoc_slots: Vec<u32> = self.registry.jtoc_ref_slots().collect();
+            for slot in jtoc_slots {
+                let old = self.registry.jtoc_get(slot) as u32;
+                self.registry.jtoc_set(slot, u64::from(heap.resolve(GcRef(old)).0));
+            }
+            for r in &mut self.host_roots {
+                *r = heap.resolve(*r);
+            }
+            self.dsu.pending.clear();
+            self.dsu.index_of.clear();
+            self.dsu.done.clear();
+            self.lazy.old_copies.clear();
+            self.lazy.worklist.clear();
+            self.lazy.cursor = 0;
+            self.lazy.collapsing = true;
+            if self.heap.has_lazy_forwards() {
+                self.lazy.sweep_addr = self.heap.active_base();
+                self.lazy.sweep_limit = self.heap.alloc_cursor();
+            }
+            // else: no forwarding word exists anywhere (e.g. a zero-stale
+            // epoch) — the zero-length sweep is already done.
+        }
+        if self.lazy.sweep_addr >= self.lazy.sweep_limit {
+            return CollapseOutcome { cells: 0, rewritten: 0, done: true };
+        }
+        let snapshot = self.registry.layout_snapshot();
+        let (next, cells, rewritten) = self.heap.sweep_forwards(
+            self.lazy.sweep_addr,
+            self.lazy.sweep_limit,
+            max_cells,
+            &snapshot,
+        );
+        self.lazy.sweep_addr = next;
+        CollapseOutcome { cells, rewritten, done: self.lazy.sweep_addr >= self.lazy.sweep_limit }
+    }
+
+    /// Closes a collapsed lazy-migration epoch: clears the epoch state
+    /// and bumps the dispatch epoch again (inline caches re-resolve back
+    /// onto the barrier-free fast path). Unlike the eager protocol there
+    /// is **no commit collection**: the collapse already detached every
+    /// live reference from the forwarding words, so the stale originals
+    /// are reclaimed by whatever collection happens naturally next.
+    /// Returns the number of objects transformed during the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the epoch reached [`LazyStage::Done`] or a
+    /// transformer is still on some stack.
+    pub fn finish_lazy_migration(&mut self) -> usize {
         assert!(self.lazy.active, "finish_lazy_migration outside an epoch");
-        assert!(self.lazy.cursor >= self.lazy.worklist.len(), "epoch not drained");
+        assert_eq!(self.lazy.stage(), LazyStage::Done, "epoch not collapsed");
         assert!(self.dsu.in_progress.is_empty(), "transformer still in progress");
         let transformed = self.lazy.reset();
         self.dsu.pending.clear();
         self.dsu.index_of.clear();
         self.dsu.done.clear();
         self.registry.bump_code_epoch();
-        let outcome = self.collect_full(&NoRemap)?;
-        Ok((outcome, transformed))
+        transformed
     }
 
     // ---- host-side heap access (tests, microbenchmarks) --------------------------

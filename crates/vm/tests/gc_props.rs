@@ -436,6 +436,165 @@ fn parallel_collection_matches_serial_for_all_worker_counts() {
     }
 }
 
+/// Forwards a random subset of the graph's class-0 objects to fresh
+/// duplicates (payload and edges copied raw), the way lazy first-touch
+/// migration does. Returns the forwarded originals.
+fn forward_some_objects(heap: &mut Heap, g: &Graph, rng: &mut Rng) -> Vec<GcRef> {
+    let mut forwarded = Vec::new();
+    for &r in &g.nodes {
+        if !heap.is_forwarded(r)
+            && heap.kind(r) == HeapKind::Object
+            && heap.class_of(r) == ClassId(0)
+            && rng.below(2) == 0
+        {
+            let dup = heap.alloc_object(ClassId(0), 3).expect("fits");
+            for slot in 0..3 {
+                let w = heap.get(r, slot);
+                heap.set(dup, slot, w);
+            }
+            heap.install_forward(r, dup);
+            forwarded.push(r);
+        }
+    }
+    forwarded
+}
+
+/// The batched SATB scan visits exactly the unforwarded plain objects
+/// below the watermark, in address order, for every batch size — and the
+/// forwarded cells and above-watermark allocations are stepped over, not
+/// visited.
+#[test]
+fn batched_scan_visits_unforwarded_objects_below_the_watermark() {
+    let snap = snapshot();
+    for seed in 0..48 {
+        let mut heap = Heap::new(64 * 1024);
+        let mut rng = Rng::new(seed ^ 0x5CA7_5CA7_5CA7_5CA7);
+        let g = build_graph(&mut heap, seed);
+        // The watermark precedes the duplicates: everything the forwarding
+        // step allocates lands above it, like mid-epoch allocation.
+        let watermark = heap.alloc_cursor();
+        let forwarded = forward_some_objects(&mut heap, &g, &mut rng);
+
+        let expected: Vec<u32> = g
+            .nodes
+            .iter()
+            .filter(|&&r| !heap.is_forwarded(r) && heap.kind(r) == HeapKind::Object)
+            .map(|r| r.0)
+            .collect();
+
+        // One unbounded walk and several batch sizes must agree exactly.
+        for max_cells in [usize::MAX, 1, 3, 7] {
+            let mut seen = Vec::new();
+            let mut addr = heap.active_base();
+            let mut total_cells = 0;
+            while addr < watermark {
+                let (next, cells) =
+                    heap.scan_objects(addr, watermark, max_cells, &snap, |r, class| {
+                        assert_ne!(class, ClassId(9), "seed {seed}: duplicate below watermark");
+                        seen.push(r.0);
+                    });
+                assert!(next > addr, "seed {seed}: scan must make progress");
+                addr = next;
+                total_cells += cells;
+            }
+            assert_eq!(
+                seen, expected,
+                "seed {seed}, batch {max_cells}: scan visited the wrong objects"
+            );
+            assert_eq!(
+                total_cells,
+                g.nodes.len(),
+                "seed {seed}, batch {max_cells}: every cell below the watermark stepped once"
+            );
+        }
+        let _ = forwarded;
+    }
+}
+
+/// A batched forwarding collapse is equivalent to a single unbounded
+/// sweep: same number of slots rewritten, and afterwards no reference
+/// reachable from the (resolved) roots crosses a forwarding word.
+#[test]
+fn batched_sweep_collapses_every_forward_like_one_pass() {
+    let snap = snapshot();
+    for seed in 0..48 {
+        // Two identically-built-and-forwarded heaps: one swept in one
+        // pass, one in randomly-sized batches.
+        let build = |heap: &mut Heap| -> Graph {
+            let mut rng = Rng::new(seed ^ 0xF0F0_F0F0_F0F0_F0F0);
+            let g = build_graph(heap, seed);
+            forward_some_objects(heap, &g, &mut rng);
+            g
+        };
+
+        let mut h1 = Heap::new(64 * 1024);
+        let g1 = build(&mut h1);
+        let limit = h1.alloc_cursor();
+        let (_, _, single_rewritten) =
+            h1.sweep_forwards(h1.active_base(), limit, usize::MAX, &snap);
+
+        let mut h2 = Heap::new(64 * 1024);
+        let g2 = build(&mut h2);
+        let mut rng = Rng::new(seed ^ 0xBA7C_4BA7_C4BA_7C4B);
+        let mut addr = h2.active_base();
+        let mut batched_rewritten = 0;
+        while addr < limit {
+            let (next, _, rewritten) =
+                h2.sweep_forwards(addr, limit, 1 + rng.below(5), &snap);
+            assert!(next > addr, "seed {seed}: sweep must make progress");
+            addr = next;
+            batched_rewritten += rewritten;
+        }
+        assert_eq!(
+            batched_rewritten, single_rewritten,
+            "seed {seed}: batching changed the rewrite count"
+        );
+
+        for (heap, g) in [(&h1, &g1), (&h2, &g2)] {
+            // Every surviving cell's reference slots resolve to themselves:
+            // plain objects via the full walk (which includes the
+            // duplicates), ref arrays from the node list (ref arrays are
+            // never forwarded here).
+            let mut checked = Vec::new();
+            heap.for_each_object(&snap, |r, class| {
+                for (slot, &is_ref) in Layouts.ref_map(class).iter().enumerate() {
+                    if is_ref {
+                        checked.push((r, slot));
+                    }
+                }
+            });
+            for &r in g
+                .nodes
+                .iter()
+                .filter(|&&r| !heap.is_forwarded(r) && heap.kind(r) == HeapKind::RefArray)
+            {
+                for slot in 0..heap.len_of(r) as usize {
+                    checked.push((r, slot));
+                }
+            }
+            for (r, slot) in checked {
+                let w = heap.get(r, slot);
+                if w != 0 {
+                    assert_eq!(
+                        heap.resolve(GcRef(w as u32)),
+                        GcRef(w as u32),
+                        "seed {seed}: {r} slot {slot} still crosses a forward"
+                    );
+                }
+            }
+        }
+
+        // Both sweeps leave isomorphic reachable graphs.
+        let roots1: Vec<GcRef> = g1.roots.iter().map(|&r| h1.resolve(r)).collect();
+        let roots2: Vec<GcRef> = g2.roots.iter().map(|&r| h2.resolve(r)).collect();
+        assert_eq!(
+            signature(&h1, &roots1),
+            signature(&h2, &roots2),
+            "seed {seed}: batched sweep diverged from the single pass"
+        );
+    }
+}
+
 /// Parallel update collections produce the same canonical update log as
 /// serial ones — same length, same per-entry original object (identified
 /// by the odd payload planted at build time), same old/new classes — and
