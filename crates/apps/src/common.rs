@@ -1,6 +1,9 @@
 //! Shared plumbing for the versioned guest applications.
 
+use std::fmt;
+
 use jvolve_classfile::ClassFile;
+use jvolve_vm::Vm;
 
 /// One release of a guest application.
 #[derive(Clone, Debug)]
@@ -28,14 +31,76 @@ impl AppVersion {
     }
 }
 
-/// A versioned guest application.
-pub trait GuestApp {
+/// Why a health probe against a serving app failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeFailure {
+    /// No response arrived within the probe's slice budget.
+    Unresponsive,
+    /// A response arrived but failed verification.
+    Incorrect {
+        /// The offending reply (or reply list, rendered).
+        got: String,
+    },
+}
+
+impl fmt::Display for ProbeFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeFailure::Unresponsive => f.write_str("no response within budget"),
+            ProbeFailure::Incorrect { got } => write!(f, "incorrect response: {got}"),
+        }
+    }
+}
+
+/// The shared response-verification helper: every probe — webserver,
+/// emailserver, ftpserver, single-VM harness or fleet shard — funnels its
+/// replies through this one checker. `expect` pairs a reply index with
+/// the status prefix required there (prefixes, not full bodies, so one
+/// probe verifies every release of an app). Returns the first checked
+/// reply on success.
+pub fn verify_replies(
+    replies: Option<Vec<String>>,
+    expect: &[(usize, &str)],
+) -> Result<String, ProbeFailure> {
+    let replies = replies.ok_or(ProbeFailure::Unresponsive)?;
+    for &(idx, prefix) in expect {
+        match replies.get(idx) {
+            Some(r) if r.starts_with(prefix) => {}
+            _ => return Err(ProbeFailure::Incorrect { got: format!("{replies:?}") }),
+        }
+    }
+    let first = expect.first().map_or(0, |&(idx, _)| idx);
+    Ok(replies.into_iter().nth(first).unwrap_or_default())
+}
+
+/// A guest application embeddable in one VM shard: everything a fleet
+/// needs to boot it, route traffic to it, and health-check it — without
+/// knowing its release stream. `Send + Sync` because a fleet coordinator
+/// hands one `&'static` instance to every shard thread.
+pub trait AppInstance: Send + Sync {
     /// Application name ("webserver", "emailserver", "ftpserver").
     fn name(&self) -> &'static str;
     /// The port its server listens on.
     fn port(&self) -> u16;
     /// The main class spawned to start the server.
     fn main_class(&self) -> &'static str;
+    /// Runs one complete, *verified* protocol exchange against a VM this
+    /// app is serving in: issue a request (varied by `seq` where the
+    /// protocol allows), await the reply within `max_slices`, and check
+    /// it through [`verify_replies`]. This is both the fleet's request
+    /// path and its health gate.
+    fn probe(&self, vm: &mut Vm, seq: u64, max_slices: usize) -> Result<String, ProbeFailure>;
+    /// Scheduler slices to run after draining client traffic so
+    /// session-handler threads exit (apps whose updates only apply when
+    /// idle return a nonzero settle budget).
+    fn settle_slices(&self) -> usize {
+        0
+    }
+}
+
+/// A versioned guest application: an [`AppInstance`] plus its release
+/// stream.
+pub trait GuestApp: AppInstance {
     /// All releases, oldest first.
     fn versions(&self) -> Vec<AppVersion>;
     /// Index of releases whose *update from the previous version* is
@@ -56,5 +121,19 @@ mod tests {
     fn prefix_formatting() {
         assert_eq!(prefix_of("5.1.3"), "v513_");
         assert_eq!(prefix_of("1.3.2"), "v132_");
+    }
+
+    #[test]
+    fn verify_replies_checks_prefixes() {
+        let ok = verify_replies(
+            Some(vec!["220 ready".into(), "230 ok".into()]),
+            &[(0, "220"), (1, "230")],
+        );
+        assert_eq!(ok.unwrap(), "220 ready");
+        assert_eq!(verify_replies(None, &[(0, "200")]), Err(ProbeFailure::Unresponsive));
+        let wrong = verify_replies(Some(vec!["500 oops".into()]), &[(0, "200")]);
+        assert!(matches!(wrong, Err(ProbeFailure::Incorrect { .. })));
+        let missing = verify_replies(Some(vec!["250 ok".into()]), &[(0, "250"), (1, "221")]);
+        assert!(matches!(missing, Err(ProbeFailure::Incorrect { .. })));
     }
 }

@@ -21,7 +21,10 @@
 //! `QUIT`). Delivery is asynchronous through `OutQueue`, flushed by the
 //! `SMTPSender` sleeper thread.
 
-use crate::common::{prefix_of, AppVersion, GuestApp};
+use jvolve_vm::Vm;
+
+use crate::common::{prefix_of, verify_replies, AppInstance, AppVersion, GuestApp, ProbeFailure};
+use crate::workload::{pop_list, smtp_send};
 
 /// SMTP port.
 pub const SMTP_PORT: u16 = 2525;
@@ -32,7 +35,7 @@ pub const POP_PORT: u16 = 1100;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Emailserver;
 
-impl GuestApp for Emailserver {
+impl AppInstance for Emailserver {
     fn name(&self) -> &'static str {
         "emailserver"
     }
@@ -42,6 +45,25 @@ impl GuestApp for Emailserver {
     fn main_class(&self) -> &'static str {
         "EmailServer"
     }
+    fn probe(&self, vm: &mut Vm, seq: u64, max_slices: usize) -> Result<String, ProbeFailure> {
+        // Alternate SMTP submission with a POP list so both listeners are
+        // exercised under load.
+        if seq.is_multiple_of(2) {
+            let replies = smtp_send(vm, SMTP_PORT, "alice", "bob", "probe", max_slices);
+            verify_replies(replies, &[(0, "250"), (1, "221")])
+        } else {
+            let replies = pop_list(vm, POP_PORT, "alice", max_slices);
+            verify_replies(replies, &[(0, "+OK")])
+        }
+    }
+    fn settle_slices(&self) -> usize {
+        // SMTP/POP session handlers run on their own green threads; give
+        // them time to exit after the last client closes.
+        200
+    }
+}
+
+impl GuestApp for Emailserver {
     fn versions(&self) -> Vec<AppVersion> {
         (0..=9)
             .map(|v| {

@@ -14,7 +14,10 @@
 //! `QUIT`; each connection is served by its own spawned `RequestHandler`
 //! thread, the structure that makes 1.08 busy-sensitive.
 
-use crate::common::{prefix_of, AppVersion, GuestApp};
+use jvolve_vm::Vm;
+
+use crate::common::{prefix_of, verify_replies, AppInstance, AppVersion, GuestApp, ProbeFailure};
+use crate::workload::ftp_retr;
 
 /// FTP port.
 pub const PORT: u16 = 2121;
@@ -23,7 +26,7 @@ pub const PORT: u16 = 2121;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ftpserver;
 
-impl GuestApp for Ftpserver {
+impl AppInstance for Ftpserver {
     fn name(&self) -> &'static str {
         "ftpserver"
     }
@@ -33,6 +36,18 @@ impl GuestApp for Ftpserver {
     fn main_class(&self) -> &'static str {
         "FtpServer"
     }
+    fn probe(&self, vm: &mut Vm, _seq: u64, max_slices: usize) -> Result<String, ProbeFailure> {
+        let replies = ftp_retr(vm, PORT, "admin", "adminpw", "/motd.txt", max_slices);
+        verify_replies(replies, &[(0, "220"), (1, "230"), (2, "226")])
+    }
+    fn settle_slices(&self) -> usize {
+        // Each session spawns a RequestHandler thread that must exit
+        // before an update can reach its safe point (paper §4.4).
+        300
+    }
+}
+
+impl GuestApp for Ftpserver {
     fn versions(&self) -> Vec<AppVersion> {
         (0..=3)
             .map(|v| {

@@ -4,12 +4,13 @@
 //! update to the next version").
 
 use jvolve::{
-    ApplyOptions, StepProgress, Update, UpdateController, UpdateError, UpdateOutcome,
-    UpdatePhase, UpdateStats,
+    ApplyOptions, StepProgress, Update, UpdateController, UpdateError, UpdateEventSink,
+    UpdateOutcome, UpdatePhase, UpdateStats,
 };
+use jvolve_classfile::ClassFile;
 use jvolve_vm::{Vm, VmConfig};
 
-use crate::common::GuestApp;
+use crate::common::{AppInstance, GuestApp};
 use crate::emailserver;
 use crate::workload::wait_for_listener;
 
@@ -33,16 +34,27 @@ pub fn boot(app: &dyn GuestApp, from: usize) -> Vm {
 pub fn boot_with(app: &dyn GuestApp, from: usize, config: VmConfig) -> Vm {
     let versions = app.versions();
     let version = &versions[from];
+    boot_classes(app, &version.compile(), config)
+}
+
+/// Boots an [`AppInstance`] from already-compiled classes (the fleet's
+/// shard boot and redeploy path, which carries class files rather than a
+/// version index).
+///
+/// # Panics
+///
+/// Panics if the app fails to load or never starts listening (fixture
+/// bug, caught by tests).
+pub fn boot_classes(app: &dyn AppInstance, classes: &[ClassFile], config: VmConfig) -> Vm {
     let mut vm = Vm::new(config);
-    vm.load_classes(&version.compile())
-        .unwrap_or_else(|e| panic!("{} {} fails to load: {e}", app.name(), version.label));
+    vm.load_classes(classes)
+        .unwrap_or_else(|e| panic!("{} fails to load: {e}", app.name()));
     vm.spawn(app.main_class(), "main")
         .unwrap_or_else(|e| panic!("{} has no main: {e}", app.name()));
     assert!(
         wait_for_listener(&mut vm, app.port(), 50_000),
-        "{} {} never started listening",
-        app.name(),
-        version.label
+        "{} never started listening",
+        app.name()
     );
     vm
 }
@@ -100,10 +112,27 @@ pub fn attempt_update_interleaved(
     app: &dyn GuestApp,
     from: usize,
     opts: &ApplyOptions,
-    mut pump: impl FnMut(&mut Vm),
+    pump: impl FnMut(&mut Vm),
 ) -> (UpdateOutcome, Option<UpdateStats>) {
     let update = prepare_next(app, from);
-    let mut controller = UpdateController::new(&update, opts.clone());
+    apply_prepared_interleaved(vm, &update, opts, None, pump)
+}
+
+/// The one interleaved-apply path shared by the single-VM harness and the
+/// fleet shards: steps a controller over a *prepared* update, calling
+/// `pump` whenever the guest may run (safe-point wait, lazy epoch), and
+/// forwarding events to `sink` when one is given.
+pub fn apply_prepared_interleaved(
+    vm: &mut Vm,
+    update: &Update,
+    opts: &ApplyOptions,
+    sink: Option<&mut dyn UpdateEventSink>,
+    mut pump: impl FnMut(&mut Vm),
+) -> (UpdateOutcome, Option<UpdateStats>) {
+    let mut controller = UpdateController::new(update, opts.clone());
+    if let Some(sink) = sink {
+        controller.attach_sink(sink);
+    }
     loop {
         match controller.step(vm) {
             StepProgress::Pending(UpdatePhase::WaitingForSafePoint)

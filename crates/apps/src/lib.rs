@@ -17,13 +17,15 @@
 
 pub mod common;
 pub mod emailserver;
+pub mod fleet;
 pub mod ftpserver;
 pub mod harness;
 pub mod webserver;
 pub mod workload;
 
-pub use common::{AppVersion, GuestApp};
+pub use common::{AppInstance, AppVersion, GuestApp, ProbeFailure};
 pub use emailserver::Emailserver;
+pub use fleet::{Fleet, RollFault, RollOptions, RollReport};
 pub use ftpserver::Ftpserver;
 pub use webserver::Webserver;
 

@@ -20,7 +20,10 @@
 //! accept-loop / worker-loop shape that makes the paper's 5.1.3 update
 //! impossible to time.
 
-use crate::common::{prefix_of, AppVersion, GuestApp};
+use jvolve_vm::Vm;
+
+use crate::common::{prefix_of, verify_replies, AppInstance, AppVersion, GuestApp, ProbeFailure};
+use crate::workload::one_shot;
 
 /// Port the webserver listens on.
 pub const PORT: u16 = 8080;
@@ -31,7 +34,7 @@ pub const WORKERS: usize = 4;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Webserver;
 
-impl GuestApp for Webserver {
+impl AppInstance for Webserver {
     fn name(&self) -> &'static str {
         "webserver"
     }
@@ -41,6 +44,15 @@ impl GuestApp for Webserver {
     fn main_class(&self) -> &'static str {
         "WebServer"
     }
+    fn probe(&self, vm: &mut Vm, seq: u64, max_slices: usize) -> Result<String, ProbeFailure> {
+        let paths = ["/index.html", "/about.html"];
+        let path = paths[(seq as usize) % paths.len()];
+        let reply = one_shot(vm, PORT, &format!("GET {path}"), max_slices).map(|(r, _)| vec![r]);
+        verify_replies(reply, &[(0, "200")])
+    }
+}
+
+impl GuestApp for Webserver {
     fn versions(&self) -> Vec<AppVersion> {
         (0..=10)
             .map(|v| {

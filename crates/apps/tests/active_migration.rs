@@ -6,7 +6,7 @@
 use jvolve::ApplyOptions;
 use jvolve_apps::harness::{attempt_update, boot};
 use jvolve_apps::workload::{one_shot, smtp_send};
-use jvolve_apps::{Emailserver, GuestApp, Webserver};
+use jvolve_apps::{AppInstance, Emailserver, Webserver};
 
 fn migrating_opts() -> ApplyOptions {
     ApplyOptions {

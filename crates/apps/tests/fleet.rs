@@ -1,0 +1,55 @@
+//! Fleet serving and rolling-update coverage: N shards behind the
+//! round-robin acceptor serve verified traffic, and a rolling lazy
+//! update promotes shard-by-shard with zero dropped or incorrect
+//! responses.
+
+use std::sync::Arc;
+
+use jvolve_apps::fleet::{Fleet, RollOptions};
+use jvolve_apps::harness::{app_vm_config, bench_apply_options, prepare_next};
+use jvolve_apps::{AppInstance, GuestApp, Webserver};
+use jvolve_vm::VmConfig;
+
+fn lazy_config() -> VmConfig {
+    let mut config = app_vm_config();
+    config.lazy_migration = true;
+    config
+}
+
+#[test]
+fn fleet_serves_round_robin_across_shards() {
+    let app: Arc<dyn AppInstance> = Arc::new(Webserver);
+    let classes = Webserver.versions()[0].compile();
+    let mut fleet = Fleet::boot(app, classes, 3, &app_vm_config());
+    let report = fleet.run_requests(30);
+    assert_eq!(report.completed, 30, "all requests answered: {report:?}");
+    assert_eq!(report.incorrect, 0, "all responses verified: {report:?}");
+    fleet.shutdown();
+}
+
+#[test]
+fn rolling_lazy_update_drops_nothing() {
+    let app: Arc<dyn AppInstance> = Arc::new(Webserver);
+    let classes = Webserver.versions()[0].compile();
+    let update = prepare_next(&Webserver, 0);
+    let mut fleet = Fleet::boot(app, classes, 3, &lazy_config());
+    fleet.run_requests(9);
+
+    let report = fleet.roll(&update, &bench_apply_options(), &RollOptions::default());
+    assert!(!report.rolled_back, "roll must promote every shard: {report:?}");
+    assert_eq!(report.shards.len(), 3);
+    assert!(report.shards.iter().all(|s| s.healthy), "{report:?}");
+    assert_eq!(report.dropped, 0, "no request dropped mid-roll");
+    assert_eq!(report.incorrect, 0, "no incorrect response mid-roll");
+    assert!(
+        report.mid_roll_responses > 0,
+        "the fleet must keep serving while a shard updates"
+    );
+    assert!(report.fingerprints_converged(), "all shards on one version");
+
+    // The updated fleet still serves.
+    let after = fleet.run_requests(9);
+    assert_eq!(after.completed, 9);
+    assert_eq!(after.incorrect, 0);
+    fleet.shutdown();
+}

@@ -8,7 +8,7 @@ use jvolve_apps::harness::{
     boot_with,
 };
 use jvolve_apps::workload::{ftp_retr, one_shot, pop_list, smtp_send};
-use jvolve_apps::{Emailserver, Ftpserver, GuestApp, Webserver};
+use jvolve_apps::{AppInstance, Emailserver, Ftpserver, GuestApp, Webserver};
 
 #[test]
 fn webserver_updates_match_paper() {
@@ -318,4 +318,69 @@ fn twenty_of_twentytwo_updates_supported() {
     }
     assert_eq!(total, 22);
     assert_eq!(supported, 20, "20 of 22 updates supported (paper §4)");
+}
+
+#[test]
+fn emailserver_serves_verified_responses_mid_update() {
+    // The 1.2.2 → 1.2.3 class update (OSR lifts the processor loops)
+    // through the same interleaved harness path the webserver uses: the
+    // SMTP and POP listeners must answer verified responses between
+    // controller steps while the update waits for its safe point.
+    let app = Emailserver;
+    let from = 1; // 1.2.2 → 1.2.3
+    let mut vm = boot(&app, from);
+    let mut served_mid_update = 0u64;
+    let (outcome, _) = attempt_update_interleaved(
+        &mut vm,
+        &app,
+        from,
+        &bench_apply_options(),
+        |vm| {
+            // The shared probe alternates SMTP submission and POP list,
+            // verifying each reply through apps::common::verify_replies.
+            app.probe(vm, served_mid_update, 40_000)
+                .expect("verified response between controller steps");
+            served_mid_update += 1;
+        },
+    );
+    assert!(outcome.supported(), "{outcome}");
+    assert!(served_mid_update >= 1, "SMTP/POP must serve mid-update");
+    // Both protocols still answer on the new version.
+    let replies = smtp_send(&mut vm, 2525, "bob", "alice", "hi", 40_000)
+        .expect("SMTP unresponsive after update");
+    assert_eq!(replies[0], "250 ok", "{replies:?}");
+    let pop = pop_list(&mut vm, 1100, "alice", 40_000).expect("POP unresponsive after update");
+    assert_eq!(pop[0], "+OK", "{pop:?}");
+}
+
+#[test]
+fn ftpserver_serves_verified_responses_mid_update() {
+    // FTP sessions spawn RequestHandler threads, so the probe pump is
+    // bounded: serve a few full sessions mid-update, then idle so the
+    // handlers exit and the safe point becomes reachable (paper §4.4's
+    // "relatively idle" condition, here produced by the drain itself).
+    let app = Ftpserver;
+    let from = 0; // 1.05 → 1.06
+    let mut vm = boot(&app, from);
+    let mut served_mid_update = 0u64;
+    let (outcome, _) = attempt_update_interleaved(
+        &mut vm,
+        &app,
+        from,
+        &bench_apply_options(),
+        |vm| {
+            if served_mid_update < 2 {
+                app.probe(vm, served_mid_update, 60_000)
+                    .expect("verified FTP session between controller steps");
+                served_mid_update += 1;
+            } else {
+                vm.run_slices(50);
+            }
+        },
+    );
+    assert!(outcome.supported(), "{outcome}");
+    assert!(served_mid_update >= 1, "FTP must serve mid-update");
+    let replies = ftp_retr(&mut vm, 2121, "admin", "adminpw", "/motd.txt", 60_000)
+        .expect("FTP unresponsive after update");
+    assert!(replies[2].starts_with("226"), "{replies:?}");
 }

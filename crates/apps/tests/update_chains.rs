@@ -6,7 +6,7 @@
 
 use jvolve_apps::harness::{attempt_update, bench_apply_options, boot};
 use jvolve_apps::workload::{one_shot, pop_list, scripted_session, smtp_send};
-use jvolve_apps::{Emailserver, GuestApp, Webserver};
+use jvolve_apps::{AppInstance, Emailserver, GuestApp, Webserver};
 
 #[test]
 fn webserver_survives_seven_consecutive_updates() {

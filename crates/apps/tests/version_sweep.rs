@@ -5,7 +5,7 @@
 
 use jvolve_apps::harness::boot;
 use jvolve_apps::workload::{ftp_retr, one_shot, pop_list, scripted_session, smtp_send};
-use jvolve_apps::{Emailserver, Ftpserver, GuestApp, Webserver};
+use jvolve_apps::{AppInstance, Emailserver, Ftpserver, GuestApp, Webserver};
 
 #[test]
 fn webserver_all_versions_serve() {

@@ -15,9 +15,14 @@
 //! * `lazybench` — lazy-migration pause and steady-state gate vs
 //!   `results/BENCH_lazy.json` (commit pause ≤ 25% of eager, barrier-free
 //!   steady state after the epoch drains)
+//! * `fleetbench` — sharded fleet throughput scaling and rolling-update
+//!   integrity gate vs `results/BENCH_fleet.json` (zero dropped/incorrect
+//!   responses during a rolling lazy update; ≥2× aggregate throughput at
+//!   4 shards on hosts with ≥4 CPUs)
 
 pub mod ablation;
 pub mod fig5;
+pub mod fleet;
 pub mod interp;
 pub mod lazy;
 pub mod micro;

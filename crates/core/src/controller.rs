@@ -260,7 +260,11 @@ pub enum UpdateEvent {
 }
 
 /// A pluggable consumer of [`UpdateEvent`]s.
-pub trait UpdateEventSink {
+///
+/// Sinks are `Send` so a controller (and the sinks wired into it) can be
+/// owned by a shard's OS thread and forward events across a channel to a
+/// fleet coordinator.
+pub trait UpdateEventSink: Send {
     /// Receives one event.
     fn event(&mut self, event: &UpdateEvent);
 
@@ -293,8 +297,10 @@ impl UpdateEventSink for MemorySink {
 /// The trace document schema emitted by [`JsonTraceSink::to_json`].
 /// `v2` wrapped the bare event array of `v1` in an object carrying the
 /// migration `mode` ("eager" or "lazy"), so trace consumers can
-/// distinguish the two commit protocols.
-pub const TRACE_SCHEMA: &str = "jvolve-update-trace-v2";
+/// distinguish the two commit protocols. `v3` adds a `shard_id` envelope
+/// field identifying which fleet shard produced the trace; single-VM
+/// runs emit `shard_id: 0`.
+pub const TRACE_SCHEMA: &str = "jvolve-update-trace-v3";
 
 /// A sink that serializes the event stream to JSON (via `jvolve-json`),
 /// for `results/update_trace.json`. Consecutive safe-point polls with an
@@ -305,18 +311,26 @@ pub struct JsonTraceSink {
     events: Vec<Json>,
     last_blocking: Option<Vec<String>>,
     saw_lazy: bool,
+    shard_id: u64,
 }
 
 impl JsonTraceSink {
-    /// Creates an empty trace sink.
+    /// Creates an empty trace sink for a single-VM run (`shard_id: 0`).
     pub fn new() -> Self {
         JsonTraceSink::default()
     }
 
-    /// The trace document: schema tag, migration mode, event array.
+    /// Creates an empty trace sink stamped with a fleet shard id.
+    pub fn with_shard(shard_id: u64) -> Self {
+        JsonTraceSink { shard_id, ..JsonTraceSink::default() }
+    }
+
+    /// The trace document: schema tag, shard id, migration mode, event
+    /// array.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("schema", Json::from(TRACE_SCHEMA)),
+            ("shard_id", Json::from(self.shard_id)),
             ("mode", Json::from(if self.saw_lazy { "lazy" } else { "eager" })),
             ("events", Json::Arr(self.events.clone())),
         ])
@@ -1363,3 +1377,15 @@ fn retire_transformer_class(vm: &mut Vm, prefix: &str) {
         vm.registry_mut().strip_methods(id);
     }
 }
+
+// Fleet shards own one `Vm` + `UpdateController` per OS thread, so the
+// controller (sinks included — `UpdateEventSink: Send`) and the prepared
+// update it borrows must cross thread boundaries. Compile-time checks so
+// a regression fails the build, not a fleet test.
+const fn _assert_send<T: Send>() {}
+const fn _assert_sync<T: Sync>() {}
+const _: () = _assert_send::<UpdateController<'static>>();
+const _: () = _assert_send::<crate::driver::Update>();
+const _: () = _assert_sync::<crate::driver::Update>();
+const _: () = _assert_send::<JsonTraceSink>();
+const _: () = _assert_send::<MemorySink>();

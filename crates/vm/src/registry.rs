@@ -652,6 +652,60 @@ impl Registry {
     pub fn jtoc_is_ref(&self, slot: u32) -> bool {
         self.jtoc_ref[slot as usize]
     }
+
+    /// A canonical dump of every *definition* the registry holds: class
+    /// names, superclass links, layouts, ref maps, virtual-slot tables,
+    /// static-slot declarations, and per-method bytecode definitions.
+    ///
+    /// Deliberately excludes everything that mutates under ordinary
+    /// execution — invocation counters, compiled code, the code epoch,
+    /// JTOC *values* — so two VMs running the same program version
+    /// fingerprint identically no matter how much traffic each has
+    /// served. The fleet coordinator compares this across shards after a
+    /// rolled-back update to prove every shard converged to the same code
+    /// version bit-for-bit.
+    pub fn version_fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut classes: Vec<&RuntimeClass> = self.classes.iter().collect();
+        classes.sort_by(|a, b| a.name.as_str().cmp(b.name.as_str()));
+        for c in classes {
+            let super_name =
+                c.super_id.map(|s| self.classes[s.index()].name.as_str().to_string());
+            let _ = writeln!(out, "class {} super={super_name:?}", c.name.as_str());
+            for (slot, r) in c.layout.iter().zip(&c.ref_map) {
+                let _ = writeln!(out, "  field {} {:?} ref={r}", slot.name, slot.ty);
+            }
+            let mut vslots: Vec<_> = c.vslots.iter().collect();
+            vslots.sort();
+            for (name, slot) in vslots {
+                // The TIB entry is resolved back to its declaring class +
+                // method name (method *ids* are allocation-order
+                // dependent and must not leak into the fingerprint).
+                let target = &self.methods[c.tib[*slot as usize].index()];
+                let decl = self.classes[target.class.index()].name.as_str();
+                let _ = writeln!(out, "  vslot {name} -> {decl}.{}", target.name);
+            }
+            let mut statics: Vec<_> = c.statics.iter().collect();
+            statics.sort_by_key(|(name, _)| name.as_str());
+            for (name, (_, ty)) in statics {
+                let _ = writeln!(out, "  static {name} {ty:?}");
+            }
+            let mut mids = self.methods_of(c.id);
+            mids.sort_by_key(|m| self.methods[m.index()].name.clone());
+            for mid in mids {
+                let m = &self.methods[mid.index()];
+                let _ = writeln!(
+                    out,
+                    "  method {} native={} def={:?}",
+                    m.name,
+                    m.native.is_some(),
+                    m.def
+                );
+            }
+        }
+        out
+    }
 }
 
 /// High-water mark of the registry's append-only tables (see

@@ -1401,3 +1401,9 @@ impl PopIfLastNone for Vec<Option<VmThread>> {
         }
     }
 }
+
+// A fleet shard owns its `Vm` on a dedicated OS thread; this compile-time
+// check keeps the VM (heap, registry, threads, simulated net) `Send` so a
+// non-`Send` field sneaking in fails the build, not a fleet test.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<Vm>();

@@ -8,7 +8,7 @@
 
 use jvolve_repro::apps::harness::{attempt_update, boot};
 use jvolve_repro::apps::workload::one_shot;
-use jvolve_repro::apps::{GuestApp, Webserver};
+use jvolve_repro::apps::{AppInstance, GuestApp, Webserver};
 use jvolve_repro::dsu::{ApplyOptions, UpdateOutcome};
 
 fn main() {

@@ -12,7 +12,7 @@
 
 use jvolve_repro::apps::harness::{boot, prepare_next};
 use jvolve_repro::apps::workload::one_shot;
-use jvolve_repro::apps::{GuestApp, Webserver};
+use jvolve_repro::apps::{AppInstance, GuestApp, Webserver};
 use jvolve_repro::dsu::{apply, ApplyOptions};
 
 fn main() {

@@ -46,6 +46,12 @@ cargo test -q --test differential inline_caches_are_observationally_invisible
 echo "== tier-1: lazy-migration differential oracle (eager vs lazy, interleaved) =="
 cargo test -q --test lazy_differential
 
+# Fleet fault injection: a mid-roll install failure or health-check
+# timeout must roll the whole fleet back to bit-identical registry
+# fingerprints with zero dropped or incorrect responses.
+echo "== tier-1: fleet fault-injection rollback oracle (install failure + health timeout) =="
+cargo test -q -p jvolve-apps --test fleet_faults
+
 if [ "$skip_bench" = 0 ]; then
     echo "== tier-1: GC pause regression check =="
     cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5
@@ -53,10 +59,13 @@ if [ "$skip_bench" = 0 ]; then
     cargo run --release -q -p jvolve-bench --bin interpbench -- --check --iters 5
     echo "== tier-1: lazy migration pause + steady-state check =="
     cargo run --release -q -p jvolve-bench --bin lazybench -- --check --iters 5
+    echo "== tier-1: fleet throughput + rolling-update integrity check =="
+    cargo run --release -q -p jvolve-bench --bin fleetbench -- --check --iters 5
 else
     echo "== tier-1: GC pause regression check skipped (--skip-bench) =="
     echo "== tier-1: interpreter dispatch throughput check skipped (--skip-bench) =="
     echo "== tier-1: lazy migration pause + steady-state check skipped (--skip-bench) =="
+    echo "== tier-1: fleet throughput + rolling-update integrity check skipped (--skip-bench) =="
 fi
 
 echo "== tier-1: OK =="
