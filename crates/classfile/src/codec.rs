@@ -93,18 +93,18 @@ pub fn decode(bytes: &[u8]) -> Result<ClassFile, DecodeError> {
     let flag_bits = r.u8()?;
     let flags =
         ClassFlags { access_override: flag_bits & 1 != 0, native: flag_bits & 2 != 0 };
-    let nfields = r.u32()? as usize;
-    let mut fields = Vec::with_capacity(nfields.min(1024));
+    let nfields = r.count(MIN_FIELD_BYTES, "field")?;
+    let mut fields = Vec::with_capacity(nfields);
     for _ in 0..nfields {
         fields.push(r.field()?);
     }
-    let nstatics = r.u32()? as usize;
-    let mut static_fields = Vec::with_capacity(nstatics.min(1024));
+    let nstatics = r.count(MIN_FIELD_BYTES, "static field")?;
+    let mut static_fields = Vec::with_capacity(nstatics);
     for _ in 0..nstatics {
         static_fields.push(r.field()?);
     }
-    let nmethods = r.u32()? as usize;
-    let mut methods = Vec::with_capacity(nmethods.min(1024));
+    let nmethods = r.count(MIN_METHOD_BYTES, "method")?;
+    let mut methods = Vec::with_capacity(nmethods);
     for _ in 0..nmethods {
         methods.push(r.method()?);
     }
@@ -308,6 +308,19 @@ impl Writer {
     }
 }
 
+// Smallest possible encodings, used to bound length prefixes against the
+// remaining input *before* allocating. A hostile count can then never cost
+// more memory than the buffer it arrived in.
+//
+// Field: empty name (4) + type tag (1) + visibility (1) + is_final (1).
+const MIN_FIELD_BYTES: usize = 7;
+// Method: empty name (4) + param count (4) + return type tag (1) +
+// is_static (1) + visibility (1) + kind (1) + has-code flag (1).
+const MIN_METHOD_BYTES: usize = 13;
+// Parameter types and instructions are at least one tag/opcode byte.
+const MIN_TY_BYTES: usize = 1;
+const MIN_INSTR_BYTES: usize = 1;
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -318,13 +331,31 @@ impl<'a> Reader<'a> {
         DecodeError { offset: self.pos, message: message.into() }
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
+        if n > self.remaining() {
             return Err(self.error("unexpected end of input"));
         }
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)
+    }
+
+    /// Reads a `u32` count of items that each occupy at least
+    /// `min_item_bytes`, rejecting counts the remaining input cannot
+    /// possibly satisfy.
+    fn count(&mut self, min_item_bytes: usize, what: &str) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        match n.checked_mul(min_item_bytes) {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(self.error(format!(
+                "{what} count {n} exceeds remaining input ({} bytes)",
+                self.remaining()
+            ))),
+        }
     }
 
     fn u8(&mut self) -> Result<u8, DecodeError> {
@@ -377,8 +408,8 @@ impl<'a> Reader<'a> {
 
     fn method(&mut self) -> Result<MethodDef, DecodeError> {
         let name = self.str_()?;
-        let nparams = self.u32()? as usize;
-        let mut params = Vec::with_capacity(nparams.min(256));
+        let nparams = self.count(MIN_TY_BYTES, "parameter")?;
+        let mut params = Vec::with_capacity(nparams);
         for _ in 0..nparams {
             params.push(self.ty()?);
         }
@@ -393,8 +424,8 @@ impl<'a> Reader<'a> {
         };
         let code = if self.u8()? == 1 {
             let max_locals = self.u16()?;
-            let n = self.u32()? as usize;
-            let mut instrs = Vec::with_capacity(n.min(65536));
+            let n = self.count(MIN_INSTR_BYTES, "instruction")?;
+            let mut instrs = Vec::with_capacity(n);
             for _ in 0..n {
                 instrs.push(self.instr()?);
             }
@@ -529,6 +560,48 @@ mod tests {
         bytes.push(0);
         let err = decode(&bytes).unwrap_err();
         assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inflated_field_count() {
+        // A memberless class ends with the three u32 counts, so the
+        // field count is the first of the last 12 bytes.
+        let class = ClassBuilder::new("T").build();
+        let mut bytes = encode(&class);
+        let at = bytes.len() - 12;
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.message.contains("field count"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inflated_instruction_count() {
+        // A one-instruction body ends with ninstrs (4 bytes) + Return (1).
+        let class = ClassBuilder::new("T")
+            .static_method("f", [], Type::Void, |m| {
+                m.instr(Instr::Return);
+            })
+            .build();
+        let mut bytes = encode(&class);
+        let at = bytes.len() - 5;
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.message.contains("instruction count"), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_and_length_inflation_fails_cleanly() {
+        // No prefix of a valid encoding decodes, and no 4-byte window
+        // stamped with 0xFFFFFFFF can panic or allocate past the buffer.
+        let bytes = encode(&sample_class());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+        for at in 0..bytes.len().saturating_sub(4) {
+            let mut mutant = bytes.clone();
+            mutant[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let _ = decode(&mutant); // must return, not panic or OOM
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@ use crate::name::ClassName;
 use crate::ty::Type;
 use crate::{ClassResolver, OBJECT_CLASS, STRING_CLASS};
 
+/// Hard bound on the simulated operand-stack depth. Real MJ code never
+/// comes close; a method that pushes past this (e.g. a decoded class file
+/// with a hostile unbounded-push loop) is rejected instead of letting the
+/// verifier's frames — and later the interpreter's stack — grow without
+/// limit.
+pub const MAX_OPERAND_STACK: usize = 4096;
+
 /// A verification failure, with enough context to debug generated code.
 #[derive(Clone, PartialEq, Eq)]
 pub struct VerifyError {
@@ -334,6 +341,9 @@ impl<'a, R: ClassResolver> MethodVerifier<'a, R> {
             let mut successors: Vec<usize> = Vec::with_capacity(2);
 
             self.step(pc, instr, &mut out)?;
+            if out.stack.len() > MAX_OPERAND_STACK {
+                return Err(self.err(pc, "operand stack overflow"));
+            }
 
             if let Some(target) = instr.branch_target() {
                 let target = target as usize;
@@ -854,6 +864,42 @@ mod tests {
             .build()]);
         let err = verify_one(&set, "T").unwrap_err();
         assert!(err.message.contains("depth mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_operand_stack_overflow() {
+        // Straight-line pushes past the bound: no join, no underflow —
+        // only the depth limit can reject this.
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [], Type::Void, |m| {
+                for _ in 0..=MAX_OPERAND_STACK {
+                    m.instr(Instr::ConstInt(1));
+                }
+                m.instr(Instr::Return);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("operand stack overflow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_merge_point_type_conflict() {
+        // Same depth on both paths, but int on one and bool on the other:
+        // the join merges to <unusable>, which `Not` then cannot consume.
+        let set = with_object([ClassBuilder::new("T")
+            .static_method("f", [Type::Bool], Type::Bool, |m| {
+                m.instr(Instr::Load(0));
+                let j = m.emit_forward(Instr::JumpIfFalse(0));
+                m.instr(Instr::ConstInt(1));
+                let out = m.emit_forward(Instr::Jump(0));
+                m.patch_to_here(j);
+                m.instr(Instr::ConstBool(true));
+                m.patch_to_here(out);
+                m.instr(Instr::Not).instr(Instr::ReturnValue);
+            })
+            .build()]);
+        let err = verify_one(&set, "T").unwrap_err();
+        assert!(err.message.contains("expected bool on stack, found <unusable>"), "{err}");
     }
 
     #[test]

@@ -655,6 +655,12 @@ impl<'u> UpdateController<'u> {
         let state = std::mem::replace(&mut self.state, State::Pending);
         match state {
             State::Pending => {
+                // Cross-validate the (untrusted) spec against its payload
+                // before anything touches the VM: abort here costs nothing
+                // to roll back (the ledger is empty).
+                if let Err(e) = crate::validate::validate_update(self.update) {
+                    return self.abort(vm, e, t);
+                }
                 self.emit(UpdateEvent::PhaseEntered {
                     phase: UpdatePhase::WaitingForSafePoint,
                     tick: vm.tick(),
@@ -1268,6 +1274,12 @@ impl<'u> UpdateController<'u> {
             &update.new_classes,
         )
         .map_err(|e| UpdateError::Compile(e.to_string()))?;
+        // Pin the transformer calling conventions before loading: the
+        // heap-transformation phase invokes jvolve_object_X(to, from) /
+        // jvolve_class_X() blindly, so a retyped transformer must abort
+        // here (with a full ledger rollback) rather than push mistyped
+        // values into the VM.
+        crate::validate::check_transformer_signatures(&update.spec, &transformer_classes)?;
         vm.load_classes(&transformer_classes)?;
         self.emit(UpdateEvent::ClassesLoaded {
             count: transformer_classes.len(),

@@ -25,6 +25,14 @@ pub enum UpdateError {
         /// Description, e.g. "updated class Foo missing from the new version".
         message: String,
     },
+    /// A transformer method exists but has the wrong shape: not static,
+    /// wrong parameter types, or a non-void return. Invoking it anyway
+    /// would push mistyped values into the VM, so the update aborts (and
+    /// rolls back) instead.
+    BadTransformer {
+        /// Description, e.g. "jvolve_object_User must take (User, v1_User)".
+        message: String,
+    },
     /// A VM operation failed (load, GC overflow, transformer trap, …).
     Vm(VmError),
     /// The update changes nothing.
@@ -47,6 +55,9 @@ impl fmt::Display for UpdateError {
             ),
             UpdateError::Compile(msg) => write!(f, "update compilation failed: {msg}"),
             UpdateError::BadSpec { message } => write!(f, "malformed update spec: {message}"),
+            UpdateError::BadTransformer { message } => {
+                write!(f, "ill-typed transformer: {message}")
+            }
             UpdateError::Vm(e) => write!(f, "VM error during update: {e}"),
             UpdateError::Empty => f.write_str("update changes nothing"),
             UpdateError::Unsupported { reason } => write!(f, "update unsupported: {reason}"),

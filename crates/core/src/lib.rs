@@ -64,6 +64,7 @@ pub mod report;
 pub mod restricted;
 pub mod spec;
 pub mod transform;
+pub mod validate;
 
 pub use controller::{
     ControllerCounters, JsonTraceSink, MemorySink, StepProgress, UpdateController, UpdateEvent,
@@ -73,3 +74,4 @@ pub use driver::{apply, ApplyOptions, Update, UpdateStats};
 pub use error::UpdateError;
 pub use report::{ReleaseSummary, UpdateOutcome};
 pub use spec::{ClassChangeKind, ClassDelta, UpdateSpec};
+pub use validate::{check_transformer_signatures, validate_update};

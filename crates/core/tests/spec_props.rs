@@ -1,0 +1,137 @@
+//! Lossless-roundtrip property test for the `UpdateSpec` JSON format.
+//!
+//! The spec file is the update's on-disk interface, so the serializer and
+//! parser must be exact inverses: `from_json(to_json(s)) == s` for every
+//! spec, and a second `to_json` must be byte-identical to the first (the
+//! format is canonical — no key reordering, float drift, or whitespace
+//! wobble between writes).
+
+use jvolve::{ClassChangeKind, ClassDelta, UpdateSpec};
+use jvolve_classfile::{ClassName, MethodRef};
+
+// ---- deterministic rng (SplitMix64, as in tests/testkit) ---------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn name_like(&mut self, first: &str, rest: &str, max_tail: usize) -> String {
+        let firsts: Vec<char> = first.chars().collect();
+        let rests: Vec<char> = rest.chars().collect();
+        let mut s = String::new();
+        s.push(firsts[self.below(firsts.len())]);
+        for _ in 0..self.below(max_tail + 1) {
+            s.push(rests[self.below(rests.len())]);
+        }
+        s
+    }
+
+    fn ident(&mut self) -> String {
+        self.name_like(
+            "abcdefghijklmnopqrstuvwxyz",
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+            8,
+        )
+    }
+
+    fn class_name(&mut self) -> String {
+        self.name_like(
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+            8,
+        )
+    }
+}
+
+// ---- generators --------------------------------------------------------
+
+fn idents(rng: &mut Rng, max: usize) -> Vec<String> {
+    (0..rng.below(max + 1)).map(|_| rng.ident()).collect()
+}
+
+fn random_delta(rng: &mut Rng) -> ClassDelta {
+    let kind =
+        if rng.bool() { ClassChangeKind::ClassUpdate } else { ClassChangeKind::MethodBodyOnly };
+    let mut d = ClassDelta::empty(ClassName::from(rng.class_name()), kind);
+    d.fields_added = idents(rng, 3);
+    d.fields_deleted = idents(rng, 3);
+    d.fields_changed = idents(rng, 3);
+    d.statics_added = idents(rng, 2);
+    d.statics_deleted = idents(rng, 2);
+    d.statics_changed = idents(rng, 2);
+    d.methods_added = idents(rng, 3);
+    d.methods_deleted = idents(rng, 3);
+    d.methods_body_changed = idents(rng, 3);
+    d.methods_sig_changed = idents(rng, 3);
+    d.superclass_changed = rng.bool();
+    d.inherited_only = rng.bool();
+    d
+}
+
+fn random_spec(rng: &mut Rng) -> UpdateSpec {
+    UpdateSpec {
+        version_prefix: format!("v{}_", rng.below(1000)),
+        changed: (0..rng.below(5)).map(|_| random_delta(rng)).collect(),
+        added_classes: (0..rng.below(4)).map(|_| ClassName::from(rng.class_name())).collect(),
+        deleted_classes: (0..rng.below(4)).map(|_| ClassName::from(rng.class_name())).collect(),
+        indirect_methods: (0..rng.below(6))
+            .map(|_| MethodRef::new(rng.class_name(), rng.ident()))
+            .collect(),
+    }
+}
+
+// ---- properties --------------------------------------------------------
+
+#[test]
+fn json_roundtrip_is_lossless_and_canonical() {
+    for seed in 0..500 {
+        let mut rng = Rng::new(seed);
+        let spec = random_spec(&mut rng);
+        let json = spec.to_json();
+        let parsed = UpdateSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{json}"));
+        assert_eq!(spec, parsed, "seed {seed}: value drift through JSON");
+        assert_eq!(json, parsed.to_json(), "seed {seed}: encode is not canonical");
+    }
+}
+
+#[test]
+fn empty_and_maximal_edges_roundtrip() {
+    let empty = UpdateSpec {
+        version_prefix: "v0_".into(),
+        changed: vec![],
+        added_classes: vec![],
+        deleted_classes: vec![],
+        indirect_methods: vec![],
+    };
+    assert_eq!(empty, UpdateSpec::from_json(&empty.to_json()).unwrap());
+
+    // A delta with every list populated and both flags set.
+    let mut rng = Rng::new(0xBEEF);
+    let mut spec = random_spec(&mut rng);
+    let mut d = random_delta(&mut rng);
+    d.fields_added.push("x".into());
+    d.superclass_changed = true;
+    d.inherited_only = true;
+    spec.changed.push(d);
+    assert_eq!(spec, UpdateSpec::from_json(&spec.to_json()).unwrap());
+}

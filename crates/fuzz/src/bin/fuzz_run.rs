@@ -1,0 +1,163 @@
+//! `fuzz_run` — deterministic fuzzing of the update pipeline.
+//!
+//! ```text
+//! fuzz_run [--seed N] [--iters N] [--family codec|spec|semantic|stream|all]
+//!          [--replay <corpus-file-or-dir>]
+//! ```
+//!
+//! Without `--replay`, runs `--iters` iterations (default 1000) of the
+//! selected family (default `all`, meaning the full budget per family)
+//! from `--seed` (default 1). With `--replay`, replays one committed
+//! corpus entry — or every entry in a directory — instead; `--replay`
+//! conflicts with the generation flags.
+//!
+//! Exit codes: 0 on success, 1 on an oracle violation (a reproducer
+//! command line is printed), 2 on a usage error. Unknown flags, missing
+//! or malformed values, and duplicate flags are all rejected with the
+//! usage message.
+
+use std::process::ExitCode;
+
+use jvolve_fuzz::{corpus, run_family, Family, FuzzReport};
+
+const USAGE: &str = "usage: fuzz_run [--seed N] [--iters N] \
+     [--family codec|spec|semantic|stream|all] [--replay <corpus-file-or-dir>]";
+
+struct Cli {
+    seed: u64,
+    iters: u64,
+    families: Vec<Family>,
+    replay: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut values: [(&str, Option<String>); 4] =
+        [("--seed", None), ("--iters", None), ("--family", None), ("--replay", None)];
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if !arg.starts_with("--") {
+            return Err(format!("unexpected argument {arg}"));
+        }
+        let slot = values
+            .iter_mut()
+            .find(|(name, _)| *name == arg)
+            .map(|(_, slot)| slot)
+            .ok_or_else(|| format!("unknown flag {arg}"))?;
+        if slot.is_some() {
+            return Err(format!("duplicate flag {arg}"));
+        }
+        let v = args.get(i + 1).ok_or_else(|| format!("{arg} needs a value"))?;
+        if v.starts_with("--") {
+            return Err(format!("{arg} needs a value, got flag {v}"));
+        }
+        *slot = Some(v.clone());
+        i += 2;
+    }
+    let mut take = |name: &str| {
+        values.iter_mut().find(|(n, _)| *n == name).expect("known flag").1.take()
+    };
+    let seed = take("--seed");
+    let iters = take("--iters");
+    let family = take("--family");
+    let replay = take("--replay");
+
+    if replay.is_some() {
+        for (flag, set) in
+            [("--seed", seed.is_some()), ("--iters", iters.is_some()), ("--family", family.is_some())]
+        {
+            if set {
+                return Err(format!("{flag} conflicts with --replay"));
+            }
+        }
+    }
+    let families = match family.as_deref() {
+        None | Some("all") => Family::ALL.to_vec(),
+        Some(name) => {
+            vec![Family::parse(name).ok_or_else(|| format!("unknown family {name}"))?]
+        }
+    };
+    Ok(Cli {
+        seed: parse_num("--seed", seed)?.unwrap_or(1),
+        iters: parse_num("--iters", iters)?.unwrap_or(1000),
+        families,
+        replay,
+    })
+}
+
+fn parse_num(flag: &str, value: Option<String>) -> Result<Option<u64>, String> {
+    value
+        .map(|v| v.parse().map_err(|_| format!("{flag} expects a number, got {v}")))
+        .transpose()
+}
+
+fn print_report(label: &str, report: &FuzzReport) {
+    println!(
+        "{label}: {} iters, {} accepted, {} rejected (typed), 0 panics",
+        report.iters, report.accepted, report.rejected
+    );
+}
+
+fn replay(path: &str) -> ExitCode {
+    let path = std::path::Path::new(path);
+    let entries = if path.is_dir() {
+        match corpus::load_dir(path) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("fuzz_run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|text| {
+                corpus::CorpusEntry::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+            }) {
+            Ok(entry) => vec![entry],
+            Err(e) => {
+                eprintln!("fuzz_run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("fuzz_run: no corpus entries under {}", path.display());
+        return ExitCode::FAILURE;
+    }
+    for entry in &entries {
+        match entry.replay() {
+            Ok(report) => print_report(&format!("replay {}", entry.name), &report),
+            Err(failure) => {
+                eprintln!("fuzz_run: regression {} returned:\n{failure}", entry.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("fuzz_run: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &cli.replay {
+        return replay(path);
+    }
+    for family in cli.families {
+        match run_family(family, cli.seed, cli.iters) {
+            Ok(report) => print_report(family.name(), &report),
+            Err(failure) => {
+                eprintln!("fuzz_run: {failure}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! Family (a): byte-level mutation of encoded class files.
+//!
+//! Encode a random class, damage the bytes, and replay through
+//! `codec::decode`. The decoder must return a typed [`DecodeError`] or a
+//! class — never panic, and never allocate unboundedly from a hostile
+//! length prefix (every mutant is at most a few hundred bytes, so any
+//! count it can smuggle in is bounded by the remaining-input check).
+//! Anything accepted must re-encode canonically: `decode(encode(d)) == d`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use jvolve_classfile::codec;
+
+use crate::rng::Rng;
+use crate::{gen, panic_message, Family, FuzzFailure, FuzzReport};
+
+/// Damages `bytes` in place with 1–4 structure-aware mutations.
+pub fn mutate_bytes(rng: &mut Rng, bytes: &mut Vec<u8>) {
+    for _ in 0..rng.range(1, 5) {
+        if bytes.is_empty() {
+            bytes.push(rng.byte());
+            continue;
+        }
+        match rng.below(6) {
+            // Single bit flip.
+            0 => {
+                let at = rng.below(bytes.len());
+                bytes[at] ^= 1 << rng.below(8);
+            }
+            // Overwrite one byte.
+            1 => {
+                let at = rng.below(bytes.len());
+                bytes[at] = rng.byte();
+            }
+            // Truncate.
+            2 => bytes.truncate(rng.below(bytes.len())),
+            // Extend with random bytes.
+            3 => {
+                for _ in 0..rng.range(1, 9) {
+                    bytes.push(rng.byte());
+                }
+            }
+            // Stamp a 4-byte window with a hostile length prefix.
+            4 if bytes.len() >= 4 => {
+                let at = rng.below(bytes.len() - 3);
+                let v = if rng.bool() { u32::MAX } else { rng.next_u64() as u32 };
+                bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            // Splice: copy one chunk over another.
+            _ => {
+                let len = rng.range(1, 9).min(bytes.len());
+                let src = rng.below(bytes.len() - len + 1);
+                let dst = rng.below(bytes.len() - len + 1);
+                let chunk: Vec<u8> = bytes[src..src + len].to_vec();
+                bytes[dst..dst + len].copy_from_slice(&chunk);
+            }
+        }
+    }
+}
+
+pub(crate) fn run(seed: u64, iters: u64) -> Result<FuzzReport, FuzzFailure> {
+    let mut report = FuzzReport::default();
+    let fail = |iter: u64, message: String| FuzzFailure {
+        family: Family::Codec,
+        seed,
+        iter,
+        message,
+    };
+    for iter in 0..iters {
+        report.iters += 1;
+        let mut rng = Rng::for_iter(seed, iter);
+        let class = gen::class_file(&mut rng);
+        let mut bytes = codec::encode(&class);
+        mutate_bytes(&mut rng, &mut bytes);
+
+        match catch_unwind(AssertUnwindSafe(|| codec::decode(&bytes))) {
+            Err(payload) => {
+                return Err(fail(iter, format!("decode panicked: {}", panic_message(payload))));
+            }
+            Ok(Err(_typed)) => report.reject(),
+            Ok(Ok(decoded)) => {
+                // Accepted mutants must re-encode canonically.
+                let reencoded = codec::encode(&decoded);
+                match codec::decode(&reencoded) {
+                    Ok(again) if again == decoded => report.accept(),
+                    Ok(_) => {
+                        return Err(fail(iter, "re-encode/decode changed the class".into()));
+                    }
+                    Err(e) => {
+                        return Err(fail(iter, format!("accepted class fails to re-decode: {e}")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,109 @@
+//! The committed regression corpus.
+//!
+//! Every crash or oracle violation the fuzzer has ever found is frozen as
+//! a corpus entry — a `(family, seed, iters)` triple that covered the
+//! failing input — in `corpus/*.json`. `tests/corpus.rs` replays the
+//! whole directory on every `cargo test`, and `fuzz_run --replay <file>`
+//! replays one entry (or a directory) from the command line, so a fixed
+//! bug can never silently return.
+//!
+//! Entry format (one JSON object per file):
+//!
+//! ```json
+//! {
+//!   "name": "codec-count-inflation",
+//!   "family": "codec",
+//!   "seed": "71",
+//!   "iters": "200",
+//!   "description": "what the original failure was"
+//! }
+//! ```
+//!
+//! `seed`/`iters` are strings so 64-bit seeds survive the float-only JSON
+//! number representation.
+
+use std::path::Path;
+
+use jvolve_json::Json;
+
+use crate::{run_family, Family, FuzzFailure, FuzzReport};
+
+/// One replayable corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Unique name (the file stem, by convention).
+    pub name: String,
+    /// Which mutator family found it.
+    pub family: Family,
+    /// Run seed.
+    pub seed: u64,
+    /// Iterations to cover the original failure.
+    pub iters: u64,
+    /// What the original failure was.
+    pub description: String,
+}
+
+impl CorpusEntry {
+    /// Parses one entry from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// A description of the parse or schema failure.
+    pub fn from_json(text: &str) -> Result<CorpusEntry, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let num_field = |key: &str| {
+            str_field(key)?.parse::<u64>().map_err(|_| format!("field '{key}' is not a u64"))
+        };
+        let family_name = str_field("family")?;
+        Ok(CorpusEntry {
+            name: str_field("name")?,
+            family: Family::parse(&family_name)
+                .ok_or_else(|| format!("unknown family '{family_name}'"))?,
+            seed: num_field("seed")?,
+            iters: num_field("iters")?,
+            description: str_field("description")?,
+        })
+    }
+
+    /// Replays the entry.
+    ///
+    /// # Errors
+    ///
+    /// The regression has returned: the original (or a new) failure.
+    pub fn replay(&self) -> Result<FuzzReport, FuzzFailure> {
+        run_family(self.family, self.seed, self.iters)
+    }
+}
+
+/// The corpus directory committed with this crate.
+pub fn default_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every `*.json` entry in `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// An IO or parse failure, naming the offending file.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            CorpusEntry::from_json(&text).map_err(|e| format!("{}: {e}", p.display()))
+        })
+        .collect()
+}

@@ -1,0 +1,295 @@
+//! Family (c): semantic mutation of *valid* prepared updates.
+//!
+//! Start from an update that `Update::prepare` produced — spec and
+//! payload in perfect agreement — then desynchronize exactly one thing:
+//! drop or retype a transformer, flip a `ClassChangeKind`, remove a class
+//! from the payload, truncate the delta batch, dangle an indirect method.
+//! Oracles:
+//!
+//! * every rejection is the *expected* typed [`UpdateError`] variant
+//!   (never a panic, never a silent commit of a corrupted update);
+//! * every aborted install leaves the VM bit-identical — both
+//!   `Registry::version_fingerprint` and the heap fingerprint;
+//! * benign mutants (no mutation, or an extra-but-resolvable indirect
+//!   method) must commit with the expected guest-visible result, and the
+//!   eager and lazy protocols must agree on it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use jvolve::{apply, ApplyOptions, ClassChangeKind, Update, UpdateError};
+use jvolve_classfile::{ClassFile, ClassName, MethodRef};
+use jvolve_vm::{Value, Vm, VmConfig};
+
+use crate::rng::Rng;
+use crate::{panic_message, Family, FuzzFailure, FuzzReport};
+
+/// A guest program pair with a known post-update probe value.
+struct Pair {
+    v1: &'static str,
+    v2: &'static str,
+    /// `Main.probe()` before the update.
+    probe_before: i64,
+    /// `Main.probe()` after a clean update.
+    probe_after: i64,
+    /// Whether the diff contains a `ClassUpdate` (transformer mutations
+    /// only make sense when a transformer is required).
+    has_class_update: bool,
+}
+
+/// Pair A: a layout change (field added) — a class update with a required
+/// object transformer. The default transformer copies `a` and zeroes `b`.
+const PAIR_A: Pair = Pair {
+    v1: "
+class P {
+  field a: int;
+  ctor(x: int) { this.a = x; }
+  method get(): int { return this.a; }
+}
+class Main {
+  static field p: P;
+  static method setup(): void { Main.p = new P(7); }
+  static method probe(): int { return Main.p.get(); }
+}",
+    v2: "
+class P {
+  field a: int;
+  field b: int;
+  ctor(x: int) { this.a = x; this.b = 1; }
+  method get(): int { return this.a + this.b; }
+}
+class Main {
+  static field p: P;
+  static method setup(): void { Main.p = new P(7); }
+  static method probe(): int { return Main.p.get(); }
+}",
+    probe_before: 7,
+    probe_after: 7, // live object keeps a=7, gains b=0
+    has_class_update: true,
+};
+
+/// Pair B: class added, class deleted, method body changed — no class
+/// update, so no transformer is required.
+const PAIR_B: Pair = Pair {
+    v1: "
+class Old {
+  static method f(): int { return 1; }
+}
+class Main {
+  static field x: int;
+  static method setup(): void { Main.x = Old.f(); }
+  static method probe(): int { return Main.x + 100; }
+}",
+    v2: "
+class Fresh {
+  static method f(): int { return 2; }
+}
+class Main {
+  static field x: int;
+  static method setup(): void { Main.x = Fresh.f(); }
+  static method probe(): int { return Main.x + 200; }
+}",
+    probe_before: 101,
+    probe_after: 201, // x=1 survives; probe body swapped
+    has_class_update: false,
+};
+
+fn compiled(pair: &Pair) -> &'static (Vec<ClassFile>, Vec<ClassFile>) {
+    static CACHE: [OnceLock<(Vec<ClassFile>, Vec<ClassFile>)>; 2] =
+        [OnceLock::new(), OnceLock::new()];
+    let slot = if pair.has_class_update { &CACHE[0] } else { &CACHE[1] };
+    slot.get_or_init(|| {
+        (
+            jvolve_lang::compile(pair.v1).expect("fixture v1 compiles"),
+            jvolve_lang::compile(pair.v2).expect("fixture v2 compiles"),
+        )
+    })
+}
+
+fn boot(pair: &Pair, lazy: bool) -> (Vm, Update) {
+    let (v1, v2) = compiled(pair);
+    let mut vm =
+        Vm::new(VmConfig { lazy_migration: lazy, gc_threads: 1, ..VmConfig::small() });
+    vm.load_classes(v1).expect("v1 loads");
+    vm.call_static_sync("Main", "setup", &[]).expect("setup runs");
+    let update = Update::prepare(v1, v2, "v1_").expect("update prepares");
+    (vm, update)
+}
+
+fn probe(vm: &mut Vm) -> i64 {
+    match vm.call_static_sync("Main", "probe", &[]) {
+        Ok(Some(Value::Int(n))) => n,
+        other => panic!("probe returned {other:?}"),
+    }
+}
+
+/// What a mutation is expected to do to the update.
+enum Expect {
+    Commit,
+    BadSpec,
+    Compile,
+    BadTransformer,
+}
+
+/// Applies one mutation to `update`; returns the expectation and a label.
+fn mutate(rng: &mut Rng, pair: &Pair, update: &mut Update) -> (Expect, &'static str) {
+    // Transformer mutations need a required transformer; spec mutations
+    // need a changed/added/deleted class to damage — both pairs have those.
+    let menu: &[usize] = if pair.has_class_update {
+        &[0, 1, 2, 3, 4, 5, 6, 7, 8]
+    } else {
+        &[0, 1, 3, 4, 5, 6]
+    };
+    match rng.pick(menu) {
+        // Benign: untouched update.
+        0 => (Expect::Commit, "none"),
+        // Benign: an extra indirect method that resolves in the old
+        // version — a superset spec is safe and must still commit.
+        1 => {
+            let extra = MethodRef::new("Main", "setup");
+            if !update.spec.indirect_methods.contains(&extra) {
+                update.spec.indirect_methods.push(extra);
+            }
+            (Expect::Commit, "extra-resolvable-indirect")
+        }
+        // Flip the class-update kind: code compiled for the new layout
+        // would run over untransformed objects. Must die in validation.
+        2 => {
+            let d = update
+                .spec
+                .changed
+                .iter_mut()
+                .find(|d| d.kind == ClassChangeKind::ClassUpdate)
+                .expect("pair has a class update");
+            d.kind = ClassChangeKind::MethodBodyOnly;
+            (Expect::BadSpec, "flipped-kind")
+        }
+        // Desynchronize spec and payload: a changed class vanishes from
+        // the new version.
+        3 => {
+            let name = update.spec.changed.first().expect("has deltas").name.clone();
+            update.new_classes.remove(&name);
+            (Expect::BadSpec, "payload-missing-class")
+        }
+        // Truncate the batch: drop a delta the payload diff requires.
+        4 => {
+            update.spec.changed.clear();
+            (Expect::BadSpec, "truncated-deltas")
+        }
+        // Dangling indirect method.
+        5 => {
+            update.spec.indirect_methods.push(MethodRef::new("Ghost", "haunt"));
+            (Expect::BadSpec, "dangling-indirect")
+        }
+        // Dangling added class.
+        6 => {
+            update.spec.added_classes.push(ClassName::from("Ghost"));
+            (Expect::BadSpec, "dangling-added")
+        }
+        // Drop the required transformer.
+        7 => {
+            update.set_transformers_source("class JvolveTransformers { }");
+            (Expect::Compile, "dropped-transformer")
+        }
+        // Retype the required transformer: wrong `from` parameter type.
+        _ => {
+            update.set_transformers_source(
+                "class JvolveTransformers {
+                   static method jvolve_object_P(to: P, from: P): void { to.a = from.a; }
+                 }",
+            );
+            (Expect::BadTransformer, "retyped-transformer")
+        }
+    }
+}
+
+fn check_commit(
+    vm: &mut Vm,
+    pair: &Pair,
+    fail: &impl Fn(String) -> FuzzFailure,
+    label: &str,
+) -> Result<(u64, String), FuzzFailure> {
+    let got = probe(vm);
+    if got != pair.probe_after {
+        return Err(fail(format!(
+            "{label}: committed probe {got}, expected {}",
+            pair.probe_after
+        )));
+    }
+    Ok((vm.heap_fingerprint(), vm.registry().version_fingerprint()))
+}
+
+pub(crate) fn run(seed: u64, iters: u64) -> Result<FuzzReport, FuzzFailure> {
+    let mut report = FuzzReport::default();
+    for iter in 0..iters {
+        report.iters += 1;
+        let mut rng = Rng::for_iter(seed, iter);
+        let pair = if rng.bool() { &PAIR_A } else { &PAIR_B };
+        let fail = |message: String| FuzzFailure { family: Family::Semantic, seed, iter, message };
+
+        let (mut vm, mut update) = boot(pair, false);
+        if probe(&mut vm) != pair.probe_before {
+            return Err(fail("fixture probe drifted before the update".into()));
+        }
+        let reg_before = vm.registry().version_fingerprint();
+        let heap_before = vm.heap_fingerprint();
+        let (expect, label) = mutate(&mut rng, pair, &mut update);
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            apply(&mut vm, &update, &ApplyOptions::default())
+        }));
+        let outcome = match outcome {
+            Err(payload) => {
+                return Err(fail(format!("{label}: panicked: {}", panic_message(payload))));
+            }
+            Ok(o) => o,
+        };
+
+        match (&expect, outcome) {
+            (Expect::Commit, Ok(_)) => {
+                let (heap_eager, reg_eager) = check_commit(&mut vm, pair, &fail, label)?;
+                // Differential: the same benign update must commit to the
+                // same observable state under the lazy protocol.
+                let (mut lazy_vm, mut lazy_update) = boot(pair, true);
+                let mut lazy_rng = Rng::for_iter(seed, iter);
+                let _ = lazy_rng.bool(); // keep pair pick in lockstep
+                let _ = mutate(&mut lazy_rng, pair, &mut lazy_update);
+                apply(&mut lazy_vm, &lazy_update, &ApplyOptions::default())
+                    .map_err(|e| fail(format!("{label}: lazy apply failed: {e}")))?;
+                let (heap_lazy, reg_lazy) = check_commit(&mut lazy_vm, pair, &fail, label)?;
+                if heap_lazy != heap_eager || reg_lazy != reg_eager {
+                    return Err(fail(format!("{label}: eager and lazy outcomes diverge")));
+                }
+                report.accept();
+            }
+            (Expect::Commit, Err(e)) => {
+                return Err(fail(format!("{label}: benign update rejected: {e}")));
+            }
+            (_, Ok(_)) => {
+                return Err(fail(format!("{label}: corrupted update was accepted")));
+            }
+            (_, Err(e)) => {
+                let matches_expected = matches!(
+                    (&expect, &e),
+                    (Expect::BadSpec, UpdateError::BadSpec { .. })
+                        | (Expect::Compile, UpdateError::Compile(_))
+                        | (Expect::BadTransformer, UpdateError::BadTransformer { .. })
+                );
+                if !matches_expected {
+                    return Err(fail(format!("{label}: wrong error type: {e}")));
+                }
+                if vm.registry().version_fingerprint() != reg_before {
+                    return Err(fail(format!("{label}: registry fingerprint diverged after abort")));
+                }
+                if vm.heap_fingerprint() != heap_before {
+                    return Err(fail(format!("{label}: heap fingerprint diverged after abort")));
+                }
+                if probe(&mut vm) != pair.probe_before {
+                    return Err(fail(format!("{label}: old version broken after abort")));
+                }
+                report.reject();
+            }
+        }
+    }
+    Ok(report)
+}

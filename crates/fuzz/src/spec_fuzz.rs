@@ -1,0 +1,161 @@
+//! Family (b): JSON-level mutation of serialized update specs.
+//!
+//! Serialize a random [`UpdateSpec`], damage it — structurally (walk the
+//! JSON tree and confuse types, delete or duplicate keys, dangle names)
+//! or textually (truncate, splice, corrupt characters) — and replay
+//! through `UpdateSpec::from_json`. The parser must return `Err(String)`
+//! or a spec — never panic — and any accepted mutant must round-trip
+//! losslessly through the canonical encoder.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use jvolve::UpdateSpec;
+use jvolve_json::Json;
+
+use crate::rng::Rng;
+use crate::{gen, panic_message, Family, FuzzFailure, FuzzReport};
+
+/// Collects mutable references to every node in the tree (preorder).
+fn node_count(v: &Json) -> usize {
+    1 + match v {
+        Json::Arr(items) => items.iter().map(node_count).sum(),
+        Json::Obj(members) => members.iter().map(|(_, m)| node_count(m)).sum(),
+        _ => 0,
+    }
+}
+
+fn nth_node_mut<'a>(v: &'a mut Json, n: &mut usize) -> Option<&'a mut Json> {
+    if *n == 0 {
+        return Some(v);
+    }
+    *n -= 1;
+    match v {
+        Json::Arr(items) => items.iter_mut().find_map(|m| nth_node_mut(m, n)),
+        Json::Obj(members) => members.iter_mut().find_map(|(_, m)| nth_node_mut(m, n)),
+        _ => None,
+    }
+}
+
+/// One structural mutation of the JSON tree.
+pub fn mutate_tree(rng: &mut Rng, root: &mut Json) {
+    let total = node_count(root);
+    let mut n = rng.below(total);
+    let Some(node) = nth_node_mut(root, &mut n) else { return };
+    match rng.below(6) {
+        // Type confusion: replace the node with a different-typed value.
+        0 => {
+            *node = match rng.below(5) {
+                0 => Json::Null,
+                1 => Json::Bool(rng.bool()),
+                2 => Json::Num(rng.i64() as f64),
+                3 => Json::Arr(vec![Json::Num(1.0)]),
+                _ => Json::Str(rng.ident()),
+            }
+        }
+        // Delete a key.
+        1 => {
+            if let Json::Obj(members) = node {
+                if !members.is_empty() {
+                    let at = rng.below(members.len());
+                    members.remove(at);
+                }
+            }
+        }
+        // Duplicate a key (with a different value).
+        2 => {
+            if let Json::Obj(members) = node {
+                if !members.is_empty() {
+                    let at = rng.below(members.len());
+                    let key = members[at].0.clone();
+                    members.push((key, Json::Num(rng.below(100) as f64)));
+                }
+            }
+        }
+        // Rename a key.
+        3 => {
+            if let Json::Obj(members) = node {
+                if !members.is_empty() {
+                    let at = rng.below(members.len());
+                    members[at].0 = rng.ident();
+                }
+            }
+        }
+        // Dangle a name: overwrite any string with a fresh identifier.
+        4 => {
+            if let Json::Str(s) = node {
+                *s = rng.class_name();
+            }
+        }
+        // Grow an array with a junk element.
+        _ => {
+            if let Json::Arr(items) = node {
+                items.push(Json::Bool(rng.bool()));
+            }
+        }
+    }
+}
+
+/// One raw-text mutation.
+fn mutate_text(rng: &mut Rng, text: &mut String) {
+    let mut bytes = std::mem::take(text).into_bytes();
+    match rng.below(3) {
+        0 if !bytes.is_empty() => bytes.truncate(rng.below(bytes.len())),
+        1 if !bytes.is_empty() => {
+            let at = rng.below(bytes.len());
+            bytes[at] = rng.byte();
+        }
+        _ => {
+            let junk = [b'{', b'}', b'[', b']', b'"', b',', b'\\', 0xFF];
+            bytes.push(junk[rng.below(junk.len())]);
+        }
+    }
+    *text = String::from_utf8_lossy(&bytes).into_owned();
+}
+
+pub(crate) fn run(seed: u64, iters: u64) -> Result<FuzzReport, FuzzFailure> {
+    let mut report = FuzzReport::default();
+    let fail = |iter: u64, message: String| FuzzFailure {
+        family: Family::Spec,
+        seed,
+        iter,
+        message,
+    };
+    for iter in 0..iters {
+        report.iters += 1;
+        let mut rng = Rng::for_iter(seed, iter);
+        let spec = gen::update_spec(&mut rng);
+        let mut text = spec.to_json();
+
+        // Structural mutations need a parseable tree; fall back to raw
+        // text damage for a third of iterations.
+        if rng.below(3) > 0 {
+            let mut tree = Json::parse(&text).expect("canonical encoding parses");
+            for _ in 0..rng.range(1, 4) {
+                mutate_tree(&mut rng, &mut tree);
+            }
+            text = tree.pretty();
+        } else {
+            for _ in 0..rng.range(1, 4) {
+                mutate_text(&mut rng, &mut text);
+            }
+        }
+
+        match catch_unwind(AssertUnwindSafe(|| UpdateSpec::from_json(&text))) {
+            Err(payload) => {
+                return Err(fail(iter, format!("from_json panicked: {}", panic_message(payload))));
+            }
+            Ok(Err(_typed)) => report.reject(),
+            Ok(Ok(parsed)) => {
+                // Accepted mutants must round-trip losslessly.
+                match UpdateSpec::from_json(&parsed.to_json()) {
+                    Ok(again) if again == parsed => report.accept(),
+                    Ok(_) => return Err(fail(iter, "accepted spec drifts through JSON".into())),
+                    Err(e) => {
+                        return Err(fail(iter, format!("accepted spec fails to re-parse: {e}")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,74 @@
+//! `fuzz_run` command-line contract: unknown, duplicate, malformed, and
+//! conflicting flags are rejected with the usage message and exit code 2.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fuzz_run"))
+        .args(args)
+        .output()
+        .expect("spawn fuzz_run");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn rejects_bad_usage_with_exit_2() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["--bogus", "1"], "unknown flag --bogus"),
+        (&["--seed", "1", "--seed", "2"], "duplicate flag --seed"),
+        (&["--seed"], "--seed needs a value"),
+        (&["--seed", "--iters"], "--seed needs a value, got flag"),
+        (&["--seed", "one"], "--seed expects a number"),
+        (&["--iters", "many"], "--iters expects a number"),
+        (&["--family", "jpeg"], "unknown family jpeg"),
+        (&["--seed", "1", "--replay", "x.json"], "--seed conflicts with --replay"),
+        (&["--family", "codec", "--replay", "x.json"], "--family conflicts with --replay"),
+        (&["stray"], "unexpected argument stray"),
+    ];
+    for (args, needle) in cases {
+        let (code, _, stderr) = run(args);
+        assert_eq!(code, 2, "{args:?} must exit 2; stderr: {stderr}");
+        assert!(stderr.contains(needle), "{args:?}: expected {needle:?} in {stderr:?}");
+        assert!(stderr.contains("usage:"), "{args:?}: usage must be printed");
+    }
+}
+
+#[test]
+fn runs_a_small_budget_on_every_family() {
+    let (code, stdout, stderr) = run(&["--seed", "1", "--iters", "25"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    for family in ["codec", "spec", "semantic", "stream"] {
+        assert!(
+            stdout.contains(&format!("{family}: 25 iters")),
+            "missing {family} report in {stdout:?}"
+        );
+        assert!(stdout.contains("0 panics"), "report must end in 0 panics");
+    }
+}
+
+#[test]
+fn runs_a_single_family() {
+    let (code, stdout, stderr) = run(&["--family", "codec", "--iters", "50"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("codec: 50 iters"), "stdout: {stdout:?}");
+    assert!(!stdout.contains("spec:"), "only the selected family must run");
+}
+
+#[test]
+fn replays_the_committed_corpus_from_the_cli() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let (code, stdout, stderr) = run(&["--replay", dir]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("replay codec-count-inflation"), "stdout: {stdout:?}");
+}
+
+#[test]
+fn replay_of_a_missing_file_fails_with_exit_1() {
+    let (code, _, stderr) = run(&["--replay", "/nonexistent/corpus.json"]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("fuzz_run:"), "stderr: {stderr:?}");
+}

@@ -1,0 +1,30 @@
+//! Replays the committed regression corpus on every `cargo test`, so a
+//! bug the fuzzer once found can never silently return.
+
+use jvolve_fuzz::corpus;
+
+#[test]
+fn every_committed_entry_replays_green() {
+    let entries =
+        corpus::load_dir(&corpus::default_dir()).expect("corpus directory loads");
+    assert!(!entries.is_empty(), "the committed corpus must not be empty");
+    for entry in &entries {
+        let report = entry.replay().unwrap_or_else(|failure| {
+            panic!("regression {} has returned:\n{failure}", entry.name)
+        });
+        assert_eq!(report.iters, entry.iters, "{}: replay budget drifted", entry.name);
+    }
+}
+
+#[test]
+fn entry_parser_rejects_malformed_entries() {
+    for (text, why) in [
+        ("not json", "parse failure"),
+        ("{}", "missing name"),
+        (r#"{"name":"x","family":"jpeg","seed":"1","iters":"1","description":"d"}"#, "bad family"),
+        (r#"{"name":"x","family":"codec","seed":1,"iters":"1","description":"d"}"#, "numeric seed"),
+        (r#"{"name":"x","family":"codec","seed":"-1","iters":"1","description":"d"}"#, "negative"),
+    ] {
+        assert!(corpus::CorpusEntry::from_json(text).is_err(), "must reject: {why}");
+    }
+}

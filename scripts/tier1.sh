@@ -52,6 +52,15 @@ cargo test -q --test lazy_differential
 echo "== tier-1: fleet fault-injection rollback oracle (install failure + health timeout) =="
 cargo test -q -p jvolve-apps --test fleet_faults
 
+# Fuzz smoke: a fixed-seed, bounded-budget pass of all four mutator
+# families over the untrusted-update path (typed rejections only,
+# fingerprint-convergent aborts), then a replay of the committed
+# regression corpus so no fixed crash can silently return.
+echo "== tier-1: adversarial update fuzz smoke (all families, fixed seed) =="
+cargo run --release -q -p jvolve-fuzz --bin fuzz_run -- --seed 1 --iters 250
+echo "== tier-1: fuzz regression-corpus replay =="
+cargo run --release -q -p jvolve-fuzz --bin fuzz_run -- --replay crates/fuzz/corpus
+
 if [ "$skip_bench" = 0 ]; then
     echo "== tier-1: GC pause regression check =="
     cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5
