@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! fleet_run --app webserver|emailserver|ftpserver [--shards N] [--from I]
-//!           [--requests N] [--roll [--eager] [--probes N]]
+//!           [--requests N] [--no-jit | --jit-threshold N]
+//!           [--roll [--eager] [--probes N]]
 //! ```
 //!
 //! Boots `--shards` OS-thread VM shards, each running its own copy of the
@@ -14,9 +15,13 @@
 //! verified probe exchanges, promote — or roll the fleet back to the old
 //! version on the first failure.
 //!
+//! `--no-jit` and `--jit-threshold N` pass the template-JIT tier knobs
+//! through to every shard's VM, exactly as on `jvolve_run`.
+//!
 //! Unknown flags, missing or malformed values, duplicate flags, and
-//! conflicting combinations (`--eager`/`--probes` without `--roll`) are
-//! rejected with the usage message and exit code 2.
+//! conflicting combinations (`--eager`/`--probes` without `--roll`,
+//! `--jit-threshold` with `--no-jit`) are rejected with the usage
+//! message and exit code 2.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,7 +31,7 @@ use jvolve_apps::harness::{app_vm_config, bench_apply_options, prepare_next};
 use jvolve_apps::{AppInstance, Emailserver, Ftpserver, GuestApp, Webserver};
 
 const USAGE: &str = "usage: fleet_run --app webserver|emailserver|ftpserver [--shards N] [--from I] \
-     [--requests N] [--roll [--eager] [--probes N]]";
+     [--requests N] [--no-jit | --jit-threshold N] [--roll [--eager] [--probes N]]";
 
 /// Parsed command line. Every flag is strict: unknown names, missing or
 /// malformed values, duplicates, and conflicts are parse errors.
@@ -35,19 +40,23 @@ struct Cli {
     shards: usize,
     from: usize,
     requests: u64,
+    jit: bool,
+    jit_threshold: Option<u32>,
     roll: bool,
     eager: bool,
     probes: u32,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
-    let mut values: [(&str, Option<String>); 5] = [
+    let mut values: [(&str, Option<String>); 6] = [
         ("--app", None),
         ("--shards", None),
         ("--from", None),
         ("--requests", None),
+        ("--jit-threshold", None),
         ("--probes", None),
     ];
+    let mut jit = true;
     let mut roll = false;
     let mut eager = false;
 
@@ -67,6 +76,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("duplicate flag --eager".into());
                 }
                 eager = true;
+                i += 1;
+            }
+            "--no-jit" => {
+                if !jit {
+                    return Err("duplicate flag --no-jit".into());
+                }
+                jit = false;
                 i += 1;
             }
             _ if arg.starts_with("--") => {
@@ -96,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let shards = take("--shards");
     let from = take("--from");
     let requests = take("--requests");
+    let jit_threshold = take("--jit-threshold");
     let probes = take("--probes");
 
     if !roll {
@@ -105,11 +122,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
+    if jit_threshold.is_some() && !jit {
+        // There is no tier for the threshold to tune.
+        return Err("--jit-threshold conflicts with --no-jit".into());
+    }
     Ok(Cli {
         app,
         shards: parse_num("--shards", shards)?.unwrap_or(4).max(1),
         from: parse_num("--from", from)?.unwrap_or(0),
         requests: parse_num("--requests", requests)?.unwrap_or(50) as u64,
+        jit,
+        jit_threshold: parse_num("--jit-threshold", jit_threshold)?
+            .map(|n| u32::try_from(n.max(1)).unwrap_or(u32::MAX)),
         roll,
         eager,
         probes: parse_num("--probes", probes)?.unwrap_or(4).max(1) as u32,
@@ -156,6 +180,10 @@ fn main() -> ExitCode {
 
     let mut config = app_vm_config();
     config.lazy_migration = cli.roll && !cli.eager;
+    config.enable_jit = cli.jit;
+    if let Some(threshold) = cli.jit_threshold {
+        config.jit_threshold = threshold;
+    }
     let instance: Arc<dyn AppInstance> = match cli.app.as_str() {
         "webserver" => Arc::new(Webserver),
         "emailserver" => Arc::new(Emailserver),

@@ -25,6 +25,13 @@ fn rejects_bad_usage_with_exit_2() {
         (&["--app", "webserver", "--probes", "3"], "--probes requires --roll"),
         (&["--app", "webserver", "stray"], "unexpected argument stray"),
         (&["--app", "nosuchapp"], "unknown app nosuchapp"),
+        (&["--app", "webserver", "--no-jit", "--no-jit"], "duplicate flag --no-jit"),
+        (&["--app", "webserver", "--jit-threshold"], "--jit-threshold needs a value"),
+        (&["--app", "webserver", "--jit-threshold", "soon"], "--jit-threshold expects a number"),
+        (
+            &["--app", "webserver", "--no-jit", "--jit-threshold", "50"],
+            "--jit-threshold conflicts with --no-jit",
+        ),
     ];
     for (args, needle) in cases {
         let (code, stderr) = run(args);
@@ -37,5 +44,25 @@ fn rejects_bad_usage_with_exit_2() {
 #[test]
 fn serves_a_small_fleet_successfully() {
     let (code, stderr) = run(&["--app", "webserver", "--shards", "2", "--requests", "6"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn jit_knobs_pass_through_to_the_shards() {
+    // Both spellings of the knob must boot and serve: tier off, and tier
+    // on with an aggressive promotion threshold.
+    let (code, stderr) =
+        run(&["--app", "webserver", "--shards", "2", "--requests", "6", "--no-jit"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let (code, stderr) = run(&[
+        "--app",
+        "webserver",
+        "--shards",
+        "2",
+        "--requests",
+        "6",
+        "--jit-threshold",
+        "10",
+    ]);
     assert_eq!(code, 0, "stderr: {stderr}");
 }

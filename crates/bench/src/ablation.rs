@@ -8,6 +8,11 @@
 //!   §3.2. Without OSR, updates restricted by category-2 methods on
 //!   always-running stacks time out; without barriers, reaching a safe
 //!   point under load takes longer.
+//! * **Template-JIT tier on vs off** — the stock-vs-DSU overhead story
+//!   with real compiled code in the picture: fused superinstructions
+//!   embed resolved offsets and call targets, so a dynamic update must
+//!   deopt and re-promote them, and steady state afterwards must still
+//!   match the warm-jit run.
 
 use jvolve::modes::apply_lazy;
 use jvolve::{apply, ApplyOptions, UpdateError};
@@ -123,14 +128,28 @@ pub enum ChurnMode {
     LazyUpdated,
 }
 
-/// Wall-clock time of the CPU-bound churn under `mode`, plus the computed
-/// checksum (identical across modes — the correctness anchor).
+/// Wall-clock time of the CPU-bound churn under `mode` on the default VM
+/// (template-JIT tier on), plus the computed checksum (identical across
+/// modes — the correctness anchor).
 pub fn churn_wall_time(mode: ChurnMode, nodes: i64, iters: i64) -> (std::time::Duration, i64) {
+    churn_wall_time_with_jit(mode, nodes, iters, true)
+}
+
+/// [`churn_wall_time`] with the template-JIT tier pinned on or off — the
+/// jit ablation axis: the same churn, same checksum, with fused code
+/// either carrying the hot loops or the cached interpreter doing so.
+pub fn churn_wall_time_with_jit(
+    mode: ChurnMode,
+    nodes: i64,
+    iters: i64,
+    jit: bool,
+) -> (std::time::Duration, i64) {
     use jvolve_vm::Value;
     let lazy = matches!(mode, ChurnMode::Lazy | ChurnMode::LazyUpdated);
     let mut vm = jvolve_vm::Vm::new(VmConfig {
         lazy_indirection: lazy,
         semispace_words: 512 * 1024,
+        enable_jit: jit,
         ..VmConfig::default()
     });
     let old = jvolve_lang::compile(CHURN_V1).expect("churn v1 compiles");

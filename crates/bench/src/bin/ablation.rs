@@ -4,7 +4,10 @@
 //!   steady-state throughput with and without per-access indirection
 //!   checks (the paper's "zero overhead during steady-state execution" vs
 //!   ~10% for DVM, §5);
-//! * the §3.2 safe-point machinery (return barriers + OSR) on vs off.
+//! * the §3.2 safe-point machinery (return barriers + OSR) on vs off;
+//! * the template-JIT tier on vs off, warm and after a dynamic update —
+//!   DSU must cost nothing even when hot loops run superinstruction-fused
+//!   code with baked-in offsets.
 //!
 //! Usage: `cargo run --release -p jvolve-bench --bin ablation`
 
@@ -62,7 +65,39 @@ fn main() {
          indirection-based lazy systems pay on every access \u{2014} ~10% for DVM)"
     );
 
-    println!("\n== Ablation 2: safe-point machinery (return barriers + OSR) ==\n");
+    println!("\n== Ablation 2: template-JIT tier (superinstruction fusion) ==\n");
+    // Same churn, eager mode, jit axis: off, warm on, and on after a
+    // GC-based update (deopted fused code must re-promote and recover).
+    use jvolve_bench::ablation::churn_wall_time_with_jit;
+    let mut jit_rows: Vec<(ChurnMode, bool, &str, Vec<f64>)> = vec![
+        (ChurnMode::Eager, false, "jit off (cached interpreter)", Vec::new()),
+        (ChurnMode::Eager, true, "jit on, warm", Vec::new()),
+        (ChurnMode::EagerUpdated, true, "jit on, after GC update", Vec::new()),
+    ];
+    for round in 0..rounds {
+        eprintln!("jit round {}/{rounds} ...", round + 1);
+        for (mode, jit, _, samples) in &mut jit_rows {
+            let (wall, sum) = churn_wall_time_with_jit(*mode, nodes, iters, *jit);
+            assert_eq!(checksum, Some(sum), "jit must not change the churn result");
+            samples.push(wall.as_secs_f64());
+        }
+    }
+    let mut no_jit = 0.0;
+    println!("{:<38} {:>12} {:>10}", "mode", "time (ms)", "vs no-jit");
+    for (i, (_, _, name, samples)) in jit_rows.iter_mut().enumerate() {
+        let med = median(samples);
+        if i == 0 {
+            no_jit = med;
+        }
+        println!("{:<38} {:>12.1} {:>9.1}%", name, med * 1e3, (med / no_jit - 1.0) * 100.0);
+    }
+    println!(
+        "\n(fused code embeds resolved offsets and call targets; the update deopts it \
+         at the epoch bump\n and the counters re-promote it — post-update steady state \
+         must track the warm-jit row)"
+    );
+
+    println!("\n== Ablation 3: safe-point machinery (return barriers + OSR) ==\n");
     let sp = safepoint_ablation();
     println!(
         "with barriers + OSR:   {}",

@@ -1,6 +1,7 @@
 //! Regenerates the paper's **Figure 5**: webserver throughput and latency
-//! under saturating load for the stock VM, the DSU-capable VM, and the
-//! DSU-capable VM after a dynamic 5.1.5 → 5.1.6 update.
+//! under saturating load for the stock VM, the DSU-capable VM with the
+//! template-JIT tier off and on, and the DSU-capable VM after a dynamic
+//! 5.1.5 → 5.1.6 update.
 //!
 //! Usage: `cargo run --release -p jvolve-bench --bin fig5 [--runs N] [--slices N]`
 //! (paper: 21 runs of 60 s; default here: 5 runs of 20k slices)
@@ -18,8 +19,8 @@ fn main() {
          concurrency {concurrency})\n"
     );
     println!(
-        "{:<22} {:>12} {:>17} {:>12} {:>17} {:>10}",
-        "Config.", "Tput (r/ks)", "quartiles", "Lat (slices)", "quartiles", "IC hits"
+        "{:<22} {:>12} {:>17} {:>12} {:>17} {:>10} {:>6}",
+        "Config.", "Tput (r/ks)", "quartiles", "Lat (slices)", "quartiles", "IC hits", "jits"
     );
 
     let mut rows = Vec::new();
@@ -27,7 +28,7 @@ fn main() {
         eprintln!("measuring {} ...", config.label());
         let row = run_config(config, runs, concurrency, slices);
         println!(
-            "{:<22} {:>12.2} {:>7.2}/{:>7.2}  {:>12.1} {:>7.1}/{:>7.1} {:>9.1}%",
+            "{:<22} {:>12.2} {:>7.2}/{:>7.2}  {:>12.1} {:>7.1}/{:>7.1} {:>9.1}% {:>6}",
             config.label(),
             row.throughput_median,
             row.throughput_quartiles.0,
@@ -35,27 +36,41 @@ fn main() {
             row.latency_median,
             row.latency_quartiles.0,
             row.latency_quartiles.1,
-            row.ic_hit_rate * 100.0
+            row.ic_hit_rate * 100.0,
+            row.jit_compiles
         );
         rows.push(row);
     }
 
-    let stock = rows[0].throughput_median;
-    let updated = rows[2].throughput_median;
+    let tput = |c: Config| {
+        rows.iter()
+            .find(|r| r.config == c)
+            .map(|r| r.throughput_median)
+            .expect("config measured")
+            .max(1e-9)
+    };
     println!(
         "\nshape: updated/stock throughput = {:.3} (paper: essentially identical; \
          inter-quartile ranges largely overlap)",
-        updated / stock.max(1e-9)
+        tput(Config::JvolveUpdated) / tput(Config::Stock)
+    );
+    println!(
+        "shape: updated/jit throughput = {:.3} (post-update steady state must \
+         recover the jit tier)",
+        tput(Config::JvolveUpdated) / tput(Config::Jvolve)
     );
 
     // Post-update warm-up: invalidated methods re-baseline on first call,
     // then the adaptive system re-optimizes the hot ones (paper §3.3).
     println!("\npost-update warm-up (adaptive recompilation):");
-    println!("{:>8} {:>14} {:>14} {:>13}", "window", "tput (r/ks)", "base compiles", "opt compiles");
+    println!(
+        "{:>8} {:>14} {:>14} {:>13} {:>13}",
+        "window", "tput (r/ks)", "base compiles", "opt compiles", "jit compiles"
+    );
     for w in jvolve_bench::fig5::warmup_series(5, 2_000, concurrency) {
         println!(
-            "{:>8} {:>14.1} {:>14} {:>13}",
-            w.window, w.throughput, w.base_compiles, w.opt_compiles
+            "{:>8} {:>14.1} {:>14} {:>13} {:>13}",
+            w.window, w.throughput, w.base_compiles, w.opt_compiles, w.jit_compiles
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Steady-state dispatch-throughput regression harness.
 //!
 //! Measures calls/second of the dispatch-bound workload in
-//! `jvolve_bench::interp` — inline caches off, on, and on-after-update —
-//! and gates changes against the committed baseline.
+//! `jvolve_bench::interp` — inline caches off, on, on-after-update, and
+//! the template-JIT tier on and on-after-update — and gates changes
+//! against the committed baseline.
 //!
 //! Usage:
 //!
@@ -12,12 +13,20 @@
 //! * `cargo run --release -p jvolve-bench --bin interpbench -- --check`
 //!   — re-measure and exit nonzero if any configuration regressed more
 //!   than 15% vs `results/BENCH_interp.json` (override with
-//!   `--baseline FILE`), or if the caches-on configuration is no longer
-//!   at least [`SPEEDUP_FLOOR`]× faster than caches-off.
+//!   `--baseline FILE`), if the caches-on configuration is no longer at
+//!   least [`SPEEDUP_FLOOR`]× faster than caches-off, if the jit
+//!   configuration is no longer at least [`JIT_SPEEDUP_FLOOR`]× faster
+//!   than caches-on, or if post-update jit throughput strays more than
+//!   the regression limit from warm-jit throughput.
 //!   `scripts/tier1.sh` runs this. Like `gcbench`, the gate compares
 //!   *best-of-N* times — noise only adds time, so min-of-N is the stable
 //!   statistic — and re-measures with 3× iterations before declaring a
 //!   regression.
+//!
+//! Baselines written by the v1 schema (three cache configurations, no
+//! jit entries) stay readable: configurations without a baseline entry
+//! are reported and skipped by the per-entry gate, while the
+//! relative gates (speedup floors, post-update parity) always run.
 //!
 //! `--iters N` controls timed iterations per configuration (default 5).
 
@@ -31,6 +40,12 @@ use jvolve_json::Json;
 /// win, not just avoid regressing.
 const SPEEDUP_FLOOR: f64 = 1.20;
 
+/// `--check` fails if best-of-N caches-on time / jit-on time drops below
+/// this: superinstruction fusion plus the leaf-call fast path must keep
+/// buying at least a 2× dispatch-throughput win over the cached
+/// interpreter, and post-update steady state must recover it.
+const JIT_SPEEDUP_FLOOR: f64 = 2.0;
+
 /// Guest loop iterations per timed run (16 calls each).
 const GUEST_ITERS: i64 = 100_000;
 
@@ -42,6 +57,11 @@ struct Entry {
     calls: u64,
     checksum: i64,
     ic_hit_rate: f64,
+    /// Whole-run per-tier promotion counts: (base, opt, jit) compiles.
+    tier_compiles: (u64, u64, u64),
+    /// Fraction of retired base instructions executed inside
+    /// superinstructions during the timed run.
+    fusion_coverage: f64,
 }
 
 fn best_of(config: Config, iters: usize) -> (Vec<f64>, InterpSample) {
@@ -72,6 +92,8 @@ fn run(iters: usize) -> Vec<Entry> {
                 calls: last.calls,
                 checksum: last.checksum,
                 ic_hit_rate: last.hit_rate(),
+                tier_compiles: last.tier_compiles,
+                fusion_coverage: last.fusion_coverage(),
             }
         })
         .collect()
@@ -79,7 +101,7 @@ fn run(iters: usize) -> Vec<Entry> {
 
 fn to_json(entries: &[Entry], iters: usize) -> Json {
     Json::obj([
-        ("schema", Json::from("jvolve-interpbench-v1")),
+        ("schema", Json::from("jvolve-interpbench-v2")),
         ("iters", Json::from(iters)),
         (
             "entries",
@@ -94,6 +116,10 @@ fn to_json(entries: &[Entry], iters: usize) -> Json {
                             ("calls", Json::from(e.calls)),
                             ("checksum", Json::from(e.checksum as f64)),
                             ("ic_hit_rate", Json::from(e.ic_hit_rate)),
+                            ("base_compiles", Json::from(e.tier_compiles.0)),
+                            ("opt_compiles", Json::from(e.tier_compiles.1)),
+                            ("jit_compiles", Json::from(e.tier_compiles.2)),
+                            ("fusion_coverage", Json::from(e.fusion_coverage)),
                         ])
                     })
                     .collect(),
@@ -112,17 +138,19 @@ fn baseline_min_ns(baseline: &Json, config: Config) -> Option<f64> {
 
 fn print_table(entries: &[Entry]) {
     println!(
-        "{:>20} {:>14} {:>14} {:>12} {:>10}",
-        "config", "ns/call", "min ns/call", "calls", "hit rate"
+        "{:>20} {:>14} {:>14} {:>12} {:>10} {:>16} {:>8}",
+        "config", "ns/call", "min ns/call", "calls", "hit rate", "tiers b/o/j", "fused"
     );
     for e in entries {
         println!(
-            "{:>20} {:>14.1} {:>14.1} {:>12} {:>9.1}%",
+            "{:>20} {:>14.1} {:>14.1} {:>12} {:>9.1}% {:>16} {:>7.1}%",
             e.config.key(),
             e.ns_per_call,
             e.min_ns_per_call,
             e.calls,
             e.ic_hit_rate * 100.0,
+            format!("{}/{}/{}", e.tier_compiles.0, e.tier_compiles.1, e.tier_compiles.2),
+            e.fusion_coverage * 100.0,
         );
     }
 }
@@ -175,6 +203,34 @@ fn check(entries: &mut [Entry], baseline: &Json, path: &str, iters: usize) -> Ve
         if speedup < SPEEDUP_FLOOR {
             failures.push(format!(
                 "caches-on speedup {speedup:.2}x below the {SPEEDUP_FLOOR:.2}x floor"
+            ));
+        }
+    }
+
+    // The jit gates: superinstruction fusion must keep buying a 2× win
+    // over the cached interpreter, and a dynamic update must not cost
+    // steady-state jit throughput once the deopted code re-promotes.
+    if let (Some(on), Some(jit)) = (pick(Config::CachesOn), pick(Config::JitOn)) {
+        let speedup = on / jit;
+        println!("jit speedup gate vs caches-on: {speedup:.2}x (floor {JIT_SPEEDUP_FLOOR:.2}x)");
+        if speedup < JIT_SPEEDUP_FLOOR {
+            failures.push(format!(
+                "jit speedup {speedup:.2}x below the {JIT_SPEEDUP_FLOOR:.2}x floor"
+            ));
+        }
+    }
+    if let (Some(jit), Some(updated)) = (pick(Config::JitOn), pick(Config::JitOnUpdated)) {
+        let delta = updated / jit - 1.0;
+        println!(
+            "post-update jit parity gate: {:+.1}% vs warm jit (limit +{:.0}%)",
+            delta * 100.0,
+            REGRESSION_LIMIT * 100.0
+        );
+        if delta > REGRESSION_LIMIT {
+            failures.push(format!(
+                "post-update jit throughput {:.1}% slower than warm jit (limit {:.0}%)",
+                delta * 100.0,
+                REGRESSION_LIMIT * 100.0
             ));
         }
     }

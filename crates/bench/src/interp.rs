@@ -6,14 +6,18 @@
 //! what makes that true for call dispatch here: a virtual call hits a
 //! per-site cache instead of walking the TIB and funneling through the
 //! registry. This harness measures calls/second of a dispatch-bound
-//! workload in three configurations:
+//! workload in five configurations:
 //!
-//! * `CachesOff` — the honest baseline (`--no-inline-caches`);
-//! * `CachesOn`  — the default VM;
-//! * `CachesOnUpdated` — caches on, measured *after* a dynamic update
-//!   changed every `area` body (so every cache was invalidated by the
-//!   epoch bump and refilled) — steady state must be indistinguishable
-//!   from `CachesOn`.
+//! * `CachesOff` — the honest baseline (`--no-inline-caches`, jit off);
+//! * `CachesOn`  — caches on, jit off;
+//! * `CachesOnUpdated` — caches on, jit off, measured *after* a dynamic
+//!   update changed every `area` body (so every cache was invalidated by
+//!   the epoch bump and refilled) — steady state must be
+//!   indistinguishable from `CachesOn`;
+//! * `JitOn` — the default VM: caches plus the template-JIT tier
+//!   (superinstruction fusion and the leaf-call fast path);
+//! * `JitOnUpdated` — jit on, measured after the same update deopted and
+//!   re-promoted every hot body — steady state must recover to `JitOn`.
 
 use std::time::{Duration, Instant};
 
@@ -95,18 +99,29 @@ pub const CALLS_PER_ITER: u64 = 10;
 /// Benchmark configuration identifiers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Config {
-    /// Inline caches disabled: every call walks TIB/registry.
+    /// Inline caches disabled, jit off: every call walks TIB/registry.
     CachesOff,
-    /// The default VM.
+    /// Caches on, jit off.
     CachesOn,
-    /// Caches on, measured after a dynamic update invalidated them all.
+    /// Caches on, jit off, measured after a dynamic update invalidated
+    /// them all.
     CachesOnUpdated,
+    /// The default VM: caches plus the template-JIT tier.
+    JitOn,
+    /// Jit on, measured after the update deopted every hot body.
+    JitOnUpdated,
 }
 
 impl Config {
-    /// All three, baseline first.
-    pub fn all() -> [Config; 3] {
-        [Config::CachesOff, Config::CachesOn, Config::CachesOnUpdated]
+    /// All five, baseline first.
+    pub fn all() -> [Config; 5] {
+        [
+            Config::CachesOff,
+            Config::CachesOn,
+            Config::CachesOnUpdated,
+            Config::JitOn,
+            Config::JitOnUpdated,
+        ]
     }
 
     /// Stable identifier used in `BENCH_interp.json`.
@@ -115,7 +130,19 @@ impl Config {
             Config::CachesOff => "caches_off",
             Config::CachesOn => "caches_on",
             Config::CachesOnUpdated => "caches_on_updated",
+            Config::JitOn => "jit_on",
+            Config::JitOnUpdated => "jit_on_updated",
         }
+    }
+
+    /// Whether the timed run happens after a dynamic update.
+    fn updated(self) -> bool {
+        matches!(self, Config::CachesOnUpdated | Config::JitOnUpdated)
+    }
+
+    /// Whether the template-JIT tier is enabled.
+    fn jit(self) -> bool {
+        matches!(self, Config::JitOn | Config::JitOnUpdated)
     }
 }
 
@@ -132,6 +159,12 @@ pub struct InterpSample {
     pub ic_hits: u64,
     /// Inline-cache misses during the timed run.
     pub ic_misses: u64,
+    /// Whole-run per-tier promotion counts: (base, opt, jit) compiles.
+    pub tier_compiles: (u64, u64, u64),
+    /// Base instructions retired during the timed run.
+    pub steps: u64,
+    /// Of those, retired inside superinstructions (0 with jit off).
+    pub fused_steps: u64,
 }
 
 impl InterpSample {
@@ -149,6 +182,16 @@ impl InterpSample {
             self.ic_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of retired base instructions executed inside
+    /// superinstructions during the timed run (0.0 with jit off).
+    pub fn fusion_coverage(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.fused_steps as f64 / self.steps as f64
+        }
+    }
 }
 
 /// Runs one configuration: boot, warm up (promoting the `area` methods
@@ -162,6 +205,7 @@ impl InterpSample {
 pub fn measure(config: Config, iters: i64) -> InterpSample {
     let vm_config = VmConfig {
         enable_inline_caches: config != Config::CachesOff,
+        enable_jit: config.jit(),
         ..VmConfig::default()
     };
     let mut vm = Vm::new(vm_config);
@@ -169,14 +213,15 @@ pub fn measure(config: Config, iters: i64) -> InterpSample {
     vm.load_classes(&v1).expect("interp classes load");
 
     // Warm-up: fills caches and drives every `area` body past the opt
-    // threshold, so the timed run sees steady-state code in both modes.
+    // threshold (and, in jit mode, `run`'s loop trips past the jit
+    // threshold), so the timed run sees steady-state code in every mode.
     let warm = vm
         .call_static_sync("Bench", "run", &[Value::Int(1_000)])
         .expect("warmup runs")
         .expect("run returns a value");
     assert!(matches!(warm, Value::Int(_)));
 
-    if config == Config::CachesOnUpdated {
+    if config.updated() {
         let v2 = jvolve_lang::compile(INTERP_V2).expect("interp v2 compiles");
         let update = Update::prepare(&v1, &v2, "v1_").expect("non-empty update");
         let mut events = MemorySink::default();
@@ -184,12 +229,14 @@ pub fn measure(config: Config, iters: i64) -> InterpSample {
         controller.attach_sink(&mut events);
         controller.run_to_completion(&mut vm).expect("update applies");
         // Post-update warm-up: invalidated methods re-baseline and
-        // re-optimize, and the flushed caches refill.
+        // re-promote, and the flushed caches refill.
         vm.call_static_sync("Bench", "run", &[Value::Int(1_000)]).expect("post-update warmup");
     }
 
     let hits0 = vm.stats().ic_hits;
     let misses0 = vm.stats().ic_misses;
+    let steps0 = vm.stats().steps;
+    let fused0 = vm.stats().fused_steps;
     let start = Instant::now();
     let result = vm
         .call_static_sync("Bench", "run", &[Value::Int(iters)])
@@ -198,12 +245,16 @@ pub fn measure(config: Config, iters: i64) -> InterpSample {
     let wall = start.elapsed();
     let Value::Int(checksum) = result else { panic!("Bench.run returns an int") };
 
+    let s = vm.stats();
     InterpSample {
         wall,
         calls: iters as u64 * CALLS_PER_ITER,
         checksum,
-        ic_hits: vm.stats().ic_hits - hits0,
-        ic_misses: vm.stats().ic_misses - misses0,
+        ic_hits: s.ic_hits - hits0,
+        ic_misses: s.ic_misses - misses0,
+        tier_compiles: (s.base_compiles, s.opt_compiles, s.jit_compiles),
+        steps: s.steps - steps0,
+        fused_steps: s.fused_steps - fused0,
     }
 }
 
@@ -212,18 +263,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_three_configurations_agree_on_the_checksum() {
+    fn all_configurations_agree_on_the_checksum() {
         let iters = 300;
         let off = measure(Config::CachesOff, iters);
         let on = measure(Config::CachesOn, iters);
         assert_eq!(off.checksum, on.checksum, "caches must not change results");
         assert_eq!(off.ic_hits, 0, "caches-off must never consult a cache");
         assert!(on.hit_rate() > 0.9, "steady state should hit: {}", on.hit_rate());
+        assert_eq!(on.tier_compiles.2, 0, "jit off never jit-compiles");
+        assert_eq!(on.fused_steps, 0, "jit off never fuses");
 
-        // The updated configuration runs v2 bodies, so its checksum
-        // differs — but it must still dispatch through warm caches.
+        // The jit configuration computes the same result while actually
+        // running fused code: same checksum, same retired base-instruction
+        // count, nonzero fusion coverage.
+        let jit = measure(Config::JitOn, iters);
+        assert_eq!(jit.checksum, on.checksum, "jit must not change results");
+        assert_eq!(jit.steps, on.steps, "fused ops must retire the base step count");
+        assert!(jit.tier_compiles.2 > 0, "the jit tier never engaged");
+        assert!(jit.fusion_coverage() > 0.0, "no superinstruction retired");
+
+        // The updated configurations run v2 bodies, so their checksums
+        // differ — but they must still hit warm caches (and, with jit,
+        // re-promoted fused code).
         let updated = measure(Config::CachesOnUpdated, iters);
         assert_ne!(updated.checksum, on.checksum, "v2 bodies changed");
         assert!(updated.hit_rate() > 0.9, "post-update steady state: {}", updated.hit_rate());
+        let jit_updated = measure(Config::JitOnUpdated, iters);
+        assert_eq!(jit_updated.checksum, updated.checksum, "jit must not change v2 results");
+        assert!(jit_updated.fusion_coverage() > 0.0, "post-update code re-promoted to jit");
     }
 }

@@ -4,14 +4,17 @@
 //! Harness binaries (run with `--release` for meaningful numbers):
 //!
 //! * `table1` — update pause time vs heap size × updated fraction
-//! * `fig5`   — webserver throughput/latency, three configurations
+//! * `fig5`   — webserver throughput/latency, four configurations
+//!   (stock, DSU no-jit, DSU, DSU after update)
 //! * `fig6`   — pause-time series at the largest configuration
 //! * `table2` / `table3` / `table4` — per-release summaries + live updates
 //! * `summary` — the "20 of 22" headline and the E&C comparison
-//! * `ablation` — eager vs lazy steady state; barriers/OSR machinery
+//! * `ablation` — eager vs lazy steady state; jit tier on/off/updated;
+//!   barriers/OSR machinery
 //! * `gcbench` — update-GC pause regression gate vs `results/BENCH_gc.json`
 //! * `interpbench` — steady-state dispatch throughput gate vs
-//!   `results/BENCH_interp.json` (inline caches on/off/after-update)
+//!   `results/BENCH_interp.json` (inline caches on/off/after-update plus
+//!   the template-JIT tier on and on-after-update)
 //! * `lazybench` — lazy-migration pause and steady-state gate vs
 //!   `results/BENCH_lazy.json` (commit pause ≤ 25% of eager, barrier-free
 //!   steady state after the epoch drains)

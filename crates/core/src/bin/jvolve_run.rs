@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N|auto]
-//!            [--no-inline-caches]
+//!            [--no-inline-caches] [--no-jit | --jit-threshold N]
 //!            [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj]
 //!             [--lazy] [--lazy-batch N] [--trace results/update_trace.json]]
 //! ```
@@ -22,9 +22,14 @@
 //! (phase transitions, safe-point polls, install counts, GC outcome) is
 //! written as JSON to `--trace` (default `results/update_trace.json`).
 //!
+//! `--no-jit` disables the template-JIT tier (`VmConfig::enable_jit`);
+//! `--jit-threshold N` tunes the combined invocation + loop-trip count
+//! that promotes a method to it.
+//!
 //! Unknown flags, missing flag values, malformed numbers, duplicate
-//! flags, and conflicting combinations (`--lazy` without `--update`) are
-//! all rejected with the usage message and exit code 2.
+//! flags, and conflicting combinations (`--lazy` without `--update`,
+//! `--jit-threshold` with `--no-jit`) are all rejected with the usage
+//! message and exit code 2.
 
 use std::process::ExitCode;
 
@@ -34,7 +39,7 @@ use jvolve::{
 use jvolve_vm::{Vm, VmConfig, GC_THREADS_AUTO};
 
 const USAGE: &str = "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N|auto] \
-     [--no-inline-caches] \
+     [--no-inline-caches] [--no-jit | --jit-threshold N] \
      [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj] [--lazy] [--lazy-batch N] \
       [--trace out.json]]";
 
@@ -48,6 +53,8 @@ struct Cli {
     prefix: String,
     gc_threads: usize,
     inline_caches: bool,
+    jit: bool,
+    jit_threshold: Option<u32>,
     lazy: bool,
     lazy_batch: Option<usize>,
     update: Option<String>,
@@ -57,18 +64,20 @@ struct Cli {
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut program: Option<String> = None;
-    let mut values: [(&str, Option<String>); 9] = [
+    let mut values: [(&str, Option<String>); 10] = [
         ("--main", None),
         ("--slices", None),
         ("--after", None),
         ("--prefix", None),
         ("--gc-threads", None),
+        ("--jit-threshold", None),
         ("--lazy-batch", None),
         ("--update", None),
         ("--transformers", None),
         ("--trace", None),
     ];
     let mut inline_caches = true;
+    let mut jit = true;
     let mut lazy = false;
 
     let mut i = 0;
@@ -80,6 +89,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     return Err("duplicate flag --no-inline-caches".into());
                 }
                 inline_caches = false;
+                i += 1;
+            }
+            "--no-jit" => {
+                if !jit {
+                    return Err("duplicate flag --no-jit".into());
+                }
+                jit = false;
                 i += 1;
             }
             "--lazy" => {
@@ -124,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let after = take("--after");
     let prefix = take("--prefix");
     let gc_threads = take("--gc-threads");
+    let jit_threshold = take("--jit-threshold");
     let lazy_batch = take("--lazy-batch");
     let update = take("--update");
     let transformers = take("--transformers");
@@ -145,6 +162,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if lazy_batch.is_some() && !lazy {
         return Err("--lazy-batch requires --lazy".into());
     }
+    if jit_threshold.is_some() && !jit {
+        // There is no tier for the threshold to tune.
+        return Err("--jit-threshold conflicts with --no-jit".into());
+    }
     Ok(Cli {
         program,
         main_spec: main_spec.unwrap_or_else(|| "Main.main".to_string()),
@@ -160,6 +181,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 .max(1),
         },
         inline_caches,
+        jit,
+        jit_threshold: parse_num("--jit-threshold", jit_threshold)?
+            .map(|n| u32::try_from(n.max(1)).unwrap_or(u32::MAX)),
         lazy,
         lazy_batch: parse_num("--lazy-batch", lazy_batch)?.map(|n| n.max(1)),
         update,
@@ -197,12 +221,15 @@ fn main() -> ExitCode {
         }
     };
 
+    let default_config = VmConfig::default();
     let mut vm = Vm::new(VmConfig {
         echo_output: true,
         gc_threads: cli.gc_threads,
         enable_inline_caches: cli.inline_caches,
+        enable_jit: cli.jit,
+        jit_threshold: cli.jit_threshold.unwrap_or(default_config.jit_threshold),
         lazy_migration: cli.lazy,
-        ..VmConfig::default()
+        ..default_config
     });
     if let Err(e) = vm.load_classes(&v1) {
         eprintln!("jvolve_run: load failed: {e}");

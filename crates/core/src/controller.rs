@@ -1058,7 +1058,10 @@ impl<'u> UpdateController<'u> {
                             &self.update.new_classes,
                             &finding.method,
                         )?;
-                        let new_pc = map.lookup(frame.pc)?;
+                        // A template-JIT frame's pc indexes the fused
+                        // stream; the yield-point map is keyed by base
+                        // (1:1) pcs, so translate first.
+                        let new_pc = map.lookup(frame.compiled.base_pc_of(frame.pc))?;
                         Some(PlannedMigration {
                             thread: finding.thread,
                             frame: finding.frame,

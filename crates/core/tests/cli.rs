@@ -313,6 +313,59 @@ fn jvolve_run_rejects_conflicting_and_malformed_flags() {
 }
 
 #[test]
+fn jvolve_run_jit_flags_follow_the_strict_contract() {
+    let old = write_temp("jit_v1.mj", V1);
+    let path = old.to_str().unwrap();
+
+    // Happy paths: tier off, and tier on with a custom threshold.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--no-jit"])
+        .output()
+        .expect("jvolve_run runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains('3'));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--jit-threshold", "5"])
+        .output()
+        .expect("jvolve_run runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains('3'));
+
+    // The threshold tunes a tier that --no-jit removes: conflict.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--no-jit", "--jit-threshold", "5"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jit-threshold conflicts with --no-jit"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // Missing value, malformed value, duplicate bool flag.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--jit-threshold"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jit-threshold needs a value"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--jit-threshold", "hot"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jit-threshold expects a number"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--no-jit", "--no-jit"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag --no-jit"));
+}
+
+#[test]
 fn jvolve_run_reports_missing_main() {
     let old = write_temp("nomain.mj", "class X { }");
     let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))

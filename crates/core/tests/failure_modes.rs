@@ -260,7 +260,15 @@ fn inlined_restricted_method_blocks_until_frame_returns() {
     let old = jvolve_lang::compile(src_v1).unwrap();
     let new = jvolve_lang::compile(&src_v2).unwrap();
     // Low opt threshold so `hot` gets opt-compiled (inlining tiny) fast.
-    let mut vm = Vm::new(VmConfig { opt_threshold: 5, quantum: 100, ..VmConfig::small() });
+    // Jit off: the template JIT doesn't inline, and hot's loop trips would
+    // otherwise promote it straight to the jit tier before the opt
+    // threshold ever fires — this test is about the *opt* tier's barrier.
+    let mut vm = Vm::new(VmConfig {
+        opt_threshold: 5,
+        quantum: 100,
+        enable_jit: false,
+        ..VmConfig::small()
+    });
     vm.load_classes(&old).unwrap();
     vm.spawn("M", "main").unwrap();
     // Run until hot() is opt-compiled and on stack.

@@ -22,8 +22,19 @@ use crate::natives::NativeFn;
 /// per-*code-object*: a recompilation starts a fresh cell at zero, which
 /// matches [`Registry::invalidate`](crate::registry::Registry::invalidate)
 /// resetting the method's counter.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct CounterCell(AtomicU32);
+
+/// Deliberately value-free: the counter is a racy profiling sample, not
+/// versioned VM state (invalidation resets it; registry fingerprints
+/// exclude it), so debug dumps of compiled code — which rollback tests
+/// compare bit-for-bit — must not change just because a loop kept
+/// spinning between two snapshots.
+impl std::fmt::Debug for CounterCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CounterCell(_)")
+    }
+}
 
 impl CounterCell {
     /// Current value.
@@ -55,6 +66,11 @@ pub enum CompileLevel {
     /// Resolution plus inlining; not OSR-capable (matches the paper's
     /// current implementation, §3.2).
     Opt,
+    /// Template JIT: the base-resolved stream peephole-fused into
+    /// superinstructions ([`crate::jit2`]). OSR-capable — every fused op
+    /// records the base pc of its first covered instruction, so a frame
+    /// deopts/OSRs back to 1:1 base code at an exact reconstruction point.
+    Jit,
 }
 
 /// A resolved instruction.
@@ -196,6 +212,141 @@ pub enum RInstr {
     Pop,
     /// Duplicate top of stack.
     Dup,
+
+    // --- Superinstructions ---
+    //
+    // Emitted only by the template JIT's fusion pass ([`crate::jit2`]);
+    // the baseline resolver never produces them. Each covers 2–4 base
+    // instructions and carries the same baked physical operands, so the
+    // DSU invalidation story is unchanged — just denser.
+    /// `locals[slot] += delta` (Load, ConstInt, Add, Store — 4 ops).
+    FusedIncLocal {
+        /// Local slot read and written.
+        slot: u16,
+        /// Increment.
+        delta: i64,
+    },
+    /// Load a local, read a field at a baked offset (Load, GetField).
+    FusedLoadGetField {
+        /// Local slot holding the object.
+        slot: u16,
+        /// Word offset within the object.
+        offset: u16,
+        /// Whether the slot holds a reference.
+        is_ref: bool,
+    },
+    /// The canonical getter body: Load, GetField, ReturnValue (3 ops).
+    FusedLoadGetFieldReturn {
+        /// Local slot holding the object.
+        slot: u16,
+        /// Word offset within the object.
+        offset: u16,
+        /// Whether the slot holds a reference.
+        is_ref: bool,
+    },
+    /// Two-local compare-and-branch: Load, Load, Cmp, JumpIf (4 ops) —
+    /// the shape of every counted-loop guard.
+    FusedLoadLoadCmpBr {
+        /// Left operand slot.
+        a: u16,
+        /// Right operand slot.
+        b: u16,
+        /// Comparison.
+        op: crate::jit2::CmpOp,
+        /// Branch when the comparison yields this value.
+        when: bool,
+        /// Branch target (a fused index after target fixup).
+        target: u32,
+    },
+    /// Local-vs-constant compare-and-branch (Load, ConstInt, Cmp, JumpIf).
+    FusedLoadConstCmpBr {
+        /// Left operand slot.
+        slot: u16,
+        /// Right operand constant.
+        k: i64,
+        /// Comparison.
+        op: crate::jit2::CmpOp,
+        /// Branch when the comparison yields this value.
+        when: bool,
+        /// Branch target (a fused index after target fixup).
+        target: u32,
+    },
+    /// Stack-vs-constant compare-and-branch (ConstInt, Cmp, JumpIf) —
+    /// the left operand is already on the stack.
+    FusedStackConstCmpBr {
+        /// Right operand constant.
+        k: i64,
+        /// Comparison.
+        op: crate::jit2::CmpOp,
+        /// Branch when the comparison yields this value.
+        when: bool,
+        /// Branch target (a fused index after target fixup).
+        target: u32,
+    },
+    /// Push `locals[a] + locals[b]` (Load, Load, Add).
+    FusedLoadLoadAdd {
+        /// Left operand slot.
+        a: u16,
+        /// Right operand slot.
+        b: u16,
+    },
+    /// Push `locals[slot] + k` (Load, ConstInt, Add).
+    FusedLoadConstAdd {
+        /// Left operand slot.
+        slot: u16,
+        /// Constant addend.
+        k: i64,
+    },
+    /// Return `locals[slot] + k` (Load, ConstInt, Add, ReturnValue).
+    FusedLoadConstAddReturn {
+        /// Left operand slot.
+        slot: u16,
+        /// Constant addend.
+        k: i64,
+    },
+    /// Return an integer constant (ConstInt, ReturnValue).
+    FusedConstReturn {
+        /// The constant.
+        k: i64,
+    },
+    /// Return a local (Load, ReturnValue).
+    FusedLoadReturn {
+        /// The slot.
+        slot: u16,
+    },
+    /// Copy one local to another (Load, Store).
+    FusedLoadStore {
+        /// Source slot.
+        from: u16,
+        /// Destination slot.
+        to: u16,
+    },
+    /// Load the receiver and virtually dispatch a zero-argument method
+    /// (Load, CallVirtual with `argc == 0`). Only the no-args form fuses:
+    /// with arguments present, the Load pushes an *argument*, not the
+    /// receiver, and the receiver-resolution/barrier logic would need the
+    /// stack mutated first — unsafe under barrier retry.
+    FusedLoadCallVirtual {
+        /// Local slot holding the receiver.
+        slot: u16,
+        /// TIB slot index.
+        vslot: u16,
+        /// Dense call-site id (see `CallVirtual`).
+        site: u32,
+    },
+    /// Load the last argument and make a direct call (Load, CallDirect).
+    FusedLoadCallDirect {
+        /// Local slot holding the final argument.
+        slot: u16,
+        /// Target method.
+        method: MethodId,
+        /// Argument count (receiver excluded).
+        argc: u8,
+        /// Whether a receiver sits under the arguments.
+        has_receiver: bool,
+        /// Dense call-site id (see `CallVirtual`).
+        site: u32,
+    },
 }
 
 /// A compiled method body.
@@ -220,16 +371,47 @@ pub struct CompiledMethod {
     /// Invocation counter driving adaptive recompilation (sampled by the
     /// interpreter on every call, cache hit or miss).
     pub invocations: CounterCell,
+    /// Loop back-edges taken by base-tier frames of this code (bumped only
+    /// when the JIT tier is enabled). Kept separate from `invocations` so
+    /// the opt tier's promotion timing is untouched: invocations + trips
+    /// drive *jit* promotion, letting loopy methods that are rarely called
+    /// (a server's main loop) get compiled via OSR-in at a back-edge.
+    pub loop_trips: CounterCell,
     /// Number of call sites in `code` (`CallVirtual`/`CallDirect` carry
     /// ids `0..call_sites`); sizes the per-thread inline-cache rows.
     pub call_sites: u32,
+    /// Fusion metadata; present iff `level == Jit`, in which case `code`
+    /// *is* the superinstruction-fused stream (`frame.pc` indexes it and
+    /// the interpreter's dense `match` executes it directly). Carries the
+    /// retained 1:1 base body, the fused-index → base-pc deopt mapping,
+    /// and the epoch-revalidation cache — deopt swaps the frame onto the
+    /// retained base body at the mapped pc, which is exact and
+    /// semantically a no-op.
+    pub fused: Option<Arc<crate::jit2::FusedCode>>,
+    /// Whether this body qualifies for the fused executor's leaf-call fast
+    /// path: short, straight-line, allocation- and call-free code a fused
+    /// call site may run inline without pushing a frame (see
+    /// [`crate::jit2`]).
+    pub leaf: bool,
 }
 
 impl CompiledMethod {
-    /// Whether this code can be OSR-replaced (base tier only; instruction
-    /// indices match bytecode indices, so the pc and locals carry over).
+    /// Whether this code can be OSR-replaced. Base code is 1:1 with
+    /// bytecode so pc and locals carry over directly; jit code maps every
+    /// fused index back to the base pc it starts at. Opt code inlines and
+    /// has no such mapping.
     pub fn osr_capable(&self) -> bool {
-        self.level == CompileLevel::Base
+        matches!(self.level, CompileLevel::Base | CompileLevel::Jit)
+    }
+
+    /// The base-tier (bytecode) pc a frame of this code stands at when its
+    /// `pc` field reads `pc` — the identity for base/opt code, the fused
+    /// op's first covered base instruction for jit code.
+    pub fn base_pc_of(&self, pc: u32) -> u32 {
+        match &self.fused {
+            Some(f) => f.base_pc[pc as usize],
+            None => pc,
+        }
     }
 }
 
@@ -247,11 +429,18 @@ mod tests {
             inlined: vec![],
             referenced_classes: vec![],
             invocations: CounterCell::default(),
+            loop_trips: CounterCell::default(),
             call_sites: 0,
+            fused: None,
+            leaf: false,
         };
         assert!(base.osr_capable());
-        let opt = CompiledMethod { level: CompileLevel::Opt, ..base };
+        let opt = CompiledMethod { level: CompileLevel::Opt, ..base.clone() };
         assert!(!opt.osr_capable());
+        // Jit code keeps a 1:1 mapping back to base pcs via FusedCode, so
+        // it stays an OSR candidate.
+        let jit = CompiledMethod { level: CompileLevel::Jit, ..base };
+        assert!(jit.osr_capable());
     }
 
     #[test]

@@ -61,6 +61,20 @@ pub struct VmConfig {
     /// On by default; off holds the honest stock baseline for the
     /// differential oracle and Fig. 5's "stock" configuration.
     pub enable_inline_caches: bool,
+    /// The template-JIT tier: hot methods are recompiled into
+    /// superinstruction-fused threaded code ([`crate::jit2`]), promoted by
+    /// invocation counts plus loop-trip counts so loopy methods that are
+    /// rarely *called* still get compiled (via OSR-in at a back-edge).
+    /// Fused code bakes in resolved offsets, so it revalidates against
+    /// [`Registry::code_epoch`](crate::registry::Registry::code_epoch) at
+    /// method entry and loop back-edges and deopts to fresh base code when
+    /// its method was invalidated or replaced. Off holds the interpreted
+    /// baseline for the jit differential oracle and the v1 interpbench
+    /// rows.
+    pub enable_jit: bool,
+    /// Combined invocation + loop-trip count after which a method is
+    /// promoted to the template-JIT tier.
+    pub jit_threshold: u32,
     /// OS worker threads for the copying collector (clamped to
     /// `1..=`[`MAX_GC_THREADS`](crate::heap::MAX_GC_THREADS)). `1` runs
     /// the serial path; any setting produces bit-identical post-GC state
@@ -125,6 +139,8 @@ impl Default for VmConfig {
             lazy_indirection: false,
             lazy_migration: false,
             enable_inline_caches: true,
+            enable_jit: true,
+            jit_threshold: 400,
             gc_threads: VmConfig::default_gc_threads(),
         }
     }
@@ -143,6 +159,8 @@ mod tests {
         assert!(!c.lazy_indirection);
         assert!(!c.lazy_migration);
         assert!(c.enable_inline_caches);
+        assert!(c.enable_jit);
+        assert!(c.jit_threshold > 0);
     }
 
     #[test]

@@ -152,7 +152,10 @@ mod tests {
             inlined: vec![],
             referenced_classes: vec![],
             invocations: Default::default(),
+            loop_trips: Default::default(),
             call_sites,
+            fused: None,
+            leaf: false,
         })
     }
 

@@ -93,18 +93,29 @@ impl Vm {
         let use_ic = self.config.enable_inline_caches;
         let opt_threshold = self.config.opt_threshold;
         let enable_opt = self.config.enable_opt;
+        let enable_jit = self.config.enable_jit;
+        let jit_threshold = self.config.jit_threshold;
 
         'outer: loop {
             let Some(fi) = t.frames.len().checked_sub(1) else {
                 t.state = ThreadState::Finished;
                 return (SliceEvent::Finished, steps);
             };
+            // Template-JIT epoch check at method entry/re-entry: a fused
+            // frame whose dispatch epoch moved revalidates against the
+            // registry, deoptimizing onto its retained base body if its
+            // method was replaced underneath it (DESIGN §5). One cached
+            // epoch compare when nothing changed.
+            self.jit_revalidate(t, fi);
             // SAFETY: nothing replaces `frames[fi].compiled` while this
-            // activation executes — OSR runs only between slices, and a
+            // activation executes — OSR runs only between slices, a
             // registry recompilation swaps the *registry's* `Arc`, never
-            // the frame's — and the borrow is last used before the frame
-            // pops (the Return arm re-enters 'outer immediately, and the
-            // popped frame keeps the `Arc` alive through the arm).
+            // the frame's, and the in-loop swaps (template-JIT OSR-in on
+            // a back-edge, deopt via `jit_revalidate`) re-enter 'outer
+            // immediately without touching the borrow again — and the
+            // borrow is last used before the frame pops (the return path
+            // re-enters 'outer immediately, and the popped frame keeps
+            // the `Arc` alive through the arm).
             // Pushing frames may move the `Arc` struct itself; the
             // pointee is heap-allocated and unaffected.
             let code: &CompiledMethod =
@@ -153,8 +164,225 @@ impl Vm {
                         }
                     };
                 }
+                // The shared return path: pops the frame, processes its
+                // note, recycles its vectors, delivers the value, and
+                // ends the slice if a barrier fired, the thread finished,
+                // or the budget ran out. Used by the plain return arms
+                // and every fused superinstruction ending in a return.
+                macro_rules! do_return {
+                    ($value:expr) => {{
+                        let value: Option<Value> = $value;
+                        let mut done = t.frames.pop().expect("frame present");
+                        if let Some(FrameNote::TransformOf(addr)) = done.note {
+                            self.dsu.in_progress.remove(&addr);
+                            self.dsu.done.insert(addr);
+                            if self.lazy.active {
+                                self.lazy.transformed += 1;
+                            }
+                        }
+                        // Recycle the frame's vectors (cleared, so the GC
+                        // and roots never see stale references). Gated with
+                        // the inline caches: together they are the
+                        // steady-state dispatch fast path, and caches-off
+                        // holds the stock per-call allocation behavior.
+                        if use_ic && t.pool.len() < FRAME_POOL_CAP {
+                            done.locals.clear();
+                            done.stack.clear();
+                            t.pool.push((
+                                std::mem::take(&mut done.locals),
+                                std::mem::take(&mut done.stack),
+                            ));
+                        }
+                        match t.frames.last_mut() {
+                            Some(caller) => {
+                                if let Some(v) = value {
+                                    caller.stack.push(v);
+                                }
+                            }
+                            None => {
+                                t.result = value;
+                            }
+                        }
+                        if done.return_barrier {
+                            // Paper §3.2: the bridge code notifies the
+                            // update driver, which restarts the update.
+                            return (
+                                SliceEvent::ReturnBarrier { method: done.method },
+                                steps,
+                            );
+                        }
+                        if t.frames.is_empty() {
+                            t.state = ThreadState::Finished;
+                            return (SliceEvent::Finished, steps);
+                        }
+                        if steps >= budget {
+                            return (SliceEvent::Quantum, steps);
+                        }
+                        continue 'outer;
+                    }};
+                }
 
                 let mut next_pc = pc + 1;
+
+                // The inline-cache hit tail shared by every call arm:
+                // hotness sampling (so adaptive recompilation triggers at
+                // the same call number as with caches off), tier
+                // promotion to Opt or to the template JIT, and — for
+                // whitelisted leaf callees — execution without
+                // materializing a frame. Expands to `true` when the call
+                // was fully handled (the surrounding arm must have left
+                // via `continue`), `false` to fall through to the
+                // resolving slow path.
+                macro_rules! ic_hit {
+                    ($callee:ident, $total:expr) => {{
+                        let pre = $callee.invocations.bump();
+                        let promote = (enable_opt
+                            && $callee.level == CompileLevel::Base
+                            && pre >= opt_threshold)
+                            || (enable_jit
+                                && $callee.level != CompileLevel::Jit
+                                && pre.saturating_add($callee.loop_trips.get())
+                                    >= jit_threshold);
+                        if promote {
+                            // Crossed a tier threshold: fall through to
+                            // the slow path, which recompiles.
+                            false
+                        } else {
+                            if enable_jit
+                                && $callee.leaf
+                                && steps < budget
+                                && !self.lazy.active
+                                && !self.config.lazy_indirection
+                                && t.frames.len() < self.config.max_stack_depth
+                            {
+                                // Leaf fast path: run the callee on the
+                                // caller's operand stack. Gated on the
+                                // budget so a slice that would have
+                                // paused inside the callee frame still
+                                // does, and on lazy modes so no read
+                                // barrier is ever skipped.
+                                match self.exec_leaf(t, fi, &$callee, $total, &mut steps) {
+                                    Ok(()) => {
+                                        t.frames[fi].pc = next_pc as u32;
+                                        if steps >= budget {
+                                            return (SliceEvent::Quantum, steps);
+                                        }
+                                        continue;
+                                    }
+                                    Err(e) => trap!(e),
+                                }
+                            }
+                            if let Err(e) = self.push_callee(t, fi, $callee, $total, next_pc)
+                            {
+                                trap!(e);
+                            }
+                            if steps >= budget {
+                                return (SliceEvent::Quantum, steps);
+                            }
+                            continue 'outer;
+                        }
+                    }};
+                }
+                // The virtual-call dispatch tail shared by `CallVirtual`
+                // and `FusedLoadCallVirtual`: IC fast path, then TIB walk
+                // + adaptive recompilation + cache fill. Always leaves
+                // via `continue` or a slice-ending return.
+                macro_rules! dispatch_virtual {
+                    ($vslot:expr, $site:expr, $class:expr, $total:expr) => {{
+                        let class = $class;
+                        let total: usize = $total;
+                        let site = $site;
+                        if use_ic {
+                            let epoch = self.registry.code_epoch();
+                            let row = t.ic.site(code, code_key, site);
+                            if let Some(entry) = row.lookup(epoch, class) {
+                                let callee = Arc::clone(&entry.code);
+                                self.stats.ic_hits += 1;
+                                // Hotness sampled on the hit path too, so
+                                // adaptive recompilation triggers at the
+                                // same call number as with caches off.
+                                let _ = ic_hit!(callee, total);
+                            } else {
+                                self.stats.ic_misses += 1;
+                            }
+                        }
+                        let vslot = $vslot;
+                        let tib = &self.registry.class(class).tib;
+                        let Some(&mid) = tib.get(vslot as usize) else {
+                            trap!(VmError::Internal {
+                                message: format!(
+                                    "TIB slot {vslot} missing on {} — stale compiled code?",
+                                    self.registry.class(class).name
+                                ),
+                            });
+                        };
+                        let callee = match self.compiled_for(mid) {
+                            Ok(c) => c,
+                            Err(e) => trap!(e),
+                        };
+                        if use_ic {
+                            // Epoch read *after* compiled_for: a fresh
+                            // compile bumps it, and an entry stamped with
+                            // the pre-compile epoch would never hit.
+                            let epoch = self.registry.code_epoch();
+                            t.ic.site(code, code_key, site).insert(
+                                epoch,
+                                SiteEntry { class, method: mid, code: Arc::clone(&callee) },
+                            );
+                        }
+                        if let Err(e) = self.push_callee(t, fi, callee, total, next_pc) {
+                            trap!(e);
+                        }
+                        if steps >= budget {
+                            return (SliceEvent::Quantum, steps);
+                        }
+                        continue 'outer;
+                    }};
+                }
+                // The direct-call dispatch tail shared by `CallDirect` and
+                // `FusedLoadCallDirect`.
+                macro_rules! dispatch_direct {
+                    ($method:expr, $site:expr, $total:expr) => {{
+                        let mid = $method;
+                        let total: usize = $total;
+                        let site = $site;
+                        if use_ic {
+                            let epoch = self.registry.code_epoch();
+                            let row = t.ic.site(code, code_key, site);
+                            if let Some(entry) = row.lookup_direct(epoch) {
+                                let callee = Arc::clone(&entry.code);
+                                self.stats.ic_hits += 1;
+                                let _ = ic_hit!(callee, total);
+                            } else {
+                                self.stats.ic_misses += 1;
+                            }
+                        }
+                        let callee = match self.compiled_for(mid) {
+                            Ok(c) => c,
+                            Err(e) => trap!(e),
+                        };
+                        if use_ic {
+                            let epoch = self.registry.code_epoch();
+                            t.ic.site(code, code_key, site).insert_direct(
+                                epoch,
+                                // Direct calls have no receiver class to key
+                                // on; way 0 is guarded by the epoch alone.
+                                SiteEntry {
+                                    class: ClassId(0),
+                                    method: mid,
+                                    code: Arc::clone(&callee),
+                                },
+                            );
+                        }
+                        if let Err(e) = self.push_callee(t, fi, callee, total, next_pc) {
+                            trap!(e);
+                        }
+                        if steps >= budget {
+                            return (SliceEvent::Quantum, steps);
+                        }
+                        continue 'outer;
+                    }};
+                }
                 match instr {
                     RInstr::ConstInt(v) => push!(Value::Int(*v)),
                     RInstr::ConstBool(v) => push!(Value::Bool(*v)),
@@ -402,67 +630,7 @@ impl Vm {
                         let recv = barrier!(recv);
                         t.frames[fi].stack[ridx] = Value::Ref(recv);
                         let class = self.heap.class_of(recv);
-                        let total = *argc as usize + 1;
-                        if use_ic {
-                            let epoch = self.registry.code_epoch();
-                            let row = t.ic.site(code, code_key, *site);
-                            if let Some(entry) = row.lookup(epoch, class) {
-                                let callee = Arc::clone(&entry.code);
-                                self.stats.ic_hits += 1;
-                                // Hotness sampled on the hit path too, so
-                                // adaptive recompilation triggers at the
-                                // same call number as with caches off.
-                                let pre = callee.invocations.bump();
-                                let promote = enable_opt
-                                    && callee.level == CompileLevel::Base
-                                    && pre >= opt_threshold;
-                                if !promote {
-                                    if let Err(e) =
-                                        self.push_callee(t, fi, callee, total, next_pc)
-                                    {
-                                        trap!(e);
-                                    }
-                                    if steps >= budget {
-                                        return (SliceEvent::Quantum, steps);
-                                    }
-                                    continue 'outer;
-                                }
-                                // Crossed the opt threshold: fall through
-                                // to the slow path, which recompiles.
-                            } else {
-                                self.stats.ic_misses += 1;
-                            }
-                        }
-                        let tib = &self.registry.class(class).tib;
-                        let Some(&mid) = tib.get(*vslot as usize) else {
-                            trap!(VmError::Internal {
-                                message: format!(
-                                    "TIB slot {vslot} missing on {} — stale compiled code?",
-                                    self.registry.class(class).name
-                                ),
-                            });
-                        };
-                        let callee = match self.compiled_for(mid) {
-                            Ok(c) => c,
-                            Err(e) => trap!(e),
-                        };
-                        if use_ic {
-                            // Epoch read *after* compiled_for: a fresh
-                            // compile bumps it, and an entry stamped with
-                            // the pre-compile epoch would never hit.
-                            let epoch = self.registry.code_epoch();
-                            t.ic.site(code, code_key, *site).insert(
-                                epoch,
-                                SiteEntry { class, method: mid, code: Arc::clone(&callee) },
-                            );
-                        }
-                        if let Err(e) = self.push_callee(t, fi, callee, total, next_pc) {
-                            trap!(e);
-                        }
-                        if steps >= budget {
-                            return (SliceEvent::Quantum, steps);
-                        }
-                        continue 'outer;
+                        dispatch_virtual!(*vslot, *site, class, *argc as usize + 1)
                     }
                     RInstr::CallDirect { method, argc, has_receiver, site } => {
                         let total = *argc as usize + usize::from(*has_receiver);
@@ -472,55 +640,7 @@ impl Vm {
                                 trap!(VmError::NullPointer { context: "instance call".into() });
                             }
                         }
-                        if use_ic {
-                            let epoch = self.registry.code_epoch();
-                            let row = t.ic.site(code, code_key, *site);
-                            if let Some(entry) = row.lookup_direct(epoch) {
-                                let callee = Arc::clone(&entry.code);
-                                self.stats.ic_hits += 1;
-                                let pre = callee.invocations.bump();
-                                let promote = enable_opt
-                                    && callee.level == CompileLevel::Base
-                                    && pre >= opt_threshold;
-                                if !promote {
-                                    if let Err(e) =
-                                        self.push_callee(t, fi, callee, total, next_pc)
-                                    {
-                                        trap!(e);
-                                    }
-                                    if steps >= budget {
-                                        return (SliceEvent::Quantum, steps);
-                                    }
-                                    continue 'outer;
-                                }
-                            } else {
-                                self.stats.ic_misses += 1;
-                            }
-                        }
-                        let callee = match self.compiled_for(*method) {
-                            Ok(c) => c,
-                            Err(e) => trap!(e),
-                        };
-                        if use_ic {
-                            let epoch = self.registry.code_epoch();
-                            t.ic.site(code, code_key, *site).insert_direct(
-                                epoch,
-                                // Direct calls have no receiver class to key
-                                // on; way 0 is guarded by the epoch alone.
-                                SiteEntry {
-                                    class: ClassId(0),
-                                    method: *method,
-                                    code: Arc::clone(&callee),
-                                },
-                            );
-                        }
-                        if let Err(e) = self.push_callee(t, fi, callee, total, next_pc) {
-                            trap!(e);
-                        }
-                        if steps >= budget {
-                            return (SliceEvent::Quantum, steps);
-                        }
-                        continue 'outer;
+                        dispatch_direct!(*method, *site, total)
                     }
                     RInstr::CallNative { native, argc } => {
                         let argc = *argc as usize;
@@ -574,9 +694,38 @@ impl Vm {
                     RInstr::Jump(target) => {
                         let target = *target as usize;
                         t.frames[fi].pc = target as u32;
-                        if target <= pc && steps >= budget {
+                        if target <= pc {
                             // Loop back-edge: a yield point.
-                            return (SliceEvent::Quantum, steps);
+                            if steps >= budget {
+                                return (SliceEvent::Quantum, steps);
+                            }
+                            if enable_jit {
+                                match code.level {
+                                    CompileLevel::Base => {
+                                        // Count loop trips toward template-JIT
+                                        // heat; a long-running loop promotes
+                                        // mid-method (OSR-in) without waiting
+                                        // for the next invocation.
+                                        let trips = code.loop_trips.bump();
+                                        if trips.saturating_add(code.invocations.get())
+                                            >= jit_threshold
+                                            && self.osr_into_jit(t, fi)
+                                        {
+                                            continue 'outer;
+                                        }
+                                    }
+                                    CompileLevel::Jit => {
+                                        // DSU safe point: a fused frame
+                                        // re-checks the dispatch epoch on
+                                        // every back-edge, deoptimizing if
+                                        // its method was replaced.
+                                        if self.jit_revalidate(t, fi) {
+                                            continue 'outer;
+                                        }
+                                    }
+                                    CompileLevel::Opt => {}
+                                }
+                            }
                         }
                         continue;
                     }
@@ -596,50 +745,7 @@ impl Vm {
                         } else {
                             None
                         };
-                        let mut done = t.frames.pop().expect("frame present");
-                        if let Some(FrameNote::TransformOf(addr)) = done.note {
-                            self.dsu.in_progress.remove(&addr);
-                            self.dsu.done.insert(addr);
-                            if self.lazy.active {
-                                self.lazy.transformed += 1;
-                            }
-                        }
-                        // Recycle the frame's vectors (cleared, so the GC
-                        // and roots never see stale references). Gated with
-                        // the inline caches: together they are the
-                        // steady-state dispatch fast path, and caches-off
-                        // holds the stock per-call allocation behavior.
-                        if use_ic && t.pool.len() < FRAME_POOL_CAP {
-                            done.locals.clear();
-                            done.stack.clear();
-                            t.pool.push((
-                                std::mem::take(&mut done.locals),
-                                std::mem::take(&mut done.stack),
-                            ));
-                        }
-                        match t.frames.last_mut() {
-                            Some(caller) => {
-                                if let Some(v) = value {
-                                    caller.stack.push(v);
-                                }
-                            }
-                            None => {
-                                t.result = value;
-                            }
-                        }
-                        if done.return_barrier {
-                            // Paper §3.2: the bridge code notifies the
-                            // update driver, which restarts the update.
-                            return (SliceEvent::ReturnBarrier { method: done.method }, steps);
-                        }
-                        if t.frames.is_empty() {
-                            t.state = ThreadState::Finished;
-                            return (SliceEvent::Finished, steps);
-                        }
-                        if steps >= budget {
-                            return (SliceEvent::Quantum, steps);
-                        }
-                        continue 'outer;
+                        do_return!(value)
                     }
                     RInstr::Pop => {
                         pop!();
@@ -647,6 +753,144 @@ impl Vm {
                     RInstr::Dup => {
                         let v = *frame.stack.last().expect("verified");
                         push!(v);
+                    }
+
+                    // ---- template-JIT superinstructions (crate::jit2) ----
+                    //
+                    // Each arm executes its covered base instructions in one
+                    // dispatch. Step accounting mirrors the base tier
+                    // exactly: the loop top counted 1, the completion path
+                    // adds covered-1 (and the partial count before a trap
+                    // matches the base trap point), so slice budgets, yield
+                    // positions, and the differential oracles see identical
+                    // totals. Barrier exits add nothing — the whole
+                    // superinstruction retries, costing 1 per attempt just
+                    // as the base tier's faulting instruction does.
+                    RInstr::FusedIncLocal { slot, delta } => {
+                        steps += 3;
+                        self.stats.fused_steps += 4;
+                        let v = frame.locals[*slot as usize].as_int();
+                        frame.locals[*slot as usize] = Value::Int(v.wrapping_add(*delta));
+                    }
+                    RInstr::FusedLoadGetField { slot, offset, is_ref } => {
+                        let Some(obj) = frame.locals[*slot as usize].as_ref_opt() else {
+                            steps += 1;
+                            trap!(VmError::NullPointer { context: "field read".into() });
+                        };
+                        let obj = barrier!(obj);
+                        steps += 1;
+                        self.stats.fused_steps += 2;
+                        let mut word = self.heap.get(obj, *offset as usize);
+                        // Same mid-epoch load resolution as GetField.
+                        if *is_ref && word != 0 && self.lazy.active {
+                            word = u64::from(self.heap.resolve(GcRef(word as u32)).0);
+                        }
+                        t.frames[fi].stack.push(Value::from_word(word, *is_ref));
+                    }
+                    RInstr::FusedLoadGetFieldReturn { slot, offset, is_ref } => {
+                        let Some(obj) = frame.locals[*slot as usize].as_ref_opt() else {
+                            steps += 1;
+                            trap!(VmError::NullPointer { context: "field read".into() });
+                        };
+                        let obj = barrier!(obj);
+                        steps += 2;
+                        self.stats.fused_steps += 3;
+                        let mut word = self.heap.get(obj, *offset as usize);
+                        if *is_ref && word != 0 && self.lazy.active {
+                            word = u64::from(self.heap.resolve(GcRef(word as u32)).0);
+                        }
+                        do_return!(Some(Value::from_word(word, *is_ref)))
+                    }
+                    RInstr::FusedLoadLoadCmpBr { a, b, op, when, target } => {
+                        steps += 3;
+                        self.stats.fused_steps += 4;
+                        let x = frame.locals[*a as usize].as_int();
+                        let y = frame.locals[*b as usize].as_int();
+                        if op.apply(x, y) == *when {
+                            next_pc = *target as usize;
+                        }
+                    }
+                    RInstr::FusedLoadConstCmpBr { slot, k, op, when, target } => {
+                        steps += 3;
+                        self.stats.fused_steps += 4;
+                        let x = frame.locals[*slot as usize].as_int();
+                        if op.apply(x, *k) == *when {
+                            next_pc = *target as usize;
+                        }
+                    }
+                    RInstr::FusedStackConstCmpBr { k, op, when, target } => {
+                        steps += 2;
+                        self.stats.fused_steps += 3;
+                        let x = pop!().as_int();
+                        if op.apply(x, *k) == *when {
+                            next_pc = *target as usize;
+                        }
+                    }
+                    RInstr::FusedLoadLoadAdd { a, b } => {
+                        steps += 2;
+                        self.stats.fused_steps += 3;
+                        let x = frame.locals[*a as usize].as_int();
+                        let y = frame.locals[*b as usize].as_int();
+                        push!(Value::Int(x.wrapping_add(y)));
+                    }
+                    RInstr::FusedLoadConstAdd { slot, k } => {
+                        steps += 2;
+                        self.stats.fused_steps += 3;
+                        let x = frame.locals[*slot as usize].as_int();
+                        push!(Value::Int(x.wrapping_add(*k)));
+                    }
+                    RInstr::FusedLoadConstAddReturn { slot, k } => {
+                        steps += 3;
+                        self.stats.fused_steps += 4;
+                        let x = frame.locals[*slot as usize].as_int();
+                        do_return!(Some(Value::Int(x.wrapping_add(*k))))
+                    }
+                    RInstr::FusedConstReturn { k } => {
+                        steps += 1;
+                        self.stats.fused_steps += 2;
+                        do_return!(Some(Value::Int(*k)))
+                    }
+                    RInstr::FusedLoadReturn { slot } => {
+                        steps += 1;
+                        self.stats.fused_steps += 2;
+                        let v = frame.locals[*slot as usize];
+                        do_return!(Some(v))
+                    }
+                    RInstr::FusedLoadStore { from, to } => {
+                        steps += 1;
+                        self.stats.fused_steps += 2;
+                        frame.locals[*to as usize] = frame.locals[*from as usize];
+                    }
+                    RInstr::FusedLoadCallVirtual { slot, vslot, site } => {
+                        let Some(recv) = frame.locals[*slot as usize].as_ref_opt() else {
+                            steps += 1;
+                            trap!(VmError::NullPointer { context: "virtual call".into() });
+                        };
+                        let recv = barrier!(recv);
+                        steps += 1;
+                        self.stats.fused_steps += 2;
+                        // Base pushes the receiver then resolves the stack
+                        // copy in place; pushing the resolved receiver is
+                        // the same final stack (the local keeps the stale
+                        // ref in both tiers).
+                        t.frames[fi].stack.push(Value::Ref(recv));
+                        let class = self.heap.class_of(recv);
+                        dispatch_virtual!(*vslot, *site, class, 1)
+                    }
+                    RInstr::FusedLoadCallDirect { slot, method, argc, has_receiver, site } => {
+                        let v = frame.locals[*slot as usize];
+                        let total = *argc as usize + usize::from(*has_receiver);
+                        frame.stack.push(v);
+                        if *has_receiver {
+                            let n = frame.stack.len();
+                            if frame.stack[n - total].as_ref_opt().is_none() {
+                                steps += 1;
+                                trap!(VmError::NullPointer { context: "instance call".into() });
+                            }
+                        }
+                        steps += 1;
+                        self.stats.fused_steps += 2;
+                        dispatch_direct!(*method, *site, total)
                     }
                 }
                 t.frames[fi].pc = next_pc as u32;
@@ -686,6 +930,375 @@ impl Vm {
             note: None,
         });
         Ok(())
+    }
+
+    /// Executes a whitelisted leaf callee (see [`crate::jit2::is_leaf`])
+    /// inline on the caller's operand stack, without materializing a
+    /// [`Frame`]. Only reachable from inline-cache hit paths when the
+    /// template JIT is enabled and no lazy epoch or indirection is
+    /// active, so reference loads need no read barrier; the whitelist
+    /// excludes allocation, so no GC can interleave and the scratch
+    /// locals never need root scanning. Step accounting mirrors the main
+    /// loop exactly — one step per plain op, the covered count per fused
+    /// op — so slice budgets and the differential oracles see identical
+    /// totals to framed execution.
+    fn exec_leaf(
+        &mut self,
+        t: &mut VmThread,
+        fi: usize,
+        callee: &CompiledMethod,
+        total: usize,
+        steps: &mut usize,
+    ) -> Result<(), VmError> {
+        let mut locals = std::mem::take(&mut t.leaf_locals);
+        debug_assert!(locals.is_empty());
+        let frame = &mut t.frames[fi];
+        let stack_base = frame.stack.len() - total;
+        locals.extend_from_slice(&frame.stack[stack_base..]);
+        if locals.len() < callee.max_locals as usize {
+            locals.resize(callee.max_locals as usize, Value::Null);
+        }
+        frame.stack.truncate(stack_base);
+
+        let mut pc = 0usize;
+        let mut error: Option<VmError> = None;
+        macro_rules! fail {
+            ($e:expr) => {{
+                error = Some($e);
+                break None;
+            }};
+        }
+        let ret: Option<Value> = loop {
+            *steps += 1;
+            match &callee.code[pc] {
+                RInstr::ConstInt(v) => frame.stack.push(Value::Int(*v)),
+                RInstr::ConstBool(v) => frame.stack.push(Value::Bool(*v)),
+                RInstr::ConstNull => frame.stack.push(Value::Null),
+                RInstr::Load(slot) => frame.stack.push(locals[*slot as usize]),
+                RInstr::Store(slot) => {
+                    locals[*slot as usize] = frame.stack.pop().expect("verified");
+                }
+                RInstr::Add => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Int(a.wrapping_add(b)));
+                }
+                RInstr::Sub => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Int(a.wrapping_sub(b)));
+                }
+                RInstr::Mul => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Int(a.wrapping_mul(b)));
+                }
+                RInstr::Div => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    if b == 0 {
+                        fail!(VmError::DivisionByZero);
+                    }
+                    frame.stack.push(Value::Int(a.wrapping_div(b)));
+                }
+                RInstr::Rem => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    if b == 0 {
+                        fail!(VmError::DivisionByZero);
+                    }
+                    frame.stack.push(Value::Int(a.wrapping_rem(b)));
+                }
+                RInstr::Neg => {
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Int(a.wrapping_neg()));
+                }
+                RInstr::CmpEq => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Bool(a == b));
+                }
+                RInstr::CmpNe => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Bool(a != b));
+                }
+                RInstr::CmpLt => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Bool(a < b));
+                }
+                RInstr::CmpLe => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Bool(a <= b));
+                }
+                RInstr::CmpGt => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Bool(a > b));
+                }
+                RInstr::CmpGe => {
+                    let b = frame.stack.pop().expect("verified").as_int();
+                    let a = frame.stack.pop().expect("verified").as_int();
+                    frame.stack.push(Value::Bool(a >= b));
+                }
+                RInstr::Not => {
+                    let a = frame.stack.pop().expect("verified").as_bool();
+                    frame.stack.push(Value::Bool(!a));
+                }
+                RInstr::BoolEq => {
+                    let b = frame.stack.pop().expect("verified").as_bool();
+                    let a = frame.stack.pop().expect("verified").as_bool();
+                    frame.stack.push(Value::Bool(a == b));
+                }
+                instr @ (RInstr::RefEq | RInstr::RefNe) => {
+                    let b = frame.stack.pop().expect("verified");
+                    let a = frame.stack.pop().expect("verified");
+                    // Plain identity: the leaf path is gated on no lazy
+                    // epoch / indirection, so no forwarding word exists.
+                    let eq = match (a, b) {
+                        (Value::Null, Value::Null) => true,
+                        (Value::Ref(x), Value::Ref(y)) => x == y,
+                        _ => false,
+                    };
+                    frame
+                        .stack
+                        .push(Value::Bool(if matches!(instr, RInstr::RefEq) { eq } else { !eq }));
+                }
+                RInstr::StrEq => {
+                    let b = frame.stack.pop().expect("verified").as_ref_opt();
+                    let a = frame.stack.pop().expect("verified").as_ref_opt();
+                    let eq = match (a, b) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => {
+                            x == y || self.heap.read_string(x) == self.heap.read_string(y)
+                        }
+                        _ => false,
+                    };
+                    frame.stack.push(Value::Bool(eq));
+                }
+                RInstr::GetField { offset, is_ref } => {
+                    let n = frame.stack.len();
+                    let Some(obj) = frame.stack[n - 1].as_ref_opt() else {
+                        fail!(VmError::NullPointer { context: "field read".into() });
+                    };
+                    let word = self.heap.get(obj, *offset as usize);
+                    frame.stack.pop();
+                    frame.stack.push(Value::from_word(word, *is_ref));
+                }
+                RInstr::PutField { offset } => {
+                    let n = frame.stack.len();
+                    let Some(obj) = frame.stack[n - 2].as_ref_opt() else {
+                        fail!(VmError::NullPointer { context: "field write".into() });
+                    };
+                    let val = frame.stack.pop().expect("verified");
+                    frame.stack.pop();
+                    self.heap.set(obj, *offset as usize, val.to_word());
+                }
+                RInstr::GetStatic { slot, is_ref } => {
+                    let word = self.registry.jtoc_get(*slot);
+                    frame.stack.push(Value::from_word(word, *is_ref));
+                }
+                RInstr::PutStatic { slot } => {
+                    let val = frame.stack.pop().expect("verified");
+                    self.registry.jtoc_set(*slot, val.to_word());
+                }
+                RInstr::ALoad => {
+                    let idx = frame.stack.pop().expect("verified").as_int();
+                    let Some(arr) = frame.stack.pop().expect("verified").as_ref_opt() else {
+                        fail!(VmError::NullPointer { context: "array read".into() });
+                    };
+                    let arr = self.heap.resolve(arr);
+                    let len = self.heap.len_of(arr);
+                    if idx < 0 || idx as u32 >= len {
+                        fail!(VmError::IndexOutOfBounds { index: idx, len });
+                    }
+                    let is_ref = self.heap.kind(arr) == HeapKind::RefArray;
+                    let word = self.heap.get(arr, idx as usize);
+                    frame.stack.push(Value::from_word(word, is_ref));
+                }
+                RInstr::AStore => {
+                    let val = frame.stack.pop().expect("verified");
+                    let idx = frame.stack.pop().expect("verified").as_int();
+                    let Some(arr) = frame.stack.pop().expect("verified").as_ref_opt() else {
+                        fail!(VmError::NullPointer { context: "array write".into() });
+                    };
+                    let arr = self.heap.resolve(arr);
+                    let len = self.heap.len_of(arr);
+                    if idx < 0 || idx as u32 >= len {
+                        fail!(VmError::IndexOutOfBounds { index: idx, len });
+                    }
+                    self.heap.set(arr, idx as usize, val.to_word());
+                }
+                RInstr::ArrayLen => {
+                    let Some(arr) = frame.stack.pop().expect("verified").as_ref_opt() else {
+                        fail!(VmError::NullPointer { context: "array length".into() });
+                    };
+                    let arr = self.heap.resolve(arr);
+                    frame.stack.push(Value::Int(i64::from(self.heap.len_of(arr))));
+                }
+                RInstr::Pop => {
+                    frame.stack.pop().expect("verified");
+                }
+                RInstr::Dup => {
+                    let v = *frame.stack.last().expect("verified");
+                    frame.stack.push(v);
+                }
+                RInstr::Return => break None,
+                RInstr::ReturnValue => break Some(frame.stack.pop().expect("verified")),
+
+                RInstr::FusedIncLocal { slot, delta } => {
+                    *steps += 3;
+                    self.stats.fused_steps += 4;
+                    let v = locals[*slot as usize].as_int();
+                    locals[*slot as usize] = Value::Int(v.wrapping_add(*delta));
+                }
+                RInstr::FusedLoadGetField { slot, offset, is_ref } => {
+                    let Some(obj) = locals[*slot as usize].as_ref_opt() else {
+                        *steps += 1;
+                        fail!(VmError::NullPointer { context: "field read".into() });
+                    };
+                    *steps += 1;
+                    self.stats.fused_steps += 2;
+                    let word = self.heap.get(obj, *offset as usize);
+                    frame.stack.push(Value::from_word(word, *is_ref));
+                }
+                RInstr::FusedLoadGetFieldReturn { slot, offset, is_ref } => {
+                    let Some(obj) = locals[*slot as usize].as_ref_opt() else {
+                        *steps += 1;
+                        fail!(VmError::NullPointer { context: "field read".into() });
+                    };
+                    *steps += 2;
+                    self.stats.fused_steps += 3;
+                    let word = self.heap.get(obj, *offset as usize);
+                    break Some(Value::from_word(word, *is_ref));
+                }
+                RInstr::FusedLoadLoadAdd { a, b } => {
+                    *steps += 2;
+                    self.stats.fused_steps += 3;
+                    let x = locals[*a as usize].as_int();
+                    let y = locals[*b as usize].as_int();
+                    frame.stack.push(Value::Int(x.wrapping_add(y)));
+                }
+                RInstr::FusedLoadConstAdd { slot, k } => {
+                    *steps += 2;
+                    self.stats.fused_steps += 3;
+                    let x = locals[*slot as usize].as_int();
+                    frame.stack.push(Value::Int(x.wrapping_add(*k)));
+                }
+                RInstr::FusedLoadConstAddReturn { slot, k } => {
+                    *steps += 3;
+                    self.stats.fused_steps += 4;
+                    let x = locals[*slot as usize].as_int();
+                    break Some(Value::Int(x.wrapping_add(*k)));
+                }
+                RInstr::FusedConstReturn { k } => {
+                    *steps += 1;
+                    self.stats.fused_steps += 2;
+                    break Some(Value::Int(*k));
+                }
+                RInstr::FusedLoadReturn { slot } => {
+                    *steps += 1;
+                    self.stats.fused_steps += 2;
+                    break Some(locals[*slot as usize]);
+                }
+                RInstr::FusedLoadStore { from, to } => {
+                    *steps += 1;
+                    self.stats.fused_steps += 2;
+                    locals[*to as usize] = locals[*from as usize];
+                }
+
+                other => unreachable!("non-leaf instruction {other:?} in leaf code"),
+            }
+            pc += 1;
+        };
+
+        if let Some(e) = error {
+            // Reconstruct the framed trap state for the GC and the heap
+            // fingerprint: a framed callee would hold the arguments in
+            // its locals (enumerated between the caller's stack and the
+            // callee's partial operands), so reinsert them at the same
+            // point in root order before surfacing the trap.
+            let frame = &mut t.frames[fi];
+            let args = &locals[..total];
+            frame.stack.splice(stack_base..stack_base, args.iter().copied());
+            locals.clear();
+            t.leaf_locals = locals;
+            return Err(e);
+        }
+        if let Some(v) = ret {
+            frame.stack.push(v);
+        }
+        debug_assert_eq!(frame.stack.len(), stack_base + usize::from(ret.is_some()));
+        locals.clear();
+        t.leaf_locals = locals;
+        Ok(())
+    }
+
+    /// Template-JIT epoch revalidation for the frame `fi` of `t`, called
+    /// at method entry/re-entry and on every loop back-edge of fused
+    /// code. Fast path: the fused code's cached epoch matches the
+    /// registry's — nothing to do. On a mismatch, the frame's code is
+    /// checked against the registry: still current (the epoch moved for
+    /// an unrelated method) refreshes the cache; replaced deoptimizes
+    /// the frame onto the retained base body at the mapped pc — exact
+    /// and semantically a no-op, because the base body is the very
+    /// stream the fusion was built from (a frame suspended mid-method
+    /// keeps pinned stale code in both tiers; the registry's *new* code
+    /// takes over at the next call, through the invalidatable dispatch
+    /// path). Returns whether the frame was deoptimized (its `compiled`
+    /// and `pc` changed).
+    fn jit_revalidate(&mut self, t: &mut VmThread, fi: usize) -> bool {
+        use std::sync::atomic::Ordering;
+        let frame = &t.frames[fi];
+        let Some(fused) = frame.compiled.fused.as_ref() else {
+            return false;
+        };
+        let epoch = self.registry.code_epoch();
+        if fused.valid_epoch.load(Ordering::Relaxed) == epoch {
+            return false;
+        }
+        let current = self.registry.method(frame.compiled.method).compiled.as_ref();
+        if current.is_some_and(|c| Arc::ptr_eq(c, &frame.compiled)) {
+            fused.valid_epoch.store(epoch, Ordering::Relaxed);
+            return false;
+        }
+        let (base, pc) = (Arc::clone(&fused.base), fused.base_pc[frame.pc as usize]);
+        let f = &mut t.frames[fi];
+        f.compiled = base;
+        f.pc = pc;
+        self.stats.deopts += 1;
+        true
+    }
+
+    /// Promotes a hot loop mid-method: compiles the frame's method at the
+    /// template-JIT tier, publishes it, and swaps the executing frame
+    /// onto the fused stream with the pc translated through the fusion
+    /// boundary map (the frame's pc is a branch target, which fusion
+    /// never swallows). Declines — returning `false` — when the frame is
+    /// running stale code (the registry moved on; promoting it would
+    /// republish a dead version) or compilation fails.
+    fn osr_into_jit(&mut self, t: &mut VmThread, fi: usize) -> bool {
+        let mid = t.frames[fi].compiled.method;
+        let current = self.registry.method(mid).compiled.as_ref();
+        if !current.is_some_and(|c| Arc::ptr_eq(c, &t.frames[fi].compiled)) {
+            return false;
+        }
+        let Ok(fresh) = crate::jit::compile(&self.registry, mid, CompileLevel::Jit, &self.config)
+        else {
+            return false;
+        };
+        let fresh = Arc::new(fresh);
+        self.stats.jit_compiles += 1;
+        self.registry.set_compiled(mid, Arc::clone(&fresh));
+        let target = t.frames[fi].pc;
+        let new_pc =
+            fresh.fused.as_ref().expect("jit code carries a fusion map").fused_index_of(target);
+        let f = &mut t.frames[fi];
+        f.compiled = fresh;
+        f.pc = new_pc;
+        true
     }
 
     /// Lazy object check on every reference load. Three modes:

@@ -1,4 +1,4 @@
-//! The (simulated) JIT: baseline and optimizing compilers.
+//! The (simulated) JIT: baseline, optimizing, and template compilers.
 //!
 //! The **baseline compiler** resolves symbolic bytecode 1:1 into
 //! [`RInstr`]s, baking field offsets, static slots, TIB slots, instance
@@ -11,6 +11,15 @@
 //! callees (static methods, constructors, `super` calls) up to a depth
 //! limit, recording every inlined method so the DSU restricted-set
 //! analysis can extend restrictions to inlining callers (paper §3.2).
+//!
+//! The **template JIT** ([`CompileLevel::Jit`]) resolves 1:1 like the
+//! baseline and then peephole-fuses the stream into superinstructions
+//! ([`crate::jit2`]). It deliberately does *not* inline: fused frames must
+//! deopt back to plain base code mid-method when an update invalidates
+//! them, and the fused-index → base-pc mapping is only exact when the
+//! underlying stream is the 1:1 one. Cross-method win comes from the leaf
+//! fast path instead (the interpreter runs tiny call-free callees inline
+//! at fused call sites without pushing a frame).
 
 use std::sync::Arc;
 
@@ -46,6 +55,7 @@ pub fn compile(
         CompileLevel::Base => {
             let (mut rcode, referenced) = resolve_code(registry, &code.instrs)?;
             let call_sites = assign_call_sites(&mut rcode);
+            let leaf = crate::jit2::is_leaf(&rcode);
             Ok(CompiledMethod {
                 method: mid,
                 level: CompileLevel::Base,
@@ -54,7 +64,53 @@ pub fn compile(
                 inlined: Vec::new(),
                 referenced_classes: referenced,
                 invocations: Default::default(),
+                loop_trips: Default::default(),
                 call_sites,
+                fused: None,
+                leaf,
+            })
+        }
+        CompileLevel::Jit => {
+            // Resolve 1:1 exactly like the baseline, number the call
+            // sites over that stream (fusion preserves call ops and
+            // their order, so the ids stay dense), then fuse. The fused
+            // stream *is* the method body; the base body is retained in
+            // the fusion metadata as the deopt target — swapping a frame
+            // onto it at the mapped pc is exact and semantically a no-op.
+            let (mut rcode, referenced) = resolve_code(registry, &code.instrs)?;
+            let call_sites = assign_call_sites(&mut rcode);
+            let base = Arc::new(CompiledMethod {
+                method: mid,
+                level: CompileLevel::Base,
+                leaf: crate::jit2::is_leaf(&rcode),
+                code: rcode,
+                max_locals: code.max_locals,
+                inlined: Vec::new(),
+                referenced_classes: referenced.clone(),
+                invocations: Default::default(),
+                loop_trips: Default::default(),
+                call_sites,
+                fused: None,
+            });
+            let fusion = crate::jit2::fuse(&base.code);
+            let leaf = crate::jit2::is_leaf(&fusion.code);
+            Ok(CompiledMethod {
+                method: mid,
+                level: CompileLevel::Jit,
+                code: fusion.code,
+                max_locals: code.max_locals,
+                inlined: Vec::new(),
+                referenced_classes: referenced,
+                invocations: Default::default(),
+                loop_trips: Default::default(),
+                call_sites,
+                fused: Some(Arc::new(crate::jit2::FusedCode {
+                    base,
+                    base_pc: fusion.base_pc,
+                    valid_epoch: std::sync::atomic::AtomicU64::new(registry.code_epoch()),
+                    fused_count: fusion.fused_count,
+                })),
+                leaf,
             })
         }
         CompileLevel::Opt => {
@@ -73,6 +129,7 @@ pub fn compile(
             );
             let (mut rcode, referenced) = resolve_code(registry, &expanded)?;
             let call_sites = assign_call_sites(&mut rcode);
+            let leaf = crate::jit2::is_leaf(&rcode);
             Ok(CompiledMethod {
                 method: mid,
                 level: CompileLevel::Opt,
@@ -81,7 +138,10 @@ pub fn compile(
                 inlined,
                 referenced_classes: referenced,
                 invocations: Default::default(),
+                loop_trips: Default::default(),
                 call_sites,
+                fused: None,
+                leaf,
             })
         }
     }
@@ -564,6 +624,52 @@ mod tests {
             assert_eq!(sites, expect, "sites dense in code order at {level:?}");
             assert!(c.call_sites >= 3, "two virtual + one recursive direct call");
         }
+    }
+
+    #[test]
+    fn jit_tier_fuses_and_keeps_call_sites_dense() {
+        let r = registry_with(
+            "class A { field x: int; method id(): int { return this.x; } }
+             class T {
+               static method big(a: A, n: int): int {
+                 var s: int = 0; var i: int = 0;
+                 while (i < n) { s = s + a.id() + a.id(); i = i + 1; }
+                 return s + T.big(a, 0);
+               }
+             }",
+        );
+        let mid = method_id(&r, "T", "big");
+        let c = compile(&r, mid, CompileLevel::Jit, &VmConfig::default()).unwrap();
+        let meta = c.fused.as_ref().expect("jit code carries fusion metadata");
+        assert!(meta.fused_count > 0, "loop body should fuse: {:?}", c.code);
+        assert!(c.code.len() < meta.base.code.len());
+        assert_eq!(meta.base.level, CompileLevel::Base);
+        assert_eq!(meta.base.call_sites, c.call_sites);
+        assert!(c.osr_capable());
+        // Call sites stay dense in fused-code order (fusion preserves
+        // call ops), so the per-thread inline-cache rows still fit.
+        let sites: Vec<u32> = c
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                RInstr::CallVirtual { site, .. }
+                | RInstr::CallDirect { site, .. }
+                | RInstr::FusedLoadCallVirtual { site, .. }
+                | RInstr::FusedLoadCallDirect { site, .. } => Some(*site),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<u32> = (0..c.call_sites).collect();
+        assert_eq!(sites, expect, "sites dense in fused order: {:?}", c.code);
+        // Every fused index maps to a base pc inside the base stream.
+        for (pc, _) in c.code.iter().enumerate() {
+            assert!((c.base_pc_of(pc as u32) as usize) < meta.base.code.len());
+        }
+        // The getter body fuses to a single leaf superinstruction.
+        let id = method_id(&r, "A", "id");
+        let g = compile(&r, id, CompileLevel::Jit, &VmConfig::default()).unwrap();
+        assert!(g.leaf, "getter should be a leaf: {:?}", g.code);
+        assert!(matches!(g.code[..], [RInstr::FusedLoadGetFieldReturn { .. }]));
     }
 
     #[test]

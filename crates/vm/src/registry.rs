@@ -895,7 +895,10 @@ mod tests {
                 inlined: vec![],
                 referenced_classes: vec![],
                 invocations: Default::default(),
+                loop_trips: Default::default(),
                 call_sites: 0,
+                fused: None,
+                leaf: false,
             }),
         );
         let new_def = jvolve_lang::compile("class T { static method f(): int { return 2; } }")
@@ -1007,7 +1010,10 @@ mod tests {
                 inlined: vec![f],
                 referenced_classes: vec![],
                 invocations: Default::default(),
+                loop_trips: Default::default(),
                 call_sites: 0,
+                fused: None,
+                leaf: false,
             }),
         );
         let victims = r.invalidate_inliners(&[f]);
@@ -1044,7 +1050,10 @@ mod tests {
                 inlined: vec![],
                 referenced_classes: vec![],
                 invocations: Default::default(),
+                loop_trips: Default::default(),
                 call_sites: 0,
+                fused: None,
+                leaf: false,
             }),
         );
         expect_bump(&r, "set_compiled", &mut last);

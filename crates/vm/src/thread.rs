@@ -123,6 +123,11 @@ pub struct VmThread {
     /// in steady state reuses allocations instead of making fresh ones.
     /// Always cleared before pooling — the GC scans only live frames.
     pub(crate) pool: Vec<(Vec<Value>, Vec<Value>)>,
+    /// Scratch locals for the template JIT's leaf-call fast path, which
+    /// executes a small callee without pushing a [`Frame`]. Always drained
+    /// back to empty before the fast path returns, so the GC (which scans
+    /// only `frames`) never needs to see it.
+    pub(crate) leaf_locals: Vec<Value>,
 }
 
 impl VmThread {
@@ -136,6 +141,7 @@ impl VmThread {
             result: None,
             ic: InlineCaches::default(),
             pool: Vec::new(),
+            leaf_locals: Vec::new(),
         }
     }
 
@@ -164,7 +170,10 @@ mod tests {
             inlined: vec![],
             referenced_classes: vec![],
             invocations: Default::default(),
+            loop_trips: Default::default(),
             call_sites: 0,
+            fused: None,
+            leaf: false,
         })
     }
 

@@ -37,6 +37,15 @@ pub struct VmStats {
     pub base_compiles: u64,
     /// Methods opt-compiled.
     pub opt_compiles: u64,
+    /// Methods compiled at the template-JIT tier (superinstruction fusion).
+    pub jit_compiles: u64,
+    /// Template-JIT frames deoptimized back onto their retained base body
+    /// (dispatch epoch moved under them).
+    pub deopts: u64,
+    /// Interpreter steps executed inside fused superinstructions or the
+    /// leaf-call fast path. Always counted *in addition to* `steps` — the
+    /// ratio `fused_steps / steps` is the fusion coverage of a run.
+    pub fused_steps: u64,
     /// Inline-cache dispatch hits (excluded from differential oracles —
     /// the two cache modes differ here by construction).
     pub ic_hits: u64,
@@ -284,31 +293,48 @@ impl Vm {
     pub(crate) fn compiled_for(&mut self, mid: MethodId) -> Result<Arc<CompiledMethod>, VmError> {
         let threshold = self.config.opt_threshold;
         let enable_opt = self.config.enable_opt;
+        let enable_jit = self.config.enable_jit;
+        let jit_threshold = self.config.jit_threshold;
         let info = self.registry.method(mid);
         debug_assert!(info.native.is_none(), "natives are dispatched separately");
 
         // The hotness counter lives on the code object so inline-cache
         // hits (which bypass this path) can keep sampling it; checked
         // pre-bump, so promotion fires at the same call number in both
-        // cache modes.
-        let needs_opt = enable_opt
+        // cache modes. The template-JIT tier takes priority over Opt and
+        // also promotes *from* Opt — invocations plus loop trips measure
+        // total heat, matching the back-edge OSR-in condition.
+        let needs_jit = enable_jit
+            && info.compiled.as_ref().is_some_and(|c| {
+                c.level != CompileLevel::Jit
+                    && c.invocations.get().saturating_add(c.loop_trips.get()) >= jit_threshold
+            });
+        let needs_opt = !needs_jit
+            && enable_opt
             && info
                 .compiled
                 .as_ref()
                 .is_some_and(|c| c.level == CompileLevel::Base && c.invocations.get() >= threshold);
 
-        if let (Some(c), false) = (&info.compiled, needs_opt) {
+        if let (Some(c), false, false) = (&info.compiled, needs_opt, needs_jit) {
             let c = c.clone();
             c.invocations.bump();
             self.registry.method_mut(mid).invocations = c.invocations.get();
             return Ok(c);
         }
 
-        let level = if needs_opt { CompileLevel::Opt } else { CompileLevel::Base };
+        let level = if needs_jit {
+            CompileLevel::Jit
+        } else if needs_opt {
+            CompileLevel::Opt
+        } else {
+            CompileLevel::Base
+        };
         let compiled = Arc::new(jit::compile(&self.registry, mid, level, &self.config)?);
         match level {
             CompileLevel::Base => self.stats.base_compiles += 1,
             CompileLevel::Opt => self.stats.opt_compiles += 1,
+            CompileLevel::Jit => self.stats.jit_compiles += 1,
         }
         compiled.invocations.bump();
         self.registry.set_compiled(mid, compiled.clone());
@@ -880,15 +906,17 @@ impl Vm {
         }
     }
 
-    /// On-stack replacement of a **base-compiled** frame (paper §3.2):
+    /// On-stack replacement of an **OSR-capable** frame (paper §3.2):
     /// recompiles the method against current class metadata and swaps the
-    /// frame's code; the 1:1 bytecode mapping preserves pc and locals.
+    /// frame's code. Base-tier code is 1:1 with bytecode so `pc` and
+    /// `locals` carry over; a template-JIT frame first translates its pc
+    /// through the fused stream's retained base-pc mapping.
     ///
     /// # Errors
     ///
     /// Fails if the frame is opt-compiled (not OSR-capable) or stale.
     pub fn osr_replace(&mut self, thread: ThreadId, frame_idx: usize) -> Result<(), VmError> {
-        let (mid, osr_ok) = {
+        let (mid, osr_ok, base_pc) = {
             let t = self
                 .threads
                 .get(thread.0 as usize)
@@ -897,11 +925,11 @@ impl Vm {
             let f = t.frames.get(frame_idx).ok_or_else(|| VmError::Internal {
                 message: format!("no frame {frame_idx} on {thread}"),
             })?;
-            (f.method, f.compiled.osr_capable())
+            (f.method, f.compiled.osr_capable(), f.compiled.base_pc_of(f.pc))
         };
         if !osr_ok {
             return Err(VmError::Internal {
-                message: "OSR supported only for base-compiled frames".to_string(),
+                message: "OSR supported only for base- or jit-compiled frames".to_string(),
             });
         }
         let fresh = Arc::new(jit::compile(
@@ -918,6 +946,7 @@ impl Vm {
             f.locals.resize(needed, Value::Null);
         }
         f.compiled = fresh;
+        f.pc = base_pc;
         Ok(())
     }
 

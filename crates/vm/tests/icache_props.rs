@@ -131,11 +131,30 @@ fn drain_until_settled(vm: &mut Vm, cursor: &mut usize, expected: i64, prev: i64
 /// One randomized interleaving: boot the guest at `VERSIONS[0]`, then
 /// alternate host-side registry mutations with guest slices, checking the
 /// printed stream after every operation.
-fn run_interleaving(seed: u64, ops: usize, class: &str, method: &str, src: fn(i64) -> String) {
+///
+/// With `jit` set, the template-JIT tier runs with a threshold low enough
+/// that `main`'s loop OSRs into fused code almost immediately and the
+/// callee gets jit-promoted too — so every mutation lands on a *fused*
+/// caller whose call site sits inside a superinstruction, exercising the
+/// epoch revalidation and deopt paths instead of plain cache flushes.
+fn run_interleaving(
+    seed: u64,
+    ops: usize,
+    class: &str,
+    method: &str,
+    src: fn(i64) -> String,
+    jit: bool,
+) {
     let mut rng = Rng::new(seed);
     // Small quantum = many safe points per print burst; low opt threshold
     // so the callee gets opt-promoted (and republished) during the run.
-    let mut vm = Vm::new(VmConfig { quantum: 500, opt_threshold: 20, ..VmConfig::small() });
+    let mut vm = Vm::new(VmConfig {
+        quantum: 500,
+        opt_threshold: 20,
+        enable_jit: jit,
+        jit_threshold: 30,
+        ..VmConfig::small()
+    });
     vm.load_source(&src(VERSIONS[0])).expect("guest loads");
     let defs: Vec<MethodDef> =
         VERSIONS.iter().map(|&val| def_of(&src(val), class, method)).collect();
@@ -206,18 +225,38 @@ fn run_interleaving(seed: u64, ops: usize, class: &str, method: &str, src: fn(i6
         }
         drain_until_settled(&mut vm, &mut cursor, expected, prev);
     }
+
+    if jit {
+        let stats = vm.stats();
+        assert!(stats.jit_compiles > 0, "seed {seed}: the jit tier never engaged");
+        assert!(stats.fused_steps > 0, "seed {seed}: no superinstruction ever retired");
+    }
 }
 
 #[test]
 fn virtual_call_caches_never_serve_stale_code() {
     for seed in 0..6 {
-        run_interleaving(seed, 40, "Obj", "v", virtual_src);
+        run_interleaving(seed, 40, "Obj", "v", virtual_src, false);
     }
 }
 
 #[test]
 fn direct_call_caches_never_serve_stale_code() {
     for seed in 100..106 {
-        run_interleaving(seed, 40, "Util", "f", direct_src);
+        run_interleaving(seed, 40, "Util", "f", direct_src, false);
+    }
+}
+
+#[test]
+fn jit_promoted_virtual_call_sites_never_serve_stale_code() {
+    for seed in 200..206 {
+        run_interleaving(seed, 40, "Obj", "v", virtual_src, true);
+    }
+}
+
+#[test]
+fn jit_promoted_direct_call_sites_never_serve_stale_code() {
+    for seed in 300..306 {
+        run_interleaving(seed, 40, "Util", "f", direct_src, true);
     }
 }

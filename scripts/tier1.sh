@@ -40,6 +40,13 @@ cargo test -q --test differential
 echo "== tier-1: inline-cache differential oracle (caches on/off, update + rollback) =="
 cargo test -q --test differential inline_caches_are_observationally_invisible
 
+# The template-JIT differential oracle: jit on vs off must be
+# observationally identical — same heap/registry fingerprints,
+# transformer traces, retired steps, and slice counts — across eager,
+# lazy, and rolled-back updates, with fused code actually engaged.
+echo "== tier-1: template-JIT differential oracle (jit on/off, eager/lazy/rollback) =="
+cargo test -q --test differential jit_tier_is_observationally_invisible
+
 # The lazy-migration differential oracle: a lazily committed update must
 # be observationally identical to the eager one under arbitrary
 # interleavings of guest execution, scavenger steps, and full GCs.
@@ -64,7 +71,10 @@ cargo run --release -q -p jvolve-fuzz --bin fuzz_run -- --replay crates/fuzz/cor
 if [ "$skip_bench" = 0 ]; then
     echo "== tier-1: GC pause regression check =="
     cargo run --release -q -p jvolve-bench --bin gcbench -- --check --iters 5
-    echo "== tier-1: interpreter dispatch throughput check =="
+    # interpbench --check also enforces the jit gates: jit_on >= 2x
+    # caches_on (best-of-N), and jit_on_updated within the regression
+    # limit of warm jit_on.
+    echo "== tier-1: interpreter dispatch + jit tier throughput check =="
     cargo run --release -q -p jvolve-bench --bin interpbench -- --check --iters 5
     echo "== tier-1: lazy migration pause + steady-state check =="
     cargo run --release -q -p jvolve-bench --bin lazybench -- --check --iters 5
@@ -72,7 +82,7 @@ if [ "$skip_bench" = 0 ]; then
     cargo run --release -q -p jvolve-bench --bin fleetbench -- --check --iters 5
 else
     echo "== tier-1: GC pause regression check skipped (--skip-bench) =="
-    echo "== tier-1: interpreter dispatch throughput check skipped (--skip-bench) =="
+    echo "== tier-1: interpreter dispatch + jit tier throughput check skipped (--skip-bench) =="
     echo "== tier-1: lazy migration pause + steady-state check skipped (--skip-bench) =="
     echo "== tier-1: fleet throughput + rolling-update integrity check skipped (--skip-bench) =="
 fi

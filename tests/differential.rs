@@ -7,6 +7,11 @@
 //!   fingerprint, transformer execution order (= canonical update-log
 //!   order), event stream, and `UpdateStats` (minus wall-clock fields)
 //!   for every `gc_threads` setting.
+//! * The template-JIT tier (superinstruction fusion) must be
+//!   observationally invisible: jit-on and jit-off runs agree on every
+//!   non-profiling observable — including step and slice counts, since
+//!   fused ops retire exactly the base instruction count — across
+//!   applied, rolled-back, and lazily-committed updates.
 
 mod testkit;
 
@@ -432,6 +437,132 @@ fn inline_caches_are_observationally_invisible() {
         let off = run_cache_oracle(false, rollback);
         let on = run_cache_oracle(true, rollback);
         assert_eq!(off, on, "rollback={rollback}: cache modes diverged");
+        if rollback {
+            assert_eq!(on.trace, 1, "no transformer ran before the rollback");
+            assert!(on.events.iter().any(|e| e == "Aborted"), "{:?}", on.events);
+        } else {
+            assert!(on.trace != 1, "transformers fed the trace");
+        }
+    }
+}
+
+// ---- template-JIT on/off oracle ----------------------------------------
+
+/// Everything the jit oracle compares across `enable_jit` settings. VM
+/// stats deliberately exclude the tier-population counters that differ by
+/// construction (`opt_compiles` — a method can reach the jit threshold
+/// before the opt threshold; `jit_compiles`, `deopts`, `fused_steps`) but
+/// include `steps` and `slices`: fused superinstructions must retire
+/// *exactly* the base instruction count at exactly the same yield points,
+/// so even the scheduler's interleaving is bit-identical.
+#[derive(Debug, PartialEq, Eq)]
+struct JitOracleOutcome {
+    heap_fingerprint: u64,
+    registry_fingerprint: String,
+    trace: i64,
+    checksum: i64,
+    /// (slices, steps, gcs, base_compiles).
+    vm_stats: (u64, u64, u64, u64),
+    events: Vec<String>,
+}
+
+/// Runs the ring workload with the template-JIT tier on or off (threshold
+/// low enough that the loopy `checksum` promotes via OSR-in mid-warmup),
+/// applies an update — eagerly, lazily, or inducing a mid-install failure
+/// and rollback — then keeps executing through the same (invalidated and
+/// re-resolved) code. Returns the cross-mode observables plus the raw
+/// stats so callers can assert the jit tier actually engaged.
+fn run_jit_oracle(
+    enable_jit: bool,
+    rollback: bool,
+    lazy: bool,
+) -> (JitOracleOutcome, jvolve_repro::vm::VmStats) {
+    const NODES: i64 = 300;
+    let mut vm = Vm::new(VmConfig {
+        enable_jit,
+        jit_threshold: 40,
+        lazy_migration: lazy,
+        ..VmConfig::small()
+    });
+    let old = jvolve_repro::lang::compile(GC_ORACLE_V1).expect("v1 compiles");
+    let new = jvolve_repro::lang::compile(GC_ORACLE_V2).expect("v2 compiles");
+    vm.load_classes(&old).expect("v1 loads");
+    vm.call_static_sync("App", "build", &[Value::Int(NODES)]).expect("build runs");
+    // Warm until checksum's loop trips cross the jit threshold (first
+    // call already OSRs in) and the fused code holds pre-update operands.
+    for _ in 0..3 {
+        vm.call_static_sync("App", "checksum", &[]).expect("warm checksum runs");
+    }
+
+    let mut update = Update::prepare(&old, &new, "v1_").expect("update prepares");
+    if rollback {
+        update.set_transformers_source("this is not a valid MJ program {{{");
+    } else {
+        update.set_transformers_source(GC_ORACLE_TRANSFORMERS);
+    }
+
+    let mut events = MemorySink::default();
+    let mut controller = UpdateController::new(&update, ApplyOptions::default());
+    controller.attach_sink(&mut events);
+    let result = controller.run_to_completion(&mut vm);
+    assert_eq!(result.is_err(), rollback, "rollback={rollback}: {result:?}");
+
+    // Post-update execution through the invalidated call sites and (in
+    // jit mode) the deopted/re-promoted bodies.
+    let checksum = vm
+        .call_static_sync("App", "checksum", &[])
+        .expect("post-update checksum runs")
+        .expect("returns")
+        .as_int();
+    let trace = match vm.read_static("App", "trace") {
+        Value::Int(t) => t,
+        other => panic!("trace is {other:?}"),
+    };
+    let s = vm.stats().clone();
+    let outcome = JitOracleOutcome {
+        heap_fingerprint: vm.heap_fingerprint(),
+        registry_fingerprint: registry_fingerprint(&vm),
+        trace,
+        checksum,
+        vm_stats: (s.slices, s.steps, s.gcs, s.base_compiles),
+        events: events
+            .events
+            .iter()
+            .filter(|e| !matches!(e, UpdateEvent::PhaseExited { .. }))
+            .map(|e| match e {
+                UpdateEvent::Committed { .. } => "Committed".to_string(),
+                UpdateEvent::Aborted { .. } => "Aborted".to_string(),
+                // Keeps the watermark, drops the barrier-arming wall time.
+                UpdateEvent::LazyEpochBegun { watermark_words, .. } => {
+                    format!("LazyEpochBegun {{ watermark_words: {watermark_words} }}")
+                }
+                other => format!("{other:?}"),
+            })
+            .collect(),
+    };
+    (outcome, s)
+}
+
+/// The jit-on/off oracle: identical heap and registry fingerprints,
+/// transformer trace, guest results, step/slice counts, and normalized
+/// event streams across an applied update AND a rolled-back one, in both
+/// eager and lazy commit modes — while the jit run provably compiled,
+/// fused, and executed superinstructions.
+#[test]
+fn jit_tier_is_observationally_invisible() {
+    for (rollback, lazy) in [(false, false), (true, false), (false, true), (true, true)] {
+        let (off, off_stats) = run_jit_oracle(false, rollback, lazy);
+        let (on, on_stats) = run_jit_oracle(true, rollback, lazy);
+        assert_eq!(off, on, "rollback={rollback} lazy={lazy}: jit modes diverged");
+        assert_eq!(off_stats.jit_compiles, 0, "jit off never jit-compiles");
+        assert!(
+            on_stats.jit_compiles > 0,
+            "rollback={rollback} lazy={lazy}: the jit tier never engaged"
+        );
+        assert!(
+            on_stats.fused_steps > 0,
+            "rollback={rollback} lazy={lazy}: no superinstruction ever retired"
+        );
         if rollback {
             assert_eq!(on.trace, 1, "no transformer ran before the rollback");
             assert!(on.events.iter().any(|e| e == "Aborted"), "{:?}", on.events);
