@@ -2,9 +2,9 @@
 //! optionally rolling a live update across the shards.
 //!
 //! ```text
-//! fleet_run --app webserver|emailserver|ftpserver [--shards N] [--from I]
+//! fleet_run --app webserver|emailserver|ftpserver|kvstore [--shards N] [--from I]
 //!           [--requests N] [--no-jit | --jit-threshold N]
-//!           [--roll [--eager] [--probes N]]
+//!           [--roll [--eager] [--probes N] [--update-bundle dir/]]
 //! ```
 //!
 //! Boots `--shards` OS-thread VM shards, each running its own copy of the
@@ -16,22 +16,26 @@
 //! version on the first failure.
 //!
 //! `--no-jit` and `--jit-threshold N` pass the template-JIT tier knobs
-//! through to every shard's VM, exactly as on `jvolve_run`.
+//! through to every shard's VM, exactly as on `jvolve_run`. With
+//! `--update-bundle` the rolled update comes from a UPT-emitted bundle
+//! directory (re-verified on load) instead of the app's built-in next
+//! version.
 //!
 //! Unknown flags, missing or malformed values, duplicate flags, and
-//! conflicting combinations (`--eager`/`--probes` without `--roll`,
-//! `--jit-threshold` with `--no-jit`) are rejected with the usage
-//! message and exit code 2.
+//! conflicting combinations (`--eager`/`--probes`/`--update-bundle`
+//! without `--roll`, `--jit-threshold` with `--no-jit`) are rejected
+//! with the usage message and exit code 2.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use jvolve_apps::fleet::{Fleet, RollOptions};
 use jvolve_apps::harness::{app_vm_config, bench_apply_options, prepare_next};
-use jvolve_apps::{AppInstance, Emailserver, Ftpserver, GuestApp, Webserver};
+use jvolve_apps::{AppInstance, Emailserver, Ftpserver, GuestApp, Kvstore, Webserver};
 
-const USAGE: &str = "usage: fleet_run --app webserver|emailserver|ftpserver [--shards N] [--from I] \
-     [--requests N] [--no-jit | --jit-threshold N] [--roll [--eager] [--probes N]]";
+const USAGE: &str = "usage: fleet_run --app webserver|emailserver|ftpserver|kvstore [--shards N] [--from I] \
+     [--requests N] [--no-jit | --jit-threshold N] \
+     [--roll [--eager] [--probes N] [--update-bundle dir/]]";
 
 /// Parsed command line. Every flag is strict: unknown names, missing or
 /// malformed values, duplicates, and conflicts are parse errors.
@@ -45,16 +49,18 @@ struct Cli {
     roll: bool,
     eager: bool,
     probes: u32,
+    update_bundle: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
-    let mut values: [(&str, Option<String>); 6] = [
+    let mut values: [(&str, Option<String>); 7] = [
         ("--app", None),
         ("--shards", None),
         ("--from", None),
         ("--requests", None),
         ("--jit-threshold", None),
         ("--probes", None),
+        ("--update-bundle", None),
     ];
     let mut jit = true;
     let mut roll = false;
@@ -114,9 +120,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let requests = take("--requests");
     let jit_threshold = take("--jit-threshold");
     let probes = take("--probes");
+    let update_bundle = take("--update-bundle");
 
     if !roll {
-        for (flag, set) in [("--eager", eager), ("--probes", probes.is_some())] {
+        for (flag, set) in [
+            ("--eager", eager),
+            ("--probes", probes.is_some()),
+            ("--update-bundle", update_bundle.is_some()),
+        ] {
             if set {
                 return Err(format!("{flag} requires --roll"));
             }
@@ -137,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         roll,
         eager,
         probes: parse_num("--probes", probes)?.unwrap_or(4).max(1) as u32,
+        update_bundle,
     })
 }
 
@@ -160,6 +172,7 @@ fn main() -> ExitCode {
         "webserver" => Box::new(Webserver),
         "emailserver" => Box::new(Emailserver),
         "ftpserver" => Box::new(Ftpserver),
+        "kvstore" => Box::new(Kvstore),
         other => {
             eprintln!("fleet_run: unknown app {other}\n{USAGE}");
             return ExitCode::from(2);
@@ -187,6 +200,7 @@ fn main() -> ExitCode {
     let instance: Arc<dyn AppInstance> = match cli.app.as_str() {
         "webserver" => Arc::new(Webserver),
         "emailserver" => Arc::new(Emailserver),
+        "kvstore" => Arc::new(Kvstore),
         _ => Arc::new(Ftpserver),
     };
     let classes = versions[cli.from].compile();
@@ -211,7 +225,19 @@ fn main() -> ExitCode {
     }
 
     if cli.roll {
-        let update = prepare_next(app.as_ref(), cli.from);
+        let update = match &cli.update_bundle {
+            // A UPT-emitted bundle replaces the built-in next version's
+            // prepared update (spec and payloads re-verified on load).
+            Some(dir) => match jvolve::bundle::load(std::path::Path::new(dir)) {
+                Ok(update) => update,
+                Err(e) => {
+                    eprintln!("fleet_run: {dir}: {e}");
+                    fleet.shutdown();
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => prepare_next(app.as_ref(), cli.from),
+        };
         let mode = if cli.eager { "eager" } else { "lazy" };
         eprintln!(
             "fleet_run: rolling {} -> {} ({mode}) ...",

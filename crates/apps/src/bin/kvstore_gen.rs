@@ -1,0 +1,66 @@
+//! `kvstore_gen` — writes the kvstore release stream's committed example
+//! files (`examples/mj/kvstore_v01.mj` … `kvstore_v21.mj`) from the
+//! in-crate generator, so the checked-in sources and the test fixtures
+//! can never drift (a test compares them byte for byte).
+//!
+//! ```text
+//! kvstore_gen [--dir examples/mj]
+//! ```
+//!
+//! Unknown flags, missing values, and duplicates are rejected with the
+//! usage message and exit code 2.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jvolve_apps::kvstore::{example_file_content, example_file_name, VERSIONS};
+
+const USAGE: &str = "usage: kvstore_gen [--dir examples/mj]";
+
+fn parse_args(args: &[String]) -> Result<PathBuf, String> {
+    let mut dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--dir" => {
+                if dir.is_some() {
+                    return Err("duplicate flag --dir".into());
+                }
+                let v = args.get(i + 1).ok_or("--dir needs a value")?;
+                if v.starts_with("--") {
+                    return Err(format!("--dir needs a value, got flag {v}"));
+                }
+                dir = Some(v.clone());
+                i += 2;
+            }
+            _ => return Err(format!("unknown argument {arg}")),
+        }
+    }
+    Ok(dir.map_or_else(|| PathBuf::from("examples/mj"), PathBuf::from))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = match parse_args(&args) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("kvstore_gen: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("kvstore_gen: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for v in 0..VERSIONS {
+        let path = dir.join(example_file_name(v));
+        if let Err(e) = std::fs::write(&path, example_file_content(v)) {
+            eprintln!("kvstore_gen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("wrote {VERSIONS} kvstore versions to {}", dir.display());
+    ExitCode::SUCCESS
+}

@@ -86,9 +86,12 @@ const LABELS: [&str; 10] =
 
 /// The custom transformer the developer writes for the 1.3.2 update —
 /// the paper's Figure 3, converting `String[]` forward addresses into
-/// `EmailAddress[]` by splitting at `@`.
-pub const FIGURE3_TRANSFORMER: &str = "
-class JvolveTransformers {
+/// `EmailAddress[]` by splitting at `@`. This is the *per-class* unit
+/// (the `jvolve_class_User`/`jvolve_object_User` method pair) in the
+/// shape `jvolve_upt` takes as an override for `User`; the full
+/// `JvolveTransformers` source is assembled from it by
+/// [`crate::harness::custom_transformer`].
+pub const FIGURE3_USER_METHODS: &str = "
   static method jvolve_class_User(): void { }
   static method jvolve_object_User(to: User, from: v132_User): void {
     to.username = from.username;
@@ -106,7 +109,6 @@ class JvolveTransformers {
       i = i + 1;
     }
   }
-}
 ";
 
 /// Full MJ source of version index `v` (0 = 1.2.1).
@@ -807,7 +809,7 @@ mod tests {
 
     #[test]
     fn figure3_transformer_names_the_renamed_class() {
-        assert!(FIGURE3_TRANSFORMER.contains("v132_User"));
+        assert!(FIGURE3_USER_METHODS.contains("v132_User"));
         assert_eq!(prefix_of("1.3.2"), "v132_");
     }
 }

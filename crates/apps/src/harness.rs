@@ -61,9 +61,12 @@ pub fn boot_classes(app: &dyn AppInstance, classes: &[ClassFile], config: VmConf
 
 /// The custom transformer source the developer supplies for a release, if
 /// any (the paper's Figure 3 customization for JavaEmailServer 1.3.2).
-pub fn custom_transformer(app: &dyn GuestApp, to_label: &str) -> Option<&'static str> {
+/// The per-class method pair is assembled into a full `JvolveTransformers`
+/// class with the same assembler the UPT uses, so the hand path and the
+/// per-class override path share one representation.
+pub fn custom_transformer(app: &dyn GuestApp, to_label: &str) -> Option<String> {
     if app.name() == "emailserver" && to_label == "1.3.2" {
-        Some(emailserver::FIGURE3_TRANSFORMER)
+        Some(jvolve::transform::assemble_transformers_source([emailserver::FIGURE3_USER_METHODS]))
     } else {
         None
     }

@@ -1,0 +1,578 @@
+//! The `kvstore` guest application — a key-value/session store with a
+//! 20-update release stream, built for the UPT and release-stream
+//! harnesses (`jvolve-upt`, `release_stream`, `streambench`).
+//!
+//! Twenty-one releases, 1.0 through 1.20. Unlike the paper's three apps
+//! (whose streams mirror Tables 2–4), this chain is designed so **every
+//! update applies**: it covers each change kind the UPT classifies, and
+//! the data plane (`Store.keys`/`Store.vals`/`Store.count`) keeps its
+//! names and types through all 21 versions so generated default
+//! transformers preserve the store's contents end-to-end.
+//!
+//! | update | classification | notes |
+//! |---|---|---|
+//! | 1.1  | method-body-only | `Handler.handle` trims input |
+//! | 1.2  | class update | `KvStats` gains `dels`/`bumpDel`; `Admin.stats` becomes **indirect** (unchanged, references `KvStats`) |
+//! | 1.3  | method-body-only | `Store.find` null guard |
+//! | 1.4  | class update | `Resp.val` signature change |
+//! | 1.5  | class update | `Store` gains `ops: int`; OSR lifts `main` (indirect) |
+//! | 1.6  | class update | `Session` class **added** |
+//! | 1.7  | method-body-only | token scheme + `Resp.err` guard |
+//! | 1.8  | class update | `Store.ops` **retyped** `int` → `String` |
+//! | 1.9  | class update | `KvStats.report` signature change |
+//! | 1.10 | method-body-only | `KvStats.bumpGet` overflow guard |
+//! | 1.11 | class update | `Session` gains `created` field (live object transformed) |
+//! | 1.12 | class update | `Store.ops` field **removed** |
+//! | 1.13 | class update | `Expiry` class **added** |
+//! | 1.14 | method-body-only | `Expiry.sweep` guard |
+//! | 1.15 | class update | `Session.open` signature change |
+//! | 1.16 | class update | `KvStats` gains `expiries`; `Admin.stats` **indirect** again |
+//! | 1.17 | class update | `AuthGuard` **added**, `Handler` gains a field; OSR lifts the always-on-stack `KvServer.serve` (indirect) |
+//! | 1.18 | method-body-only | `AuthGuard.check` trims tokens |
+//! | 1.19 | class update | `Expiry` gains `sweeps`; `Handler.handle` indirect |
+//! | 1.20 | method-body-only | `Handler.handle` empty-line guard |
+//!
+//! The server accepts single-line requests on port 8090 — `SET k v`,
+//! `GET k`, `DEL k`, `SESS`, `STATS`, `AUTH tok`, `PING` — and answers
+//! one line per connection (`OK …`, `VAL …`, `NIL`, `ERR …`) from a
+//! single always-running accept loop.
+
+use jvolve_vm::Vm;
+
+use crate::common::{prefix_of, verify_replies, AppInstance, AppVersion, GuestApp, ProbeFailure};
+use crate::workload::one_shot;
+
+/// Port the kvstore listens on.
+pub const PORT: u16 = 8090;
+
+/// Number of releases (1.0 through 1.20).
+pub const VERSIONS: usize = 21;
+
+/// The kvstore application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kvstore;
+
+impl AppInstance for Kvstore {
+    fn name(&self) -> &'static str {
+        "kvstore"
+    }
+    fn port(&self) -> u16 {
+        PORT
+    }
+    fn main_class(&self) -> &'static str {
+        "KvServer"
+    }
+    fn probe(&self, vm: &mut Vm, seq: u64, max_slices: usize) -> Result<String, ProbeFailure> {
+        // Write, then read back and require the exact value: a probe is
+        // only correct if the store round-trips data, not just answers.
+        let key = format!("k{}", seq % 8);
+        let val = format!("v{seq}");
+        let set = one_shot(vm, PORT, &format!("SET {key} {val}"), max_slices).map(|(r, _)| vec![r]);
+        verify_replies(set, &[(0, "OK")])?;
+        if seq % 5 == 4 {
+            // Commands present since 1.0 only — probes are version-blind.
+            let stats = one_shot(vm, PORT, "STATS", max_slices).map(|(r, _)| vec![r]);
+            verify_replies(stats, &[(0, "OK sets=")])?;
+        }
+        let expect = format!("VAL {val}");
+        let got = one_shot(vm, PORT, &format!("GET {key}"), max_slices).map(|(r, _)| vec![r]);
+        verify_replies(got, &[(0, expect.as_str())])
+    }
+}
+
+impl GuestApp for Kvstore {
+    fn versions(&self) -> Vec<AppVersion> {
+        (0..VERSIONS)
+            .map(|v| {
+                let label = LABELS[v];
+                AppVersion {
+                    label,
+                    prefix: Box::leak(prefix_of(label).into_boxed_str()),
+                    source: source(v),
+                }
+            })
+            .collect()
+    }
+    fn expected_failures(&self) -> Vec<&'static str> {
+        vec![]
+    }
+}
+
+const LABELS: [&str; VERSIONS] = [
+    "1.0", "1.1", "1.2", "1.3", "1.4", "1.5", "1.6", "1.7", "1.8", "1.9", "1.10", "1.11", "1.12",
+    "1.13", "1.14", "1.15", "1.16", "1.17", "1.18", "1.19", "1.20",
+];
+
+/// Full MJ source of version index `v` (0 = 1.0).
+pub fn source(v: usize) -> String {
+    assert!(v < VERSIONS, "kvstore has versions 0..{VERSIONS}");
+    let mut src = String::new();
+    src.push_str(&resp(v));
+    src.push_str(&kv_stats(v));
+    src.push_str(&store(v));
+    src.push_str(&admin(v));
+    if v >= 6 {
+        src.push_str(&session(v));
+    }
+    if v >= 13 {
+        src.push_str(&expiry(v));
+    }
+    if v >= 17 {
+        src.push_str(&auth_guard(v));
+    }
+    src.push_str(&handler(v));
+    src.push_str(KV_SERVER);
+    src
+}
+
+fn resp(v: usize) -> String {
+    let val_params = if v >= 4 { "v: String, found: bool" } else { "v: String" };
+    let err_body = if v >= 7 {
+        "    if (msg == null) { return \"ERR\"; }
+    return \"ERR \" + msg;"
+    } else {
+        "    return \"ERR \" + msg;"
+    };
+    format!(
+        "class Resp {{
+  static method ok(msg: String): String {{ return \"OK \" + msg; }}
+  static method val({val_params}): String {{ return \"VAL \" + v; }}
+  static method nil(): String {{ return \"NIL\"; }}
+  static method err(msg: String): String {{
+{err_body}
+  }}
+}}
+"
+    )
+}
+
+fn kv_stats(v: usize) -> String {
+    let dels_field = if v >= 2 { "  static field dels: int;\n" } else { "" };
+    let expiries_field = if v >= 16 { "  static field expiries: int;\n" } else { "" };
+    let bump_get_body = if v >= 10 {
+        "    if (KvStats.gets < 1000000000) { KvStats.gets = KvStats.gets + 1; }"
+    } else {
+        "    KvStats.gets = KvStats.gets + 1;"
+    };
+    let bump_del = if v >= 2 {
+        "  static method bumpDel(): void { KvStats.dels = KvStats.dels + 1; }\n"
+    } else {
+        ""
+    };
+    let bump_expiry = if v >= 16 {
+        "  static method bumpExpiry(): void { KvStats.expiries = KvStats.expiries + 1; }\n"
+    } else {
+        ""
+    };
+    let report_params = if v >= 9 { "verbose: bool" } else { "" };
+    let base = match v {
+        0..=1 => "\"sets=\" + Str.fromInt(KvStats.sets) + \" gets=\" + Str.fromInt(KvStats.gets)",
+        2..=15 => {
+            "\"sets=\" + Str.fromInt(KvStats.sets) + \" gets=\" + Str.fromInt(KvStats.gets) + \" dels=\" + Str.fromInt(KvStats.dels)"
+        }
+        _ => {
+            "\"sets=\" + Str.fromInt(KvStats.sets) + \" gets=\" + Str.fromInt(KvStats.gets) + \" dels=\" + Str.fromInt(KvStats.dels) + \" expiries=\" + Str.fromInt(KvStats.expiries)"
+        }
+    };
+    let report_body = if v >= 9 {
+        format!(
+            "    var base: String = {base};
+    if (verbose) {{ return base + \" verbose\"; }}
+    return base;"
+        )
+    } else {
+        format!("    return {base};")
+    };
+    format!(
+        "class KvStats {{
+  static field sets: int;
+  static field gets: int;
+{dels_field}{expiries_field}  static method bumpSet(): void {{ KvStats.sets = KvStats.sets + 1; }}
+  static method bumpGet(): void {{
+{bump_get_body}
+  }}
+{bump_del}{bump_expiry}  static method report({report_params}): String {{
+{report_body}
+  }}
+}}
+"
+    )
+}
+
+fn store(v: usize) -> String {
+    // The data plane: keys/vals/count keep their names and types through
+    // every release, so generated default transformers carry the store's
+    // contents across all 20 updates. `ops` is the aux field the chain
+    // adds (1.5), retypes (1.8), and removes (1.12).
+    let ops_field = match v {
+        5..=7 => "  static field ops: int;\n",
+        8..=11 => "  static field ops: String;\n",
+        _ => "",
+    };
+    let set_extra = match v {
+        5..=7 => "    Store.ops = Store.ops + 1;\n",
+        8..=11 => "    Store.ops = \"set\";\n",
+        _ => "",
+    };
+    let find_guard = if v >= 3 { "    if (k == null) { return 0 - 1; }\n" } else { "" };
+    let del_bump = if v >= 2 { "    KvStats.bumpDel();\n" } else { "" };
+    format!(
+        "class Store {{
+  static field keys: String[];
+  static field vals: String[];
+  static field count: int;
+{ops_field}  static method init(cap: int): void {{
+    Store.keys = new String[cap];
+    Store.vals = new String[cap];
+    Store.count = 0;
+  }}
+  static method find(k: String): int {{
+{find_guard}    var i: int = 0;
+    while (i < Store.count) {{
+      if (Store.keys[i] == k) {{ return i; }}
+      i = i + 1;
+    }}
+    return 0 - 1;
+  }}
+  static method get(k: String): String {{
+    KvStats.bumpGet();
+    var i: int = Store.find(k);
+    if (i < 0) {{ return null; }}
+    return Store.vals[i];
+  }}
+  static method set(k: String, v: String): void {{
+{set_extra}    var i: int = Store.find(k);
+    if (i >= 0) {{ Store.vals[i] = v; KvStats.bumpSet(); return; }}
+    if (Store.count < Store.keys.length) {{
+      Store.keys[Store.count] = k;
+      Store.vals[Store.count] = v;
+      Store.count = Store.count + 1;
+    }}
+    KvStats.bumpSet();
+  }}
+  static method del(k: String): bool {{
+    var i: int = Store.find(k);
+    if (i < 0) {{ return false; }}
+    var last: int = Store.count - 1;
+    Store.keys[i] = Store.keys[last];
+    Store.vals[i] = Store.vals[last];
+    Store.keys[last] = null;
+    Store.vals[last] = null;
+    Store.count = last;
+{del_bump}    return true;
+  }}
+}}
+"
+    )
+}
+
+fn admin(v: usize) -> String {
+    // Admin's bytecode changes only at 1.9 (report's new signature); at
+    // 1.2 and 1.16 it is untouched while `KvStats` class-updates — the
+    // pure indirect-closure case the UPT must find.
+    let report_call = if v >= 9 { "KvStats.report(false)" } else { "KvStats.report()" };
+    format!(
+        "class Admin {{
+  static method stats(): String {{
+    return Resp.ok({report_call});
+  }}
+}}
+"
+    )
+}
+
+fn session(v: usize) -> String {
+    let created_field = if v >= 11 { "  field created: int;\n" } else { "" };
+    let ctor_extra = if v >= 11 { "    this.created = Session.opened;\n" } else { "" };
+    let open_params = if v >= 15 { "owner: String" } else { "" };
+    let open_body = match v {
+        6 => {
+            "    Session.opened = Session.opened + 1;
+    var s: Session = new Session(\"t\" + Str.fromInt(Session.opened));
+    Session.current = s;
+    return s;"
+        }
+        7..=14 => {
+            "    Session.opened = Session.opened + 1;
+    var s: Session = new Session(\"s\" + Str.fromInt(Session.opened));
+    Session.current = s;
+    return s;"
+        }
+        _ => {
+            "    Session.opened = Session.opened + 1;
+    var s: Session = new Session(owner + Str.fromInt(Session.opened));
+    Session.current = s;
+    return s;"
+        }
+    };
+    format!(
+        "class Session {{
+  static field current: Session;
+  static field opened: int;
+  field token: String;
+{created_field}  ctor(token: String) {{
+    this.token = token;
+{ctor_extra}  }}
+  static method open({open_params}): Session {{
+{open_body}
+  }}
+}}
+"
+    )
+}
+
+fn expiry(v: usize) -> String {
+    let sweeps_field = if v >= 19 { "  static field sweeps: int;\n" } else { "" };
+    let mut body = String::new();
+    if v >= 14 {
+        body.push_str("    if (Expiry.ticks < 1000000000) { Expiry.ticks = Expiry.ticks + 1; }\n");
+    } else {
+        body.push_str("    Expiry.ticks = Expiry.ticks + 1;\n");
+    }
+    if v >= 16 {
+        body.push_str("    KvStats.bumpExpiry();\n");
+    }
+    if v >= 19 {
+        body.push_str("    Expiry.sweeps = Expiry.sweeps + 1;\n");
+    }
+    format!(
+        "class Expiry {{
+  static field ticks: int;
+{sweeps_field}  static method sweep(): void {{
+{body}  }}
+}}
+"
+    )
+}
+
+fn auth_guard(v: usize) -> String {
+    let check_body = if v >= 18 {
+        "    if (tok == null) { return false; }
+    return Str.len(Str.trim(tok)) > 0;"
+    } else {
+        "    return Str.len(tok) > 0;"
+    };
+    format!(
+        "class AuthGuard {{
+  static method check(tok: String): bool {{
+{check_body}
+  }}
+}}
+"
+    )
+}
+
+fn handler(v: usize) -> String {
+    let auths_field = if v >= 17 { "  static field auths: int;\n" } else { "" };
+    let mut body = String::new();
+    body.push_str("    if (line == null) { return Resp.err(\"empty\"); }\n");
+    if v >= 20 {
+        body.push_str("    if (Str.len(line) == 0) { return Resp.err(\"empty\"); }\n");
+    }
+    if v >= 1 {
+        body.push_str("    var parts: String[] = Str.split(Str.trim(line), \" \");\n");
+    } else {
+        body.push_str("    var parts: String[] = Str.split(line, \" \");\n");
+    }
+    body.push_str(
+        "    if (parts.length < 1) { return Resp.err(\"empty\"); }
+    var cmd: String = parts[0];\n",
+    );
+    if v >= 13 {
+        body.push_str("    Expiry.sweep();\n");
+    }
+    body.push_str(
+        "    if (cmd == \"PING\") { return Resp.ok(\"pong\"); }
+    if (cmd == \"SET\") {
+      if (parts.length < 3) { return Resp.err(\"args\"); }
+      Store.set(parts[1], parts[2]);
+      return Resp.ok(\"stored\");
+    }
+    if (cmd == \"GET\") {
+      if (parts.length < 2) { return Resp.err(\"args\"); }
+      var v: String = Store.get(parts[1]);
+      if (v == null) { return Resp.nil(); }\n",
+    );
+    if v >= 4 {
+        body.push_str("      return Resp.val(v, true);\n");
+    } else {
+        body.push_str("      return Resp.val(v);\n");
+    }
+    body.push_str(
+        "    }
+    if (cmd == \"DEL\") {
+      if (parts.length < 2) { return Resp.err(\"args\"); }
+      var had: bool = Store.del(parts[1]);
+      if (had) { return Resp.ok(\"deleted\"); }
+      return Resp.nil();
+    }
+    if (cmd == \"STATS\") { return Admin.stats(); }\n",
+    );
+    if v >= 6 {
+        if v >= 15 {
+            body.push_str(
+                "    if (cmd == \"SESS\") {
+      var s: Session = Session.open(\"cli\");
+      return Resp.ok(s.token);
+    }\n",
+            );
+        } else {
+            body.push_str(
+                "    if (cmd == \"SESS\") {
+      var s: Session = Session.open();
+      return Resp.ok(s.token);
+    }\n",
+            );
+        }
+    }
+    if v >= 17 {
+        body.push_str(
+            "    if (cmd == \"AUTH\") {
+      if (parts.length < 2) { return Resp.err(\"args\"); }
+      if (AuthGuard.check(parts[1])) {
+        Handler.auths = Handler.auths + 1;
+        return Resp.ok(\"auth\");
+      }
+      return Resp.err(\"denied\");
+    }\n",
+        );
+    }
+    body.push_str("    return Resp.err(\"unknown\");");
+    format!(
+        "class Handler {{
+{auths_field}  static method handle(line: String): String {{
+{body}
+  }}
+}}
+"
+    )
+}
+
+// The serving spine never changes: `serve` sits on the stack through all
+// 20 updates, `main` below it. Both become *indirect* when classes they
+// reference update (`Store` at 1.5/1.8/1.12 for `main`, `Handler` at
+// 1.17 for `serve`) and are lifted by OSR rather than blocking.
+const KV_SERVER: &str = "class KvServer {
+  static method serve(listener: int): void {
+    while (true) {
+      var conn: int = Net.accept(listener);
+      var line: String = Net.readLine(conn);
+      if (line == null) { Net.close(conn); continue; }
+      var resp: String = Handler.handle(line);
+      Net.write(conn, resp);
+      Net.close(conn);
+    }
+  }
+  static method main(): void {
+    Store.init(64);
+    var l: int = Net.listen(8090);
+    KvServer.serve(l);
+  }
+}
+";
+
+/// Name of the committed example file for version index `v`
+/// (`kvstore_v01.mj` … `kvstore_v21.mj`).
+pub fn example_file_name(v: usize) -> String {
+    format!("kvstore_v{:02}.mj", v + 1)
+}
+
+/// Contents of the committed example file for version index `v`: the
+/// generated source under a provenance header. `kvstore_gen` writes
+/// these; a test keeps the checked-in files in sync.
+pub fn example_file_content(v: usize) -> String {
+    format!(
+        "// kvstore {} — generated by `cargo run -p jvolve-apps --bin kvstore_gen`; do not edit.\n{}",
+        LABELS[v],
+        source(v)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_version_compiles() {
+        for version in Kvstore.versions() {
+            version.compile();
+        }
+    }
+
+    #[test]
+    fn consecutive_versions_differ() {
+        for v in 0..VERSIONS - 1 {
+            assert_ne!(source(v), source(v + 1), "1.{v} and 1.{} must differ", v + 1);
+        }
+    }
+
+    #[test]
+    fn labels_and_prefixes() {
+        let versions = Kvstore.versions();
+        assert_eq!(versions.len(), VERSIONS);
+        assert_eq!(versions[0].label, "1.0");
+        assert_eq!(versions[0].prefix, "v10_");
+        assert_eq!(versions[20].label, "1.20");
+        assert_eq!(versions[20].prefix, "v120_");
+    }
+
+    #[test]
+    fn committed_examples_are_in_sync() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/mj");
+        for v in 0..VERSIONS {
+            let path = dir.join(example_file_name(v));
+            let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("{}: {e} — run `cargo run -p jvolve-apps --bin kvstore_gen`", path.display())
+            });
+            assert_eq!(
+                committed,
+                example_file_content(v),
+                "{} is stale — run `cargo run -p jvolve-apps --bin kvstore_gen`",
+                path.display()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_classification_matches_the_design_table() {
+        use jvolve::diff::prepare_spec;
+        use jvolve_classfile::ClassSet;
+
+        let versions = Kvstore.versions();
+        let body_only = [1, 3, 7, 10, 14, 18, 20];
+        for to in 1..VERSIONS {
+            let old: ClassSet = versions[to - 1].compile().into_iter().collect();
+            let new: ClassSet = versions[to].compile().into_iter().collect();
+            let spec = prepare_spec(&old, &new, versions[to].prefix);
+            assert_eq!(
+                spec.is_body_only(),
+                body_only.contains(&to),
+                "1.{to}: body-only classification"
+            );
+            let indirect: Vec<String> =
+                spec.indirect_methods.iter().map(ToString::to_string).collect();
+            match to {
+                2 | 16 => assert!(
+                    indirect.iter().any(|m| m == "Admin.stats"),
+                    "1.{to}: Admin.stats must be indirect: {indirect:?}"
+                ),
+                5 | 8 | 12 => assert!(
+                    indirect.iter().any(|m| m == "KvServer.main"),
+                    "1.{to}: KvServer.main must be indirect: {indirect:?}"
+                ),
+                17 => assert!(
+                    indirect.iter().any(|m| m == "KvServer.serve"),
+                    "1.{to}: the accept loop must be indirect: {indirect:?}"
+                ),
+                _ => {}
+            }
+            let added: Vec<&str> = spec.added_classes.iter().map(|c| c.as_str()).collect();
+            match to {
+                6 => assert_eq!(added, ["Session"], "1.6 adds Session"),
+                13 => assert_eq!(added, ["Expiry"], "1.13 adds Expiry"),
+                17 => assert_eq!(added, ["AuthGuard"], "1.17 adds AuthGuard"),
+                _ => assert!(added.is_empty(), "1.{to} adds no class"),
+            }
+        }
+    }
+}

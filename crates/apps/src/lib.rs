@@ -1,7 +1,9 @@
 //! Versioned guest applications and workload drivers.
 //!
-//! Three multithreaded servers written in MJ, each with a release stream
-//! whose update-kind structure mirrors the paper's §4 benchmarks:
+//! Four multithreaded servers written in MJ. The first three mirror the
+//! paper's §4 benchmarks update-kind for update-kind (and are the only
+//! apps [`all_apps`] reports — the summary/table harnesses stay
+//! pinned to the paper's 22 updates):
 //!
 //! * [`webserver`] — Jetty: 11 versions (5.1.0–5.1.10), update to 5.1.3
 //!   unsupported (always-on-stack accept loop changed);
@@ -10,6 +12,15 @@
 //!   the paper's Figure 2/3 update with its custom transformer;
 //! * [`ftpserver`] — CrossFTP: 4 versions (1.05–1.08), 1.08 applies only
 //!   when the server is idle.
+//!
+//! The fourth is this reproduction's deep-release-history workload:
+//!
+//! * [`kvstore`] — an MJ key-value/session store with 21 generated
+//!   releases whose 20-update chain walks the whole design space
+//!   (body-only, signature changes, field add/remove/retype, class
+//!   additions, indirect closures lifting the accept loop via OSR), all
+//!   prepared automatically by `jvolve-upt` and driven by [`stream`],
+//!   the release-stream harness.
 //!
 //! [`workload`] holds the host-side clients (the reproduction's httperf),
 //! and [`harness`] the shared start/update/attempt machinery used by the
@@ -20,6 +31,8 @@ pub mod emailserver;
 pub mod fleet;
 pub mod ftpserver;
 pub mod harness;
+pub mod kvstore;
+pub mod stream;
 pub mod webserver;
 pub mod workload;
 
@@ -27,6 +40,8 @@ pub use common::{AppInstance, AppVersion, GuestApp, ProbeFailure};
 pub use emailserver::Emailserver;
 pub use fleet::{Fleet, RollFault, RollOptions, RollReport};
 pub use ftpserver::Ftpserver;
+pub use kvstore::Kvstore;
+pub use stream::{run_release_stream, StreamOptions, StreamReport};
 pub use webserver::Webserver;
 
 /// The three guest applications.

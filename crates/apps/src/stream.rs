@@ -1,0 +1,212 @@
+//! The release-stream harness: a whole UPT-prepared version chain applied
+//! to one serving VM under sustained verified load.
+//!
+//! This is the end-to-end exercise of the PR's pipeline: every update is
+//! prepared by [`jvolve_upt`] (automatic diff, classification, generated
+//! default transformers), enqueued on a [`jvolve::UpdateQueue`], and
+//! applied strictly serialized while the embedder's pump keeps verified
+//! client traffic flowing. In lazy mode the stream also exercises
+//! *overlapping* arrivals: with [`StreamOptions::queue_mid_drain`] set,
+//! the next release is pushed while the previous update's lazy epoch is
+//! still draining — the queue must hold it until commit, and the
+//! [`StreamReport`] counts how often that happened.
+//!
+//! Correctness is measured at the protocol level: every probe is a full
+//! verified exchange (for the kvstore, a `SET` followed by a `GET` that
+//! must return the exact value written), and the gate is **zero
+//! incorrect responses** across the entire stream. Final heap and
+//! registry fingerprints let callers check eager/lazy convergence: both
+//! modes must end in bit-identical states.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use jvolve::{ApplyOptions, Update, UpdatePhase, UpdateQueue};
+use jvolve_upt::{prepare_classes, UptOptions};
+use jvolve_vm::{Vm, VmConfig};
+
+use crate::common::{GuestApp, ProbeFailure};
+use crate::harness::{app_vm_config, bench_apply_options, boot_with};
+
+/// Release-stream knobs.
+#[derive(Clone, Debug)]
+pub struct StreamOptions {
+    /// Commit updates in lazy-migration mode.
+    pub lazy: bool,
+    /// Push the next release while the previous update's lazy epoch is
+    /// still draining (requires `lazy`; a no-op for eager streams, whose
+    /// controllers have no drain window).
+    pub queue_mid_drain: bool,
+    /// Verified probes served between consecutive updates.
+    pub probes_between_updates: u64,
+    /// Slice budget per probe exchange.
+    pub probe_budget: usize,
+    /// Lazy scavenge batch (small values stretch the epoch so mid-drain
+    /// arrivals actually land mid-drain).
+    pub lazy_scavenge_batch: usize,
+    /// Lazy per-step cell budget.
+    pub lazy_step_cells: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            lazy: false,
+            queue_mid_drain: false,
+            probes_between_updates: 5,
+            probe_budget: 30_000,
+            lazy_scavenge_batch: 8,
+            lazy_step_cells: 512,
+        }
+    }
+}
+
+impl StreamOptions {
+    /// An eager stream.
+    pub fn eager() -> Self {
+        StreamOptions::default()
+    }
+
+    /// A lazy stream with mid-drain queueing on.
+    pub fn lazy() -> Self {
+        StreamOptions { lazy: true, queue_mid_drain: true, ..StreamOptions::default() }
+    }
+}
+
+/// What a release stream did, end to end.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Updates that committed (the full chain is `versions - 1`).
+    pub versions_applied: usize,
+    /// Updates that aborted (must be 0 for a green stream).
+    pub aborted: usize,
+    /// Probes answered and verified correct.
+    pub responses: u64,
+    /// Probes answered **incorrectly** — the stream gate requires 0.
+    pub incorrect: u64,
+    /// Probes that got no answer within their budget.
+    pub unanswered: u64,
+    /// Updates that arrived while a lazy epoch was still draining and
+    /// were serialized behind it.
+    pub queued_mid_drain: usize,
+    /// Longest single-update pause (`UpdateStats::total_time`; lazy
+    /// migration time is not pause).
+    pub max_pause: Duration,
+    /// Final heap fingerprint (eager and lazy streams must agree).
+    pub heap_fingerprint: u64,
+    /// Final registry version fingerprint.
+    pub version_fingerprint: String,
+}
+
+impl StreamReport {
+    /// The stream gate: every update committed and not one verified
+    /// exchange returned a wrong answer.
+    pub fn clean(&self, expected_updates: usize) -> bool {
+        self.versions_applied == expected_updates && self.aborted == 0 && self.incorrect == 0
+    }
+}
+
+/// Prepares the update `from → from + 1` of `app` through the UPT — the
+/// automatic path: diff, classification, generated default transformers.
+/// (Apps whose releases need hand-written transformers pass them as
+/// per-class overrides; the kvstore chain is designed so defaults carry
+/// all state.)
+///
+/// # Panics
+///
+/// Panics if preparation fails — app fixtures must always prepare.
+pub fn prepare_via_upt(app: &dyn GuestApp, from: usize) -> Update {
+    let versions = app.versions();
+    let old = versions[from].compile();
+    let new = versions[from + 1].compile();
+    let opts = UptOptions::with_prefix(versions[from + 1].prefix);
+    match prepare_classes(&old, &new, &opts) {
+        Ok(release) => release.update,
+        Err(e) => panic!("{}: UPT preparation {}→{} failed: {e}", app.name(), from, from + 1),
+    }
+}
+
+/// Runs `app`'s entire release stream on one VM under verified load.
+///
+/// # Panics
+///
+/// Panics if the app fails to boot (fixture bug). Update aborts and
+/// wrong responses are *reported*, not panicked on — gates assert on the
+/// [`StreamReport`].
+pub fn run_release_stream(app: &dyn GuestApp, opts: &StreamOptions) -> StreamReport {
+    let config = VmConfig { lazy_migration: opts.lazy, ..app_vm_config() };
+    let mut vm = boot_with(app, 0, config);
+
+    let apply_opts = ApplyOptions {
+        lazy_scavenge_batch: opts.lazy_scavenge_batch,
+        lazy_step_cells: opts.lazy_step_cells,
+        ..bench_apply_options()
+    };
+
+    let mut report = StreamReport {
+        versions_applied: 0,
+        aborted: 0,
+        responses: 0,
+        incorrect: 0,
+        unanswered: 0,
+        queued_mid_drain: 0,
+        max_pause: Duration::ZERO,
+        heap_fingerprint: 0,
+        version_fingerprint: String::new(),
+    };
+    let mut seq = 0u64;
+    let mut probe_once = |vm: &mut Vm, report: &mut StreamReport| {
+        match app.probe(vm, seq, opts.probe_budget) {
+            Ok(_) => report.responses += 1,
+            Err(ProbeFailure::Incorrect { .. }) => report.incorrect += 1,
+            Err(ProbeFailure::Unresponsive) => report.unanswered += 1,
+        }
+        seq += 1;
+    };
+
+    let n = app.versions().len();
+    let mut prepared: VecDeque<Update> = (0..n - 1).map(|i| prepare_via_upt(app, i)).collect();
+
+    // Seed the store with traffic before any update arrives.
+    for _ in 0..opts.probes_between_updates {
+        probe_once(&mut vm, &mut report);
+    }
+
+    let mut queue = UpdateQueue::new();
+    while let Some(update) = prepared.pop_front() {
+        queue.push(update);
+        let outcomes = queue.drain(&mut vm, &apply_opts, |vm, q| {
+            probe_once(vm, &mut report);
+            // A new release lands while the lazy epoch is still draining:
+            // the queue must serialize it behind the commit.
+            if opts.queue_mid_drain
+                && q.in_flight_phase() == Some(UpdatePhase::LazyMigrating)
+                && q.is_empty()
+            {
+                if let Some(next) = prepared.pop_front() {
+                    q.push(next);
+                }
+            }
+        });
+        for outcome in outcomes {
+            if outcome.enqueued_during == Some(UpdatePhase::LazyMigrating) {
+                report.queued_mid_drain += 1;
+            }
+            match outcome.result {
+                Ok(stats) => {
+                    report.versions_applied += 1;
+                    report.max_pause = report.max_pause.max(stats.total_time);
+                }
+                Err(_) => report.aborted += 1,
+            }
+        }
+        // Steady-state traffic between releases.
+        for _ in 0..opts.probes_between_updates {
+            probe_once(&mut vm, &mut report);
+        }
+    }
+
+    report.heap_fingerprint = vm.heap_fingerprint();
+    report.version_fingerprint = vm.registry().version_fingerprint();
+    report
+}

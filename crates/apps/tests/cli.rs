@@ -23,6 +23,10 @@ fn rejects_bad_usage_with_exit_2() {
         (&["--app", "webserver", "--shards", "two"], "--shards expects a number"),
         (&["--app", "webserver", "--eager"], "--eager requires --roll"),
         (&["--app", "webserver", "--probes", "3"], "--probes requires --roll"),
+        (
+            &["--app", "kvstore", "--update-bundle", "some/dir"],
+            "--update-bundle requires --roll",
+        ),
         (&["--app", "webserver", "stray"], "unexpected argument stray"),
         (&["--app", "nosuchapp"], "unknown app nosuchapp"),
         (&["--app", "webserver", "--no-jit", "--no-jit"], "duplicate flag --no-jit"),
@@ -44,6 +48,12 @@ fn rejects_bad_usage_with_exit_2() {
 #[test]
 fn serves_a_small_fleet_successfully() {
     let (code, stderr) = run(&["--app", "webserver", "--shards", "2", "--requests", "6"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn serves_the_kvstore_app() {
+    let (code, stderr) = run(&["--app", "kvstore", "--shards", "2", "--requests", "6"]);
     assert_eq!(code, 0, "stderr: {stderr}");
 }
 

@@ -22,6 +22,10 @@
 //!   integrity gate vs `results/BENCH_fleet.json` (zero dropped/incorrect
 //!   responses during a rolling lazy update; ≥2× aggregate throughput at
 //!   4 shards on hosts with ≥4 CPUs)
+//! * `streambench` — UPT release-stream gate vs `results/BENCH_stream.json`
+//!   (the kvstore's 20-update chain applies eager and lazy with zero
+//!   incorrect responses, mid-drain arrivals serialized, and the longest
+//!   per-update pause bounded)
 
 pub mod ablation;
 pub mod fig5;
@@ -29,6 +33,7 @@ pub mod fleet;
 pub mod interp;
 pub mod lazy;
 pub mod micro;
+pub mod stream;
 pub mod tables;
 pub mod timing;
 

@@ -1,0 +1,25 @@
+//! Release-stream measurement harness: the kvstore's whole UPT-prepared
+//! 20-update version chain applied to one serving VM under verified
+//! load, driving [`jvolve_apps::run_release_stream`] exactly the way
+//! `streambench` gates it.
+
+use jvolve_apps::{run_release_stream, Kvstore, StreamOptions, StreamReport};
+
+/// Updates in the kvstore release chain.
+pub fn chain_len() -> usize {
+    use jvolve_apps::GuestApp;
+    Kvstore.versions().len() - 1
+}
+
+/// One full eager stream: every update commits stop-the-world, so
+/// `max_pause` is the honest per-update pause the gate bounds.
+pub fn measure_eager() -> StreamReport {
+    run_release_stream(&Kvstore, &StreamOptions::eager())
+}
+
+/// One full lazy stream with mid-drain queueing: releases are pushed
+/// while the previous epoch is still draining, so the run also proves
+/// the queue serializes overlapping arrivals.
+pub fn measure_lazy() -> StreamReport {
+    run_release_stream(&Kvstore, &StreamOptions::lazy())
+}

@@ -40,8 +40,8 @@ use jvolve_vm::{Vm, VmConfig, GC_THREADS_AUTO};
 
 const USAGE: &str = "usage: jvolve_run <v1.mj> --main Class.method [--slices N] [--gc-threads N|auto] \
      [--no-inline-caches] [--no-jit | --jit-threshold N] \
-     [--update <v2.mj> --after N [--prefix vN_] [--transformers t.mj] [--lazy] [--lazy-batch N] \
-      [--trace out.json]]";
+     [(--update <v2.mj> [--prefix vN_] [--transformers t.mj] | --update-bundle dir/) \
+      --after N [--lazy] [--lazy-batch N] [--trace out.json]]";
 
 /// Parsed command line. Every flag is strict: unknown names, missing or
 /// malformed values, duplicates, and conflicts are parse errors.
@@ -58,13 +58,14 @@ struct Cli {
     lazy: bool,
     lazy_batch: Option<usize>,
     update: Option<String>,
+    update_bundle: Option<String>,
     transformers: Option<String>,
     trace: String,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut program: Option<String> = None;
-    let mut values: [(&str, Option<String>); 10] = [
+    let mut values: [(&str, Option<String>); 11] = [
         ("--main", None),
         ("--slices", None),
         ("--after", None),
@@ -73,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         ("--jit-threshold", None),
         ("--lazy-batch", None),
         ("--update", None),
+        ("--update-bundle", None),
         ("--transformers", None),
         ("--trace", None),
     ];
@@ -143,10 +145,24 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let jit_threshold = take("--jit-threshold");
     let lazy_batch = take("--lazy-batch");
     let update = take("--update");
+    let update_bundle = take("--update-bundle");
     let transformers = take("--transformers");
     let trace = take("--trace");
 
-    if update.is_none() {
+    if update.is_some() && update_bundle.is_some() {
+        return Err("--update-bundle conflicts with --update".into());
+    }
+    if update_bundle.is_some() {
+        // A bundle carries its own prefix and transformers.
+        for (flag, set) in
+            [("--prefix", prefix.is_some()), ("--transformers", transformers.is_some())]
+        {
+            if set {
+                return Err(format!("{flag} conflicts with --update-bundle"));
+            }
+        }
+    }
+    if update.is_none() && update_bundle.is_none() {
         for (flag, set) in [
             ("--after", after.is_some()),
             ("--prefix", prefix.is_some()),
@@ -187,6 +203,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         lazy,
         lazy_batch: parse_num("--lazy-batch", lazy_batch)?.map(|n| n.max(1)),
         update,
+        update_bundle,
         transformers,
         trace: trace.unwrap_or_else(|| "results/update_trace.json".to_string()),
     })
@@ -240,9 +257,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let update = match &cli.update {
-        None => None,
-        Some(path) => {
+    let update = match (&cli.update, &cli.update_bundle) {
+        // A UPT-emitted bundle: spec + transformers + payloads, verified
+        // and cross-checked against a fresh diff on load.
+        (None, Some(dir)) => match jvolve::bundle::load(std::path::Path::new(dir)) {
+            Ok(update) => Some(update),
+            Err(e) => {
+                eprintln!("jvolve_run: {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => None,
+        (Some(path), _) => {
             let v2 = match std::fs::read_to_string(path)
                 .map_err(|e| e.to_string())
                 .and_then(|s| jvolve_lang::compile(&s).map_err(|e| e.to_string()))

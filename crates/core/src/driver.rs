@@ -81,6 +81,34 @@ impl Update {
         })
     }
 
+    /// Rebuilds an update from previously emitted parts — a spec, the two
+    /// payload class lists, and a transformer source (the UPT's on-disk
+    /// bundle, see [`crate::bundle`]). The payload is re-verified and the
+    /// spec is cross-checked against a fresh diff of the payload, so a
+    /// stale or tampered spec is rejected before anything touches a VM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError::Compile`] if the new version fails
+    /// verification, [`UpdateError::Empty`] when the versions are
+    /// identical, or [`UpdateError::BadSpec`] when `spec` does not match
+    /// the payload diff.
+    pub fn from_parts(
+        spec: UpdateSpec,
+        old: &[ClassFile],
+        new: &[ClassFile],
+        transformers_source: impl Into<String>,
+    ) -> Result<Update, UpdateError> {
+        let mut update = Update::prepare(old, new, &spec.version_prefix)?;
+        if update.spec != spec {
+            return Err(UpdateError::BadSpec {
+                message: "spec does not match a fresh diff of the payload".into(),
+            });
+        }
+        update.transformers_source = transformers_source.into();
+        Ok(update)
+    }
+
     /// Replaces the transformer source (developer customization).
     pub fn set_transformers_source(&mut self, source: impl Into<String>) {
         self.transformers_source = source.into();

@@ -19,6 +19,10 @@
 //!   event stream throughout.
 //! * [`driver`] — update preparation plus the synchronous [`apply`]
 //!   wrapper over the controller.
+//! * [`bundle`] — the UPT's on-disk artifact: spec + transformers +
+//!   encoded class payloads, re-verified on load.
+//! * [`queue`] — serialized application of back-to-back and overlapping
+//!   update arrivals (release streams).
 //! * [`modes`] — the baselines the paper compares against: method-body-
 //!   only (E&C) updating and lazy-indirection updating.
 //! * [`report`] — per-release summaries (the rows of Tables 2–4).
@@ -54,12 +58,14 @@
 //! # Ok::<(), jvolve_vm::VmError>(())
 //! ```
 
+pub mod bundle;
 pub mod controller;
 pub mod diff;
 pub mod driver;
 pub mod error;
 pub mod migrate;
 pub mod modes;
+pub mod queue;
 pub mod report;
 pub mod restricted;
 pub mod spec;
@@ -70,8 +76,10 @@ pub use controller::{
     ControllerCounters, JsonTraceSink, MemorySink, StepProgress, UpdateController, UpdateEvent,
     UpdateEventSink, UpdatePhase, TRACE_SCHEMA,
 };
+pub use bundle::BundleError;
 pub use driver::{apply, ApplyOptions, Update, UpdateStats};
 pub use error::UpdateError;
+pub use queue::{QueuedOutcome, UpdateQueue};
 pub use report::{ReleaseSummary, UpdateOutcome};
 pub use spec::{ClassChangeKind, ClassDelta, UpdateSpec};
 pub use validate::{check_transformer_signatures, validate_update};

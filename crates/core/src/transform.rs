@@ -147,22 +147,33 @@ fn flattened_fields<'a>(set: &'a ClassSet, class: &ClassName) -> Vec<&'a FieldDe
     chain.iter().flat_map(|c| c.fields.iter()).collect()
 }
 
-/// Generates the default `JvolveTransformers` MJ source for `spec`.
-///
-/// The developer may edit the returned source (e.g. the paper's Figure 3
-/// customization for `User`) before the update is applied.
-pub fn default_transformers_source(
+/// The generated transformer pair for one class update: the
+/// `jvolve_class_X` and `jvolve_object_X` method definitions, as MJ source
+/// ready to be placed inside the `JvolveTransformers` class body. The UPT
+/// emits one of these per class update so user-supplied transformers can
+/// replace the defaults *per class* instead of rewriting the whole file.
+#[derive(Clone, Debug)]
+pub struct TransformerMethods {
+    /// The updated class these methods transform.
+    pub class: ClassName,
+    /// MJ source of the two method definitions (class-body level).
+    pub source: String,
+}
+
+/// Generates the default transformer method pair for every class update in
+/// `spec`, one entry per class, in spec order.
+pub fn default_transformer_methods(
     spec: &UpdateSpec,
     old_set: &ClassSet,
     new_set: &ClassSet,
-) -> String {
-    let mut src = String::from("class JvolveTransformers {\n");
-
+) -> Vec<TransformerMethods> {
+    let mut out = Vec::new();
     for delta in spec.class_updates() {
         let name = &delta.name;
         let old_name = spec.old_name(name);
         let Some(old_class) = old_set.get(name) else { continue };
         let Some(new_class) = new_set.get(name) else { continue };
+        let mut src = String::new();
 
         // Class transformer: copy same-name same-type statics declared on
         // this class.
@@ -188,10 +199,36 @@ pub fn default_transformers_source(
             }
         }
         src.push_str("  }\n");
+        out.push(TransformerMethods { class: name.clone(), source: src });
     }
+    out
+}
 
+/// Assembles per-class transformer method sources into the complete
+/// `JvolveTransformers` class source.
+pub fn assemble_transformers_source<'a>(parts: impl IntoIterator<Item = &'a str>) -> String {
+    let mut src = String::from("class JvolveTransformers {\n");
+    for part in parts {
+        src.push_str(part);
+    }
     src.push_str("}\n");
     src
+}
+
+/// Generates the default `JvolveTransformers` MJ source for `spec`.
+///
+/// The developer may edit the returned source (e.g. the paper's Figure 3
+/// customization for `User`) before the update is applied — or, through
+/// the UPT, override individual classes' methods while keeping the
+/// generated defaults for the rest (see
+/// [`default_transformer_methods`]).
+pub fn default_transformers_source(
+    spec: &UpdateSpec,
+    old_set: &ClassSet,
+    new_set: &ClassSet,
+) -> String {
+    let parts = default_transformer_methods(spec, old_set, new_set);
+    assemble_transformers_source(parts.iter().map(|p| p.source.as_str()))
 }
 
 /// Compiles a transformer source against the update's externs, in

@@ -1,4 +1,5 @@
-//! Integration tests for the `upt` and `jvolve_run` command-line tools.
+//! Integration tests for the `jvolve_run` command-line tool. (The update
+//! preparation CLI lives in `crates/upt` as `upt_run`, tested there.)
 
 use std::process::Command;
 
@@ -26,51 +27,6 @@ const V2: &str = "class Counter {
     while (i < 3) { Counter.n = Counter.n + 1; Sys.printInt(Counter.n); i = i + 1; }
   }
 }";
-
-#[test]
-fn upt_diffs_and_writes_artifacts() {
-    let old = write_temp("v1.mj", V1);
-    let new = write_temp("v2.mj", V2);
-    let spec = write_temp("spec.json", "");
-    let tf = write_temp("transformers.mj", "");
-
-    let out = Command::new(env!("CARGO_BIN_EXE_upt"))
-        .args([
-            old.to_str().unwrap(),
-            new.to_str().unwrap(),
-            "--prefix",
-            "vX_",
-            "--spec",
-            spec.to_str().unwrap(),
-            "--transformers",
-            tf.to_str().unwrap(),
-        ])
-        .output()
-        .expect("upt runs");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
-    assert!(stdout.contains("Counter: ClassUpdate"), "{stdout}");
-    assert!(stdout.contains("E&C) systems could apply this update: no"), "{stdout}");
-
-    let spec_json = std::fs::read_to_string(&spec).unwrap();
-    let parsed = jvolve::UpdateSpec::from_json(&spec_json).expect("valid spec file");
-    assert_eq!(parsed.version_prefix, "vX_");
-    let tf_src = std::fs::read_to_string(&tf).unwrap();
-    assert!(tf_src.contains("jvolve_object_Counter"), "{tf_src}");
-    assert!(tf_src.contains("Counter.n = vX_Counter.n;"), "{tf_src}");
-}
-
-#[test]
-fn upt_rejects_identical_versions() {
-    let old = write_temp("same1.mj", V1);
-    let new = write_temp("same2.mj", V1);
-    let out = Command::new(env!("CARGO_BIN_EXE_upt"))
-        .args([old.to_str().unwrap(), new.to_str().unwrap()])
-        .output()
-        .expect("upt runs");
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("changes nothing"));
-}
 
 #[test]
 fn jvolve_run_executes_and_updates() {
@@ -363,6 +319,81 @@ fn jvolve_run_jit_flags_follow_the_strict_contract() {
         .expect("jvolve_run runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("duplicate flag --no-jit"));
+}
+
+#[test]
+fn jvolve_run_applies_a_prepared_bundle() {
+    // Emit a UPT bundle, then hand it to jvolve_run whole — no --prefix,
+    // no --transformers: the bundle carries both.
+    let old = write_temp("bundle_v1.mj", V1);
+    let v1 = jvolve_lang::compile(V1).unwrap();
+    let v2 = jvolve_lang::compile(V2).unwrap();
+    let update = jvolve::Update::prepare(&v1, &v2, "vB_").unwrap();
+    let dir = std::env::temp_dir()
+        .join(format!("jvolve-cli-{}", std::process::id()))
+        .join("bundle");
+    let _ = std::fs::remove_dir_all(&dir);
+    jvolve::bundle::emit(&dir, &update).unwrap();
+
+    let trace = write_temp("bundle_trace.json", "");
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([
+            old.to_str().unwrap(),
+            "--main",
+            "Counter.main",
+            "--update-bundle",
+            dir.to_str().unwrap(),
+            "--after",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("jvolve_run runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stderr.contains("updated"), "update applied: {stderr}");
+    let kinds = read_trace_events(&trace, "eager");
+    assert_eq!(kinds.last().map(String::as_str), Some("committed"), "{kinds:?}");
+}
+
+#[test]
+fn jvolve_run_update_bundle_conflicts_are_rejected() {
+    let old = write_temp("bc_v1.mj", V1);
+    let new = write_temp("bc_v2.mj", V2);
+    let path = old.to_str().unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([
+            path,
+            "--update",
+            new.to_str().unwrap(),
+            "--update-bundle",
+            "some/dir",
+            "--after",
+            "1",
+        ])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--update-bundle conflicts with --update"));
+
+    // The bundle carries its own prefix and transformers.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--update-bundle", "some/dir", "--prefix", "vX_"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--prefix conflicts with --update-bundle"));
+
+    // A missing bundle directory is a runtime failure, not a crash.
+    let out = Command::new(env!("CARGO_BIN_EXE_jvolve_run"))
+        .args([path, "--main", "Counter.main", "--update-bundle", "/nonexistent/bundle"])
+        .output()
+        .expect("jvolve_run runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/bundle"));
 }
 
 #[test]

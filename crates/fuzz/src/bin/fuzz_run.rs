@@ -1,7 +1,7 @@
 //! `fuzz_run` — deterministic fuzzing of the update pipeline.
 //!
 //! ```text
-//! fuzz_run [--seed N] [--iters N] [--family codec|spec|semantic|stream|all]
+//! fuzz_run [--seed N] [--iters N] [--family codec|spec|semantic|stream|upt|all]
 //!          [--replay <corpus-file-or-dir>]
 //! ```
 //!
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use jvolve_fuzz::{corpus, run_family, Family, FuzzReport};
 
 const USAGE: &str = "usage: fuzz_run [--seed N] [--iters N] \
-     [--family codec|spec|semantic|stream|all] [--replay <corpus-file-or-dir>]";
+     [--family codec|spec|semantic|stream|upt|all] [--replay <corpus-file-or-dir>]";
 
 struct Cli {
     seed: u64,

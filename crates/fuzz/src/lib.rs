@@ -2,7 +2,7 @@
 //!
 //! The update path is the VM's trust boundary: class-file bytes, the
 //! update-spec JSON, and transformer sources all arrive from outside the
-//! process. This crate attacks every layer of that boundary with four
+//! process. This crate attacks every layer of that boundary with five
 //! SplitMix64-driven mutator families, each with a hard oracle:
 //!
 //! * [`Family::Codec`] — byte-level mutation of `codec::encode` output
@@ -22,6 +22,12 @@
 //!   through `UpdateController` against a Rust-side mirror model, with
 //!   fault injection at the validation and install phase boundaries, and
 //!   an eager VM vs lazy VM equivalence check at stream end.
+//! * [`Family::Upt`] — random MJ program pairs through the update
+//!   preparation tool with clean and hostile options (garbage sources,
+//!   identical versions, broken or mis-targeted per-class overrides).
+//!   Oracle: never a panic, every rejection the expected typed
+//!   `UptError`, and everything the UPT accepts validates and commits on
+//!   lockstep eager and lazy VMs with mirror-model-predicted state.
 //!
 //! Every iteration derives its randomness from `(seed, iter)`, so any
 //! failure is replayed with `fuzz_run --family <f> --seed <s> --iters 1`
@@ -39,6 +45,7 @@ mod codec_fuzz;
 mod semantic_fuzz;
 mod spec_fuzz;
 mod stream_fuzz;
+mod upt_fuzz;
 
 /// One mutator family.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,11 +58,14 @@ pub enum Family {
     Semantic,
     /// End-to-end release streams with fault injection.
     Stream,
+    /// Random program pairs through the update preparation tool.
+    Upt,
 }
 
 impl Family {
     /// All families, in execution order.
-    pub const ALL: [Family; 4] = [Family::Codec, Family::Spec, Family::Semantic, Family::Stream];
+    pub const ALL: [Family; 5] =
+        [Family::Codec, Family::Spec, Family::Semantic, Family::Stream, Family::Upt];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -63,6 +73,7 @@ impl Family {
             Family::Spec => "spec",
             Family::Semantic => "semantic",
             Family::Stream => "stream",
+            Family::Upt => "upt",
         }
     }
 
@@ -135,6 +146,7 @@ pub fn run_family(family: Family, seed: u64, iters: u64) -> Result<FuzzReport, F
         Family::Spec => spec_fuzz::run(seed, iters),
         Family::Semantic => semantic_fuzz::run(seed, iters),
         Family::Stream => stream_fuzz::run(seed, iters),
+        Family::Upt => upt_fuzz::run(seed, iters),
     }
 }
 

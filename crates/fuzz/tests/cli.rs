@@ -41,7 +41,7 @@ fn rejects_bad_usage_with_exit_2() {
 fn runs_a_small_budget_on_every_family() {
     let (code, stdout, stderr) = run(&["--seed", "1", "--iters", "25"]);
     assert_eq!(code, 0, "stderr: {stderr}");
-    for family in ["codec", "spec", "semantic", "stream"] {
+    for family in ["codec", "spec", "semantic", "stream", "upt"] {
         assert!(
             stdout.contains(&format!("{family}: 25 iters")),
             "missing {family} report in {stdout:?}"

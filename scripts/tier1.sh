@@ -59,7 +59,7 @@ cargo test -q --test lazy_differential
 echo "== tier-1: fleet fault-injection rollback oracle (install failure + health timeout) =="
 cargo test -q -p jvolve-apps --test fleet_faults
 
-# Fuzz smoke: a fixed-seed, bounded-budget pass of all four mutator
+# Fuzz smoke: a fixed-seed, bounded-budget pass of all five mutator
 # families over the untrusted-update path (typed rejections only,
 # fingerprint-convergent aborts), then a replay of the committed
 # regression corpus so no fixed crash can silently return.
@@ -80,11 +80,14 @@ if [ "$skip_bench" = 0 ]; then
     cargo run --release -q -p jvolve-bench --bin lazybench -- --check --iters 5
     echo "== tier-1: fleet throughput + rolling-update integrity check =="
     cargo run --release -q -p jvolve-bench --bin fleetbench -- --check --iters 5
+    echo "== tier-1: UPT release-stream integrity + pause check =="
+    cargo run --release -q -p jvolve-bench --bin streambench -- --check --iters 5
 else
     echo "== tier-1: GC pause regression check skipped (--skip-bench) =="
     echo "== tier-1: interpreter dispatch + jit tier throughput check skipped (--skip-bench) =="
     echo "== tier-1: lazy migration pause + steady-state check skipped (--skip-bench) =="
     echo "== tier-1: fleet throughput + rolling-update integrity check skipped (--skip-bench) =="
+    echo "== tier-1: UPT release-stream integrity + pause check skipped (--skip-bench) =="
 fi
 
 echo "== tier-1: OK =="
